@@ -1,0 +1,53 @@
+//! Criterion end-to-end compilation benchmarks: the full Algorithm 1 + 2
+//! pipeline for each experimental configuration, plus the fidelity
+//! evaluation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use marqsim_core::metrics::evaluate_fidelity;
+use marqsim_core::{Compiler, CompilerConfig, TransitionStrategy};
+use marqsim_hamlib::random::{random_hamiltonian, RandomHamiltonianParams};
+use marqsim_hamlib::suite::{benchmark_by_name, SuiteScale};
+
+fn end_to_end(c: &mut Criterion) {
+    let ham = random_hamiltonian(&RandomHamiltonianParams {
+        qubits: 10,
+        terms: 100,
+        identity_bias: 0.6,
+        seed: 2024,
+    });
+    let mut group = c.benchmark_group("compile/random_10q_100terms");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("baseline", TransitionStrategy::QDrift),
+        ("marqsim_gc", TransitionStrategy::marqsim_gc()),
+        ("marqsim_gc_rp", TransitionStrategy::marqsim_gc_rp()),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg = CompilerConfig::new(std::f64::consts::FRAC_PI_4, 0.05)
+                .with_strategy(strategy.clone())
+                .with_seed(1)
+                .without_circuit();
+            b.iter(|| Compiler::new(cfg.clone()).compile(&ham).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fidelity_kernel(c: &mut Criterion) {
+    let bench = benchmark_by_name("Na+", SuiteScale::Reduced).expect("benchmark exists");
+    let cfg = CompilerConfig::new(bench.time, 0.1)
+        .with_strategy(TransitionStrategy::marqsim_gc())
+        .with_seed(5)
+        .without_circuit();
+    let result = Compiler::new(cfg).compile(&bench.hamiltonian).unwrap();
+    let mut group = c.benchmark_group("fidelity/na_plus_reduced");
+    group.sample_size(10);
+    group.bench_function("unitary_accumulation", |b| {
+        b.iter(|| evaluate_fidelity(&result.hamiltonian, bench.time, &result.sequence))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end, fidelity_kernel);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the compiler's kernels: Pauli algebra,
+//! the min-cost-flow solve, Markov sampling, spectra analysis, and
+//! Pauli-rotation synthesis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use marqsim_circuit::{cancellation, synthesis, Circuit};
+use marqsim_core::gate_cancel::{cnot_cost_matrix, gate_cancellation_matrix};
+use marqsim_core::qdrift::qdrift_matrix;
+use marqsim_hamlib::random::{random_hamiltonian, RandomHamiltonianParams};
+use marqsim_markov::sample::ChainSampler;
+use marqsim_markov::spectra::spectrum;
+use marqsim_pauli::algebra::cnot_count_between;
+use marqsim_pauli::Hamiltonian;
+
+fn bench_hamiltonian(terms: usize) -> Hamiltonian {
+    random_hamiltonian(&RandomHamiltonianParams {
+        qubits: 12,
+        terms,
+        identity_bias: 0.6,
+        seed: 77,
+    })
+}
+
+fn pauli_kernels(c: &mut Criterion) {
+    let ham = bench_hamiltonian(60);
+    c.bench_function("pauli/cnot_cost_matrix_60_terms", |b| {
+        b.iter(|| cnot_cost_matrix(&ham))
+    });
+    let a = &ham.term(0).string;
+    let z = &ham.term(1).string;
+    c.bench_function("pauli/cnot_count_between", |b| {
+        b.iter(|| cnot_count_between(a, z))
+    });
+    c.bench_function("pauli/string_product", |b| b.iter(|| a.mul(z)));
+}
+
+fn flow_kernels(c: &mut Criterion) {
+    let ham = bench_hamiltonian(60);
+    c.bench_function("flow/gate_cancellation_matrix_60_terms", |b| {
+        b.iter(|| gate_cancellation_matrix(&ham).unwrap())
+    });
+    let ham_200 = bench_hamiltonian(200);
+    let mut group = c.benchmark_group("flow/larger");
+    group.sample_size(10);
+    group.bench_function("gate_cancellation_matrix_200_terms", |b| {
+        b.iter(|| gate_cancellation_matrix(&ham_200).unwrap())
+    });
+    group.finish();
+}
+
+fn markov_kernels(c: &mut Criterion) {
+    let ham = bench_hamiltonian(60);
+    let p = qdrift_matrix(&ham);
+    let pi = ham.stationary_distribution();
+    let sampler = ChainSampler::new(&p, &pi);
+    c.bench_function("markov/sample_10k_steps_60_states", |b| {
+        b.iter(|| sampler.sample_trajectory_seeded(10_000, 3))
+    });
+    c.bench_function("markov/spectrum_60_states", |b| {
+        let gc = gate_cancellation_matrix(&ham).unwrap();
+        b.iter(|| spectrum(&gc))
+    });
+}
+
+fn circuit_kernels(c: &mut Criterion) {
+    let ham = bench_hamiltonian(60);
+    let sequence: Vec<_> = (0..500)
+        .map(|k| (ham.term(k % ham.num_terms()).string.clone(), 0.01))
+        .collect();
+    c.bench_function("circuit/synthesize_500_rotations", |b| {
+        b.iter(|| synthesis::sequence_circuit(ham.num_qubits(), &sequence))
+    });
+    let circuit: Circuit = synthesis::sequence_circuit(ham.num_qubits(), &sequence);
+    let mut group = c.benchmark_group("circuit/cancellation");
+    group.sample_size(10);
+    group.bench_function("peephole_500_rotations", |b| {
+        b.iter_batched(
+            || circuit.clone(),
+            |c| cancellation::cancel_gates(&c),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pauli_kernels, flow_kernels, markov_kernels, circuit_kernels);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 12**: the data-processing pipeline of §6.1 — raw
+//! `(algorithmic accuracy, CNOT count)` scatter for one benchmark, the
+//! per-precision cluster averages, and the `y = a + exp(bx + c)` fit used to
+//! compare configurations at matched accuracy.
+//!
+//! Run with `cargo run -p marqsim-bench --release --bin fig12 [--full]`.
+//! The reduced scale uses the BeH2 (froze)-class benchmark shrunk to 8
+//! qubits so the exact unitary is cheap to evaluate.
+
+use marqsim_bench::{header, run_scale};
+use marqsim_core::experiment::{run_sweep, SweepConfig, DEFAULT_EPSILONS};
+use marqsim_core::fitting::fit_exponential;
+use marqsim_core::TransitionStrategy;
+use marqsim_hamlib::suite::{benchmark_by_name, SuiteScale};
+
+fn main() {
+    let scale = run_scale();
+    // Fidelity evaluation is exponential in qubit count; Fig. 12 always runs
+    // on the reduced benchmark unless --full is given explicitly.
+    let suite_scale = if scale.fidelity { SuiteScale::Reduced } else { scale.suite };
+    let bench = benchmark_by_name("BeH2 (froze)", suite_scale).expect("benchmark exists");
+
+    header("Fig. 12(a): raw data (accuracy, CNOT count)");
+    let config = SweepConfig {
+        time: bench.time,
+        epsilons: DEFAULT_EPSILONS.to_vec(),
+        repeats: scale.repeats,
+        base_seed: 12,
+        evaluate_fidelity: true,
+    };
+    let sweep = run_sweep(&bench.hamiltonian, &TransitionStrategy::marqsim_gc(), &config)
+        .expect("sweep");
+
+    println!("{:>10} {:>12} {:>12} {:>10}", "epsilon", "N samples", "CNOT", "accuracy");
+    for p in &sweep.points {
+        println!(
+            "{:>10.4} {:>12} {:>12} {:>10.5}",
+            p.epsilon,
+            p.num_samples,
+            p.stats.cnot,
+            p.fidelity.unwrap_or(f64::NAN)
+        );
+    }
+
+    header("Fig. 12(b): cluster averages and exponential fit");
+    let clusters = sweep.cluster_summaries();
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "epsilon", "mean CNOT", "std CNOT", "mean acc", "std acc"
+    );
+    for c in &clusters {
+        println!(
+            "{:>10.4} {:>12.1} {:>12.1} {:>12.5} {:>12.5}",
+            c.epsilon, c.mean_cnot, c.std_cnot, c.mean_fidelity, c.std_fidelity
+        );
+    }
+
+    let curve: Vec<(f64, f64)> = clusters
+        .iter()
+        .filter(|c| c.mean_fidelity > 0.0)
+        .map(|c| (c.mean_fidelity, c.mean_cnot))
+        .collect();
+    match fit_exponential(&curve) {
+        Some(fit) => {
+            println!();
+            println!(
+                "fit: CNOT(accuracy) = {:.2} + exp({:.2} * accuracy + {:.2})   (rss = {:.2})",
+                fit.a, fit.b, fit.c, fit.rss
+            );
+            for target in [0.992, 0.993, 0.994] {
+                println!("  interpolated CNOT at accuracy {target}: {:.1}", fit.evaluate(target));
+            }
+        }
+        None => println!("not enough accuracy data for the exponential fit"),
+    }
+}

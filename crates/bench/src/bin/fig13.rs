@@ -1,0 +1,97 @@
+//! Regenerates **Fig. 13**: the overall improvement of MarQSim-GC and
+//! MarQSim-GC-RP over the qDRIFT baseline across all Table 1 benchmarks.
+//!
+//! For every benchmark the three configurations are swept over the target
+//! precisions of §6.1 and the CNOT / single-qubit / total gate reductions at
+//! matched precision are reported (the paper reports 25.1% average CNOT
+//! reduction for MarQSim-GC and 27.0% for MarQSim-GC-RP).
+//!
+//! Run with `cargo run -p marqsim-bench --release --bin fig13 [--full]`.
+
+use marqsim_bench::{header, pct, run_scale};
+use marqsim_core::experiment::{reduction_summary, run_sweep, SweepConfig};
+use marqsim_core::TransitionStrategy;
+use marqsim_hamlib::suite::table1_suite;
+
+fn main() {
+    let scale = run_scale();
+    header("Fig. 13: Overall improvement over all benchmarks");
+
+    let mut gc_cnot_reductions = Vec::new();
+    let mut gcrp_cnot_reductions = Vec::new();
+    let mut gcrp_total_reductions = Vec::new();
+
+    println!(
+        "{:<16} {:>9} | {:>12} {:>12} | {:>12} {:>12} {:>14}",
+        "Benchmark", "Strings", "GC CNOT", "GC total", "GC-RP CNOT", "GC-RP total", "sigma change"
+    );
+
+    for bench in table1_suite(scale.suite) {
+        let config = SweepConfig {
+            time: bench.time,
+            epsilons: vec![0.1, 0.05, 0.033],
+            repeats: scale.repeats,
+            base_seed: 42,
+            evaluate_fidelity: scale.fidelity && bench.qubits <= 8,
+        };
+        let baseline = run_sweep(&bench.hamiltonian, &TransitionStrategy::QDrift, &config)
+            .expect("baseline sweep");
+        let gc = run_sweep(&bench.hamiltonian, &TransitionStrategy::marqsim_gc(), &config)
+            .expect("gc sweep");
+        let gcrp = run_sweep(
+            &bench.hamiltonian,
+            &TransitionStrategy::marqsim_gc_rp(),
+            &config,
+        )
+        .expect("gc-rp sweep");
+
+        let gc_summary = reduction_summary(&baseline, &gc);
+        let gcrp_summary = reduction_summary(&baseline, &gcrp);
+
+        // Standard deviation of the fidelity: GC-RP vs GC (the paper reports
+        // an 8.3% average reduction).
+        let sigma = |sweep: &marqsim_core::experiment::SweepResult| -> f64 {
+            let clusters = sweep.cluster_summaries();
+            let sigmas: Vec<f64> = clusters.iter().map(|c| c.std_fidelity).collect();
+            if sigmas.is_empty() {
+                0.0
+            } else {
+                sigmas.iter().sum::<f64>() / sigmas.len() as f64
+            }
+        };
+        let sigma_gc = sigma(&gc);
+        let sigma_gcrp = sigma(&gcrp);
+        let sigma_change = if sigma_gc > 0.0 {
+            format!("{}", pct(1.0 - sigma_gcrp / sigma_gc))
+        } else {
+            "n/a".to_string()
+        };
+
+        println!(
+            "{:<16} {:>9} | {:>12} {:>12} | {:>12} {:>12} {:>14}",
+            bench.name,
+            bench.pauli_strings,
+            pct(gc_summary.cnot_reduction),
+            pct(gc_summary.total_reduction),
+            pct(gcrp_summary.cnot_reduction),
+            pct(gcrp_summary.total_reduction),
+            sigma_change
+        );
+
+        gc_cnot_reductions.push(gc_summary.cnot_reduction);
+        gcrp_cnot_reductions.push(gcrp_summary.cnot_reduction);
+        gcrp_total_reductions.push(gcrp_summary.total_reduction);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!(
+        "average CNOT reduction: MarQSim-GC {}  MarQSim-GC-RP {}  (paper: 25.1% / 27.0%)",
+        pct(mean(&gc_cnot_reductions)),
+        pct(mean(&gcrp_cnot_reductions))
+    );
+    println!(
+        "average total-gate reduction (GC-RP): {}  (paper: 17.0%)",
+        pct(mean(&gcrp_total_reductions))
+    );
+}

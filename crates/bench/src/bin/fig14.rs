@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 14**: the effect of varying the `(P_qd, P_gc)`
+//! combination ratio on the CNOT reduction.
+//!
+//! The paper reports average CNOT reductions of 10.3% / 23.8% / 28.0% for the
+//! ratios `0.8/0.2`, `0.4/0.6`, `0.2/0.8` over eight benchmarks, with an
+//! accuracy loss creeping in as the `P_gc` share grows.
+//!
+//! Run with `cargo run -p marqsim-bench --release --bin fig14 [--full]`.
+
+use marqsim_bench::{header, pct, run_scale};
+use marqsim_core::experiment::{reduction_summary, run_sweep, SweepConfig};
+use marqsim_core::TransitionStrategy;
+use marqsim_hamlib::suite::{benchmark_by_name, table1_suite};
+
+fn main() {
+    let scale = run_scale();
+    header("Fig. 14: Varying the (Pqd, Pgc) combination ratio");
+
+    // The eight benchmarks used by the paper for this figure.
+    let names = ["Na+", "Cl-", "Ar", "OH-", "HF", "LiH", "SYK model 1", "SYK model 2"];
+    let ratios = [0.8, 0.4, 0.2];
+
+    println!(
+        "{:<16} | {:>16} {:>16} {:>16}",
+        "Benchmark", "0.8Pqd+0.2Pgc", "0.4Pqd+0.6Pgc", "0.2Pqd+0.8Pgc"
+    );
+
+    let mut per_ratio_totals = vec![Vec::new(); ratios.len()];
+    let suite = table1_suite(scale.suite);
+    for name in names {
+        let bench = benchmark_by_name(name, scale.suite)
+            .or_else(|| suite.iter().find(|b| b.name == name).cloned())
+            .expect("benchmark exists");
+        let config = SweepConfig {
+            time: bench.time,
+            epsilons: vec![0.1, 0.05],
+            repeats: scale.repeats,
+            base_seed: 7,
+            evaluate_fidelity: false,
+        };
+        let baseline = run_sweep(&bench.hamiltonian, &TransitionStrategy::QDrift, &config)
+            .expect("baseline sweep");
+        let mut row = format!("{:<16} |", bench.name);
+        for (i, &qd_weight) in ratios.iter().enumerate() {
+            let sweep = run_sweep(
+                &bench.hamiltonian,
+                &TransitionStrategy::GateCancellation {
+                    qdrift_weight: qd_weight,
+                },
+                &config,
+            )
+            .expect("ratio sweep");
+            let summary = reduction_summary(&baseline, &sweep);
+            per_ratio_totals[i].push(summary.cnot_reduction);
+            row.push_str(&format!(" {:>16}", pct(summary.cnot_reduction)));
+        }
+        println!("{row}");
+    }
+
+    println!();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "average CNOT reduction: {} / {} / {}  (paper: 10.3% / 23.8% / 28.0%)",
+        pct(mean(&per_ratio_totals[0])),
+        pct(mean(&per_ratio_totals[1])),
+        pct(mean(&per_ratio_totals[2]))
+    );
+    println!("(a larger Pgc share gives more cancellation but slower Markov-chain mixing; see fig15 for the spectra)");
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Fig. 16**: the impact of the evolution time on the
+//! optimization effect, for the Na+ and OH- benchmarks at
+//! `t ∈ {π/6, π/3, π/2, 3π/4}`.
+//!
+//! The paper reports MarQSim-GC CNOT reductions of 21.8% / 24.7% / 17.9% /
+//! 24.8% averaged over the two benchmarks — i.e. the benefit does not
+//! degrade with longer simulated times.
+//!
+//! Run with `cargo run -p marqsim-bench --release --bin fig16 [--full]`.
+
+use std::f64::consts::PI;
+
+use marqsim_bench::{header, pct, run_scale};
+use marqsim_core::experiment::{reduction_summary, run_sweep, SweepConfig};
+use marqsim_core::TransitionStrategy;
+use marqsim_hamlib::suite::benchmark_by_name;
+
+fn main() {
+    let scale = run_scale();
+    header("Fig. 16: impact of the evolution time");
+
+    let times = [PI / 6.0, PI / 3.0, PI / 2.0, 3.0 * PI / 4.0];
+    let time_labels = ["pi/6", "pi/3", "pi/2", "3pi/4"];
+
+    println!(
+        "{:<10} {:>8} | {:>14} {:>14} | {:>16} {:>16}",
+        "Benchmark", "t", "GC CNOT", "GC total", "GC-RP CNOT", "GC-RP total"
+    );
+
+    let mut gc_by_time = vec![Vec::new(); times.len()];
+    for name in ["Na+", "OH-"] {
+        let bench = benchmark_by_name(name, scale.suite).expect("benchmark exists");
+        for (ti, (&t, label)) in times.iter().zip(time_labels.iter()).enumerate() {
+            let config = SweepConfig {
+                time: t,
+                epsilons: vec![0.1, 0.05],
+                repeats: scale.repeats,
+                base_seed: 23,
+                evaluate_fidelity: false,
+            };
+            let baseline =
+                run_sweep(&bench.hamiltonian, &TransitionStrategy::QDrift, &config).unwrap();
+            let gc =
+                run_sweep(&bench.hamiltonian, &TransitionStrategy::marqsim_gc(), &config).unwrap();
+            let gcrp = run_sweep(
+                &bench.hamiltonian,
+                &TransitionStrategy::marqsim_gc_rp(),
+                &config,
+            )
+            .unwrap();
+            let gc_summary = reduction_summary(&baseline, &gc);
+            let gcrp_summary = reduction_summary(&baseline, &gcrp);
+            gc_by_time[ti].push(gc_summary.cnot_reduction);
+            println!(
+                "{:<10} {:>8} | {:>14} {:>14} | {:>16} {:>16}",
+                name,
+                label,
+                pct(gc_summary.cnot_reduction),
+                pct(gc_summary.total_reduction),
+                pct(gcrp_summary.cnot_reduction),
+                pct(gcrp_summary.total_reduction)
+            );
+        }
+    }
+
+    println!();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let averages: Vec<String> = gc_by_time.iter().map(|v| pct(mean(v))).collect();
+    println!(
+        "average MarQSim-GC CNOT reduction per t: {}  (paper: 21.8% / 24.7% / 17.9% / 24.8%)",
+        averages.join(" / ")
+    );
+}

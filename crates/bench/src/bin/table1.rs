@@ -1,0 +1,32 @@
+//! Regenerates **Table 1**: the benchmark inventory (name, qubit count,
+//! Pauli-string count, evolution time), plus the coefficient 1-norm λ that
+//! determines the qDRIFT sample count.
+//!
+//! Run with `cargo run -p marqsim-bench --bin table1 [--full]`.
+
+use marqsim_bench::{header, run_scale};
+use marqsim_hamlib::suite::table1_suite;
+
+fn main() {
+    let scale = run_scale();
+    header("Table 1: Benchmark Information");
+    println!(
+        "{:<16} {:>7} {:>14} {:>10} {:>10}",
+        "Benchmark", "Qubit#", "Pauli String#", "Time", "lambda"
+    );
+    for bench in table1_suite(scale.suite) {
+        println!(
+            "{:<16} {:>7} {:>14} {:>10.4} {:>10.3}",
+            bench.name,
+            bench.qubits,
+            bench.pauli_strings,
+            bench.time,
+            bench.hamiltonian.lambda()
+        );
+    }
+    println!();
+    println!(
+        "(scale: {:?}; pass --full for the paper-sized suite)",
+        scale.suite
+    );
+}

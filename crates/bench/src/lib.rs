@@ -1,0 +1,85 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index). All of them accept
+//! a `--full` flag (or `MARQSIM_SCALE=full`) to run at the paper's benchmark
+//! sizes; the default is a reduced scale that finishes in minutes on a
+//! laptop while preserving the qualitative shape of every result.
+
+use std::time::Instant;
+
+use marqsim_hamlib::suite::SuiteScale;
+
+/// Runtime scale selection shared by the binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Suite scale (benchmark sizes).
+    pub suite: SuiteScale,
+    /// Repetitions per configuration.
+    pub repeats: usize,
+    /// Whether fidelity evaluation is enabled by default.
+    pub fidelity: bool,
+}
+
+/// Parses the scale from the command line / environment: `--full` or
+/// `MARQSIM_SCALE=full` selects the paper-sized run.
+pub fn run_scale() -> RunScale {
+    let full = std::env::args().any(|a| a == "--full")
+        || std::env::var("MARQSIM_SCALE").map(|v| v == "full").unwrap_or(false);
+    if full {
+        RunScale {
+            suite: SuiteScale::Full,
+            repeats: 10,
+            fidelity: false,
+        }
+    } else {
+        RunScale {
+            suite: SuiteScale::Reduced,
+            repeats: 5,
+            fidelity: true,
+        }
+    }
+}
+
+/// Prints a section header in a consistent format.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Times a closure and returns `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_reduced() {
+        // The test binary is not passed --full.
+        if std::env::var("MARQSIM_SCALE").is_err() {
+            assert_eq!(run_scale().suite, SuiteScale::Reduced);
+        }
+    }
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (value, secs) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.251), "25.1%");
+    }
+}

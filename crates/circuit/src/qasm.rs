@@ -1,0 +1,76 @@
+//! OpenQASM 2.0 export.
+//!
+//! Compiled circuits can be exported to an OpenQASM 2.0 program so they can
+//! be inspected or handed to external toolchains. Global phases have no QASM
+//! representation and are emitted as comments.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, Gate};
+
+/// Renders the circuit as an OpenQASM 2.0 program.
+///
+/// # Example
+///
+/// ```
+/// use marqsim_circuit::{qasm, Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cnot { control: 0, target: 1 });
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("OPENQASM 2.0"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for gate in circuit.gates() {
+        match gate {
+            Gate::GlobalPhase(phi) => {
+                let _ = writeln!(out, "// global phase: {phi}");
+            }
+            g => {
+                let _ = writeln!(out, "{g};");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_register_are_emitted() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn gates_are_emitted_in_order() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(1));
+        c.push(Gate::Rz(0, 0.5));
+        c.push(Gate::Cnot { control: 1, target: 0 });
+        let q = to_qasm(&c);
+        let h_pos = q.find("h q[1];").unwrap();
+        let rz_pos = q.find("rz(0.5) q[0];").unwrap();
+        let cx_pos = q.find("cx q[1],q[0];").unwrap();
+        assert!(h_pos < rz_pos && rz_pos < cx_pos);
+    }
+
+    #[test]
+    fn global_phase_becomes_comment() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::GlobalPhase(1.25));
+        let q = to_qasm(&c);
+        assert!(q.contains("// global phase: 1.25"));
+        assert!(!q.contains("1.25;"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Gate-count and depth statistics.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Summary statistics of a compiled circuit.
+///
+/// The evaluation of the paper reports CNOT counts (its primary metric),
+/// single-qubit counts and total gate counts (Fig. 13, 14, 16); this struct
+/// is what every experiment driver records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateStats {
+    /// Number of CNOT gates.
+    pub cnot: usize,
+    /// Number of single-qubit gates.
+    pub single_qubit: usize,
+    /// Number of `Rz` rotations (a subset of `single_qubit`).
+    pub rz: usize,
+    /// Total gate count (CNOT + single-qubit).
+    pub total: usize,
+    /// Circuit depth.
+    pub depth: usize,
+}
+
+impl GateStats {
+    /// Relative reduction of the CNOT count compared to `baseline`, as a
+    /// fraction in `[0, 1]` (negative if this circuit is worse).
+    pub fn cnot_reduction_vs(&self, baseline: &GateStats) -> f64 {
+        if baseline.cnot == 0 {
+            return 0.0;
+        }
+        1.0 - self.cnot as f64 / baseline.cnot as f64
+    }
+
+    /// Relative reduction of the total gate count compared to `baseline`.
+    pub fn total_reduction_vs(&self, baseline: &GateStats) -> f64 {
+        if baseline.total == 0 {
+            return 0.0;
+        }
+        1.0 - self.total as f64 / baseline.total as f64
+    }
+}
+
+impl Add for GateStats {
+    type Output = GateStats;
+    fn add(self, rhs: GateStats) -> GateStats {
+        GateStats {
+            cnot: self.cnot + rhs.cnot,
+            single_qubit: self.single_qubit + rhs.single_qubit,
+            rz: self.rz + rhs.rz,
+            total: self.total + rhs.total,
+            // Depth of a concatenation is at most the sum.
+            depth: self.depth + rhs.depth,
+        }
+    }
+}
+
+impl fmt::Display for GateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cnot={} 1q={} rz={} total={} depth={}",
+            self.cnot, self.single_qubit, self.rz, self.total, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions() {
+        let baseline = GateStats {
+            cnot: 100,
+            single_qubit: 50,
+            rz: 20,
+            total: 150,
+            depth: 80,
+        };
+        let optimized = GateStats {
+            cnot: 75,
+            single_qubit: 45,
+            rz: 20,
+            total: 120,
+            depth: 70,
+        };
+        assert!((optimized.cnot_reduction_vs(&baseline) - 0.25).abs() < 1e-12);
+        assert!((optimized.total_reduction_vs(&baseline) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_against_empty_baseline_is_zero() {
+        let empty = GateStats::default();
+        let other = GateStats {
+            cnot: 5,
+            ..Default::default()
+        };
+        assert_eq!(other.cnot_reduction_vs(&empty), 0.0);
+        assert_eq!(other.total_reduction_vs(&empty), 0.0);
+    }
+
+    #[test]
+    fn addition_sums_fields() {
+        let a = GateStats {
+            cnot: 1,
+            single_qubit: 2,
+            rz: 1,
+            total: 3,
+            depth: 2,
+        };
+        let b = GateStats {
+            cnot: 10,
+            single_qubit: 20,
+            rz: 5,
+            total: 30,
+            depth: 7,
+        };
+        let c = a + b;
+        assert_eq!(c.cnot, 11);
+        assert_eq!(c.total, 33);
+        assert_eq!(c.depth, 9);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = GateStats {
+            cnot: 3,
+            single_qubit: 4,
+            rz: 2,
+            total: 7,
+            depth: 5,
+        }
+        .to_string();
+        assert!(s.contains("cnot=3"));
+        assert!(s.contains("depth=5"));
+    }
+}

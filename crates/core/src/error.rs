@@ -1,0 +1,87 @@
+//! Compiler error type.
+
+use std::fmt;
+
+use marqsim_flow::bipartite::BipartiteError;
+use marqsim_markov::combine::CombineError;
+use marqsim_markov::TransitionError;
+
+/// Errors produced by the MarQSim compiler.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The requested precision or evolution time is invalid (non-positive,
+    /// NaN, …).
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// The constructed transition matrix failed validation.
+    Transition(TransitionError),
+    /// Combining transition matrices failed.
+    Combine(CombineError),
+    /// The min-cost-flow model could not be solved.
+    Flow(BipartiteError),
+    /// The final transition matrix violates a Theorem 4.1 condition.
+    TheoremViolation {
+        /// Which condition failed.
+        condition: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CompileError::Transition(e) => write!(f, "invalid transition matrix: {e}"),
+            CompileError::Combine(e) => write!(f, "transition matrix combination failed: {e}"),
+            CompileError::Flow(e) => write!(f, "min-cost flow model failed: {e}"),
+            CompileError::TheoremViolation { condition } => {
+                write!(f, "transition matrix violates theorem 4.1: {condition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<TransitionError> for CompileError {
+    fn from(e: TransitionError) -> Self {
+        CompileError::Transition(e)
+    }
+}
+
+impl From<CombineError> for CompileError {
+    fn from(e: CombineError) -> Self {
+        CompileError::Combine(e)
+    }
+}
+
+impl From<BipartiteError> for CompileError {
+    fn from(e: BipartiteError) -> Self {
+        CompileError::Flow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CompileError::InvalidConfig {
+            reason: "epsilon must be positive".to_string(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+        let t = CompileError::TheoremViolation {
+            condition: "strong connectivity",
+        };
+        assert!(t.to_string().contains("strong connectivity"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let te = TransitionError::Empty;
+        let ce: CompileError = te.into();
+        assert!(matches!(ce, CompileError::Transition(_)));
+    }
+}

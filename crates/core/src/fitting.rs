@@ -1,0 +1,218 @@
+//! Data processing for the evaluation figures (§6.1, Fig. 12).
+//!
+//! The raw data of every figure is a cloud of `(accuracy, gate count)` points
+//! clustered by the target precision `ε`. The paper averages each cluster and
+//! fits `y = a + exp(b·x + c)` so that configurations can be compared at the
+//! same accuracy. This module provides:
+//!
+//! * [`cluster_mean_std`] — per-cluster mean and standard deviation,
+//! * [`ExponentialFit`] — the `a + exp(bx + c)` least-squares fit,
+//! * [`interpolate_at`] — monotone linear interpolation used when a full fit
+//!   is unnecessary (and by the reduction summaries).
+
+/// Mean and (population) standard deviation of a slice.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Groups `(key, value)` pairs by key (exact equality of the `f64` key bits
+/// is not required — keys within `tol` are clustered together) and returns
+/// `(key, mean, std)` per cluster, sorted by key.
+pub fn cluster_mean_std(points: &[(f64, f64)], tol: f64) -> Vec<(f64, f64, f64)> {
+    let mut clusters: Vec<(f64, Vec<f64>)> = Vec::new();
+    for &(key, value) in points {
+        match clusters.iter_mut().find(|(k, _)| (*k - key).abs() <= tol) {
+            Some((_, values)) => values.push(value),
+            None => clusters.push((key, vec![value])),
+        }
+    }
+    clusters.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+    clusters
+        .into_iter()
+        .map(|(k, values)| {
+            let (mean, std) = mean_std(&values);
+            (k, mean, std)
+        })
+        .collect()
+}
+
+/// The exponential fit `y = a + exp(b·x + c)` used in Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialFit {
+    /// Vertical offset.
+    pub a: f64,
+    /// Exponential rate.
+    pub b: f64,
+    /// Exponential offset.
+    pub c: f64,
+    /// Residual sum of squares of the fit.
+    pub rss: f64,
+}
+
+impl ExponentialFit {
+    /// Evaluates the fitted curve at `x`.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        self.a + (self.b * x + self.c).exp()
+    }
+}
+
+/// Fits `y = a + exp(b·x + c)` by scanning the rate `b` over a grid and
+/// solving the remaining linear least-squares problem (`y = a + k·e^{bx}`
+/// with `k = e^c`) in closed form for each candidate.
+///
+/// Returns `None` when fewer than three points are supplied or no candidate
+/// produces a positive `k`.
+pub fn fit_exponential(points: &[(f64, f64)]) -> Option<ExponentialFit> {
+    if points.len() < 3 {
+        return None;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let x_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (x_max - x_min).max(1e-9);
+
+    let mut best: Option<ExponentialFit> = None;
+    // Candidate rates cover gentle to steep growth over the data span, both
+    // signs.
+    for i in 1..=400 {
+        let magnitude = 20.0 * i as f64 / 400.0 / span;
+        for b in [magnitude, -magnitude] {
+            // Linear least squares for y = a + k e^{bx}.
+            let e: Vec<f64> = xs.iter().map(|&x| (b * (x - x_min)).exp()).collect();
+            let n = xs.len() as f64;
+            let se: f64 = e.iter().sum();
+            let sy: f64 = ys.iter().sum();
+            let see: f64 = e.iter().map(|v| v * v).sum();
+            let sey: f64 = e.iter().zip(ys.iter()).map(|(v, y)| v * y).sum();
+            let det = n * see - se * se;
+            if det.abs() < 1e-12 {
+                continue;
+            }
+            let a = (sy * see - se * sey) / det;
+            let k = (n * sey - se * sy) / det;
+            if k <= 0.0 {
+                continue;
+            }
+            let rss: f64 = xs
+                .iter()
+                .zip(ys.iter())
+                .map(|(&x, &y)| {
+                    let pred = a + k * (b * (x - x_min)).exp();
+                    (pred - y) * (pred - y)
+                })
+                .sum();
+            // Convert k e^{b(x - x_min)} into e^{bx + c}.
+            let c = k.ln() - b * x_min;
+            let candidate = ExponentialFit { a, b, c, rss };
+            if best.as_ref().map(|f| rss < f.rss).unwrap_or(true) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+/// Linear interpolation of `y` at `x` on a piecewise-linear curve given by
+/// `(x, y)` points (sorted internally). Clamps to the end points outside the
+/// data range. Returns `None` for an empty input.
+pub fn interpolate_at(points: &[(f64, f64)], x: f64) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<(f64, f64)> = points.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+    if x <= sorted[0].0 {
+        return Some(sorted[0].1);
+    }
+    if x >= sorted[sorted.len() - 1].0 {
+        return Some(sorted[sorted.len() - 1].1);
+    }
+    for w in sorted.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x0 <= x && x <= x1 {
+            if (x1 - x0).abs() < 1e-15 {
+                return Some((y0 + y1) / 2.0);
+            }
+            let frac = (x - x0) / (x1 - x0);
+            return Some(y0 + frac * (y1 - y0));
+        }
+    }
+    Some(sorted[sorted.len() - 1].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn clustering_groups_nearby_keys() {
+        let points = vec![
+            (0.99, 10.0),
+            (0.9901, 12.0),
+            (0.995, 20.0),
+            (0.995, 22.0),
+            (0.999, 30.0),
+        ];
+        let clusters = cluster_mean_std(&points, 1e-3);
+        assert_eq!(clusters.len(), 3);
+        assert!((clusters[0].1 - 11.0).abs() < 1e-9);
+        assert!((clusters[1].1 - 21.0).abs() < 1e-9);
+        assert!((clusters[2].2 - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_known_parameters() {
+        let (a, b, c) = (100.0, 8.0, -2.0);
+        let points: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = 0.97 + 0.0015 * i as f64;
+                (x, a + (b * x + c).exp())
+            })
+            .collect();
+        let fit = fit_exponential(&points).unwrap();
+        for &(x, y) in &points {
+            let rel = (fit.evaluate(x) - y).abs() / y;
+            assert!(rel < 0.05, "poor fit at {x}: {} vs {y}", fit.evaluate(x));
+        }
+    }
+
+    #[test]
+    fn exponential_fit_requires_three_points() {
+        assert!(fit_exponential(&[(0.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn interpolation_is_exact_on_data_points_and_clamps_outside() {
+        let points = vec![(1.0, 10.0), (2.0, 20.0), (3.0, 40.0)];
+        assert!((interpolate_at(&points, 2.0).unwrap() - 20.0).abs() < 1e-12);
+        assert!((interpolate_at(&points, 1.5).unwrap() - 15.0).abs() < 1e-12);
+        assert!((interpolate_at(&points, 0.0).unwrap() - 10.0).abs() < 1e-12);
+        assert!((interpolate_at(&points, 9.0).unwrap() - 40.0).abs() < 1e-12);
+        assert!(interpolate_at(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn interpolation_handles_unsorted_input() {
+        let points = vec![(3.0, 40.0), (1.0, 10.0), (2.0, 20.0)];
+        assert!((interpolate_at(&points, 2.5).unwrap() - 30.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! The random-perturbation transition matrix `P_rp` (§5.5).
+//!
+//! Adding a small random perturbation to the min-cost-flow edge costs and
+//! averaging the resulting transition matrices spreads the eigenvectors of
+//! the combined matrix, pushing its sub-dominant eigenvalues down (Fig. 15)
+//! and therefore reducing the sampling variance — without touching the
+//! capacity constraints that guarantee correctness.
+//!
+//! Following §6.1, each perturbation adds `+1` to the CNOT cost of an edge
+//! independently with probability `1/2`, and `P_rp` is the average over a
+//! configurable number of perturbed solutions (100 in the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use marqsim_markov::combine::combine;
+use marqsim_markov::TransitionMatrix;
+use marqsim_pauli::Hamiltonian;
+
+use crate::gate_cancel::{cnot_cost_matrix, matrix_from_costs};
+use crate::CompileError;
+
+/// Configuration of the random-perturbation matrix construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbationConfig {
+    /// Number of independently perturbed min-cost-flow problems to average.
+    pub samples: usize,
+    /// Magnitude added to an edge cost when it is perturbed.
+    pub magnitude: f64,
+    /// Probability that any given edge cost is perturbed.
+    pub probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PerturbationConfig {
+    fn default() -> Self {
+        PerturbationConfig {
+            samples: 20,
+            magnitude: 1.0,
+            probability: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds `P_rp`: the average of transition matrices obtained from randomly
+/// perturbed min-cost-flow problems.
+///
+/// # Errors
+///
+/// Propagates failures of the underlying flow solves or of the final
+/// averaging step.
+pub fn random_perturbation_matrix(
+    ham: &Hamiltonian,
+    config: &PerturbationConfig,
+) -> Result<TransitionMatrix, CompileError> {
+    assert!(config.samples > 0, "need at least one perturbation sample");
+    let base_costs = cnot_cost_matrix(ham);
+    let n = ham.num_terms();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut matrices = Vec::with_capacity(config.samples);
+    for _ in 0..config.samples {
+        let mut costs = base_costs.clone();
+        for (i, row) in costs.iter_mut().enumerate() {
+            for (j, value) in row.iter_mut().enumerate() {
+                if i != j && rng.gen::<f64>() < config.probability {
+                    *value += config.magnitude;
+                }
+            }
+        }
+        let (matrix, _) = matrix_from_costs(ham, &costs)?;
+        matrices.push(matrix);
+    }
+    let weights = vec![1.0 / config.samples as f64; config.samples];
+    let _ = n;
+    combine(&matrices, &weights).map_err(CompileError::Combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate_cancel::gate_cancellation_matrix;
+    use crate::qdrift::qdrift_matrix;
+    use marqsim_markov::combine::combine;
+    use marqsim_markov::spectra::spectrum;
+
+    fn example() -> Hamiltonian {
+        // Example 5.3 of the paper.
+        Hamiltonian::parse("1.0 IIIZY + 1.0 XXIII + 0.7 ZXZYI + 0.5 IIZZX + 0.3 XXYYZ").unwrap()
+    }
+
+    #[test]
+    fn preserves_the_stationary_distribution() {
+        let ham = example();
+        let p_rp = random_perturbation_matrix(&ham, &PerturbationConfig::default()).unwrap();
+        assert!(p_rp.preserves_distribution(&ham.stationary_distribution(), 1e-8));
+    }
+
+    #[test]
+    fn is_deterministic_given_a_seed() {
+        let ham = example();
+        let config = PerturbationConfig {
+            samples: 5,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = random_perturbation_matrix(&ham, &config).unwrap();
+        let b = random_perturbation_matrix(&ham, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn differs_from_the_unperturbed_gate_cancellation_matrix() {
+        let ham = example();
+        let p_gc = gate_cancellation_matrix(&ham).unwrap();
+        let p_rp = random_perturbation_matrix(
+            &ham,
+            &PerturbationConfig {
+                samples: 10,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let max_diff = (0..ham.num_terms())
+            .flat_map(|i| (0..ham.num_terms()).map(move |j| (i, j)))
+            .map(|(i, j)| (p_gc.prob(i, j) - p_rp.prob(i, j)).abs())
+            .fold(0.0, f64::max);
+        assert!(max_diff > 1e-3, "perturbation should change the matrix");
+    }
+
+    #[test]
+    fn perturbed_combination_has_smaller_subdominant_mass() {
+        // The §6.4 observation: replacing part of the P_gc weight with P_rp
+        // lowers the sub-dominant spectrum (faster convergence).
+        let ham = example();
+        let pi = ham.stationary_distribution();
+        let p_qd = qdrift_matrix(&ham);
+        let p_gc = gate_cancellation_matrix(&ham).unwrap();
+        let p_rp = random_perturbation_matrix(
+            &ham,
+            &PerturbationConfig {
+                samples: 30,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let without = combine(&[p_qd.clone(), p_gc.clone()], &[0.4, 0.6]).unwrap();
+        let with = combine(&[p_qd, p_gc, p_rp], &[0.4, 0.3, 0.3]).unwrap();
+        assert!(without.preserves_distribution(&pi, 1e-8));
+        assert!(with.preserves_distribution(&pi, 1e-8));
+        let mass_without = spectrum(&without).subdominant_mass();
+        let mass_with = spectrum(&with).subdominant_mass();
+        assert!(
+            mass_with <= mass_without + 1e-9,
+            "perturbation should not increase the sub-dominant mass ({mass_with} vs {mass_without})"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The qDRIFT transition matrix (Corollary 4.1).
+//!
+//! qDRIFT samples each term independently from `π_j = |h_j| / λ`. In the
+//! MarQSim framework this is the rank-one transition matrix whose every row
+//! equals `π`. It trivially satisfies both Theorem 4.1 conditions (all
+//! entries are positive, and `π P = π`), and it is the component that
+//! guarantees strong connectivity of any combined matrix (§5.3).
+
+use marqsim_markov::TransitionMatrix;
+use marqsim_pauli::Hamiltonian;
+
+/// Builds `P_qd`, the qDRIFT transition matrix of a Hamiltonian.
+///
+/// # Example
+///
+/// ```
+/// use marqsim_core::qdrift::qdrift_matrix;
+/// use marqsim_pauli::Hamiltonian;
+///
+/// # fn main() -> Result<(), marqsim_pauli::ParseError> {
+/// let ham = Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY")?;
+/// let p = qdrift_matrix(&ham);
+/// assert!((p.prob(2, 0) - 0.5).abs() < 1e-12);
+/// assert!(p.is_strongly_connected());
+/// # Ok(())
+/// # }
+/// ```
+pub fn qdrift_matrix(ham: &Hamiltonian) -> TransitionMatrix {
+    TransitionMatrix::from_stationary(&ham.stationary_distribution())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marqsim_markov::spectra::spectrum;
+
+    fn example() -> Hamiltonian {
+        Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").unwrap()
+    }
+
+    #[test]
+    fn matches_corollary_4_1_example() {
+        let p = qdrift_matrix(&example());
+        let expected = [0.5, 0.25, 0.2, 0.05];
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((p.prob(i, j) - expected[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_theorem_4_1() {
+        let ham = example();
+        let p = qdrift_matrix(&ham);
+        let pi = ham.stationary_distribution();
+        assert!(p.is_strongly_connected());
+        assert!(p.preserves_distribution(&pi, 1e-12));
+    }
+
+    #[test]
+    fn spectrum_is_rank_one() {
+        let p = qdrift_matrix(&example());
+        let s = spectrum(&p);
+        assert!((s.values[0] - 1.0).abs() < 1e-8);
+        assert!(s.subdominant() < 1e-8);
+    }
+
+    #[test]
+    fn negative_coefficients_use_absolute_values() {
+        let ham = Hamiltonian::parse("-1.0 XX + 0.5 ZZ + -0.5 XY").unwrap();
+        let p = qdrift_matrix(&ham);
+        assert!((p.prob(0, 0) - 0.5).abs() < 1e-12);
+        assert!((p.prob(0, 1) - 0.25).abs() < 1e-12);
+        assert!((p.prob(0, 2) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! The one-dimensional Fermi–Hubbard model.
+//!
+//! `H = -t Σ_{⟨i,j⟩,σ} (a†_{iσ} a_{jσ} + h.c.) + U Σ_i n_{i↑} n_{i↓}`
+//!
+//! Spin-orbital layout: site `i` spin-up is mode `2i`, spin-down is mode
+//! `2i + 1`, so an `L`-site chain uses `2L` qubits after Jordan–Wigner.
+
+use marqsim_pauli::Hamiltonian;
+
+use crate::jordan_wigner::{transform, JwError};
+use crate::FermionOperator;
+
+/// Parameters of the 1D Hubbard chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HubbardParams {
+    /// Number of lattice sites.
+    pub sites: usize,
+    /// Hopping amplitude `t`.
+    pub hopping: f64,
+    /// On-site interaction `U`.
+    pub interaction: f64,
+    /// Whether the chain has periodic boundary conditions.
+    pub periodic: bool,
+}
+
+impl Default for HubbardParams {
+    fn default() -> Self {
+        HubbardParams {
+            sites: 4,
+            hopping: 1.0,
+            interaction: 4.0,
+            periodic: false,
+        }
+    }
+}
+
+/// Builds the second-quantized Hubbard Hamiltonian.
+///
+/// # Panics
+///
+/// Panics if `sites == 0`.
+pub fn hubbard_operator(params: &HubbardParams) -> FermionOperator {
+    assert!(params.sites > 0, "Hubbard chain needs at least one site");
+    let l = params.sites;
+    let mode_up = |i: usize| 2 * i;
+    let mode_down = |i: usize| 2 * i + 1;
+    let mut op = FermionOperator::new(2 * l);
+
+    // Hopping.
+    let bonds: Vec<(usize, usize)> = if params.periodic && l > 2 {
+        (0..l).map(|i| (i, (i + 1) % l)).collect()
+    } else {
+        (0..l.saturating_sub(1)).map(|i| (i, i + 1)).collect()
+    };
+    for (i, j) in bonds {
+        op.add_hopping(mode_up(i), mode_up(j), -params.hopping);
+        op.add_hopping(mode_down(i), mode_down(j), -params.hopping);
+    }
+
+    // On-site interaction U n_up n_down, expressed with ladder operators
+    // a†_up a_up a†_down a_down (the two number operators commute).
+    for i in 0..l {
+        op.add_term(
+            params.interaction,
+            vec![
+                crate::LadderOp::create(mode_up(i)),
+                crate::LadderOp::annihilate(mode_up(i)),
+                crate::LadderOp::create(mode_down(i)),
+                crate::LadderOp::annihilate(mode_down(i)),
+            ],
+        );
+    }
+    op
+}
+
+/// Builds the qubit Hamiltonian of the Hubbard chain via Jordan–Wigner.
+///
+/// # Errors
+///
+/// Propagates [`JwError`] (which cannot occur for valid parameters since the
+/// operator is Hermitian by construction, but is surfaced rather than
+/// unwrapped).
+pub fn hubbard_hamiltonian(params: &HubbardParams) -> Result<Hamiltonian, JwError> {
+    transform(&hubbard_operator(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_count_is_twice_the_site_count() {
+        let ham = hubbard_hamiltonian(&HubbardParams {
+            sites: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(ham.num_qubits(), 6);
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian() {
+        let ham = hubbard_hamiltonian(&HubbardParams {
+            sites: 2,
+            hopping: 1.0,
+            interaction: 2.0,
+            periodic: false,
+        })
+        .unwrap();
+        assert!(ham.to_matrix().is_hermitian(1e-9));
+    }
+
+    #[test]
+    fn single_site_has_only_interaction_terms() {
+        let ham = hubbard_hamiltonian(&HubbardParams {
+            sites: 1,
+            hopping: 1.0,
+            interaction: 4.0,
+            periodic: false,
+        })
+        .unwrap();
+        // U n_up n_down = U/4 (I - Z_up)(I - Z_down): ZZ, ZI, IZ after
+        // dropping the identity.
+        assert_eq!(ham.num_terms(), 3);
+        for term in ham.terms() {
+            assert!((term.coefficient.abs() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn periodic_chain_has_more_hopping_terms_than_open_chain() {
+        let open = hubbard_hamiltonian(&HubbardParams {
+            sites: 4,
+            periodic: false,
+            ..Default::default()
+        })
+        .unwrap();
+        let periodic = hubbard_hamiltonian(&HubbardParams {
+            sites: 4,
+            periodic: true,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(periodic.num_terms() > open.num_terms());
+    }
+
+    #[test]
+    fn two_site_spectrum_contains_known_energies() {
+        use crate::jordan_wigner::transform_with_options;
+        use marqsim_linalg::hermitian_eigen;
+        // Keep the identity term so the spectrum matches the textbook
+        // Fock-space energies. The two-site Hubbard model has single-particle
+        // energies ±t and a half-filled ground state at
+        // (U - sqrt(U^2 + 16 t^2)) / 2.
+        let t = 1.0;
+        let u = 4.0;
+        let op = hubbard_operator(&HubbardParams {
+            sites: 2,
+            hopping: t,
+            interaction: u,
+            periodic: false,
+        });
+        let ham = transform_with_options(&op, false).unwrap();
+        let eig = hermitian_eigen(&ham.to_matrix());
+        let half_filled = (u - (u * u + 16.0 * t * t).sqrt()) / 2.0;
+        for expected in [-t, t, half_filled, 0.0] {
+            assert!(
+                eig.eigenvalues.iter().any(|&e| (e - expected).abs() < 1e-8),
+                "energy {expected} missing from spectrum {:?}",
+                eig.eigenvalues
+            );
+        }
+        // The absolute ground state over all particle sectors is the
+        // single-particle bonding orbital at -t.
+        assert!((eig.eigenvalues[0] + t).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fermionic operators and model-Hamiltonian generators.
+//!
+//! The paper's benchmarks are electronic-structure Hamiltonians generated
+//! with PySCF + Qiskit Nature (Jordan–Wigner mapping, frozen cores) plus SYK
+//! models from quantum field theory (Table 1). Those toolchains are not
+//! available to this reproduction, so this crate rebuilds the part of the
+//! pipeline the compiler actually consumes:
+//!
+//! * [`FermionOperator`] — sums of products of creation/annihilation
+//!   operators on spin-orbitals (second quantization).
+//! * [`jordan_wigner`] — the Jordan–Wigner fermion-to-qubit transform,
+//!   producing [`marqsim_pauli::Hamiltonian`] values.
+//! * [`molecular`] — a seeded synthetic electronic-structure generator whose
+//!   output has the coefficient decay and Pauli-string structure typical of
+//!   small-molecule Hamiltonians (the substitution for PySCF documented in
+//!   `DESIGN.md`).
+//! * [`hubbard`] — the 1D Fermi–Hubbard model.
+//! * [`syk`] — the Sachdev–Ye–Kitaev model with Gaussian four-Majorana
+//!   couplings.
+//!
+//! # Example
+//!
+//! ```
+//! use marqsim_fermion::{jordan_wigner, FermionOperator};
+//!
+//! // Hopping between two spin-orbitals: a†_0 a_1 + a†_1 a_0.
+//! let mut op = FermionOperator::new(2);
+//! op.add_one_body(0, 1, 0.5);
+//! op.add_one_body(1, 0, 0.5);
+//! let ham = jordan_wigner::transform(&op).unwrap();
+//! assert_eq!(ham.num_qubits(), 2);
+//! assert_eq!(ham.num_terms(), 2); // 0.25 XX + 0.25 YY
+//! ```
+
+mod op;
+
+pub mod hubbard;
+pub mod jordan_wigner;
+pub mod molecular;
+pub mod syk;
+
+pub use op::{FermionOperator, FermionTerm, LadderOp};

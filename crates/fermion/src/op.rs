@@ -1,0 +1,201 @@
+//! Second-quantized fermionic operators.
+
+use std::fmt;
+
+/// A single ladder operator: creation (`a†_mode`) or annihilation (`a_mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LadderOp {
+    /// The spin-orbital (mode) index.
+    pub mode: usize,
+    /// `true` for a creation operator `a†`, `false` for annihilation `a`.
+    pub creation: bool,
+}
+
+impl LadderOp {
+    /// Creation operator on `mode`.
+    pub fn create(mode: usize) -> Self {
+        LadderOp {
+            mode,
+            creation: true,
+        }
+    }
+
+    /// Annihilation operator on `mode`.
+    pub fn annihilate(mode: usize) -> Self {
+        LadderOp {
+            mode,
+            creation: false,
+        }
+    }
+}
+
+impl fmt::Display for LadderOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.creation {
+            write!(f, "a†_{}", self.mode)
+        } else {
+            write!(f, "a_{}", self.mode)
+        }
+    }
+}
+
+/// One term of a fermionic operator: a real coefficient times an ordered
+/// product of ladder operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FermionTerm {
+    /// Real coefficient.
+    pub coefficient: f64,
+    /// Ladder operators, applied right-to-left (rightmost acts first), stored
+    /// left-to-right.
+    pub operators: Vec<LadderOp>,
+}
+
+/// A fermionic operator on a fixed number of spin-orbitals: a sum of
+/// [`FermionTerm`]s.
+///
+/// Only the patterns needed by molecular/Hubbard/SYK Hamiltonians are given
+/// convenience constructors (number operators, one-body and two-body terms),
+/// but arbitrary ladder products can be added with [`Self::add_term`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FermionOperator {
+    num_modes: usize,
+    terms: Vec<FermionTerm>,
+}
+
+impl FermionOperator {
+    /// Creates the zero operator on `num_modes` spin-orbitals.
+    pub fn new(num_modes: usize) -> Self {
+        FermionOperator {
+            num_modes,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Number of spin-orbitals (qubits after Jordan–Wigner).
+    pub fn num_modes(&self) -> usize {
+        self.num_modes
+    }
+
+    /// The terms of the operator.
+    pub fn terms(&self) -> &[FermionTerm] {
+        &self.terms
+    }
+
+    /// Adds an arbitrary ladder-product term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mode index is out of range.
+    pub fn add_term(&mut self, coefficient: f64, operators: Vec<LadderOp>) {
+        for op in &operators {
+            assert!(
+                op.mode < self.num_modes,
+                "mode {} out of range for {} modes",
+                op.mode,
+                self.num_modes
+            );
+        }
+        if coefficient != 0.0 {
+            self.terms.push(FermionTerm {
+                coefficient,
+                operators,
+            });
+        }
+    }
+
+    /// Adds the one-body term `coefficient · a†_p a_q`.
+    pub fn add_one_body(&mut self, p: usize, q: usize, coefficient: f64) {
+        self.add_term(
+            coefficient,
+            vec![LadderOp::create(p), LadderOp::annihilate(q)],
+        );
+    }
+
+    /// Adds the two-body term `coefficient · a†_p a†_q a_r a_s`.
+    pub fn add_two_body(&mut self, p: usize, q: usize, r: usize, s: usize, coefficient: f64) {
+        self.add_term(
+            coefficient,
+            vec![
+                LadderOp::create(p),
+                LadderOp::create(q),
+                LadderOp::annihilate(r),
+                LadderOp::annihilate(s),
+            ],
+        );
+    }
+
+    /// Adds the number operator `coefficient · a†_p a_p`.
+    pub fn add_number(&mut self, p: usize, coefficient: f64) {
+        self.add_one_body(p, p, coefficient);
+    }
+
+    /// Adds a Hermitian hopping pair
+    /// `coefficient · (a†_p a_q + a†_q a_p)` for `p ≠ q`.
+    pub fn add_hopping(&mut self, p: usize, q: usize, coefficient: f64) {
+        self.add_one_body(p, q, coefficient);
+        self.add_one_body(q, p, coefficient);
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+impl fmt::Display for FermionOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, term) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", term.coefficient)?;
+            for op in &term.operators {
+                write!(f, " {op}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_terms() {
+        let mut op = FermionOperator::new(4);
+        op.add_number(2, 1.5);
+        op.add_hopping(0, 1, -0.5);
+        op.add_two_body(0, 1, 2, 3, 0.25);
+        assert_eq!(op.num_terms(), 4);
+        assert_eq!(op.terms()[0].operators.len(), 2);
+        assert_eq!(op.terms()[3].operators.len(), 4);
+        assert_eq!(op.terms()[1].coefficient, -0.5);
+    }
+
+    #[test]
+    fn zero_coefficient_terms_are_dropped() {
+        let mut op = FermionOperator::new(2);
+        op.add_one_body(0, 1, 0.0);
+        assert_eq!(op.num_terms(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_mode_rejected() {
+        let mut op = FermionOperator::new(2);
+        op.add_number(5, 1.0);
+    }
+
+    #[test]
+    fn display_shows_daggers() {
+        let mut op = FermionOperator::new(2);
+        op.add_one_body(0, 1, 0.5);
+        let text = op.to_string();
+        assert!(text.contains("a†_0"));
+        assert!(text.contains("a_1"));
+    }
+}

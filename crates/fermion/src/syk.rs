@@ -1,0 +1,252 @@
+//! The Sachdev–Ye–Kitaev (SYK) model.
+//!
+//! `H = Σ_{i<j<k<l} J_{ijkl} χ_i χ_j χ_k χ_l` with independent Gaussian
+//! couplings `J_{ijkl}` of variance `3! J² / N³`, where the `χ_i` are
+//! Majorana fermions. The paper uses SYK instances from quantum field theory
+//! as two of its benchmarks (Table 1); this module generates them directly in
+//! the qubit picture.
+//!
+//! Under Jordan–Wigner, `N = 2n` Majorana operators live on `n` qubits:
+//!
+//! ```text
+//! χ_{2k}   = Z_0 … Z_{k-1} X_k
+//! χ_{2k+1} = Z_0 … Z_{k-1} Y_k
+//! ```
+//!
+//! A product of four distinct Majoranas is (up to a real sign) a single Pauli
+//! string, so the SYK Hamiltonian is a dense sum of `C(N, 4)` Pauli strings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use marqsim_pauli::{Hamiltonian, PauliOp, PauliString, Term};
+
+/// Parameters of the SYK generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SykParams {
+    /// Number of Majorana fermions `N` (must be even and at least 4); the
+    /// model uses `N / 2` qubits.
+    pub majoranas: usize,
+    /// Overall coupling strength `J`.
+    pub coupling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SykParams {
+    fn default() -> Self {
+        SykParams {
+            majoranas: 8,
+            coupling: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The Jordan–Wigner image of the Majorana operator `χ_index` on
+/// `num_qubits` qubits.
+///
+/// # Panics
+///
+/// Panics if `index >= 2 * num_qubits`.
+pub fn majorana_string(index: usize, num_qubits: usize) -> PauliString {
+    assert!(
+        index < 2 * num_qubits,
+        "majorana index {index} out of range for {num_qubits} qubits"
+    );
+    let qubit = index / 2;
+    let mut ops = vec![PauliOp::I; num_qubits];
+    for q in 0..qubit {
+        ops[q] = PauliOp::Z;
+    }
+    ops[qubit] = if index % 2 == 0 { PauliOp::X } else { PauliOp::Y };
+    PauliString::from_ops(ops)
+}
+
+/// Generates an SYK Hamiltonian instance.
+///
+/// Optionally trims the output to the `max_terms` largest couplings so the
+/// benchmark sizes of Table 1 can be matched exactly.
+///
+/// # Panics
+///
+/// Panics if `majoranas` is odd or smaller than 4.
+pub fn syk_hamiltonian(params: &SykParams, max_terms: Option<usize>) -> Hamiltonian {
+    assert!(
+        params.majoranas >= 4 && params.majoranas % 2 == 0,
+        "SYK needs an even number of at least 4 Majorana fermions"
+    );
+    let n_majorana = params.majoranas;
+    let num_qubits = n_majorana / 2;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Variance 3! J^2 / N^3 as in the standard SYK_4 definition.
+    let sigma = (6.0 * params.coupling * params.coupling
+        / (n_majorana as f64).powi(3))
+    .sqrt();
+
+    let chi: Vec<PauliString> = (0..n_majorana)
+        .map(|i| majorana_string(i, num_qubits))
+        .collect();
+
+    let mut terms = Vec::new();
+    for i in 0..n_majorana {
+        for j in (i + 1)..n_majorana {
+            for k in (j + 1)..n_majorana {
+                for l in (k + 1)..n_majorana {
+                    // Box–Muller transform for a Gaussian coupling.
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    let gaussian =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let coupling = sigma * gaussian;
+
+                    // χ_i χ_j χ_k χ_l is a Pauli string up to a phase; for
+                    // four distinct Majoranas the product is Hermitian, so the
+                    // phase is real (±1).
+                    let (p1, s1) = chi[i].mul(&chi[j]);
+                    let (p2, s2) = s1.mul(&chi[k]);
+                    let (p3, string) = s2.mul(&chi[l]);
+                    let phase = p1 * p2 * p3;
+                    debug_assert!(
+                        phase.im.abs() < 1e-12,
+                        "four-Majorana product must be Hermitian"
+                    );
+                    let coefficient = coupling * phase.re;
+                    if coefficient.abs() > 1e-12 {
+                        terms.push(Term::new(coefficient, string));
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(limit) = max_terms {
+        terms.sort_by(|a, b| {
+            b.coefficient
+                .abs()
+                .partial_cmp(&a.coefficient.abs())
+                .expect("finite couplings")
+        });
+        terms.truncate(limit);
+    }
+
+    Hamiltonian::new(terms).expect("SYK instance always has terms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marqsim_linalg::Matrix;
+
+    #[test]
+    fn majorana_strings_anticommute_pairwise() {
+        let num_qubits = 3;
+        for i in 0..2 * num_qubits {
+            for j in 0..2 * num_qubits {
+                let a = majorana_string(i, num_qubits);
+                let b = majorana_string(j, num_qubits);
+                if i == j {
+                    assert!(a.commutes_with(&b));
+                } else {
+                    assert!(!a.commutes_with(&b), "χ_{i} and χ_{j} must anticommute");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majorana_strings_square_to_identity() {
+        let num_qubits = 4;
+        for i in 0..2 * num_qubits {
+            let chi = majorana_string(i, num_qubits);
+            let m = chi.to_matrix();
+            assert!(m.matmul(&m).approx_eq(&Matrix::identity(1 << num_qubits), 1e-10));
+        }
+    }
+
+    #[test]
+    fn term_count_is_binomial_n_choose_4() {
+        let ham = syk_hamiltonian(
+            &SykParams {
+                majoranas: 8,
+                coupling: 1.0,
+                seed: 9,
+            },
+            None,
+        );
+        // C(8, 4) = 70 couplings on 4 qubits.
+        assert_eq!(ham.num_qubits(), 4);
+        assert!(ham.num_terms() <= 70 && ham.num_terms() >= 60);
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian() {
+        let ham = syk_hamiltonian(
+            &SykParams {
+                majoranas: 8,
+                coupling: 1.0,
+                seed: 2,
+            },
+            None,
+        );
+        assert!(ham.to_matrix().is_hermitian(1e-9));
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let p = SykParams {
+            majoranas: 10,
+            coupling: 0.5,
+            seed: 77,
+        };
+        assert_eq!(syk_hamiltonian(&p, None), syk_hamiltonian(&p, None));
+    }
+
+    #[test]
+    fn truncation_limits_the_term_count() {
+        let ham = syk_hamiltonian(
+            &SykParams {
+                majoranas: 12,
+                coupling: 1.0,
+                seed: 5,
+            },
+            Some(210),
+        );
+        assert_eq!(ham.num_terms(), 210);
+        assert_eq!(ham.num_qubits(), 6);
+    }
+
+    #[test]
+    fn coupling_scale_controls_lambda() {
+        let small = syk_hamiltonian(
+            &SykParams {
+                majoranas: 8,
+                coupling: 0.1,
+                seed: 4,
+            },
+            None,
+        );
+        let large = syk_hamiltonian(
+            &SykParams {
+                majoranas: 8,
+                coupling: 1.0,
+                seed: 4,
+            },
+            None,
+        );
+        assert!(large.lambda() > 5.0 * small.lambda());
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_majorana_count_rejected() {
+        let _ = syk_hamiltonian(
+            &SykParams {
+                majoranas: 7,
+                coupling: 1.0,
+                seed: 1,
+            },
+            None,
+        );
+    }
+}

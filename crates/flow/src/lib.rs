@@ -1,0 +1,38 @@
+//! Minimum-cost flow for the MarQSim transition-matrix optimization.
+//!
+//! §5 of the paper tunes the Markov transition matrix by solving a Min-Cost
+//! Flow Problem on a bipartite network: source → `Prev` terms → `Next` terms
+//! → sink, with the stationary distribution as the capacities of the outer
+//! edges and the pairwise CNOT count as the cost of the inner edges. The
+//! paper uses Python's `networkx` solver; this crate is the from-scratch
+//! replacement:
+//!
+//! * [`FlowNetwork`] — a directed flow network with real-valued capacities
+//!   and costs (Definition 2.7).
+//! * [`FlowNetwork::min_cost_flow`] — successive-shortest-path min-cost flow
+//!   with Johnson potentials (Dijkstra inner loop), supporting fractional
+//!   capacities.
+//! * [`bipartite`] — the MarQSim-shaped bipartite transportation network:
+//!   given a marginal distribution `π` and a cost matrix, it returns the
+//!   optimal flow between `Prev` and `Next` copies of the states.
+//!
+//! # Example
+//!
+//! ```
+//! use marqsim_flow::FlowNetwork;
+//!
+//! // Send one unit from 0 to 3 over two parallel routes with different costs.
+//! let mut net = FlowNetwork::new(4);
+//! net.add_edge(0, 1, 1.0, 1.0);
+//! net.add_edge(1, 3, 1.0, 1.0);
+//! net.add_edge(0, 2, 1.0, 5.0);
+//! net.add_edge(2, 3, 1.0, 5.0);
+//! let result = net.min_cost_flow(0, 3, 1.0).unwrap();
+//! assert!((result.cost - 2.0).abs() < 1e-9);
+//! ```
+
+mod graph;
+
+pub mod bipartite;
+
+pub use graph::{FlowError, FlowNetwork, FlowResult};

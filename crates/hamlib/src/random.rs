@@ -1,0 +1,170 @@
+//! Random Hamiltonians for the scalability study (Table 2).
+//!
+//! §6.6 of the paper benchmarks compilation time on randomly generated
+//! Hamiltonians with 10/20/30 qubits and 100/500/1000 Pauli strings. This
+//! module reproduces that workload generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use marqsim_pauli::{Hamiltonian, PauliOp, PauliString, Term};
+
+/// Parameters of the random-Hamiltonian generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomHamiltonianParams {
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Number of distinct Pauli strings to generate.
+    pub terms: usize,
+    /// Probability that a given qubit of a string is the identity (controls
+    /// the typical Pauli weight; molecular Hamiltonians are sparse in this
+    /// sense).
+    pub identity_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomHamiltonianParams {
+    fn default() -> Self {
+        RandomHamiltonianParams {
+            qubits: 10,
+            terms: 100,
+            identity_bias: 0.6,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random Hamiltonian with the requested number of distinct
+/// Pauli strings and coefficients drawn uniformly from `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `terms == 0`, `qubits == 0`, or more distinct strings are
+/// requested than exist on the given number of qubits.
+pub fn random_hamiltonian(params: &RandomHamiltonianParams) -> Hamiltonian {
+    assert!(params.qubits > 0, "need at least one qubit");
+    assert!(params.terms > 0, "need at least one term");
+    let capacity = 4f64.powi(params.qubits.min(15) as i32);
+    assert!(
+        params.qubits > 15 || (params.terms as f64) < capacity,
+        "cannot generate {} distinct strings on {} qubits",
+        params.terms,
+        params.qubits
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut terms = Vec::with_capacity(params.terms);
+    while terms.len() < params.terms {
+        let ops: Vec<PauliOp> = (0..params.qubits)
+            .map(|_| {
+                if rng.gen::<f64>() < params.identity_bias {
+                    PauliOp::I
+                } else {
+                    match rng.gen_range(0..3) {
+                        0 => PauliOp::X,
+                        1 => PauliOp::Y,
+                        _ => PauliOp::Z,
+                    }
+                }
+            })
+            .collect();
+        let string = PauliString::from_ops(ops);
+        if string.is_identity() || !seen.insert(string.clone()) {
+            continue;
+        }
+        let coefficient = rng.gen::<f64>().max(1e-3);
+        terms.push(Term::new(coefficient, string));
+    }
+    Hamiltonian::new(terms).expect("generator always produces at least one term")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_size() {
+        let ham = random_hamiltonian(&RandomHamiltonianParams {
+            qubits: 10,
+            terms: 100,
+            ..Default::default()
+        });
+        assert_eq!(ham.num_qubits(), 10);
+        assert_eq!(ham.num_terms(), 100);
+    }
+
+    #[test]
+    fn strings_are_distinct_and_non_identity() {
+        let ham = random_hamiltonian(&RandomHamiltonianParams {
+            qubits: 6,
+            terms: 50,
+            ..Default::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for t in ham.terms() {
+            assert!(!t.string.is_identity());
+            assert!(seen.insert(t.string.clone()), "duplicate string {}", t.string);
+            assert!(t.coefficient > 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let p = RandomHamiltonianParams {
+            qubits: 8,
+            terms: 64,
+            identity_bias: 0.5,
+            seed: 99,
+        };
+        assert_eq!(random_hamiltonian(&p), random_hamiltonian(&p));
+        let q = RandomHamiltonianParams { seed: 100, ..p };
+        assert_ne!(random_hamiltonian(&p), random_hamiltonian(&q));
+    }
+
+    #[test]
+    fn identity_bias_controls_average_weight() {
+        let sparse = random_hamiltonian(&RandomHamiltonianParams {
+            qubits: 12,
+            terms: 200,
+            identity_bias: 0.8,
+            seed: 5,
+        });
+        let dense = random_hamiltonian(&RandomHamiltonianParams {
+            qubits: 12,
+            terms: 200,
+            identity_bias: 0.2,
+            seed: 5,
+        });
+        let avg = |h: &Hamiltonian| {
+            h.terms().iter().map(|t| t.string.weight()).sum::<usize>() as f64
+                / h.num_terms() as f64
+        };
+        assert!(avg(&dense) > avg(&sparse) + 2.0);
+    }
+
+    #[test]
+    fn table_2_sizes_generate_quickly() {
+        for &(qubits, terms) in &[(10usize, 100usize), (20, 500), (30, 1000)] {
+            let ham = random_hamiltonian(&RandomHamiltonianParams {
+                qubits,
+                terms,
+                identity_bias: 0.6,
+                seed: 7,
+            });
+            assert_eq!(ham.num_terms(), terms);
+            assert_eq!(ham.num_qubits(), qubits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct strings")]
+    fn impossible_request_is_rejected() {
+        let _ = random_hamiltonian(&RandomHamiltonianParams {
+            qubits: 1,
+            terms: 10,
+            identity_bias: 0.0,
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,107 @@
+//! Spin-chain model Hamiltonians.
+//!
+//! These are not part of the paper's benchmark table, but they are the
+//! canonical "hello world" of Hamiltonian simulation and are used by the
+//! examples and several integration tests.
+
+use marqsim_pauli::{Hamiltonian, PauliOp, PauliString, Term};
+
+/// Builds the 1D transverse-field Ising model
+/// `H = -J Σ Z_i Z_{i+1} - h Σ X_i` on `sites` qubits.
+///
+/// # Panics
+///
+/// Panics if `sites < 2`.
+pub fn transverse_field_ising(sites: usize, coupling: f64, field: f64, periodic: bool) -> Hamiltonian {
+    assert!(sites >= 2, "the Ising chain needs at least two sites");
+    let mut terms = Vec::new();
+    let bonds: Vec<(usize, usize)> = if periodic {
+        (0..sites).map(|i| (i, (i + 1) % sites)).collect()
+    } else {
+        (0..sites - 1).map(|i| (i, i + 1)).collect()
+    };
+    for (i, j) in bonds {
+        let mut ops = vec![PauliOp::I; sites];
+        ops[i] = PauliOp::Z;
+        ops[j] = PauliOp::Z;
+        terms.push(Term::new(-coupling, PauliString::from_ops(ops)));
+    }
+    for i in 0..sites {
+        terms.push(Term::new(-field, PauliString::single(sites, i, PauliOp::X)));
+    }
+    Hamiltonian::new(terms).expect("Ising chain always has terms")
+}
+
+/// Builds the 1D Heisenberg XXZ model
+/// `H = J Σ (X_i X_{i+1} + Y_i Y_{i+1} + Δ Z_i Z_{i+1})`.
+///
+/// # Panics
+///
+/// Panics if `sites < 2`.
+pub fn heisenberg_xxz(sites: usize, coupling: f64, anisotropy: f64, periodic: bool) -> Hamiltonian {
+    assert!(sites >= 2, "the Heisenberg chain needs at least two sites");
+    let mut terms = Vec::new();
+    let bonds: Vec<(usize, usize)> = if periodic {
+        (0..sites).map(|i| (i, (i + 1) % sites)).collect()
+    } else {
+        (0..sites - 1).map(|i| (i, i + 1)).collect()
+    };
+    for (i, j) in bonds {
+        for (op, weight) in [
+            (PauliOp::X, coupling),
+            (PauliOp::Y, coupling),
+            (PauliOp::Z, coupling * anisotropy),
+        ] {
+            if weight == 0.0 {
+                continue;
+            }
+            let mut ops = vec![PauliOp::I; sites];
+            ops[i] = op;
+            ops[j] = op;
+            terms.push(Term::new(weight, PauliString::from_ops(ops)));
+        }
+    }
+    Hamiltonian::new(terms).expect("Heisenberg chain always has terms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ising_term_count_open_and_periodic() {
+        let open = transverse_field_ising(5, 1.0, 0.5, false);
+        assert_eq!(open.num_terms(), 4 + 5);
+        let periodic = transverse_field_ising(5, 1.0, 0.5, true);
+        assert_eq!(periodic.num_terms(), 5 + 5);
+    }
+
+    #[test]
+    fn ising_is_hermitian_with_expected_lambda() {
+        let ham = transverse_field_ising(3, 1.0, 0.5, false);
+        assert!(ham.to_matrix().is_hermitian(1e-12));
+        // 2 bonds of weight 1 + 3 fields of weight 0.5.
+        assert!((ham.lambda() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heisenberg_term_count_and_structure() {
+        let ham = heisenberg_xxz(4, 1.0, 0.5, false);
+        assert_eq!(ham.num_terms(), 3 * 3);
+        for term in ham.terms() {
+            assert_eq!(term.string.weight(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_anisotropy_drops_zz_terms() {
+        let ham = heisenberg_xxz(4, 1.0, 0.0, false);
+        assert_eq!(ham.num_terms(), 3 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sites")]
+    fn single_site_chain_rejected() {
+        let _ = transverse_field_ising(1, 1.0, 1.0, false);
+    }
+}

@@ -1,0 +1,419 @@
+//! Eigenvalues of general (non-symmetric) matrices.
+//!
+//! The spectra analysis in §5.4 of the paper (Fig. 11, Fig. 15) requires the
+//! eigenvalues of Markov transition matrices, which are real but *not*
+//! symmetric and may have complex eigenvalues. We compute them with the
+//! standard dense approach: reduce to upper Hessenberg form with complex
+//! Householder reflections, then run a shifted QR iteration (Wilkinson shift,
+//! explicit Givens-based QR steps) with deflation.
+
+use crate::{Complex, Matrix};
+
+/// Maximum QR iterations per eigenvalue before applying an exceptional shift.
+const MAX_ITERS_PER_EIGENVALUE: usize = 60;
+
+/// Computes the eigenvalues of a general real square matrix.
+///
+/// The eigenvalues are returned sorted by descending magnitude, which is the
+/// order used throughout the spectra analysis of the paper (the leading
+/// eigenvalue of a stochastic matrix is always `1`).
+///
+/// # Panics
+///
+/// Panics if the input is not square.
+///
+/// # Example
+///
+/// ```
+/// use marqsim_linalg::eigenvalues_real;
+///
+/// // 90-degree rotation has eigenvalues ±i.
+/// let eigs = eigenvalues_real(&[vec![0.0, -1.0], vec![1.0, 0.0]]);
+/// assert!((eigs[0].abs() - 1.0).abs() < 1e-10);
+/// assert!(eigs[0].im.abs() > 0.9);
+/// ```
+pub fn eigenvalues_real(rows: &[Vec<f64>]) -> Vec<Complex> {
+    let m = Matrix::from_real_rows(rows);
+    eigenvalues_general(&m)
+}
+
+/// Computes the eigenvalues of a general complex square matrix.
+///
+/// # Panics
+///
+/// Panics if the input is not square.
+pub fn eigenvalues_general(a: &Matrix) -> Vec<Complex> {
+    assert!(a.is_square(), "eigenvalues require a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![a[(0, 0)]];
+    }
+
+    let mut h = hessenberg(a);
+    let mut eigs = qr_eigenvalues(&mut h);
+    eigs.sort_by(|x, y| {
+        y.abs()
+            .partial_cmp(&x.abs())
+            .expect("eigenvalue magnitudes must be finite")
+    });
+    eigs
+}
+
+/// Reduces a square complex matrix to upper Hessenberg form via Householder
+/// reflections (similarity transform, eigenvalues preserved).
+fn hessenberg(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Build the Householder vector for column k, rows k+1..n.
+        let mut x: Vec<Complex> = (k + 1..n).map(|i| h[(i, k)]).collect();
+        let norm_x = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm_x < 1e-300 {
+            continue;
+        }
+        let alpha = if x[0].abs() > 1e-300 {
+            -(x[0] / x[0].abs()) * norm_x
+        } else {
+            Complex::real(-norm_x)
+        };
+        x[0] -= alpha;
+        let vnorm_sq: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sq < 1e-300 {
+            continue;
+        }
+        let v = x;
+        let beta = 2.0 / vnorm_sq;
+
+        // Apply P = I - beta v v^H from the left: rows k+1..n.
+        for j in 0..n {
+            let mut dot = Complex::ZERO;
+            for (idx, i) in (k + 1..n).enumerate() {
+                dot += v[idx].conj() * h[(i, j)];
+            }
+            let dot = dot.scale(beta);
+            for (idx, i) in (k + 1..n).enumerate() {
+                h[(i, j)] -= v[idx] * dot;
+            }
+        }
+        // Apply P from the right: columns k+1..n.
+        for i in 0..n {
+            let mut dot = Complex::ZERO;
+            for (idx, j) in (k + 1..n).enumerate() {
+                dot += h[(i, j)] * v[idx];
+            }
+            let dot = dot.scale(beta);
+            for (idx, j) in (k + 1..n).enumerate() {
+                h[(i, j)] -= dot * v[idx].conj();
+            }
+        }
+        // Explicitly zero the annihilated entries to suppress round-off noise.
+        h[(k + 1, k)] = alpha;
+        for i in (k + 2)..n {
+            h[(i, k)] = Complex::ZERO;
+        }
+    }
+    h
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2x2 block closest to the
+/// bottom-right entry.
+fn wilkinson_shift(h: &Matrix, m: usize) -> Complex {
+    let a = h[(m - 2, m - 2)];
+    let b = h[(m - 2, m - 1)];
+    let c = h[(m - 1, m - 2)];
+    let d = h[(m - 1, m - 1)];
+    let tr = a + d;
+    let disc = ((a - d) * (a - d) + b * c * 4.0).sqrt();
+    let l1 = (tr + disc) * 0.5;
+    let l2 = (tr - disc) * 0.5;
+    if (l1 - d).abs() < (l2 - d).abs() {
+        l1
+    } else {
+        l2
+    }
+}
+
+/// Runs shifted QR iteration with deflation on an upper Hessenberg matrix and
+/// returns its eigenvalues.
+fn qr_eigenvalues(h: &mut Matrix) -> Vec<Complex> {
+    let n = h.rows();
+    let mut eigs = Vec::with_capacity(n);
+    let mut m = n; // Active block is rows/cols 0..m.
+    let mut iter_count = 0usize;
+    let eps = 1e-14;
+
+    while m > 0 {
+        if m == 1 {
+            eigs.push(h[(0, 0)]);
+            m = 0;
+            continue;
+        }
+        // Deflate if the last subdiagonal entry of the active block is tiny.
+        let sub = h[(m - 1, m - 2)].abs();
+        let scale = h[(m - 1, m - 1)].abs() + h[(m - 2, m - 2)].abs();
+        if sub <= eps * scale.max(1e-30) {
+            eigs.push(h[(m - 1, m - 1)]);
+            m -= 1;
+            iter_count = 0;
+            continue;
+        }
+        // If the active block has collapsed to 2x2 and refuses to deflate
+        // numerically, solve it directly.
+        if m == 2 || iter_count >= 3 * MAX_ITERS_PER_EIGENVALUE {
+            if m == 2 {
+                let (l1, l2) = eig_2x2(h[(0, 0)], h[(0, 1)], h[(1, 0)], h[(1, 1)]);
+                eigs.push(l1);
+                eigs.push(l2);
+                m = 0;
+                continue;
+            }
+            // Last-resort: accept the trailing 2x2 block eigenvalues.
+            let (l1, l2) = eig_2x2(
+                h[(m - 2, m - 2)],
+                h[(m - 2, m - 1)],
+                h[(m - 1, m - 2)],
+                h[(m - 1, m - 1)],
+            );
+            eigs.push(l1);
+            eigs.push(l2);
+            m -= 2;
+            iter_count = 0;
+            continue;
+        }
+
+        iter_count += 1;
+        // Occasionally use an exceptional shift to break symmetry stalls.
+        let mu = if iter_count % MAX_ITERS_PER_EIGENVALUE == 0 {
+            h[(m - 1, m - 2)] * 1.5 + h[(m - 1, m - 1)]
+        } else {
+            wilkinson_shift(h, m)
+        };
+
+        qr_step(h, m, mu);
+    }
+    eigs
+}
+
+/// Eigenvalues of a 2x2 complex matrix.
+fn eig_2x2(a: Complex, b: Complex, c: Complex, d: Complex) -> (Complex, Complex) {
+    let tr = a + d;
+    let disc = ((a - d) * (a - d) + b * c * 4.0).sqrt();
+    ((tr + disc) * 0.5, (tr - disc) * 0.5)
+}
+
+/// One explicit single-shift QR step restricted to the leading `m × m` block
+/// of the Hessenberg matrix, using complex Givens rotations.
+fn qr_step(h: &mut Matrix, m: usize, mu: Complex) {
+    let n = h.cols();
+    // A = H - mu I (active block only).
+    for i in 0..m {
+        h[(i, i)] -= mu;
+    }
+    // QR factorization by Givens rotations; remember them to form RQ.
+    let mut rotations: Vec<(Complex, Complex)> = Vec::with_capacity(m.saturating_sub(1));
+    for k in 0..m - 1 {
+        let x1 = h[(k, k)];
+        let x2 = h[(k + 1, k)];
+        let r = (x1.norm_sqr() + x2.norm_sqr()).sqrt();
+        let (g1, g2) = if r < 1e-300 {
+            (Complex::ONE, Complex::ZERO)
+        } else {
+            (x1.conj() / r, x2.conj() / r)
+        };
+        // Rows k, k+1 <- G * rows, where G = [[g1, g2], [-conj(g2), conj(g1)]].
+        for j in k..n.min(m) {
+            let a = h[(k, j)];
+            let b = h[(k + 1, j)];
+            h[(k, j)] = g1 * a + g2 * b;
+            h[(k + 1, j)] = -(g2.conj()) * a + g1.conj() * b;
+        }
+        rotations.push((g1, g2));
+    }
+    // R Q: apply the adjoint rotations from the right.
+    for (k, (g1, g2)) in rotations.iter().enumerate() {
+        let top = (k + 2).min(m);
+        for i in 0..top {
+            let a = h[(i, k)];
+            let b = h[(i, k + 1)];
+            // Columns k, k+1 <- columns * G^H.
+            h[(i, k)] = a * g1.conj() + b * g2.conj();
+            h[(i, k + 1)] = -(a * *g2) + b * *g1;
+        }
+    }
+    // Add the shift back.
+    for i in 0..m {
+        h[(i, i)] += mu;
+    }
+    // Clean round-off below the first subdiagonal in the active block.
+    for i in 2..m {
+        for j in 0..i - 1 {
+            h[(i, j)] = Complex::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real_parts(eigs: &[Complex]) -> Vec<f64> {
+        let mut v: Vec<f64> = eigs.iter().map(|z| z.re).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let eigs = eigenvalues_real(&[
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 0.5],
+        ]);
+        let re = sorted_real_parts(&eigs);
+        assert!((re[0] + 1.0).abs() < 1e-10);
+        assert!((re[1] - 0.5).abs() < 1e-10);
+        assert!((re[2] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn upper_triangular_eigenvalues_are_diagonal() {
+        let eigs = eigenvalues_real(&[
+            vec![1.0, 5.0, -3.0],
+            vec![0.0, 4.0, 2.0],
+            vec![0.0, 0.0, -2.0],
+        ]);
+        let re = sorted_real_parts(&eigs);
+        assert!((re[0] + 2.0).abs() < 1e-8);
+        assert!((re[1] - 1.0).abs() < 1e-8);
+        assert!((re[2] - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rotation_matrix_has_imaginary_eigenvalues() {
+        let eigs = eigenvalues_real(&[vec![0.0, -1.0], vec![1.0, 0.0]]);
+        assert_eq!(eigs.len(), 2);
+        for e in &eigs {
+            assert!(e.re.abs() < 1e-10);
+            assert!((e.im.abs() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn qdrift_style_rank_one_stochastic_matrix() {
+        // Every row equal to pi: eigenvalues are 1 and 0 (multiplicity n-1).
+        let pi = [0.5, 0.25, 0.2, 0.05];
+        let rows: Vec<Vec<f64>> = (0..4).map(|_| pi.to_vec()).collect();
+        let eigs = eigenvalues_real(&rows);
+        assert!((eigs[0].abs() - 1.0).abs() < 1e-10);
+        for e in &eigs[1..] {
+            assert!(e.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn paper_example_2_1_transition_matrix_has_unit_leading_eigenvalue() {
+        // The 4-state Markov chain from Example 2.1 / Fig. 4 of the paper.
+        let p = vec![
+            vec![0.0, 0.8, 0.0, 0.2],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.5, 0.0, 0.2, 0.3],
+            vec![0.4, 0.0, 0.6, 0.0],
+        ];
+        let eigs = eigenvalues_real(&p);
+        assert!((eigs[0].abs() - 1.0).abs() < 1e-8);
+        for e in &eigs[1..] {
+            assert!(e.abs() <= 1.0 + 1e-8);
+        }
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
+        let eigs = eigenvalues_real(&[
+            vec![6.0, -11.0, 6.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ]);
+        let re = sorted_real_parts(&eigs);
+        assert!((re[0] - 1.0).abs() < 1e-7);
+        assert!((re[1] - 2.0).abs() < 1e-7);
+        assert!((re[2] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn symmetric_matrix_matches_jacobi_solver() {
+        let rows = vec![
+            vec![2.0, 1.0, 0.0, 0.3],
+            vec![1.0, -1.0, 0.5, 0.0],
+            vec![0.0, 0.5, 3.0, -0.7],
+            vec![0.3, 0.0, -0.7, 0.25],
+        ];
+        let general = eigenvalues_real(&rows);
+        let herm = crate::hermitian_eigen(&Matrix::from_real_rows(&rows));
+        let mut from_general: Vec<f64> = general.iter().map(|z| z.re).collect();
+        from_general.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, h) in from_general.iter().zip(herm.eigenvalues.iter()) {
+            assert!((g - h).abs() < 1e-7, "mismatch {g} vs {h}");
+        }
+        // Imaginary parts of a symmetric matrix's eigenvalues vanish.
+        for e in &general {
+            assert!(e.im.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let rows = vec![
+            vec![0.1, 0.9, 0.0, 0.0, 0.0],
+            vec![0.2, 0.1, 0.7, 0.0, 0.0],
+            vec![0.0, 0.3, 0.3, 0.4, 0.0],
+            vec![0.0, 0.0, 0.5, 0.2, 0.3],
+            vec![0.6, 0.0, 0.0, 0.1, 0.3],
+        ];
+        let trace: f64 = (0..5).map(|i| rows[i][i]).sum();
+        let eigs = eigenvalues_real(&rows);
+        let eig_sum: Complex = eigs.iter().copied().sum();
+        assert!((eig_sum.re - trace).abs() < 1e-7);
+        assert!(eig_sum.im.abs() < 1e-7);
+    }
+
+    #[test]
+    fn larger_stochastic_matrix_spectrum_bounded_by_one() {
+        // Deterministic pseudo-random row-stochastic matrix.
+        let n = 24;
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0 + 0.001
+        };
+        let mut rows = vec![vec![0.0; n]; n];
+        for r in rows.iter_mut() {
+            let mut sum = 0.0;
+            for x in r.iter_mut() {
+                *x = next();
+                sum += *x;
+            }
+            for x in r.iter_mut() {
+                *x /= sum;
+            }
+        }
+        let eigs = eigenvalues_real(&rows);
+        assert_eq!(eigs.len(), n);
+        assert!((eigs[0].abs() - 1.0).abs() < 1e-6);
+        for e in &eigs {
+            assert!(e.abs() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_entry_matrix() {
+        let eigs = eigenvalues_real(&[vec![4.2]]);
+        assert_eq!(eigs.len(), 1);
+        assert!((eigs[0].re - 4.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Cyclic Jacobi eigensolver for complex Hermitian matrices.
+//!
+//! Hermitian eigendecompositions are used in the test suite to cross-check
+//! the matrix exponential (`exp(iHt) = V exp(i diag(λ) t) V†`) and to analyse
+//! reversible Markov chains. The cyclic Jacobi method is simple, numerically
+//! robust, and more than fast enough for the matrix sizes in this workspace
+//! (up to a few hundred rows).
+
+use crate::{Complex, Matrix};
+
+/// The eigendecomposition of a Hermitian matrix `A = V diag(λ) V†`.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Real eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub eigenvectors: Matrix,
+}
+
+impl HermitianEigen {
+    /// Reconstructs the original matrix `V diag(λ) V†` (useful in tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let d = Matrix::diagonal(
+            &self
+                .eigenvalues
+                .iter()
+                .map(|&l| Complex::real(l))
+                .collect::<Vec<_>>(),
+        );
+        self.eigenvectors
+            .matmul(&d)
+            .matmul(&self.eigenvectors.adjoint())
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up. Convergence is normally
+/// reached in well under 15 sweeps.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the full eigendecomposition of a complex Hermitian matrix using
+/// the cyclic Jacobi method.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian (within `1e-8`).
+///
+/// # Example
+///
+/// ```
+/// use marqsim_linalg::{hermitian_eigen, Matrix};
+///
+/// let a = Matrix::from_real_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let eig = hermitian_eigen(&a);
+/// assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-10);
+/// ```
+pub fn hermitian_eigen(a: &Matrix) -> HermitianEigen {
+    assert!(a.is_square(), "eigendecomposition requires a square matrix");
+    assert!(
+        a.is_hermitian(1e-8),
+        "hermitian_eigen requires a Hermitian matrix"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let off_diag_norm = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[(i, j)].norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let scale = m.frobenius_norm().max(1e-300);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        if off_diag_norm(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                let r = apq.abs();
+                if r <= tol / (n as f64) {
+                    continue;
+                }
+                let phi = apq.arg();
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // Angle that annihilates the (p, q) entry of the phase-rotated
+                // 2x2 block.
+                let theta = 0.5 * (2.0 * r).atan2(aqq - app);
+                let c = theta.cos();
+                let s = theta.sin();
+                let e_m = Complex::cis(-phi);
+                let e_p = Complex::cis(phi);
+
+                // J has columns:
+                //   col p: (…, J_pp = c, J_qp = -s e^{-i phi}, …)
+                //   col q: (…, J_pq = s, J_qq =  c e^{-i phi}, …)
+                // Update A <- J^H A J, applied as column then row updates.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = akp * c - akq * (s * e_m);
+                    m[(k, q)] = akp * s + akq * (c * e_m);
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = apk * c - aqk * (s * e_p);
+                    m[(q, k)] = apk * s + aqk * (c * e_p);
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * c - vkq * (s * e_m);
+                    v[(k, q)] = vkp * s + vkq * (c * e_m);
+                }
+            }
+        }
+    }
+
+    // Collect eigenvalues and sort ascending, permuting eigenvectors along.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("eigenvalues must be finite"));
+
+    let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
+
+    HermitianEigen {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_like_hermitian(n: usize, seed: u64) -> Matrix {
+        // Deterministic pseudo-random Hermitian matrix without external deps.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::real(next() * 4.0);
+            for j in (i + 1)..n {
+                let z = Complex::new(next(), next());
+                m[(i, j)] = z;
+                m[(j, i)] = z.conj();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal_entries() {
+        let a = Matrix::diagonal(&[Complex::real(3.0), Complex::real(-1.0), Complex::real(0.5)]);
+        let eig = hermitian_eigen(&a);
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 0.5).abs() < 1e-12);
+        assert!((eig.eigenvalues[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_x_has_plus_minus_one() {
+        let x = Matrix::from_real_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let eig = hermitian_eigen(&x);
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_hermitian_reconstruction() {
+        let a = random_like_hermitian(6, 42);
+        let eig = hermitian_eigen(&a);
+        assert!(eig.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn eigenvectors_are_unitary() {
+        let a = random_like_hermitian(8, 7);
+        let eig = hermitian_eigen(&a);
+        assert!(eig.eigenvectors.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_ascending() {
+        let a = random_like_hermitian(10, 99);
+        let eig = hermitian_eigen(&a);
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_equals_sum_of_eigenvalues() {
+        let a = random_like_hermitian(7, 3);
+        let eig = hermitian_eigen(&a);
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((sum - a.trace().re).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pauli_y_eigenvalues() {
+        let y = Matrix::from_rows(&[
+            vec![Complex::ZERO, Complex::new(0.0, -1.0)],
+            vec![Complex::new(0.0, 1.0), Complex::ZERO],
+        ]);
+        let eig = hermitian_eigen(&y);
+        assert!((eig.eigenvalues[0] + 1.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn rejects_non_hermitian_input() {
+        let a = Matrix::from_real_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]);
+        let _ = hermitian_eigen(&a);
+    }
+}

@@ -1,0 +1,510 @@
+//! Dense, row-major complex matrices.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{Complex, CVector};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// This is the workhorse type for unitary accumulation, exact evolution
+/// references, and transition-matrix analysis. Dimensions are fixed at
+/// construction time and every operation validates shape compatibility.
+///
+/// # Example
+///
+/// ```
+/// use marqsim_linalg::{Complex, Matrix};
+///
+/// let h = Matrix::from_fn(2, 2, |i, j| {
+///     let s = 1.0 / 2f64.sqrt();
+///     if i == 1 && j == 1 { Complex::real(-s) } else { Complex::real(s) }
+/// });
+/// let hh = &h * &h;
+/// assert!(hh.approx_eq(&Matrix::identity(2), 1e-12));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for each entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> Complex>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length or if the input is
+    /// empty.
+    pub fn from_rows(rows: &[Vec<Complex>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same length"
+        );
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from real-valued rows.
+    pub fn from_real_rows(rows: &[Vec<f64>]) -> Self {
+        let converted: Vec<Vec<Complex>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&x| Complex::real(x)).collect())
+            .collect();
+        Matrix::from_rows(&converted)
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[Complex]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Borrow of a single row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Complex] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of a single row.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [Complex] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies a column into a new vector.
+    pub fn col(&self, j: usize) -> CVector {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Conjugate transpose (adjoint).
+    pub fn adjoint(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose (no conjugation).
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Matrix {
+        let mut out = self.clone();
+        for z in out.data.iter_mut() {
+            *z = z.conj();
+        }
+        out
+    }
+
+    /// Trace (sum of the diagonal). Requires a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Scales every entry by a complex scalar, returning a new matrix.
+    pub fn scale(&self, alpha: Complex) -> Matrix {
+        let mut out = self.clone();
+        for z in out.data.iter_mut() {
+            *z = *z * alpha;
+        }
+        out
+    }
+
+    /// Scales every entry by a real scalar, returning a new matrix.
+    pub fn scale_real(&self, alpha: f64) -> Matrix {
+        self.scale(Complex::real(alpha))
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Complex]) -> CVector {
+        assert_eq!(x.len(), self.cols, "matrix-vector shape mismatch");
+        let mut y = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = Complex::ZERO;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += *a * *b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix product `A B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == Complex::ZERO {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, r) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += aik * *r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `A ⊗ B`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `sqrt(Σ |a_ij|^2)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute column sum (induced 1-norm).
+    pub fn one_norm(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if every entry of `self` is within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` if the matrix is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Returns `true` if the matrix is unitary within `tol` (`A† A ≈ I`).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.adjoint().matmul(self).approx_eq(&Matrix::identity(self.rows), tol)
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let tmp = self[(a, j)];
+            self[(a, j)] = self[(b, j)];
+            self[(b, j)] = tmp;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        debug_assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        debug_assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matrix add: row mismatch");
+        assert_eq!(self.cols, rhs.cols, "matrix add: col mismatch");
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o += *r;
+        }
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matrix sub: row mismatch");
+        assert_eq!(self.cols, rhs.cols, "matrix sub: col mismatch");
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o -= *r;
+        }
+        out
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:.3}{:+.3}i  ", self[(i, j)].re, self[(i, j)].im)?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_real_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]])
+    }
+
+    fn pauli_y() -> Matrix {
+        Matrix::from_rows(&[
+            vec![Complex::ZERO, Complex::new(0.0, -1.0)],
+            vec![Complex::new(0.0, 1.0), Complex::ZERO],
+        ])
+    }
+
+    fn pauli_z() -> Matrix {
+        Matrix::from_real_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = Matrix::from_fn(3, 3, |i, j| Complex::new((i + j) as f64, (i as f64) - (j as f64)));
+        let id = Matrix::identity(3);
+        assert!(a.matmul(&id).approx_eq(&a, 1e-12));
+        assert!(id.matmul(&a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn pauli_algebra_xy_equals_iz() {
+        let lhs = pauli_x().matmul(&pauli_y());
+        let rhs = pauli_z().scale(Complex::I);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn paulis_are_hermitian_and_unitary() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_hermitian(1e-12));
+            assert!(p.is_unitary(1e-12));
+            assert!(p.matmul(&p).approx_eq(&Matrix::identity(2), 1e-12));
+        }
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let a = Matrix::from_fn(2, 3, |i, j| Complex::new(i as f64 + 0.5, j as f64 - 1.0));
+        let b = Matrix::from_fn(3, 2, |i, j| Complex::new(j as f64, i as f64 * 0.25));
+        let lhs = a.matmul(&b).adjoint();
+        let rhs = b.adjoint().matmul(&a.adjoint());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = pauli_z();
+        let b = pauli_x();
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        // Z ⊗ X has +X in the upper-left block and -X in the lower-right.
+        assert!(k[(0, 1)].approx_eq(Complex::ONE, 1e-12));
+        assert!(k[(3, 2)].approx_eq(Complex::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = Matrix::identity(2);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn trace_of_pauli_is_zero() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.trace().abs() < 1e-12);
+        }
+        assert!((Matrix::identity(4).trace().re - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_matmul() {
+        let a = Matrix::from_fn(3, 3, |i, j| Complex::new((i * 3 + j) as f64, 0.5));
+        let x = vec![Complex::ONE, Complex::I, Complex::new(2.0, -1.0)];
+        let via_vec = a.mul_vec(&x);
+        let xmat = Matrix::from_rows(&[vec![x[0]], vec![x[1]], vec![x[2]]]);
+        let via_mat = a.matmul(&xmat);
+        for i in 0..3 {
+            assert!(via_vec[i].approx_eq(via_mat[(i, 0)], 1e-12));
+        }
+    }
+
+    #[test]
+    fn norms_are_consistent() {
+        let a = Matrix::from_real_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((a.one_norm() - 4.0).abs() < 1e-12);
+        assert!((a.max_abs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_rows_exchanges_content() {
+        let mut a = Matrix::from_real_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        a.swap_rows(0, 1);
+        assert!((a[(0, 0)].re - 3.0).abs() < 1e-12);
+        assert!((a[(1, 1)].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = Matrix::diagonal(&[Complex::ONE, Complex::I]);
+        assert!(d[(0, 0)].approx_eq(Complex::ONE, 1e-15));
+        assert!(d[(1, 1)].approx_eq(Complex::I, 1e-15));
+        assert!(d[(0, 1)].approx_eq(Complex::ZERO, 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_panics_on_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,250 @@
+//! LU factorization with partial pivoting and linear solves.
+//!
+//! Used to compute stationary distributions of Markov transition matrices
+//! (solving the singular-but-constrained system `π P = π`, `Σ π_i = 1`) and
+//! as a building block in tests.
+
+use std::fmt;
+
+use crate::{Complex, Matrix};
+
+/// Errors produced by the linear solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is (numerically) singular: no pivot larger than the
+    /// tolerance could be found in some column.
+    Singular {
+        /// The elimination step at which the failure occurred.
+        column: usize,
+    },
+    /// The right-hand side length does not match the matrix dimension.
+    DimensionMismatch,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular { column } => {
+                write!(f, "matrix is singular at elimination column {column}")
+            }
+            SolveError::DimensionMismatch => write!(f, "dimension mismatch in linear solve"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The result of an LU factorization with partial pivoting: `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined storage: the strict lower triangle holds `L` (unit diagonal
+    /// implied), the upper triangle holds `U`.
+    lu: Matrix,
+    /// Row permutation applied to `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1` or `-1`), used for determinants.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the precomputed factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, SolveError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch);
+        }
+        // Apply permutation.
+        let mut y: Vec<Complex> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 0..n {
+            for j in 0..i {
+                let lij = self.lu[(i, j)];
+                let yj = y[j];
+                y[i] -= lij * yj;
+            }
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let uij = self.lu[(i, j)];
+                let yj = y[j];
+                y[i] -= uij * yj;
+            }
+            y[i] = y[i] / self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> Complex {
+        let mut det = Complex::real(self.perm_sign);
+        for i in 0..self.dim() {
+            det = det * self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Computes the LU factorization of a square matrix with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Singular`] if no acceptable pivot exists at some
+/// elimination step.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn lu_decompose(a: &Matrix) -> Result<LuDecomposition, SolveError> {
+    assert!(a.is_square(), "LU factorization requires a square matrix");
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut perm_sign = 1.0;
+
+    for k in 0..n {
+        // Find pivot.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = i;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(SolveError::Singular { column: k });
+        }
+        if pivot_row != k {
+            lu.swap_rows(pivot_row, k);
+            perm.swap(pivot_row, k);
+            perm_sign = -perm_sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            for j in (k + 1)..n {
+                let ukj = lu[(k, j)];
+                lu[(i, j)] -= factor * ukj;
+            }
+        }
+    }
+
+    Ok(LuDecomposition { lu, perm, perm_sign })
+}
+
+/// Solves `A x = b` for a square complex matrix `A`.
+///
+/// Convenience wrapper around [`lu_decompose`] + [`LuDecomposition::solve`].
+///
+/// # Errors
+///
+/// Returns an error if `A` is singular or the dimensions do not match.
+pub fn solve_linear(a: &Matrix, b: &[Complex]) -> Result<Vec<Complex>, SolveError> {
+    lu_decompose(a)?.solve(b)
+}
+
+/// Solves `A x = b` reusing an existing factorization (alias for
+/// [`LuDecomposition::solve`], provided for discoverability).
+///
+/// # Errors
+///
+/// Returns an error if the dimensions do not match.
+pub fn lu_solve(lu: &LuDecomposition, b: &[Complex]) -> Result<Vec<Complex>, SolveError> {
+    lu.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[Complex], b: &[Complex]) -> f64 {
+        let ax = a.mul_vec(x);
+        ax.iter()
+            .zip(b.iter())
+            .map(|(p, q)| (*p - *q).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_small_real_system() {
+        let a = Matrix::from_real_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let b = vec![Complex::real(1.0), Complex::real(2.0), Complex::real(3.0)];
+        let x = solve_linear(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        let a = Matrix::from_rows(&[
+            vec![Complex::new(2.0, 1.0), Complex::new(0.0, -1.0)],
+            vec![Complex::new(1.0, 0.0), Complex::new(3.0, 2.0)],
+        ]);
+        let b = vec![Complex::new(1.0, 1.0), Complex::new(-2.0, 0.5)];
+        let x = solve_linear(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_real_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = vec![Complex::real(5.0), Complex::real(7.0)];
+        let x = solve_linear(&a, &b).unwrap();
+        assert!(x[0].approx_eq(Complex::real(7.0), 1e-12));
+        assert!(x[1].approx_eq(Complex::real(5.0), 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_real_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let err = lu_decompose(&a).unwrap_err();
+        assert!(matches!(err, SolveError::Singular { .. }));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Matrix::identity(3);
+        let lu = lu_decompose(&a).unwrap();
+        assert_eq!(lu.solve(&[Complex::ONE]).unwrap_err(), SolveError::DimensionMismatch);
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let a = Matrix::diagonal(&[Complex::real(2.0), Complex::real(3.0), Complex::I]);
+        let lu = lu_decompose(&a).unwrap();
+        assert!(lu.determinant().approx_eq(Complex::new(0.0, 6.0), 1e-12));
+    }
+
+    #[test]
+    fn determinant_changes_sign_with_row_swap() {
+        let a = Matrix::from_real_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let lu = lu_decompose(&a).unwrap();
+        assert!(lu.determinant().approx_eq(Complex::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn reuse_factorization_for_multiple_right_hand_sides() {
+        let a = Matrix::from_real_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+        let lu = lu_decompose(&a).unwrap();
+        for rhs in [[1.0, 0.0], [0.0, 1.0], [2.5, -1.0]] {
+            let b = vec![Complex::real(rhs[0]), Complex::real(rhs[1])];
+            let x = lu_solve(&lu, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+}

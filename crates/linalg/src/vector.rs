@@ -1,0 +1,130 @@
+//! Complex vector helpers.
+//!
+//! State vectors in the simulator and eigenvectors in the eigensolvers are
+//! plain `Vec<Complex>`; this module provides the handful of BLAS-1 style
+//! operations the workspace needs.
+
+use crate::Complex;
+
+/// A complex column vector, stored densely.
+pub type CVector = Vec<Complex>;
+
+/// Hermitian inner product `⟨a, b⟩ = Σ conj(a_i) b_i`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use marqsim_linalg::{dot, Complex};
+/// let a = vec![Complex::ONE, Complex::I];
+/// let b = vec![Complex::ONE, Complex::I];
+/// assert!((dot(&a, &b).re - 2.0).abs() < 1e-12);
+/// ```
+pub fn dot(a: &[Complex], b: &[Complex]) -> Complex {
+    assert_eq!(a.len(), b.len(), "dot product of mismatched lengths");
+    a.iter()
+        .zip(b.iter())
+        .fold(Complex::ZERO, |acc, (&x, &y)| acc + x.conj() * y)
+}
+
+/// Euclidean (L2) norm of a complex vector.
+pub fn norm2(a: &[Complex]) -> f64 {
+    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Normalizes `a` in place to unit L2 norm and returns the original norm.
+///
+/// If the vector has (near-)zero norm it is left untouched and `0.0` is
+/// returned.
+pub fn normalize(a: &mut [Complex]) -> f64 {
+    let n = norm2(a);
+    if n > 1e-300 {
+        for z in a.iter_mut() {
+            *z = *z / n;
+        }
+    }
+    n
+}
+
+/// `y ← y + alpha * x` (complex axpy).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn axpy(alpha: Complex, x: &[Complex], y: &mut [Complex]) {
+    assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales every entry of `x` by `alpha` in place.
+pub fn scale(alpha: Complex, x: &mut [Complex]) {
+    for xi in x.iter_mut() {
+        *xi = *xi * alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_is_conjugate_linear_in_first_argument() {
+        let a = vec![Complex::new(1.0, 2.0), Complex::new(-0.5, 0.25)];
+        let b = vec![Complex::new(0.3, -1.0), Complex::new(2.0, 2.0)];
+        let alpha = Complex::new(0.0, 1.0);
+        let scaled: Vec<Complex> = a.iter().map(|&z| alpha * z).collect();
+        let lhs = dot(&scaled, &b);
+        let rhs = alpha.conj() * dot(&a, &b);
+        assert!(lhs.approx_eq(rhs, 1e-12));
+    }
+
+    #[test]
+    fn norm_of_unit_basis_vector() {
+        let mut e = vec![Complex::ZERO; 8];
+        e[3] = Complex::new(0.0, 1.0);
+        assert!((norm2(&e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = vec![Complex::new(3.0, 0.0), Complex::new(0.0, 4.0)];
+        let original = normalize(&mut v);
+        assert!((original - 5.0).abs() < 1e-12);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_leaves_zero_vector_alone() {
+        let mut v = vec![Complex::ZERO; 4];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert!(v.iter().all(|z| *z == Complex::ZERO));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![Complex::ONE, Complex::I];
+        let mut y = vec![Complex::new(1.0, 1.0), Complex::ZERO];
+        axpy(Complex::new(2.0, 0.0), &x, &mut y);
+        assert!(y[0].approx_eq(Complex::new(3.0, 1.0), 1e-12));
+        assert!(y[1].approx_eq(Complex::new(0.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![Complex::ONE, Complex::new(2.0, -1.0)];
+        scale(Complex::I, &mut x);
+        assert!(x[0].approx_eq(Complex::I, 1e-12));
+        assert!(x[1].approx_eq(Complex::new(1.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn dot_panics_on_length_mismatch() {
+        let _ = dot(&[Complex::ONE], &[Complex::ONE, Complex::ZERO]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Convex combination of transition matrices (Theorem 5.2).
+//!
+//! If every `P_i` preserves the stationary distribution `π`, then so does any
+//! convex combination `Σ Θ_i P_i`. MarQSim uses this to blend the qDRIFT
+//! matrix (for strong connectivity and fast mixing), the gate-cancellation
+//! matrix, and the random-perturbation matrix into a single chain.
+
+use crate::{TransitionError, TransitionMatrix};
+
+/// Errors produced by [`combine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CombineError {
+    /// No matrices were given.
+    Empty,
+    /// The number of weights differs from the number of matrices.
+    WeightCountMismatch {
+        /// Number of matrices supplied.
+        matrices: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// Weights are negative or do not sum to one.
+    InvalidWeights {
+        /// Sum of the supplied weights.
+        sum: f64,
+    },
+    /// The matrices have different state counts.
+    DimensionMismatch {
+        /// State count of the first matrix.
+        expected: usize,
+        /// State count of the offending matrix.
+        found: usize,
+    },
+    /// The combination failed row-stochasticity validation (should not happen
+    /// for valid inputs; surfaced for completeness).
+    Invalid(TransitionError),
+}
+
+impl std::fmt::Display for CombineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CombineError::Empty => write!(f, "no transition matrices to combine"),
+            CombineError::WeightCountMismatch { matrices, weights } => write!(
+                f,
+                "{matrices} matrices but {weights} weights supplied"
+            ),
+            CombineError::InvalidWeights { sum } => {
+                write!(f, "weights must be non-negative and sum to 1 (sum = {sum})")
+            }
+            CombineError::DimensionMismatch { expected, found } => {
+                write!(f, "matrix with {found} states, expected {expected}")
+            }
+            CombineError::Invalid(e) => write!(f, "combined matrix invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// Computes the convex combination `Σ_i weights[i] · matrices[i]`.
+///
+/// # Errors
+///
+/// Returns a [`CombineError`] if the inputs are empty, mismatched in size, or
+/// the weights are not a probability vector.
+///
+/// # Example
+///
+/// ```
+/// use marqsim_markov::{combine::combine, TransitionMatrix};
+///
+/// let pi = vec![0.5, 0.5];
+/// let p_qd = TransitionMatrix::from_stationary(&pi);
+/// let p_swap = TransitionMatrix::new(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+/// let p = combine(&[p_qd, p_swap], &[0.4, 0.6]).unwrap();
+/// assert!(p.preserves_distribution(&pi, 1e-12));
+/// ```
+pub fn combine(
+    matrices: &[TransitionMatrix],
+    weights: &[f64],
+) -> Result<TransitionMatrix, CombineError> {
+    if matrices.is_empty() {
+        return Err(CombineError::Empty);
+    }
+    if matrices.len() != weights.len() {
+        return Err(CombineError::WeightCountMismatch {
+            matrices: matrices.len(),
+            weights: weights.len(),
+        });
+    }
+    let sum: f64 = weights.iter().sum();
+    if weights.iter().any(|&w| w < -1e-12) || (sum - 1.0).abs() > 1e-9 {
+        return Err(CombineError::InvalidWeights { sum });
+    }
+    let n = matrices[0].num_states();
+    for m in matrices {
+        if m.num_states() != n {
+            return Err(CombineError::DimensionMismatch {
+                expected: n,
+                found: m.num_states(),
+            });
+        }
+    }
+    let mut rows = vec![vec![0.0; n]; n];
+    for (m, &w) in matrices.iter().zip(weights.iter()) {
+        if w == 0.0 {
+            continue;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                rows[i][j] += w * m.prob(i, j);
+            }
+        }
+    }
+    TransitionMatrix::new(rows).map_err(CombineError::Invalid)
+}
+
+/// Convenience for the two-matrix blend `θ·A + (1−θ)·B` used throughout the
+/// evaluation (`P = 0.4 P_qd + 0.6 P_gc`, etc.).
+///
+/// # Errors
+///
+/// Same failure modes as [`combine`].
+pub fn blend(
+    a: &TransitionMatrix,
+    b: &TransitionMatrix,
+    weight_a: f64,
+) -> Result<TransitionMatrix, CombineError> {
+    combine(&[a.clone(), b.clone()], &[weight_a, 1.0 - weight_a])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pi() -> Vec<f64> {
+        vec![0.5, 0.25, 0.2, 0.05]
+    }
+
+    /// A deterministic stationary-preserving matrix other than qDRIFT: the
+    /// gate-cancellation matrix of Example 5.1.
+    fn p_gc() -> TransitionMatrix {
+        TransitionMatrix::new(vec![
+            vec![0.0, 0.5, 0.4, 0.1],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_5_2_combination() {
+        let p_qd = TransitionMatrix::from_stationary(&pi());
+        let p = combine(&[p_qd, p_gc()], &[0.4, 0.6]).unwrap();
+        // Equation (15) of the paper.
+        let expected = [
+            [0.2, 0.4, 0.32, 0.08],
+            [0.8, 0.1, 0.08, 0.02],
+            [0.8, 0.1, 0.08, 0.02],
+            [0.8, 0.1, 0.08, 0.02],
+        ];
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((p.prob(i, j) - expected[i][j]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        assert!(p.preserves_distribution(&pi(), 1e-12));
+        assert!(p.is_strongly_connected());
+    }
+
+    #[test]
+    fn theorem_5_2_stationarity_is_preserved_by_any_convex_combination() {
+        let p_qd = TransitionMatrix::from_stationary(&pi());
+        assert!(p_gc().preserves_distribution(&pi(), 1e-12));
+        for theta in [0.0, 0.1, 0.35, 0.5, 0.8, 1.0] {
+            let p = blend(&p_qd, &p_gc(), theta).unwrap();
+            assert!(p.preserves_distribution(&pi(), 1e-12), "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(combine(&[], &[]).unwrap_err(), CombineError::Empty);
+    }
+
+    #[test]
+    fn weight_count_mismatch_rejected() {
+        let p = TransitionMatrix::from_stationary(&[1.0]);
+        assert!(matches!(
+            combine(&[p], &[0.5, 0.5]).unwrap_err(),
+            CombineError::WeightCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let p = TransitionMatrix::from_stationary(&[0.5, 0.5]);
+        assert!(matches!(
+            combine(&[p.clone(), p.clone()], &[0.7, 0.7]).unwrap_err(),
+            CombineError::InvalidWeights { .. }
+        ));
+        assert!(matches!(
+            combine(&[p.clone(), p], &[1.5, -0.5]).unwrap_err(),
+            CombineError::InvalidWeights { .. }
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = TransitionMatrix::from_stationary(&[0.5, 0.5]);
+        let b = TransitionMatrix::from_stationary(&[0.4, 0.3, 0.3]);
+        assert!(matches!(
+            combine(&[a, b], &[0.5, 0.5]).unwrap_err(),
+            CombineError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn blending_with_qdrift_guarantees_strong_connectivity() {
+        // A disconnected deterministic matrix becomes strongly connected once
+        // blended with any positive amount of the all-positive qDRIFT matrix.
+        let disconnected = TransitionMatrix::new(vec![
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        assert!(!disconnected.is_strongly_connected());
+        let p_qd = TransitionMatrix::from_stationary(&pi());
+        let p = blend(&p_qd, &disconnected, 0.1).unwrap();
+        assert!(p.is_strongly_connected());
+    }
+}

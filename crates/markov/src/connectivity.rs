@@ -1,0 +1,181 @@
+//! Strong-connectivity analysis of state transition graphs.
+//!
+//! Condition (1) of Theorem 4.1 requires the HTT graph to be strongly
+//! connected (a single recurrence class containing every state). We check
+//! this with Tarjan's strongly-connected-components algorithm, implemented
+//! iteratively so that large chains (1000+ states in Table 2) do not
+//! overflow the stack.
+
+use crate::TransitionMatrix;
+
+/// Computes the strongly connected components of the transition graph
+/// (edges wherever `p_ij > 0`). Components are returned as lists of state
+/// indices, in reverse topological order of the condensation.
+pub fn strongly_connected_components(p: &TransitionMatrix) -> Vec<Vec<usize>> {
+    let n = p.num_states();
+    let adjacency: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| p.prob(i, j) > 0.0).collect())
+        .collect();
+    tarjan_scc(&adjacency)
+}
+
+/// Returns `true` if the transition graph is strongly connected.
+pub fn is_strongly_connected(p: &TransitionMatrix) -> bool {
+    strongly_connected_components(p).len() == 1
+}
+
+/// Iterative Tarjan SCC over an adjacency-list graph.
+fn tarjan_scc(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adjacency.len();
+    const UNVISITED: usize = usize::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, next child position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            if *child_pos < adjacency[v].len() {
+                let w = adjacency[v][*child_pos];
+                *child_pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(rows: Vec<Vec<f64>>) -> TransitionMatrix {
+        TransitionMatrix::new(rows).unwrap()
+    }
+
+    #[test]
+    fn fully_connected_chain_is_one_component() {
+        let p = TransitionMatrix::from_stationary(&[0.25, 0.25, 0.25, 0.25]);
+        assert!(is_strongly_connected(&p));
+        assert_eq!(strongly_connected_components(&p).len(), 1);
+    }
+
+    #[test]
+    fn absorbing_state_splits_components() {
+        let p = chain(vec![vec![0.5, 0.5], vec![0.0, 1.0]]);
+        let sccs = strongly_connected_components(&p);
+        assert_eq!(sccs.len(), 2);
+        assert!(!is_strongly_connected(&p));
+    }
+
+    #[test]
+    fn directed_cycle_is_strongly_connected() {
+        let p = chain(vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ]);
+        assert!(is_strongly_connected(&p));
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let p = chain(vec![
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ]);
+        let sccs = strongly_connected_components(&p);
+        assert_eq!(sccs.len(), 2);
+        for scc in sccs {
+            assert_eq!(scc.len(), 2);
+        }
+    }
+
+    #[test]
+    fn one_way_bridge_between_cycles_is_not_strongly_connected() {
+        // 0 <-> 1, 2 <-> 3, plus an edge 1 -> 2 but no way back.
+        let p = chain(vec![
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+        ]);
+        assert!(!is_strongly_connected(&p));
+        assert_eq!(strongly_connected_components(&p).len(), 2);
+    }
+
+    #[test]
+    fn every_state_appears_in_exactly_one_component() {
+        let p = chain(vec![
+            vec![0.2, 0.8, 0.0, 0.0, 0.0],
+            vec![0.0, 0.3, 0.7, 0.0, 0.0],
+            vec![0.0, 0.0, 0.1, 0.9, 0.0],
+            vec![0.0, 0.0, 0.0, 0.5, 0.5],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0],
+        ]);
+        let sccs = strongly_connected_components(&p);
+        let mut seen = vec![false; 5];
+        for scc in &sccs {
+            for &v in scc {
+                assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn large_ring_does_not_overflow_stack() {
+        let n = 5000;
+        let mut rows = vec![vec![0.0; n]; n];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[(i + 1) % n] = 1.0;
+        }
+        let p = TransitionMatrix::new(rows).unwrap();
+        assert!(is_strongly_connected(&p));
+    }
+}

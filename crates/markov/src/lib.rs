@@ -1,0 +1,38 @@
+//! Homogeneous Markov chains for the MarQSim compiler.
+//!
+//! MarQSim formulates circuit generation as sampling from a homogeneous
+//! Markov chain whose states are the Hamiltonian terms (§2.4, §4). This crate
+//! provides the chain machinery independently of any quantum semantics:
+//!
+//! * [`TransitionMatrix`] — a validated row-stochastic matrix.
+//! * [`stationary`] — stationary-distribution computation and verification
+//!   (`π P = π`, condition (2) of Theorem 4.1).
+//! * [`connectivity`] — strong-connectivity analysis via Tarjan's SCC
+//!   algorithm (condition (1) of Theorem 4.1).
+//! * [`spectra`] — eigenvalue-magnitude spectra used to reason about
+//!   convergence speed and sampling variance (§5.4, Fig. 11 / Fig. 15).
+//! * [`combine`] — convex combination of transition matrices (Theorem 5.2).
+//! * [`sample`] — sampling trajectories from a chain with a seeded RNG
+//!   (the `Sample(p)` oracle of Algorithm 1).
+//!
+//! # Example
+//!
+//! ```
+//! use marqsim_markov::TransitionMatrix;
+//!
+//! // The qDRIFT chain for π = (0.5, 0.25, 0.2, 0.05): every row is π.
+//! let pi = vec![0.5, 0.25, 0.2, 0.05];
+//! let p = TransitionMatrix::from_stationary(&pi);
+//! assert!(p.preserves_distribution(&pi, 1e-12));
+//! assert!(p.is_strongly_connected());
+//! ```
+
+mod transition;
+
+pub mod combine;
+pub mod connectivity;
+pub mod sample;
+pub mod spectra;
+pub mod stationary;
+
+pub use transition::{TransitionError, TransitionMatrix};

@@ -1,0 +1,227 @@
+//! Sampling trajectories from a Markov chain.
+//!
+//! Algorithm 1 of the paper samples `N` states: the first from the initial
+//! distribution `π`, each subsequent one from the row of the transition
+//! matrix indexed by the previous state. This module provides that sampler
+//! plus a cumulative-distribution table for `O(log n)` per-step sampling
+//! (matching the complexity analysis in §6.6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TransitionMatrix;
+
+/// A pre-processed discrete distribution supporting `O(log n)` sampling via
+/// binary search on the cumulative table.
+#[derive(Debug, Clone)]
+pub struct DiscreteSampler {
+    cumulative: Vec<f64>,
+}
+
+impl DiscreteSampler {
+    /// Builds the sampler from (not necessarily normalized) non-negative
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative value, or sums to
+    /// zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        for c in cumulative.iter_mut() {
+            *c /= acc;
+        }
+        DiscreteSampler { cumulative }
+    }
+
+    /// Samples an index according to the distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if the distribution has no categories (never true for a
+    /// constructed sampler; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// A Markov-chain sampler: holds per-row [`DiscreteSampler`]s plus the
+/// initial distribution.
+#[derive(Debug, Clone)]
+pub struct ChainSampler {
+    initial: DiscreteSampler,
+    rows: Vec<DiscreteSampler>,
+}
+
+impl ChainSampler {
+    /// Builds a sampler for the chain `p` with initial distribution
+    /// `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != p.num_states()`.
+    pub fn new(p: &TransitionMatrix, initial: &[f64]) -> Self {
+        assert_eq!(
+            initial.len(),
+            p.num_states(),
+            "initial distribution length must match the state count"
+        );
+        ChainSampler {
+            initial: DiscreteSampler::new(initial),
+            rows: (0..p.num_states())
+                .map(|i| DiscreteSampler::new(p.row(i)))
+                .collect(),
+        }
+    }
+
+    /// Samples a trajectory of `length` states using the given RNG.
+    pub fn sample_trajectory<R: Rng + ?Sized>(&self, length: usize, rng: &mut R) -> Vec<usize> {
+        let mut out = Vec::with_capacity(length);
+        if length == 0 {
+            return out;
+        }
+        let mut state = self.initial.sample(rng);
+        out.push(state);
+        for _ in 1..length {
+            state = self.rows[state].sample(rng);
+            out.push(state);
+        }
+        out
+    }
+
+    /// Samples a trajectory with a seeded RNG (deterministic given the seed).
+    pub fn sample_trajectory_seeded(&self, length: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.sample_trajectory(length, &mut rng)
+    }
+}
+
+/// Empirical state frequencies of a trajectory (used in tests and the
+/// experiment drivers to check convergence to the stationary distribution).
+pub fn empirical_distribution(trajectory: &[usize], num_states: usize) -> Vec<f64> {
+    let mut counts = vec![0usize; num_states];
+    for &s in trajectory {
+        counts[s] += 1;
+    }
+    let total = trajectory.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_sampler_respects_distribution() {
+        let sampler = DiscreteSampler::new(&[0.7, 0.2, 0.1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.7).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampler_handles_zero_weight_categories() {
+        let sampler = DiscreteSampler::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn sampler_rejects_negative_weights() {
+        let _ = DiscreteSampler::new(&[0.5, -0.1]);
+    }
+
+    #[test]
+    fn trajectory_has_requested_length_and_valid_states() {
+        let pi = vec![0.5, 0.25, 0.2, 0.05];
+        let p = TransitionMatrix::from_stationary(&pi);
+        let sampler = ChainSampler::new(&p, &pi);
+        let traj = sampler.sample_trajectory_seeded(1000, 42);
+        assert_eq!(traj.len(), 1000);
+        assert!(traj.iter().all(|&s| s < 4));
+    }
+
+    #[test]
+    fn seeded_trajectories_are_reproducible() {
+        let pi = vec![0.3, 0.3, 0.4];
+        let p = TransitionMatrix::from_stationary(&pi);
+        let sampler = ChainSampler::new(&p, &pi);
+        let a = sampler.sample_trajectory_seeded(500, 7);
+        let b = sampler.sample_trajectory_seeded(500, 7);
+        let c = sampler.sample_trajectory_seeded(500, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn qdrift_chain_trajectory_matches_stationary_distribution() {
+        let pi = vec![0.5, 0.25, 0.2, 0.05];
+        let p = TransitionMatrix::from_stationary(&pi);
+        let sampler = ChainSampler::new(&p, &pi);
+        let traj = sampler.sample_trajectory_seeded(100_000, 3);
+        let emp = empirical_distribution(&traj, 4);
+        for (e, t) in emp.iter().zip(pi.iter()) {
+            assert!((e - t).abs() < 0.01, "{e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn markov_chain_trajectory_follows_transition_structure() {
+        // Deterministic cycle 0 -> 1 -> 2 -> 0.
+        let p = TransitionMatrix::new(vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let sampler = ChainSampler::new(&p, &[1.0, 0.0, 0.0]);
+        let traj = sampler.sample_trajectory_seeded(9, 0);
+        assert_eq!(traj, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empirical_distribution_sums_to_one() {
+        let traj = vec![0, 1, 1, 2, 2, 2];
+        let emp = empirical_distribution(&traj, 3);
+        assert!((emp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((emp[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_trajectory() {
+        let pi = vec![1.0];
+        let p = TransitionMatrix::from_stationary(&pi);
+        let sampler = ChainSampler::new(&p, &pi);
+        assert!(sampler.sample_trajectory_seeded(0, 1).is_empty());
+    }
+}

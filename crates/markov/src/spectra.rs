@@ -1,0 +1,152 @@
+//! Transition-matrix spectra analysis (§5.4 of the paper).
+//!
+//! The convergence speed of the Markov sampling process — and therefore the
+//! variance of the sampled circuit unitary — is governed by the sub-dominant
+//! eigenvalues of the transition matrix: `P^k π_0` approaches the stationary
+//! distribution at a rate set by `|λ_2|`, and a spectrum with smaller
+//! magnitudes mixes faster (Equation (16)). The qDRIFT matrix is rank one
+//! (`λ_2 = … = λ_n = 0`), while gate-cancellation-tuned matrices trade some
+//! of that for structure; the random-perturbation technique of §5.5 pushes
+//! the spectrum back down.
+
+use marqsim_linalg::eigenvalues_real;
+
+use crate::TransitionMatrix;
+
+/// The eigenvalue-magnitude spectrum of a transition matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    /// Eigenvalue magnitudes sorted in descending order; `values[0]` is
+    /// always `≈ 1` for a stochastic matrix.
+    pub values: Vec<f64>,
+}
+
+impl Spectrum {
+    /// The magnitude of the second-largest eigenvalue (the mixing bottleneck),
+    /// or `0` for a single-state chain.
+    pub fn subdominant(&self) -> f64 {
+        self.values.get(1).copied().unwrap_or(0.0)
+    }
+
+    /// The spectral gap `1 − |λ_2|`.
+    pub fn spectral_gap(&self) -> f64 {
+        1.0 - self.subdominant()
+    }
+
+    /// Sum of all sub-dominant magnitudes — the "area under the trend line"
+    /// plotted in Fig. 11 / Fig. 15; smaller means faster convergence.
+    pub fn subdominant_mass(&self) -> f64 {
+        self.values.iter().skip(1).sum()
+    }
+
+    /// Number of eigenvalues with magnitude above `threshold`, excluding the
+    /// leading eigenvalue.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.values
+            .iter()
+            .skip(1)
+            .filter(|&&v| v > threshold)
+            .count()
+    }
+}
+
+/// Computes the eigenvalue-magnitude spectrum of a transition matrix, sorted
+/// in descending order.
+pub fn spectrum(p: &TransitionMatrix) -> Spectrum {
+    let eigs = eigenvalues_real(p.rows());
+    let mut values: Vec<f64> = eigs.iter().map(|z| z.abs()).collect();
+    values.sort_by(|a, b| b.partial_cmp(a).expect("magnitudes are finite"));
+    Spectrum { values }
+}
+
+/// Estimates the number of steps needed for `‖π_0 P^k − π‖_1` to drop below
+/// `epsilon`, based on the sub-dominant eigenvalue (`k ≈ ln ε / ln |λ_2|`).
+/// Returns `0` for rank-one chains that mix in a single step.
+pub fn mixing_time_estimate(p: &TransitionMatrix, epsilon: f64) -> usize {
+    let s = spectrum(p);
+    let lambda2 = s.subdominant();
+    if lambda2 <= 1e-12 {
+        return 0;
+    }
+    if lambda2 >= 1.0 - 1e-12 {
+        return usize::MAX;
+    }
+    (epsilon.ln() / lambda2.ln()).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdrift_matrix_is_rank_one() {
+        let p = TransitionMatrix::from_stationary(&[0.4, 0.3, 0.2, 0.1]);
+        let s = spectrum(&p);
+        assert!((s.values[0] - 1.0).abs() < 1e-8);
+        for v in &s.values[1..] {
+            assert!(*v < 1e-8);
+        }
+        assert_eq!(mixing_time_estimate(&p, 1e-3), 0);
+        assert!((s.spectral_gap() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn leading_eigenvalue_of_any_stochastic_matrix_is_one() {
+        let p = TransitionMatrix::new(vec![
+            vec![0.0, 0.8, 0.0, 0.2],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.5, 0.0, 0.2, 0.3],
+            vec![0.4, 0.0, 0.6, 0.0],
+        ])
+        .unwrap();
+        let s = spectrum(&p);
+        assert!((s.values[0] - 1.0).abs() < 1e-7);
+        for v in &s.values {
+            assert!(*v <= 1.0 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn identity_chain_has_all_unit_eigenvalues() {
+        let p = TransitionMatrix::new(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let s = spectrum(&p);
+        assert!((s.subdominant() - 1.0).abs() < 1e-9);
+        assert_eq!(mixing_time_estimate(&p, 1e-3), usize::MAX);
+    }
+
+    #[test]
+    fn lazy_chain_spectrum_matches_closed_form() {
+        // P = (1-a) I + a * qDRIFT(π) has eigenvalues 1 and (1-a).
+        let a = 0.6;
+        let pi = [0.5, 0.3, 0.2];
+        let qd = TransitionMatrix::from_stationary(&pi);
+        let rows: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..3)
+                    .map(|j| a * qd.prob(i, j) + if i == j { 1.0 - a } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let p = TransitionMatrix::new(rows).unwrap();
+        let s = spectrum(&p);
+        assert!((s.values[0] - 1.0).abs() < 1e-8);
+        assert!((s.values[1] - (1.0 - a)).abs() < 1e-8);
+        assert!((s.values[2] - (1.0 - a)).abs() < 1e-8);
+        let mt = mixing_time_estimate(&p, 1e-3);
+        assert!(mt > 0 && mt < 20);
+    }
+
+    #[test]
+    fn subdominant_mass_and_count() {
+        let s = Spectrum {
+            values: vec![1.0, 0.46, 0.46, 0.25, 0.0],
+        };
+        assert!((s.subdominant_mass() - 1.17).abs() < 1e-12);
+        assert_eq!(s.count_above(0.3), 2);
+        assert_eq!(s.count_above(0.5), 0);
+    }
+}

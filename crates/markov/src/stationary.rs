@@ -1,0 +1,195 @@
+//! Stationary distributions.
+//!
+//! A distribution `π` is stationary for a chain `P` when `π P = π`
+//! (Definition 2.6). For an irreducible chain the stationary distribution is
+//! unique; we compute it by solving the linear system
+//! `(Pᵀ − I) π = 0, Σ π_i = 1` with the last balance equation replaced by the
+//! normalization constraint, and fall back to power iteration if the solve
+//! fails numerically.
+
+use marqsim_linalg::{solve_linear, Complex, Matrix};
+
+use crate::TransitionMatrix;
+
+/// Computes the stationary distribution of `p`.
+///
+/// Returns `None` when the chain has no unique stationary distribution the
+/// solver can find (for example when the chain is reducible and the linear
+/// system is singular in a way the normalization row cannot repair).
+pub fn stationary_distribution(p: &TransitionMatrix) -> Option<Vec<f64>> {
+    let n = p.num_states();
+    if n == 1 {
+        return Some(vec![1.0]);
+    }
+    if let Some(pi) = solve_balance_equations(p) {
+        if pi.iter().all(|&x| x >= -1e-9) {
+            let mut pi = pi;
+            for x in pi.iter_mut() {
+                *x = x.max(0.0);
+            }
+            let total: f64 = pi.iter().sum();
+            if total > 0.0 {
+                for x in pi.iter_mut() {
+                    *x /= total;
+                }
+                if p.preserves_distribution(&pi, 1e-8) {
+                    return Some(pi);
+                }
+            }
+        }
+    }
+    power_iteration(p)
+}
+
+/// Direct linear solve of the balance equations.
+fn solve_balance_equations(p: &TransitionMatrix) -> Option<Vec<f64>> {
+    let n = p.num_states();
+    // Build (Pᵀ - I) with the last row replaced by the all-ones normalization.
+    let a = Matrix::from_fn(n, n, |i, j| {
+        if i == n - 1 {
+            Complex::ONE
+        } else {
+            let mut v = p.prob(j, i);
+            if i == j {
+                v -= 1.0;
+            }
+            Complex::real(v)
+        }
+    });
+    let mut b = vec![Complex::ZERO; n];
+    b[n - 1] = Complex::ONE;
+    let x = solve_linear(&a, &b).ok()?;
+    Some(x.into_iter().map(|z| z.re).collect())
+}
+
+/// Power iteration fallback: repeatedly apply `π ← π P` from the uniform
+/// distribution. Converges for irreducible aperiodic chains.
+fn power_iteration(p: &TransitionMatrix) -> Option<Vec<f64>> {
+    let n = p.num_states();
+    let mut pi = vec![1.0 / n as f64; n];
+    for _ in 0..100_000 {
+        let next = p.propagate(&pi);
+        let delta: f64 = next
+            .iter()
+            .zip(pi.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        pi = next;
+        if delta < 1e-13 {
+            return Some(pi);
+        }
+    }
+    if p.preserves_distribution(&pi, 1e-6) {
+        Some(pi)
+    } else {
+        None
+    }
+}
+
+/// Verifies both Theorem 4.1 conditions at once: strong connectivity and
+/// preservation of the given distribution.
+pub fn satisfies_theorem_4_1(p: &TransitionMatrix, pi: &[f64], tol: f64) -> bool {
+    p.is_strongly_connected() && p.preserves_distribution(pi, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_chain_closed_form() {
+        // P = [[1-a, a], [b, 1-b]] has stationary (b, a)/(a+b).
+        let a = 0.3;
+        let b = 0.1;
+        let p = TransitionMatrix::new(vec![vec![1.0 - a, a], vec![b, 1.0 - b]]).unwrap();
+        let pi = stationary_distribution(&p).unwrap();
+        assert!((pi[0] - b / (a + b)).abs() < 1e-10);
+        assert!((pi[1] - a / (a + b)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qdrift_chain_recovers_its_distribution() {
+        let target = vec![0.5, 0.25, 0.2, 0.05];
+        let p = TransitionMatrix::from_stationary(&target);
+        let pi = stationary_distribution(&p).unwrap();
+        for (a, b) in pi.iter().zip(target.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn four_state_irreducible_chain_distribution() {
+        // A chain in the style of Example 2.1 / Fig. 4 (the paper's figure
+        // does not fully specify which edge carries which weight, so we only
+        // check the defining properties of the unique stationary
+        // distribution).
+        let p = TransitionMatrix::new(vec![
+            vec![0.0, 0.8, 0.0, 0.2],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.5, 0.0, 0.2, 0.3],
+            vec![0.4, 0.0, 0.6, 0.0],
+        ])
+        .unwrap();
+        let pi = stationary_distribution(&p).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(pi.iter().all(|&x| x > 0.0));
+        assert!(p.preserves_distribution(&pi, 1e-10));
+        // Cross-check against long-run power iteration from a different start.
+        let mut q = vec![1.0, 0.0, 0.0, 0.0];
+        for _ in 0..10_000 {
+            q = p.propagate(&q);
+        }
+        for (a, b) in pi.iter().zip(q.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let p = TransitionMatrix::new(vec![vec![1.0]]).unwrap();
+        assert_eq!(stationary_distribution(&p).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn periodic_chain_still_has_stationary_distribution() {
+        // A deterministic 3-cycle is periodic but has uniform stationary
+        // distribution; the direct solve handles it.
+        let p = TransitionMatrix::new(vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        let pi = stationary_distribution(&p).unwrap();
+        for x in &pi {
+            assert!((x - 1.0 / 3.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn theorem_4_1_check() {
+        let pi = vec![0.5, 0.25, 0.2, 0.05];
+        let qdrift = TransitionMatrix::from_stationary(&pi);
+        assert!(satisfies_theorem_4_1(&qdrift, &pi, 1e-12));
+
+        // A strongly connected chain that does NOT preserve this particular π.
+        let other = TransitionMatrix::new(vec![
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ])
+        .unwrap();
+        assert!(!satisfies_theorem_4_1(&other, &pi, 1e-12));
+    }
+
+    #[test]
+    fn stationary_of_reducible_chain_with_absorbing_state() {
+        // Reducible chain: the absorbing state soaks up everything; the
+        // solver should still return a valid stationary distribution
+        // (concentrated on the absorbing state).
+        let p = TransitionMatrix::new(vec![vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
+        let pi = stationary_distribution(&p).unwrap();
+        assert!((pi[1] - 1.0).abs() < 1e-6);
+    }
+}

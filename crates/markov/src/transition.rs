@@ -1,0 +1,337 @@
+//! Row-stochastic transition matrices.
+
+use std::fmt;
+
+use crate::connectivity;
+use crate::stationary;
+
+/// Errors produced when constructing a [`TransitionMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Number of rows found.
+        rows: usize,
+        /// Number of columns found in the offending row.
+        cols: usize,
+    },
+    /// An entry is negative or non-finite.
+    InvalidEntry {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A row does not sum to one (within tolerance).
+    RowNotNormalized {
+        /// Index of the offending row.
+        row: usize,
+        /// The row sum found.
+        sum: f64,
+    },
+    /// The matrix has no rows.
+    Empty,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionError::NotSquare { rows, cols } => {
+                write!(f, "transition matrix is not square: {rows} rows, row of length {cols}")
+            }
+            TransitionError::InvalidEntry { row, col, value } => {
+                write!(f, "invalid transition probability {value} at ({row}, {col})")
+            }
+            TransitionError::RowNotNormalized { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            TransitionError::Empty => write!(f, "transition matrix has no rows"),
+        }
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// A validated row-stochastic matrix `P = (p_ij)`: every entry lies in
+/// `[0, 1]` and every row sums to one (Definition 2.3 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use marqsim_markov::TransitionMatrix;
+///
+/// let p = TransitionMatrix::new(vec![
+///     vec![0.0, 0.8, 0.0, 0.2],
+///     vec![0.5, 0.0, 0.5, 0.0],
+///     vec![0.5, 0.0, 0.2, 0.3],
+///     vec![0.4, 0.0, 0.6, 0.0],
+/// ]).unwrap();
+/// assert_eq!(p.num_states(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    rows: Vec<Vec<f64>>,
+}
+
+/// Tolerance for row normalization checks.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+impl TransitionMatrix {
+    /// Creates a transition matrix, validating stochasticity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransitionError`] if the matrix is empty, not square, has
+    /// an entry outside `[0, 1]`, or has a row that does not sum to one.
+    pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, TransitionError> {
+        if rows.is_empty() {
+            return Err(TransitionError::Empty);
+        }
+        let n = rows.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(TransitionError::NotSquare {
+                    rows: n,
+                    cols: row.len(),
+                });
+            }
+            let mut sum = 0.0;
+            for (j, &p) in row.iter().enumerate() {
+                if !p.is_finite() || p < -1e-12 || p > 1.0 + 1e-12 {
+                    return Err(TransitionError::InvalidEntry {
+                        row: i,
+                        col: j,
+                        value: p,
+                    });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > ROW_SUM_TOL {
+                return Err(TransitionError::RowNotNormalized { row: i, sum });
+            }
+        }
+        Ok(TransitionMatrix { rows })
+    }
+
+    /// Creates a transition matrix by normalizing each row of a non-negative
+    /// weight matrix. Rows that sum to zero become uniform rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is empty, non-square, or contains negative
+    /// weights.
+    pub fn from_weights(weights: &[Vec<f64>]) -> Self {
+        assert!(!weights.is_empty(), "weight matrix must be non-empty");
+        let n = weights.len();
+        let rows = weights
+            .iter()
+            .map(|row| {
+                assert_eq!(row.len(), n, "weight matrix must be square");
+                let sum: f64 = row.iter().inspect(|&&w| {
+                    assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+                })
+                .sum();
+                if sum <= 0.0 {
+                    vec![1.0 / n as f64; n]
+                } else {
+                    row.iter().map(|&w| w / sum).collect()
+                }
+            })
+            .collect();
+        TransitionMatrix { rows }
+    }
+
+    /// The rank-one "qDRIFT" chain for a probability distribution `π`: every
+    /// row equals `π`, so each step samples independently from `π`
+    /// (Corollary 4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is empty, has negative entries, or does not sum to one.
+    pub fn from_stationary(pi: &[f64]) -> Self {
+        assert!(!pi.is_empty(), "distribution must be non-empty");
+        let sum: f64 = pi.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "distribution must be normalized (sums to {sum})"
+        );
+        assert!(pi.iter().all(|&p| p >= 0.0), "probabilities must be non-negative");
+        TransitionMatrix {
+            rows: vec![pi.to_vec(); pi.len()],
+        }
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The probability of transitioning from state `i` to state `j`.
+    #[inline]
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.rows[i][j]
+    }
+
+    /// Borrow of row `i` (the distribution over successors of state `i`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// Borrow of the full matrix as rows.
+    #[inline]
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Left action of a distribution: `(π P)_j = Σ_i π_i p_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.num_states()`.
+    pub fn propagate(&self, pi: &[f64]) -> Vec<f64> {
+        assert_eq!(pi.len(), self.num_states(), "distribution length mismatch");
+        let n = self.num_states();
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let pi_i = pi[i];
+            if pi_i == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[j] += pi_i * self.rows[i][j];
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `π P = π` within `tol` (the Stationary Distribution
+    /// Preservation condition of Theorem 4.1).
+    pub fn preserves_distribution(&self, pi: &[f64], tol: f64) -> bool {
+        let propagated = self.propagate(pi);
+        propagated
+            .iter()
+            .zip(pi.iter())
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns `true` if the state transition graph (edges where `p_ij > 0`)
+    /// is strongly connected (the Strong Connectivity condition of
+    /// Theorem 4.1).
+    pub fn is_strongly_connected(&self) -> bool {
+        connectivity::is_strongly_connected(self)
+    }
+
+    /// Computes the stationary distribution of the chain.
+    ///
+    /// See [`stationary::stationary_distribution`] for details and failure
+    /// modes.
+    pub fn stationary_distribution(&self) -> Option<Vec<f64>> {
+        stationary::stationary_distribution(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_2_1() -> TransitionMatrix {
+        TransitionMatrix::new(vec![
+            vec![0.0, 0.8, 0.0, 0.2],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.5, 0.0, 0.2, 0.3],
+            vec![0.4, 0.0, 0.6, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_matrix_is_accepted() {
+        let p = example_2_1();
+        assert_eq!(p.num_states(), 4);
+        assert!((p.prob(0, 1) - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert_eq!(TransitionMatrix::new(vec![]).unwrap_err(), TransitionError::Empty);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let err = TransitionMatrix::new(vec![vec![0.5, 0.5], vec![1.0]]).unwrap_err();
+        assert!(matches!(err, TransitionError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn negative_entry_rejected() {
+        let err = TransitionMatrix::new(vec![vec![1.5, -0.5], vec![0.5, 0.5]]).unwrap_err();
+        assert!(matches!(err, TransitionError::InvalidEntry { .. }));
+    }
+
+    #[test]
+    fn unnormalized_row_rejected() {
+        let err = TransitionMatrix::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap_err();
+        assert!(matches!(err, TransitionError::RowNotNormalized { row: 0, .. }));
+    }
+
+    #[test]
+    fn from_weights_normalizes_rows() {
+        let p = TransitionMatrix::from_weights(&[vec![2.0, 2.0], vec![0.0, 0.0]]);
+        assert!((p.prob(0, 0) - 0.5).abs() < 1e-15);
+        // Zero-weight row becomes uniform.
+        assert!((p.prob(1, 0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_stationary_builds_rank_one_chain() {
+        let pi = vec![0.5, 0.25, 0.2, 0.05];
+        let p = TransitionMatrix::from_stationary(&pi);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((p.prob(i, j) - pi[j]).abs() < 1e-15);
+            }
+        }
+        assert!(p.preserves_distribution(&pi, 1e-12));
+    }
+
+    #[test]
+    fn propagate_preserves_total_probability() {
+        let p = example_2_1();
+        let pi = vec![0.25; 4];
+        let out = p.propagate(&pi);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_stationary_distribution_is_preserved() {
+        // An irreducible 4-state chain in the style of Example 2.1: its
+        // computed stationary distribution must be a fixed point of P.
+        let p = example_2_1();
+        let pi = p.stationary_distribution().expect("chain is irreducible");
+        assert!(p.preserves_distribution(&pi, 1e-10));
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(pi.iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+
+    #[test]
+    fn strong_connectivity_of_example() {
+        assert!(example_2_1().is_strongly_connected());
+        // A chain with an absorbing state is not strongly connected.
+        let absorbing = TransitionMatrix::new(vec![
+            vec![0.5, 0.5],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        assert!(!absorbing.is_strongly_connected());
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let err = TransitionMatrix::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap_err();
+        assert!(err.to_string().contains("sums to"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Pauli operators, Pauli strings, and Hamiltonians.
+//!
+//! Quantum Hamiltonian simulation starts from a Hamiltonian decomposed into a
+//! weighted sum of Pauli strings, `H = Σ_j h_j P_j` (§2.3 of the MarQSim
+//! paper). This crate is the workspace's representation of that input
+//! language:
+//!
+//! * [`PauliOp`] — the single-qubit operators `I`, `X`, `Y`, `Z`.
+//! * [`PauliString`] — an `n`-qubit tensor product of Pauli operators with
+//!   full multiplication/commutation algebra and dense-matrix export.
+//! * [`Hamiltonian`] — a list of weighted Pauli strings with the bookkeeping
+//!   the compiler needs (`λ = Σ|h_j|`, normalization, term merging) plus a
+//!   human-readable text format (`"1.0 IIIZ + 0.5 IIZZ"`).
+//! * [`ordering`] — deterministic term orderings (lexicographic, magnitude,
+//!   greedy matched-suffix) used by the Trotter-style baselines of §3.1.
+//!
+//! # Example
+//!
+//! ```
+//! use marqsim_pauli::{Hamiltonian, PauliString};
+//!
+//! # fn main() -> Result<(), marqsim_pauli::ParseError> {
+//! let ham = Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY")?;
+//! assert_eq!(ham.num_qubits(), 4);
+//! assert_eq!(ham.num_terms(), 4);
+//! assert!((ham.lambda() - 2.0).abs() < 1e-12);
+//!
+//! let zz: PauliString = "IIZZ".parse()?;
+//! assert_eq!(zz.support().count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod hamiltonian;
+mod op;
+mod parse;
+mod string;
+
+pub mod algebra;
+pub mod ordering;
+
+pub use hamiltonian::{Hamiltonian, Term};
+pub use op::PauliOp;
+pub use parse::ParseError;
+pub use string::PauliString;

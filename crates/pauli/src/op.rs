@@ -1,0 +1,214 @@
+//! Single-qubit Pauli operators.
+
+use std::fmt;
+
+use marqsim_linalg::{Complex, Matrix};
+
+/// A single-qubit Pauli operator.
+///
+/// The discriminants are chosen so that the operator can be encoded in two
+/// bits as `(x, z)`: `I = 00`, `Z = 01`, `X = 10`, `Y = 11`. This symplectic
+/// encoding makes Pauli-string products and commutation checks cheap bitwise
+/// operations (see [`crate::PauliString`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum PauliOp {
+    /// The identity operator.
+    I = 0b00,
+    /// Pauli `Z` (phase flip).
+    Z = 0b01,
+    /// Pauli `X` (bit flip).
+    X = 0b10,
+    /// Pauli `Y = iXZ`.
+    Y = 0b11,
+}
+
+impl PauliOp {
+    /// All four operators in canonical `I, X, Y, Z` order.
+    pub const ALL: [PauliOp; 4] = [PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z];
+
+    /// Returns the `x` component of the symplectic encoding.
+    #[inline]
+    pub fn x_bit(self) -> bool {
+        (self as u8) & 0b10 != 0
+    }
+
+    /// Returns the `z` component of the symplectic encoding.
+    #[inline]
+    pub fn z_bit(self) -> bool {
+        (self as u8) & 0b01 != 0
+    }
+
+    /// Builds an operator from its symplectic `(x, z)` bits.
+    #[inline]
+    pub fn from_bits(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => PauliOp::I,
+            (false, true) => PauliOp::Z,
+            (true, false) => PauliOp::X,
+            (true, true) => PauliOp::Y,
+        }
+    }
+
+    /// Returns `true` for the identity operator.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == PauliOp::I
+    }
+
+    /// Single-character representation (`I`, `X`, `Y`, `Z`).
+    pub fn to_char(self) -> char {
+        match self {
+            PauliOp::I => 'I',
+            PauliOp::X => 'X',
+            PauliOp::Y => 'Y',
+            PauliOp::Z => 'Z',
+        }
+    }
+
+    /// Parses a single character; returns `None` for anything other than
+    /// `I`, `X`, `Y`, `Z` (case-insensitive).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(PauliOp::I),
+            'X' => Some(PauliOp::X),
+            'Y' => Some(PauliOp::Y),
+            'Z' => Some(PauliOp::Z),
+            _ => None,
+        }
+    }
+
+    /// Product of two single-qubit Paulis, returned as `(phase, operator)`
+    /// where the full product is `phase * operator` and `phase` is one of
+    /// `±1, ±i`.
+    pub fn mul(self, other: PauliOp) -> (Complex, PauliOp) {
+        use PauliOp::*;
+        if self == I {
+            return (Complex::ONE, other);
+        }
+        if other == I {
+            return (Complex::ONE, self);
+        }
+        if self == other {
+            return (Complex::ONE, I);
+        }
+        // Cyclic: XY = iZ, YZ = iX, ZX = iY; reversed order picks up -i.
+        let (phase, result) = match (self, other) {
+            (X, Y) => (Complex::I, Z),
+            (Y, Z) => (Complex::I, X),
+            (Z, X) => (Complex::I, Y),
+            (Y, X) => (-Complex::I, Z),
+            (Z, Y) => (-Complex::I, X),
+            (X, Z) => (-Complex::I, Y),
+            _ => unreachable!("identity and equal cases already handled"),
+        };
+        (phase, result)
+    }
+
+    /// Returns `true` if the two operators commute.
+    #[inline]
+    pub fn commutes_with(self, other: PauliOp) -> bool {
+        self == PauliOp::I || other == PauliOp::I || self == other
+    }
+
+    /// The 2×2 matrix representation of the operator.
+    pub fn matrix(self) -> Matrix {
+        match self {
+            PauliOp::I => Matrix::identity(2),
+            PauliOp::X => Matrix::from_real_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
+            PauliOp::Y => Matrix::from_rows(&[
+                vec![Complex::ZERO, Complex::new(0.0, -1.0)],
+                vec![Complex::new(0.0, 1.0), Complex::ZERO],
+            ]),
+            PauliOp::Z => Matrix::from_real_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]]),
+        }
+    }
+}
+
+impl Default for PauliOp {
+    fn default() -> Self {
+        PauliOp::I
+    }
+}
+
+impl fmt::Display for PauliOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symplectic_round_trip() {
+        for op in PauliOp::ALL {
+            assert_eq!(PauliOp::from_bits(op.x_bit(), op.z_bit()), op);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for op in PauliOp::ALL {
+            assert_eq!(PauliOp::from_char(op.to_char()), Some(op));
+            assert_eq!(
+                PauliOp::from_char(op.to_char().to_ascii_lowercase()),
+                Some(op)
+            );
+        }
+        assert_eq!(PauliOp::from_char('Q'), None);
+    }
+
+    #[test]
+    fn products_match_matrix_products() {
+        for a in PauliOp::ALL {
+            for b in PauliOp::ALL {
+                let (phase, c) = a.mul(b);
+                let lhs = a.matrix().matmul(&b.matrix());
+                let rhs = c.matrix().scale(phase);
+                assert!(
+                    lhs.approx_eq(&rhs, 1e-12),
+                    "product mismatch for {a}{b} -> {phase} {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn squares_are_identity() {
+        for op in PauliOp::ALL {
+            let (phase, result) = op.mul(op);
+            assert_eq!(result, PauliOp::I);
+            assert!(phase.approx_eq(Complex::ONE, 1e-15));
+        }
+    }
+
+    #[test]
+    fn commutation_matches_matrices() {
+        for a in PauliOp::ALL {
+            for b in PauliOp::ALL {
+                let ab = a.matrix().matmul(&b.matrix());
+                let ba = b.matrix().matmul(&a.matrix());
+                let commutes = ab.approx_eq(&ba, 1e-12);
+                assert_eq!(a.commutes_with(b), commutes, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xy_equals_i_z() {
+        let (phase, op) = PauliOp::X.mul(PauliOp::Y);
+        assert_eq!(op, PauliOp::Z);
+        assert!(phase.approx_eq(Complex::I, 1e-15));
+    }
+
+    #[test]
+    fn matrices_are_hermitian_unitary_involutions() {
+        for op in PauliOp::ALL {
+            let m = op.matrix();
+            assert!(m.is_hermitian(1e-15));
+            assert!(m.is_unitary(1e-15));
+        }
+    }
+}

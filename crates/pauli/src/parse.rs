@@ -1,0 +1,104 @@
+//! Errors for parsing Pauli strings and Hamiltonians from text.
+
+use std::fmt;
+
+/// Errors produced when parsing [`crate::PauliString`] or
+/// [`crate::Hamiltonian`] values from text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A Pauli string contained a character other than `I`, `X`, `Y`, `Z`.
+    InvalidPauliChar {
+        /// The offending character.
+        character: char,
+        /// Zero-based position within the Pauli string.
+        position: usize,
+    },
+    /// An empty Pauli string was supplied.
+    EmptyPauliString,
+    /// A Hamiltonian term was missing either the coefficient or the string.
+    MalformedTerm {
+        /// The raw text of the term that failed to parse.
+        term: String,
+    },
+    /// The coefficient of a term could not be parsed as a float.
+    InvalidCoefficient {
+        /// The raw coefficient text.
+        text: String,
+    },
+    /// Terms in one Hamiltonian act on different numbers of qubits.
+    InconsistentQubitCount {
+        /// Qubit count of the first term.
+        expected: usize,
+        /// Qubit count of the offending term.
+        found: usize,
+    },
+    /// The Hamiltonian contained no terms.
+    EmptyHamiltonian,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::InvalidPauliChar { character, position } => write!(
+                f,
+                "invalid Pauli character '{character}' at position {position}"
+            ),
+            ParseError::EmptyPauliString => write!(f, "empty Pauli string"),
+            ParseError::MalformedTerm { term } => {
+                write!(f, "malformed Hamiltonian term '{term}'")
+            }
+            ParseError::InvalidCoefficient { text } => {
+                write!(f, "invalid coefficient '{text}'")
+            }
+            ParseError::InconsistentQubitCount { expected, found } => write!(
+                f,
+                "inconsistent qubit count: expected {expected}, found {found}"
+            ),
+            ParseError::EmptyHamiltonian => write!(f, "hamiltonian has no terms"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(ParseError, &str)> = vec![
+            (
+                ParseError::InvalidPauliChar {
+                    character: 'Q',
+                    position: 3,
+                },
+                "invalid Pauli character",
+            ),
+            (ParseError::EmptyPauliString, "empty"),
+            (
+                ParseError::MalformedTerm {
+                    term: "0.5".to_string(),
+                },
+                "malformed",
+            ),
+            (
+                ParseError::InvalidCoefficient {
+                    text: "abc".to_string(),
+                },
+                "invalid coefficient",
+            ),
+            (
+                ParseError::InconsistentQubitCount {
+                    expected: 4,
+                    found: 3,
+                },
+                "inconsistent",
+            ),
+            (ParseError::EmptyHamiltonian, "no terms"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

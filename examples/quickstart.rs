@@ -1,0 +1,57 @@
+//! Quickstart: compile the paper's running example (Example 4.1) with every
+//! MarQSim configuration and compare the resulting circuits.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use marqsim::core::{metrics, Compiler, CompilerConfig, TransitionStrategy};
+use marqsim::pauli::Hamiltonian;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // H = 1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY (Example 4.1).
+    let ham = Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY")?;
+    let time = std::f64::consts::FRAC_PI_4;
+    let epsilon = 0.02;
+
+    println!("Hamiltonian: {ham}");
+    println!("lambda = {:.3}, qubits = {}", ham.lambda(), ham.num_qubits());
+    println!();
+
+    for strategy in [
+        TransitionStrategy::baseline(),
+        TransitionStrategy::marqsim_gc(),
+        TransitionStrategy::marqsim_gc_rp(),
+    ] {
+        let config = CompilerConfig::new(time, epsilon)
+            .with_strategy(strategy.clone())
+            .with_seed(7);
+        let result = Compiler::new(config).compile(&ham)?;
+        let fidelity = metrics::evaluate_fidelity(&result.hamiltonian, time, &result.sequence);
+        println!("{}", strategy.label());
+        println!("  samples (N)          : {}", result.num_samples);
+        println!("  sequence CNOTs       : {}", result.stats.cnot);
+        println!("  sequence total gates : {}", result.stats.total);
+        println!("  circuit CNOTs        : {}", result.circuit.cnot_count());
+        println!("  circuit depth        : {}", result.circuit.depth());
+        println!("  unitary fidelity     : {fidelity:.5}");
+        println!();
+    }
+
+    // The transition matrix actually sampled by MarQSim-GC (Equation (15)).
+    let config = CompilerConfig::new(time, epsilon)
+        .with_strategy(TransitionStrategy::marqsim_gc())
+        .with_seed(7);
+    let result = Compiler::new(config).compile(&ham)?;
+    println!("MarQSim-GC transition matrix (rows = previous term):");
+    for i in 0..result.transition.num_states() {
+        let row: Vec<String> = result
+            .transition
+            .row(i)
+            .iter()
+            .map(|p| format!("{p:.2}"))
+            .collect();
+        println!("  [{}]", row.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Compiling an SYK-model evolution — the quantum-field-theory benchmark
+//! family of Table 1 — and comparing MarQSim against first-order Trotter and
+//! randomized-order Trotter baselines at matched rotation counts.
+//!
+//! ```sh
+//! cargo run --release --example syk_scrambling
+//! ```
+
+use marqsim::core::{baselines, metrics, Compiler, CompilerConfig, TransitionStrategy};
+use marqsim::fermion::syk::{syk_hamiltonian, SykParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ham = syk_hamiltonian(
+        &SykParams {
+            majoranas: 12,
+            coupling: 1.0,
+            seed: 7,
+        },
+        None,
+    );
+    let time = 0.15;
+    println!(
+        "SYK model: {} qubits, {} four-Majorana couplings, lambda = {:.3}",
+        ham.num_qubits(),
+        ham.num_terms(),
+        ham.lambda()
+    );
+
+    // MarQSim-GC-RP compilation.
+    let config = CompilerConfig::new(time, 0.01)
+        .with_strategy(TransitionStrategy::marqsim_gc_rp())
+        .with_seed(3)
+        .without_circuit();
+    let marqsim = Compiler::new(config).compile(&ham)?;
+    let f_marqsim = metrics::evaluate_fidelity(&marqsim.hamiltonian, time, &marqsim.sequence);
+
+    // First-order Trotter with the same total number of rotations.
+    let steps = (marqsim.num_samples / ham.num_terms()).max(1);
+    let trotter = baselines::trotter_sequence_natural(&ham, time, steps);
+    let f_trotter = baselines::evaluate_baseline_fidelity(&ham, time, &trotter);
+    let trotter_stats = metrics::sequence_stats(&ham, &trotter.sequence);
+
+    // Randomized-order Trotter (Childs et al.).
+    let random = baselines::random_order_trotter_sequence(&ham, time, steps, 11);
+    let f_random = baselines::evaluate_baseline_fidelity(&ham, time, &random);
+    let random_stats = metrics::sequence_stats(&ham, &random.sequence);
+
+    println!();
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "method", "rotations", "CNOTs", "accuracy"
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>10.5}",
+        "first-order Trotter",
+        trotter.sequence.len(),
+        trotter_stats.cnot,
+        f_trotter
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>10.5}",
+        "random-order Trotter",
+        random.sequence.len(),
+        random_stats.cnot,
+        f_random
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>10.5}",
+        "MarQSim-GC-RP",
+        marqsim.num_samples,
+        marqsim.stats.cnot,
+        f_marqsim
+    );
+    println!();
+    println!(
+        "(the SYK Hamiltonian has dense all-to-all couplings, so term ordering matters: MarQSim \
+         trades a tiny amount of sampling randomness for CNOT cancellation)"
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Deterministic vs randomized vs MarQSim compilation on a spin chain:
+//! reproduces the §3 motivation by comparing first-order Trotter (fixed
+//! order), randomized-order Trotter, qDRIFT, and MarQSim-GC on the
+//! transverse-field Ising model at equal gate budgets.
+//!
+//! ```sh
+//! cargo run --release --example trotter_vs_marqsim
+//! ```
+
+use marqsim::core::{baselines, metrics, Compiler, CompilerConfig, TransitionStrategy};
+use marqsim::hamlib::spin::transverse_field_ising;
+use marqsim::pauli::ordering;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ham = transverse_field_ising(6, 1.0, 0.7, false);
+    let time = 0.6;
+    println!(
+        "transverse-field Ising chain: {} qubits, {} terms, lambda = {:.2}",
+        ham.num_qubits(),
+        ham.num_terms(),
+        ham.lambda()
+    );
+
+    // Budget: the qDRIFT sample count at epsilon = 0.02.
+    let epsilon = 0.02;
+    let budget =
+        ((2.0 * ham.lambda() * ham.lambda() * time * time) / epsilon).ceil() as usize;
+    let steps = (budget / ham.num_terms()).max(1);
+    println!("rotation budget: {budget} sampled rotations ≈ {steps} Trotter steps");
+    println!();
+
+    println!(
+        "{:<32} {:>10} {:>12} {:>10}",
+        "method", "rotations", "CNOTs", "accuracy"
+    );
+
+    // Deterministic Trotter, natural and cancellation-greedy orders.
+    for (label, order) in [
+        ("Trotter (natural order)", (0..ham.num_terms()).collect::<Vec<_>>()),
+        ("Trotter (greedy-cancel order)", ordering::greedy_cancellation(&ham)),
+    ] {
+        let result = baselines::trotter_sequence(&ham, time, steps, &order);
+        let stats = metrics::sequence_stats(&ham, &result.sequence);
+        let f = baselines::evaluate_baseline_fidelity(&ham, time, &result);
+        println!(
+            "{:<32} {:>10} {:>12} {:>10.5}",
+            label,
+            result.sequence.len(),
+            stats.cnot,
+            f
+        );
+    }
+
+    // Randomized-order Trotter.
+    let random = baselines::random_order_trotter_sequence(&ham, time, steps, 5);
+    let stats = metrics::sequence_stats(&ham, &random.sequence);
+    let f = baselines::evaluate_baseline_fidelity(&ham, time, &random);
+    println!(
+        "{:<32} {:>10} {:>12} {:>10.5}",
+        "Trotter (random order / step)",
+        random.sequence.len(),
+        stats.cnot,
+        f
+    );
+
+    // qDRIFT and MarQSim at the same budget.
+    for (label, strategy) in [
+        ("qDRIFT (baseline)", TransitionStrategy::baseline()),
+        ("MarQSim-GC", TransitionStrategy::marqsim_gc()),
+        ("MarQSim-GC-RP", TransitionStrategy::marqsim_gc_rp()),
+    ] {
+        let cfg = CompilerConfig::new(time, epsilon)
+            .with_strategy(strategy)
+            .with_seed(2)
+            .with_sample_count(budget)
+            .without_circuit();
+        let result = Compiler::new(cfg).compile(&ham)?;
+        let f = metrics::evaluate_fidelity(&result.hamiltonian, time, &result.sequence);
+        println!(
+            "{:<32} {:>10} {:>12} {:>10.5}",
+            label,
+            result.num_samples,
+            result.stats.cnot,
+            f
+        );
+    }
+    println!();
+    println!(
+        "MarQSim inherits qDRIFT's accuracy while recovering most of the CNOT savings that \
+         deterministic ordering enjoys."
+    );
+    Ok(())
+}

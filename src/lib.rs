@@ -1,0 +1,58 @@
+//! # MarQSim
+//!
+//! A Rust reproduction of *MarQSim: Reconciling Determinism and Randomness in
+//! Compiler Optimization for Quantum Simulation* (PLDI 2025).
+//!
+//! MarQSim compiles a quantum Hamiltonian `H = Σ_j h_j H_j` (a weighted sum of
+//! Pauli strings) into a quantum circuit approximating `exp(iHt)`. Instead of
+//! a fixed Trotter ordering or purely i.i.d. qDRIFT sampling, MarQSim samples
+//! the term sequence from a Markov chain over the Hamiltonian terms (the
+//! *Hamiltonian Term Transition Graph*). The transition matrix is tuned with a
+//! min-cost-flow model so that consecutive samples share Pauli support and
+//! cancel CNOT gates, while preserving the qDRIFT stationary distribution and
+//! therefore the qDRIFT error bound.
+//!
+//! This facade crate re-exports all workspace crates under stable module
+//! names. See the individual crates for the detailed APIs:
+//!
+//! * [`pauli`] — Pauli strings and Hamiltonians.
+//! * [`circuit`] — quantum circuit IR, Pauli-rotation synthesis, CNOT
+//!   cancellation.
+//! * [`sim`] — state-vector / unitary simulation and fidelity evaluation.
+//! * [`markov`] — stochastic matrices, stationary distributions, spectra.
+//! * [`flow`] — min-cost flow solver.
+//! * [`fermion`] — second-quantized operators, Jordan–Wigner, molecular / SYK
+//!   Hamiltonian generators.
+//! * [`hamlib`] — the benchmark suite used by the evaluation.
+//! * [`core`] — the MarQSim compiler itself (HTT graph, Algorithm 1 and 2,
+//!   transition-matrix optimization, baselines, experiment drivers).
+//! * [`linalg`] — dense complex linear algebra used throughout.
+//!
+//! # Quick start
+//!
+//! ```
+//! use marqsim::core::{Compiler, CompilerConfig, TransitionStrategy};
+//! use marqsim::pauli::Hamiltonian;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // H = 1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY   (Example 4.1 of the paper)
+//! let ham = Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY")?;
+//! let config = CompilerConfig::new(std::f64::consts::FRAC_PI_4, 0.05)
+//!     .with_strategy(TransitionStrategy::GateCancellation { qdrift_weight: 0.4 })
+//!     .with_seed(7);
+//! let compiler = Compiler::new(config);
+//! let result = compiler.compile(&ham)?;
+//! assert!(result.circuit.cnot_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use marqsim_circuit as circuit;
+pub use marqsim_core as core;
+pub use marqsim_fermion as fermion;
+pub use marqsim_flow as flow;
+pub use marqsim_hamlib as hamlib;
+pub use marqsim_linalg as linalg;
+pub use marqsim_markov as markov;
+pub use marqsim_pauli as pauli;
+pub use marqsim_sim as sim;

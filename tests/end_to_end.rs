@@ -1,0 +1,155 @@
+//! End-to-end integration tests: Hamiltonian text → MarQSim compilation →
+//! circuit → simulated unitary → fidelity against the exact evolution.
+
+use marqsim::circuit::qasm;
+use marqsim::core::{metrics, Compiler, CompilerConfig, TransitionStrategy};
+use marqsim::pauli::Hamiltonian;
+use marqsim::sim::{exact, fidelity, UnitaryAccumulator};
+
+fn example_hamiltonian() -> Hamiltonian {
+    Hamiltonian::parse("0.8 XZI + 0.6 ZYI + 0.5 XXZ + 0.4 IZZ + 0.2 YIY").unwrap()
+}
+
+#[test]
+fn every_strategy_compiles_and_approximates_the_exact_evolution() {
+    let ham = example_hamiltonian();
+    let time = 0.5;
+    for strategy in [
+        TransitionStrategy::baseline(),
+        TransitionStrategy::marqsim_gc(),
+        TransitionStrategy::marqsim_gc_rp(),
+    ] {
+        let config = CompilerConfig::new(time, 0.01)
+            .with_strategy(strategy.clone())
+            .with_seed(3)
+            .without_circuit();
+        let result = Compiler::new(config).compile(&ham).unwrap();
+        let f = metrics::evaluate_fidelity(&result.hamiltonian, time, &result.sequence);
+        assert!(
+            f > 0.97,
+            "{}: fidelity {f} below expectation for epsilon=0.01",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn synthesized_circuit_and_fast_path_agree_end_to_end() {
+    let ham = example_hamiltonian();
+    let time = 0.4;
+    let config = CompilerConfig::new(time, 0.1)
+        .with_strategy(TransitionStrategy::marqsim_gc())
+        .with_seed(9);
+    let result = Compiler::new(config).compile(&ham).unwrap();
+
+    // Gate-level unitary.
+    let mut gate_acc = UnitaryAccumulator::new(ham.num_qubits());
+    gate_acc.apply_circuit(&result.circuit);
+    // Rotation-level unitary.
+    let mut rot_acc = UnitaryAccumulator::new(ham.num_qubits());
+    rot_acc.apply_sequence(&result.rotation_sequence());
+    let agreement = fidelity::fidelity(&gate_acc.to_matrix(), &rot_acc.to_matrix());
+    assert!(agreement > 1.0 - 1e-9, "gate vs rotation agreement {agreement}");
+
+    // And both approximate the exact evolution equally well.
+    let exact_u = exact::exact_unitary(&ham, time);
+    let f_gate = fidelity::fidelity(&gate_acc.to_matrix(), &exact_u);
+    let f_rot = fidelity::fidelity_with_matrix(&rot_acc, &exact_u);
+    assert!((f_gate - f_rot).abs() < 1e-9);
+}
+
+#[test]
+fn gate_cancellation_strategy_reduces_cnots_without_losing_accuracy() {
+    let ham = Hamiltonian::parse(
+        "0.9 ZZZZI + 0.8 ZZIZI + 0.7 XXIII + 0.6 IYYII + 0.5 IIZZZ + 0.4 XYXYI + 0.3 IZIZZ + 0.2 YYIII",
+    )
+    .unwrap();
+    let time = 0.4;
+    let samples = 3000;
+    let compile = |strategy: TransitionStrategy| {
+        let cfg = CompilerConfig::new(time, 0.05)
+            .with_strategy(strategy)
+            .with_seed(17)
+            .with_sample_count(samples)
+            .without_circuit();
+        Compiler::new(cfg).compile(&ham).unwrap()
+    };
+    let baseline = compile(TransitionStrategy::baseline());
+    let gc = compile(TransitionStrategy::marqsim_gc());
+
+    assert!(
+        (gc.stats.cnot as f64) < 0.95 * baseline.stats.cnot as f64,
+        "expected at least 5% CNOT reduction: {} vs {}",
+        gc.stats.cnot,
+        baseline.stats.cnot
+    );
+
+    let f_base = metrics::evaluate_fidelity(&baseline.hamiltonian, time, &baseline.sequence);
+    let f_gc = metrics::evaluate_fidelity(&gc.hamiltonian, time, &gc.sequence);
+    assert!(f_base > 0.99);
+    assert!(f_gc > 0.98, "GC accuracy {f_gc} dropped too far below baseline {f_base}");
+}
+
+#[test]
+fn qdrift_error_bound_is_respected_on_average() {
+    // Theorem 4.1: the error is bounded by roughly epsilon = 2 lambda^2 t^2 / N.
+    // The trace-fidelity deficit should therefore shrink as N grows.
+    let ham = Hamiltonian::parse("0.5 XZ + 0.4 ZY + 0.3 XX + 0.2 YZ").unwrap();
+    let time = 0.6;
+    let deficit = |epsilon: f64| {
+        let mut total = 0.0;
+        let repeats = 5;
+        for seed in 0..repeats {
+            let cfg = CompilerConfig::new(time, epsilon)
+                .with_strategy(TransitionStrategy::baseline())
+                .with_seed(seed)
+                .without_circuit();
+            let result = Compiler::new(cfg).compile(&ham).unwrap();
+            let f = metrics::evaluate_fidelity(&result.hamiltonian, time, &result.sequence);
+            total += 1.0 - f;
+        }
+        total / repeats as f64
+    };
+    let coarse = deficit(0.2);
+    let fine = deficit(0.02);
+    assert!(
+        fine < coarse,
+        "higher sample count should reduce the average error ({fine} vs {coarse})"
+    );
+    assert!(fine < 0.02, "fine-grained compilation error too large: {fine}");
+}
+
+#[test]
+fn compiled_circuit_exports_to_qasm() {
+    let ham = example_hamiltonian();
+    let config = CompilerConfig::new(0.3, 0.2)
+        .with_strategy(TransitionStrategy::marqsim_gc())
+        .with_seed(1);
+    let result = Compiler::new(config).compile(&ham).unwrap();
+    let text = qasm::to_qasm(&result.circuit);
+    assert!(text.contains("OPENQASM 2.0"));
+    assert!(text.contains("qreg q[3];"));
+    assert!(text.contains("cx "));
+    assert!(text.contains("rz("));
+}
+
+#[test]
+fn sequence_statistics_are_consistent_with_the_synthesized_circuit() {
+    // The analytic sequence model and the gate-level circuit agree exactly on
+    // the Rz count, and the circuit (whose peephole pass is conservative
+    // about ladder ordering) never has fewer CNOTs than twice the analytic
+    // junction model nor more than the unoptimized synthesis.
+    let ham = example_hamiltonian();
+    let config = CompilerConfig::new(0.4, 0.05)
+        .with_strategy(TransitionStrategy::marqsim_gc())
+        .with_seed(5);
+    let result = Compiler::new(config).compile(&ham).unwrap();
+    assert_eq!(result.stats.rz, result.circuit.rz_count());
+    let unoptimized_cnots: usize = result
+        .merged_sequence
+        .iter()
+        .map(|&(idx, _)| 2 * result.hamiltonian.term(idx).string.weight().saturating_sub(1))
+        .sum();
+    assert!(result.circuit.cnot_count() <= unoptimized_cnots);
+    assert!(result.stats.cnot <= unoptimized_cnots);
+}

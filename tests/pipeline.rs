@@ -1,0 +1,130 @@
+//! Cross-crate pipeline tests: second quantization → Jordan–Wigner →
+//! benchmark suite → MarQSim compilation → baselines, exercising every crate
+//! of the workspace together.
+
+use marqsim::core::{baselines, metrics, Compiler, CompilerConfig, TransitionStrategy};
+use marqsim::fermion::hubbard::{hubbard_hamiltonian, HubbardParams};
+use marqsim::fermion::syk::{syk_hamiltonian, SykParams};
+use marqsim::hamlib::spin::{heisenberg_xxz, transverse_field_ising};
+use marqsim::hamlib::suite::{table1_suite, SuiteScale};
+use marqsim::markov::spectra::spectrum;
+
+#[test]
+fn hubbard_model_compiles_and_simulates_accurately() {
+    let ham = hubbard_hamiltonian(&HubbardParams {
+        sites: 2,
+        hopping: 1.0,
+        interaction: 2.0,
+        periodic: false,
+    })
+    .unwrap();
+    let time = 0.3;
+    let config = CompilerConfig::new(time, 0.01)
+        .with_strategy(TransitionStrategy::marqsim_gc())
+        .with_seed(2)
+        .without_circuit();
+    let result = Compiler::new(config).compile(&ham).unwrap();
+    let f = metrics::evaluate_fidelity(&result.hamiltonian, time, &result.sequence);
+    assert!(f > 0.99, "Hubbard fidelity {f}");
+}
+
+#[test]
+fn syk_instance_compiles_with_every_strategy() {
+    let ham = syk_hamiltonian(
+        &SykParams {
+            majoranas: 10,
+            coupling: 1.0,
+            seed: 4,
+        },
+        Some(60),
+    );
+    for strategy in [
+        TransitionStrategy::baseline(),
+        TransitionStrategy::marqsim_gc(),
+        TransitionStrategy::marqsim_gc_rp(),
+    ] {
+        let config = CompilerConfig::new(0.15, 0.05)
+            .with_strategy(strategy)
+            .with_seed(6)
+            .without_circuit();
+        let result = Compiler::new(config).compile(&ham).unwrap();
+        assert!(result.stats.cnot > 0);
+        assert_eq!(result.sequence.len(), result.num_samples);
+    }
+}
+
+#[test]
+fn reduced_benchmark_suite_compiles_under_all_configurations() {
+    for bench in table1_suite(SuiteScale::Reduced) {
+        let config = CompilerConfig::new(bench.time, 0.1)
+            .with_strategy(TransitionStrategy::marqsim_gc())
+            .with_seed(8)
+            .without_circuit();
+        let result = Compiler::new(config)
+            .compile(&bench.hamiltonian)
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", bench.name));
+        assert!(result.num_samples > 0, "{}", bench.name);
+        assert!(
+            result.transition.is_strongly_connected(),
+            "{} transition graph not strongly connected",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn marqsim_beats_baseline_on_spin_chains_at_equal_budget() {
+    let ham = heisenberg_xxz(5, 1.0, 0.5, false);
+    let budget = 2000;
+    let compile = |strategy: TransitionStrategy| {
+        let cfg = CompilerConfig::new(0.5, 0.05)
+            .with_strategy(strategy)
+            .with_seed(13)
+            .with_sample_count(budget)
+            .without_circuit();
+        Compiler::new(cfg).compile(&ham).unwrap()
+    };
+    let baseline = compile(TransitionStrategy::baseline());
+    let marqsim = compile(TransitionStrategy::marqsim_gc());
+    assert!(
+        marqsim.stats.cnot < baseline.stats.cnot,
+        "{} vs {}",
+        marqsim.stats.cnot,
+        baseline.stats.cnot
+    );
+}
+
+#[test]
+fn trotter_and_marqsim_both_converge_on_the_ising_chain() {
+    let ham = transverse_field_ising(4, 1.0, 0.6, false);
+    let time = 0.5;
+    // Trotter baseline.
+    let trotter = baselines::trotter_sequence_natural(&ham, time, 30);
+    let f_trotter = baselines::evaluate_baseline_fidelity(&ham, time, &trotter);
+    // MarQSim.
+    let cfg = CompilerConfig::new(time, 0.005)
+        .with_strategy(TransitionStrategy::marqsim_gc_rp())
+        .with_seed(5)
+        .without_circuit();
+    let result = Compiler::new(cfg).compile(&ham).unwrap();
+    let f_marqsim = metrics::evaluate_fidelity(&result.hamiltonian, time, &result.sequence);
+    assert!(f_trotter > 0.999, "Trotter fidelity {f_trotter}");
+    assert!(f_marqsim > 0.99, "MarQSim fidelity {f_marqsim}");
+}
+
+#[test]
+fn spectra_of_suite_transition_matrices_are_stochastic() {
+    // Leading eigenvalue 1, everything inside the unit disk — for the actual
+    // benchmark-suite chains, not just toy examples.
+    let bench = &table1_suite(SuiteScale::Reduced)[0];
+    let config = CompilerConfig::new(bench.time, 0.1)
+        .with_strategy(TransitionStrategy::marqsim_gc())
+        .with_seed(1)
+        .without_circuit();
+    let result = Compiler::new(config).compile(&bench.hamiltonian).unwrap();
+    let s = spectrum(&result.transition);
+    assert!((s.values[0] - 1.0).abs() < 1e-6);
+    for v in &s.values {
+        assert!(*v <= 1.0 + 1e-6);
+    }
+}
