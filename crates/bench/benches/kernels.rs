@@ -84,5 +84,11 @@ fn circuit_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pauli_kernels, flow_kernels, markov_kernels, circuit_kernels);
+criterion_group!(
+    benches,
+    pauli_kernels,
+    flow_kernels,
+    markov_kernels,
+    circuit_kernels
+);
 criterion_main!(benches);

@@ -7,17 +7,22 @@
 //! The reduced scale uses the BeH2 (froze)-class benchmark shrunk to 8
 //! qubits so the exact unitary is cheap to evaluate.
 
-use marqsim_bench::{header, run_scale};
-use marqsim_core::experiment::{run_sweep, SweepConfig, DEFAULT_EPSILONS};
+use marqsim_bench::{engine, header, run_scale};
+use marqsim_core::experiment::{SweepConfig, DEFAULT_EPSILONS};
 use marqsim_core::fitting::fit_exponential;
 use marqsim_core::TransitionStrategy;
 use marqsim_hamlib::suite::{benchmark_by_name, SuiteScale};
 
 fn main() {
     let scale = run_scale();
+    let engine = engine();
     // Fidelity evaluation is exponential in qubit count; Fig. 12 always runs
     // on the reduced benchmark unless --full is given explicitly.
-    let suite_scale = if scale.fidelity { SuiteScale::Reduced } else { scale.suite };
+    let suite_scale = if scale.fidelity {
+        SuiteScale::Reduced
+    } else {
+        scale.suite
+    };
     let bench = benchmark_by_name("BeH2 (froze)", suite_scale).expect("benchmark exists");
 
     header("Fig. 12(a): raw data (accuracy, CNOT count)");
@@ -28,10 +33,18 @@ fn main() {
         base_seed: 12,
         evaluate_fidelity: true,
     };
-    let sweep = run_sweep(&bench.hamiltonian, &TransitionStrategy::marqsim_gc(), &config)
+    let sweep = engine
+        .run_sweep(
+            &bench.hamiltonian,
+            &TransitionStrategy::marqsim_gc(),
+            &config,
+        )
         .expect("sweep");
 
-    println!("{:>10} {:>12} {:>12} {:>10}", "epsilon", "N samples", "CNOT", "accuracy");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "epsilon", "N samples", "CNOT", "accuracy"
+    );
     for p in &sweep.points {
         println!(
             "{:>10.4} {:>12} {:>12} {:>10.5}",
@@ -68,7 +81,10 @@ fn main() {
                 fit.a, fit.b, fit.c, fit.rss
             );
             for target in [0.992, 0.993, 0.994] {
-                println!("  interpolated CNOT at accuracy {target}: {:.1}", fit.evaluate(target));
+                println!(
+                    "  interpolated CNOT at accuracy {target}: {:.1}",
+                    fit.evaluate(target)
+                );
             }
         }
         None => println!("not enough accuracy data for the exponential fit"),

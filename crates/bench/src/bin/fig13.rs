@@ -8,42 +8,64 @@
 //!
 //! Run with `cargo run -p marqsim-bench --release --bin fig13 [--full]`.
 
-use marqsim_bench::{header, pct, run_scale};
-use marqsim_core::experiment::{reduction_summary, run_sweep, SweepConfig};
+use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
+use marqsim_engine::SweepRequest;
 use marqsim_hamlib::suite::table1_suite;
 
 fn main() {
     let scale = run_scale();
+    let engine = engine();
     header("Fig. 13: Overall improvement over all benchmarks");
 
     let mut gc_cnot_reductions = Vec::new();
     let mut gcrp_cnot_reductions = Vec::new();
     let mut gcrp_total_reductions = Vec::new();
 
+    // One flattened batch: every (benchmark, strategy) sweep of the figure
+    // load-balances over the same work queue, and each benchmark's P_gc
+    // min-cost-flow solve happens once for both MarQSim strategies.
+    let suite = table1_suite(scale.suite);
+    let strategies = [
+        TransitionStrategy::QDrift,
+        TransitionStrategy::marqsim_gc(),
+        TransitionStrategy::marqsim_gc_rp(),
+    ];
+    let requests: Vec<SweepRequest> = suite
+        .iter()
+        .flat_map(|bench| {
+            let config = SweepConfig {
+                time: bench.time,
+                epsilons: vec![0.1, 0.05, 0.033],
+                repeats: scale.repeats,
+                base_seed: 42,
+                evaluate_fidelity: scale.fidelity && bench.qubits <= 8,
+            };
+            strategies.iter().map(move |strategy| {
+                SweepRequest::new(
+                    format!("fig13/{}/{}", bench.name, strategy.label()),
+                    bench.hamiltonian.clone(),
+                    strategy.clone(),
+                    config.clone(),
+                )
+            })
+        })
+        .collect();
+    let mut sweeps = engine.run_sweeps(requests).into_iter();
+
     println!(
         "{:<16} {:>9} | {:>12} {:>12} | {:>12} {:>12} {:>14}",
         "Benchmark", "Strings", "GC CNOT", "GC total", "GC-RP CNOT", "GC-RP total", "sigma change"
     );
 
-    for bench in table1_suite(scale.suite) {
-        let config = SweepConfig {
-            time: bench.time,
-            epsilons: vec![0.1, 0.05, 0.033],
-            repeats: scale.repeats,
-            base_seed: 42,
-            evaluate_fidelity: scale.fidelity && bench.qubits <= 8,
-        };
-        let baseline = run_sweep(&bench.hamiltonian, &TransitionStrategy::QDrift, &config)
+    for bench in &suite {
+        let baseline = sweeps
+            .next()
+            .expect("baseline sweep")
             .expect("baseline sweep");
-        let gc = run_sweep(&bench.hamiltonian, &TransitionStrategy::marqsim_gc(), &config)
-            .expect("gc sweep");
-        let gcrp = run_sweep(
-            &bench.hamiltonian,
-            &TransitionStrategy::marqsim_gc_rp(),
-            &config,
-        )
-        .expect("gc-rp sweep");
+        let gc = sweeps.next().expect("gc sweep").expect("gc sweep");
+        let gcrp = sweeps.next().expect("gc-rp sweep").expect("gc-rp sweep");
 
         let gc_summary = reduction_summary(&baseline, &gc);
         let gcrp_summary = reduction_summary(&baseline, &gcrp);
@@ -62,7 +84,7 @@ fn main() {
         let sigma_gc = sigma(&gc);
         let sigma_gcrp = sigma(&gcrp);
         let sigma_change = if sigma_gc > 0.0 {
-            format!("{}", pct(1.0 - sigma_gcrp / sigma_gc))
+            pct(1.0 - sigma_gcrp / sigma_gc).to_string()
         } else {
             "n/a".to_string()
         };

@@ -7,17 +7,28 @@
 //!
 //! Run with `cargo run -p marqsim-bench --release --bin fig14 [--full]`.
 
-use marqsim_bench::{header, pct, run_scale};
-use marqsim_core::experiment::{reduction_summary, run_sweep, SweepConfig};
+use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
+use marqsim_engine::SweepRequest;
 use marqsim_hamlib::suite::{benchmark_by_name, table1_suite};
 
 fn main() {
     let scale = run_scale();
+    let engine = engine();
     header("Fig. 14: Varying the (Pqd, Pgc) combination ratio");
 
     // The eight benchmarks used by the paper for this figure.
-    let names = ["Na+", "Cl-", "Ar", "OH-", "HF", "LiH", "SYK model 1", "SYK model 2"];
+    let names = [
+        "Na+",
+        "Cl-",
+        "Ar",
+        "OH-",
+        "HF",
+        "LiH",
+        "SYK model 1",
+        "SYK model 2",
+    ];
     let ratios = [0.8, 0.4, 0.2];
 
     println!(
@@ -27,29 +38,55 @@ fn main() {
 
     let mut per_ratio_totals = vec![Vec::new(); ratios.len()];
     let suite = table1_suite(scale.suite);
-    for name in names {
-        let bench = benchmark_by_name(name, scale.suite)
-            .or_else(|| suite.iter().find(|b| b.name == name).cloned())
-            .expect("benchmark exists");
-        let config = SweepConfig {
-            time: bench.time,
-            epsilons: vec![0.1, 0.05],
-            repeats: scale.repeats,
-            base_seed: 7,
-            evaluate_fidelity: false,
-        };
-        let baseline = run_sweep(&bench.hamiltonian, &TransitionStrategy::QDrift, &config)
+    let benches: Vec<_> = names
+        .iter()
+        .map(|name| {
+            benchmark_by_name(name, scale.suite)
+                .or_else(|| suite.iter().find(|b| &b.name == name).cloned())
+                .expect("benchmark exists")
+        })
+        .collect();
+
+    // Baseline plus the three ratio chains per benchmark, as one batch: the
+    // four strategies of one benchmark share a single P_gc solve.
+    let requests: Vec<SweepRequest> = benches
+        .iter()
+        .flat_map(|bench| {
+            let config = SweepConfig {
+                time: bench.time,
+                epsilons: vec![0.1, 0.05],
+                repeats: scale.repeats,
+                base_seed: 7,
+                evaluate_fidelity: false,
+            };
+            std::iter::once(TransitionStrategy::QDrift)
+                .chain(
+                    ratios
+                        .iter()
+                        .map(|&qd_weight| TransitionStrategy::GateCancellation {
+                            qdrift_weight: qd_weight,
+                        }),
+                )
+                .map(move |strategy| {
+                    SweepRequest::new(
+                        format!("fig14/{}/{}", bench.name, strategy.label()),
+                        bench.hamiltonian.clone(),
+                        strategy,
+                        config.clone(),
+                    )
+                })
+        })
+        .collect();
+    let mut sweeps = engine.run_sweeps(requests).into_iter();
+
+    for bench in &benches {
+        let baseline = sweeps
+            .next()
+            .expect("baseline sweep")
             .expect("baseline sweep");
         let mut row = format!("{:<16} |", bench.name);
-        for (i, &qd_weight) in ratios.iter().enumerate() {
-            let sweep = run_sweep(
-                &bench.hamiltonian,
-                &TransitionStrategy::GateCancellation {
-                    qdrift_weight: qd_weight,
-                },
-                &config,
-            )
-            .expect("ratio sweep");
+        for (i, _) in ratios.iter().enumerate() {
+            let sweep = sweeps.next().expect("ratio sweep").expect("ratio sweep");
             let summary = reduction_summary(&baseline, &sweep);
             per_ratio_totals[i].push(summary.cnot_reduction);
             row.push_str(&format!(" {:>16}", pct(summary.cnot_reduction)));

@@ -8,11 +8,12 @@
 //!
 //! Run with `cargo run -p marqsim-bench --release --bin fig15 [--full]`.
 
-use marqsim_bench::{header, pct, run_scale};
-use marqsim_core::experiment::{run_sweep, SweepConfig};
+use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_core::experiment::SweepConfig;
 use marqsim_core::perturb::PerturbationConfig;
 use marqsim_core::transition::build_transition_matrix;
 use marqsim_core::TransitionStrategy;
+use marqsim_engine::SweepRequest;
 use marqsim_hamlib::suite::{benchmark_by_name, SuiteScale};
 use marqsim_markov::spectra::spectrum;
 use marqsim_pauli::Hamiltonian;
@@ -31,6 +32,7 @@ fn print_spectrum(label: &str, ham: &Hamiltonian, strategy: &TransitionStrategy)
 
 fn main() {
     let scale = run_scale();
+    let engine = engine();
 
     header("Fig. 11: spectra for the Example 5.3 Hamiltonian");
     let example =
@@ -43,8 +45,15 @@ fn main() {
     );
 
     header("Fig. 15: spectra for the Na+ benchmark, with and without Prp");
-    let bench = benchmark_by_name("Na+", if scale.fidelity { SuiteScale::Reduced } else { scale.suite })
-        .expect("benchmark exists");
+    let bench = benchmark_by_name(
+        "Na+",
+        if scale.fidelity {
+            SuiteScale::Reduced
+        } else {
+            scale.suite
+        },
+    )
+    .expect("benchmark exists");
     let perturbation = PerturbationConfig {
         samples: 20,
         seed: 11,
@@ -90,10 +99,22 @@ fn main() {
         base_seed: 19,
         evaluate_fidelity: true,
     };
+    let requests: Vec<SweepRequest> = configs
+        .iter()
+        .map(|(label, strategy)| {
+            SweepRequest::new(
+                format!("fig15/{label}"),
+                bench.hamiltonian.clone(),
+                strategy.clone(),
+                sweep_config.clone(),
+            )
+        })
+        .collect();
+    let sweeps = engine.run_sweeps(requests);
+
     let mut sigmas = Vec::new();
-    for (label, strategy) in &configs {
-        let sweep =
-            run_sweep(&bench.hamiltonian, strategy, &sweep_config).expect("sweep");
+    for ((label, _), sweep) in configs.iter().zip(sweeps) {
+        let sweep = sweep.expect("sweep");
         let clusters = sweep.cluster_summaries();
         let sigma: f64 =
             clusters.iter().map(|c| c.std_fidelity).sum::<f64>() / clusters.len() as f64;

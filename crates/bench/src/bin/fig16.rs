@@ -10,13 +10,15 @@
 
 use std::f64::consts::PI;
 
-use marqsim_bench::{header, pct, run_scale};
-use marqsim_core::experiment::{reduction_summary, run_sweep, SweepConfig};
+use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
+use marqsim_engine::SweepRequest;
 use marqsim_hamlib::suite::benchmark_by_name;
 
 fn main() {
     let scale = run_scale();
+    let engine = engine();
     header("Fig. 16: impact of the evolution time");
 
     let times = [PI / 6.0, PI / 3.0, PI / 2.0, 3.0 * PI / 4.0];
@@ -27,10 +29,22 @@ fn main() {
         "Benchmark", "t", "GC CNOT", "GC total", "GC-RP CNOT", "GC-RP total"
     );
 
-    let mut gc_by_time = vec![Vec::new(); times.len()];
-    for name in ["Na+", "OH-"] {
-        let bench = benchmark_by_name(name, scale.suite).expect("benchmark exists");
-        for (ti, (&t, label)) in times.iter().zip(time_labels.iter()).enumerate() {
+    // Note the P_gc transition matrix depends only on the Hamiltonian, not
+    // on the evolution time: all four times of a benchmark — twelve sweeps —
+    // share one min-cost-flow solve through the engine cache.
+    let strategies = [
+        TransitionStrategy::QDrift,
+        TransitionStrategy::marqsim_gc(),
+        TransitionStrategy::marqsim_gc_rp(),
+    ];
+    let names = ["Na+", "OH-"];
+    let benches: Vec<_> = names
+        .iter()
+        .map(|name| benchmark_by_name(name, scale.suite).expect("benchmark exists"))
+        .collect();
+    let mut requests: Vec<SweepRequest> = Vec::new();
+    for bench in &benches {
+        for (&t, label) in times.iter().zip(time_labels.iter()) {
             let config = SweepConfig {
                 time: t,
                 epsilons: vec![0.1, 0.05],
@@ -38,16 +52,25 @@ fn main() {
                 base_seed: 23,
                 evaluate_fidelity: false,
             };
-            let baseline =
-                run_sweep(&bench.hamiltonian, &TransitionStrategy::QDrift, &config).unwrap();
-            let gc =
-                run_sweep(&bench.hamiltonian, &TransitionStrategy::marqsim_gc(), &config).unwrap();
-            let gcrp = run_sweep(
-                &bench.hamiltonian,
-                &TransitionStrategy::marqsim_gc_rp(),
-                &config,
-            )
-            .unwrap();
+            for strategy in &strategies {
+                requests.push(SweepRequest::new(
+                    format!("fig16/{}/t={label}/{}", bench.name, strategy.label()),
+                    bench.hamiltonian.clone(),
+                    strategy.clone(),
+                    config.clone(),
+                ));
+            }
+        }
+    }
+    let mut sweeps = engine.run_sweeps(requests).into_iter();
+
+    let mut gc_by_time = vec![Vec::new(); times.len()];
+    for bench in &benches {
+        let name = bench.name;
+        for (ti, label) in time_labels.iter().enumerate() {
+            let baseline = sweeps.next().unwrap().unwrap();
+            let gc = sweeps.next().unwrap().unwrap();
+            let gcrp = sweeps.next().unwrap().unwrap();
             let gc_summary = reduction_summary(&baseline, &gc);
             let gcrp_summary = reduction_summary(&baseline, &gcrp);
             gc_by_time[ti].push(gc_summary.cnot_reduction);

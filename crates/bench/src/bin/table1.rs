@@ -2,26 +2,33 @@
 //! Pauli-string count, evolution time), plus the coefficient 1-norm λ that
 //! determines the qDRIFT sample count.
 //!
+//! Benchmark construction (molecular / SYK Hamiltonian generation) is
+//! fanned out over the engine's worker pool, one job per table row.
+//!
 //! Run with `cargo run -p marqsim-bench --bin table1 [--full]`.
 
-use marqsim_bench::{header, run_scale};
-use marqsim_hamlib::suite::table1_suite;
+use marqsim_bench::{engine, header, run_scale};
+use marqsim_hamlib::suite::{benchmark_by_name, table1_names};
 
 fn main() {
     let scale = run_scale();
+    let engine = engine();
     header("Table 1: Benchmark Information");
     println!(
         "{:<16} {:>7} {:>14} {:>10} {:>10}",
         "Benchmark", "Qubit#", "Pauli String#", "Time", "lambda"
     );
-    for bench in table1_suite(scale.suite) {
+    let suite_scale = scale.suite;
+    let rows = engine.map("table1", table1_names(), move |_, name| {
+        let bench = benchmark_by_name(name, suite_scale).expect("benchmark exists");
+        let lambda = bench.hamiltonian.lambda();
+        (bench, lambda)
+    });
+    for row in rows {
+        let (bench, lambda) = row.expect("benchmark construction");
         println!(
             "{:<16} {:>7} {:>14} {:>10.4} {:>10.3}",
-            bench.name,
-            bench.qubits,
-            bench.pauli_strings,
-            bench.time,
-            bench.hamiltonian.lambda()
+            bench.name, bench.qubits, bench.pauli_strings, bench.time, lambda
         );
     }
     println!();

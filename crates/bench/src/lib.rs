@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use marqsim_engine::Engine;
 use marqsim_hamlib::suite::SuiteScale;
 
 /// Runtime scale selection shared by the binaries.
@@ -25,7 +26,9 @@ pub struct RunScale {
 /// `MARQSIM_SCALE=full` selects the paper-sized run.
 pub fn run_scale() -> RunScale {
     let full = std::env::args().any(|a| a == "--full")
-        || std::env::var("MARQSIM_SCALE").map(|v| v == "full").unwrap_or(false);
+        || std::env::var("MARQSIM_SCALE")
+            .map(|v| v == "full")
+            .unwrap_or(false);
     if full {
         RunScale {
             suite: SuiteScale::Full,
@@ -39,6 +42,15 @@ pub fn run_scale() -> RunScale {
             fidelity: true,
         }
     }
+}
+
+/// Builds the engine every binary routes its compilations through
+/// (`MARQSIM_THREADS` / `MARQSIM_CACHE` overrides apply) and prints a
+/// one-line banner so runs record their parallelism.
+pub fn engine() -> Engine {
+    let engine = Engine::from_env();
+    println!("[marqsim-engine: {} worker threads]", engine.threads());
+    engine
 }
 
 /// Prints a section header in a consistent format.

@@ -66,7 +66,16 @@ fn commutes(a: &Gate, b: &Gate) -> bool {
     let is_diagonal = |g: &Gate| matches!(g, Z(_) | S(_) | Sdg(_) | Rz(_, _));
     let is_x_type = |g: &Gate| matches!(g, X(_) | Rx(_, _));
     match (a, b) {
-        (Cnot { control: c1, target: t1 }, Cnot { control: c2, target: t2 }) => {
+        (
+            Cnot {
+                control: c1,
+                target: t1,
+            },
+            Cnot {
+                control: c2,
+                target: t2,
+            },
+        ) => {
             if a == b {
                 return true;
             }
@@ -160,8 +169,16 @@ mod tests {
         for gate in circ.gates() {
             let full = match gate {
                 Gate::Cnot { control, target } => Matrix::from_fn(dim, dim, |i, j| {
-                    let flipped = if (j >> control) & 1 == 1 { j ^ (1 << target) } else { j };
-                    if i == flipped { Complex::ONE } else { Complex::ZERO }
+                    let flipped = if (j >> control) & 1 == 1 {
+                        j ^ (1 << target)
+                    } else {
+                        j
+                    };
+                    if i == flipped {
+                        Complex::ONE
+                    } else {
+                        Complex::ZERO
+                    }
                 }),
                 Gate::GlobalPhase(phi) => Matrix::identity(dim).scale(Complex::cis(*phi)),
                 g => {
@@ -214,7 +231,10 @@ mod tests {
 
     #[test]
     fn cnot_pairs_cancel_when_nothing_blocks() {
-        let cx = Gate::Cnot { control: 0, target: 1 };
+        let cx = Gate::Cnot {
+            control: 0,
+            target: 1,
+        };
         let mut c = Circuit::new(2);
         c.push(cx.clone());
         c.push(cx.clone());
@@ -224,7 +244,10 @@ mod tests {
 
     #[test]
     fn cnot_pairs_blocked_by_rotation_on_target_do_not_cancel() {
-        let cx = Gate::Cnot { control: 0, target: 1 };
+        let cx = Gate::Cnot {
+            control: 0,
+            target: 1,
+        };
         let mut c = Circuit::new(2);
         c.push(cx.clone());
         c.push(Gate::Rz(1, 0.3));
@@ -235,7 +258,10 @@ mod tests {
 
     #[test]
     fn cnot_slides_past_diagonal_gate_on_control() {
-        let cx = Gate::Cnot { control: 0, target: 1 };
+        let cx = Gate::Cnot {
+            control: 0,
+            target: 1,
+        };
         let mut c = Circuit::new(2);
         c.push(cx.clone());
         c.push(Gate::Rz(0, 0.3));
@@ -244,19 +270,28 @@ mod tests {
         assert_eq!(opt.cnot_count(), 0);
         assert_eq!(opt.len(), 1);
         // The optimized circuit must implement the same unitary.
-        assert!(unitary(&opt).approx_eq(&unitary(&{
-            let mut orig = Circuit::new(2);
-            orig.push(cx.clone());
-            orig.push(Gate::Rz(0, 0.3));
-            orig.push(cx);
-            orig
-        }), 1e-10));
+        assert!(unitary(&opt).approx_eq(
+            &unitary(&{
+                let mut orig = Circuit::new(2);
+                orig.push(cx.clone());
+                orig.push(Gate::Rz(0, 0.3));
+                orig.push(cx);
+                orig
+            }),
+            1e-10
+        ));
     }
 
     #[test]
     fn cnots_sharing_a_target_commute_and_cancel() {
-        let a = Gate::Cnot { control: 1, target: 0 };
-        let b = Gate::Cnot { control: 2, target: 0 };
+        let a = Gate::Cnot {
+            control: 1,
+            target: 0,
+        };
+        let b = Gate::Cnot {
+            control: 2,
+            target: 0,
+        };
         let mut c = Circuit::new(3);
         c.push(a.clone());
         c.push(b.clone());
@@ -363,9 +398,18 @@ mod tests {
             Gate::S(2),
             Gate::Rz(1, 0.3),
             Gate::Rx(2, 0.7),
-            Gate::Cnot { control: 0, target: 1 },
-            Gate::Cnot { control: 2, target: 1 },
-            Gate::Cnot { control: 0, target: 2 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cnot {
+                control: 2,
+                target: 1,
+            },
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
         ];
         for a in &gates {
             for b in &gates {

@@ -170,7 +170,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} gates:", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} gates:",
+            self.num_qubits,
+            self.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -193,7 +198,10 @@ mod tests {
     fn bell_pair() -> Circuit {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c
     }
 
@@ -218,10 +226,19 @@ mod tests {
         c.push(Gate::H(2));
         c.push(Gate::H(3));
         assert_eq!(c.depth(), 1);
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        c.push(Gate::Cnot { control: 2, target: 3 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 2,
+            target: 3,
+        });
         assert_eq!(c.depth(), 2);
-        c.push(Gate::Cnot { control: 1, target: 2 });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 2,
+        });
         assert_eq!(c.depth(), 3);
     }
 
@@ -247,7 +264,10 @@ mod tests {
     #[should_panic(expected = "addresses qubit")]
     fn push_rejects_out_of_range_qubits() {
         let mut c = Circuit::new(1);
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
     }
 
     #[test]

@@ -117,10 +117,9 @@ impl Gate {
     pub fn local_matrix(&self) -> Matrix {
         let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
         match *self {
-            Gate::H(_) => Matrix::from_real_rows(&[
-                vec![inv_sqrt2, inv_sqrt2],
-                vec![inv_sqrt2, -inv_sqrt2],
-            ]),
+            Gate::H(_) => {
+                Matrix::from_real_rows(&[vec![inv_sqrt2, inv_sqrt2], vec![inv_sqrt2, -inv_sqrt2]])
+            }
             Gate::X(_) => Matrix::from_real_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
             Gate::Y(_) => Matrix::from_rows(&[
                 vec![Complex::ZERO, Complex::new(0.0, -1.0)],
@@ -139,10 +138,9 @@ impl Gate {
                 let s = (theta / 2.0).sin();
                 Matrix::from_real_rows(&[vec![c, -s], vec![s, c]])
             }
-            Gate::Rz(_, theta) => Matrix::diagonal(&[
-                Complex::cis(-theta / 2.0),
-                Complex::cis(theta / 2.0),
-            ]),
+            Gate::Rz(_, theta) => {
+                Matrix::diagonal(&[Complex::cis(-theta / 2.0), Complex::cis(theta / 2.0)])
+            }
             Gate::Cnot { .. } => Matrix::from_real_rows(&[
                 vec![1.0, 0.0, 0.0, 0.0],
                 vec![0.0, 1.0, 0.0, 0.0],
@@ -179,8 +177,19 @@ mod tests {
     #[test]
     fn qubits_and_arity() {
         assert_eq!(Gate::H(3).qubits(), vec![3]);
-        assert_eq!(Gate::Cnot { control: 1, target: 4 }.qubits(), vec![1, 4]);
-        assert!(Gate::Cnot { control: 0, target: 1 }.is_two_qubit());
+        assert_eq!(
+            Gate::Cnot {
+                control: 1,
+                target: 4
+            }
+            .qubits(),
+            vec![1, 4]
+        );
+        assert!(Gate::Cnot {
+            control: 0,
+            target: 1
+        }
+        .is_two_qubit());
         assert!(Gate::Rz(0, 0.5).is_single_qubit());
         assert!(!Gate::GlobalPhase(0.1).is_single_qubit());
         assert!(Gate::GlobalPhase(0.1).qubits().is_empty());
@@ -198,7 +207,10 @@ mod tests {
             Gate::Rx(0, 0.7),
             Gate::Ry(0, -1.3),
             Gate::Rz(0, 2.2),
-            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
         ];
         for g in gates {
             assert!(g.local_matrix().is_unitary(1e-12), "{g} not unitary");
@@ -214,7 +226,10 @@ mod tests {
             Gate::Rx(0, 0.9),
             Gate::Ry(0, 0.4),
             Gate::Rz(0, -1.1),
-            Gate::Cnot { control: 0, target: 1 },
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
         ];
         for g in gates {
             let m = g.local_matrix();
@@ -234,9 +249,15 @@ mod tests {
         assert!(Gate::S(1).cancels_with(&Gate::Sdg(1)));
         assert!(Gate::Rz(0, 0.4).cancels_with(&Gate::Rz(0, -0.4)));
         assert!(!Gate::Rz(0, 0.4).cancels_with(&Gate::Rz(0, 0.4)));
-        let cx = Gate::Cnot { control: 0, target: 1 };
+        let cx = Gate::Cnot {
+            control: 0,
+            target: 1,
+        };
         assert!(cx.cancels_with(&cx.clone()));
-        assert!(!cx.cancels_with(&Gate::Cnot { control: 1, target: 0 }));
+        assert!(!cx.cancels_with(&Gate::Cnot {
+            control: 1,
+            target: 0
+        }));
     }
 
     #[test]
@@ -259,7 +280,14 @@ mod tests {
 
     #[test]
     fn display_is_qasm_like() {
-        assert_eq!(Gate::Cnot { control: 2, target: 0 }.to_string(), "cx q[2],q[0]");
+        assert_eq!(
+            Gate::Cnot {
+                control: 2,
+                target: 0
+            }
+            .to_string(),
+            "cx q[2],q[0]"
+        );
         assert_eq!(Gate::H(1).to_string(), "h q[1]");
     }
 }

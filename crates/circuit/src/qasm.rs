@@ -57,7 +57,10 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::H(1));
         c.push(Gate::Rz(0, 0.5));
-        c.push(Gate::Cnot { control: 1, target: 0 });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 0,
+        });
         let q = to_qasm(&c);
         let h_pos = q.find("h q[1];").unwrap();
         let rz_pos = q.find("rz(0.5) q[0];").unwrap();

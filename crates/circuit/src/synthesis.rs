@@ -137,7 +137,11 @@ mod tests {
         let dim = 1usize << n;
         match gate {
             Gate::Cnot { control, target } => Matrix::from_fn(dim, dim, |i, j| {
-                let flipped = if (j >> control) & 1 == 1 { j ^ (1 << target) } else { j };
+                let flipped = if (j >> control) & 1 == 1 {
+                    j ^ (1 << target)
+                } else {
+                    j
+                };
                 if i == flipped {
                     Complex::ONE
                 } else {

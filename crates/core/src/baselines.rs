@@ -50,7 +50,12 @@ impl BaselineResult {
 ///
 /// Panics if `steps == 0` or `order` is not a permutation of the term
 /// indices.
-pub fn trotter_sequence(ham: &Hamiltonian, t: f64, steps: usize, order: &[usize]) -> BaselineResult {
+pub fn trotter_sequence(
+    ham: &Hamiltonian,
+    t: f64,
+    steps: usize,
+    order: &[usize],
+) -> BaselineResult {
     assert!(steps > 0, "need at least one Trotter step");
     assert_eq!(order.len(), ham.num_terms(), "order must cover every term");
     let mut seen = vec![false; ham.num_terms()];

@@ -88,8 +88,9 @@ pub struct CompileResult {
     pub lambda: f64,
     /// The Hamiltonian the indices refer to (dominant terms split if needed).
     pub hamiltonian: Hamiltonian,
-    /// The transition matrix that was sampled.
-    pub transition: TransitionMatrix,
+    /// The transition matrix that was sampled (shared with the `HttGraph`
+    /// it came from — no per-compile row copy).
+    pub transition: std::sync::Arc<TransitionMatrix>,
     /// The synthesized circuit (empty when
     /// [`CompilerConfig::synthesize_circuit`] is `false`).
     pub circuit: Circuit,
@@ -134,13 +135,7 @@ impl Compiler {
         &self.config
     }
 
-    /// Compiles `exp(iHt)` for the given Hamiltonian.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CompileError`] if the configuration is invalid or the
-    /// transition matrix cannot be constructed.
-    pub fn compile(&self, ham: &Hamiltonian) -> Result<CompileResult, CompileError> {
+    fn validate_config(&self) -> Result<(), CompileError> {
         let cfg = &self.config;
         if !(cfg.time.is_finite() && cfg.time > 0.0) {
             return Err(CompileError::InvalidConfig {
@@ -152,9 +147,41 @@ impl Compiler {
                 reason: format!("target precision must be positive, got {}", cfg.epsilon),
             });
         }
+        Ok(())
+    }
 
+    /// Compiles `exp(iHt)` for the given Hamiltonian.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the configuration is invalid or the
+    /// transition matrix cannot be constructed.
+    pub fn compile(&self, ham: &Hamiltonian) -> Result<CompileResult, CompileError> {
+        self.validate_config()?;
         // Step 1: build the HTT graph (splits dominant terms if needed).
-        let htt = HttGraph::build(ham, &cfg.strategy)?;
+        let htt = HttGraph::build(ham, &self.config.strategy)?;
+        self.compile_with_htt(&htt)
+    }
+
+    /// Compiles against a pre-built [`HttGraph`], skipping transition-matrix
+    /// construction (steps 2–4 of Algorithm 1).
+    ///
+    /// The graph already embodies a transition strategy, so
+    /// [`CompilerConfig::strategy`] is ignored on this path. This is the
+    /// entry point the `marqsim-engine` transition cache uses: the HTT graph
+    /// — whose min-cost-flow solve dominates the compile time — is built
+    /// once per (Hamiltonian, strategy) and shared across every shot and
+    /// sweep point, while sampling stays governed by the per-compile seed.
+    /// For any fixed graph and configuration the output is identical to
+    /// [`Compiler::compile`] on the Hamiltonian and strategy the graph was
+    /// built from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the configuration is invalid.
+    pub fn compile_with_htt(&self, htt: &HttGraph) -> Result<CompileResult, CompileError> {
+        self.validate_config()?;
+        let cfg = &self.config;
         let working = htt.hamiltonian().clone();
         let lambda = working.lambda();
 
@@ -197,7 +224,7 @@ impl Compiler {
             num_samples,
             lambda,
             hamiltonian: working,
-            transition: htt.transition_matrix().clone(),
+            transition: htt.transition_matrix_arc(),
             circuit,
             circuit_stats,
             stats,
@@ -227,7 +254,8 @@ mod tests {
         let cfg = config(TransitionStrategy::QDrift);
         let result = Compiler::new(cfg.clone()).compile(&ham).unwrap();
         let lambda = ham.lambda();
-        let expected = ((2.0 * lambda * lambda * cfg.time * cfg.time) / cfg.epsilon).ceil() as usize;
+        let expected =
+            ((2.0 * lambda * lambda * cfg.time * cfg.time) / cfg.epsilon).ceil() as usize;
         assert_eq!(result.num_samples, expected);
         assert_eq!(result.sequence.len(), expected);
         assert!((result.angle_per_sample - lambda * cfg.time / expected as f64).abs() < 1e-12);
@@ -255,7 +283,7 @@ mod tests {
         let cfg = config(TransitionStrategy::QDrift).with_sample_count(50_000);
         let result = Compiler::new(cfg).compile(&ham).unwrap();
         let pi = ham.stationary_distribution();
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for &s in &result.sequence {
             counts[s] += 1;
         }
@@ -273,7 +301,7 @@ mod tests {
         let cfg = config(TransitionStrategy::marqsim_gc()).with_sample_count(50_000);
         let result = Compiler::new(cfg).compile(&ham).unwrap();
         let pi = ham.stationary_distribution();
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for &s in &result.sequence {
             counts[s] += 1;
         }
@@ -342,6 +370,19 @@ mod tests {
         let u_orig = exact::exact_unitary(&ham, 0.5);
         let u_split = exact::exact_unitary(&result.hamiltonian, 0.5);
         assert!(fidelity::fidelity(&u_orig, &u_split) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn compile_with_htt_matches_compile_from_scratch() {
+        let ham = example();
+        let cfg = config(TransitionStrategy::marqsim_gc());
+        let htt = HttGraph::build(&ham, &TransitionStrategy::marqsim_gc()).unwrap();
+        let via_htt = Compiler::new(cfg.clone()).compile_with_htt(&htt).unwrap();
+        let direct = Compiler::new(cfg).compile(&ham).unwrap();
+        assert_eq!(via_htt.sequence, direct.sequence);
+        assert_eq!(via_htt.num_samples, direct.num_samples);
+        assert_eq!(via_htt.stats, direct.stats);
+        assert_eq!(via_htt.transition.rows(), direct.transition.rows());
     }
 
     #[test]

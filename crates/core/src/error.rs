@@ -7,7 +7,7 @@ use marqsim_markov::combine::CombineError;
 use marqsim_markov::TransitionError;
 
 /// Errors produced by the MarQSim compiler.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum CompileError {
     /// The requested precision or evolution time is invalid (non-positive,
     /// NaN, …).

@@ -11,7 +11,7 @@ use marqsim_pauli::Hamiltonian;
 
 use crate::fitting::{cluster_mean_std, interpolate_at, mean_std};
 use crate::metrics::{evaluate_fidelity, SequenceStats};
-use crate::{CompileError, Compiler, CompilerConfig, TransitionStrategy};
+use crate::{CompileError, Compiler, CompilerConfig, HttGraph, TransitionStrategy};
 
 /// The default precision sweep used throughout the evaluation (§6.1).
 pub const DEFAULT_EPSILONS: [f64; 7] = [0.1, 0.067, 0.05, 0.04, 0.033, 0.0286, 0.025];
@@ -79,7 +79,58 @@ impl SweepConfig {
     }
 }
 
-/// Runs a sweep of one strategy over one Hamiltonian.
+/// The seed used for repetition `rep` of the `eps_idx`-th precision of a
+/// sweep. Exposed so parallel sweep executors (the `marqsim-engine` crate)
+/// can reproduce the serial seed stream exactly: any scheduler that computes
+/// each point with this seed yields byte-identical results to [`run_sweep`].
+pub fn point_seed(config: &SweepConfig, eps_idx: usize, rep: usize) -> u64 {
+    config
+        .base_seed
+        .wrapping_add((eps_idx * config.repeats + rep) as u64 * 7919)
+}
+
+/// Compiles one sweep point against a pre-built HTT graph.
+///
+/// This is the unit of work both the serial [`run_sweep`] loop and the
+/// engine's parallel executor share: the output depends only on
+/// `(htt, config, epsilon, seed)`, never on scheduling order.
+///
+/// # Errors
+///
+/// Propagates the compilation failure.
+pub fn compile_point(
+    htt: &HttGraph,
+    config: &SweepConfig,
+    epsilon: f64,
+    seed: u64,
+) -> Result<ExperimentPoint, CompileError> {
+    let compiler_config = CompilerConfig::new(config.time, epsilon)
+        .with_seed(seed)
+        .without_circuit();
+    let result = Compiler::new(compiler_config).compile_with_htt(htt)?;
+    let fidelity = if config.evaluate_fidelity {
+        Some(evaluate_fidelity(
+            &result.hamiltonian,
+            config.time,
+            &result.sequence,
+        ))
+    } else {
+        None
+    };
+    Ok(ExperimentPoint {
+        epsilon,
+        seed,
+        num_samples: result.num_samples,
+        stats: result.stats,
+        fidelity,
+    })
+}
+
+/// Runs a sweep of one strategy over one Hamiltonian, serially.
+///
+/// The HTT graph (and therefore the min-cost-flow solve behind `P_gc`) is
+/// built once and reused for every point; the per-point RNG streams come
+/// from [`point_seed`].
 ///
 /// # Errors
 ///
@@ -89,33 +140,12 @@ pub fn run_sweep(
     strategy: &TransitionStrategy,
     config: &SweepConfig,
 ) -> Result<SweepResult, CompileError> {
+    let htt = HttGraph::build(ham, strategy)?;
     let mut points = Vec::new();
     for (eps_idx, &epsilon) in config.epsilons.iter().enumerate() {
         for rep in 0..config.repeats {
-            let seed = config
-                .base_seed
-                .wrapping_add((eps_idx * config.repeats + rep) as u64 * 7919);
-            let compiler_config = CompilerConfig::new(config.time, epsilon)
-                .with_strategy(strategy.clone())
-                .with_seed(seed)
-                .without_circuit();
-            let result = Compiler::new(compiler_config).compile(ham)?;
-            let fidelity = if config.evaluate_fidelity {
-                Some(evaluate_fidelity(
-                    &result.hamiltonian,
-                    config.time,
-                    &result.sequence,
-                ))
-            } else {
-                None
-            };
-            points.push(ExperimentPoint {
-                epsilon,
-                seed,
-                num_samples: result.num_samples,
-                stats: result.stats,
-                fidelity,
-            });
+            let seed = point_seed(config, eps_idx, rep);
+            points.push(compile_point(&htt, config, epsilon, seed)?);
         }
     }
     Ok(SweepResult {
@@ -159,11 +189,12 @@ impl SweepResult {
                     .filter(|p| (p.epsilon - eps).abs() < 1e-12)
                     .collect();
                 let cnots: Vec<f64> = cluster.iter().map(|p| p.stats.cnot as f64).collect();
-                let singles: Vec<f64> =
-                    cluster.iter().map(|p| p.stats.single_qubit as f64).collect();
+                let singles: Vec<f64> = cluster
+                    .iter()
+                    .map(|p| p.stats.single_qubit as f64)
+                    .collect();
                 let totals: Vec<f64> = cluster.iter().map(|p| p.stats.total as f64).collect();
-                let fidelities: Vec<f64> =
-                    cluster.iter().filter_map(|p| p.fidelity).collect();
+                let fidelities: Vec<f64> = cluster.iter().filter_map(|p| p.fidelity).collect();
                 let (mean_cnot, std_cnot) = mean_std(&cnots);
                 let (mean_single_qubit, _) = mean_std(&singles);
                 let (mean_total, _) = mean_std(&totals);
@@ -336,10 +367,8 @@ mod tests {
 
     #[test]
     fn reduction_at_matched_accuracy_is_computable() {
-        let small = Hamiltonian::parse(
-            "0.7 ZZZ + 0.6 ZIZ + 0.5 XXI + 0.4 IYY + 0.3 XYX + 0.2 IZZ",
-        )
-        .unwrap();
+        let small = Hamiltonian::parse("0.7 ZZZ + 0.6 ZIZ + 0.5 XXI + 0.4 IYY + 0.3 XYX + 0.2 IZZ")
+            .unwrap();
         let config = SweepConfig {
             time: 0.4,
             epsilons: vec![0.1, 0.05, 0.033],

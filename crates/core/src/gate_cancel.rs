@@ -28,8 +28,7 @@ pub fn cnot_cost_matrix(ham: &Hamiltonian) -> Vec<Vec<f64>> {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                costs[i][j] =
-                    cnot_count_between(&ham.term(i).string, &ham.term(j).string) as f64;
+                costs[i][j] = cnot_count_between(&ham.term(i).string, &ham.term(j).string) as f64;
             }
         }
     }
@@ -56,7 +55,11 @@ pub fn matrix_from_costs(
     for i in 0..n {
         let denom = pi[i];
         for j in 0..n {
-            rows[i][j] = if denom > 0.0 { flow.flows[i][j] / denom } else { 0.0 };
+            rows[i][j] = if denom > 0.0 {
+                flow.flows[i][j] / denom
+            } else {
+                0.0
+            };
         }
         // Guard against round-off: renormalize the row exactly.
         let sum: f64 = rows[i].iter().sum();

@@ -30,7 +30,10 @@ use crate::{CompileError, TransitionStrategy};
 #[derive(Debug, Clone)]
 pub struct HttGraph {
     hamiltonian: Hamiltonian,
-    transition: TransitionMatrix,
+    // Arc so compilations can carry the matrix in their results without
+    // copying the O(n²) rows per compile (sweeps share one graph across
+    // thousands of points).
+    transition: std::sync::Arc<TransitionMatrix>,
     stationary: Vec<f64>,
 }
 
@@ -43,16 +46,12 @@ impl HttGraph {
     ///
     /// Propagates any failure of the transition-matrix construction.
     pub fn build(ham: &Hamiltonian, strategy: &TransitionStrategy) -> Result<Self, CompileError> {
-        let ham = if ham.has_dominant_term() {
-            ham.split_dominant_terms()
-        } else {
-            ham.clone()
-        };
+        let ham = ham.split_if_dominant();
         let transition = crate::transition::build_transition_matrix(&ham, strategy)?;
         let stationary = ham.stationary_distribution();
         Ok(HttGraph {
             hamiltonian: ham,
-            transition,
+            transition: std::sync::Arc::new(transition),
             stationary,
         })
     }
@@ -87,7 +86,7 @@ impl HttGraph {
         }
         Ok(HttGraph {
             hamiltonian: ham.clone(),
-            transition: matrix,
+            transition: std::sync::Arc::new(matrix),
             stationary,
         })
     }
@@ -100,6 +99,11 @@ impl HttGraph {
     /// The transition matrix (edge weights of the graph).
     pub fn transition_matrix(&self) -> &TransitionMatrix {
         &self.transition
+    }
+
+    /// A shared handle to the transition matrix (no row copy).
+    pub fn transition_matrix_arc(&self) -> std::sync::Arc<TransitionMatrix> {
+        std::sync::Arc::clone(&self.transition)
     }
 
     /// The stationary distribution `π = |h| / λ`.

@@ -25,16 +25,51 @@ pub fn build_transition_matrix(
     ham: &Hamiltonian,
     strategy: &TransitionStrategy,
 ) -> Result<TransitionMatrix, CompileError> {
+    build_transition_matrix_with_components(ham, strategy, None)
+}
+
+/// Returns `true` if `strategy` needs the gate-cancellation component `P_gc`
+/// (every variant except pure qDRIFT).
+pub fn strategy_uses_gate_cancellation(strategy: &TransitionStrategy) -> bool {
+    !matches!(strategy, TransitionStrategy::QDrift)
+}
+
+/// Like [`build_transition_matrix`], but reuses a previously solved `P_gc`
+/// when one is supplied instead of re-solving the min-cost-flow model — the
+/// dominant cost of transition-matrix construction. `P_gc` depends only on
+/// the Hamiltonian (not on the strategy weights), so a caller compiling the
+/// same Hamiltonian under several strategies — or at many sweep points — can
+/// solve it once; the `marqsim-engine` transition cache is that caller.
+///
+/// `cached_gc` must have been produced by
+/// [`gate_cancellation_matrix`](crate::gate_cancel::gate_cancellation_matrix)
+/// for this exact `ham`; the Theorem 4.1 validation of the final matrix is
+/// performed either way.
+///
+/// # Errors
+///
+/// Same contract as [`build_transition_matrix`].
+pub fn build_transition_matrix_with_components(
+    ham: &Hamiltonian,
+    strategy: &TransitionStrategy,
+    cached_gc: Option<&TransitionMatrix>,
+) -> Result<TransitionMatrix, CompileError> {
     if !strategy.weights_are_valid() {
         return Err(CompileError::InvalidConfig {
             reason: format!("invalid combination weights in {strategy:?}"),
         });
     }
+    let gc = |cached: Option<&TransitionMatrix>| -> Result<TransitionMatrix, CompileError> {
+        match cached {
+            Some(m) => Ok(m.clone()),
+            None => gate_cancellation_matrix(ham),
+        }
+    };
     let p_qd = qdrift_matrix(ham);
     let matrix = match strategy {
         TransitionStrategy::QDrift => p_qd,
         TransitionStrategy::GateCancellation { qdrift_weight } => {
-            let p_gc = gate_cancellation_matrix(ham)?;
+            let p_gc = gc(cached_gc)?;
             combine(&[p_qd, p_gc], &[*qdrift_weight, 1.0 - *qdrift_weight])?
         }
         TransitionStrategy::GateCancellationRandomPerturbation {
@@ -42,10 +77,13 @@ pub fn build_transition_matrix(
             gc_weight,
             perturbation,
         } => {
-            let p_gc = gate_cancellation_matrix(ham)?;
+            let p_gc = gc(cached_gc)?;
             let p_rp = random_perturbation_matrix(ham, perturbation)?;
             let rp_weight = 1.0 - qdrift_weight - gc_weight;
-            combine(&[p_qd, p_gc, p_rp], &[*qdrift_weight, *gc_weight, rp_weight])?
+            combine(
+                &[p_qd, p_gc, p_rp],
+                &[*qdrift_weight, *gc_weight, rp_weight],
+            )?
         }
         TransitionStrategy::Combined {
             qdrift_weight,
@@ -53,7 +91,7 @@ pub fn build_transition_matrix(
             rp_weight,
             perturbation,
         } => {
-            let p_gc = gate_cancellation_matrix(ham)?;
+            let p_gc = gc(cached_gc)?;
             let p_rp = random_perturbation_matrix(ham, perturbation)?;
             combine(
                 &[p_qd, p_gc, p_rp],
@@ -132,10 +170,33 @@ mod tests {
     }
 
     #[test]
+    fn cached_gc_component_gives_the_same_matrix() {
+        let ham = example();
+        let p_gc = crate::gate_cancel::gate_cancellation_matrix(&ham).unwrap();
+        for strategy in [
+            TransitionStrategy::marqsim_gc(),
+            TransitionStrategy::marqsim_gc_rp(),
+        ] {
+            let fresh = build_transition_matrix(&ham, &strategy).unwrap();
+            let reused =
+                build_transition_matrix_with_components(&ham, &strategy, Some(&p_gc)).unwrap();
+            assert_eq!(fresh.rows(), reused.rows(), "{strategy:?}");
+        }
+        assert!(!strategy_uses_gate_cancellation(
+            &TransitionStrategy::QDrift
+        ));
+        assert!(strategy_uses_gate_cancellation(
+            &TransitionStrategy::marqsim_gc()
+        ));
+    }
+
+    #[test]
     fn invalid_weights_are_rejected() {
         let err = build_transition_matrix(
             &example(),
-            &TransitionStrategy::GateCancellation { qdrift_weight: -0.1 },
+            &TransitionStrategy::GateCancellation {
+                qdrift_weight: -0.1,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, CompileError::InvalidConfig { .. }));
@@ -145,10 +206,8 @@ mod tests {
     fn higher_gc_weight_increases_subdominant_spectrum() {
         // §6.3: more P_gc means slower mixing (larger sub-dominant
         // eigenvalues) in exchange for more cancellation.
-        let ham = Hamiltonian::parse(
-            "1.0 IIIZY + 1.0 XXIII + 0.7 ZXZYI + 0.5 IIZZX + 0.3 XXYYZ",
-        )
-        .unwrap();
+        let ham = Hamiltonian::parse("1.0 IIIZY + 1.0 XXIII + 0.7 ZXZYI + 0.5 IIZZX + 0.3 XXYYZ")
+            .unwrap();
         let low = build_transition_matrix(
             &ham,
             &TransitionStrategy::GateCancellation { qdrift_weight: 0.8 },

@@ -1,0 +1,408 @@
+//! Transition-matrix caching.
+//!
+//! Building a transition matrix for the `GateCancellation*` strategies means
+//! solving a min-cost-flow problem over all term pairs — the dominant cost
+//! of a MarQSim compile (§6.6, Table 2). The evaluation loop re-solves that
+//! identical problem for every `(ε, seed)` sweep point. [`TransitionCache`]
+//! keys validated [`HttGraph`]s by a structural Hamiltonian fingerprint plus
+//! a strategy key, so each `(Hamiltonian, strategy)` pair is solved once per
+//! cache (each engine owns one); the `P_gc` component is additionally cached per Hamiltonian
+//! alone, because it is independent of the combination weights and is shared
+//! by the MarQSim-GC and MarQSim-GC-RP strategies.
+//!
+//! Cached values are immutable and shared via [`Arc`], so a cache hit costs
+//! one map lookup, a Hamiltonian equality check, and a reference-count
+//! bump. Keys are structural (FNV-1a over term coefficients and Pauli
+//! operators, exact `f64` bit patterns for weights) with no float
+//! tolerance, and every entry stores the Hamiltonian it was built from and
+//! is matched by full equality — a 64-bit fingerprint collision therefore
+//! costs one extra bucket entry, never a wrong graph.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use marqsim_core::gate_cancel::gate_cancellation_matrix;
+use marqsim_core::transition::{
+    build_transition_matrix_with_components, strategy_uses_gate_cancellation,
+};
+use marqsim_core::{CompileError, HttGraph, TransitionStrategy};
+use marqsim_markov::TransitionMatrix;
+use marqsim_pauli::Hamiltonian;
+
+/// A structural 64-bit FNV-1a fingerprint of a Hamiltonian: qubit count,
+/// term count, and every term's coefficient bits and Pauli operators, in
+/// order. Stable across processes and platforms.
+pub fn hamiltonian_fingerprint(ham: &Hamiltonian) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(ham.num_qubits() as u64);
+    h.write_u64(ham.num_terms() as u64);
+    for term in ham.terms() {
+        h.write_u64(term.coefficient.to_bits());
+        for op in term.string.ops() {
+            h.write_u8(*op as u8);
+        }
+    }
+    h.finish()
+}
+
+/// A hashable, strategy-identifying key: the variant plus exact bit patterns
+/// of every weight and perturbation parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrategyKey {
+    variant: u8,
+    qdrift_weight: u64,
+    gc_weight: u64,
+    rp_weight: u64,
+    perturb_samples: u64,
+    perturb_magnitude: u64,
+    perturb_probability: u64,
+    perturb_seed: u64,
+}
+
+impl StrategyKey {
+    /// Builds the key for a strategy.
+    pub fn of(strategy: &TransitionStrategy) -> Self {
+        let zero = 0.0f64.to_bits();
+        match *strategy {
+            TransitionStrategy::QDrift => StrategyKey {
+                variant: 0,
+                qdrift_weight: 1.0f64.to_bits(),
+                gc_weight: zero,
+                rp_weight: zero,
+                perturb_samples: 0,
+                perturb_magnitude: zero,
+                perturb_probability: zero,
+                perturb_seed: 0,
+            },
+            TransitionStrategy::GateCancellation { qdrift_weight } => StrategyKey {
+                variant: 1,
+                qdrift_weight: qdrift_weight.to_bits(),
+                gc_weight: (1.0 - qdrift_weight).to_bits(),
+                rp_weight: zero,
+                perturb_samples: 0,
+                perturb_magnitude: zero,
+                perturb_probability: zero,
+                perturb_seed: 0,
+            },
+            TransitionStrategy::GateCancellationRandomPerturbation {
+                qdrift_weight,
+                gc_weight,
+                ref perturbation,
+            } => StrategyKey {
+                variant: 2,
+                qdrift_weight: qdrift_weight.to_bits(),
+                gc_weight: gc_weight.to_bits(),
+                rp_weight: (1.0 - qdrift_weight - gc_weight).to_bits(),
+                perturb_samples: perturbation.samples as u64,
+                perturb_magnitude: perturbation.magnitude.to_bits(),
+                perturb_probability: perturbation.probability.to_bits(),
+                perturb_seed: perturbation.seed,
+            },
+            TransitionStrategy::Combined {
+                qdrift_weight,
+                gc_weight,
+                rp_weight,
+                ref perturbation,
+            } => StrategyKey {
+                variant: 3,
+                qdrift_weight: qdrift_weight.to_bits(),
+                gc_weight: gc_weight.to_bits(),
+                rp_weight: rp_weight.to_bits(),
+                perturb_samples: perturbation.samples as u64,
+                perturb_magnitude: perturbation.magnitude.to_bits(),
+                perturb_probability: perturbation.probability.to_bits(),
+                perturb_seed: perturbation.seed,
+            },
+        }
+    }
+}
+
+/// Cache key: which Hamiltonian, compiled how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`hamiltonian_fingerprint`] of the (unsplit) input Hamiltonian.
+    pub fingerprint: u64,
+    /// [`StrategyKey`] of the transition strategy.
+    pub strategy: StrategyKey,
+}
+
+/// Hit/miss counters of a [`TransitionCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Graph lookups answered from the cache.
+    pub hits: u64,
+    /// Graph lookups that had to build the transition matrix.
+    pub misses: u64,
+    /// `P_gc` component solves avoided by the per-Hamiltonian component
+    /// cache (on graph misses whose strategy needs `P_gc`).
+    pub component_hits: u64,
+    /// Number of cached graphs.
+    pub graphs: usize,
+    /// Number of cached `P_gc` components.
+    pub components: usize,
+}
+
+/// A cache of validated HTT graphs and `P_gc` components.
+///
+/// Thread-safe; each [`Engine`](crate::Engine) owns one behind an [`Arc`]
+/// shared by its workers (engines do not share caches — `table2` exploits
+/// this to time cold and warm compiles side by side). Concurrent misses on the same key may both build the value (the
+/// second insert wins), which is harmless because construction is
+/// deterministic: both threads build identical graphs.
+#[derive(Debug, Default)]
+pub struct TransitionCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    // Buckets: entries store the requested (unsplit) Hamiltonian and are
+    // matched by full equality, so a fingerprint collision degrades to an
+    // extra comparison instead of silently returning the wrong graph.
+    graphs: HashMap<CacheKey, Vec<(Hamiltonian, Arc<HttGraph>)>>,
+    gc_components: HashMap<u64, Vec<(Hamiltonian, Arc<TransitionMatrix>)>>,
+    hits: u64,
+    misses: u64,
+    component_hits: u64,
+}
+
+impl TransitionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TransitionCache::default()
+    }
+
+    /// Returns the cached HTT graph for `(ham, strategy)`, building and
+    /// inserting it on a miss.
+    ///
+    /// The lock is *not* held while solving: concurrent misses trade a
+    /// duplicated (deterministic, identical) solve for never blocking other
+    /// strategies' lookups behind a multi-second min-cost-flow run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transition-matrix construction failures; nothing is
+    /// cached for a failed build.
+    pub fn get_or_build(
+        &self,
+        ham: &Hamiltonian,
+        strategy: &TransitionStrategy,
+    ) -> Result<Arc<HttGraph>, CompileError> {
+        let key = CacheKey {
+            fingerprint: hamiltonian_fingerprint(ham),
+            strategy: StrategyKey::of(strategy),
+        };
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            if let Some(bucket) = inner.graphs.get(&key) {
+                if let Some((_, graph)) = bucket.iter().find(|(stored, _)| stored == ham) {
+                    let graph = Arc::clone(graph);
+                    inner.hits += 1;
+                    return Ok(graph);
+                }
+            }
+            inner.misses += 1;
+        }
+
+        // Dominant-term splitting happens before fingerprinting the working
+        // Hamiltonian for the component cache: P_gc is a function of the
+        // split form.
+        let working = ham.split_if_dominant();
+        let cached_gc = if strategy_uses_gate_cancellation(strategy) {
+            Some(self.gc_component(&working)?)
+        } else {
+            None
+        };
+        let matrix =
+            build_transition_matrix_with_components(&working, strategy, cached_gc.as_deref())?;
+        let graph = Arc::new(HttGraph::from_matrix(&working, matrix)?);
+
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner
+            .graphs
+            .entry(key)
+            .or_default()
+            .push((ham.clone(), Arc::clone(&graph)));
+        Ok(graph)
+    }
+
+    /// Returns the cached `P_gc` for the (already split) Hamiltonian,
+    /// solving the min-cost-flow model on a miss.
+    fn gc_component(&self, working: &Hamiltonian) -> Result<Arc<TransitionMatrix>, CompileError> {
+        let fp = hamiltonian_fingerprint(working);
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            if let Some(bucket) = inner.gc_components.get(&fp) {
+                if let Some((_, gc)) = bucket.iter().find(|(stored, _)| stored == working) {
+                    let gc = Arc::clone(gc);
+                    inner.component_hits += 1;
+                    return Ok(gc);
+                }
+            }
+        }
+        let gc = Arc::new(gate_cancellation_matrix(working)?);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner
+            .gc_components
+            .entry(fp)
+            .or_default()
+            .push((working.clone(), Arc::clone(&gc)));
+        Ok(gc)
+    }
+
+    /// Current hit/miss counters and entry counts.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            component_hits: inner.component_hits,
+            graphs: inner.graphs.values().map(Vec::len).sum(),
+            components: inner.gc_components.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        *inner = CacheInner::default();
+    }
+}
+
+/// 64-bit FNV-1a.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ham() -> Hamiltonian {
+        Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let a = ham();
+        let b = Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").unwrap();
+        assert_eq!(hamiltonian_fingerprint(&a), hamiltonian_fingerprint(&b));
+        let c = Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.2 ZXZY").unwrap();
+        assert_ne!(hamiltonian_fingerprint(&a), hamiltonian_fingerprint(&c));
+        let reordered = Hamiltonian::parse("0.5 IIZZ + 1.0 IIIZ + 0.4 XXYY + 0.1 ZXZY").unwrap();
+        assert_ne!(
+            hamiltonian_fingerprint(&a),
+            hamiltonian_fingerprint(&reordered),
+            "term order is part of the structure (it defines state indices)"
+        );
+    }
+
+    #[test]
+    fn strategy_keys_distinguish_variants_and_weights() {
+        let gc = StrategyKey::of(&TransitionStrategy::marqsim_gc());
+        let gc2 = StrategyKey::of(&TransitionStrategy::GateCancellation { qdrift_weight: 0.3 });
+        let qd = StrategyKey::of(&TransitionStrategy::QDrift);
+        let gcrp = StrategyKey::of(&TransitionStrategy::marqsim_gc_rp());
+        assert_ne!(gc, gc2);
+        assert_ne!(gc, qd);
+        assert_ne!(gc, gcrp);
+        assert_eq!(gc, StrategyKey::of(&TransitionStrategy::marqsim_gc()));
+    }
+
+    #[test]
+    fn repeated_lookups_hit_and_return_the_identical_graph() {
+        let cache = TransitionCache::new();
+        let strategy = TransitionStrategy::marqsim_gc();
+        let first = cache.get_or_build(&ham(), &strategy).unwrap();
+        let second = cache.get_or_build(&ham(), &strategy).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "a cache hit must return the same allocation"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.graphs, 1);
+    }
+
+    #[test]
+    fn gc_component_is_shared_between_gc_and_gc_rp() {
+        let cache = TransitionCache::new();
+        cache
+            .get_or_build(&ham(), &TransitionStrategy::marqsim_gc())
+            .unwrap();
+        cache
+            .get_or_build(&ham(), &TransitionStrategy::marqsim_gc_rp())
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "two distinct strategies");
+        assert_eq!(stats.components, 1, "one shared P_gc");
+        assert_eq!(stats.component_hits, 1, "second strategy reused it");
+    }
+
+    #[test]
+    fn cached_graph_matches_a_fresh_build() {
+        let cache = TransitionCache::new();
+        let strategy = TransitionStrategy::marqsim_gc_rp();
+        let cached = cache.get_or_build(&ham(), &strategy).unwrap();
+        let fresh = HttGraph::build(&ham(), &strategy).unwrap();
+        assert_eq!(
+            cached.transition_matrix().rows(),
+            fresh.transition_matrix().rows()
+        );
+        assert_eq!(
+            cached.stationary_distribution(),
+            fresh.stationary_distribution()
+        );
+    }
+
+    #[test]
+    fn qdrift_does_not_touch_the_component_cache() {
+        let cache = TransitionCache::new();
+        cache
+            .get_or_build(&ham(), &TransitionStrategy::QDrift)
+            .unwrap();
+        assert_eq!(cache.stats().components, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = TransitionCache::new();
+        cache
+            .get_or_build(&ham(), &TransitionStrategy::marqsim_gc())
+            .unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats::default());
+    }
+
+    #[test]
+    fn dominant_term_hamiltonians_are_split_before_caching() {
+        let cache = TransitionCache::new();
+        let dominant = Hamiltonian::parse("3.0 XXII + 0.5 ZZII + 0.5 XYZI").unwrap();
+        let graph = cache
+            .get_or_build(&dominant, &TransitionStrategy::marqsim_gc())
+            .unwrap();
+        assert_eq!(graph.num_states(), 4);
+        assert!((graph.hamiltonian().lambda() - dominant.lambda()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,715 @@
+//! The engine: batched compile/sweep jobs over the pool + cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use marqsim_core::experiment::{
+    compile_point, point_seed, ExperimentPoint, SweepConfig, SweepResult,
+};
+use marqsim_core::metrics::evaluate_fidelity;
+use marqsim_core::{
+    CompileError, CompileResult, Compiler, CompilerConfig, HttGraph, TransitionStrategy,
+};
+use marqsim_pauli::Hamiltonian;
+
+use crate::cache::{hamiltonian_fingerprint, CacheKey, StrategyKey, TransitionCache};
+use crate::error::EngineError;
+use crate::pool::ThreadPool;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker-thread count; `0` means "auto" (all available cores).
+    pub threads: usize,
+    /// Whether transition matrices are cached and shared across jobs. With
+    /// the cache disabled each job still builds its HTT graph exactly once,
+    /// but nothing is reused between jobs.
+    pub cache_enabled: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            cache_enabled: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Reads the configuration from the environment: `MARQSIM_THREADS`
+    /// overrides the worker count (invalid or missing values mean "auto"),
+    /// and `MARQSIM_CACHE=0|off|false` disables the transition cache.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("MARQSIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        let cache_enabled = !std::env::var("MARQSIM_CACHE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "0" || v == "off" || v == "false"
+            })
+            .unwrap_or(false);
+        EngineConfig {
+            threads,
+            cache_enabled,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the transition cache.
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One compile job: a Hamiltonian and a full compiler configuration.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// Identifies the job in outcomes, errors, and progress reports.
+    pub label: String,
+    /// The Hamiltonian to compile.
+    pub hamiltonian: Hamiltonian,
+    /// Compiler parameters (strategy, time, ε, seed, synthesis flags).
+    pub config: CompilerConfig,
+    /// Whether to also evaluate the unitary fidelity of the sampled
+    /// sequence (exponential in qubit count — keep to small systems).
+    pub evaluate_fidelity: bool,
+}
+
+impl CompileRequest {
+    /// A compile-only request.
+    pub fn new(label: impl Into<String>, hamiltonian: Hamiltonian, config: CompilerConfig) -> Self {
+        CompileRequest {
+            label: label.into(),
+            hamiltonian,
+            config,
+            evaluate_fidelity: false,
+        }
+    }
+
+    /// Requests fidelity evaluation alongside the compile.
+    pub fn with_fidelity(mut self) -> Self {
+        self.evaluate_fidelity = true;
+        self
+    }
+}
+
+/// The output of one [`CompileRequest`].
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// Label of the request that produced this outcome.
+    pub label: String,
+    /// The compiler output.
+    pub result: CompileResult,
+    /// Unitary fidelity, when requested.
+    pub fidelity: Option<f64>,
+}
+
+/// One full-sweep job: a (benchmark, strategy) pair swept over precisions
+/// and repetitions, exactly like `marqsim_core::experiment::run_sweep`.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Identifies the job in outcomes, errors, and progress reports.
+    pub label: String,
+    /// The Hamiltonian to sweep.
+    pub hamiltonian: Hamiltonian,
+    /// Transition strategy for every point of this sweep.
+    pub strategy: TransitionStrategy,
+    /// Precisions, repetitions, base seed, fidelity switch.
+    pub config: SweepConfig,
+}
+
+impl SweepRequest {
+    /// Creates a sweep request.
+    pub fn new(
+        label: impl Into<String>,
+        hamiltonian: Hamiltonian,
+        strategy: TransitionStrategy,
+        config: SweepConfig,
+    ) -> Self {
+        SweepRequest {
+            label: label.into(),
+            hamiltonian,
+            strategy,
+            config,
+        }
+    }
+}
+
+/// A job of a [`CompileBatch`].
+#[derive(Debug, Clone)]
+pub enum EngineJob {
+    /// Compile one configuration (optionally with fidelity).
+    Compile(CompileRequest),
+    /// Run one full sweep.
+    Sweep(SweepRequest),
+}
+
+impl EngineJob {
+    fn label(&self) -> &str {
+        match self {
+            EngineJob::Compile(req) => &req.label,
+            EngineJob::Sweep(req) => &req.label,
+        }
+    }
+
+    fn hamiltonian(&self) -> &Hamiltonian {
+        match self {
+            EngineJob::Compile(req) => &req.hamiltonian,
+            EngineJob::Sweep(req) => &req.hamiltonian,
+        }
+    }
+
+    fn strategy(&self) -> &TransitionStrategy {
+        match self {
+            EngineJob::Compile(req) => &req.config.strategy,
+            EngineJob::Sweep(req) => &req.strategy,
+        }
+    }
+}
+
+/// The result of one batch job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Output of an [`EngineJob::Compile`] job (boxed: a [`CompileResult`]
+    /// is an order of magnitude larger than a sweep handle).
+    Compiled(Box<CompileOutcome>),
+    /// Output of an [`EngineJob::Sweep`] job.
+    Swept(SweepResult),
+}
+
+impl JobOutcome {
+    /// Unwraps a compile outcome; panics on a sweep outcome.
+    pub fn into_compiled(self) -> CompileOutcome {
+        match self {
+            JobOutcome::Compiled(outcome) => *outcome,
+            JobOutcome::Swept(_) => panic!("expected a compile outcome, got a sweep"),
+        }
+    }
+
+    /// Unwraps a sweep outcome; panics on a compile outcome.
+    pub fn into_swept(self) -> SweepResult {
+        match self {
+            JobOutcome::Swept(sweep) => sweep,
+            JobOutcome::Compiled(_) => panic!("expected a sweep outcome, got a compile"),
+        }
+    }
+}
+
+/// A heterogeneous list of engine jobs submitted together. All jobs of a
+/// batch share the pool and the transition cache, and their point-level
+/// tasks are interleaved on one work queue, so a batch of many small sweeps
+/// load-balances as well as one big sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CompileBatch {
+    /// The jobs, in submission order (outcomes keep this order).
+    pub jobs: Vec<EngineJob>,
+}
+
+impl CompileBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        CompileBatch::default()
+    }
+
+    /// Adds a compile job.
+    pub fn compile(mut self, request: CompileRequest) -> Self {
+        self.jobs.push(EngineJob::Compile(request));
+        self
+    }
+
+    /// Adds a sweep job.
+    pub fn sweep(mut self, request: SweepRequest) -> Self {
+        self.jobs.push(EngineJob::Sweep(request));
+        self
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// A progress snapshot, reported once per completed point-level task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Tasks finished so far.
+    pub completed: usize,
+    /// Total tasks of the running batch.
+    pub total: usize,
+}
+
+type ProgressFn = dyn Fn(Progress) + Send + Sync;
+
+/// The parallel compilation engine.
+///
+/// Owns a [`ThreadPool`] and a [`TransitionCache`]; see the crate docs for
+/// the job model and the determinism guarantee.
+pub struct Engine {
+    pool: ThreadPool,
+    cache: Arc<TransitionCache>,
+    progress: Option<Arc<ProgressFn>>,
+    cache_enabled: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.pool.threads())
+            .field("cache_enabled", &self.cache_enabled)
+            .field("cache", &self.cache.stats())
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            pool: ThreadPool::new(config.resolved_threads()),
+            cache: Arc::new(TransitionCache::new()),
+            progress: None,
+            cache_enabled: config.cache_enabled,
+        }
+    }
+
+    /// Creates an engine configured from the environment
+    /// (`MARQSIM_THREADS`, `MARQSIM_CACHE`). This is what every
+    /// `marqsim-bench` binary uses.
+    pub fn from_env() -> Self {
+        Engine::new(EngineConfig::from_env())
+    }
+
+    /// Installs a progress callback, invoked on the submitting thread once
+    /// per completed point-level task of each batch.
+    pub fn with_progress(mut self, callback: impl Fn(Progress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(callback));
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The transition cache (for statistics and explicit clearing).
+    pub fn cache(&self) -> &TransitionCache {
+        &self.cache
+    }
+
+    /// Runs a heterogeneous batch; outcomes are returned in job order.
+    ///
+    /// Execution has two phases. First every job's HTT graph is resolved
+    /// (through the cache when enabled) with the graph builds themselves
+    /// running on the pool — distinct Hamiltonians' min-cost-flow solves
+    /// proceed concurrently. Then all jobs are expanded into point-level
+    /// tasks (one per compile, one per sweep point) on a single work queue.
+    ///
+    /// Determinism: each task's output is a pure function of its request
+    /// (sweep points use `experiment::point_seed`, the serial seed stream),
+    /// so outcomes are bit-identical for any thread count.
+    pub fn run_batch(&self, batch: CompileBatch) -> Vec<Result<JobOutcome, EngineError>> {
+        let jobs = batch.jobs;
+        // Phase 1: resolve one HTT graph per job, building on the pool.
+        let graphs = self.resolve_graphs(&jobs);
+
+        // Phase 2: expand into point-level tasks.
+        let mut tasks: Vec<Task> = Vec::new();
+        for (job_idx, (job, graph)) in jobs.iter().zip(&graphs).enumerate() {
+            let graph = match graph {
+                Ok(graph) => Arc::clone(graph),
+                Err(_) => continue,
+            };
+            match job {
+                EngineJob::Compile(req) => tasks.push(Task {
+                    job: job_idx,
+                    slot: 0,
+                    kind: TaskKind::Compile {
+                        request: req.clone(),
+                        graph,
+                    },
+                }),
+                EngineJob::Sweep(req) => {
+                    for (eps_idx, &epsilon) in req.config.epsilons.iter().enumerate() {
+                        for rep in 0..req.config.repeats {
+                            tasks.push(Task {
+                                job: job_idx,
+                                slot: eps_idx * req.config.repeats + rep,
+                                kind: TaskKind::SweepPoint {
+                                    graph: Arc::clone(&graph),
+                                    config: req.config.clone(),
+                                    epsilon,
+                                    seed: point_seed(&req.config, eps_idx, rep),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let total = tasks.len();
+        let task_meta: Vec<(usize, usize)> = tasks.iter().map(|t| (t.job, t.slot)).collect();
+        let progress = self.progress.clone();
+        let outputs = self.pool.map(
+            tasks,
+            Arc::new(move |_index: usize, task: Task| task.run()),
+            move |done| {
+                if let Some(progress) = &progress {
+                    progress(Progress {
+                        completed: done,
+                        total,
+                    });
+                }
+            },
+        );
+
+        // Phase 3: reassemble per job.
+        self.assemble(jobs, graphs, task_meta, outputs)
+    }
+
+    /// Compiles one request on the calling thread's batch machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's [`EngineError`].
+    pub fn compile(&self, request: CompileRequest) -> Result<CompileOutcome, EngineError> {
+        self.compile_many(vec![request])
+            .pop()
+            .expect("one outcome per request")
+    }
+
+    /// Compiles many requests concurrently; outcomes keep request order.
+    pub fn compile_many(
+        &self,
+        requests: Vec<CompileRequest>,
+    ) -> Vec<Result<CompileOutcome, EngineError>> {
+        let batch = CompileBatch {
+            jobs: requests.into_iter().map(EngineJob::Compile).collect(),
+        };
+        self.run_batch(batch)
+            .into_iter()
+            .map(|outcome| outcome.map(JobOutcome::into_compiled))
+            .collect()
+    }
+
+    /// Runs one sweep across the pool. Byte-identical to
+    /// `marqsim_core::experiment::run_sweep` with the same arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing point's [`EngineError`].
+    pub fn run_sweep(
+        &self,
+        ham: &Hamiltonian,
+        strategy: &TransitionStrategy,
+        config: &SweepConfig,
+    ) -> Result<SweepResult, EngineError> {
+        self.run_sweeps(vec![SweepRequest::new(
+            strategy.label(),
+            ham.clone(),
+            strategy.clone(),
+            config.clone(),
+        )])
+        .pop()
+        .expect("one outcome per sweep")
+    }
+
+    /// Runs many sweeps concurrently on one flattened work queue; outcomes
+    /// keep request order.
+    pub fn run_sweeps(&self, requests: Vec<SweepRequest>) -> Vec<Result<SweepResult, EngineError>> {
+        let batch = CompileBatch {
+            jobs: requests.into_iter().map(EngineJob::Sweep).collect(),
+        };
+        self.run_batch(batch)
+            .into_iter()
+            .map(|outcome| outcome.map(JobOutcome::into_swept))
+            .collect()
+    }
+
+    /// Generic parallel map over the engine's pool: applies `f` to every
+    /// item concurrently and returns outputs in input order. Worker panics
+    /// become [`EngineError::WorkerPanic`] tagged with `label`.
+    pub fn map<I, O, F>(&self, label: &str, items: Vec<I>, f: F) -> Vec<Result<O, EngineError>>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(usize, I) -> O + Send + Sync + 'static,
+    {
+        self.pool
+            .map(items, Arc::new(f), |_| {})
+            .into_iter()
+            .map(|result| result.map_err(|message| EngineError::panic(label, message)))
+            .collect()
+    }
+
+    /// Resolves each job's HTT graph through the cache, building each
+    /// *distinct* key exactly once.
+    ///
+    /// Same-batch duplicates are deduplicated up front (not left to racing
+    /// cache misses), and distinct keys that share a Hamiltonian fingerprint
+    /// — e.g. the GC and GC-RP strategies of one benchmark — are built
+    /// sequentially within one pool task so the second build sees the
+    /// first's cached `P_gc` component. Unrelated Hamiltonians' builds
+    /// still run concurrently across pool workers.
+    ///
+    /// With the cache disabled every job builds independently (no sharing),
+    /// which is that mode's documented contract.
+    fn resolve_graphs(&self, jobs: &[EngineJob]) -> Vec<Result<Arc<HttGraph>, EngineError>> {
+        if !self.cache_enabled {
+            let inputs: Vec<(Hamiltonian, TransitionStrategy)> = jobs
+                .iter()
+                .map(|job| (job.hamiltonian().clone(), job.strategy().clone()))
+                .collect();
+            return self
+                .pool
+                .map(
+                    inputs,
+                    Arc::new(|_idx, (ham, strategy): (Hamiltonian, TransitionStrategy)| {
+                        HttGraph::build(&ham, &strategy).map(Arc::new)
+                    }),
+                    |_| {},
+                )
+                .into_iter()
+                .zip(jobs)
+                .map(|(result, job)| match result {
+                    Ok(built) => built.map_err(|e| EngineError::compile(job.label(), e)),
+                    Err(message) => Err(EngineError::panic(job.label(), message)),
+                })
+                .collect();
+        }
+
+        // Deduplicate: one entry per distinct (Hamiltonian, strategy). The
+        // cache key narrows candidates, but duplicates are confirmed by
+        // full Hamiltonian equality, mirroring the cache's own
+        // collision-proof lookup.
+        let mut distinct: Vec<(Hamiltonian, TransitionStrategy, CacheKey)> = Vec::new();
+        let mut job_to_distinct: Vec<usize> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let key = CacheKey {
+                fingerprint: hamiltonian_fingerprint(job.hamiltonian()),
+                strategy: StrategyKey::of(job.strategy()),
+            };
+            let index = distinct
+                .iter()
+                .position(|(ham, _, k)| *k == key && ham == job.hamiltonian());
+            job_to_distinct.push(index.unwrap_or_else(|| {
+                distinct.push((job.hamiltonian().clone(), job.strategy().clone(), key));
+                distinct.len() - 1
+            }));
+        }
+
+        // Group distinct entries by fingerprint so same-Hamiltonian builds
+        // run sequentially in one task (sharing the P_gc component solve).
+        let mut groups_by_fp: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (index, (_, _, key)) in distinct.iter().enumerate() {
+            groups_by_fp.entry(key.fingerprint).or_default().push(index);
+        }
+        let groups: Vec<Vec<usize>> = groups_by_fp.into_values().collect();
+        let group_members = groups.clone();
+
+        let cache = Arc::clone(&self.cache);
+        let distinct_count = distinct.len();
+        let shared_distinct = Arc::new(distinct);
+        let group_results = self.pool.map(
+            groups,
+            Arc::new(move |_idx, members: Vec<usize>| {
+                members
+                    .into_iter()
+                    .map(|index| {
+                        let (ham, strategy, _) = &shared_distinct[index];
+                        (index, cache.get_or_build(ham, strategy))
+                    })
+                    .collect::<Vec<_>>()
+            }),
+            |_| {},
+        );
+
+        enum Built {
+            Graph(Arc<HttGraph>),
+            Failed(CompileError),
+            Panicked(String),
+        }
+        let mut built: Vec<Option<Built>> = (0..distinct_count).map(|_| None).collect();
+        for (members, result) in group_members.iter().zip(group_results) {
+            match result {
+                Ok(entries) => {
+                    for (index, outcome) in entries {
+                        built[index] = Some(match outcome {
+                            Ok(graph) => Built::Graph(graph),
+                            Err(e) => Built::Failed(e),
+                        });
+                    }
+                }
+                // The panic message is attributed only to this group's
+                // members — other groups keep their own outcomes.
+                Err(message) => {
+                    for &index in members {
+                        built[index] = Some(Built::Panicked(message.clone()));
+                    }
+                }
+            }
+        }
+
+        jobs.iter()
+            .zip(&job_to_distinct)
+            .map(|(job, &index)| {
+                match built[index]
+                    .as_ref()
+                    .expect("every distinct entry was built or attributed")
+                {
+                    Built::Graph(graph) => Ok(Arc::clone(graph)),
+                    Built::Failed(e) => Err(EngineError::compile(job.label(), e.clone())),
+                    Built::Panicked(message) => {
+                        Err(EngineError::panic(job.label(), message.clone()))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn assemble(
+        &self,
+        jobs: Vec<EngineJob>,
+        graphs: Vec<Result<Arc<HttGraph>, EngineError>>,
+        task_meta: Vec<(usize, usize)>,
+        outputs: Vec<Result<TaskOutput, String>>,
+    ) -> Vec<Result<JobOutcome, EngineError>> {
+        // Group task outputs per job; `pool.map` keeps input order, so the
+        // i-th output belongs to the i-th submitted task even when the task
+        // panicked and its output carries no indices of its own.
+        let mut per_job: Vec<Vec<(usize, Result<TaskOutput, String>)>> =
+            jobs.iter().map(|_| Vec::new()).collect();
+        for (&(job, slot), output) in task_meta.iter().zip(outputs) {
+            per_job[job].push((slot, output));
+        }
+
+        jobs.into_iter()
+            .zip(graphs)
+            .zip(per_job)
+            .map(|((job, graph), mut outputs)| {
+                graph?;
+                outputs.sort_by_key(|(slot, _)| *slot);
+                match job {
+                    EngineJob::Compile(req) => {
+                        let (_, output) = outputs.pop().expect("one task per compile job");
+                        match output {
+                            Ok(TaskOutput::Compiled(outcome)) => outcome
+                                .map(|outcome| JobOutcome::Compiled(Box::new(outcome)))
+                                .map_err(|e| EngineError::compile(&req.label, e)),
+                            Ok(TaskOutput::Point(_)) => {
+                                unreachable!("compile jobs produce compile outputs")
+                            }
+                            Err(message) => Err(EngineError::panic(&req.label, message)),
+                        }
+                    }
+                    EngineJob::Sweep(req) => {
+                        let mut points: Vec<ExperimentPoint> = Vec::with_capacity(outputs.len());
+                        for (_, output) in outputs {
+                            match output {
+                                Ok(TaskOutput::Point(point)) => points
+                                    .push(point.map_err(|e| EngineError::compile(&req.label, e))?),
+                                Ok(TaskOutput::Compiled(_)) => {
+                                    unreachable!("sweep jobs produce point outputs")
+                                }
+                                Err(message) => {
+                                    return Err(EngineError::panic(&req.label, message))
+                                }
+                            }
+                        }
+                        Ok(JobOutcome::Swept(SweepResult {
+                            label: req.strategy.label(),
+                            points,
+                        }))
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// One point-level unit of work.
+struct Task {
+    job: usize,
+    slot: usize,
+    kind: TaskKind,
+}
+
+enum TaskKind {
+    Compile {
+        request: CompileRequest,
+        graph: Arc<HttGraph>,
+    },
+    SweepPoint {
+        graph: Arc<HttGraph>,
+        config: SweepConfig,
+        epsilon: f64,
+        seed: u64,
+    },
+}
+
+enum TaskOutput {
+    Compiled(Result<CompileOutcome, marqsim_core::CompileError>),
+    Point(Result<ExperimentPoint, marqsim_core::CompileError>),
+}
+
+impl Task {
+    fn run(self) -> TaskOutput {
+        match self.kind {
+            TaskKind::Compile { request, graph } => {
+                let outcome = Compiler::new(request.config.clone())
+                    .compile_with_htt(&graph)
+                    .map(|result| {
+                        let fidelity = request.evaluate_fidelity.then(|| {
+                            evaluate_fidelity(
+                                &result.hamiltonian,
+                                request.config.time,
+                                &result.sequence,
+                            )
+                        });
+                        CompileOutcome {
+                            label: request.label,
+                            result,
+                            fidelity,
+                        }
+                    });
+                TaskOutput::Compiled(outcome)
+            }
+            TaskKind::SweepPoint {
+                graph,
+                config,
+                epsilon,
+                seed,
+            } => TaskOutput::Point(compile_point(&graph, &config, epsilon, seed)),
+        }
+    }
+}

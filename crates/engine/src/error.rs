@@ -1,0 +1,101 @@
+//! Engine error type.
+
+use std::fmt;
+
+use marqsim_core::CompileError;
+
+/// Errors produced by the compilation engine.
+///
+/// Every variant carries the label of the job that failed, so a batch
+/// submitter can tell which of its requests went wrong without positional
+/// bookkeeping.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A job's compilation failed.
+    Compile {
+        /// Label of the failed job.
+        label: String,
+        /// The underlying compiler error.
+        source: CompileError,
+    },
+    /// A worker thread panicked while running a job.
+    WorkerPanic {
+        /// Label of the failed job.
+        label: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl EngineError {
+    pub(crate) fn compile(label: &str, source: CompileError) -> Self {
+        EngineError::Compile {
+            label: label.to_string(),
+            source,
+        }
+    }
+
+    pub(crate) fn panic(label: &str, message: String) -> Self {
+        EngineError::WorkerPanic {
+            label: label.to_string(),
+            message,
+        }
+    }
+
+    /// The label of the job this error belongs to.
+    pub fn label(&self) -> &str {
+        match self {
+            EngineError::Compile { label, .. } | EngineError::WorkerPanic { label, .. } => label,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Compile { label, source } => {
+                write!(f, "job '{label}' failed to compile: {source}")
+            }
+            EngineError::WorkerPanic { label, message } => {
+                write!(f, "worker panicked in job '{label}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Compile { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_the_job_label() {
+        let e = EngineError::compile(
+            "fig13/Na+/gc",
+            CompileError::InvalidConfig {
+                reason: "bad epsilon".into(),
+            },
+        );
+        let shown = e.to_string();
+        assert!(shown.contains("fig13/Na+/gc"));
+        assert!(shown.contains("bad epsilon"));
+        assert_eq!(e.label(), "fig13/Na+/gc");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn panic_errors_carry_label_and_message() {
+        let e = EngineError::panic("jobs/crash", "boom".to_string());
+        assert_eq!(e.label(), "jobs/crash");
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

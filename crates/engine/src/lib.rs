@@ -1,0 +1,357 @@
+//! # marqsim-engine — the parallel compilation engine
+//!
+//! MarQSim's evaluation loop recompiles the same Hamiltonian dozens of
+//! times — once per `(strategy, ε, seed)` point — and every compile with a
+//! gate-cancellation strategy re-solves the same min-cost-flow problem from
+//! scratch. This crate turns that loop into a subsystem:
+//!
+//! * **[`ThreadPool`]** (`pool`) — a channel-based thread-pool executor
+//!   over `std::thread` with a shared injector queue (dynamic load
+//!   balancing) and per-task panic isolation.
+//! * **[`TransitionCache`]** (`cache`) — validated HTT graphs keyed by a
+//!   structural Hamiltonian fingerprint plus a strategy key, so the
+//!   MCFP-derived `P_gc` — the dominant compile cost — is solved once and
+//!   shared across all shots and sweep points of a benchmark (and, at the
+//!   component level, across the GC and GC-RP strategies).
+//! * **[`Engine`]** (`engine`) — a batched job API: [`CompileRequest`]
+//!   (compile-only or compile + fidelity) and [`SweepRequest`] (full sweep)
+//!   submitted together as a [`CompileBatch`], with [`Progress`] reporting
+//!   and structured [`EngineError`]s.
+//!
+//! # Job model
+//!
+//! A batch is a list of jobs. The engine first resolves one HTT graph per
+//! job (through the cache, builds running concurrently on the pool), then
+//! expands every job into *point-level tasks* — one task per compile
+//! request, one per `(ε, repetition)` sweep point — on a single work queue.
+//! Tasks from different jobs interleave, so many small sweeps load-balance
+//! exactly as well as one large one.
+//!
+//! # Determinism
+//!
+//! Parallel execution is bit-identical to serial execution. Two mechanisms
+//! guarantee this:
+//!
+//! 1. **Deterministic per-job seed streams.** A task's RNG seed comes from
+//!    its position in the request (`experiment::point_seed` — the same
+//!    formula the serial driver uses), never from scheduling order.
+//! 2. **Pure tasks, indexed reassembly.** Each task's output is a pure
+//!    function of its request, and outputs are reassembled by index, not by
+//!    completion order.
+//!
+//! Consequently `Engine::run_sweep` with any thread count (including via
+//! the `MARQSIM_THREADS` override) returns byte-identical `SweepResult`
+//! data to `marqsim_core::experiment::run_sweep`, and caching cannot change
+//! results either: a cached graph is exactly the graph a fresh build would
+//! produce (construction is deterministic), only cheaper.
+//!
+//! # Environment
+//!
+//! * `MARQSIM_THREADS=N` — worker count ([`Engine::from_env`]); `0` or
+//!   unset means all available cores.
+//! * `MARQSIM_CACHE=0|off|false` — disable transition-matrix caching.
+//!
+//! # Example
+//!
+//! ```
+//! use marqsim_engine::{Engine, EngineConfig};
+//! use marqsim_core::experiment::{run_sweep, SweepConfig};
+//! use marqsim_core::TransitionStrategy;
+//! use marqsim_pauli::Hamiltonian;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ham = Hamiltonian::parse("0.9 ZZZZ + 0.7 XXII + 0.5 IYYI + 0.3 IIZZ")?;
+//! let config = SweepConfig::quick(0.5);
+//! let strategy = TransitionStrategy::marqsim_gc();
+//!
+//! let engine = Engine::new(EngineConfig::default().with_threads(4));
+//! let parallel = engine.run_sweep(&ham, &strategy, &config)?;
+//! let serial = run_sweep(&ham, &strategy, &config)?;
+//! for (p, s) in parallel.points.iter().zip(&serial.points) {
+//!     assert_eq!(p.seed, s.seed);
+//!     assert_eq!(p.stats, s.stats);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+mod error;
+
+pub mod cache;
+pub mod pool;
+
+pub use cache::{hamiltonian_fingerprint, CacheKey, CacheStats, StrategyKey, TransitionCache};
+pub use engine::{
+    CompileBatch, CompileOutcome, CompileRequest, Engine, EngineConfig, EngineJob, JobOutcome,
+    Progress, SweepRequest,
+};
+pub use error::EngineError;
+pub use pool::ThreadPool;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marqsim_core::experiment::{run_sweep, SweepConfig};
+    use marqsim_core::{CompilerConfig, TransitionStrategy};
+    use marqsim_pauli::Hamiltonian;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn ham() -> Hamiltonian {
+        Hamiltonian::parse(
+            "0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ + 0.4 XYXY + 0.3 IZIZ + 0.2 YYII",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let config = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1, 0.05],
+            repeats: 4,
+            base_seed: 9,
+            evaluate_fidelity: false,
+        };
+        for strategy in [
+            TransitionStrategy::QDrift,
+            TransitionStrategy::marqsim_gc(),
+            TransitionStrategy::marqsim_gc_rp(),
+        ] {
+            let serial = run_sweep(&ham(), &strategy, &config).unwrap();
+            for threads in [1, 4] {
+                let engine = Engine::new(EngineConfig::default().with_threads(threads));
+                let parallel = engine.run_sweep(&ham(), &strategy, &config).unwrap();
+                assert_eq!(parallel.label, serial.label);
+                assert_eq!(parallel.points.len(), serial.points.len());
+                for (p, s) in parallel.points.iter().zip(&serial.points) {
+                    assert_eq!(p.seed, s.seed, "{strategy:?} @ {threads} threads");
+                    assert_eq!(p.epsilon.to_bits(), s.epsilon.to_bits());
+                    assert_eq!(p.num_samples, s.num_samples);
+                    assert_eq!(p.stats, s.stats);
+                    assert_eq!(
+                        p.fidelity.map(f64::to_bits),
+                        s.fidelity.map(f64::to_bits),
+                        "fidelity must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_points_hit_the_transition_cache() {
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let config = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
+        engine.run_sweep(&ham(), &strategy, &config).unwrap();
+        let first = engine.cache().stats();
+        assert_eq!(first.misses, 1, "one graph build for the whole sweep");
+
+        // A second identical sweep is answered entirely from the cache and
+        // returns the identical transition matrix.
+        let graph_a = engine.cache().get_or_build(&ham(), &strategy).unwrap();
+        engine.run_sweep(&ham(), &strategy, &config).unwrap();
+        let graph_b = engine.cache().get_or_build(&ham(), &strategy).unwrap();
+        assert!(Arc::ptr_eq(&graph_a, &graph_b));
+        let second = engine.cache().stats();
+        assert_eq!(second.misses, 1, "no further builds");
+        assert!(second.hits >= 3);
+    }
+
+    #[test]
+    fn mixed_batch_covers_all_three_strategies() {
+        let engine = Engine::new(EngineConfig::default().with_threads(3));
+        let sweep_config = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1],
+            repeats: 2,
+            base_seed: 4,
+            evaluate_fidelity: false,
+        };
+        let batch = CompileBatch::new()
+            .sweep(SweepRequest::new(
+                "sweep/baseline",
+                ham(),
+                TransitionStrategy::QDrift,
+                sweep_config.clone(),
+            ))
+            .sweep(SweepRequest::new(
+                "sweep/gc",
+                ham(),
+                TransitionStrategy::marqsim_gc(),
+                sweep_config.clone(),
+            ))
+            .sweep(SweepRequest::new(
+                "sweep/gc-rp",
+                ham(),
+                TransitionStrategy::marqsim_gc_rp(),
+                sweep_config,
+            ))
+            .compile(CompileRequest::new(
+                "compile/gc",
+                ham(),
+                CompilerConfig::new(0.5, 0.1)
+                    .with_strategy(TransitionStrategy::marqsim_gc())
+                    .with_seed(7),
+            ))
+            .compile(
+                CompileRequest::new(
+                    "compile/fidelity",
+                    Hamiltonian::parse("0.6 XZ + 0.4 ZY + 0.3 XX").unwrap(),
+                    CompilerConfig::new(0.4, 0.05)
+                        .with_strategy(TransitionStrategy::QDrift)
+                        .with_seed(2)
+                        .without_circuit(),
+                )
+                .with_fidelity(),
+            );
+        assert_eq!(batch.len(), 5);
+        let outcomes = engine.run_batch(batch);
+        assert_eq!(outcomes.len(), 5);
+
+        for (prefix, outcome) in ["Baseline", "MarQSim-GC", "MarQSim-GC-RP"]
+            .iter()
+            .zip(&outcomes)
+        {
+            let sweep = outcome.as_ref().unwrap().clone().into_swept();
+            assert_eq!(sweep.points.len(), 2);
+            assert!(
+                sweep.label.starts_with(prefix),
+                "{} vs {prefix}",
+                sweep.label
+            );
+        }
+
+        let compiled = outcomes[3].as_ref().unwrap().clone().into_compiled();
+        assert_eq!(compiled.label, "compile/gc");
+        assert!(compiled.result.stats.cnot > 0);
+        assert!(compiled.fidelity.is_none());
+
+        let with_fidelity = outcomes[4].as_ref().unwrap().clone().into_compiled();
+        let f = with_fidelity.fidelity.expect("fidelity requested");
+        assert!(f > 0.9 && f <= 1.0 + 1e-9);
+
+        // The GC and GC-RP sweeps shared one P_gc component.
+        assert_eq!(engine.cache().stats().component_hits, 1);
+    }
+
+    #[test]
+    fn duplicate_jobs_in_one_batch_build_exactly_once() {
+        // Same (Hamiltonian, strategy) four times plus GC-RP once: dedup
+        // happens before dispatch, so the counts are exact on any machine —
+        // no racing same-key misses (and GC-RP reuses GC's P_gc because
+        // same-fingerprint keys build sequentially in one pool task).
+        let engine = Engine::new(EngineConfig::default().with_threads(4));
+        let config = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1],
+            repeats: 1,
+            base_seed: 2,
+            evaluate_fidelity: false,
+        };
+        let mut requests: Vec<SweepRequest> = (0..4)
+            .map(|i| {
+                SweepRequest::new(
+                    format!("dup/{i}"),
+                    ham(),
+                    TransitionStrategy::marqsim_gc(),
+                    config.clone(),
+                )
+            })
+            .collect();
+        requests.push(SweepRequest::new(
+            "dup/gc-rp",
+            ham(),
+            TransitionStrategy::marqsim_gc_rp(),
+            config,
+        ));
+        let outcomes = engine.run_sweeps(requests);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        let stats = engine.cache().stats();
+        assert_eq!(stats.misses, 2, "one build per distinct key");
+        assert_eq!(stats.graphs, 2);
+        assert_eq!(stats.components, 1);
+        assert_eq!(stats.component_hits, 1, "GC-RP reused GC's P_gc");
+    }
+
+    #[test]
+    fn progress_reports_reach_the_total() {
+        let completions = Arc::new(AtomicUsize::new(0));
+        let last_total = Arc::new(AtomicUsize::new(0));
+        let (c, t) = (Arc::clone(&completions), Arc::clone(&last_total));
+        let engine = Engine::new(EngineConfig::default().with_threads(2)).with_progress(
+            move |progress: Progress| {
+                c.fetch_add(1, Ordering::Relaxed);
+                t.store(progress.total, Ordering::Relaxed);
+                assert!(progress.completed <= progress.total);
+            },
+        );
+        let config = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1, 0.05],
+            repeats: 3,
+            base_seed: 1,
+            evaluate_fidelity: false,
+        };
+        engine
+            .run_sweep(&ham(), &TransitionStrategy::QDrift, &config)
+            .unwrap();
+        assert_eq!(completions.load(Ordering::Relaxed), 6);
+        assert_eq!(last_total.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn compile_errors_carry_the_job_label() {
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let outcomes = engine.compile_many(vec![
+            CompileRequest::new(
+                "jobs/good",
+                ham(),
+                CompilerConfig::new(0.5, 0.1).with_seed(1),
+            ),
+            CompileRequest::new(
+                "jobs/bad-epsilon",
+                ham(),
+                CompilerConfig::new(0.5, -1.0).with_seed(1),
+            ),
+        ]);
+        assert!(outcomes[0].is_ok());
+        let err = outcomes[1].as_ref().unwrap_err();
+        assert_eq!(err.label(), "jobs/bad-epsilon");
+        assert!(err.to_string().contains("precision"));
+    }
+
+    #[test]
+    fn cache_disabled_engine_still_produces_identical_sweeps() {
+        let config = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
+        let serial = run_sweep(&ham(), &strategy, &config).unwrap();
+        let engine = Engine::new(EngineConfig::default().with_threads(4).with_cache(false));
+        let parallel = engine.run_sweep(&ham(), &strategy, &config).unwrap();
+        for (p, s) in parallel.points.iter().zip(&serial.points) {
+            assert_eq!(p.stats, s.stats);
+        }
+        assert_eq!(engine.cache().stats().misses, 0, "cache bypassed");
+    }
+
+    #[test]
+    fn engine_map_runs_arbitrary_work() {
+        let engine = Engine::new(EngineConfig::default().with_threads(3));
+        let squares = engine.map("squares", (0..20u64).collect(), |_, x| x * x);
+        for (i, result) in squares.iter().enumerate() {
+            assert_eq!(*result.as_ref().unwrap(), (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn env_config_parses_thread_override() {
+        // Not a full env-var round trip (the suite runs multi-threaded and
+        // env vars are process-global); just the builder contract.
+        let config = EngineConfig::default();
+        assert_eq!(config.threads, 0, "0 means auto");
+        assert!(config.cache_enabled);
+        assert_eq!(config.with_threads(3).threads, 3);
+    }
+}

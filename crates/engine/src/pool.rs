@@ -1,0 +1,206 @@
+//! A channel-based thread-pool executor over `std::thread`.
+//!
+//! Workers are spawned once per [`ThreadPool`] and block on a shared
+//! injector channel; every submitted task is a boxed closure, so the pool is
+//! agnostic to job types. [`ThreadPool::map`] builds the deterministic
+//! parallel-map primitive the engine is based on: each item's output depends
+//! only on `(index, item)`, results are reassembled by index, and worker
+//! panics are caught per task — so the output of a map is bit-identical for
+//! any thread count, including 1.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+enum Message {
+    Run(Task),
+    Shutdown,
+}
+
+/// A fixed-size pool of worker threads fed from one shared channel.
+///
+/// The shared injector gives dynamic load balancing for free: an idle worker
+/// steals the next task regardless of which worker ran the previous one, so
+/// heavy tasks (small-ε sweep points have many more samples than large-ε
+/// ones) do not serialize behind a static partition.
+pub struct ThreadPool {
+    sender: Sender<Message>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Message>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Message>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("marqsim-engine-{i}"))
+                    .spawn(move || loop {
+                        let message = {
+                            let guard = receiver.lock().expect("injector lock");
+                            guard.recv()
+                        };
+                        match message {
+                            Ok(Message::Run(task)) => task(),
+                            Ok(Message::Shutdown) | Err(_) => break,
+                        }
+                    })
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        ThreadPool { sender, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one fire-and-forget task.
+    pub fn execute(&self, task: Task) {
+        self.sender
+            .send(Message::Run(task))
+            .expect("engine workers alive");
+    }
+
+    /// Applies `f` to every item concurrently and returns the outputs in
+    /// input order. Each output is `Err(panic message)` if that item's
+    /// closure panicked; other items are unaffected.
+    ///
+    /// `on_done` is invoked once per completed item (in completion order, on
+    /// the calling thread) with the number of items finished so far — the
+    /// hook behind the engine's progress reporting.
+    pub fn map<I, O, F>(
+        &self,
+        items: Vec<I>,
+        f: Arc<F>,
+        mut on_done: impl FnMut(usize),
+    ) -> Vec<Result<O, String>>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(usize, I) -> O + Send + Sync + 'static,
+    {
+        let total = items.len();
+        let (results_tx, results_rx) = channel::<(usize, Result<O, String>)>();
+        for (index, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let results_tx = results_tx.clone();
+            self.execute(Box::new(move || {
+                let output = catch_unwind(AssertUnwindSafe(|| f(index, item)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                // The receiver outlives all tasks of this call, but a later
+                // panic in the caller could drop it first; a send failure
+                // then only means nobody is listening anymore.
+                let _ = results_tx.send((index, output));
+            }));
+        }
+        drop(results_tx);
+        let mut slots: Vec<Option<Result<O, String>>> = (0..total).map(|_| None).collect();
+        for done in 1..=total {
+            let (index, output) = results_rx.recv().expect("all map tasks report");
+            slots[index] = Some(output);
+            on_done(done);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index reported"))
+            .collect()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker task panicked".to_string()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.sender.send(Message::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order_for_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map(
+                (0..100u64).collect(),
+                Arc::new(|i: usize, x: u64| x * x + i as u64),
+                |_| {},
+            );
+            let expected: Vec<u64> = (0..100).map(|x| x * x + x).collect();
+            let got: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_poison_the_batch() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map(
+            vec![1u32, 2, 3, 4],
+            Arc::new(|_, x: u32| {
+                if x == 3 {
+                    panic!("boom on {x}");
+                }
+                x * 10
+            }),
+            |_| {},
+        );
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[1], Ok(20));
+        assert!(out[2].as_ref().unwrap_err().contains("boom"));
+        assert_eq!(out[3], Ok(40));
+        // The pool keeps working after a panic.
+        let again = pool.map(vec![5u32], Arc::new(|_, x: u32| x + 1), |_| {});
+        assert_eq!(again[0], Ok(6));
+    }
+
+    #[test]
+    fn progress_hook_sees_every_completion() {
+        let pool = ThreadPool::new(3);
+        let seen = AtomicUsize::new(0);
+        pool.map((0..25u8).collect(), Arc::new(|_, _x: u8| ()), |done| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            assert!((1..=25).contains(&done));
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

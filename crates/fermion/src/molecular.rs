@@ -71,8 +71,7 @@ pub fn molecular_operator(params: &MolecularParams) -> FermionOperator {
         op.add_number(p, -orbital_energy);
         for q in (p + 1)..n {
             let distance = (q - p) as f64;
-            let amplitude: f64 =
-                params.one_body_scale * rng.gen::<f64>() * 0.4 / (1.0 + distance);
+            let amplitude: f64 = params.one_body_scale * rng.gen::<f64>() * 0.4 / (1.0 + distance);
             if amplitude.abs() > 1e-3 {
                 op.add_hopping(p, q, amplitude);
             }
@@ -107,9 +106,7 @@ pub fn molecular_operator(params: &MolecularParams) -> FermionOperator {
                     if rng.gen::<f64>() > params.two_body_density {
                         continue;
                     }
-                    let magnitude: f64 = params.two_body_scale
-                        * rng.gen::<f64>()
-                        * 0.25
+                    let magnitude: f64 = params.two_body_scale * rng.gen::<f64>() * 0.25
                         / (1.0 + (p + q + r + s) as f64 * 0.25);
                     if magnitude.abs() < 1e-4 {
                         continue;
@@ -166,14 +163,7 @@ mod tests {
         let a = molecular_hamiltonian(&params, None).unwrap();
         let b = molecular_hamiltonian(&params, None).unwrap();
         assert_eq!(a, b);
-        let c = molecular_hamiltonian(
-            &MolecularParams {
-                seed: 43,
-                ..params
-            },
-            None,
-        )
-        .unwrap();
+        let c = molecular_hamiltonian(&MolecularParams { seed: 43, ..params }, None).unwrap();
         assert_ne!(a, c);
     }
 

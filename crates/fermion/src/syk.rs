@@ -59,7 +59,11 @@ pub fn majorana_string(index: usize, num_qubits: usize) -> PauliString {
     for q in 0..qubit {
         ops[q] = PauliOp::Z;
     }
-    ops[qubit] = if index % 2 == 0 { PauliOp::X } else { PauliOp::Y };
+    ops[qubit] = if index.is_multiple_of(2) {
+        PauliOp::X
+    } else {
+        PauliOp::Y
+    };
     PauliString::from_ops(ops)
 }
 
@@ -73,16 +77,14 @@ pub fn majorana_string(index: usize, num_qubits: usize) -> PauliString {
 /// Panics if `majoranas` is odd or smaller than 4.
 pub fn syk_hamiltonian(params: &SykParams, max_terms: Option<usize>) -> Hamiltonian {
     assert!(
-        params.majoranas >= 4 && params.majoranas % 2 == 0,
+        params.majoranas >= 4 && params.majoranas.is_multiple_of(2),
         "SYK needs an even number of at least 4 Majorana fermions"
     );
     let n_majorana = params.majoranas;
     let num_qubits = n_majorana / 2;
     let mut rng = StdRng::seed_from_u64(params.seed);
     // Variance 3! J^2 / N^3 as in the standard SYK_4 definition.
-    let sigma = (6.0 * params.coupling * params.coupling
-        / (n_majorana as f64).powi(3))
-    .sqrt();
+    let sigma = (6.0 * params.coupling * params.coupling / (n_majorana as f64).powi(3)).sqrt();
 
     let chi: Vec<PauliString> = (0..n_majorana)
         .map(|i| majorana_string(i, num_qubits))
@@ -160,7 +162,9 @@ mod tests {
         for i in 0..2 * num_qubits {
             let chi = majorana_string(i, num_qubits);
             let m = chi.to_matrix();
-            assert!(m.matmul(&m).approx_eq(&Matrix::identity(1 << num_qubits), 1e-10));
+            assert!(m
+                .matmul(&m)
+                .approx_eq(&Matrix::identity(1 << num_qubits), 1e-10));
         }
     }
 

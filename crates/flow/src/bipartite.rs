@@ -49,7 +49,10 @@ impl std::fmt::Display for BipartiteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BipartiteError::InvalidMarginal { sum } => {
-                write!(f, "marginal distribution must be a probability vector (sum = {sum})")
+                write!(
+                    f,
+                    "marginal distribution must be a probability vector (sum = {sum})"
+                )
             }
             BipartiteError::CostShapeMismatch { expected } => {
                 write!(f, "cost matrix must be {expected} x {expected}")
@@ -157,8 +160,16 @@ mod tests {
         for i in 0..4 {
             let row_sum: f64 = sol.flows[i].iter().sum();
             let col_sum: f64 = (0..4).map(|k| sol.flows[k][i]).sum();
-            assert!((row_sum - pi[i]).abs() < 1e-9, "row {i}: {row_sum} vs {}", pi[i]);
-            assert!((col_sum - pi[i]).abs() < 1e-9, "col {i}: {col_sum} vs {}", pi[i]);
+            assert!(
+                (row_sum - pi[i]).abs() < 1e-9,
+                "row {i}: {row_sum} vs {}",
+                pi[i]
+            );
+            assert!(
+                (col_sum - pi[i]).abs() < 1e-9,
+                "col {i}: {col_sum} vs {}",
+                pi[i]
+            );
         }
     }
 

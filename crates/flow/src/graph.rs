@@ -30,10 +30,16 @@ impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Infeasible { routed, requested } => {
-                write!(f, "only {routed} of {requested} units of flow can be routed")
+                write!(
+                    f,
+                    "only {routed} of {requested} units of flow can be routed"
+                )
             }
             FlowError::InvalidNode { node, num_nodes } => {
-                write!(f, "node {node} out of range for a network with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for a network with {num_nodes} nodes"
+                )
             }
         }
     }
@@ -374,7 +380,7 @@ mod tests {
     fn flow_conservation_holds_at_interior_nodes() {
         // Diamond with an extra middle edge; route 1.5 units.
         let mut net = FlowNetwork::new(5);
-        let edges = vec![
+        let edges = [
             (0, 1, 1.0, 2.0),
             (0, 2, 1.0, 1.0),
             (1, 2, 0.5, 0.1),

@@ -104,7 +104,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for t in ham.terms() {
             assert!(!t.string.is_identity());
-            assert!(seen.insert(t.string.clone()), "duplicate string {}", t.string);
+            assert!(
+                seen.insert(t.string.clone()),
+                "duplicate string {}",
+                t.string
+            );
             assert!(t.coefficient > 0.0);
         }
     }
@@ -137,8 +141,7 @@ mod tests {
             seed: 5,
         });
         let avg = |h: &Hamiltonian| {
-            h.terms().iter().map(|t| t.string.weight()).sum::<usize>() as f64
-                / h.num_terms() as f64
+            h.terms().iter().map(|t| t.string.weight()).sum::<usize>() as f64 / h.num_terms() as f64
         };
         assert!(avg(&dense) > avg(&sparse) + 2.0);
     }

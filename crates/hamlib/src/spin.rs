@@ -12,7 +12,12 @@ use marqsim_pauli::{Hamiltonian, PauliOp, PauliString, Term};
 /// # Panics
 ///
 /// Panics if `sites < 2`.
-pub fn transverse_field_ising(sites: usize, coupling: f64, field: f64, periodic: bool) -> Hamiltonian {
+pub fn transverse_field_ising(
+    sites: usize,
+    coupling: f64,
+    field: f64,
+    periodic: bool,
+) -> Hamiltonian {
     assert!(sites >= 2, "the Ising chain needs at least two sites");
     let mut terms = Vec::new();
     let bonds: Vec<(usize, usize)> = if periodic {

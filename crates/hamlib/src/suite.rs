@@ -56,18 +56,102 @@ struct Spec {
 
 fn table1_specs() -> Vec<Spec> {
     vec![
-        Spec { name: "Na+", kind: BenchmarkKind::Molecular, qubits: 8, strings: 60, time: PI / 4.0, seed: 101 },
-        Spec { name: "Cl-", kind: BenchmarkKind::Molecular, qubits: 8, strings: 60, time: PI / 4.0, seed: 102 },
-        Spec { name: "Ar", kind: BenchmarkKind::Molecular, qubits: 8, strings: 60, time: PI / 4.0, seed: 103 },
-        Spec { name: "OH-", kind: BenchmarkKind::Molecular, qubits: 10, strings: 275, time: PI / 4.0, seed: 104 },
-        Spec { name: "HF", kind: BenchmarkKind::Molecular, qubits: 10, strings: 275, time: PI / 4.0, seed: 105 },
-        Spec { name: "LiH (froze)", kind: BenchmarkKind::Molecular, qubits: 10, strings: 275, time: PI / 4.0, seed: 106 },
-        Spec { name: "BeH2 (froze)", kind: BenchmarkKind::Molecular, qubits: 12, strings: 661, time: PI / 4.0, seed: 107 },
-        Spec { name: "LiH", kind: BenchmarkKind::Molecular, qubits: 12, strings: 614, time: PI / 4.0, seed: 108 },
-        Spec { name: "H2O", kind: BenchmarkKind::Molecular, qubits: 12, strings: 550, time: PI / 4.0, seed: 109 },
-        Spec { name: "SYK model 1", kind: BenchmarkKind::Syk, qubits: 8, strings: 210, time: 0.15, seed: 110 },
-        Spec { name: "SYK model 2", kind: BenchmarkKind::Syk, qubits: 10, strings: 210, time: 0.15, seed: 111 },
-        Spec { name: "BeH2", kind: BenchmarkKind::Syk, qubits: 14, strings: 661, time: 0.15, seed: 112 },
+        Spec {
+            name: "Na+",
+            kind: BenchmarkKind::Molecular,
+            qubits: 8,
+            strings: 60,
+            time: PI / 4.0,
+            seed: 101,
+        },
+        Spec {
+            name: "Cl-",
+            kind: BenchmarkKind::Molecular,
+            qubits: 8,
+            strings: 60,
+            time: PI / 4.0,
+            seed: 102,
+        },
+        Spec {
+            name: "Ar",
+            kind: BenchmarkKind::Molecular,
+            qubits: 8,
+            strings: 60,
+            time: PI / 4.0,
+            seed: 103,
+        },
+        Spec {
+            name: "OH-",
+            kind: BenchmarkKind::Molecular,
+            qubits: 10,
+            strings: 275,
+            time: PI / 4.0,
+            seed: 104,
+        },
+        Spec {
+            name: "HF",
+            kind: BenchmarkKind::Molecular,
+            qubits: 10,
+            strings: 275,
+            time: PI / 4.0,
+            seed: 105,
+        },
+        Spec {
+            name: "LiH (froze)",
+            kind: BenchmarkKind::Molecular,
+            qubits: 10,
+            strings: 275,
+            time: PI / 4.0,
+            seed: 106,
+        },
+        Spec {
+            name: "BeH2 (froze)",
+            kind: BenchmarkKind::Molecular,
+            qubits: 12,
+            strings: 661,
+            time: PI / 4.0,
+            seed: 107,
+        },
+        Spec {
+            name: "LiH",
+            kind: BenchmarkKind::Molecular,
+            qubits: 12,
+            strings: 614,
+            time: PI / 4.0,
+            seed: 108,
+        },
+        Spec {
+            name: "H2O",
+            kind: BenchmarkKind::Molecular,
+            qubits: 12,
+            strings: 550,
+            time: PI / 4.0,
+            seed: 109,
+        },
+        Spec {
+            name: "SYK model 1",
+            kind: BenchmarkKind::Syk,
+            qubits: 8,
+            strings: 210,
+            time: 0.15,
+            seed: 110,
+        },
+        Spec {
+            name: "SYK model 2",
+            kind: BenchmarkKind::Syk,
+            qubits: 10,
+            strings: 210,
+            time: 0.15,
+            seed: 111,
+        },
+        Spec {
+            name: "BeH2",
+            kind: BenchmarkKind::Syk,
+            qubits: 14,
+            strings: 661,
+            time: 0.15,
+            seed: 112,
+        },
     ]
 }
 
@@ -122,6 +206,13 @@ fn build(spec: &Spec, scale: SuiteScale) -> Benchmark {
 /// Generates the full Table 1 suite at the requested scale.
 pub fn table1_suite(scale: SuiteScale) -> Vec<Benchmark> {
     table1_specs().iter().map(|s| build(s, scale)).collect()
+}
+
+/// The benchmark names of Table 1, in table order. Useful for constructing
+/// the suite benchmark-by-benchmark (e.g. in parallel with
+/// [`benchmark_by_name`]) without building every Hamiltonian up front.
+pub fn table1_names() -> Vec<&'static str> {
+    table1_specs().iter().map(|s| s.name).collect()
 }
 
 /// Generates a single named benchmark from the Table 1 suite.

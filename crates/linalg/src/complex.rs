@@ -268,8 +268,8 @@ mod tests {
         let a = Complex::new(2.0, 3.0);
         let b = Complex::new(-1.0, 4.0);
         let p = a * b;
-        assert!((p.re - (2.0 * -1.0 - 3.0 * 4.0)).abs() < TOL);
-        assert!((p.im - (2.0 * 4.0 + 3.0 * -1.0)).abs() < TOL);
+        assert!((p.re - (-2.0 - 3.0 * 4.0)).abs() < TOL);
+        assert!((p.im - (2.0 * 4.0 + -3.0)).abs() < TOL);
     }
 
     #[test]

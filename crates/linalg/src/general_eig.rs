@@ -186,7 +186,7 @@ fn qr_eigenvalues(h: &mut Matrix) -> Vec<Complex> {
 
         iter_count += 1;
         // Occasionally use an exceptional shift to break symmetry stalls.
-        let mu = if iter_count % MAX_ITERS_PER_EIGENVALUE == 0 {
+        let mu = if iter_count.is_multiple_of(MAX_ITERS_PER_EIGENVALUE) {
             h[(m - 1, m - 2)] * 1.5 + h[(m - 1, m - 1)]
         } else {
             wilkinson_shift(h, m)

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-use crate::{Complex, CVector};
+use crate::{CVector, Complex};
 
 /// A dense complex matrix stored in row-major order.
 ///
@@ -182,7 +182,7 @@ impl Matrix {
     pub fn scale(&self, alpha: Complex) -> Matrix {
         let mut out = self.clone();
         for z in out.data.iter_mut() {
-            *z = *z * alpha;
+            *z *= alpha;
         }
         out
     }
@@ -297,7 +297,9 @@ impl Matrix {
         if !self.is_square() {
             return false;
         }
-        self.adjoint().matmul(self).approx_eq(&Matrix::identity(self.rows), tol)
+        self.adjoint()
+            .matmul(self)
+            .approx_eq(&Matrix::identity(self.rows), tol)
     }
 
     /// Swaps two rows in place.
@@ -401,7 +403,9 @@ mod tests {
 
     #[test]
     fn identity_is_multiplicative_identity() {
-        let a = Matrix::from_fn(3, 3, |i, j| Complex::new((i + j) as f64, (i as f64) - (j as f64)));
+        let a = Matrix::from_fn(3, 3, |i, j| {
+            Complex::new((i + j) as f64, (i as f64) - (j as f64))
+        });
         let id = Matrix::identity(3);
         assert!(a.matmul(&id).approx_eq(&a, 1e-12));
         assert!(id.matmul(&a).approx_eq(&a, 1e-12));

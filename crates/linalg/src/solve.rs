@@ -79,7 +79,7 @@ impl LuDecomposition {
                 let yj = y[j];
                 y[i] -= uij * yj;
             }
-            y[i] = y[i] / self.lu[(i, i)];
+            y[i] /= self.lu[(i, i)];
         }
         Ok(y)
     }
@@ -88,7 +88,7 @@ impl LuDecomposition {
     pub fn determinant(&self) -> Complex {
         let mut det = Complex::real(self.perm_sign);
         for i in 0..self.dim() {
-            det = det * self.lu[(i, i)];
+            det *= self.lu[(i, i)];
         }
         det
     }
@@ -141,7 +141,11 @@ pub fn lu_decompose(a: &Matrix) -> Result<LuDecomposition, SolveError> {
         }
     }
 
-    Ok(LuDecomposition { lu, perm, perm_sign })
+    Ok(LuDecomposition {
+        lu,
+        perm,
+        perm_sign,
+    })
 }
 
 /// Solves `A x = b` for a square complex matrix `A`.
@@ -220,7 +224,10 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let a = Matrix::identity(3);
         let lu = lu_decompose(&a).unwrap();
-        assert_eq!(lu.solve(&[Complex::ONE]).unwrap_err(), SolveError::DimensionMismatch);
+        assert_eq!(
+            lu.solve(&[Complex::ONE]).unwrap_err(),
+            SolveError::DimensionMismatch
+        );
     }
 
     #[test]

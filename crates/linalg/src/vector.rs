@@ -64,7 +64,7 @@ pub fn axpy(alpha: Complex, x: &[Complex], y: &mut [Complex]) {
 /// Scales every entry of `x` by `alpha` in place.
 pub fn scale(alpha: Complex, x: &mut [Complex]) {
     for xi in x.iter_mut() {
-        *xi = *xi * alpha;
+        *xi *= alpha;
     }
 }
 

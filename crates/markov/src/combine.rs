@@ -40,10 +40,9 @@ impl std::fmt::Display for CombineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CombineError::Empty => write!(f, "no transition matrices to combine"),
-            CombineError::WeightCountMismatch { matrices, weights } => write!(
-                f,
-                "{matrices} matrices but {weights} weights supplied"
-            ),
+            CombineError::WeightCountMismatch { matrices, weights } => {
+                write!(f, "{matrices} matrices but {weights} weights supplied")
+            }
             CombineError::InvalidWeights { sum } => {
                 write!(f, "weights must be non-negative and sum to 1 (sum = {sum})")
             }

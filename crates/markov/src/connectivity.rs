@@ -158,7 +158,7 @@ mod tests {
             vec![0.0, 0.0, 0.0, 0.0, 1.0],
         ]);
         let sccs = strongly_connected_components(&p);
-        let mut seen = vec![false; 5];
+        let mut seen = [false; 5];
         for scc in &sccs {
             for &v in scc {
                 assert!(!seen[v]);

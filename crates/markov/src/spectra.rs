@@ -108,11 +108,7 @@ mod tests {
 
     #[test]
     fn identity_chain_has_all_unit_eigenvalues() {
-        let p = TransitionMatrix::new(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let p = TransitionMatrix::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         let s = spectrum(&p);
         assert!((s.subdominant() - 1.0).abs() < 1e-9);
         assert_eq!(mixing_time_estimate(&p, 1e-3), usize::MAX);

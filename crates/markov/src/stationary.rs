@@ -69,11 +69,7 @@ fn power_iteration(p: &TransitionMatrix) -> Option<Vec<f64>> {
     let mut pi = vec![1.0 / n as f64; n];
     for _ in 0..100_000 {
         let next = p.propagate(&pi);
-        let delta: f64 = next
-            .iter()
-            .zip(pi.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = next.iter().zip(pi.iter()).map(|(a, b)| (a - b).abs()).sum();
         pi = next;
         if delta < 1e-13 {
             return Some(pi);

@@ -39,10 +39,16 @@ impl fmt::Display for TransitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransitionError::NotSquare { rows, cols } => {
-                write!(f, "transition matrix is not square: {rows} rows, row of length {cols}")
+                write!(
+                    f,
+                    "transition matrix is not square: {rows} rows, row of length {cols}"
+                )
             }
             TransitionError::InvalidEntry { row, col, value } => {
-                write!(f, "invalid transition probability {value} at ({row}, {col})")
+                write!(
+                    f,
+                    "invalid transition probability {value} at ({row}, {col})"
+                )
             }
             TransitionError::RowNotNormalized { row, sum } => {
                 write!(f, "row {row} sums to {sum}, expected 1")
@@ -99,7 +105,7 @@ impl TransitionMatrix {
             }
             let mut sum = 0.0;
             for (j, &p) in row.iter().enumerate() {
-                if !p.is_finite() || p < -1e-12 || p > 1.0 + 1e-12 {
+                if !p.is_finite() || !(-1e-12..=1.0 + 1e-12).contains(&p) {
                     return Err(TransitionError::InvalidEntry {
                         row: i,
                         col: j,
@@ -129,10 +135,12 @@ impl TransitionMatrix {
             .iter()
             .map(|row| {
                 assert_eq!(row.len(), n, "weight matrix must be square");
-                let sum: f64 = row.iter().inspect(|&&w| {
-                    assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
-                })
-                .sum();
+                let sum: f64 = row
+                    .iter()
+                    .inspect(|&&w| {
+                        assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+                    })
+                    .sum();
                 if sum <= 0.0 {
                     vec![1.0 / n as f64; n]
                 } else {
@@ -157,7 +165,10 @@ impl TransitionMatrix {
             (sum - 1.0).abs() < 1e-9,
             "distribution must be normalized (sums to {sum})"
         );
-        assert!(pi.iter().all(|&p| p >= 0.0), "probabilities must be non-negative");
+        assert!(
+            pi.iter().all(|&p| p >= 0.0),
+            "probabilities must be non-negative"
+        );
         TransitionMatrix {
             rows: vec![pi.to_vec(); pi.len()],
         }
@@ -257,7 +268,10 @@ mod tests {
 
     #[test]
     fn empty_matrix_rejected() {
-        assert_eq!(TransitionMatrix::new(vec![]).unwrap_err(), TransitionError::Empty);
+        assert_eq!(
+            TransitionMatrix::new(vec![]).unwrap_err(),
+            TransitionError::Empty
+        );
     }
 
     #[test]
@@ -275,7 +289,10 @@ mod tests {
     #[test]
     fn unnormalized_row_rejected() {
         let err = TransitionMatrix::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap_err();
-        assert!(matches!(err, TransitionError::RowNotNormalized { row: 0, .. }));
+        assert!(matches!(
+            err,
+            TransitionError::RowNotNormalized { row: 0, .. }
+        ));
     }
 
     #[test]
@@ -321,11 +338,7 @@ mod tests {
     fn strong_connectivity_of_example() {
         assert!(example_2_1().is_strongly_connected());
         // A chain with an absorbing state is not strongly connected.
-        let absorbing = TransitionMatrix::new(vec![
-            vec![0.5, 0.5],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let absorbing = TransitionMatrix::new(vec![vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
         assert!(!absorbing.is_strongly_connected());
     }
 

@@ -214,6 +214,17 @@ impl Hamiltonian {
         }
     }
 
+    /// [`Self::split_dominant_terms`] when a dominant term exists, a plain
+    /// clone otherwise — the canonical pre-compilation normalization every
+    /// transition-matrix construction path applies.
+    pub fn split_if_dominant(&self) -> Hamiltonian {
+        if self.has_dominant_term() {
+            self.split_dominant_terms()
+        } else {
+            self.clone()
+        }
+    }
+
     /// Returns `true` if any term carries more than half of the total weight
     /// (the special case handled by [`Self::split_dominant_terms`]).
     pub fn has_dominant_term(&self) -> bool {
@@ -231,7 +242,11 @@ impl Hamiltonian {
         let dim = 1usize << self.num_qubits;
         let mut m = Matrix::zeros(dim, dim);
         for term in &self.terms {
-            m = &m + &term.string.to_matrix().scale(Complex::real(term.coefficient));
+            m = &m
+                + &term
+                    .string
+                    .to_matrix()
+                    .scale(Complex::real(term.coefficient));
         }
         m
     }
@@ -363,8 +378,16 @@ mod tests {
         let h = Hamiltonian::parse("0.7 XZ + -0.3 ZY").unwrap();
         let m = h.to_matrix();
         assert!(m.is_hermitian(1e-12));
-        let manual = &"XZ".parse::<PauliString>().unwrap().to_matrix().scale_real(0.7)
-            + &"ZY".parse::<PauliString>().unwrap().to_matrix().scale_real(-0.3);
+        let manual = &"XZ"
+            .parse::<PauliString>()
+            .unwrap()
+            .to_matrix()
+            .scale_real(0.7)
+            + &"ZY"
+                .parse::<PauliString>()
+                .unwrap()
+                .to_matrix()
+                .scale_real(-0.3);
         assert!(m.approx_eq(&manual, 1e-12));
     }
 

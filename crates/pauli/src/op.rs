@@ -12,8 +12,10 @@ use marqsim_linalg::{Complex, Matrix};
 /// operations (see [`crate::PauliString`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u8)]
+#[derive(Default)]
 pub enum PauliOp {
     /// The identity operator.
+    #[default]
     I = 0b00,
     /// Pauli `Z` (phase flip).
     Z = 0b01,
@@ -122,12 +124,6 @@ impl PauliOp {
             ]),
             PauliOp::Z => Matrix::from_real_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]]),
         }
-    }
-}
-
-impl Default for PauliOp {
-    fn default() -> Self {
-        PauliOp::I
     }
 }
 

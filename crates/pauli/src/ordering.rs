@@ -106,10 +106,8 @@ mod tests {
     use super::*;
 
     fn ham() -> Hamiltonian {
-        Hamiltonian::parse(
-            "1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY + 0.3 ZZII + 0.2 XXII",
-        )
-        .unwrap()
+        Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY + 0.3 ZZII + 0.2 XXII")
+            .unwrap()
     }
 
     fn assert_permutation(order: &[usize], n: usize) {

@@ -39,7 +39,10 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::InvalidPauliChar { character, position } => write!(
+            ParseError::InvalidPauliChar {
+                character,
+                position,
+            } => write!(
                 f,
                 "invalid Pauli character '{character}' at position {position}"
             ),

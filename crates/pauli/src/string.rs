@@ -106,7 +106,10 @@ impl PauliString {
     ///
     /// Panics if the string has more than 64 qubits.
     pub fn x_mask(&self) -> u64 {
-        assert!(self.num_qubits() <= 64, "bitmask only supports up to 64 qubits");
+        assert!(
+            self.num_qubits() <= 64,
+            "bitmask only supports up to 64 qubits"
+        );
         self.ops
             .iter()
             .enumerate()
@@ -121,7 +124,10 @@ impl PauliString {
     ///
     /// Panics if the string has more than 64 qubits.
     pub fn z_mask(&self) -> u64 {
-        assert!(self.num_qubits() <= 64, "bitmask only supports up to 64 qubits");
+        assert!(
+            self.num_qubits() <= 64,
+            "bitmask only supports up to 64 qubits"
+        );
         self.ops
             .iter()
             .enumerate()
@@ -271,7 +277,13 @@ mod tests {
     #[test]
     fn parse_rejects_bad_characters() {
         let err = "XQZ".parse::<PauliString>().unwrap_err();
-        assert!(matches!(err, ParseError::InvalidPauliChar { character: 'Q', position: 1 }));
+        assert!(matches!(
+            err,
+            ParseError::InvalidPauliChar {
+                character: 'Q',
+                position: 1
+            }
+        ));
         assert!("".parse::<PauliString>().is_err());
     }
 
@@ -318,7 +330,13 @@ mod tests {
 
     #[test]
     fn product_matches_matrix_product() {
-        let cases = [("XY", "YX"), ("XZ", "ZY"), ("XX", "YY"), ("IZ", "XI"), ("YZ", "YZ")];
+        let cases = [
+            ("XY", "YX"),
+            ("XZ", "ZY"),
+            ("XX", "YY"),
+            ("IZ", "XI"),
+            ("YZ", "YZ"),
+        ];
         for (a, b) in cases {
             let pa: PauliString = a.parse().unwrap();
             let pb: PauliString = b.parse().unwrap();

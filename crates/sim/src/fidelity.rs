@@ -16,7 +16,10 @@ use crate::UnitaryAccumulator;
 ///
 /// Panics if the matrices are not square with identical dimensions.
 pub fn fidelity(a: &Matrix, b: &Matrix) -> f64 {
-    assert!(a.is_square() && b.is_square(), "fidelity requires square matrices");
+    assert!(
+        a.is_square() && b.is_square(),
+        "fidelity requires square matrices"
+    );
     assert_eq!(a.rows(), b.rows(), "fidelity requires equal dimensions");
     let dim = a.rows();
     let mut tr = Complex::ZERO;

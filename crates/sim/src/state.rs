@@ -47,7 +47,10 @@ impl StateVector {
     /// Panics if `index >= 2^num_qubits`.
     pub fn basis_state(num_qubits: usize, index: usize) -> Self {
         let dim = 1usize << num_qubits;
-        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for {num_qubits} qubits"
+        );
         let mut amplitudes = vec![Complex::ZERO; dim];
         amplitudes[index] = Complex::ONE;
         StateVector {
@@ -63,7 +66,10 @@ impl StateVector {
     /// Panics if the length is not a power of two.
     pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
         let dim = amplitudes.len();
-        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         StateVector {
             num_qubits: dim.trailing_zeros() as usize,
             amplitudes,
@@ -116,7 +122,7 @@ impl StateVector {
             Gate::GlobalPhase(phi) => {
                 let phase = Complex::cis(*phi);
                 for a in self.amplitudes.iter_mut() {
-                    *a = *a * phase;
+                    *a *= phase;
                 }
             }
             single => {
@@ -210,7 +216,7 @@ impl StateVector {
 
         // sign(k) = (-1)^{popcount(k & z_mask)}; P|k⟩ = y_phase·sign(k)·|k ^ x_mask⟩.
         let sign = |k: usize| {
-            if (k & z_mask).count_ones() % 2 == 0 {
+            if (k & z_mask).count_ones().is_multiple_of(2) {
                 Complex::ONE
             } else {
                 -Complex::ONE
@@ -259,14 +265,21 @@ mod tests {
         let mut psi = StateVector::zero_state(1);
         psi.apply_gate(&Gate::H(0));
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        assert!(state_close(&psi, &[Complex::real(s), Complex::real(s)], 1e-12));
+        assert!(state_close(
+            &psi,
+            &[Complex::real(s), Complex::real(s)],
+            1e-12
+        ));
     }
 
     #[test]
     fn bell_state_probabilities() {
         let mut psi = StateVector::zero_state(2);
         psi.apply_gate(&Gate::H(0));
-        psi.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        psi.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let p = psi.probabilities();
         assert!((p[0] - 0.5).abs() < 1e-12);
         assert!((p[1]).abs() < 1e-12);
@@ -288,10 +301,16 @@ mod tests {
         let gates = vec![
             Gate::H(0),
             Gate::Rz(1, 0.7),
-            Gate::Cnot { control: 0, target: 2 },
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
             Gate::Ry(2, -0.4),
             Gate::S(1),
-            Gate::Cnot { control: 2, target: 1 },
+            Gate::Cnot {
+                control: 2,
+                target: 1,
+            },
         ];
         let n = 3;
         let dim = 1 << n;
@@ -307,8 +326,16 @@ mod tests {
             psi.apply_gate(g);
             let full = match g {
                 Gate::Cnot { control, target } => Matrix::from_fn(dim, dim, |i, j| {
-                    let flipped = if (j >> control) & 1 == 1 { j ^ (1 << target) } else { j };
-                    if i == flipped { Complex::ONE } else { Complex::ZERO }
+                    let flipped = if (j >> control) & 1 == 1 {
+                        j ^ (1 << target)
+                    } else {
+                        j
+                    };
+                    if i == flipped {
+                        Complex::ONE
+                    } else {
+                        Complex::ZERO
+                    }
                 }),
                 single => {
                     let q = single.qubits()[0];

@@ -120,7 +120,9 @@ mod tests {
         via_gates.apply_circuit(&circuit);
         let mut via_rotation = UnitaryAccumulator::new(3);
         via_rotation.apply_pauli_rotation(&p, -0.62);
-        assert!(via_gates.to_matrix().approx_eq(&via_rotation.to_matrix(), 1e-10));
+        assert!(via_gates
+            .to_matrix()
+            .approx_eq(&via_rotation.to_matrix(), 1e-10));
     }
 
     #[test]

@@ -41,7 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let marqsim = compile(TransitionStrategy::marqsim_gc_rp(), 1)?;
         let f_base = metrics::evaluate_fidelity(&baseline.hamiltonian, time, &baseline.sequence);
         let f_marq = metrics::evaluate_fidelity(&marqsim.hamiltonian, time, &marqsim.sequence);
-        rows.push((epsilon, baseline.stats.cnot, f_base, marqsim.stats.cnot, f_marq));
+        rows.push((
+            epsilon,
+            baseline.stats.cnot,
+            f_base,
+            marqsim.stats.cnot,
+            f_marq,
+        ));
     }
 
     println!();

@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epsilon = 0.02;
 
     println!("Hamiltonian: {ham}");
-    println!("lambda = {:.3}, qubits = {}", ham.lambda(), ham.num_qubits());
+    println!(
+        "lambda = {:.3}, qubits = {}",
+        ham.lambda(),
+        ham.num_qubits()
+    );
     println!();
 
     for strategy in [

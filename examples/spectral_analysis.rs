@@ -15,8 +15,7 @@ use marqsim::pauli::Hamiltonian;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Example 5.3 of the paper.
-    let ham =
-        Hamiltonian::parse("1.0 IIIZY + 1.0 XXIII + 0.7 ZXZYI + 0.5 IIZZX + 0.3 XXYYZ")?;
+    let ham = Hamiltonian::parse("1.0 IIIZY + 1.0 XXIII + 0.7 ZXZYI + 0.5 IIZZX + 0.3 XXYYZ")?;
     let time = 0.4;
 
     let strategies = vec![

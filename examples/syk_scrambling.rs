@@ -66,10 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<28} {:>10} {:>12} {:>10.5}",
-        "MarQSim-GC-RP",
-        marqsim.num_samples,
-        marqsim.stats.cnot,
-        f_marqsim
+        "MarQSim-GC-RP", marqsim.num_samples, marqsim.stats.cnot, f_marqsim
     );
     println!();
     println!(

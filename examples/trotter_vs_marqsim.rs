@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Budget: the qDRIFT sample count at epsilon = 0.02.
     let epsilon = 0.02;
-    let budget =
-        ((2.0 * ham.lambda() * ham.lambda() * time * time) / epsilon).ceil() as usize;
+    let budget = ((2.0 * ham.lambda() * ham.lambda() * time * time) / epsilon).ceil() as usize;
     let steps = (budget / ham.num_terms()).max(1);
     println!("rotation budget: {budget} sampled rotations ≈ {steps} Trotter steps");
     println!();
@@ -36,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Deterministic Trotter, natural and cancellation-greedy orders.
     for (label, order) in [
-        ("Trotter (natural order)", (0..ham.num_terms()).collect::<Vec<_>>()),
-        ("Trotter (greedy-cancel order)", ordering::greedy_cancellation(&ham)),
+        (
+            "Trotter (natural order)",
+            (0..ham.num_terms()).collect::<Vec<_>>(),
+        ),
+        (
+            "Trotter (greedy-cancel order)",
+            ordering::greedy_cancellation(&ham),
+        ),
     ] {
         let result = baselines::trotter_sequence(&ham, time, steps, &order);
         let stats = metrics::sequence_stats(&ham, &result.sequence);
@@ -78,10 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let f = metrics::evaluate_fidelity(&result.hamiltonian, time, &result.sequence);
         println!(
             "{:<32} {:>10} {:>12} {:>10.5}",
-            label,
-            result.num_samples,
-            result.stats.cnot,
-            f
+            label, result.num_samples, result.stats.cnot, f
         );
     }
     println!();

@@ -26,6 +26,9 @@
 //! * [`hamlib`] — the benchmark suite used by the evaluation.
 //! * [`core`] — the MarQSim compiler itself (HTT graph, Algorithm 1 and 2,
 //!   transition-matrix optimization, baselines, experiment drivers).
+//! * [`engine`] — the parallel compilation engine: a deterministic
+//!   thread-pool executor, transition-matrix caching, and the batched
+//!   compile/sweep job API the evaluation binaries run on.
 //! * [`linalg`] — dense complex linear algebra used throughout.
 //!
 //! # Quick start
@@ -49,6 +52,7 @@
 
 pub use marqsim_circuit as circuit;
 pub use marqsim_core as core;
+pub use marqsim_engine as engine;
 pub use marqsim_fermion as fermion;
 pub use marqsim_flow as flow;
 pub use marqsim_hamlib as hamlib;

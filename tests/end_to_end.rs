@@ -49,7 +49,10 @@ fn synthesized_circuit_and_fast_path_agree_end_to_end() {
     let mut rot_acc = UnitaryAccumulator::new(ham.num_qubits());
     rot_acc.apply_sequence(&result.rotation_sequence());
     let agreement = fidelity::fidelity(&gate_acc.to_matrix(), &rot_acc.to_matrix());
-    assert!(agreement > 1.0 - 1e-9, "gate vs rotation agreement {agreement}");
+    assert!(
+        agreement > 1.0 - 1e-9,
+        "gate vs rotation agreement {agreement}"
+    );
 
     // And both approximate the exact evolution equally well.
     let exact_u = exact::exact_unitary(&ham, time);
@@ -87,7 +90,10 @@ fn gate_cancellation_strategy_reduces_cnots_without_losing_accuracy() {
     let f_base = metrics::evaluate_fidelity(&baseline.hamiltonian, time, &baseline.sequence);
     let f_gc = metrics::evaluate_fidelity(&gc.hamiltonian, time, &gc.sequence);
     assert!(f_base > 0.99);
-    assert!(f_gc > 0.98, "GC accuracy {f_gc} dropped too far below baseline {f_base}");
+    assert!(
+        f_gc > 0.98,
+        "GC accuracy {f_gc} dropped too far below baseline {f_base}"
+    );
 }
 
 #[test]
@@ -116,7 +122,10 @@ fn qdrift_error_bound_is_respected_on_average() {
         fine < coarse,
         "higher sample count should reduce the average error ({fine} vs {coarse})"
     );
-    assert!(fine < 0.02, "fine-grained compilation error too large: {fine}");
+    assert!(
+        fine < 0.02,
+        "fine-grained compilation error too large: {fine}"
+    );
 }
 
 #[test]
@@ -148,7 +157,14 @@ fn sequence_statistics_are_consistent_with_the_synthesized_circuit() {
     let unoptimized_cnots: usize = result
         .merged_sequence
         .iter()
-        .map(|&(idx, _)| 2 * result.hamiltonian.term(idx).string.weight().saturating_sub(1))
+        .map(|&(idx, _)| {
+            2 * result
+                .hamiltonian
+                .term(idx)
+                .string
+                .weight()
+                .saturating_sub(1)
+        })
         .sum();
     assert!(result.circuit.cnot_count() <= unoptimized_cnots);
     assert!(result.stats.cnot <= unoptimized_cnots);

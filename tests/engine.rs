@@ -1,0 +1,125 @@
+//! End-to-end tests of the parallel compilation engine through the facade:
+//! determinism of parallel sweeps against the serial driver, transition-cache
+//! behaviour, and a multi-benchmark batch across all three strategies.
+
+use std::sync::Arc;
+
+use marqsim::core::experiment::{run_sweep, SweepConfig};
+use marqsim::core::TransitionStrategy;
+use marqsim::engine::{Engine, EngineConfig, SweepRequest};
+use marqsim::hamlib::suite::{table1_names, table1_suite, SuiteScale};
+use marqsim::pauli::Hamiltonian;
+
+fn benchmark_hamiltonian() -> Hamiltonian {
+    Hamiltonian::parse(
+        "0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ + 0.4 XYXY + 0.3 IZIZ + 0.2 YYII",
+    )
+    .unwrap()
+}
+
+#[test]
+fn parallel_sweep_reproduces_the_serial_sweep_bit_for_bit() {
+    let ham = benchmark_hamiltonian();
+    let config = SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1, 0.05, 0.033],
+        repeats: 3,
+        base_seed: 17,
+        evaluate_fidelity: true,
+    };
+    let strategy = TransitionStrategy::marqsim_gc();
+    let serial = run_sweep(&ham, &strategy, &config).unwrap();
+    let engine = Engine::new(EngineConfig::default().with_threads(4));
+    let parallel = engine.run_sweep(&ham, &strategy, &config).unwrap();
+
+    assert_eq!(parallel.label, serial.label);
+    assert_eq!(parallel.points.len(), serial.points.len());
+    for (p, s) in parallel.points.iter().zip(&serial.points) {
+        assert_eq!(p.epsilon.to_bits(), s.epsilon.to_bits());
+        assert_eq!(p.seed, s.seed);
+        assert_eq!(p.num_samples, s.num_samples);
+        assert_eq!(p.stats, s.stats);
+        assert_eq!(p.fidelity.map(f64::to_bits), s.fidelity.map(f64::to_bits));
+    }
+    // Derived aggregates therefore agree exactly as well.
+    let (serial_clusters, parallel_clusters) =
+        (serial.cluster_summaries(), parallel.cluster_summaries());
+    assert_eq!(serial_clusters, parallel_clusters);
+}
+
+#[test]
+fn repeated_compiles_of_one_benchmark_hit_the_cache() {
+    let ham = benchmark_hamiltonian();
+    let strategy = TransitionStrategy::marqsim_gc();
+    let engine = Engine::new(EngineConfig::default().with_threads(2));
+
+    let first = engine.cache().get_or_build(&ham, &strategy).unwrap();
+    let second = engine.cache().get_or_build(&ham, &strategy).unwrap();
+    assert!(Arc::ptr_eq(&first, &second), "hit returns the cached graph");
+    assert_eq!(
+        first.transition_matrix().rows(),
+        second.transition_matrix().rows(),
+        "and therefore the identical transition matrix"
+    );
+    let stats = engine.cache().stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    // A whole sweep over the same benchmark adds no further builds.
+    engine
+        .run_sweep(&ham, &strategy, &SweepConfig::quick(0.5))
+        .unwrap();
+    assert_eq!(engine.cache().stats().misses, 1);
+}
+
+#[test]
+fn multi_benchmark_batch_across_all_three_strategies() {
+    let engine = Engine::new(EngineConfig::default().with_threads(4));
+    let names = &table1_names()[..2];
+    let strategies = [
+        TransitionStrategy::QDrift,
+        TransitionStrategy::marqsim_gc(),
+        TransitionStrategy::marqsim_gc_rp(),
+    ];
+    let suite: Vec<_> = table1_suite(SuiteScale::Reduced)
+        .into_iter()
+        .filter(|b| names.contains(&b.name))
+        .collect();
+    assert_eq!(suite.len(), 2);
+
+    let config = SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1],
+        repeats: 2,
+        base_seed: 5,
+        evaluate_fidelity: false,
+    };
+    let mut requests = Vec::new();
+    for bench in &suite {
+        for strategy in &strategies {
+            requests.push(SweepRequest::new(
+                format!("{}/{}", bench.name, strategy.label()),
+                bench.hamiltonian.clone(),
+                strategy.clone(),
+                config.clone(),
+            ));
+        }
+    }
+    let outcomes = engine.run_sweeps(requests);
+    assert_eq!(outcomes.len(), suite.len() * strategies.len());
+    for outcome in &outcomes {
+        let sweep = outcome.as_ref().expect("sweep succeeds");
+        assert_eq!(sweep.points.len(), 2);
+        for point in &sweep.points {
+            assert!(point.num_samples > 0);
+            assert!(point.stats.cnot > 0);
+        }
+    }
+
+    let stats = engine.cache().stats();
+    assert_eq!(stats.graphs, 6, "one graph per (benchmark, strategy)");
+    assert_eq!(
+        stats.components, 2,
+        "one P_gc per benchmark, shared by GC and GC-RP"
+    );
+    assert_eq!(stats.component_hits, 2);
+}

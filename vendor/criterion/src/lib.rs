@@ -1,0 +1,221 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this crate implements the
+//! subset of the criterion 0.5 API the `marqsim-bench` benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — on top of a simple
+//! wall-clock measurement loop (warm-up, then a fixed number of timed
+//! samples; median and spread are reported to stdout).
+//!
+//! It intentionally has none of criterion's statistics, plotting, or
+//! command-line machinery: `cargo bench` builds and runs, prints one line per
+//! benchmark, and exits.
+
+use std::time::{Duration, Instant};
+
+/// How batches are sized in [`Bencher::iter_batched`]. Only a hint here; the
+/// stand-in always runs one routine call per setup call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one iteration per batch.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Prevents the optimizer from eliding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement state handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // One warm-up call, then timed samples.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; the setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.durations.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        self.durations.sort_unstable();
+        let median = self.durations[self.durations.len() / 2];
+        let min = self.durations[0];
+        let max = self.durations[self.durations.len() - 1];
+        println!(
+            "{name:<48} median {:>12?}   [{:?} .. {:?}]   ({} samples)",
+            median,
+            min,
+            max,
+            self.durations.len()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    b.report(name);
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark with the default sample count.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into(), self.default_samples, f);
+        self
+    }
+
+    /// Opens a named group whose sample size can be tuned.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Final configuration hook (kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0usize;
+        b.iter(|| calls += 1);
+        assert_eq!(b.durations.len(), 5);
+        assert_eq!(calls, 6, "one warm-up plus five timed samples");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.durations.len(), 3);
+    }
+
+    #[test]
+    fn groups_inherit_and_override_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+    }
+}
