@@ -7,7 +7,7 @@
 //! The reduced scale uses the BeH2 (froze)-class benchmark shrunk to 8
 //! qubits so the exact unitary is cheap to evaluate.
 
-use marqsim_bench::{engine, header, run_scale};
+use marqsim_bench::{engine, header, report_cache_stats, run_scale};
 use marqsim_core::experiment::{SweepConfig, DEFAULT_EPSILONS};
 use marqsim_core::fitting::fit_exponential;
 use marqsim_core::TransitionStrategy;
@@ -89,4 +89,5 @@ fn main() {
         }
         None => println!("not enough accuracy data for the exponential fit"),
     }
+    report_cache_stats(engine.cache().stats());
 }

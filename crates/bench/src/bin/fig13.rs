@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run -p marqsim-bench --release --bin fig13 [--full]`.
 
-use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_bench::{engine, header, pct, report_cache_stats, run_scale};
 use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
 use marqsim_engine::SweepRequest;
@@ -116,4 +116,5 @@ fn main() {
         "average total-gate reduction (GC-RP): {}  (paper: 17.0%)",
         pct(mean(&gcrp_total_reductions))
     );
+    report_cache_stats(engine.cache().stats());
 }

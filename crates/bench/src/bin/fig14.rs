@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run -p marqsim-bench --release --bin fig14 [--full]`.
 
-use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_bench::{engine, header, pct, report_cache_stats, run_scale};
 use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
 use marqsim_engine::SweepRequest;
@@ -103,4 +103,5 @@ fn main() {
         pct(mean(&per_ratio_totals[2]))
     );
     println!("(a larger Pgc share gives more cancellation but slower Markov-chain mixing; see fig15 for the spectra)");
+    report_cache_stats(engine.cache().stats());
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run -p marqsim-bench --release --bin fig15 [--full]`.
 
-use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_bench::{engine, header, pct, report_cache_stats, run_scale};
 use marqsim_core::experiment::SweepConfig;
 use marqsim_core::perturb::PerturbationConfig;
 use marqsim_core::transition::build_transition_matrix;
@@ -129,4 +129,5 @@ fn main() {
             pct(1.0 - sigmas[3] / sigmas[2])
         );
     }
+    report_cache_stats(engine.cache().stats());
 }

@@ -10,7 +10,7 @@
 
 use std::f64::consts::PI;
 
-use marqsim_bench::{engine, header, pct, run_scale};
+use marqsim_bench::{engine, header, pct, report_cache_stats, run_scale};
 use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
 use marqsim_engine::SweepRequest;
@@ -93,4 +93,5 @@ fn main() {
         "average MarQSim-GC CNOT reduction per t: {}  (paper: 21.8% / 24.7% / 17.9% / 24.8%)",
         averages.join(" / ")
     );
+    report_cache_stats(engine.cache().stats());
 }

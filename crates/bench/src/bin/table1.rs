@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run -p marqsim-bench --bin table1 [--full]`.
 
-use marqsim_bench::{engine, header, run_scale};
+use marqsim_bench::{engine, header, report_cache_stats, run_scale};
 use marqsim_hamlib::suite::{benchmark_by_name, table1_names};
 
 fn main() {
@@ -36,4 +36,5 @@ fn main() {
         "(scale: {:?}; pass --full for the paper-sized suite)",
         scale.suite
     );
+    report_cache_stats(engine.cache().stats());
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use marqsim_engine::Engine;
+use marqsim_engine::{CacheStats, Engine};
 use marqsim_hamlib::suite::SuiteScale;
 
 /// Runtime scale selection shared by the binaries.
@@ -45,12 +45,41 @@ pub fn run_scale() -> RunScale {
 }
 
 /// Builds the engine every binary routes its compilations through
-/// (`MARQSIM_THREADS` / `MARQSIM_CACHE` overrides apply) and prints a
-/// one-line banner so runs record their parallelism.
+/// (`MARQSIM_THREADS` / `MARQSIM_CACHE` / `MARQSIM_CACHE_CAP` /
+/// `MARQSIM_CACHE_DIR` overrides apply) and prints a one-line banner so
+/// runs record their parallelism. An invalid override is a clear exit-2
+/// diagnostic, never a silent fallback.
 pub fn engine() -> Engine {
-    let engine = Engine::from_env();
-    println!("[marqsim-engine: {} worker threads]", engine.threads());
-    engine
+    match Engine::from_env() {
+        Ok(engine) => {
+            println!("[marqsim-engine: {} worker threads]", engine.threads());
+            engine
+        }
+        Err(error) => {
+            eprintln!("marqsim-bench: {error}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints cache counters in a stable, grep-able one-line format. Every
+/// binary emits this before exiting; the CI persistence smoke job asserts
+/// the line reports `flow_solves=0` when `table2` reruns against a warm
+/// `MARQSIM_CACHE_DIR`.
+pub fn report_cache_stats(stats: CacheStats) {
+    println!(
+        "[cache] hits={} misses={} component_hits={} flow_solves={} disk_hits={} disk_writes={} disk_errors={} evictions={} graphs={} components={}",
+        stats.hits,
+        stats.misses,
+        stats.component_hits,
+        stats.flow_solves,
+        stats.disk_hits,
+        stats.disk_writes,
+        stats.disk_errors,
+        stats.evictions,
+        stats.graphs,
+        stats.components,
+    );
 }
 
 /// Prints a section header in a consistent format.

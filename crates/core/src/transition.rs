@@ -1,6 +1,6 @@
 //! Building the compiler's transition matrix from a strategy.
 
-use marqsim_markov::combine::combine;
+use marqsim_markov::combine::combine_refs;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
 
@@ -59,29 +59,35 @@ pub fn build_transition_matrix_with_components(
             reason: format!("invalid combination weights in {strategy:?}"),
         });
     }
-    let gc = |cached: Option<&TransitionMatrix>| -> Result<TransitionMatrix, CompileError> {
-        match cached {
-            Some(m) => Ok(m.clone()),
-            None => gate_cancellation_matrix(ham),
-        }
+    // A supplied component is borrowed straight into the combination — no
+    // clone of the n × n matrix — so component reuse stays cheap even for
+    // thousand-term Hamiltonians.
+    let mut solved_gc = None;
+    let p_gc: Option<&TransitionMatrix> = if strategy_uses_gate_cancellation(strategy) {
+        Some(match cached_gc {
+            Some(m) => m,
+            None => solved_gc.insert(gate_cancellation_matrix(ham)?),
+        })
+    } else {
+        None
     };
     let p_qd = qdrift_matrix(ham);
     let matrix = match strategy {
         TransitionStrategy::QDrift => p_qd,
         TransitionStrategy::GateCancellation { qdrift_weight } => {
-            let p_gc = gc(cached_gc)?;
-            combine(&[p_qd, p_gc], &[*qdrift_weight, 1.0 - *qdrift_weight])?
+            let p_gc = p_gc.expect("GC strategies carry a P_gc component");
+            combine_refs(&[&p_qd, p_gc], &[*qdrift_weight, 1.0 - *qdrift_weight])?
         }
         TransitionStrategy::GateCancellationRandomPerturbation {
             qdrift_weight,
             gc_weight,
             perturbation,
         } => {
-            let p_gc = gc(cached_gc)?;
+            let p_gc = p_gc.expect("GC strategies carry a P_gc component");
             let p_rp = random_perturbation_matrix(ham, perturbation)?;
             let rp_weight = 1.0 - qdrift_weight - gc_weight;
-            combine(
-                &[p_qd, p_gc, p_rp],
+            combine_refs(
+                &[&p_qd, p_gc, &p_rp],
                 &[*qdrift_weight, *gc_weight, rp_weight],
             )?
         }
@@ -91,10 +97,10 @@ pub fn build_transition_matrix_with_components(
             rp_weight,
             perturbation,
         } => {
-            let p_gc = gc(cached_gc)?;
+            let p_gc = p_gc.expect("GC strategies carry a P_gc component");
             let p_rp = random_perturbation_matrix(ham, perturbation)?;
-            combine(
-                &[p_qd, p_gc, p_rp],
+            combine_refs(
+                &[&p_qd, p_gc, &p_rp],
                 &[*qdrift_weight, *gc_weight, *rp_weight],
             )?
         }

@@ -1,4 +1,4 @@
-//! Transition-matrix caching.
+//! Transition-matrix caching: sharded, LRU-bounded, optionally persistent.
 //!
 //! Building a transition matrix for the `GateCancellation*` strategies means
 //! solving a min-cost-flow problem over all term pairs — the dominant cost
@@ -6,20 +6,39 @@
 //! identical problem for every `(ε, seed)` sweep point. [`TransitionCache`]
 //! keys validated [`HttGraph`]s by a structural Hamiltonian fingerprint plus
 //! a strategy key, so each `(Hamiltonian, strategy)` pair is solved once per
-//! cache (each engine owns one); the `P_gc` component is additionally cached per Hamiltonian
-//! alone, because it is independent of the combination weights and is shared
-//! by the MarQSim-GC and MarQSim-GC-RP strategies.
+//! cache (each engine owns one); the `P_gc` component is additionally cached
+//! per Hamiltonian alone, because it is independent of the combination
+//! weights and is shared by the MarQSim-GC and MarQSim-GC-RP strategies.
+//!
+//! # Architecture
+//!
+//! The storage layer is a [`ShardedLru`](crate::shard::ShardedLru): entries
+//! are spread over per-mutex shards selected by the fingerprint (distinct
+//! Hamiltonians never contend on one lock) and each shard is bounded by an
+//! LRU entry cap, so a long-lived service cannot leak memory through the
+//! cache. An opt-in persistence layer spills solved `P_gc` matrices to a
+//! directory in a versioned binary format (see [`crate::persist`]) and
+//! loads them back in later processes, which makes repeated benchmark and
+//! CI runs nearly free. Configure all three axes with [`CacheConfig`]; the
+//! engine wires them to `MARQSIM_CACHE_CAP` and `MARQSIM_CACHE_DIR`.
 //!
 //! Cached values are immutable and shared via [`Arc`], so a cache hit costs
-//! one map lookup, a Hamiltonian equality check, and a reference-count
+//! one shard-map lookup, a Hamiltonian equality check, and a reference-count
 //! bump. Keys are structural (FNV-1a over term coefficients and Pauli
 //! operators, exact `f64` bit patterns for weights) with no float
 //! tolerance, and every entry stores the Hamiltonian it was built from and
 //! is matched by full equality — a 64-bit fingerprint collision therefore
-//! costs one extra bucket entry, never a wrong graph.
+//! costs one extra bucket entry, never a wrong graph. The same full-equality
+//! re-verification guards every disk load, so a stale or colliding cache
+//! file degrades to a re-solve, never a wrong matrix.
+//!
+//! [`CacheStats`] snapshots the hit/miss/eviction and flow-solve/disk
+//! counters; the evaluation binaries print it so "how much work did the
+//! cache save" is always visible.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use marqsim_core::gate_cancel::gate_cancellation_matrix;
 use marqsim_core::transition::{
@@ -28,6 +47,13 @@ use marqsim_core::transition::{
 use marqsim_core::{CompileError, HttGraph, TransitionStrategy};
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
+
+use crate::persist;
+use crate::shard::ShardedLru;
+
+/// Default LRU entry cap per shard — generous (a full evaluation run touches
+/// a few dozen distinct keys) while still bounding a long-lived service.
+pub const DEFAULT_CACHE_CAP: usize = 256;
 
 /// A structural 64-bit FNV-1a fingerprint of a Hamiltonian: qubit count,
 /// term count, and every term's coefficient bits and Pauli operators, in
@@ -126,56 +152,191 @@ pub struct CacheKey {
     pub strategy: StrategyKey,
 }
 
-/// Hit/miss counters of a [`TransitionCache`].
+/// Construction parameters of a [`TransitionCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Shard count; `0` means "auto" (available parallelism, rounded up to a
+    /// power of two, capped at 64).
+    pub shards: usize,
+    /// LRU entry cap per shard; `0` means unbounded (the legacy behaviour).
+    pub cap_per_shard: usize,
+    /// Directory for persisted `P_gc` components; `None` disables
+    /// persistence.
+    pub persist_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 0,
+            cap_per_shard: DEFAULT_CACHE_CAP,
+            persist_dir: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Sets the shard count (`0` = auto).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard entry cap (`0` = unbounded).
+    pub fn with_cap(mut self, cap_per_shard: usize) -> Self {
+        self.cap_per_shard = cap_per_shard;
+        self
+    }
+
+    /// Enables disk persistence of `P_gc` components under `dir`.
+    pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Counter snapshot of a [`TransitionCache`] (see [`TransitionCache::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Graph lookups answered from the cache.
+    /// Graph lookups answered from the in-memory cache.
     pub hits: u64,
     /// Graph lookups that had to build the transition matrix.
     pub misses: u64,
-    /// `P_gc` component solves avoided by the per-Hamiltonian component
-    /// cache (on graph misses whose strategy needs `P_gc`).
+    /// `P_gc` component solves avoided by the in-memory per-Hamiltonian
+    /// component cache (on graph misses whose strategy needs `P_gc`).
     pub component_hits: u64,
+    /// Min-cost-flow solves actually performed (component-cache and disk
+    /// misses). The savings headline: every avoided solve is a `P_gc`
+    /// served from memory or disk instead.
+    pub flow_solves: u64,
+    /// `P_gc` components loaded from the persistence directory.
+    pub disk_hits: u64,
+    /// `P_gc` components written to the persistence directory.
+    pub disk_writes: u64,
+    /// Failed persistence writes (treated as "persistence unavailable",
+    /// never as a compile failure).
+    pub disk_errors: u64,
+    /// Entries dropped by the per-shard LRU bound (graphs + components).
+    pub evictions: u64,
     /// Number of cached graphs.
     pub graphs: usize,
     /// Number of cached `P_gc` components.
     pub components: usize,
 }
 
+impl std::ops::AddAssign for CacheStats {
+    /// Field-wise accumulation, for aggregating counters across several
+    /// caches (e.g. `table2`'s cold + warm + component caches). The
+    /// exhaustive destructuring makes adding a `CacheStats` field without
+    /// updating the aggregation a compile error.
+    fn add_assign(&mut self, rhs: CacheStats) {
+        let CacheStats {
+            hits,
+            misses,
+            component_hits,
+            flow_solves,
+            disk_hits,
+            disk_writes,
+            disk_errors,
+            evictions,
+            graphs,
+            components,
+        } = rhs;
+        self.hits += hits;
+        self.misses += misses;
+        self.component_hits += component_hits;
+        self.flow_solves += flow_solves;
+        self.disk_hits += disk_hits;
+        self.disk_writes += disk_writes;
+        self.disk_errors += disk_errors;
+        self.evictions += evictions;
+        self.graphs += graphs;
+        self.components += components;
+    }
+}
+
 /// A cache of validated HTT graphs and `P_gc` components.
 ///
 /// Thread-safe; each [`Engine`](crate::Engine) owns one behind an [`Arc`]
-/// shared by its workers (engines do not share caches — `table2` exploits
-/// this to time cold and warm compiles side by side). Concurrent misses on the same key may both build the value (the
-/// second insert wins), which is harmless because construction is
-/// deterministic: both threads build identical graphs.
-#[derive(Debug, Default)]
+/// shared by its workers (engines do not share in-memory caches — `table2`
+/// exploits this to time cold and warm compiles side by side — but engines
+/// pointed at the same [`CacheConfig::persist_dir`] do share the disk
+/// layer). Concurrent misses on the same key may both build the value (the
+/// second insert wins, replacing the first in place), which is harmless
+/// because construction is deterministic: both threads build identical
+/// graphs.
+#[derive(Debug)]
 pub struct TransitionCache {
-    inner: Mutex<CacheInner>,
+    graphs: ShardedLru<CacheKey, Hamiltonian, Arc<HttGraph>>,
+    components: ShardedLru<u64, Hamiltonian, Arc<TransitionMatrix>>,
+    persist_dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    component_hits: AtomicU64,
+    flow_solves: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_errors: AtomicU64,
 }
 
-#[derive(Debug, Default)]
-struct CacheInner {
-    // Buckets: entries store the requested (unsplit) Hamiltonian and are
-    // matched by full equality, so a fingerprint collision degrades to an
-    // extra comparison instead of silently returning the wrong graph.
-    graphs: HashMap<CacheKey, Vec<(Hamiltonian, Arc<HttGraph>)>>,
-    gc_components: HashMap<u64, Vec<(Hamiltonian, Arc<TransitionMatrix>)>>,
-    hits: u64,
-    misses: u64,
-    component_hits: u64,
+impl Default for TransitionCache {
+    fn default() -> Self {
+        TransitionCache::with_config(CacheConfig::default())
+    }
 }
 
 impl TransitionCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default configuration (auto shard
+    /// count, [`DEFAULT_CACHE_CAP`] entries per shard, no persistence).
     pub fn new() -> Self {
         TransitionCache::default()
+    }
+
+    /// Creates an empty cache with an explicit configuration.
+    pub fn with_config(config: CacheConfig) -> Self {
+        TransitionCache {
+            graphs: ShardedLru::new(config.shards, config.cap_per_shard),
+            components: ShardedLru::new(config.shards, config.cap_per_shard),
+            persist_dir: config.persist_dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            component_hits: AtomicU64::new(0),
+            flow_solves: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            disk_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (same for the graph and component layers).
+    pub fn shard_count(&self) -> usize {
+        self.graphs.shard_count()
+    }
+
+    /// LRU entry cap per shard (`0` = unbounded).
+    pub fn cap_per_shard(&self) -> usize {
+        self.graphs.cap_per_shard()
+    }
+
+    /// The persistence directory, when enabled.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
+    }
+
+    /// Per-shard graph entry counts (diagnostics / cap assertions).
+    pub fn graph_shard_lens(&self) -> Vec<usize> {
+        self.graphs.shard_lens()
+    }
+
+    /// Per-shard `P_gc` component entry counts.
+    pub fn component_shard_lens(&self) -> Vec<usize> {
+        self.components.shard_lens()
     }
 
     /// Returns the cached HTT graph for `(ham, strategy)`, building and
     /// inserting it on a miss.
     ///
-    /// The lock is *not* held while solving: concurrent misses trade a
+    /// No shard lock is held while solving: concurrent misses trade a
     /// duplicated (deterministic, identical) solve for never blocking other
     /// strategies' lookups behind a multi-second min-cost-flow run.
     ///
@@ -192,17 +353,11 @@ impl TransitionCache {
             fingerprint: hamiltonian_fingerprint(ham),
             strategy: StrategyKey::of(strategy),
         };
-        {
-            let mut inner = self.inner.lock().expect("cache lock");
-            if let Some(bucket) = inner.graphs.get(&key) {
-                if let Some((_, graph)) = bucket.iter().find(|(stored, _)| stored == ham) {
-                    let graph = Arc::clone(graph);
-                    inner.hits += 1;
-                    return Ok(graph);
-                }
-            }
-            inner.misses += 1;
+        if let Some(graph) = self.graphs.get(key.fingerprint, &key, ham) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(graph);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
 
         // Dominant-term splitting happens before fingerprinting the working
         // Hamiltonian for the component cache: P_gc is a function of the
@@ -217,55 +372,95 @@ impl TransitionCache {
             build_transition_matrix_with_components(&working, strategy, cached_gc.as_deref())?;
         let graph = Arc::new(HttGraph::from_matrix(&working, matrix)?);
 
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner
-            .graphs
-            .entry(key)
-            .or_default()
-            .push((ham.clone(), Arc::clone(&graph)));
+        self.graphs
+            .insert(key.fingerprint, key, ham.clone(), Arc::clone(&graph));
         Ok(graph)
     }
 
-    /// Returns the cached `P_gc` for the (already split) Hamiltonian,
-    /// solving the min-cost-flow model on a miss.
+    /// Returns the `P_gc` component for `ham`, splitting dominant terms
+    /// first (the same normalization [`get_or_build`](Self::get_or_build)
+    /// applies) and serving the result from memory, then disk, then a fresh
+    /// min-cost-flow solve.
+    ///
+    /// This is the public entry point for callers that want the flow solve
+    /// itself cached/persisted without building a full graph — `table2`
+    /// times exactly this call for its `P_gc` column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates min-cost-flow solver failures.
+    pub fn get_or_solve_gc(
+        &self,
+        ham: &Hamiltonian,
+    ) -> Result<Arc<TransitionMatrix>, CompileError> {
+        self.gc_component(&ham.split_if_dominant())
+    }
+
+    /// Returns the cached `P_gc` for the (already split) Hamiltonian:
+    /// memory, then the persistence directory, then a min-cost-flow solve
+    /// (spilled back to disk when persistence is on).
     fn gc_component(&self, working: &Hamiltonian) -> Result<Arc<TransitionMatrix>, CompileError> {
         let fp = hamiltonian_fingerprint(working);
-        {
-            let mut inner = self.inner.lock().expect("cache lock");
-            if let Some(bucket) = inner.gc_components.get(&fp) {
-                if let Some((_, gc)) = bucket.iter().find(|(stored, _)| stored == working) {
-                    let gc = Arc::clone(gc);
-                    inner.component_hits += 1;
-                    return Ok(gc);
-                }
+        if let Some(gc) = self.components.get(fp, &fp, working) {
+            self.component_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(gc);
+        }
+        if let Some(dir) = &self.persist_dir {
+            if let Some(matrix) = persist::load_component(dir, fp, working) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let gc = Arc::new(matrix);
+                self.components
+                    .insert(fp, fp, working.clone(), Arc::clone(&gc));
+                return Ok(gc);
             }
         }
+        self.flow_solves.fetch_add(1, Ordering::Relaxed);
         let gc = Arc::new(gate_cancellation_matrix(working)?);
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner
-            .gc_components
-            .entry(fp)
-            .or_default()
-            .push((working.clone(), Arc::clone(&gc)));
+        if let Some(dir) = &self.persist_dir {
+            match persist::save_component(dir, fp, working, &gc) {
+                Ok(()) => self.disk_writes.fetch_add(1, Ordering::Relaxed),
+                Err(_) => self.disk_errors.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        self.components
+            .insert(fp, fp, working.clone(), Arc::clone(&gc));
         Ok(gc)
     }
 
-    /// Current hit/miss counters and entry counts.
+    /// Current counters and entry counts (a racy-but-consistent-enough
+    /// snapshot; each field is individually exact).
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock");
         CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            component_hits: inner.component_hits,
-            graphs: inner.graphs.values().map(Vec::len).sum(),
-            components: inner.gc_components.values().map(Vec::len).sum(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            component_hits: self.component_hits.load(Ordering::Relaxed),
+            flow_solves: self.flow_solves.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            evictions: self.graphs.evictions() + self.components.evictions(),
+            graphs: self.graphs.len(),
+            components: self.components.len(),
         }
     }
 
-    /// Drops every entry and resets the counters.
+    /// Drops every in-memory entry and resets the counters. Files in the
+    /// persistence directory are left untouched (they are the point of
+    /// persistence); delete the directory to cold-start.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        *inner = CacheInner::default();
+        self.graphs.clear();
+        self.components.clear();
+        for counter in [
+            &self.hits,
+            &self.misses,
+            &self.component_hits,
+            &self.flow_solves,
+            &self.disk_hits,
+            &self.disk_writes,
+            &self.disk_errors,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -299,6 +494,12 @@ mod tests {
 
     fn ham() -> Hamiltonian {
         Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("marqsim-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -342,6 +543,7 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.graphs, 1);
+        assert_eq!(stats.flow_solves, 1, "one min-cost-flow solve");
     }
 
     #[test]
@@ -357,6 +559,7 @@ mod tests {
         assert_eq!(stats.misses, 2, "two distinct strategies");
         assert_eq!(stats.components, 1, "one shared P_gc");
         assert_eq!(stats.component_hits, 1, "second strategy reused it");
+        assert_eq!(stats.flow_solves, 1, "the flow model was solved once");
     }
 
     #[test]
@@ -381,7 +584,9 @@ mod tests {
         cache
             .get_or_build(&ham(), &TransitionStrategy::QDrift)
             .unwrap();
-        assert_eq!(cache.stats().components, 0);
+        let stats = cache.stats();
+        assert_eq!(stats.components, 0);
+        assert_eq!(stats.flow_solves, 0);
     }
 
     #[test]
@@ -404,5 +609,120 @@ mod tests {
             .unwrap();
         assert_eq!(graph.num_states(), 4);
         assert!((graph.hamiltonian().lambda() - dominant.lambda()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_shard_cap_is_enforced_with_correct_rebuilds() {
+        // One shard, one entry: every new key evicts the previous one, and
+        // a re-request of an evicted key simply rebuilds the identical
+        // graph.
+        let cache = TransitionCache::with_config(CacheConfig::default().with_shards(1).with_cap(1));
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.cap_per_shard(), 1);
+        let strategies = [
+            TransitionStrategy::QDrift,
+            TransitionStrategy::marqsim_gc(),
+            TransitionStrategy::marqsim_gc_rp(),
+        ];
+        for strategy in &strategies {
+            cache.get_or_build(&ham(), strategy).unwrap();
+            assert!(cache.graph_shard_lens().iter().all(|&len| len <= 1));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.graphs, 1, "cap keeps one graph");
+        assert_eq!(stats.evictions, 2, "two graphs were evicted");
+
+        // The evicted GC graph rebuilds to the exact same matrix.
+        let rebuilt = cache
+            .get_or_build(&ham(), &TransitionStrategy::marqsim_gc())
+            .unwrap();
+        let fresh = HttGraph::build(&ham(), &TransitionStrategy::marqsim_gc()).unwrap();
+        assert_eq!(
+            rebuilt.transition_matrix().rows(),
+            fresh.transition_matrix().rows()
+        );
+    }
+
+    #[test]
+    fn zero_cap_restores_the_unbounded_legacy_behaviour() {
+        let cache = TransitionCache::with_config(CacheConfig::default().with_shards(1).with_cap(0));
+        for strategy in [
+            TransitionStrategy::QDrift,
+            TransitionStrategy::marqsim_gc(),
+            TransitionStrategy::marqsim_gc_rp(),
+        ] {
+            cache.get_or_build(&ham(), &strategy).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.graphs, 3);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn persistence_round_trip_skips_the_flow_solve() {
+        let dir = temp_dir("roundtrip");
+        let config = CacheConfig::default().with_persist_dir(&dir);
+
+        let first = TransitionCache::with_config(config.clone());
+        let graph_a = first
+            .get_or_build(&ham(), &TransitionStrategy::marqsim_gc())
+            .unwrap();
+        let stats = first.stats();
+        assert_eq!(stats.flow_solves, 1);
+        assert_eq!(stats.disk_writes, 1);
+        assert_eq!(stats.disk_hits, 0);
+
+        // A second cache — a simulated new process — loads P_gc from disk:
+        // zero min-cost-flow solves, identical graph.
+        let second = TransitionCache::with_config(config);
+        let graph_b = second
+            .get_or_build(&ham(), &TransitionStrategy::marqsim_gc())
+            .unwrap();
+        let stats = second.stats();
+        assert_eq!(stats.flow_solves, 0, "P_gc came from disk");
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses, 1, "the graph itself was still a miss");
+        assert_eq!(
+            graph_a.transition_matrix().rows(),
+            graph_b.transition_matrix().rows(),
+            "disk-loaded component yields a bit-identical graph"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_persisted_component_falls_back_to_solving() {
+        let dir = temp_dir("corrupt-fallback");
+        let config = CacheConfig::default().with_persist_dir(&dir);
+        let first = TransitionCache::with_config(config.clone());
+        first.get_or_solve_gc(&ham()).unwrap();
+        let fp = hamiltonian_fingerprint(&ham().split_if_dominant());
+        std::fs::write(persist::component_path(&dir, fp), b"not a cache file").unwrap();
+
+        let second = TransitionCache::with_config(config);
+        let gc = second.get_or_solve_gc(&ham()).unwrap();
+        let stats = second.stats();
+        assert_eq!(stats.disk_hits, 0, "corrupt file must not load");
+        assert_eq!(stats.flow_solves, 1, "fell back to solving");
+        assert_eq!(stats.disk_writes, 1, "and re-spilled the good matrix");
+        assert_eq!(*gc, gate_cancellation_matrix(&ham()).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_or_solve_gc_counts_hits_like_the_graph_path() {
+        let cache = TransitionCache::new();
+        let a = cache.get_or_solve_gc(&ham()).unwrap();
+        let b = cache.get_or_solve_gc(&ham()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!(stats.flow_solves, 1);
+        assert_eq!(stats.component_hits, 1);
+        // The graph cache then reuses the very same component.
+        cache
+            .get_or_build(&ham(), &TransitionStrategy::marqsim_gc())
+            .unwrap();
+        assert_eq!(cache.stats().flow_solves, 1);
+        assert_eq!(cache.stats().component_hits, 2);
     }
 }

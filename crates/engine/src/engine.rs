@@ -12,7 +12,7 @@ use marqsim_core::{
 };
 use marqsim_pauli::Hamiltonian;
 
-use crate::cache::{hamiltonian_fingerprint, CacheKey, StrategyKey, TransitionCache};
+use crate::cache::{hamiltonian_fingerprint, CacheConfig, CacheKey, StrategyKey, TransitionCache};
 use crate::error::EngineError;
 use crate::pool::ThreadPool;
 
@@ -21,9 +21,13 @@ use crate::pool::ThreadPool;
 pub struct EngineConfig {
     /// Worker-thread count; `0` means "auto" (all available cores).
     pub threads: usize,
+    /// Cache configuration: sharding, the per-shard LRU cap, and the
+    /// optional persistence directory.
+    pub cache: CacheConfig,
     /// Whether transition matrices are cached and shared across jobs. With
     /// the cache disabled each job still builds its HTT graph exactly once,
-    /// but nothing is reused between jobs.
+    /// but nothing is reused between jobs and nothing touches the
+    /// persistence directory.
     pub cache_enabled: bool,
 }
 
@@ -31,30 +35,95 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             threads: 0,
+            cache: CacheConfig::default(),
             cache_enabled: true,
         }
     }
 }
 
 impl EngineConfig {
-    /// Reads the configuration from the environment: `MARQSIM_THREADS`
-    /// overrides the worker count (invalid or missing values mean "auto"),
-    /// and `MARQSIM_CACHE=0|off|false` disables the transition cache.
-    pub fn from_env() -> Self {
-        let threads = std::env::var("MARQSIM_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(0);
-        let cache_enabled = !std::env::var("MARQSIM_CACHE")
-            .map(|v| {
-                let v = v.trim().to_ascii_lowercase();
-                v == "0" || v == "off" || v == "false"
-            })
-            .unwrap_or(false);
-        EngineConfig {
-            threads,
-            cache_enabled,
+    /// Reads the configuration from the environment:
+    ///
+    /// * `MARQSIM_THREADS=N` — worker count (positive integer);
+    /// * `MARQSIM_CACHE=on|off` (also `1/0`, `true/false`, `yes/no`) —
+    ///   enable/disable the transition cache;
+    /// * `MARQSIM_CACHE_CAP=N` — LRU entry cap per cache shard
+    ///   (`0` = unbounded, default [`DEFAULT_CACHE_CAP`](crate::cache::DEFAULT_CACHE_CAP));
+    /// * `MARQSIM_CACHE_DIR=PATH` — enable `P_gc` disk persistence.
+    ///
+    /// Unset or empty variables keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] naming the offending variable
+    /// and value for anything unparsable — `MARQSIM_THREADS=0` or garbage
+    /// never silently falls back to a default.
+    pub fn from_env() -> Result<Self, EngineError> {
+        fn var(name: &str) -> Option<String> {
+            std::env::var(name)
+                .ok()
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
         }
+        EngineConfig::from_values(
+            var("MARQSIM_THREADS").as_deref(),
+            var("MARQSIM_CACHE").as_deref(),
+            var("MARQSIM_CACHE_CAP").as_deref(),
+            var("MARQSIM_CACHE_DIR").as_deref(),
+        )
+    }
+
+    /// Builds a configuration from raw override strings — the pure core of
+    /// [`from_env`](Self::from_env) (environment variables are process-global,
+    /// so tests validate parsing through this entry point). `None` means
+    /// "keep the default" for each setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] for an unparsable value; see
+    /// [`from_env`](Self::from_env).
+    pub fn from_values(
+        threads: Option<&str>,
+        cache: Option<&str>,
+        cache_cap: Option<&str>,
+        cache_dir: Option<&str>,
+    ) -> Result<Self, EngineError> {
+        let mut config = EngineConfig::default();
+        if let Some(raw) = threads {
+            match raw.parse::<usize>() {
+                Ok(0) => return Err(EngineError::invalid_config(
+                    "MARQSIM_THREADS=0 would run no workers; unset it to use all available cores",
+                )),
+                Ok(n) => config.threads = n,
+                Err(_) => {
+                    return Err(EngineError::invalid_config(format!(
+                        "MARQSIM_THREADS={raw:?} is not a positive integer"
+                    )))
+                }
+            }
+        }
+        if let Some(raw) = cache {
+            config.cache_enabled = match raw.to_ascii_lowercase().as_str() {
+                "1" | "on" | "true" | "yes" => true,
+                "0" | "off" | "false" | "no" => false,
+                _ => {
+                    return Err(EngineError::invalid_config(format!(
+                        "MARQSIM_CACHE={raw:?} is not a recognized switch (use on/off, 1/0, true/false, yes/no)"
+                    )))
+                }
+            };
+        }
+        if let Some(raw) = cache_cap {
+            config.cache.cap_per_shard = raw.parse::<usize>().map_err(|_| {
+                EngineError::invalid_config(format!(
+                    "MARQSIM_CACHE_CAP={raw:?} is not an entry count (use a non-negative integer; 0 = unbounded)"
+                ))
+            })?;
+        }
+        if let Some(raw) = cache_dir {
+            config.cache.persist_dir = Some(raw.into());
+        }
+        Ok(config)
     }
 
     /// Sets the worker count.
@@ -66,6 +135,12 @@ impl EngineConfig {
     /// Enables or disables the transition cache.
     pub fn with_cache(mut self, enabled: bool) -> Self {
         self.cache_enabled = enabled;
+        self
+    }
+
+    /// Replaces the cache configuration (sharding, cap, persistence).
+    pub fn with_cache_config(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -296,17 +371,23 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         Engine {
             pool: ThreadPool::new(config.resolved_threads()),
-            cache: Arc::new(TransitionCache::new()),
+            cache: Arc::new(TransitionCache::with_config(config.cache.clone())),
             progress: None,
             cache_enabled: config.cache_enabled,
         }
     }
 
     /// Creates an engine configured from the environment
-    /// (`MARQSIM_THREADS`, `MARQSIM_CACHE`). This is what every
-    /// `marqsim-bench` binary uses.
-    pub fn from_env() -> Self {
-        Engine::new(EngineConfig::from_env())
+    /// (`MARQSIM_THREADS`, `MARQSIM_CACHE`, `MARQSIM_CACHE_CAP`,
+    /// `MARQSIM_CACHE_DIR`). This is what every `marqsim-bench` binary
+    /// uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] for an unparsable override —
+    /// see [`EngineConfig::from_env`].
+    pub fn from_env() -> Result<Self, EngineError> {
+        Ok(Engine::new(EngineConfig::from_env()?))
     }
 
     /// Installs a progress callback, invoked on the submitting thread once

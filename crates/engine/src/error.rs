@@ -25,6 +25,14 @@ pub enum EngineError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The engine configuration is invalid — e.g. `MARQSIM_THREADS=0`, a
+    /// non-numeric `MARQSIM_CACHE_CAP`, or an unrecognized `MARQSIM_CACHE`
+    /// value. Raised before any job runs, so no job label applies.
+    InvalidConfig {
+        /// Human-readable description naming the offending setting and
+        /// value.
+        reason: String,
+    },
 }
 
 impl EngineError {
@@ -42,10 +50,18 @@ impl EngineError {
         }
     }
 
-    /// The label of the job this error belongs to.
+    pub(crate) fn invalid_config(reason: impl Into<String>) -> Self {
+        EngineError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// The label of the job this error belongs to (`"engine-config"` for
+    /// configuration errors, which precede any job).
     pub fn label(&self) -> &str {
         match self {
             EngineError::Compile { label, .. } | EngineError::WorkerPanic { label, .. } => label,
+            EngineError::InvalidConfig { .. } => "engine-config",
         }
     }
 }
@@ -58,6 +74,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::WorkerPanic { label, message } => {
                 write!(f, "worker panicked in job '{label}': {message}")
+            }
+            EngineError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
             }
         }
     }
@@ -89,6 +108,15 @@ mod tests {
         assert!(shown.contains("bad epsilon"));
         assert_eq!(e.label(), "fig13/Na+/gc");
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn invalid_config_errors_name_the_offending_setting() {
+        let e = EngineError::invalid_config("MARQSIM_THREADS=\"zero\" is not a positive integer");
+        assert_eq!(e.label(), "engine-config");
+        assert!(e.to_string().contains("invalid engine configuration"));
+        assert!(e.to_string().contains("MARQSIM_THREADS"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

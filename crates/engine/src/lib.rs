@@ -12,7 +12,13 @@
 //!   structural Hamiltonian fingerprint plus a strategy key, so the
 //!   MCFP-derived `P_gc` — the dominant compile cost — is solved once and
 //!   shared across all shots and sweep points of a benchmark (and, at the
-//!   component level, across the GC and GC-RP strategies).
+//!   component level, across the GC and GC-RP strategies). The cache is
+//!   sharded by fingerprint over per-mutex shards (`shard`), bounded by a
+//!   per-shard LRU entry cap, and can persist solved `P_gc` matrices to
+//!   disk in a versioned binary format with full-Hamiltonian
+//!   re-verification on load, so repeated runs (CI, figure regeneration)
+//!   skip the min-cost-flow solve entirely. [`CacheStats`] exposes
+//!   hit/miss/eviction/flow-solve/disk counters.
 //! * **[`Engine`]** (`engine`) — a batched job API: [`CompileRequest`]
 //!   (compile-only or compile + fidelity) and [`SweepRequest`] (full sweep)
 //!   submitted together as a [`CompileBatch`], with [`Progress`] reporting
@@ -47,9 +53,19 @@
 //!
 //! # Environment
 //!
-//! * `MARQSIM_THREADS=N` — worker count ([`Engine::from_env`]); `0` or
-//!   unset means all available cores.
-//! * `MARQSIM_CACHE=0|off|false` — disable transition-matrix caching.
+//! [`Engine::from_env`] reads four variables; unset or empty means "use
+//! the default", and any unparsable value is a hard
+//! [`EngineError::InvalidConfig`] naming the offending setting — never a
+//! silent fallback.
+//!
+//! * `MARQSIM_THREADS=N` — worker count (positive integer); unset means
+//!   all available cores.
+//! * `MARQSIM_CACHE=on|off` (also `1/0`, `true/false`, `yes/no`) —
+//!   enable/disable transition-matrix caching.
+//! * `MARQSIM_CACHE_CAP=N` — LRU entry cap per cache shard
+//!   (`0` = unbounded; default [`cache::DEFAULT_CACHE_CAP`]).
+//! * `MARQSIM_CACHE_DIR=PATH` — persist solved `P_gc` matrices under
+//!   `PATH` and reload them in later processes.
 //!
 //! # Example
 //!
@@ -77,17 +93,22 @@
 
 mod engine;
 mod error;
+mod persist;
 
 pub mod cache;
 pub mod pool;
+pub mod shard;
 
-pub use cache::{hamiltonian_fingerprint, CacheKey, CacheStats, StrategyKey, TransitionCache};
+pub use cache::{
+    hamiltonian_fingerprint, CacheConfig, CacheKey, CacheStats, StrategyKey, TransitionCache,
+};
 pub use engine::{
     CompileBatch, CompileOutcome, CompileRequest, Engine, EngineConfig, EngineJob, JobOutcome,
     Progress, SweepRequest,
 };
 pub use error::EngineError;
 pub use pool::ThreadPool;
+pub use shard::ShardedLru;
 
 #[cfg(test)]
 mod tests {
@@ -348,10 +369,138 @@ mod tests {
     #[test]
     fn env_config_parses_thread_override() {
         // Not a full env-var round trip (the suite runs multi-threaded and
-        // env vars are process-global); just the builder contract.
+        // env vars are process-global); parsing goes through
+        // `EngineConfig::from_values`, the pure core of `from_env`.
         let config = EngineConfig::default();
         assert_eq!(config.threads, 0, "0 means auto");
         assert!(config.cache_enabled);
         assert_eq!(config.with_threads(3).threads, 3);
+
+        let parsed = EngineConfig::from_values(Some("6"), None, None, None).unwrap();
+        assert_eq!(parsed.threads, 6);
+        assert!(parsed.cache_enabled);
+    }
+
+    #[test]
+    fn invalid_thread_overrides_are_hard_errors() {
+        // MARQSIM_THREADS=0 and garbage used to silently fall back to
+        // "auto"; both must now produce a clear InvalidConfig.
+        for bad in ["0", "garbage", "-2", "1.5"] {
+            let err = EngineConfig::from_values(Some(bad), None, None, None).unwrap_err();
+            assert!(
+                matches!(err, EngineError::InvalidConfig { .. }),
+                "MARQSIM_THREADS={bad}"
+            );
+            assert!(err.to_string().contains("MARQSIM_THREADS"), "{err}");
+        }
+    }
+
+    #[test]
+    fn invalid_cache_switches_and_caps_are_hard_errors() {
+        let err = EngineConfig::from_values(None, Some("maybe"), None, None).unwrap_err();
+        assert!(err.to_string().contains("MARQSIM_CACHE"));
+        let err = EngineConfig::from_values(None, None, Some("lots"), None).unwrap_err();
+        assert!(err.to_string().contains("MARQSIM_CACHE_CAP"));
+
+        // Every documented spelling of the switch parses.
+        for (value, enabled) in [
+            ("1", true),
+            ("on", true),
+            ("TRUE", true),
+            ("yes", true),
+            ("0", false),
+            ("Off", false),
+            ("false", false),
+            ("no", false),
+        ] {
+            let config = EngineConfig::from_values(None, Some(value), None, None).unwrap();
+            assert_eq!(config.cache_enabled, enabled, "MARQSIM_CACHE={value}");
+        }
+    }
+
+    #[test]
+    fn cache_cap_and_dir_reach_the_cache_config() {
+        let config =
+            EngineConfig::from_values(None, None, Some("17"), Some("/tmp/marqsim-cc")).unwrap();
+        assert_eq!(config.cache.cap_per_shard, 17);
+        assert_eq!(
+            config.cache.persist_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/marqsim-cc"))
+        );
+        let engine = Engine::new(config.with_threads(1));
+        assert_eq!(engine.cache().cap_per_shard(), 17);
+        assert!(engine.cache().persist_dir().is_some());
+    }
+
+    #[test]
+    fn bounded_cache_sweeps_stay_bit_identical_to_serial() {
+        // A one-entry-per-shard cache evicts constantly across the three
+        // strategies; results must still match the uncached serial driver
+        // bit for bit, and the cap must hold throughout.
+        let config = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1, 0.05],
+            repeats: 3,
+            base_seed: 11,
+            evaluate_fidelity: false,
+        };
+        let cache_config = CacheConfig::default().with_shards(1).with_cap(1);
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_threads(4)
+                .with_cache_config(cache_config),
+        );
+        for strategy in [
+            TransitionStrategy::QDrift,
+            TransitionStrategy::marqsim_gc(),
+            TransitionStrategy::marqsim_gc_rp(),
+        ] {
+            let serial = run_sweep(&ham(), &strategy, &config).unwrap();
+            let bounded = engine.run_sweep(&ham(), &strategy, &config).unwrap();
+            for (p, s) in bounded.points.iter().zip(&serial.points) {
+                assert_eq!(p.seed, s.seed, "{strategy:?}");
+                assert_eq!(p.stats, s.stats, "{strategy:?}");
+            }
+            assert!(
+                engine
+                    .cache()
+                    .graph_shard_lens()
+                    .iter()
+                    .all(|&len| len <= 1),
+                "cap exceeded"
+            );
+        }
+        assert!(engine.cache().stats().evictions >= 2);
+    }
+
+    #[test]
+    fn persistent_engines_share_flow_solves_across_processes() {
+        // Two engines with the same persistence directory model two
+        // processes: the second performs zero min-cost-flow solves.
+        let dir =
+            std::env::temp_dir().join(format!("marqsim-engine-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            EngineConfig::default()
+                .with_threads(2)
+                .with_cache_config(CacheConfig::default().with_persist_dir(&dir))
+        };
+        let sweep = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
+
+        let first = Engine::new(config());
+        let warm = first.run_sweep(&ham(), &strategy, &sweep).unwrap();
+        assert_eq!(first.cache().stats().flow_solves, 1);
+        assert_eq!(first.cache().stats().disk_writes, 1);
+
+        let second = Engine::new(config());
+        let reloaded = second.run_sweep(&ham(), &strategy, &sweep).unwrap();
+        let stats = second.cache().stats();
+        assert_eq!(stats.flow_solves, 0, "P_gc loaded from disk");
+        assert_eq!(stats.disk_hits, 1);
+        for (a, b) in warm.points.iter().zip(&reloaded.points) {
+            assert_eq!(a.stats, b.stats, "disk-loaded sweep is identical");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,298 @@
+//! Opt-in disk persistence for solved `P_gc` components.
+//!
+//! The gate-cancellation matrix `P_gc` — the min-cost-flow solve that
+//! dominates compile time (§6.6, Table 2) — is a pure function of the
+//! (dominant-term-split) Hamiltonian, and the Hamiltonian fingerprint is
+//! stable across processes and platforms. Spilling each solved matrix to a
+//! file keyed by that fingerprint therefore makes repeated benchmark runs
+//! (CI, figure regeneration) nearly free: a fresh process loads the matrix
+//! instead of re-solving the flow model.
+//!
+//! # File format (version 1)
+//!
+//! One file per component, named `pgc-<fingerprint:016x>.mqsc`, all fields
+//! little-endian:
+//!
+//! ```text
+//! magic   4  b"MQSC"
+//! version u32
+//! fingerprint u64          -- hamiltonian_fingerprint of the stored H
+//! num_qubits  u64
+//! num_terms   u64
+//! terms       num_terms ×  (coefficient f64 bits as u64,
+//!                           num_qubits × PauliOp byte)
+//! states      u64          -- matrix dimension (== num_terms)
+//! rows        states² × f64 bits as u64
+//! ```
+//!
+//! # Safety against collisions and stale files
+//!
+//! A load is only accepted if (1) magic, version, and fingerprint match,
+//! (2) the *full Hamiltonian* stored in the file is equal — term by term,
+//! exact coefficient bits — to the Hamiltonian being requested, and (3) the
+//! matrix passes [`TransitionMatrix::new`]'s row-stochasticity validation.
+//! A 64-bit fingerprint collision or a stale/corrupt file therefore
+//! degrades to a cache miss (the component is re-solved), never a wrong
+//! matrix. The final combined transition matrix is additionally re-checked
+//! against both Theorem 4.1 conditions by the regular build path, loaded
+//! component or not.
+//!
+//! Writes go through a process-unique temporary file followed by a rename,
+//! so concurrent processes sharing one cache directory never observe a
+//! torn file.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use marqsim_markov::TransitionMatrix;
+use marqsim_pauli::{Hamiltonian, PauliOp, PauliString, Term};
+
+const MAGIC: &[u8; 4] = b"MQSC";
+const VERSION: u32 = 1;
+
+/// Path of the component file for a fingerprint inside `dir`.
+pub(crate) fn component_path(dir: &Path, fingerprint: u64) -> PathBuf {
+    dir.join(format!("pgc-{fingerprint:016x}.mqsc"))
+}
+
+/// Serializes `(ham, matrix)` into the version-1 binary format.
+fn encode(fingerprint: u64, ham: &Hamiltonian, matrix: &TransitionMatrix) -> Vec<u8> {
+    let n = matrix.num_states();
+    let mut out = Vec::with_capacity(4 + 4 + 8 * 3 + ham.num_terms() * 16 + n * n * 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(ham.num_qubits() as u64).to_le_bytes());
+    out.extend_from_slice(&(ham.num_terms() as u64).to_le_bytes());
+    for term in ham.terms() {
+        out.extend_from_slice(&term.coefficient.to_bits().to_le_bytes());
+        for op in term.string.ops() {
+            out.push(*op as u8);
+        }
+    }
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    for row in matrix.rows() {
+        for &p in row {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Writes the solved component for `fingerprint` to `dir`, creating the
+/// directory if needed. Atomic against concurrent readers and writers
+/// (temp file + rename).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the caller treats them as "persistence
+/// unavailable", never as a compile failure.
+pub(crate) fn save_component(
+    dir: &Path,
+    fingerprint: u64,
+    ham: &Hamiltonian,
+    matrix: &TransitionMatrix,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let bytes = encode(fingerprint, ham, matrix);
+    // Unique per call, not just per process: concurrent misses on one key
+    // may both solve and both save (see the cache docs), and they must not
+    // interleave writes through a shared temp path.
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!(
+        "pgc-{fingerprint:016x}.tmp.{}.{seq}",
+        std::process::id()
+    ));
+    fs::write(&tmp, &bytes)?;
+    let result = fs::rename(&tmp, component_path(dir, fingerprint));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Loads the component for `fingerprint` from `dir`, returning `None` —
+/// a plain cache miss — unless every validation described in the module
+/// docs passes against `expected`.
+pub(crate) fn load_component(
+    dir: &Path,
+    fingerprint: u64,
+    expected: &Hamiltonian,
+) -> Option<TransitionMatrix> {
+    let bytes = fs::read(component_path(dir, fingerprint)).ok()?;
+    decode(&bytes, fingerprint, expected)
+}
+
+fn decode(bytes: &[u8], fingerprint: u64, expected: &Hamiltonian) -> Option<TransitionMatrix> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    if cursor.take(4)? != MAGIC {
+        return None;
+    }
+    if cursor.u32()? != VERSION {
+        return None;
+    }
+    if cursor.u64()? != fingerprint {
+        return None;
+    }
+    let num_qubits = cursor.u64()? as usize;
+    let num_terms = cursor.u64()? as usize;
+    // The expected Hamiltonian is in hand, so pin the header to it before
+    // allocating anything: a corrupt ~40-byte file must not be able to
+    // request a multi-hundred-MB buffer.
+    if num_qubits != expected.num_qubits() || num_terms != expected.num_terms() {
+        return None;
+    }
+    let mut terms = Vec::with_capacity(num_terms);
+    for _ in 0..num_terms {
+        let coefficient = f64::from_bits(cursor.u64()?);
+        let mut ops = Vec::with_capacity(num_qubits);
+        for &byte in cursor.take(num_qubits)? {
+            ops.push(PauliOp::from_bits(byte & 0b10 != 0, byte & 0b01 != 0));
+            if byte > 0b11 {
+                return None;
+            }
+        }
+        terms.push(Term::new(coefficient, PauliString::from_ops(ops)));
+    }
+    let stored = Hamiltonian::new(terms).ok()?;
+    if stored != *expected {
+        // Fingerprint collision or stale file: fall back to solving.
+        return None;
+    }
+    let n = cursor.u64()? as usize;
+    if n != expected.num_terms() {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(f64::from_bits(cursor.u64()?));
+        }
+        rows.push(row);
+    }
+    if cursor.pos != bytes.len() {
+        return None;
+    }
+    TransitionMatrix::new(rows).ok()
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos.checked_add(len)?)?;
+        self.pos += len;
+        Some(slice)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::hamiltonian_fingerprint;
+    use marqsim_core::gate_cancel::gate_cancellation_matrix;
+
+    fn ham() -> Hamiltonian {
+        Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("marqsim-persist-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_restores_the_exact_matrix() {
+        let dir = temp_dir("roundtrip");
+        let ham = ham();
+        let fp = hamiltonian_fingerprint(&ham);
+        let matrix = gate_cancellation_matrix(&ham).unwrap();
+        save_component(&dir, fp, &ham, &matrix).unwrap();
+        let loaded = load_component(&dir, fp, &ham).expect("valid file loads");
+        assert_eq!(loaded, matrix, "bit-identical rows");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_miss() {
+        let dir = temp_dir("missing");
+        assert!(load_component(&dir, 1234, &ham()).is_none());
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_are_rejected() {
+        let dir = temp_dir("corrupt");
+        let ham = ham();
+        let fp = hamiltonian_fingerprint(&ham);
+        let matrix = gate_cancellation_matrix(&ham).unwrap();
+        save_component(&dir, fp, &ham, &matrix).unwrap();
+        let path = component_path(&dir, fp);
+        let good = fs::read(&path).unwrap();
+
+        // Truncation anywhere must be rejected, as must trailing garbage
+        // and a flipped magic byte.
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(load_component(&dir, fp, &ham).is_none(), "truncated");
+        let mut extended = good.clone();
+        extended.push(0);
+        fs::write(&path, &extended).unwrap();
+        assert!(load_component(&dir, fp, &ham).is_none(), "trailing bytes");
+        let mut flipped = good.clone();
+        flipped[0] ^= 0xff;
+        fs::write(&path, &flipped).unwrap();
+        assert!(load_component(&dir, fp, &ham).is_none(), "bad magic");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_stale_file_for_another_hamiltonian_is_rejected() {
+        // Simulate a 64-bit fingerprint collision / stale rename: the file
+        // sits at the fingerprint path of `other`, but stores `ham`. The
+        // full-equality check must refuse it.
+        let dir = temp_dir("stale");
+        let ham = ham();
+        let other = Hamiltonian::parse("0.6 XZII + 0.4 ZYII + 0.3 XXII + 0.1 IIZZ").unwrap();
+        let matrix = gate_cancellation_matrix(&ham).unwrap();
+        let other_fp = hamiltonian_fingerprint(&other);
+        save_component(&dir, other_fp, &ham, &matrix).unwrap();
+        assert!(
+            load_component(&dir, other_fp, &other).is_none(),
+            "stored Hamiltonian differs from the requested one"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_matrix_rows_fail_stochasticity_validation() {
+        let dir = temp_dir("tampered");
+        let ham = ham();
+        let fp = hamiltonian_fingerprint(&ham);
+        let matrix = gate_cancellation_matrix(&ham).unwrap();
+        save_component(&dir, fp, &ham, &matrix).unwrap();
+        let path = component_path(&dir, fp);
+        let mut bytes = fs::read(&path).unwrap();
+        // Overwrite the last matrix entry with 7.0: the row no longer sums
+        // to one, so TransitionMatrix::new must reject the load.
+        let last = bytes.len() - 8;
+        bytes[last..].copy_from_slice(&7.0f64.to_bits().to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_component(&dir, fp, &ham).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

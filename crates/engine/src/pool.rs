@@ -10,7 +10,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -52,11 +52,21 @@ impl ThreadPool {
                     .name(format!("marqsim-engine-{i}"))
                     .spawn(move || loop {
                         let message = {
-                            let guard = receiver.lock().expect("injector lock");
+                            // Recover a poisoned injector lock instead of
+                            // propagating: the receiver has no state a
+                            // panicking holder could have left half-updated,
+                            // and one panic must not wedge every later job.
+                            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
                             guard.recv()
                         };
                         match message {
-                            Ok(Message::Run(task)) => task(),
+                            // Catch panics from raw `execute` tasks here so a
+                            // panicking job costs one task, not one worker
+                            // (`map` additionally catches per item to report
+                            // the panic message to the caller).
+                            Ok(Message::Run(task)) => {
+                                let _ = catch_unwind(AssertUnwindSafe(task));
+                            }
                             Ok(Message::Shutdown) | Err(_) => break,
                         }
                     })
@@ -71,7 +81,9 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submits one fire-and-forget task.
+    /// Submits one fire-and-forget task. A panicking task is caught inside
+    /// the worker: it neither kills the worker thread nor poisons the shared
+    /// injector, so subsequent jobs run normally.
     pub fn execute(&self, task: Task) {
         self.sender
             .send(Message::Run(task))
@@ -202,5 +214,31 @@ mod tests {
     fn zero_threads_is_clamped_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn panicking_execute_tasks_do_not_wedge_the_pool() {
+        // Regression test: raw `execute` tasks used to unwind the worker
+        // thread (and could poison shared locks), so enough panics left the
+        // pool with no live workers and every later submission wedged. Panic
+        // more times than there are workers, then require a normal batch to
+        // complete on the same pool.
+        let pool = ThreadPool::new(2);
+        let (done_tx, done_rx) = channel::<()>();
+        for _ in 0..4 {
+            let done_tx = done_tx.clone();
+            pool.execute(Box::new(move || {
+                let _guard = done_tx;
+                panic!("raw task boom");
+            }));
+        }
+        drop(done_tx);
+        // Blocks until every panicking task has run and unwound (each drops
+        // its sender clone during the unwind; recv errors once all are gone).
+        assert!(done_rx.recv().is_err());
+
+        let out = pool.map(vec![1u32, 2, 3], Arc::new(|_, x: u32| x + 1), |_| {});
+        let got: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![2, 3, 4], "pool survives panicking jobs");
     }
 }

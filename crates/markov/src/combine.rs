@@ -78,6 +78,23 @@ pub fn combine(
     matrices: &[TransitionMatrix],
     weights: &[f64],
 ) -> Result<TransitionMatrix, CombineError> {
+    let refs: Vec<&TransitionMatrix> = matrices.iter().collect();
+    combine_refs(&refs, weights)
+}
+
+/// Like [`combine`], but borrows each matrix. This is the entry point for
+/// callers holding components in shared storage — e.g. the engine's
+/// transition cache reusing one solved `P_gc` across strategies — where
+/// cloning an `n × n` matrix per combination would dominate the (cheap)
+/// combine itself.
+///
+/// # Errors
+///
+/// Same failure modes as [`combine`].
+pub fn combine_refs(
+    matrices: &[&TransitionMatrix],
+    weights: &[f64],
+) -> Result<TransitionMatrix, CombineError> {
     if matrices.is_empty() {
         return Err(CombineError::Empty);
     }
@@ -92,7 +109,7 @@ pub fn combine(
         return Err(CombineError::InvalidWeights { sum });
     }
     let n = matrices[0].num_states();
-    for m in matrices {
+    for &m in matrices {
         if m.num_states() != n {
             return Err(CombineError::DimensionMismatch {
                 expected: n,
@@ -101,7 +118,7 @@ pub fn combine(
         }
     }
     let mut rows = vec![vec![0.0; n]; n];
-    for (m, &w) in matrices.iter().zip(weights.iter()) {
+    for (&m, &w) in matrices.iter().zip(weights.iter()) {
         if w == 0.0 {
             continue;
         }
@@ -125,7 +142,7 @@ pub fn blend(
     b: &TransitionMatrix,
     weight_a: f64,
 ) -> Result<TransitionMatrix, CombineError> {
-    combine(&[a.clone(), b.clone()], &[weight_a, 1.0 - weight_a])
+    combine_refs(&[a, b], &[weight_a, 1.0 - weight_a])
 }
 
 #[cfg(test)]
@@ -181,6 +198,15 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert_eq!(combine(&[], &[]).unwrap_err(), CombineError::Empty);
+        assert_eq!(combine_refs(&[], &[]).unwrap_err(), CombineError::Empty);
+    }
+
+    #[test]
+    fn combine_refs_matches_the_owning_variant() {
+        let p_qd = TransitionMatrix::from_stationary(&pi());
+        let owned = combine(&[p_qd.clone(), p_gc()], &[0.4, 0.6]).unwrap();
+        let borrowed = combine_refs(&[&p_qd, &p_gc()], &[0.4, 0.6]).unwrap();
+        assert_eq!(owned, borrowed);
     }
 
     #[test]

@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_serial = start.elapsed().as_secs_f64();
 
     // 3. The engine: cached build + worker pool.
-    let engine = Engine::from_env();
+    let engine = Engine::from_env()?;
     let start = Instant::now();
     let engine_sweep = engine.run_sweep(&bench.hamiltonian, &strategy, &config)?;
     let t_engine = start.elapsed().as_secs_f64();
@@ -107,6 +107,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "speedup vs per-point rebuild: {:.1}x (serial), {:.1}x (engine)",
         t_rebuild / t_serial,
         t_rebuild / t_engine
+    );
+    let stats = engine.cache().stats();
+    println!(
+        "engine cache: {} shard(s) x cap {}, hits={} misses={} flow_solves={}",
+        engine.cache().shard_count(),
+        engine.cache().cap_per_shard(),
+        stats.hits,
+        stats.misses,
+        stats.flow_solves
     );
     Ok(())
 }

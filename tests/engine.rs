@@ -123,3 +123,56 @@ fn multi_benchmark_batch_across_all_three_strategies() {
     );
     assert_eq!(stats.component_hits, 2);
 }
+
+#[test]
+fn bounded_persistent_engine_matches_serial_and_skips_resolves_on_reload() {
+    // The full cache subsystem through the facade: a sharded one-entry
+    // cache with persistence produces serial-identical sweeps, honours the
+    // per-shard cap, and a second engine on the same directory (a simulated
+    // new process) performs zero min-cost-flow solves.
+    use marqsim::engine::CacheConfig;
+
+    let dir = std::env::temp_dir().join(format!("marqsim-it-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ham = benchmark_hamiltonian();
+    let config = SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1, 0.05],
+        repeats: 2,
+        base_seed: 3,
+        evaluate_fidelity: false,
+    };
+    let strategy = TransitionStrategy::marqsim_gc();
+    let serial = run_sweep(&ham, &strategy, &config).unwrap();
+
+    let make_engine = || {
+        Engine::new(
+            EngineConfig::default().with_threads(3).with_cache_config(
+                CacheConfig::default()
+                    .with_shards(2)
+                    .with_cap(1)
+                    .with_persist_dir(&dir),
+            ),
+        )
+    };
+    let first = make_engine();
+    let swept = first.run_sweep(&ham, &strategy, &config).unwrap();
+    for (p, s) in swept.points.iter().zip(&serial.points) {
+        assert_eq!(p.seed, s.seed);
+        assert_eq!(p.stats, s.stats);
+    }
+    assert!(first.cache().graph_shard_lens().iter().all(|&len| len <= 1));
+    let stats = first.cache().stats();
+    assert_eq!(stats.flow_solves, 1);
+    assert_eq!(stats.disk_writes, 1);
+
+    let second = make_engine();
+    let reloaded = second.run_sweep(&ham, &strategy, &config).unwrap();
+    for (p, s) in reloaded.points.iter().zip(&serial.points) {
+        assert_eq!(p.stats, s.stats, "disk-reloaded sweep is serial-identical");
+    }
+    let stats = second.cache().stats();
+    assert_eq!(stats.flow_solves, 0, "P_gc served from MARQSIM_CACHE_DIR");
+    assert_eq!(stats.disk_hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
