@@ -1,0 +1,156 @@
+//! Smoke-tests the serve front-end with a localhost round trip: submits a
+//! sweep over TCP, checks the result bit-for-bit against the same sweep run
+//! through an in-process engine, then repeats it on a second connection and
+//! requires the warm-cache job to report zero min-cost-flow solves.
+//!
+//! Two modes:
+//!
+//! * `cargo run -p marqsim-bench --bin serve_smoke` — spawns an in-process
+//!   server on an OS-assigned port and drives it.
+//! * `... --bin serve_smoke -- --connect HOST:PORT` — drives an already
+//!   running `marqsim-served` (what the CI serve-smoke job does).
+//!
+//! Exits non-zero on any mismatch; prints the standard `[cache]` stats line
+//! (server-side counters) for the CI grep.
+
+use std::sync::Arc;
+
+use marqsim_bench::report_cache_stats;
+use marqsim_core::experiment::SweepConfig;
+use marqsim_core::TransitionStrategy;
+use marqsim_engine::{Engine, EngineConfig};
+use marqsim_pauli::Hamiltonian;
+use marqsim_serve::{Client, Outcome, Server};
+
+fn ham() -> Hamiltonian {
+    Hamiltonian::parse("0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ + 0.4 XYXY + 0.3 IZIZ")
+        .expect("valid smoke Hamiltonian")
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("serve_smoke: FAILED: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let connect = args.iter().position(|a| a == "--connect").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            fail("--connect requires HOST:PORT");
+        })
+    });
+
+    // Spawn an in-process server unless pointed at an external one.
+    let (addr, local_server) = match connect {
+        Some(addr) => {
+            println!("[serve-smoke] connecting to external server at {addr}");
+            (addr, None)
+        }
+        None => {
+            let engine = match Engine::from_env() {
+                Ok(engine) => Arc::new(engine),
+                Err(error) => fail(error),
+            };
+            let server = Server::bind("127.0.0.1:0", engine)
+                .unwrap_or_else(|e| fail(format!("bind: {e}")))
+                .spawn()
+                .unwrap_or_else(|e| fail(format!("spawn: {e}")));
+            let addr = server.addr().to_string();
+            println!("[serve-smoke] spawned in-process server at {addr}");
+            (addr, Some(server))
+        }
+    };
+
+    let strategy = TransitionStrategy::marqsim_gc();
+    let config = SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1, 0.05],
+        repeats: 3,
+        base_seed: 9,
+        evaluate_fidelity: false,
+    };
+
+    // Reference: the identical sweep through a local in-process engine.
+    let reference_engine = Engine::new(EngineConfig::default().with_threads(2));
+    let reference = reference_engine
+        .run_sweep(&ham(), &strategy, &config)
+        .unwrap_or_else(|e| fail(format!("in-process sweep: {e}")));
+
+    // Round trip 1: cold cache on the server side.
+    let mut client = Client::connect(&*addr).unwrap_or_else(|e| fail(format!("connect: {e}")));
+    println!(
+        "[serve-smoke] connected; server runs {} worker threads",
+        client.threads()
+    );
+    let job = client
+        .submit_sweep("smoke/cold", &ham(), &strategy, &config)
+        .unwrap_or_else(|e| fail(format!("submit: {e}")));
+    let mut progress_events = 0usize;
+    let cold = client
+        .wait_with_progress(job, |_, _| progress_events += 1)
+        .unwrap_or_else(|e| fail(format!("wait: {e}")));
+    let cold_sweep = match cold.outcome {
+        Outcome::Sweep(sweep) => sweep,
+        other => fail(format!("unexpected outcome {other:?}")),
+    };
+    println!(
+        "[serve-smoke] job {job}: {} points, {} progress events, cache delta flow_solves={}",
+        cold_sweep.points.len(),
+        progress_events,
+        cold.cache_delta.flow_solves
+    );
+
+    if cold_sweep.points.len() != reference.points.len() {
+        fail("point count mismatch");
+    }
+    for (index, (remote, local)) in cold_sweep.points.iter().zip(&reference.points).enumerate() {
+        if remote.seed != local.seed
+            || remote.epsilon.to_bits() != local.epsilon.to_bits()
+            || remote.num_samples != local.num_samples
+            || remote.stats != local.stats
+            || remote.fidelity.map(f64::to_bits) != local.fidelity.map(f64::to_bits)
+        {
+            fail(format!(
+                "point {index} differs between TCP and in-process results"
+            ));
+        }
+    }
+    println!("[serve-smoke] TCP sweep is bit-identical to the in-process engine");
+
+    // Round trip 2: a second connection must be served from the warm cache.
+    let mut second =
+        Client::connect(&*addr).unwrap_or_else(|e| fail(format!("second connect: {e}")));
+    let warm_job = second
+        .submit_sweep("smoke/warm", &ham(), &strategy, &config)
+        .unwrap_or_else(|e| fail(format!("second submit: {e}")));
+    let warm = second
+        .wait(warm_job)
+        .unwrap_or_else(|e| fail(format!("second wait: {e}")));
+    if warm.cache_delta.flow_solves != 0 {
+        fail(format!(
+            "warm-cache job performed {} flow solves (expected 0)",
+            warm.cache_delta.flow_solves
+        ));
+    }
+    match warm.outcome {
+        Outcome::Sweep(sweep) => {
+            for (a, b) in sweep.points.iter().zip(&cold_sweep.points) {
+                if a.stats != b.stats {
+                    fail("warm result differs from cold result");
+                }
+            }
+        }
+        other => fail(format!("unexpected outcome {other:?}")),
+    }
+    println!("[serve-smoke] second client shared the warm cache (flow_solves=0)");
+
+    let (_, cache) = second
+        .stats()
+        .unwrap_or_else(|e| fail(format!("stats: {e}")));
+    report_cache_stats(cache);
+
+    if let Some(server) = local_server {
+        server.shutdown();
+    }
+    println!("[serve-smoke] OK");
+}

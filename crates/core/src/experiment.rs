@@ -17,7 +17,7 @@ use crate::{CompileError, Compiler, CompilerConfig, HttGraph, TransitionStrategy
 pub const DEFAULT_EPSILONS: [f64; 7] = [0.1, 0.067, 0.05, 0.04, 0.033, 0.0286, 0.025];
 
 /// One compiled data point of a sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentPoint {
     /// Target precision `ε`.
     pub epsilon: f64,
@@ -32,7 +32,7 @@ pub struct ExperimentPoint {
 }
 
 /// A full sweep for one (benchmark, strategy) pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// Label of the strategy that produced this sweep.
     pub label: String,
@@ -41,7 +41,7 @@ pub struct SweepResult {
 }
 
 /// Configuration of a sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
     /// Evolution time `t`.
     pub time: f64,

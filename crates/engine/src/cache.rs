@@ -224,6 +224,43 @@ pub struct CacheStats {
     pub components: usize,
 }
 
+impl CacheStats {
+    /// Counter-wise difference `self − earlier` (saturating), attributing
+    /// cache activity to the window between two snapshots — e.g. "how many
+    /// min-cost-flow solves did *this job* trigger". The `graphs` /
+    /// `components` fields are gauges, not counters, so the later snapshot's
+    /// values are kept as-is. The exhaustive destructuring makes adding a
+    /// `CacheStats` field without deciding its delta semantics a compile
+    /// error.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        let CacheStats {
+            hits,
+            misses,
+            component_hits,
+            flow_solves,
+            disk_hits,
+            disk_writes,
+            disk_errors,
+            evictions,
+            graphs,
+            components,
+        } = *self;
+        CacheStats {
+            hits: hits.saturating_sub(earlier.hits),
+            misses: misses.saturating_sub(earlier.misses),
+            component_hits: component_hits.saturating_sub(earlier.component_hits),
+            flow_solves: flow_solves.saturating_sub(earlier.flow_solves),
+            disk_hits: disk_hits.saturating_sub(earlier.disk_hits),
+            disk_writes: disk_writes.saturating_sub(earlier.disk_writes),
+            disk_errors: disk_errors.saturating_sub(earlier.disk_errors),
+            evictions: evictions.saturating_sub(earlier.evictions),
+            graphs,
+            components,
+        }
+    }
+}
+
 impl std::ops::AddAssign for CacheStats {
     /// Field-wise accumulation, for aggregating counters across several
     /// caches (e.g. `table2`'s cold + warm + component caches). The

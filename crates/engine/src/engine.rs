@@ -1,6 +1,8 @@
 //! The engine: batched compile/sweep jobs over the pool + cache.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 
 use marqsim_core::experiment::{
@@ -14,6 +16,7 @@ use marqsim_pauli::Hamiltonian;
 
 use crate::cache::{hamiltonian_fingerprint, CacheConfig, CacheKey, StrategyKey, TransitionCache};
 use crate::error::EngineError;
+use crate::job::{JobControl, JobHandle, JobId, JobState};
 use crate::pool::ThreadPool;
 
 /// Engine construction parameters.
@@ -90,17 +93,7 @@ impl EngineConfig {
     ) -> Result<Self, EngineError> {
         let mut config = EngineConfig::default();
         if let Some(raw) = threads {
-            match raw.parse::<usize>() {
-                Ok(0) => return Err(EngineError::invalid_config(
-                    "MARQSIM_THREADS=0 would run no workers; unset it to use all available cores",
-                )),
-                Ok(n) => config.threads = n,
-                Err(_) => {
-                    return Err(EngineError::invalid_config(format!(
-                        "MARQSIM_THREADS={raw:?} is not a positive integer"
-                    )))
-                }
-            }
+            config.threads = EngineConfig::parse_threads("MARQSIM_THREADS", raw)?;
         }
         if let Some(raw) = cache {
             config.cache_enabled = match raw.to_ascii_lowercase().as_str() {
@@ -124,6 +117,27 @@ impl EngineConfig {
             config.cache.persist_dir = Some(raw.into());
         }
         Ok(config)
+    }
+
+    /// Strictly parses a worker-count override, naming `var` in the error
+    /// so every thread-count variable (`MARQSIM_THREADS`, the serve
+    /// daemon's `MARQSIM_SERVE_THREADS`) shares one parsing rule and one
+    /// diagnostic shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] for `0` or anything that is
+    /// not a positive integer.
+    pub fn parse_threads(var: &str, raw: &str) -> Result<usize, EngineError> {
+        match raw.parse::<usize>() {
+            Ok(0) => Err(EngineError::invalid_config(format!(
+                "{var}=0 would run no workers; unset it to use all available cores"
+            ))),
+            Ok(n) => Ok(n),
+            Err(_) => Err(EngineError::invalid_config(format!(
+                "{var}={raw:?} is not a positive integer"
+            ))),
+        }
     }
 
     /// Sets the worker count.
@@ -348,6 +362,7 @@ pub struct Engine {
     cache: Arc<TransitionCache>,
     progress: Option<Arc<ProgressFn>>,
     cache_enabled: bool,
+    next_job_id: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -374,6 +389,7 @@ impl Engine {
             cache: Arc::new(TransitionCache::with_config(config.cache.clone())),
             progress: None,
             cache_enabled: config.cache_enabled,
+            next_job_id: AtomicU64::new(1),
         }
     }
 
@@ -419,7 +435,80 @@ impl Engine {
     /// (sweep points use `experiment::point_seed`, the serial seed stream),
     /// so outcomes are bit-identical for any thread count.
     pub fn run_batch(&self, batch: CompileBatch) -> Vec<Result<JobOutcome, EngineError>> {
+        self.run_batch_with(batch, None, self.progress.clone())
+    }
+
+    /// Submits one job for asynchronous execution and returns immediately
+    /// with a [`JobHandle`] carrying the job's engine-unique [`JobId`].
+    ///
+    /// The job runs exactly as it would inside [`run_batch`](Self::run_batch)
+    /// — same pool, same cache, same determinism guarantee — coordinated by
+    /// a dedicated thread so the caller never blocks. Collect the outcome
+    /// with [`JobHandle::collect`] (blocking) or [`JobHandle::try_collect`]
+    /// (non-blocking); request cooperative cancellation with
+    /// [`JobHandle::cancel`] (checked before graph resolution and before
+    /// every point-level task, so a cancelled job resolves to
+    /// [`EngineError::Cancelled`] after its in-flight points drain).
+    pub fn submit(self: &Arc<Self>, job: EngineJob) -> JobHandle {
+        self.submit_with_progress(job, |_| {})
+    }
+
+    /// Like [`submit`](Self::submit), with a per-job progress callback
+    /// invoked on the coordinator thread once per completed point-level
+    /// task. The handle's [`progress`](JobHandle::progress) snapshot is
+    /// updated either way.
+    pub fn submit_with_progress(
+        self: &Arc<Self>,
+        job: EngineJob,
+        callback: impl Fn(Progress) + Send + Sync + 'static,
+    ) -> JobHandle {
+        let id = JobId(self.next_job_id.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(JobState::new(id, job.label().to_string()));
+        let control = JobControl::new(Arc::clone(&state));
+        let (tx, rx) = channel();
+
+        let engine = Arc::clone(self);
+        let coordinator_state = Arc::clone(&state);
+        let progress_state = Arc::clone(&state);
+        let progress: Arc<ProgressFn> = Arc::new(move |progress: Progress| {
+            progress_state.record_progress(progress);
+            callback(progress);
+        });
+        std::thread::Builder::new()
+            .name(format!("marqsim-job-{}", id.0))
+            .spawn(move || {
+                let outcome = engine
+                    .run_batch_with(
+                        CompileBatch { jobs: vec![job] },
+                        Some(Arc::clone(&coordinator_state)),
+                        Some(progress),
+                    )
+                    .pop()
+                    .expect("one outcome per submitted job");
+                coordinator_state.mark_finished();
+                // The handle may have been dropped; the outcome is then
+                // discarded, which is the fire-and-forget contract.
+                let _ = tx.send(outcome);
+            })
+            .expect("spawn job coordinator");
+
+        JobHandle::new(control, rx)
+    }
+
+    fn run_batch_with(
+        &self,
+        batch: CompileBatch,
+        cancel: Option<Arc<JobState>>,
+        progress: Option<Arc<ProgressFn>>,
+    ) -> Vec<Result<JobOutcome, EngineError>> {
         let jobs = batch.jobs;
+        // A job cancelled before graph resolution never touches the pool.
+        if cancel.as_deref().is_some_and(JobState::is_cancelled) {
+            return jobs
+                .iter()
+                .map(|job| Err(EngineError::cancelled(job.label())))
+                .collect();
+        }
         // Phase 1: resolve one HTT graph per job, building on the pool.
         let graphs = self.resolve_graphs(&jobs);
 
@@ -460,10 +549,10 @@ impl Engine {
 
         let total = tasks.len();
         let task_meta: Vec<(usize, usize)> = tasks.iter().map(|t| (t.job, t.slot)).collect();
-        let progress = self.progress.clone();
+        let task_cancel = cancel.clone();
         let outputs = self.pool.map(
             tasks,
-            Arc::new(move |_index: usize, task: Task| task.run()),
+            Arc::new(move |_index: usize, task: Task| task.run(task_cancel.as_deref())),
             move |done| {
                 if let Some(progress) = &progress {
                     progress(Progress {
@@ -710,6 +799,7 @@ impl Engine {
                             Ok(TaskOutput::Point(_)) => {
                                 unreachable!("compile jobs produce compile outputs")
                             }
+                            Ok(TaskOutput::Cancelled) => Err(EngineError::cancelled(&req.label)),
                             Err(message) => Err(EngineError::panic(&req.label, message)),
                         }
                     }
@@ -721,6 +811,9 @@ impl Engine {
                                     .push(point.map_err(|e| EngineError::compile(&req.label, e))?),
                                 Ok(TaskOutput::Compiled(_)) => {
                                     unreachable!("sweep jobs produce point outputs")
+                                }
+                                Ok(TaskOutput::Cancelled) => {
+                                    return Err(EngineError::cancelled(&req.label))
                                 }
                                 Err(message) => {
                                     return Err(EngineError::panic(&req.label, message))
@@ -761,10 +854,15 @@ enum TaskKind {
 enum TaskOutput {
     Compiled(Result<CompileOutcome, marqsim_core::CompileError>),
     Point(Result<ExperimentPoint, marqsim_core::CompileError>),
+    /// The job was cancelled before this task started.
+    Cancelled,
 }
 
 impl Task {
-    fn run(self) -> TaskOutput {
+    fn run(self, cancel: Option<&JobState>) -> TaskOutput {
+        if cancel.is_some_and(JobState::is_cancelled) {
+            return TaskOutput::Cancelled;
+        }
         match self.kind {
             TaskKind::Compile { request, graph } => {
                 let outcome = Compiler::new(request.config.clone())

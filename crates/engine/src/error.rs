@@ -33,6 +33,14 @@ pub enum EngineError {
         /// value.
         reason: String,
     },
+    /// The job was cancelled through its
+    /// [`JobHandle`](crate::job::JobHandle) before it finished. Cancellation
+    /// is cooperative: point-level tasks that were already running complete,
+    /// but their outputs are discarded.
+    Cancelled {
+        /// Label of the cancelled job.
+        label: String,
+    },
 }
 
 impl EngineError {
@@ -56,13 +64,27 @@ impl EngineError {
         }
     }
 
+    pub(crate) fn cancelled(label: &str) -> Self {
+        EngineError::Cancelled {
+            label: label.to_string(),
+        }
+    }
+
     /// The label of the job this error belongs to (`"engine-config"` for
     /// configuration errors, which precede any job).
     pub fn label(&self) -> &str {
         match self {
-            EngineError::Compile { label, .. } | EngineError::WorkerPanic { label, .. } => label,
+            EngineError::Compile { label, .. }
+            | EngineError::WorkerPanic { label, .. }
+            | EngineError::Cancelled { label } => label,
             EngineError::InvalidConfig { .. } => "engine-config",
         }
+    }
+
+    /// Whether this error is a cancellation (useful for front-ends that
+    /// report cancellation as a distinct, non-failure terminal state).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, EngineError::Cancelled { .. })
     }
 }
 
@@ -77,6 +99,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidConfig { reason } => {
                 write!(f, "invalid engine configuration: {reason}")
+            }
+            EngineError::Cancelled { label } => {
+                write!(f, "job '{label}' was cancelled")
             }
         }
     }

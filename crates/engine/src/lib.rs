@@ -23,6 +23,12 @@
 //!   (compile-only or compile + fidelity) and [`SweepRequest`] (full sweep)
 //!   submitted together as a [`CompileBatch`], with [`Progress`] reporting
 //!   and structured [`EngineError`]s.
+//! * **Asynchronous submission** (`job`) — [`Engine::submit`] returns a
+//!   [`JobHandle`] carrying an engine-unique [`JobId`], cooperative
+//!   cancellation, a live progress snapshot, and blocking
+//!   ([`JobHandle::collect`]) or non-blocking ([`JobHandle::try_collect`])
+//!   outcome collection. This is the layer the `marqsim-serve` TCP
+//!   front-end multiplexes client connections onto.
 //!
 //! # Job model
 //!
@@ -96,6 +102,7 @@ mod error;
 mod persist;
 
 pub mod cache;
+pub mod job;
 pub mod pool;
 pub mod shard;
 
@@ -107,6 +114,7 @@ pub use engine::{
     Progress, SweepRequest,
 };
 pub use error::EngineError;
+pub use job::{JobControl, JobHandle, JobId};
 pub use pool::ThreadPool;
 pub use shard::ShardedLru;
 
@@ -471,6 +479,132 @@ mod tests {
             );
         }
         assert!(engine.cache().stats().evictions >= 2);
+    }
+
+    #[test]
+    fn submitted_jobs_carry_unique_ids_and_match_synchronous_results() {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+        let config = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
+        let serial = run_sweep(&ham(), &strategy, &config).unwrap();
+
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                engine.submit(EngineJob::Sweep(SweepRequest::new(
+                    format!("async/{i}"),
+                    ham(),
+                    strategy.clone(),
+                    config.clone(),
+                )))
+            })
+            .collect();
+        let mut ids: Vec<u64> = handles.iter().map(|h| h.id().0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "ids are unique");
+        assert_eq!(ids, vec![1, 2, 3], "ids increase in submission order");
+
+        for handle in handles {
+            assert_eq!(handle.label().len(), "async/0".len());
+            let swept = handle.collect().unwrap().into_swept();
+            for (p, s) in swept.points.iter().zip(&serial.points) {
+                assert_eq!(p.seed, s.seed);
+                assert_eq!(p.stats, s.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn try_collect_is_none_while_running_and_some_exactly_once() {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+        let mut handle = engine.submit(EngineJob::Sweep(SweepRequest::new(
+            "async/poll",
+            ham(),
+            TransitionStrategy::QDrift,
+            SweepConfig::quick(0.5),
+        )));
+        // Poll until the outcome arrives; every pre-completion poll is None.
+        let outcome = loop {
+            match handle.try_collect() {
+                Some(outcome) => break outcome,
+                None => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        };
+        assert_eq!(outcome.unwrap().into_swept().points.len(), 6);
+        assert!(
+            handle.try_collect().is_none(),
+            "the outcome is delivered exactly once"
+        );
+        assert!(handle.progress().completed == handle.progress().total);
+    }
+
+    #[test]
+    fn cancelled_jobs_resolve_to_the_cancelled_error() {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(1)));
+        // Cancel before submission is observable: the job is cancelled on
+        // the handle immediately, so at the latest the first task boundary
+        // (and at best the pre-resolution check) stops it.
+        let handle = engine.submit(EngineJob::Sweep(SweepRequest::new(
+            "async/cancelled",
+            ham(),
+            TransitionStrategy::QDrift,
+            SweepConfig {
+                time: 0.5,
+                epsilons: vec![0.1; 8],
+                repeats: 8,
+                base_seed: 1,
+                evaluate_fidelity: false,
+            },
+        )));
+        handle.cancel();
+        let control = handle.control();
+        match handle.collect() {
+            Err(EngineError::Cancelled { label }) => assert_eq!(label, "async/cancelled"),
+            // The race where the sweep finished before the flag was seen is
+            // legal but essentially impossible for a 64-point sweep on one
+            // worker; treat it as a failure so a broken cancellation path
+            // cannot hide behind it.
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert!(control.is_cancelled());
+        assert!(control.is_finished());
+    }
+
+    #[test]
+    fn submitted_job_progress_reaches_the_callback() {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let handle = engine.submit_with_progress(
+            EngineJob::Sweep(SweepRequest::new(
+                "async/progress",
+                ham(),
+                TransitionStrategy::QDrift,
+                SweepConfig::quick(0.5),
+            )),
+            move |progress| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                assert!(progress.completed <= progress.total);
+            },
+        );
+        handle.collect().unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 6, "one call per point");
+    }
+
+    #[test]
+    fn cache_stats_delta_isolates_one_window() {
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let config = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
+        engine.run_sweep(&ham(), &strategy, &config).unwrap();
+        let warm = engine.cache().stats();
+        assert_eq!(warm.flow_solves, 1);
+
+        engine.run_sweep(&ham(), &strategy, &config).unwrap();
+        let delta = engine.cache().stats().delta_since(&warm);
+        assert_eq!(delta.flow_solves, 0, "second sweep solved nothing");
+        assert_eq!(delta.misses, 0);
+        assert!(delta.hits >= 1);
+        assert_eq!(delta.graphs, 1, "gauges keep the later snapshot");
     }
 
     #[test]

@@ -6,10 +6,56 @@
 //! plus a cumulative-distribution table for `O(log n)` per-step sampling
 //! (matching the complexity analysis in §6.6).
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::TransitionMatrix;
+
+/// Why a weight vector cannot be turned into a [`DiscreteSampler`].
+///
+/// The all-zero case used to be underspecified (an `assert!` with a generic
+/// message deep inside construction); it is now a first-class error so
+/// callers sampling user-provided weights — e.g. a service front-end — can
+/// reject the input instead of crashing the worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleError {
+    /// The weight vector is empty — there is nothing to sample.
+    Empty,
+    /// A weight is negative, NaN, or infinite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Every weight is zero: the vector normalizes to no distribution at
+    /// all, so sampling from it has no defined semantics.
+    ZeroTotalWeight,
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Empty => write!(f, "weights must be non-empty"),
+            SampleError::InvalidWeight { index, value } => {
+                write!(
+                    f,
+                    "weight {index} is {value}; weights must be finite and non-negative"
+                )
+            }
+            SampleError::ZeroTotalWeight => {
+                write!(
+                    f,
+                    "all weights are zero; a distribution needs positive total mass"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
 
 /// A pre-processed discrete distribution supporting `O(log n)` sampling via
 /// binary search on the cumulative table.
@@ -20,26 +66,47 @@ pub struct DiscreteSampler {
 
 impl DiscreteSampler {
     /// Builds the sampler from (not necessarily normalized) non-negative
+    /// weights, validating them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleError::Empty`] for an empty vector,
+    /// [`SampleError::InvalidWeight`] for a negative/NaN/infinite entry,
+    /// and [`SampleError::ZeroTotalWeight`] when every weight is zero.
+    pub fn try_new(weights: &[f64]) -> Result<Self, SampleError> {
+        if weights.is_empty() {
+            return Err(SampleError::Empty);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for (index, &w) in weights.iter().enumerate() {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(SampleError::InvalidWeight { index, value: w });
+            }
+            acc += w;
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            return Err(SampleError::ZeroTotalWeight);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= acc;
+        }
+        Ok(DiscreteSampler { cumulative })
+    }
+
+    /// Builds the sampler from (not necessarily normalized) non-negative
     /// weights.
     ///
     /// # Panics
     ///
     /// Panics if `weights` is empty, contains a negative value, or sums to
-    /// zero.
+    /// zero — see [`try_new`](Self::try_new) for the non-panicking form.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "weights must be non-empty");
-        let mut cumulative = Vec::with_capacity(weights.len());
-        let mut acc = 0.0;
-        for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
-            acc += w;
-            cumulative.push(acc);
+        match Self::try_new(weights) {
+            Ok(sampler) => sampler,
+            Err(error) => panic!("invalid sampling weights: {error}"),
         }
-        assert!(acc > 0.0, "weights must not all be zero");
-        for c in cumulative.iter_mut() {
-            *c /= acc;
-        }
-        DiscreteSampler { cumulative }
     }
 
     /// Samples an index according to the distribution.
@@ -159,6 +226,44 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn sampler_rejects_negative_weights() {
         let _ = DiscreteSampler::new(&[0.5, -0.1]);
+    }
+
+    #[test]
+    fn try_new_reports_every_invalid_weight_shape() {
+        assert!(matches!(
+            DiscreteSampler::try_new(&[]),
+            Err(SampleError::Empty)
+        ));
+        match DiscreteSampler::try_new(&[0.5, -0.1]) {
+            Err(SampleError::InvalidWeight { index: 1, value }) => assert_eq!(value, -0.1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            DiscreteSampler::try_new(&[0.5, f64::NAN]),
+            Err(SampleError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            DiscreteSampler::try_new(&[f64::INFINITY]),
+            Err(SampleError::InvalidWeight { index: 0, .. })
+        ));
+        assert!(DiscreteSampler::try_new(&[0.3, 0.7]).is_ok());
+    }
+
+    #[test]
+    fn all_zero_weights_are_a_zero_total_weight_error() {
+        // Previously an underspecified assert; now a first-class error.
+        assert!(matches!(
+            DiscreteSampler::try_new(&[0.0, 0.0, 0.0]),
+            Err(SampleError::ZeroTotalWeight)
+        ));
+        let shown = SampleError::ZeroTotalWeight.to_string();
+        assert!(shown.contains("all weights are zero"), "{shown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn new_panics_on_all_zero_weights_with_a_clear_message() {
+        let _ = DiscreteSampler::new(&[0.0, 0.0]);
     }
 
     #[test]

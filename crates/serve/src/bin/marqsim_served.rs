@@ -1,0 +1,58 @@
+//! `marqsim-served` — the compilation-service daemon.
+//!
+//! Binds `MARQSIM_SERVE_ADDR` (default `127.0.0.1:7878`), builds one shared
+//! engine (worker count from `MARQSIM_SERVE_THREADS`, falling back to
+//! `MARQSIM_THREADS`, then all cores; cache settings from the usual
+//! `MARQSIM_CACHE*` variables), and serves the line-delimited JSON protocol
+//! until killed. See the `marqsim-serve` crate docs for the protocol.
+
+use std::sync::Arc;
+
+use marqsim_engine::{Engine, EngineConfig};
+use marqsim_serve::Server;
+
+fn main() {
+    let addr = std::env::var("MARQSIM_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+
+    let mut config = match EngineConfig::from_env() {
+        Ok(config) => config,
+        Err(error) => {
+            eprintln!("marqsim-served: {error}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(threads) = std::env::var("MARQSIM_SERVE_THREADS")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+    {
+        // Same strict rule (and diagnostic shape) as MARQSIM_THREADS.
+        match EngineConfig::parse_threads("MARQSIM_SERVE_THREADS", &threads) {
+            Ok(n) => config.threads = n,
+            Err(error) => {
+                eprintln!("marqsim-served: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let engine = Arc::new(Engine::new(config));
+    let server = match Server::bind(&addr, engine) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("marqsim-served: failed to bind {addr}: {error}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!(
+            "[marqsim-served] listening on {bound} with {} worker threads",
+            server.engine().threads()
+        ),
+        Err(_) => println!("[marqsim-served] listening on {addr}"),
+    }
+    if let Err(error) = server.run() {
+        eprintln!("marqsim-served: accept loop failed: {error}");
+        std::process::exit(1);
+    }
+}

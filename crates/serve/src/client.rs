@@ -1,0 +1,346 @@
+//! A blocking client for the serve protocol.
+//!
+//! [`Client`] owns one connection and exposes the verbs as methods. Events
+//! for different jobs interleave on the wire (progress of job 1 can arrive
+//! while waiting for job 2), so the client keeps an internal buffer of
+//! not-yet-consumed events: [`Client::wait`] returns the terminal event of
+//! *its* job and leaves everything else buffered for later calls.
+//!
+//! This is the client the integration tests, the `serve_smoke` benchmark
+//! binary, and the `serve_roundtrip` example use; it is deliberately
+//! synchronous (one thread, blocking reads with a timeout) so its behavior
+//! under test is deterministic.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use marqsim_core::experiment::SweepConfig;
+use marqsim_core::TransitionStrategy;
+use marqsim_engine::CacheStats;
+use marqsim_pauli::Hamiltonian;
+
+use crate::protocol::{Event, Outcome, Request, SubmitJob};
+use crate::wire::WireError;
+
+/// Default blocking-read timeout. Long enough for any reduced-scale sweep;
+/// prevents a wedged server from hanging a test suite forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something the protocol layer cannot decode.
+    Wire(WireError),
+    /// The server answered with an `error` event, or violated the protocol
+    /// (e.g. no `hello` on connect).
+    Protocol(String),
+    /// The awaited job terminated with a `failed` event.
+    JobFailed {
+        /// The failure kind (`"compile"`, `"panic"`, `"cancelled"`, …).
+        kind: String,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "malformed server message: {e}"),
+            ClientError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            ClientError::JobFailed { kind, message } => {
+                write!(f, "job failed ({kind}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A finished job as reported by the server.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The result payload.
+    pub outcome: Outcome,
+    /// Cache-counter delta the server attributed to this job.
+    pub cache_delta: CacheStats,
+}
+
+/// One connection to a `marqsim-served` instance.
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    /// Events read off the wire but not yet consumed by a waiter.
+    pending: VecDeque<Event>,
+    /// Server worker-thread count from the `hello` event.
+    threads: usize,
+}
+
+impl Client {
+    /// Connects and performs the `hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors, a missing/invalid `hello`, or a protocol
+    /// version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        let reader = BufReader::new(stream);
+        let mut client = Client {
+            writer,
+            reader,
+            pending: VecDeque::new(),
+            threads: 0,
+        };
+        match client.read_event()? {
+            Event::Hello { protocol, threads } => {
+                if protocol != crate::protocol::PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server speaks protocol {protocol}, client speaks {}",
+                        crate::protocol::PROTOCOL_VERSION
+                    )));
+                }
+                client.threads = threads;
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's engine worker-thread count (from `hello`).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        self.writer.write_all(request.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_event(&mut self) -> Result<Event, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let read = self.reader.read_line(&mut line)?;
+            if read == 0 {
+                return Err(ClientError::Protocol(
+                    "server closed the connection".to_string(),
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            // A protocol-level error event aborts whatever we were doing.
+            return match Event::decode(trimmed)? {
+                Event::Error { message } => Err(ClientError::Protocol(message)),
+                event => Ok(event),
+            };
+        }
+    }
+
+    /// Returns the first event satisfying `matcher`: scans the buffer of
+    /// already-received events once, then reads fresh events off the
+    /// socket, buffering non-matching ones. (The buffer is never re-read
+    /// inside the socket loop — re-queuing a just-popped event would spin
+    /// without ever touching the socket.)
+    fn wait_for(&mut self, mut matcher: impl FnMut(&Event) -> bool) -> Result<Event, ClientError> {
+        if let Some(index) = self.pending.iter().position(&mut matcher) {
+            return Ok(self.pending.remove(index).expect("index in range"));
+        }
+        loop {
+            let event = self.read_event()?;
+            if matcher(&event) {
+                return Ok(event);
+            }
+            self.pending.push_back(event);
+        }
+    }
+
+    /// Submits a job and returns its server-assigned id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn submit(&mut self, label: &str, job: SubmitJob) -> Result<u64, ClientError> {
+        self.send(&Request::Submit {
+            label: label.to_string(),
+            job,
+        })?;
+        // Submit acks are emitted in request order, so the first submitted
+        // event to arrive after this request is ours (events of earlier
+        // jobs may interleave and are buffered).
+        match self.wait_for(|event| matches!(event, Event::Submitted { .. }))? {
+            Event::Submitted { job, .. } => Ok(job),
+            _ => unreachable!("matcher admits only submitted events"),
+        }
+    }
+
+    /// Convenience: submits a sweep job for `ham` (serialized in the
+    /// `Hamiltonian::parse` textual format).
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit).
+    pub fn submit_sweep(
+        &mut self,
+        label: &str,
+        ham: &Hamiltonian,
+        strategy: &TransitionStrategy,
+        config: &SweepConfig,
+    ) -> Result<u64, ClientError> {
+        self.submit(
+            label,
+            SubmitJob::Sweep {
+                hamiltonian: ham.to_string(),
+                strategy: strategy.clone(),
+                config: config.clone(),
+            },
+        )
+    }
+
+    /// Blocks until `job` reaches a terminal event. Progress events of the
+    /// job are passed to `on_progress`; events of other jobs are buffered.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors; a `failed` terminal event becomes
+    /// [`ClientError::JobFailed`].
+    pub fn wait_with_progress(
+        &mut self,
+        job: u64,
+        mut on_progress: impl FnMut(usize, usize),
+    ) -> Result<JobResult, ClientError> {
+        // Drain buffered progress of this job (a progress event can be
+        // enqueued by the engine's coordinator before the reader thread's
+        // submitted ack, so it may already sit in the buffer), then scan
+        // for an already-buffered terminal event.
+        self.pending.retain(|event| match *event {
+            Event::Progress {
+                job: j,
+                completed,
+                total,
+            } if j == job => {
+                on_progress(completed, total);
+                false
+            }
+            _ => true,
+        });
+        if let Some(index) = self.pending.iter().position(|event| {
+            matches!(event, Event::Done { job: j, .. } | Event::Failed { job: j, .. } if *j == job)
+        }) {
+            let event = self.pending.remove(index).expect("index in range");
+            return Self::terminal(event);
+        }
+        loop {
+            match self.read_event()? {
+                Event::Progress {
+                    job: j,
+                    completed,
+                    total,
+                } if j == job => on_progress(completed, total),
+                event @ (Event::Done { .. } | Event::Failed { .. })
+                    if Self::event_job(&event) == Some(job) =>
+                {
+                    return Self::terminal(event);
+                }
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Blocks until `job` finishes, discarding its progress events.
+    ///
+    /// # Errors
+    ///
+    /// See [`wait_with_progress`](Self::wait_with_progress).
+    pub fn wait(&mut self, job: u64) -> Result<JobResult, ClientError> {
+        self.wait_with_progress(job, |_, _| {})
+    }
+
+    fn event_job(event: &Event) -> Option<u64> {
+        match event {
+            Event::Done { job, .. } | Event::Failed { job, .. } => Some(*job),
+            _ => None,
+        }
+    }
+
+    fn terminal(event: Event) -> Result<JobResult, ClientError> {
+        match event {
+            Event::Done {
+                outcome,
+                cache_delta,
+                ..
+            } => Ok(JobResult {
+                outcome,
+                cache_delta,
+            }),
+            Event::Failed { kind, message, .. } => Err(ClientError::JobFailed { kind, message }),
+            other => Err(ClientError::Protocol(format!(
+                "not a terminal event: {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests cooperative cancellation of `job` and returns the server's
+    /// status snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn cancel(&mut self, job: u64) -> Result<Event, ClientError> {
+        self.send(&Request::Cancel { job })?;
+        self.await_status(job)
+    }
+
+    /// Queries one job's status.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn status(&mut self, job: u64) -> Result<Event, ClientError> {
+        self.send(&Request::Status { job })?;
+        self.await_status(job)
+    }
+
+    fn await_status(&mut self, job: u64) -> Result<Event, ClientError> {
+        self.wait_for(|event| matches!(event, Event::Status { job: j, .. } if *j == job))
+    }
+
+    /// Fetches engine-wide statistics: `(worker threads, cache counters)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn stats(&mut self) -> Result<(usize, CacheStats), ClientError> {
+        self.send(&Request::Stats)?;
+        match self.wait_for(|event| matches!(event, Event::Stats { .. }))? {
+            Event::Stats { threads, cache } => Ok((threads, cache)),
+            _ => unreachable!("matcher admits only stats events"),
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! # marqsim-serve — the job-submission front-end over the engine
+//!
+//! The `marqsim-engine` crate runs batches synchronously inside one
+//! process. This crate puts a network protocol on top, the next step
+//! toward the ROADMAP's "serve heavy traffic to remote clients" north
+//! star: a `marqsim-served` daemon accepts concurrent TCP connections,
+//! multiplexes every client's jobs onto **one shared engine** (one worker
+//! pool, one transition cache — two clients sweeping the same Hamiltonian
+//! share the min-cost-flow solve), streams per-job progress, and supports
+//! cooperative cancellation.
+//!
+//! The module layering mirrors the protocol stack:
+//!
+//! * [`wire`] — a hand-rolled, dependency-free JSON codec (the build
+//!   environment has no registry access, so no `serde`). Line-delimited:
+//!   one JSON object per `\n`-terminated line in each direction. `u64`
+//!   ids/seeds are exact; finite floats use shortest-round-trip encoding,
+//!   so results cross the wire **bit-identically**.
+//! * [`protocol`] — typed [`Request`] verbs (`submit`, `status`, `cancel`,
+//!   `stats`) and [`Event`] streams (`hello`, `submitted`, `progress`,
+//!   `done`, `failed`, `status`, `stats`, `error`).
+//! * [`server`] — the TCP accept loop; one reader/writer thread pair per
+//!   connection over the shared [`Engine`](marqsim_engine::Engine).
+//! * [`client`] — a blocking client used by the tests, the `serve_smoke`
+//!   binary, and the `serve_roundtrip` example.
+//!
+//! # Determinism over the wire
+//!
+//! A sweep submitted through `marqsim-served` returns results
+//! bit-identical to the same sweep run through `Engine::run_sweep`
+//! in-process: the engine side is the deterministic job machinery (seeded
+//! per-point RNG streams, index-ordered reassembly), and the wire side
+//! encodes every number losslessly. The `tests/serve.rs` integration test
+//! in the workspace root asserts exactly this, point by point, bit by bit.
+//!
+//! # Environment (the `marqsim-served` binary)
+//!
+//! * `MARQSIM_SERVE_ADDR=HOST:PORT` — listen address (default
+//!   `127.0.0.1:7878`; port `0` lets the OS pick and prints the result).
+//! * `MARQSIM_SERVE_THREADS=N` — engine worker count for the served
+//!   engine; unset falls back to `MARQSIM_THREADS`, then to all cores.
+//! * The engine cache variables (`MARQSIM_CACHE`, `MARQSIM_CACHE_CAP`,
+//!   `MARQSIM_CACHE_DIR`) apply unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use marqsim_engine::{Engine, EngineConfig};
+//! use marqsim_serve::{Client, Server};
+//! use marqsim_core::experiment::SweepConfig;
+//! use marqsim_core::TransitionStrategy;
+//! use marqsim_pauli::Hamiltonian;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+//! let server = Server::bind("127.0.0.1:0", engine)?.spawn()?;
+//!
+//! let mut client = Client::connect(server.addr())?;
+//! let ham = Hamiltonian::parse("0.9 ZZ + 0.5 XX + 0.3 YY")?;
+//! let job = client.submit_sweep(
+//!     "example",
+//!     &ham,
+//!     &TransitionStrategy::QDrift,
+//!     &SweepConfig::quick(0.5),
+//! )?;
+//! let result = client.wait(job)?;
+//! match result.outcome {
+//!     marqsim_serve::Outcome::Sweep(sweep) => assert_eq!(sweep.points.len(), 6),
+//!     _ => unreachable!(),
+//! }
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, JobResult};
+pub use protocol::{CompileSummary, Event, Outcome, Request, SubmitJob, PROTOCOL_VERSION};
+pub use server::{Server, ServerHandle};
+pub use wire::{Json, WireError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marqsim_core::experiment::SweepConfig;
+    use marqsim_core::TransitionStrategy;
+    use marqsim_engine::{Engine, EngineConfig};
+    use marqsim_pauli::Hamiltonian;
+    use std::sync::Arc;
+
+    fn ham() -> Hamiltonian {
+        Hamiltonian::parse("0.9 ZZZZ + 0.7 XXII + 0.5 IYYI + 0.3 IIZZ").unwrap()
+    }
+
+    fn spawn_server(threads: usize) -> ServerHandle {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(threads)));
+        Server::bind("127.0.0.1:0", engine)
+            .expect("bind")
+            .spawn()
+            .expect("spawn")
+    }
+
+    #[test]
+    fn round_trip_sweep_with_progress() {
+        let server = spawn_server(2);
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.threads(), 2);
+
+        let config = SweepConfig::quick(0.5);
+        let job = client
+            .submit_sweep("t/sweep", &ham(), &TransitionStrategy::QDrift, &config)
+            .unwrap();
+        let mut progress_calls = 0usize;
+        let result = client
+            .wait_with_progress(job, |completed, total| {
+                progress_calls += 1;
+                assert!(completed <= total);
+                assert_eq!(total, 6);
+            })
+            .unwrap();
+        match result.outcome {
+            Outcome::Sweep(sweep) => {
+                assert_eq!(sweep.points.len(), 6);
+                assert_eq!(sweep.label, "Baseline");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(progress_calls, 6, "every point reports progress");
+        server.shutdown();
+    }
+
+    #[test]
+    fn compile_jobs_report_summaries() {
+        let server = spawn_server(2);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let job = client
+            .submit(
+                "t/compile",
+                SubmitJob::Compile {
+                    hamiltonian: "0.6 XZ + 0.4 ZY + 0.3 XX".to_string(),
+                    strategy: TransitionStrategy::QDrift,
+                    time: 0.4,
+                    epsilon: 0.05,
+                    seed: 2,
+                    evaluate_fidelity: true,
+                },
+            )
+            .unwrap();
+        let result = client.wait(job).unwrap();
+        match result.outcome {
+            Outcome::Compile(summary) => {
+                assert!(summary.num_samples > 0);
+                assert!(summary.lambda > 0.0);
+                let fidelity = summary.fidelity.expect("fidelity requested");
+                assert!(fidelity > 0.9 && fidelity <= 1.0 + 1e-9);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn status_and_stats_verbs_answer() {
+        let server = spawn_server(1);
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        // Unknown job: known=false.
+        match client.status(999).unwrap() {
+            Event::Status { known, .. } => assert!(!known),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let job = client
+            .submit_sweep(
+                "t/status",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        client.wait(job).unwrap();
+        match client.status(job).unwrap() {
+            Event::Status {
+                known,
+                finished,
+                completed,
+                total,
+                ..
+            } => {
+                assert!(known);
+                assert!(finished);
+                assert_eq!(completed, total);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let (threads, cache) = client.stats().unwrap();
+        assert_eq!(threads, 1);
+        assert!(cache.misses >= 1, "the sweep populated the cache");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancelled_jobs_fail_with_the_cancelled_kind() {
+        let server = spawn_server(1);
+        let mut client = Client::connect(server.addr()).unwrap();
+        // A blocker job first: with one worker thread, the victim job's
+        // tasks queue behind the blocker's, so the cancel round trip (a
+        // localhost ping) always lands while the victim is still pending.
+        let blocker = client
+            .submit_sweep(
+                "t/blocker",
+                &ham(),
+                &TransitionStrategy::marqsim_gc(),
+                &SweepConfig {
+                    time: 0.5,
+                    epsilons: vec![0.1; 4],
+                    repeats: 8,
+                    base_seed: 2,
+                    evaluate_fidelity: false,
+                },
+            )
+            .unwrap();
+        let job = client
+            .submit_sweep(
+                "t/cancel",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig {
+                    time: 0.5,
+                    epsilons: vec![0.1; 8],
+                    repeats: 8,
+                    base_seed: 1,
+                    evaluate_fidelity: false,
+                },
+            )
+            .unwrap();
+        match client.cancel(job).unwrap() {
+            Event::Status {
+                known, cancelled, ..
+            } => {
+                assert!(known);
+                assert!(cancelled);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.wait(job) {
+            Err(ClientError::JobFailed { kind, .. }) => assert_eq!(kind, "cancelled"),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert!(client.wait(blocker).is_ok(), "blocker runs to completion");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_keep_the_connection_alive() {
+        let server = spawn_server(1);
+        let mut client = Client::connect(server.addr()).unwrap();
+        // Protocol errors surface on the next read...
+        use std::io::Write;
+        // Reach into the protocol: an invalid verb and invalid JSON.
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        {
+            use std::io::{BufRead, BufReader};
+            let mut reader = BufReader::new(raw.try_clone().unwrap());
+            let mut hello = String::new();
+            reader.read_line(&mut hello).unwrap();
+            assert!(hello.contains("hello"));
+            raw.write_all(b"this is not json\n").unwrap();
+            let mut error_line = String::new();
+            reader.read_line(&mut error_line).unwrap();
+            assert!(error_line.contains("\"error\""), "{error_line}");
+            raw.write_all(br#"{"verb":"submit","label":"x","job":{"kind":"sweep","hamiltonian":"not a ham","strategy":{"kind":"qdrift"},"config":{"time":0.5,"epsilons":[0.1],"repeats":1,"base_seed":1,"evaluate_fidelity":false}}}"#).unwrap();
+            raw.write_all(b"\n").unwrap();
+            let mut error_line = String::new();
+            reader.read_line(&mut error_line).unwrap();
+            assert!(error_line.contains("invalid hamiltonian"), "{error_line}");
+        }
+        // The well-behaved client still works against the same server.
+        let job = client
+            .submit_sweep(
+                "t/after-errors",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        assert!(client.wait(job).is_ok());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,963 @@
+//! Typed protocol messages and their JSON encodings.
+//!
+//! One [`Request`] per client line, one [`Event`] per server line. The
+//! protocol is versioned by the `hello` event the server sends on connect;
+//! a client should check [`PROTOCOL_VERSION`] before submitting.
+//!
+//! # Verbs (client → server)
+//!
+//! ```json
+//! {"verb":"submit","label":"sweep/h2","job":{"kind":"sweep","hamiltonian":"0.9 ZZ + 0.5 XX","strategy":{"kind":"gate-cancellation","qdrift_weight":0.4},"config":{"time":0.5,"epsilons":[0.1,0.05],"repeats":3,"base_seed":1,"evaluate_fidelity":false}}}
+//! {"verb":"status","job":1}
+//! {"verb":"cancel","job":1}
+//! {"verb":"stats"}
+//! ```
+//!
+//! # Events (server → client)
+//!
+//! ```json
+//! {"event":"hello","protocol":1,"threads":4}
+//! {"event":"submitted","job":1,"label":"sweep/h2"}
+//! {"event":"progress","job":1,"completed":3,"total":6}
+//! {"event":"done","job":1,"outcome":{"kind":"sweep",...},"cache_delta":{...}}
+//! {"event":"failed","job":1,"kind":"cancelled","message":"..."}
+//! {"event":"status","job":1,"known":true,"finished":false,"cancelled":false,"completed":3,"total":6}
+//! {"event":"stats","threads":4,"cache":{...}}
+//! {"event":"error","message":"..."}
+//! ```
+//!
+//! Numbers follow the [`wire`](crate::wire) conventions: `u64` ids/seeds
+//! are exact integers, floats use shortest-round-trip encoding, so a sweep
+//! result decoded from the wire is bit-identical to the in-process result.
+
+use marqsim_core::experiment::{ExperimentPoint, SweepConfig, SweepResult};
+use marqsim_core::metrics::SequenceStats;
+use marqsim_core::perturb::PerturbationConfig;
+use marqsim_core::TransitionStrategy;
+use marqsim_engine::{CacheStats, EngineError};
+
+use crate::wire::{Json, WireError};
+
+/// Version of the wire protocol; bumped on breaking changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one job; the server answers with `submitted` carrying the
+    /// job id, then streams `progress` and finally `done` / `failed`.
+    Submit {
+        /// Client-chosen label echoed in every event about this job.
+        label: String,
+        /// The work itself.
+        job: SubmitJob,
+    },
+    /// Query one job's state.
+    Status {
+        /// Job id from `submitted`.
+        job: u64,
+    },
+    /// Request cooperative cancellation of one job.
+    Cancel {
+        /// Job id from `submitted`.
+        job: u64,
+    },
+    /// Query engine-wide statistics.
+    Stats,
+}
+
+/// The payload of a `submit` request. The Hamiltonian travels in the
+/// `marqsim_pauli::Hamiltonian::parse` textual format (coefficients use
+/// shortest-round-trip float formatting, so the parse is exact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitJob {
+    /// A full sweep (the engine's `SweepRequest`).
+    Sweep {
+        /// Textual Hamiltonian.
+        hamiltonian: String,
+        /// Transition strategy for every point.
+        strategy: TransitionStrategy,
+        /// Sweep configuration.
+        config: SweepConfig,
+    },
+    /// A single compile (the engine's `CompileRequest`), reported back as a
+    /// summary (sample count + sequence-level gate statistics + optional
+    /// fidelity).
+    Compile {
+        /// Textual Hamiltonian.
+        hamiltonian: String,
+        /// Transition strategy.
+        strategy: TransitionStrategy,
+        /// Evolution time `t`.
+        time: f64,
+        /// Target precision `ε`.
+        epsilon: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Whether to also evaluate unitary fidelity (exponential in qubit
+        /// count).
+        evaluate_fidelity: bool,
+    },
+}
+
+/// A server event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// First line of every connection.
+    Hello {
+        /// [`PROTOCOL_VERSION`] of the server.
+        protocol: u64,
+        /// Engine worker-thread count.
+        threads: usize,
+    },
+    /// Acknowledges a `submit`; all later events about this job carry `job`.
+    Submitted {
+        /// Engine-unique job id.
+        job: u64,
+        /// The label from the request.
+        label: String,
+    },
+    /// One point-level task of the job finished.
+    Progress {
+        /// Job id.
+        job: u64,
+        /// Tasks finished so far.
+        completed: usize,
+        /// Total tasks of the job.
+        total: usize,
+    },
+    /// The job finished successfully.
+    Done {
+        /// Job id.
+        job: u64,
+        /// The result.
+        outcome: Outcome,
+        /// Cache-counter delta attributed to this job (snapshot difference
+        /// between submission and completion; concurrent jobs' activity can
+        /// bleed into each other's windows).
+        cache_delta: CacheStats,
+    },
+    /// The job failed or was cancelled.
+    Failed {
+        /// Job id.
+        job: u64,
+        /// `"compile"`, `"panic"`, `"cancelled"`, or `"invalid-config"`.
+        kind: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Answer to `status`.
+    Status {
+        /// Job id queried.
+        job: u64,
+        /// Whether the server knows this job (ids are per connection).
+        known: bool,
+        /// Whether the outcome has been produced.
+        finished: bool,
+        /// Whether cancellation has been requested.
+        cancelled: bool,
+        /// Tasks finished so far.
+        completed: usize,
+        /// Total tasks (0 until expansion).
+        total: usize,
+    },
+    /// Answer to `stats`.
+    Stats {
+        /// Engine worker-thread count.
+        threads: usize,
+        /// Engine-wide cache counters.
+        cache: CacheStats,
+    },
+    /// A request could not be understood or carried invalid data. The
+    /// connection stays open.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// A finished job's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Result of a sweep job.
+    Sweep(SweepResult),
+    /// Summary of a compile job.
+    Compile(CompileSummary),
+}
+
+/// The wire summary of a compile job (the full `CompileResult` holds the
+/// sampled sequence and circuit, which are orders of magnitude larger than
+/// what remote evaluation consumers need).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileSummary {
+    /// Number of sampling steps `N`.
+    pub num_samples: usize,
+    /// `λ = Σ_j |h_j|`.
+    pub lambda: f64,
+    /// Sequence-level gate statistics.
+    pub stats: SequenceStats,
+    /// Unitary fidelity, when requested.
+    pub fidelity: Option<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// Field-access helpers
+// ---------------------------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+    obj.get(key)
+        .ok_or_else(|| WireError::shape(format!("missing field '{key}'")))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, WireError> {
+    field(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| WireError::shape(format!("field '{key}' must be a string")))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, WireError> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| WireError::shape(format!("field '{key}' must be an unsigned integer")))
+}
+
+fn usize_field(obj: &Json, key: &str) -> Result<usize, WireError> {
+    field(obj, key)?
+        .as_usize()
+        .ok_or_else(|| WireError::shape(format!("field '{key}' must be an unsigned integer")))
+}
+
+fn f64_field(obj: &Json, key: &str) -> Result<f64, WireError> {
+    field(obj, key)?
+        .as_f64()
+        .ok_or_else(|| WireError::shape(format!("field '{key}' must be a number")))
+}
+
+fn bool_field(obj: &Json, key: &str) -> Result<bool, WireError> {
+    field(obj, key)?
+        .as_bool()
+        .ok_or_else(|| WireError::shape(format!("field '{key}' must be a boolean")))
+}
+
+fn opt_f64_field(obj: &Json, key: &str) -> Result<Option<f64>, WireError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(value) if value.is_null() => Ok(None),
+        Some(value) => value
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| WireError::shape(format!("field '{key}' must be a number or null"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy / config codecs
+// ---------------------------------------------------------------------------
+
+fn perturbation_to_json(p: &PerturbationConfig) -> Json {
+    Json::obj([
+        ("samples", p.samples.into()),
+        ("magnitude", p.magnitude.into()),
+        ("probability", p.probability.into()),
+        ("seed", p.seed.into()),
+    ])
+}
+
+fn perturbation_from_json(json: &Json) -> Result<PerturbationConfig, WireError> {
+    Ok(PerturbationConfig {
+        samples: usize_field(json, "samples")?,
+        magnitude: f64_field(json, "magnitude")?,
+        probability: f64_field(json, "probability")?,
+        seed: u64_field(json, "seed")?,
+    })
+}
+
+/// Encodes a strategy (public: the client builds submit requests from it).
+pub fn strategy_to_json(strategy: &TransitionStrategy) -> Json {
+    match strategy {
+        TransitionStrategy::QDrift => Json::obj([("kind", "qdrift".into())]),
+        TransitionStrategy::GateCancellation { qdrift_weight } => Json::obj([
+            ("kind", "gate-cancellation".into()),
+            ("qdrift_weight", (*qdrift_weight).into()),
+        ]),
+        TransitionStrategy::GateCancellationRandomPerturbation {
+            qdrift_weight,
+            gc_weight,
+            perturbation,
+        } => Json::obj([
+            ("kind", "gc-rp".into()),
+            ("qdrift_weight", (*qdrift_weight).into()),
+            ("gc_weight", (*gc_weight).into()),
+            ("perturbation", perturbation_to_json(perturbation)),
+        ]),
+        TransitionStrategy::Combined {
+            qdrift_weight,
+            gc_weight,
+            rp_weight,
+            perturbation,
+        } => Json::obj([
+            ("kind", "combined".into()),
+            ("qdrift_weight", (*qdrift_weight).into()),
+            ("gc_weight", (*gc_weight).into()),
+            ("rp_weight", (*rp_weight).into()),
+            ("perturbation", perturbation_to_json(perturbation)),
+        ]),
+    }
+}
+
+/// Decodes a strategy.
+///
+/// # Errors
+///
+/// Returns a shape [`WireError`] for unknown kinds or missing fields.
+pub fn strategy_from_json(json: &Json) -> Result<TransitionStrategy, WireError> {
+    let kind = str_field(json, "kind")?;
+    match kind.as_str() {
+        "qdrift" => Ok(TransitionStrategy::QDrift),
+        "gate-cancellation" => Ok(TransitionStrategy::GateCancellation {
+            qdrift_weight: f64_field(json, "qdrift_weight")?,
+        }),
+        "gc-rp" => Ok(TransitionStrategy::GateCancellationRandomPerturbation {
+            qdrift_weight: f64_field(json, "qdrift_weight")?,
+            gc_weight: f64_field(json, "gc_weight")?,
+            perturbation: perturbation_from_json(field(json, "perturbation")?)?,
+        }),
+        "combined" => Ok(TransitionStrategy::Combined {
+            qdrift_weight: f64_field(json, "qdrift_weight")?,
+            gc_weight: f64_field(json, "gc_weight")?,
+            rp_weight: f64_field(json, "rp_weight")?,
+            perturbation: perturbation_from_json(field(json, "perturbation")?)?,
+        }),
+        other => Err(WireError::shape(format!("unknown strategy kind '{other}'"))),
+    }
+}
+
+fn sweep_config_to_json(config: &SweepConfig) -> Json {
+    Json::obj([
+        ("time", config.time.into()),
+        (
+            "epsilons",
+            Json::Arr(config.epsilons.iter().map(|&e| e.into()).collect()),
+        ),
+        ("repeats", config.repeats.into()),
+        ("base_seed", config.base_seed.into()),
+        ("evaluate_fidelity", config.evaluate_fidelity.into()),
+    ])
+}
+
+fn sweep_config_from_json(json: &Json) -> Result<SweepConfig, WireError> {
+    let epsilons = field(json, "epsilons")?
+        .as_arr()
+        .ok_or_else(|| WireError::shape("field 'epsilons' must be an array"))?
+        .iter()
+        .map(|e| {
+            e.as_f64()
+                .ok_or_else(|| WireError::shape("epsilons must be numbers"))
+        })
+        .collect::<Result<Vec<f64>, WireError>>()?;
+    Ok(SweepConfig {
+        time: f64_field(json, "time")?,
+        epsilons,
+        repeats: usize_field(json, "repeats")?,
+        base_seed: u64_field(json, "base_seed")?,
+        evaluate_fidelity: bool_field(json, "evaluate_fidelity")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Result codecs
+// ---------------------------------------------------------------------------
+
+fn stats_to_json(stats: &SequenceStats) -> Json {
+    Json::obj([
+        ("cnot", stats.cnot.into()),
+        ("single_qubit", stats.single_qubit.into()),
+        ("rz", stats.rz.into()),
+        ("total", stats.total.into()),
+        ("segments", stats.segments.into()),
+    ])
+}
+
+fn stats_from_json(json: &Json) -> Result<SequenceStats, WireError> {
+    Ok(SequenceStats {
+        cnot: usize_field(json, "cnot")?,
+        single_qubit: usize_field(json, "single_qubit")?,
+        rz: usize_field(json, "rz")?,
+        total: usize_field(json, "total")?,
+        segments: usize_field(json, "segments")?,
+    })
+}
+
+fn point_to_json(point: &ExperimentPoint) -> Json {
+    Json::obj([
+        ("epsilon", point.epsilon.into()),
+        ("seed", point.seed.into()),
+        ("num_samples", point.num_samples.into()),
+        ("stats", stats_to_json(&point.stats)),
+        ("fidelity", point.fidelity.into()),
+    ])
+}
+
+fn point_from_json(json: &Json) -> Result<ExperimentPoint, WireError> {
+    Ok(ExperimentPoint {
+        epsilon: f64_field(json, "epsilon")?,
+        seed: u64_field(json, "seed")?,
+        num_samples: usize_field(json, "num_samples")?,
+        stats: stats_from_json(field(json, "stats")?)?,
+        fidelity: opt_f64_field(json, "fidelity")?,
+    })
+}
+
+/// Encodes a sweep result.
+pub fn sweep_result_to_json(result: &SweepResult) -> Json {
+    Json::obj([
+        ("kind", "sweep".into()),
+        ("label", result.label.as_str().into()),
+        (
+            "points",
+            Json::Arr(result.points.iter().map(point_to_json).collect()),
+        ),
+    ])
+}
+
+/// Decodes a sweep result.
+///
+/// # Errors
+///
+/// Returns a shape [`WireError`] on malformed input.
+pub fn sweep_result_from_json(json: &Json) -> Result<SweepResult, WireError> {
+    let points = field(json, "points")?
+        .as_arr()
+        .ok_or_else(|| WireError::shape("field 'points' must be an array"))?
+        .iter()
+        .map(point_from_json)
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(SweepResult {
+        label: str_field(json, "label")?,
+        points,
+    })
+}
+
+fn cache_stats_to_json(stats: &CacheStats) -> Json {
+    Json::obj([
+        ("hits", stats.hits.into()),
+        ("misses", stats.misses.into()),
+        ("component_hits", stats.component_hits.into()),
+        ("flow_solves", stats.flow_solves.into()),
+        ("disk_hits", stats.disk_hits.into()),
+        ("disk_writes", stats.disk_writes.into()),
+        ("disk_errors", stats.disk_errors.into()),
+        ("evictions", stats.evictions.into()),
+        ("graphs", stats.graphs.into()),
+        ("components", stats.components.into()),
+    ])
+}
+
+fn cache_stats_from_json(json: &Json) -> Result<CacheStats, WireError> {
+    Ok(CacheStats {
+        hits: u64_field(json, "hits")?,
+        misses: u64_field(json, "misses")?,
+        component_hits: u64_field(json, "component_hits")?,
+        flow_solves: u64_field(json, "flow_solves")?,
+        disk_hits: u64_field(json, "disk_hits")?,
+        disk_writes: u64_field(json, "disk_writes")?,
+        disk_errors: u64_field(json, "disk_errors")?,
+        evictions: u64_field(json, "evictions")?,
+        graphs: usize_field(json, "graphs")?,
+        components: usize_field(json, "components")?,
+    })
+}
+
+fn outcome_to_json(outcome: &Outcome) -> Json {
+    match outcome {
+        Outcome::Sweep(result) => sweep_result_to_json(result),
+        Outcome::Compile(summary) => Json::obj([
+            ("kind", "compile".into()),
+            ("num_samples", summary.num_samples.into()),
+            ("lambda", summary.lambda.into()),
+            ("stats", stats_to_json(&summary.stats)),
+            ("fidelity", summary.fidelity.into()),
+        ]),
+    }
+}
+
+fn outcome_from_json(json: &Json) -> Result<Outcome, WireError> {
+    match str_field(json, "kind")?.as_str() {
+        "sweep" => Ok(Outcome::Sweep(sweep_result_from_json(json)?)),
+        "compile" => Ok(Outcome::Compile(CompileSummary {
+            num_samples: usize_field(json, "num_samples")?,
+            lambda: f64_field(json, "lambda")?,
+            stats: stats_from_json(field(json, "stats")?)?,
+            fidelity: opt_f64_field(json, "fidelity")?,
+        })),
+        other => Err(WireError::shape(format!("unknown outcome kind '{other}'"))),
+    }
+}
+
+/// The failure-kind string for an [`EngineError`] (the `kind` field of
+/// `failed` events).
+pub fn failure_kind(error: &EngineError) -> &'static str {
+    match error {
+        EngineError::Compile { .. } => "compile",
+        EngineError::WorkerPanic { .. } => "panic",
+        EngineError::InvalidConfig { .. } => "invalid-config",
+        EngineError::Cancelled { .. } => "cancelled",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-level message codecs
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encodes the request as one wire line (without the trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Submit { label, job } => {
+                let job_json = match job {
+                    SubmitJob::Sweep {
+                        hamiltonian,
+                        strategy,
+                        config,
+                    } => Json::obj([
+                        ("kind", "sweep".into()),
+                        ("hamiltonian", hamiltonian.as_str().into()),
+                        ("strategy", strategy_to_json(strategy)),
+                        ("config", sweep_config_to_json(config)),
+                    ]),
+                    SubmitJob::Compile {
+                        hamiltonian,
+                        strategy,
+                        time,
+                        epsilon,
+                        seed,
+                        evaluate_fidelity,
+                    } => Json::obj([
+                        ("kind", "compile".into()),
+                        ("hamiltonian", hamiltonian.as_str().into()),
+                        ("strategy", strategy_to_json(strategy)),
+                        ("time", (*time).into()),
+                        ("epsilon", (*epsilon).into()),
+                        ("seed", (*seed).into()),
+                        ("evaluate_fidelity", (*evaluate_fidelity).into()),
+                    ]),
+                };
+                Json::obj([
+                    ("verb", "submit".into()),
+                    ("label", label.as_str().into()),
+                    ("job", job_json),
+                ])
+            }
+            Request::Status { job } => {
+                Json::obj([("verb", "status".into()), ("job", (*job).into())])
+            }
+            Request::Cancel { job } => {
+                Json::obj([("verb", "cancel".into()), ("job", (*job).into())])
+            }
+            Request::Stats => Json::obj([("verb", "stats".into())]),
+        }
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed JSON or an unknown shape.
+    pub fn decode(line: &str) -> Result<Request, WireError> {
+        let json = Json::parse(line)?;
+        match str_field(&json, "verb")?.as_str() {
+            "submit" => {
+                let label = str_field(&json, "label")?;
+                let job_json = field(&json, "job")?;
+                let job = match str_field(job_json, "kind")?.as_str() {
+                    "sweep" => SubmitJob::Sweep {
+                        hamiltonian: str_field(job_json, "hamiltonian")?,
+                        strategy: strategy_from_json(field(job_json, "strategy")?)?,
+                        config: sweep_config_from_json(field(job_json, "config")?)?,
+                    },
+                    "compile" => SubmitJob::Compile {
+                        hamiltonian: str_field(job_json, "hamiltonian")?,
+                        strategy: strategy_from_json(field(job_json, "strategy")?)?,
+                        time: f64_field(job_json, "time")?,
+                        epsilon: f64_field(job_json, "epsilon")?,
+                        seed: u64_field(job_json, "seed")?,
+                        evaluate_fidelity: bool_field(job_json, "evaluate_fidelity")?,
+                    },
+                    other => return Err(WireError::shape(format!("unknown job kind '{other}'"))),
+                };
+                Ok(Request::Submit { label, job })
+            }
+            "status" => Ok(Request::Status {
+                job: u64_field(&json, "job")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: u64_field(&json, "job")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            other => Err(WireError::shape(format!("unknown verb '{other}'"))),
+        }
+    }
+}
+
+impl Event {
+    /// Encodes the event as one wire line (without the trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Event::Hello { protocol, threads } => Json::obj([
+                ("event", "hello".into()),
+                ("protocol", (*protocol).into()),
+                ("threads", (*threads).into()),
+            ]),
+            Event::Submitted { job, label } => Json::obj([
+                ("event", "submitted".into()),
+                ("job", (*job).into()),
+                ("label", label.as_str().into()),
+            ]),
+            Event::Progress {
+                job,
+                completed,
+                total,
+            } => Json::obj([
+                ("event", "progress".into()),
+                ("job", (*job).into()),
+                ("completed", (*completed).into()),
+                ("total", (*total).into()),
+            ]),
+            Event::Done {
+                job,
+                outcome,
+                cache_delta,
+            } => Json::obj([
+                ("event", "done".into()),
+                ("job", (*job).into()),
+                ("outcome", outcome_to_json(outcome)),
+                ("cache_delta", cache_stats_to_json(cache_delta)),
+            ]),
+            Event::Failed { job, kind, message } => Json::obj([
+                ("event", "failed".into()),
+                ("job", (*job).into()),
+                ("kind", kind.as_str().into()),
+                ("message", message.as_str().into()),
+            ]),
+            Event::Status {
+                job,
+                known,
+                finished,
+                cancelled,
+                completed,
+                total,
+            } => Json::obj([
+                ("event", "status".into()),
+                ("job", (*job).into()),
+                ("known", (*known).into()),
+                ("finished", (*finished).into()),
+                ("cancelled", (*cancelled).into()),
+                ("completed", (*completed).into()),
+                ("total", (*total).into()),
+            ]),
+            Event::Stats { threads, cache } => Json::obj([
+                ("event", "stats".into()),
+                ("threads", (*threads).into()),
+                ("cache", cache_stats_to_json(cache)),
+            ]),
+            Event::Error { message } => Json::obj([
+                ("event", "error".into()),
+                ("message", message.as_str().into()),
+            ]),
+        }
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed JSON or an unknown shape.
+    pub fn decode(line: &str) -> Result<Event, WireError> {
+        let json = Json::parse(line)?;
+        match str_field(&json, "event")?.as_str() {
+            "hello" => Ok(Event::Hello {
+                protocol: u64_field(&json, "protocol")?,
+                threads: usize_field(&json, "threads")?,
+            }),
+            "submitted" => Ok(Event::Submitted {
+                job: u64_field(&json, "job")?,
+                label: str_field(&json, "label")?,
+            }),
+            "progress" => Ok(Event::Progress {
+                job: u64_field(&json, "job")?,
+                completed: usize_field(&json, "completed")?,
+                total: usize_field(&json, "total")?,
+            }),
+            "done" => Ok(Event::Done {
+                job: u64_field(&json, "job")?,
+                outcome: outcome_from_json(field(&json, "outcome")?)?,
+                cache_delta: cache_stats_from_json(field(&json, "cache_delta")?)?,
+            }),
+            "failed" => Ok(Event::Failed {
+                job: u64_field(&json, "job")?,
+                kind: str_field(&json, "kind")?,
+                message: str_field(&json, "message")?,
+            }),
+            "status" => Ok(Event::Status {
+                job: u64_field(&json, "job")?,
+                known: bool_field(&json, "known")?,
+                finished: bool_field(&json, "finished")?,
+                cancelled: bool_field(&json, "cancelled")?,
+                completed: usize_field(&json, "completed")?,
+                total: usize_field(&json, "total")?,
+            }),
+            "stats" => Ok(Event::Stats {
+                threads: usize_field(&json, "threads")?,
+                cache: cache_stats_from_json(field(&json, "cache")?)?,
+            }),
+            "error" => Ok(Event::Error {
+                message: str_field(&json, "message")?,
+            }),
+            other => Err(WireError::shape(format!("unknown event '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_round_trip(request: Request) {
+        let line = request.encode();
+        assert!(!line.contains('\n'));
+        assert_eq!(Request::decode(&line).unwrap(), request);
+    }
+
+    fn event_round_trip(event: Event) {
+        let line = event.encode();
+        assert!(!line.contains('\n'));
+        assert_eq!(Event::decode(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn submit_sweep_round_trips() {
+        request_round_trip(Request::Submit {
+            label: "sweep/beh2 \"quoted\"".to_string(),
+            job: SubmitJob::Sweep {
+                hamiltonian: "0.9 ZZZZ + 0.7 XXII".to_string(),
+                strategy: TransitionStrategy::marqsim_gc_rp(),
+                config: SweepConfig {
+                    time: 0.5,
+                    epsilons: vec![0.1, 0.05, 1.0 / 30.0],
+                    repeats: 3,
+                    base_seed: (1 << 53) + 1,
+                    evaluate_fidelity: true,
+                },
+            },
+        });
+    }
+
+    #[test]
+    fn submit_compile_round_trips() {
+        request_round_trip(Request::Submit {
+            label: "compile/x".to_string(),
+            job: SubmitJob::Compile {
+                hamiltonian: "0.6 XZ + 0.4 ZY".to_string(),
+                strategy: TransitionStrategy::QDrift,
+                time: 0.4,
+                epsilon: 0.05,
+                seed: 7,
+                evaluate_fidelity: true,
+            },
+        });
+    }
+
+    #[test]
+    fn control_verbs_round_trip() {
+        request_round_trip(Request::Status { job: 3 });
+        request_round_trip(Request::Cancel { job: u64::MAX });
+        request_round_trip(Request::Stats);
+    }
+
+    #[test]
+    fn all_strategies_round_trip() {
+        for strategy in [
+            TransitionStrategy::QDrift,
+            TransitionStrategy::marqsim_gc(),
+            TransitionStrategy::marqsim_gc_rp(),
+            TransitionStrategy::Combined {
+                qdrift_weight: 0.25,
+                gc_weight: 0.35,
+                rp_weight: 0.4,
+                perturbation: PerturbationConfig {
+                    samples: 9,
+                    magnitude: 1.25,
+                    probability: 0.75,
+                    seed: 11,
+                },
+            },
+        ] {
+            let json = strategy_to_json(&strategy);
+            assert_eq!(
+                strategy_from_json(&Json::parse(&json.encode()).unwrap()).unwrap(),
+                strategy
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_results_round_trip_bit_exactly() {
+        let result = SweepResult {
+            label: "MarQSim-GC (0.4 Pqd + 0.6 Pgc)".to_string(),
+            points: vec![
+                ExperimentPoint {
+                    epsilon: 0.1,
+                    seed: 9,
+                    num_samples: 123,
+                    stats: SequenceStats {
+                        cnot: 10,
+                        single_qubit: 20,
+                        rz: 5,
+                        total: 30,
+                        segments: 5,
+                    },
+                    fidelity: Some(0.9931726618235891),
+                },
+                ExperimentPoint {
+                    epsilon: 1.0 / 30.0,
+                    seed: 7928,
+                    num_samples: 4567,
+                    stats: SequenceStats {
+                        cnot: 0,
+                        single_qubit: 0,
+                        rz: 0,
+                        total: 0,
+                        segments: 0,
+                    },
+                    fidelity: None,
+                },
+            ],
+        };
+        let event = Event::Done {
+            job: 42,
+            outcome: Outcome::Sweep(result.clone()),
+            cache_delta: CacheStats {
+                flow_solves: 1,
+                ..CacheStats::default()
+            },
+        };
+        let decoded = Event::decode(&event.encode()).unwrap();
+        match decoded {
+            Event::Done {
+                outcome: Outcome::Sweep(back),
+                ..
+            } => {
+                for (a, b) in back.points.iter().zip(&result.points) {
+                    assert_eq!(a.epsilon.to_bits(), b.epsilon.to_bits());
+                    assert_eq!(a.seed, b.seed);
+                    assert_eq!(a.stats, b.stats);
+                    assert_eq!(a.fidelity.map(f64::to_bits), b.fidelity.map(f64::to_bits));
+                }
+            }
+            other => panic!("unexpected decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        event_round_trip(Event::Hello {
+            protocol: PROTOCOL_VERSION,
+            threads: 8,
+        });
+        event_round_trip(Event::Submitted {
+            job: 1,
+            label: "x".to_string(),
+        });
+        event_round_trip(Event::Progress {
+            job: 1,
+            completed: 3,
+            total: 6,
+        });
+        event_round_trip(Event::Failed {
+            job: 2,
+            kind: "cancelled".to_string(),
+            message: "job 'x' was cancelled".to_string(),
+        });
+        event_round_trip(Event::Status {
+            job: 9,
+            known: false,
+            finished: false,
+            cancelled: false,
+            completed: 0,
+            total: 0,
+        });
+        event_round_trip(Event::Stats {
+            threads: 4,
+            cache: CacheStats::default(),
+        });
+        event_round_trip(Event::Error {
+            message: "unknown verb 'frobnicate'".to_string(),
+        });
+        event_round_trip(Event::Done {
+            job: 5,
+            outcome: Outcome::Compile(CompileSummary {
+                num_samples: 100,
+                lambda: 2.5,
+                stats: SequenceStats {
+                    cnot: 1,
+                    single_qubit: 2,
+                    rz: 3,
+                    total: 3,
+                    segments: 4,
+                },
+                fidelity: Some(0.99),
+            }),
+            cache_delta: CacheStats::default(),
+        });
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        for (line, needle) in [
+            ("{}", "verb"),
+            (r#"{"verb":"frobnicate"}"#, "frobnicate"),
+            (r#"{"verb":"status"}"#, "job"),
+            (
+                r#"{"verb":"submit","label":"x","job":{"kind":"teleport"}}"#,
+                "teleport",
+            ),
+            ("not json", "expected"),
+        ] {
+            let err = Request::decode(line).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{line}: {err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_kinds_name_every_engine_error() {
+        assert_eq!(
+            failure_kind(&EngineError::Cancelled { label: "x".into() }),
+            "cancelled"
+        );
+        assert_eq!(
+            failure_kind(&EngineError::WorkerPanic {
+                label: "x".into(),
+                message: "boom".into()
+            }),
+            "panic"
+        );
+        assert_eq!(
+            failure_kind(&EngineError::InvalidConfig {
+                reason: "bad".into()
+            }),
+            "invalid-config"
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! The TCP server: concurrent client connections over one shared engine.
+//!
+//! Each accepted connection gets a **reader/writer thread pair**:
+//!
+//! * the reader thread parses one [`Request`] per line and acts on it —
+//!   `submit` goes straight to [`Engine::submit`], `status`/`cancel` hit
+//!   the connection's job registry, `stats` snapshots the shared cache;
+//! * the writer thread owns the socket's write half and drains an mpsc
+//!   channel of encoded [`Event`] lines, so progress callbacks (which fire
+//!   on engine coordinator threads) and request acknowledgements (reader
+//!   thread) can both emit events without sharing the socket.
+//!
+//! All connections share one [`Engine`] — and therefore one worker pool and
+//! one transition cache. Two clients sweeping the same Hamiltonian share
+//! the min-cost-flow solve exactly as two jobs of one in-process batch
+//! would; the `cache_delta` field of each `done` event makes that visible
+//! per job (a warm-cache job reports `flow_solves=0`).
+//!
+//! Job ids are engine-assigned and engine-unique, but the `status` and
+//! `cancel` verbs only resolve ids submitted on the **same connection** —
+//! one client cannot cancel another's jobs.
+//!
+//! Disconnect policy: when a client hangs up, its unfinished jobs are
+//! cancelled (cooperatively), so an interrupted sweep stops consuming the
+//! pool.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use marqsim_engine::{
+    CompileRequest, Engine, EngineJob, JobControl, JobOutcome, Progress, SweepRequest,
+};
+use marqsim_pauli::Hamiltonian;
+
+use crate::protocol::{
+    failure_kind, CompileSummary, Event, Outcome, Request, SubmitJob, PROTOCOL_VERSION,
+};
+
+/// Maximum accepted request-line length (bytes). Bounds per-connection
+/// memory against hostile input; a sweep submit is a few hundred bytes, and
+/// even thousand-term Hamiltonians stay far below this.
+const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Once a connection tracks this many jobs, finished entries are evicted
+/// from its registry before the next submit, so a long-lived connection
+/// submitting in a loop stays bounded. Consequence: `status` of a job that
+/// finished more than ~this many submissions ago may answer `known=false`.
+const MAX_TRACKED_JOBS: usize = 1024;
+
+/// A bound listener plus the engine it serves.
+///
+/// Construct with [`Server::bind`], then either [`run`](Server::run) on the
+/// current thread or [`spawn`](Server::spawn) a background accept loop and
+/// keep the returned [`ServerHandle`] for the address and shutdown.
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `"127.0.0.1:7878"`, or port `0` to let the OS
+    /// pick) and prepares to serve `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            engine,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Runs the accept loop on the calling thread until shut down (via a
+    /// [`ServerHandle`] from [`spawn`](Server::spawn); a plain `run` server
+    /// loops until the process exits). Each connection is handled on its
+    /// own thread pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures (individual connection errors are
+    /// contained).
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let engine = Arc::clone(&self.engine);
+                    std::thread::Builder::new()
+                        .name("marqsim-serve-conn".to_string())
+                        .spawn(move || handle_connection(engine, stream))
+                        .expect("spawn connection handler");
+                }
+                Err(error) => {
+                    eprintln!("marqsim-served: accept failed: {error}");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves the accept loop to a background thread and returns a handle
+    /// with the bound address and a shutdown switch — the shape the tests
+    /// and the in-process smoke binary use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection failures.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let engine = Arc::clone(&self.engine);
+        let thread = std::thread::Builder::new()
+            .name("marqsim-serve-accept".to_string())
+            .spawn(move || {
+                let _ = self.run();
+            })
+            .expect("spawn accept loop");
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            engine,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a background server from [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    engine: Arc<Engine>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served engine (e.g. for asserting cache stats in tests).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops accepting new connections and joins the accept loop. Existing
+    /// connections drain on their own threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line with a length bound. Returns `None` on a
+/// clean EOF and an error for oversized lines.
+fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    let read = reader.take(MAX_LINE_BYTES).read_line(&mut line)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') && read as u64 == MAX_LINE_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line exceeds the size limit",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn send_event(out: &Sender<String>, event: &Event) {
+    // A failed send only means the writer (and therefore the client) is
+    // gone; the reader loop notices on its next read.
+    let _ = out.send(event.encode());
+}
+
+fn handle_connection(engine: Arc<Engine>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (out_tx, out_rx) = channel::<String>();
+
+    // Writer thread: sole owner of the socket's write half. Exits when
+    // every sender is gone (reader done, all job waiters done) or the
+    // socket dies.
+    let writer = std::thread::Builder::new()
+        .name("marqsim-serve-write".to_string())
+        .spawn(move || {
+            let mut writer = BufWriter::new(write_half);
+            for line in out_rx {
+                if writer
+                    .write_all(line.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    send_event(
+        &out_tx,
+        &Event::Hello {
+            protocol: PROTOCOL_VERSION,
+            threads: engine.threads(),
+        },
+    );
+
+    // Jobs submitted on this connection, for status/cancel resolution.
+    let mut jobs: HashMap<u64, JobControl> = HashMap::new();
+    let mut reader = BufReader::new(stream);
+    // An I/O error is treated like EOF: drop the connection.
+    while let Ok(Some(line)) = read_bounded_line(&mut reader) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::decode(&line) {
+            Ok(Request::Submit { label, job }) => {
+                handle_submit(&engine, &out_tx, &mut jobs, label, job);
+            }
+            Ok(Request::Status { job }) => {
+                send_event(&out_tx, &status_event(&jobs, job));
+            }
+            Ok(Request::Cancel { job }) => {
+                if let Some(control) = jobs.get(&job) {
+                    control.cancel();
+                }
+                send_event(&out_tx, &status_event(&jobs, job));
+            }
+            Ok(Request::Stats) => {
+                send_event(
+                    &out_tx,
+                    &Event::Stats {
+                        threads: engine.threads(),
+                        cache: engine.cache().stats(),
+                    },
+                );
+            }
+            Err(error) => {
+                send_event(
+                    &out_tx,
+                    &Event::Error {
+                        message: format!("bad request: {}", error.message),
+                    },
+                );
+            }
+        }
+    }
+
+    // Client hung up: cancel whatever it left running.
+    for control in jobs.values() {
+        if !control.is_finished() {
+            control.cancel();
+        }
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+fn status_event(jobs: &HashMap<u64, JobControl>, job: u64) -> Event {
+    match jobs.get(&job) {
+        Some(control) => {
+            let progress = control.progress();
+            Event::Status {
+                job,
+                known: true,
+                finished: control.is_finished(),
+                cancelled: control.is_cancelled(),
+                completed: progress.completed,
+                total: progress.total,
+            }
+        }
+        None => Event::Status {
+            job,
+            known: false,
+            finished: false,
+            cancelled: false,
+            completed: 0,
+            total: 0,
+        },
+    }
+}
+
+fn handle_submit(
+    engine: &Arc<Engine>,
+    out_tx: &Sender<String>,
+    jobs: &mut HashMap<u64, JobControl>,
+    label: String,
+    job: SubmitJob,
+) {
+    let engine_job = match build_engine_job(&label, job) {
+        Ok(job) => job,
+        Err(message) => {
+            send_event(out_tx, &Event::Error { message });
+            return;
+        }
+    };
+
+    let stats_before = engine.cache().stats();
+
+    // The progress callback fires on the job's coordinator thread, which
+    // races this thread's learning of the job id from `submit` — but every
+    // progress event needs the id. Events that arrive before the id is
+    // known are buffered and flushed (in order) the moment it is set, so
+    // none are dropped or mislabeled.
+    struct ProgressGate {
+        job: Option<u64>,
+        buffered: Vec<Progress>,
+    }
+    let gate = Arc::new(Mutex::new(ProgressGate {
+        job: None,
+        buffered: Vec::new(),
+    }));
+    let progress_out = out_tx.clone();
+    let progress_gate = Arc::clone(&gate);
+    let handle = engine.submit_with_progress(engine_job, move |progress| {
+        let mut gate = progress_gate.lock().unwrap_or_else(PoisonError::into_inner);
+        match gate.job {
+            Some(job) => {
+                let _ = progress_out.send(
+                    Event::Progress {
+                        job,
+                        completed: progress.completed,
+                        total: progress.total,
+                    }
+                    .encode(),
+                );
+            }
+            None => gate.buffered.push(progress),
+        }
+    });
+    let job_id = handle.id().0;
+    if jobs.len() >= MAX_TRACKED_JOBS {
+        jobs.retain(|_, control| !control.is_finished());
+    }
+    jobs.insert(job_id, handle.control());
+
+    send_event(out_tx, &Event::Submitted { job: job_id, label });
+
+    // Open the gate only after the submitted ack is on the writer queue,
+    // so the wire order is always submitted → progress → done.
+    {
+        let mut gate = gate.lock().unwrap_or_else(PoisonError::into_inner);
+        gate.job = Some(job_id);
+        for progress in gate.buffered.drain(..) {
+            let _ = out_tx.send(
+                Event::Progress {
+                    job: job_id,
+                    completed: progress.completed,
+                    total: progress.total,
+                }
+                .encode(),
+            );
+        }
+    }
+
+    // Waiter thread: blocks on the outcome, attributes the cache-counter
+    // delta to this job, and emits the terminal event.
+    let waiter_out = out_tx.clone();
+    let waiter_engine = Arc::clone(engine);
+    std::thread::Builder::new()
+        .name(format!("marqsim-serve-job-{job_id}"))
+        .spawn(move || {
+            let outcome = handle.collect();
+            let cache_delta = waiter_engine.cache().stats().delta_since(&stats_before);
+            let event = match outcome {
+                Ok(JobOutcome::Swept(sweep)) => Event::Done {
+                    job: job_id,
+                    outcome: Outcome::Sweep(sweep),
+                    cache_delta,
+                },
+                Ok(JobOutcome::Compiled(compiled)) => Event::Done {
+                    job: job_id,
+                    outcome: Outcome::Compile(CompileSummary {
+                        num_samples: compiled.result.num_samples,
+                        lambda: compiled.result.lambda,
+                        stats: compiled.result.stats,
+                        fidelity: compiled.fidelity,
+                    }),
+                    cache_delta,
+                },
+                Err(error) => Event::Failed {
+                    job: job_id,
+                    kind: failure_kind(&error).to_string(),
+                    message: error.to_string(),
+                },
+            };
+            let _ = waiter_out.send(event.encode());
+        })
+        .expect("spawn job waiter");
+}
+
+fn build_engine_job(label: &str, job: SubmitJob) -> Result<EngineJob, String> {
+    match job {
+        SubmitJob::Sweep {
+            hamiltonian,
+            strategy,
+            config,
+        } => {
+            let ham = Hamiltonian::parse(&hamiltonian)
+                .map_err(|e| format!("invalid hamiltonian: {e}"))?;
+            Ok(EngineJob::Sweep(SweepRequest::new(
+                label, ham, strategy, config,
+            )))
+        }
+        SubmitJob::Compile {
+            hamiltonian,
+            strategy,
+            time,
+            epsilon,
+            seed,
+            evaluate_fidelity,
+        } => {
+            let ham = Hamiltonian::parse(&hamiltonian)
+                .map_err(|e| format!("invalid hamiltonian: {e}"))?;
+            let config = marqsim_core::CompilerConfig::new(time, epsilon)
+                .with_strategy(strategy)
+                .with_seed(seed)
+                .without_circuit();
+            let mut request = CompileRequest::new(label, ham, config);
+            if evaluate_fidelity {
+                request = request.with_fidelity();
+            }
+            Ok(EngineJob::Compile(request))
+        }
+    }
+}

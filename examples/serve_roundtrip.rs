@@ -1,0 +1,78 @@
+//! Submitting compilation jobs to a MarQSim service over TCP.
+//!
+//! Spawns an in-process `marqsim-serve` server (the same machinery the
+//! `marqsim-served` daemon runs), connects two clients, and shows the three
+//! service features: streamed per-job progress, the shared warm transition
+//! cache across connections, and cooperative cancellation.
+//!
+//! Run with `cargo run --example serve_roundtrip`.
+
+use std::sync::Arc;
+
+use marqsim::core::experiment::SweepConfig;
+use marqsim::core::TransitionStrategy;
+use marqsim::engine::{Engine, EngineConfig};
+use marqsim::pauli::Hamiltonian;
+use marqsim::serve::{Client, Outcome, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+    let server = Server::bind("127.0.0.1:0", engine)?.spawn()?;
+    println!("server listening on {}", server.addr());
+
+    let ham =
+        Hamiltonian::parse("0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ + 0.4 XYXY")?;
+    let config = SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1, 0.05],
+        repeats: 3,
+        base_seed: 7,
+        evaluate_fidelity: false,
+    };
+
+    // Client 1: submit a gate-cancellation sweep and stream its progress.
+    let mut alice = Client::connect(server.addr())?;
+    let job = alice.submit_sweep("alice/gc", &ham, &TransitionStrategy::marqsim_gc(), &config)?;
+    println!("alice submitted job {job}");
+    let result = alice.wait_with_progress(job, |completed, total| {
+        println!("  alice progress: {completed}/{total}");
+    })?;
+    if let Outcome::Sweep(sweep) = &result.outcome {
+        let total_cnot: usize = sweep.points.iter().map(|p| p.stats.cnot).sum();
+        println!(
+            "alice done: {} points, {} CNOTs total, {} min-cost-flow solves",
+            sweep.points.len(),
+            total_cnot,
+            result.cache_delta.flow_solves
+        );
+    }
+
+    // Client 2: the identical sweep on a second connection is answered from
+    // the shared warm cache — zero flow solves.
+    let mut bob = Client::connect(server.addr())?;
+    let job = bob.submit_sweep("bob/gc", &ham, &TransitionStrategy::marqsim_gc(), &config)?;
+    let result = bob.wait(job)?;
+    println!(
+        "bob done: warm cache served his job with {} flow solves",
+        result.cache_delta.flow_solves
+    );
+
+    // Cancellation: submit a large sweep and cancel it immediately.
+    let big = SweepConfig {
+        epsilons: vec![0.1; 10],
+        repeats: 10,
+        ..config
+    };
+    let job = bob.submit_sweep("bob/cancelled", &ham, &TransitionStrategy::QDrift, &big)?;
+    bob.cancel(job)?;
+    match bob.wait(job) {
+        Err(marqsim::serve::ClientError::JobFailed { kind, .. }) => {
+            println!("bob's big job terminated as '{kind}'");
+        }
+        Ok(_) => println!("bob's big job finished before the cancel landed"),
+        Err(other) => return Err(other.into()),
+    }
+
+    server.shutdown();
+    Ok(())
+}

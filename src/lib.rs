@@ -29,6 +29,9 @@
 //! * [`engine`] — the parallel compilation engine: a deterministic
 //!   thread-pool executor, transition-matrix caching, and the batched
 //!   compile/sweep job API the evaluation binaries run on.
+//! * [`serve`] — the TCP job-submission front-end over the engine: the
+//!   `marqsim-served` daemon, its line-delimited JSON wire protocol, and a
+//!   blocking client.
 //! * [`linalg`] — dense complex linear algebra used throughout.
 //!
 //! # Quick start
@@ -59,4 +62,5 @@ pub use marqsim_hamlib as hamlib;
 pub use marqsim_linalg as linalg;
 pub use marqsim_markov as markov;
 pub use marqsim_pauli as pauli;
+pub use marqsim_serve as serve;
 pub use marqsim_sim as sim;

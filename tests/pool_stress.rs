@@ -1,0 +1,194 @@
+//! Stress tests for the engine thread pool: 10k mixed panicking/normal
+//! jobs across worker counts, asserting no wedge, no lost result, and
+//! consistent accounting — locking in the PR 2 `catch_unwind` fix (before
+//! it, enough panicking tasks unwound every worker and later submissions
+//! blocked forever).
+//!
+//! Worker counts honor `MARQSIM_THREADS` when set (the CI matrix runs the
+//! suite under 1 and 4); otherwise the sweep covers 2..=8.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use marqsim::engine::{Engine, EngineConfig, ThreadPool};
+
+/// The thread counts to stress. `MARQSIM_THREADS` (as set by the CI
+/// matrix) pins the sweep to that single count; otherwise 2..=8.
+fn thread_counts() -> Vec<usize> {
+    if let Ok(value) = std::env::var("MARQSIM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return vec![n];
+            }
+        }
+    }
+    (2..=8).collect()
+}
+
+const JOBS: usize = 10_000;
+
+/// Every 7th job panics.
+fn is_panicker(i: usize) -> bool {
+    i % 7 == 3
+}
+
+#[test]
+fn ten_thousand_mixed_jobs_lose_nothing_and_never_wedge() {
+    for threads in thread_counts() {
+        let pool = ThreadPool::new(threads);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&ran);
+        let out = pool.map(
+            (0..JOBS).collect::<Vec<usize>>(),
+            Arc::new(move |_idx, i: usize| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                if is_panicker(i) {
+                    panic!("stress boom {i}");
+                }
+                i * 2
+            }),
+            |_| {},
+        );
+
+        // No lost result: exactly one slot per job, each in input order
+        // with the right Ok/Err shape.
+        assert_eq!(out.len(), JOBS, "{threads} threads");
+        let mut panics = 0usize;
+        for (i, result) in out.iter().enumerate() {
+            if is_panicker(i) {
+                let message = result.as_ref().unwrap_err();
+                assert!(
+                    message.contains(&format!("stress boom {i}")),
+                    "{threads} threads, job {i}: {message}"
+                );
+                panics += 1;
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), i * 2, "{threads} threads");
+            }
+        }
+        // Stats consistency: every job ran exactly once (the panicking ones
+        // too — they count before unwinding).
+        assert_eq!(ran.load(Ordering::Relaxed), JOBS, "{threads} threads");
+        assert_eq!(panics, (0..JOBS).filter(|&i| is_panicker(i)).count());
+
+        // No wedge: the same pool still completes a follow-up batch.
+        let after = pool.map(vec![1u32, 2, 3], Arc::new(|_idx, x: u32| x + 1), |_| {});
+        assert!(after.iter().all(|r| r.is_ok()), "{threads} threads wedged");
+    }
+}
+
+#[test]
+fn raw_execute_panics_interleaved_with_maps_keep_the_pool_alive() {
+    // Fire-and-forget panickers racing a map on the same pool: the map's
+    // results must be complete and correct regardless.
+    for threads in thread_counts() {
+        let pool = ThreadPool::new(threads);
+        let (done_tx, done_rx) = channel::<()>();
+        for i in 0..64 {
+            let done_tx = done_tx.clone();
+            pool.execute(Box::new(move || {
+                let _guard = done_tx;
+                if i % 2 == 0 {
+                    panic!("raw boom {i}");
+                }
+            }));
+        }
+        drop(done_tx);
+        let out = pool.map(
+            (0..500u64).collect::<Vec<u64>>(),
+            Arc::new(|_idx, x: u64| x * x),
+            |_| {},
+        );
+        for (i, result) in out.into_iter().enumerate() {
+            assert_eq!(result.unwrap(), (i * i) as u64, "{threads} threads");
+        }
+        // All raw tasks ran (every sender clone dropped).
+        assert!(done_rx.recv().is_err(), "{threads} threads");
+    }
+}
+
+#[test]
+fn engine_map_under_stress_reports_every_panic_with_its_label() {
+    for threads in thread_counts() {
+        let engine = Engine::new(EngineConfig::default().with_threads(threads));
+        let out = engine.map("stress", (0..2_000usize).collect(), |_idx, i| {
+            if is_panicker(i) {
+                panic!("engine boom {i}");
+            }
+            i
+        });
+        assert_eq!(out.len(), 2_000);
+        for (i, result) in out.into_iter().enumerate() {
+            if is_panicker(i) {
+                let error = result.unwrap_err();
+                assert_eq!(error.label(), "stress");
+                assert!(error.to_string().contains("engine boom"));
+            } else {
+                assert_eq!(result.unwrap(), i);
+            }
+        }
+    }
+}
+
+#[test]
+fn submitted_job_stress_every_handle_resolves_exactly_once() {
+    // Async submission stress: a burst of small sweep jobs, a third of
+    // them cancelled immediately. Every handle must resolve (done or
+    // cancelled), ids must be unique, and the engine must stay usable.
+    use marqsim::core::experiment::SweepConfig;
+    use marqsim::core::TransitionStrategy;
+    use marqsim::engine::{EngineError, EngineJob, SweepRequest};
+    use marqsim::pauli::Hamiltonian;
+
+    let ham = Hamiltonian::parse("0.9 ZZ + 0.7 XX + 0.5 YY").unwrap();
+    for threads in [2usize, 4] {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(threads)));
+        let config = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1],
+            repeats: 2,
+            base_seed: 1,
+            evaluate_fidelity: false,
+        };
+        let handles: Vec<_> = (0..60)
+            .map(|i| {
+                engine.submit(EngineJob::Sweep(SweepRequest::new(
+                    format!("stress/{i}"),
+                    ham.clone(),
+                    TransitionStrategy::QDrift,
+                    config.clone(),
+                )))
+            })
+            .collect();
+        let mut ids: Vec<u64> = handles.iter().map(|h| h.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 60, "ids must be unique");
+
+        let mut done = 0usize;
+        let mut cancelled = 0usize;
+        for (i, handle) in handles.into_iter().enumerate() {
+            if i % 3 == 0 {
+                handle.cancel();
+            }
+            match handle.collect() {
+                Ok(outcome) => {
+                    assert_eq!(outcome.into_swept().points.len(), 2);
+                    done += 1;
+                }
+                Err(EngineError::Cancelled { label }) => {
+                    assert_eq!(label, format!("stress/{i}"));
+                    cancelled += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(done + cancelled, 60, "{threads} threads: lost outcomes");
+        // Non-cancelled jobs must all have completed.
+        assert!(
+            done >= 40,
+            "{threads} threads: {done} done, {cancelled} cancelled"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Integration tests of the serve front-end against the in-process engine:
+//! the acceptance criteria of the serve PR.
+//!
+//! * A sweep submitted over TCP returns results **bit-identical** to the
+//!   same sweep run through `Engine::run_sweep` in-process (every seed,
+//!   every float bit).
+//! * Two concurrent clients share one warm cache: the second client's job
+//!   reports `flow_solves = 0` in its `cache_delta`.
+
+use std::sync::Arc;
+
+use marqsim::core::experiment::{run_sweep, SweepConfig};
+use marqsim::core::TransitionStrategy;
+use marqsim::engine::{Engine, EngineConfig};
+use marqsim::pauli::Hamiltonian;
+use marqsim::serve::{Client, Outcome, Server, ServerHandle};
+
+fn ham() -> Hamiltonian {
+    Hamiltonian::parse("0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ + 0.4 XYXY + 0.3 IZIZ")
+        .unwrap()
+}
+
+fn sweep_config() -> SweepConfig {
+    SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1, 0.05],
+        repeats: 4,
+        base_seed: 9,
+        evaluate_fidelity: false,
+    }
+}
+
+fn spawn_server(threads: usize) -> ServerHandle {
+    let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(threads)));
+    Server::bind("127.0.0.1:0", engine)
+        .expect("bind localhost")
+        .spawn()
+        .expect("spawn accept loop")
+}
+
+#[test]
+fn tcp_sweep_is_bit_identical_to_in_process_engine() {
+    let strategy = TransitionStrategy::marqsim_gc();
+    let config = sweep_config();
+
+    // In-process references: the serial driver and a local engine.
+    let serial = run_sweep(&ham(), &strategy, &config).unwrap();
+    let local_engine = Engine::new(EngineConfig::default().with_threads(2));
+    let local = local_engine.run_sweep(&ham(), &strategy, &config).unwrap();
+
+    // The same sweep through the TCP front-end.
+    let server = spawn_server(2);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let job = client
+        .submit_sweep("acceptance/gc", &ham(), &strategy, &config)
+        .unwrap();
+    let result = client.wait(job).unwrap();
+    let remote = match result.outcome {
+        Outcome::Sweep(sweep) => sweep,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+
+    assert_eq!(remote.label, serial.label);
+    assert_eq!(remote.points.len(), serial.points.len());
+    for ((r, s), l) in remote.points.iter().zip(&serial.points).zip(&local.points) {
+        assert_eq!(r.seed, s.seed);
+        assert_eq!(r.epsilon.to_bits(), s.epsilon.to_bits(), "epsilon bits");
+        assert_eq!(r.num_samples, s.num_samples);
+        assert_eq!(r.stats, s.stats, "gate stats must survive the wire");
+        assert_eq!(
+            r.fidelity.map(f64::to_bits),
+            s.fidelity.map(f64::to_bits),
+            "fidelity bits"
+        );
+        assert_eq!(r.stats, l.stats, "engine and serve agree");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_sweep_with_fidelity_is_bit_identical_too() {
+    // Fidelity floats are the hardest values to keep bit-stable across a
+    // textual wire format; assert them explicitly on a small system.
+    let small = Hamiltonian::parse("0.6 XZ + 0.4 ZY + 0.3 XX").unwrap();
+    let strategy = TransitionStrategy::QDrift;
+    let config = SweepConfig {
+        time: 0.4,
+        epsilons: vec![0.05],
+        repeats: 3,
+        base_seed: 5,
+        evaluate_fidelity: true,
+    };
+    let serial = run_sweep(&small, &strategy, &config).unwrap();
+
+    let server = spawn_server(2);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let job = client
+        .submit_sweep("acceptance/fidelity", &small, &strategy, &config)
+        .unwrap();
+    let remote = match client.wait(job).unwrap().outcome {
+        Outcome::Sweep(sweep) => sweep,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    for (r, s) in remote.points.iter().zip(&serial.points) {
+        let (rf, sf) = (r.fidelity.unwrap(), s.fidelity.unwrap());
+        assert_eq!(rf.to_bits(), sf.to_bits(), "{rf} vs {sf}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn two_concurrent_clients_share_one_warm_cache() {
+    let strategy = TransitionStrategy::marqsim_gc();
+    let config = sweep_config();
+    let server = spawn_server(2);
+
+    // Both clients connect up front (concurrently live connections).
+    let mut first = Client::connect(server.addr()).unwrap();
+    let mut second = Client::connect(server.addr()).unwrap();
+
+    // Client 1 runs the sweep cold: exactly one min-cost-flow solve.
+    let job1 = first
+        .submit_sweep("client1/gc", &ham(), &strategy, &config)
+        .unwrap();
+    let result1 = first.wait(job1).unwrap();
+    assert_eq!(
+        result1.cache_delta.flow_solves, 1,
+        "cold sweep solves the flow problem once"
+    );
+    assert_eq!(result1.cache_delta.misses, 1);
+
+    // Client 2 submits the identical sweep on its own connection: the
+    // shared engine cache answers it without any flow solve.
+    let job2 = second
+        .submit_sweep("client2/gc", &ham(), &strategy, &config)
+        .unwrap();
+    assert_ne!(job1, job2, "engine-unique job ids across connections");
+    let result2 = second.wait(job2).unwrap();
+    assert_eq!(
+        result2.cache_delta.flow_solves, 0,
+        "second client's job must be served from the warm cache"
+    );
+    assert_eq!(result2.cache_delta.misses, 0);
+    assert!(result2.cache_delta.hits >= 1);
+
+    // And the warm result is bit-identical to the cold one.
+    let (sweep1, sweep2) = match (result1.outcome, result2.outcome) {
+        (Outcome::Sweep(a), Outcome::Sweep(b)) => (a, b),
+        other => panic!("unexpected outcomes {other:?}"),
+    };
+    for (a, b) in sweep1.points.iter().zip(&sweep2.points) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    // The engine-wide stats verb agrees with the deltas.
+    let (_, cache) = second.stats().unwrap();
+    assert_eq!(cache.flow_solves, 1, "one solve total across both clients");
+    server.shutdown();
+}
+
+#[test]
+fn interleaved_jobs_from_one_client_resolve_independently() {
+    let server = spawn_server(2);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let config = SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1],
+        repeats: 2,
+        base_seed: 3,
+        evaluate_fidelity: false,
+    };
+
+    // Submit three jobs before waiting on any; wait out of order.
+    let job_a = client
+        .submit_sweep("multi/a", &ham(), &TransitionStrategy::QDrift, &config)
+        .unwrap();
+    let job_b = client
+        .submit_sweep(
+            "multi/b",
+            &ham(),
+            &TransitionStrategy::marqsim_gc(),
+            &config,
+        )
+        .unwrap();
+    let job_c = client
+        .submit_sweep(
+            "multi/c",
+            &ham(),
+            &TransitionStrategy::marqsim_gc_rp(),
+            &config,
+        )
+        .unwrap();
+
+    for (job, label_prefix) in [
+        (job_c, "MarQSim-GC-RP"),
+        (job_a, "Baseline"),
+        (job_b, "MarQSim-GC"),
+    ] {
+        let result = client.wait(job).unwrap();
+        match result.outcome {
+            Outcome::Sweep(sweep) => {
+                assert!(
+                    sweep.label.starts_with(label_prefix),
+                    "{} vs {label_prefix}",
+                    sweep.label
+                );
+                assert_eq!(sweep.points.len(), 2);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    server.shutdown();
+}

@@ -1,0 +1,320 @@
+//! # quickprop — an offline property-based-testing stand-in
+//!
+//! The workspace's invariants suite was originally written with
+//! `proptest`; the build environment has no registry access, so this crate
+//! provides the small slice of property-based testing the suite needs,
+//! built on the vendored `rand`:
+//!
+//! * [`Gen`] — a seeded generator handle with uniform primitives
+//!   (`u64`, ranges, unit floats, choices) from which test-specific
+//!   generators are composed as plain functions.
+//! * [`Config`] — case count and base seed. `QUICKPROP_CASES` and
+//!   `QUICKPROP_SEED` override both without recompiling (the env wins
+//!   over a [`Config::with_seed`] baked into the test, so one export
+//!   re-seeds a whole suite for a soak run).
+//! * [`check`] — the runner: generates `cases` values, asserts the
+//!   property on each, and on failure panics with the **case seed**.
+//!   `QUICKPROP_REPLAY=<case seed>` reruns exactly that generated input —
+//!   `check` then runs the single case whose generator is seeded with the
+//!   given value, regardless of case count or base seed.
+//!
+//! There is no shrinking: generators here build small values by
+//! construction (the properties run on 3–8-term Hamiltonians and ≤ 7-state
+//! flow networks), where a failing case is already readable. What is kept
+//! from proptest is the part that matters for regression hunting —
+//! deterministic replay of any failure.
+//!
+//! ```
+//! use quickprop::{check, Config};
+//!
+//! check(
+//!     "addition commutes",
+//!     Config::default(),
+//!     |g| (g.u64_in(0..=1000), g.u64_in(0..=1000)),
+//!     |&(a, b)| {
+//!         if a + b == b + a {
+//!             Ok(())
+//!         } else {
+//!             Err(format!("{a} + {b} != {b} + {a}"))
+//!         }
+//!     },
+//! );
+//! ```
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 — derives statistically independent per-case seeds from the
+/// base seed, so case `i` is reproducible without replaying cases `0..i`.
+fn split_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded generator handle passed to value generators.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// A generator for one case, seeded with that case's replay seed.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// A uniform `u64` in an inclusive range.
+    pub fn u64_in(&mut self, range: RangeInclusive<u64>) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `usize` in a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from an empty slice");
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    /// A vector with a length drawn from `len` and elements from `f`.
+    pub fn vec_of<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Direct access to the underlying RNG for generators that need the
+    /// full `rand` API.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases (default 24, the count the original
+    /// proptest configuration used; override with `QUICKPROP_CASES`).
+    pub cases: usize,
+    /// Base seed (default `0x5EED`; tests usually pin their own with
+    /// [`with_seed`](Self::with_seed), and `QUICKPROP_SEED` overrides
+    /// both).
+    pub seed: u64,
+    /// Whether `seed` came from `QUICKPROP_SEED` — an explicit env seed
+    /// wins over the test's baked-in `with_seed`, otherwise the env var
+    /// would be silently ignored by every test that pins a seed.
+    seed_from_env: bool,
+    /// `QUICKPROP_REPLAY`: run exactly one case, generated from this
+    /// literal case seed (the value a failure report names).
+    replay: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("QUICKPROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(24);
+        let env_seed: Option<u64> = std::env::var("QUICKPROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let replay = std::env::var("QUICKPROP_REPLAY")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        Config {
+            cases,
+            seed: env_seed.unwrap_or(0x5EED),
+            seed_from_env: env_seed.is_some(),
+            replay,
+        }
+    }
+}
+
+impl Config {
+    /// Overrides the case count.
+    #[must_use]
+    pub fn with_cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the test's base seed — unless `QUICKPROP_SEED` is set, which
+    /// takes precedence (so exporting it re-seeds suites whose tests pin
+    /// their own defaults).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        if !self.seed_from_env {
+            self.seed = seed;
+        }
+        self
+    }
+}
+
+/// Checks a property over generated inputs.
+///
+/// Generates `config.cases` values with `generate` and applies `property`
+/// to each; `Err(reason)` (or a panic inside `property`) fails the run.
+/// When `QUICKPROP_REPLAY=<case seed>` is set, exactly one case is run —
+/// the one generated from that literal seed — reproducing a reported
+/// failure independent of base seed and case count.
+///
+/// # Panics
+///
+/// Panics on the first failing case with the property name, the case
+/// index, the **case seed** (`QUICKPROP_REPLAY=<seed>` reruns it), the
+/// generated value's `Debug` form, and the reason.
+pub fn check<T: Debug>(
+    name: &str,
+    config: Config,
+    generate: impl Fn(&mut Gen) -> T,
+    property: impl Fn(&T) -> Result<(), String>,
+) {
+    let run_case = |case: usize, total: usize, case_seed: u64| {
+        let mut gen = Gen::new(case_seed);
+        let value = generate(&mut gen);
+        if let Err(reason) = property(&value) {
+            panic!(
+                "property '{name}' failed at case {case}/{total} (replay with \
+                 QUICKPROP_REPLAY={case_seed})\n\
+                 value: {value:?}\n\
+                 reason: {reason}"
+            );
+        }
+    };
+    if let Some(case_seed) = config.replay {
+        run_case(0, 1, case_seed);
+        return;
+    }
+    for case in 0..config.cases {
+        run_case(case, config.cases, split_seed(config.seed, case as u64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_properties_run_all_cases() {
+        let seen = std::cell::Cell::new(0usize);
+        check(
+            "counting",
+            Config::default().with_cases(17),
+            |g| g.u64_in(0..=10),
+            |&v| {
+                seen.set(seen.get() + 1);
+                if v <= 10 {
+                    Ok(())
+                } else {
+                    Err("out of range".to_string())
+                }
+            },
+        );
+        assert_eq!(seen.get(), 17);
+    }
+
+    #[test]
+    fn cases_are_reproducible_from_their_seed() {
+        let seed = split_seed(0x5EED, 7);
+        let a = Gen::new(seed).u64();
+        let b = Gen::new(seed).u64();
+        assert_eq!(a, b);
+        // The per-case seeds differ from one another.
+        assert_ne!(split_seed(0x5EED, 0), split_seed(0x5EED, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "replay with QUICKPROP_REPLAY=")]
+    fn failures_report_the_replay_seed() {
+        check(
+            "always fails",
+            Config::default().with_cases(3),
+            |g| g.u64(),
+            |_| Err("intentional".to_string()),
+        );
+    }
+
+    #[test]
+    fn replay_reruns_exactly_the_named_case() {
+        // The seed a failure report would name for case 7.
+        let failing_seed = split_seed(0x5EED, 7);
+        let expected = Gen::new(failing_seed).u64();
+        // Simulate QUICKPROP_REPLAY=<failing_seed> (env vars are
+        // process-global, so the field is set directly here).
+        let mut config = Config::default().with_cases(24);
+        config.replay = Some(failing_seed);
+        let seen = std::cell::Cell::new(None);
+        check(
+            "replay",
+            config,
+            |g| g.u64(),
+            |&v| {
+                assert!(seen.get().is_none(), "replay must run exactly one case");
+                seen.set(Some(v));
+                Ok(())
+            },
+        );
+        assert_eq!(seen.get(), Some(expected), "replay regenerates the input");
+    }
+
+    #[test]
+    fn baked_in_seeds_yield_to_the_environment() {
+        // Without QUICKPROP_SEED in the env, with_seed applies...
+        let config = Config {
+            seed_from_env: false,
+            ..Config::default()
+        };
+        assert_eq!(config.with_seed(42).seed, 42);
+        // ...but an env-provided seed wins over the baked-in one.
+        let config = Config {
+            seed: 7,
+            seed_from_env: true,
+            ..Config::default()
+        };
+        assert_eq!(config.with_seed(42).seed, 7);
+    }
+
+    #[test]
+    fn generator_primitives_respect_their_ranges() {
+        let mut g = Gen::new(42);
+        for _ in 0..1000 {
+            assert!(g.usize_in(3..8) >= 3);
+            assert!(g.usize_in(3..8) < 8);
+            let x = g.f64_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let u = g.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            assert!(*g.choose(&[1, 2, 3]) <= 3);
+            let v = g.vec_of(0..5, |g| g.bool(0.5));
+            assert!(v.len() < 5);
+        }
+    }
+}
