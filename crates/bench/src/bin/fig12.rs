@@ -11,6 +11,7 @@ use marqsim_bench::{engine, header, report_cache_stats, run_scale};
 use marqsim_core::experiment::{SweepConfig, DEFAULT_EPSILONS};
 use marqsim_core::fitting::fit_exponential;
 use marqsim_core::TransitionStrategy;
+use marqsim_engine::{SweepRequest, SweepWorkload};
 use marqsim_hamlib::suite::{benchmark_by_name, SuiteScale};
 
 fn main() {
@@ -34,12 +35,14 @@ fn main() {
         evaluate_fidelity: true,
     };
     let sweep = engine
-        .run_sweep(
-            &bench.hamiltonian,
-            &TransitionStrategy::marqsim_gc(),
-            &config,
-        )
-        .expect("sweep");
+        .run_workload(&SweepWorkload::new(SweepRequest::new(
+            "fig12",
+            bench.hamiltonian.clone(),
+            TransitionStrategy::marqsim_gc(),
+            config,
+        )))
+        .expect("sweep")
+        .into_swept();
 
     println!(
         "{:>10} {:>12} {:>12} {:>10}",

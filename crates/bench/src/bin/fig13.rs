@@ -11,7 +11,7 @@
 use marqsim_bench::{engine, header, pct, report_cache_stats, run_scale};
 use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
-use marqsim_engine::SweepRequest;
+use marqsim_engine::{BenchmarkSuiteResult, BenchmarkSuiteWorkload};
 use marqsim_hamlib::suite::table1_suite;
 
 fn main() {
@@ -23,36 +23,38 @@ fn main() {
     let mut gcrp_cnot_reductions = Vec::new();
     let mut gcrp_total_reductions = Vec::new();
 
-    // One flattened batch: every (benchmark, strategy) sweep of the figure
-    // load-balances over the same work queue, and each benchmark's P_gc
-    // min-cost-flow solve happens once for both MarQSim strategies.
+    // One BenchmarkSuiteWorkload — the whole figure is a benchmarks ×
+    // strategies grid: every (benchmark, strategy) sweep load-balances over
+    // the same work queue, and each benchmark's P_gc min-cost-flow solve
+    // happens once for both MarQSim strategies.
     let suite = table1_suite(scale.suite);
     let strategies = [
         TransitionStrategy::QDrift,
         TransitionStrategy::marqsim_gc(),
         TransitionStrategy::marqsim_gc_rp(),
     ];
-    let requests: Vec<SweepRequest> = suite
-        .iter()
-        .flat_map(|bench| {
-            let config = SweepConfig {
+    let workload = BenchmarkSuiteWorkload::new("fig13").grid(
+        suite
+            .iter()
+            .map(|bench| (bench.name.to_string(), bench.hamiltonian.clone())),
+        &strategies,
+        |name| {
+            let bench = suite.iter().find(|b| b.name == name).expect("known name");
+            SweepConfig {
                 time: bench.time,
                 epsilons: vec![0.1, 0.05, 0.033],
                 repeats: scale.repeats,
                 base_seed: 42,
                 evaluate_fidelity: scale.fidelity && bench.qubits <= 8,
-            };
-            strategies.iter().map(move |strategy| {
-                SweepRequest::new(
-                    format!("fig13/{}/{}", bench.name, strategy.label()),
-                    bench.hamiltonian.clone(),
-                    strategy.clone(),
-                    config.clone(),
-                )
-            })
-        })
-        .collect();
-    let mut sweeps = engine.run_sweeps(requests).into_iter();
+            }
+        },
+    );
+    let result: BenchmarkSuiteResult = engine
+        .run_workload(&workload)
+        .expect("fig13 suite")
+        .downcast()
+        .expect("suite output");
+    let mut sweeps = result.cases.into_iter().map(|case| case.sweep);
 
     println!(
         "{:<16} {:>9} | {:>12} {:>12} | {:>12} {:>12} {:>14}",
@@ -60,12 +62,9 @@ fn main() {
     );
 
     for bench in &suite {
-        let baseline = sweeps
-            .next()
-            .expect("baseline sweep")
-            .expect("baseline sweep");
-        let gc = sweeps.next().expect("gc sweep").expect("gc sweep");
-        let gcrp = sweeps.next().expect("gc-rp sweep").expect("gc-rp sweep");
+        let baseline = sweeps.next().expect("baseline sweep");
+        let gc = sweeps.next().expect("gc sweep");
+        let gcrp = sweeps.next().expect("gc-rp sweep");
 
         let gc_summary = reduction_summary(&baseline, &gc);
         let gcrp_summary = reduction_summary(&baseline, &gcrp);

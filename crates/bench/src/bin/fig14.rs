@@ -10,7 +10,7 @@
 use marqsim_bench::{engine, header, pct, report_cache_stats, run_scale};
 use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
-use marqsim_engine::SweepRequest;
+use marqsim_engine::{BenchmarkSuiteResult, BenchmarkSuiteWorkload};
 use marqsim_hamlib::suite::{benchmark_by_name, table1_suite};
 
 fn main() {
@@ -47,46 +47,45 @@ fn main() {
         })
         .collect();
 
-    // Baseline plus the three ratio chains per benchmark, as one batch: the
-    // four strategies of one benchmark share a single P_gc solve.
-    let requests: Vec<SweepRequest> = benches
-        .iter()
-        .flat_map(|bench| {
-            let config = SweepConfig {
-                time: bench.time,
-                epsilons: vec![0.1, 0.05],
-                repeats: scale.repeats,
-                base_seed: 7,
-                evaluate_fidelity: false,
-            };
-            std::iter::once(TransitionStrategy::QDrift)
-                .chain(
-                    ratios
-                        .iter()
-                        .map(|&qd_weight| TransitionStrategy::GateCancellation {
-                            qdrift_weight: qd_weight,
-                        }),
-                )
-                .map(move |strategy| {
-                    SweepRequest::new(
-                        format!("fig14/{}/{}", bench.name, strategy.label()),
-                        bench.hamiltonian.clone(),
-                        strategy,
-                        config.clone(),
-                    )
-                })
-        })
-        .collect();
-    let mut sweeps = engine.run_sweeps(requests).into_iter();
+    // Baseline plus the three ratio chains per benchmark, as one
+    // BenchmarkSuiteWorkload: the four strategies of one benchmark share a
+    // single P_gc solve.
+    let mut workload = BenchmarkSuiteWorkload::new("fig14");
+    for bench in &benches {
+        let config = SweepConfig {
+            time: bench.time,
+            epsilons: vec![0.1, 0.05],
+            repeats: scale.repeats,
+            base_seed: 7,
+            evaluate_fidelity: false,
+        };
+        for strategy in
+            std::iter::once(TransitionStrategy::QDrift).chain(ratios.iter().map(|&qd_weight| {
+                TransitionStrategy::GateCancellation {
+                    qdrift_weight: qd_weight,
+                }
+            }))
+        {
+            workload = workload.case(
+                bench.name,
+                bench.hamiltonian.clone(),
+                strategy,
+                config.clone(),
+            );
+        }
+    }
+    let result: BenchmarkSuiteResult = engine
+        .run_workload(&workload)
+        .expect("fig14 suite")
+        .downcast()
+        .expect("suite output");
+    let mut sweeps = result.cases.into_iter().map(|case| case.sweep);
 
     for bench in &benches {
-        let baseline = sweeps
-            .next()
-            .expect("baseline sweep")
-            .expect("baseline sweep");
+        let baseline = sweeps.next().expect("baseline sweep");
         let mut row = format!("{:<16} |", bench.name);
         for (i, _) in ratios.iter().enumerate() {
-            let sweep = sweeps.next().expect("ratio sweep").expect("ratio sweep");
+            let sweep = sweeps.next().expect("ratio sweep");
             let summary = reduction_summary(&baseline, &sweep);
             per_ratio_totals[i].push(summary.cnot_reduction);
             row.push_str(&format!(" {:>16}", pct(summary.cnot_reduction)));

@@ -13,7 +13,9 @@ use marqsim_core::experiment::SweepConfig;
 use marqsim_core::perturb::PerturbationConfig;
 use marqsim_core::transition::build_transition_matrix;
 use marqsim_core::TransitionStrategy;
-use marqsim_engine::SweepRequest;
+use marqsim_engine::{
+    BenchmarkSuiteResult, BenchmarkSuiteWorkload, PerturbAverageResult, PerturbAverageWorkload,
+};
 use marqsim_hamlib::suite::{benchmark_by_name, SuiteScale};
 use marqsim_markov::spectra::spectrum;
 use marqsim_pauli::Hamiltonian;
@@ -91,6 +93,27 @@ fn main() {
         print_spectrum(label, &bench.hamiltonian, strategy);
     }
 
+    // The standalone P_rp, with its per-sample min-cost-flow solves fanned
+    // out over the engine pool (the PerturbAverageWorkload's independent
+    // per-sample seeding — deterministic for any thread count).
+    let prp: PerturbAverageResult = engine
+        .run_workload(&PerturbAverageWorkload::new(
+            "fig15/prp",
+            bench.hamiltonian.clone(),
+            perturbation,
+        ))
+        .expect("parallel Prp average")
+        .downcast()
+        .expect("perturb output");
+    let prp_spectrum = spectrum(&prp.matrix);
+    println!(
+        "{:<34} spectra head: {:.3}  subdominant mass: {:.3}  ({} samples solved in parallel)",
+        "Prp (parallel average)",
+        prp_spectrum.values.first().copied().unwrap_or(f64::NAN),
+        prp_spectrum.subdominant_mass(),
+        prp.samples
+    );
+
     header("Fig. 15: accuracy standard deviation with and without Prp");
     let sweep_config = SweepConfig {
         time: bench.time,
@@ -99,22 +122,24 @@ fn main() {
         base_seed: 19,
         evaluate_fidelity: true,
     };
-    let requests: Vec<SweepRequest> = configs
-        .iter()
-        .map(|(label, strategy)| {
-            SweepRequest::new(
-                format!("fig15/{label}"),
-                bench.hamiltonian.clone(),
-                strategy.clone(),
-                sweep_config.clone(),
-            )
-        })
-        .collect();
-    let sweeps = engine.run_sweeps(requests);
+    let mut workload = BenchmarkSuiteWorkload::new("fig15");
+    for (label, strategy) in &configs {
+        workload = workload.case(
+            *label,
+            bench.hamiltonian.clone(),
+            strategy.clone(),
+            sweep_config.clone(),
+        );
+    }
+    let result: BenchmarkSuiteResult = engine
+        .run_workload(&workload)
+        .expect("fig15 suite")
+        .downcast()
+        .expect("suite output");
 
     let mut sigmas = Vec::new();
-    for ((label, _), sweep) in configs.iter().zip(sweeps) {
-        let sweep = sweep.expect("sweep");
+    for ((label, _), case) in configs.iter().zip(result.cases) {
+        let sweep = case.sweep;
         let clusters = sweep.cluster_summaries();
         let sigma: f64 =
             clusters.iter().map(|c| c.std_fidelity).sum::<f64>() / clusters.len() as f64;

@@ -13,7 +13,7 @@ use std::f64::consts::PI;
 use marqsim_bench::{engine, header, pct, report_cache_stats, run_scale};
 use marqsim_core::experiment::{reduction_summary, SweepConfig};
 use marqsim_core::TransitionStrategy;
-use marqsim_engine::SweepRequest;
+use marqsim_engine::{BenchmarkSuiteResult, BenchmarkSuiteWorkload};
 use marqsim_hamlib::suite::benchmark_by_name;
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
         .iter()
         .map(|name| benchmark_by_name(name, scale.suite).expect("benchmark exists"))
         .collect();
-    let mut requests: Vec<SweepRequest> = Vec::new();
+    let mut workload = BenchmarkSuiteWorkload::new("fig16");
     for bench in &benches {
         for (&t, label) in times.iter().zip(time_labels.iter()) {
             let config = SweepConfig {
@@ -53,24 +53,29 @@ fn main() {
                 evaluate_fidelity: false,
             };
             for strategy in &strategies {
-                requests.push(SweepRequest::new(
-                    format!("fig16/{}/t={label}/{}", bench.name, strategy.label()),
+                workload = workload.case(
+                    format!("{}/t={label}", bench.name),
                     bench.hamiltonian.clone(),
                     strategy.clone(),
                     config.clone(),
-                ));
+                );
             }
         }
     }
-    let mut sweeps = engine.run_sweeps(requests).into_iter();
+    let result: BenchmarkSuiteResult = engine
+        .run_workload(&workload)
+        .expect("fig16 suite")
+        .downcast()
+        .expect("suite output");
+    let mut sweeps = result.cases.into_iter().map(|case| case.sweep);
 
     let mut gc_by_time = vec![Vec::new(); times.len()];
     for bench in &benches {
         let name = bench.name;
         for (ti, label) in time_labels.iter().enumerate() {
-            let baseline = sweeps.next().unwrap().unwrap();
-            let gc = sweeps.next().unwrap().unwrap();
-            let gcrp = sweeps.next().unwrap().unwrap();
+            let baseline = sweeps.next().unwrap();
+            let gc = sweeps.next().unwrap();
+            let gcrp = sweeps.next().unwrap();
             let gc_summary = reduction_summary(&baseline, &gc);
             let gcrp_summary = reduction_summary(&baseline, &gcrp);
             gc_by_time[ti].push(gc_summary.cnot_reduction);

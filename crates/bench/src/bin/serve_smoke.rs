@@ -1,7 +1,11 @@
 //! Smoke-tests the serve front-end with a localhost round trip: submits a
 //! sweep over TCP, checks the result bit-for-bit against the same sweep run
-//! through an in-process engine, then repeats it on a second connection and
-//! requires the warm-cache job to report zero min-cost-flow solves.
+//! through an in-process engine, repeats it on a second connection and
+//! requires the warm-cache job to report zero min-cost-flow solves, then
+//! submits a `benchmark_suite` workload kind covering the golden `table2`
+//! benchmark grid and requires the returned gate counts to match the
+//! in-process compiles exactly (the same numbers `tests/golden/table2.txt`
+//! pins).
 //!
 //! Two modes:
 //!
@@ -17,14 +21,21 @@ use std::sync::Arc;
 
 use marqsim_bench::report_cache_stats;
 use marqsim_core::experiment::SweepConfig;
-use marqsim_core::TransitionStrategy;
-use marqsim_engine::{Engine, EngineConfig};
+use marqsim_core::{CompilerConfig, TransitionStrategy};
+use marqsim_engine::{CompileRequest, Engine, EngineConfig};
 use marqsim_pauli::Hamiltonian;
-use marqsim_serve::{Client, Outcome, Server};
+use marqsim_serve::{suite_params, Client, Outcome, Server};
 
 fn ham() -> Hamiltonian {
     Hamiltonian::parse("0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ + 0.4 XYXY + 0.3 IZIZ")
         .expect("valid smoke Hamiltonian")
+}
+
+/// The tiny fixed benchmark set the `table2` golden file is rendered on —
+/// the same `golden_tiny_benchmarks` definition `tests/golden.rs` uses, so
+/// the two consumers cannot diverge.
+fn table2_benchmarks() -> Vec<(&'static str, Hamiltonian, f64)> {
+    marqsim_hamlib::suite::golden_tiny_benchmarks()
 }
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -79,8 +90,9 @@ fn main() {
     // Round trip 1: cold cache on the server side.
     let mut client = Client::connect(&*addr).unwrap_or_else(|e| fail(format!("connect: {e}")));
     println!(
-        "[serve-smoke] connected; server runs {} worker threads",
-        client.threads()
+        "[serve-smoke] connected; server runs {} worker threads, serves: {}",
+        client.threads(),
+        client.workloads().join(", ")
     );
     let job = client
         .submit_sweep("smoke/cold", &ham(), &strategy, &config)
@@ -144,10 +156,85 @@ fn main() {
     }
     println!("[serve-smoke] second client shared the warm cache (flow_solves=0)");
 
-    let (_, cache) = second
+    // Round trip 3: the open submit verb — a benchmark_suite workload kind
+    // replaying the golden table2 grid (3 tiny benchmarks × 3 strategies at
+    // ε = 0.05, seed 7: with repeats=1 and base_seed=7 the single sweep
+    // point compiles exactly like the golden `engine.compile` calls).
+    let suite_strategies = [
+        ("baseline", TransitionStrategy::QDrift),
+        ("gc", TransitionStrategy::marqsim_gc()),
+        ("gc-rp", TransitionStrategy::marqsim_gc_rp()),
+    ];
+    let mut cases = Vec::new();
+    for (name, ham, time) in table2_benchmarks() {
+        for (tag, strategy) in &suite_strategies {
+            cases.push((
+                format!("{name}/{tag}"),
+                ham.to_string(),
+                strategy.clone(),
+                SweepConfig {
+                    time,
+                    epsilons: vec![0.05],
+                    repeats: 1,
+                    base_seed: 7,
+                    evaluate_fidelity: false,
+                },
+            ));
+        }
+    }
+    let suite_job = second
+        .submit(
+            "smoke/table2-suite",
+            "benchmark_suite",
+            suite_params(&cases),
+        )
+        .unwrap_or_else(|e| fail(format!("suite submit: {e}")));
+    let suite = second
+        .wait(suite_job)
+        .unwrap_or_else(|e| fail(format!("suite wait: {e}")));
+    let suite_result = match suite.outcome {
+        Outcome::Suite(result) => result,
+        other => fail(format!("unexpected outcome {other:?}")),
+    };
+    if suite_result.cases.len() != cases.len() {
+        fail("suite case count mismatch");
+    }
+    let mut remote_cases = suite_result.cases.iter();
+    for (name, ham, time) in table2_benchmarks() {
+        for (tag, strategy) in &suite_strategies {
+            let expected = reference_engine
+                .compile(CompileRequest::new(
+                    format!("golden/{name}/{tag}"),
+                    ham.clone(),
+                    CompilerConfig::new(time, 0.05)
+                        .with_strategy(strategy.clone())
+                        .with_seed(7)
+                        .without_circuit(),
+                ))
+                .unwrap_or_else(|e| fail(format!("in-process compile: {e}")));
+            let case = remote_cases.next().expect("case count checked");
+            let point = match case.sweep.points.as_slice() {
+                [point] => point,
+                _ => fail(format!("{name}/{tag}: expected exactly one sweep point")),
+            };
+            if point.num_samples != expected.result.num_samples
+                || point.stats != expected.result.stats
+            {
+                fail(format!(
+                    "{name}/{tag}: TCP benchmark_suite differs from the golden table2 compile"
+                ));
+            }
+        }
+    }
+    println!(
+        "[serve-smoke] benchmark_suite over TCP reproduced the golden table2 numbers ({} cases)",
+        cases.len()
+    );
+
+    let stats = second
         .stats()
         .unwrap_or_else(|e| fail(format!("stats: {e}")));
-    report_cache_stats(cache);
+    report_cache_stats(stats.cache);
 
     if let Some(server) = local_server {
         server.shutdown();

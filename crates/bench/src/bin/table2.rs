@@ -26,7 +26,9 @@ use marqsim_core::gate_cancel::gate_cancellation_matrix;
 use marqsim_core::perturb::{random_perturbation_matrix, PerturbationConfig};
 use marqsim_core::qdrift::qdrift_matrix;
 use marqsim_core::{CompilerConfig, TransitionStrategy};
-use marqsim_engine::{CacheStats, CompileRequest, Engine, EngineConfig, TransitionCache};
+use marqsim_engine::{
+    CacheStats, CompileRequest, CompileWorkload, Engine, EngineConfig, TransitionCache,
+};
 use marqsim_hamlib::random::{random_hamiltonian, RandomHamiltonianParams};
 
 fn main() {
@@ -110,9 +112,12 @@ fn main() {
                     .with_strategy(strategy)
                     .with_seed(3)
                     .without_circuit();
-                let request =
-                    CompileRequest::new(format!("table2/{qubits}q/{terms}s"), ham.clone(), cfg);
-                timed(|| engine.compile(request).expect("compilation")).1
+                let workload = CompileWorkload::new(CompileRequest::new(
+                    format!("table2/{qubits}q/{terms}s"),
+                    ham.clone(),
+                    cfg,
+                ));
+                timed(|| engine.run_workload(&workload).expect("compilation")).1
             };
             let t_base = compile_time(&cold, TransitionStrategy::QDrift);
             let t_gc_cfg = compile_time(&cold, TransitionStrategy::marqsim_gc());

@@ -44,8 +44,29 @@ impl Default for PerturbationConfig {
     }
 }
 
+/// Perturbs every off-diagonal cost in place: each entry gains
+/// `config.magnitude` independently with probability `config.probability`,
+/// drawing from `rng` in row-major order.
+fn perturb_costs(costs: &mut [Vec<f64>], rng: &mut StdRng, config: &PerturbationConfig) {
+    for (i, row) in costs.iter_mut().enumerate() {
+        for (j, value) in row.iter_mut().enumerate() {
+            if i != j && rng.gen::<f64>() < config.probability {
+                *value += config.magnitude;
+            }
+        }
+    }
+}
+
 /// Builds `P_rp`: the average of transition matrices obtained from randomly
 /// perturbed min-cost-flow problems.
+///
+/// One RNG stream threads through all samples (sample `i`'s perturbation
+/// depends on the draws of samples `0..i`), so this construction is
+/// inherently serial. The parallel path — used by the engine's
+/// `PerturbAverageWorkload` — seeds each sample independently via
+/// [`perturbation_sample_seed`] / [`perturbed_matrix_sample`] instead; the
+/// two constructions are both deterministic but produce *different*
+/// (equally valid) matrices.
 ///
 /// # Errors
 ///
@@ -57,24 +78,46 @@ pub fn random_perturbation_matrix(
 ) -> Result<TransitionMatrix, CompileError> {
     assert!(config.samples > 0, "need at least one perturbation sample");
     let base_costs = cnot_cost_matrix(ham);
-    let n = ham.num_terms();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut matrices = Vec::with_capacity(config.samples);
     for _ in 0..config.samples {
         let mut costs = base_costs.clone();
-        for (i, row) in costs.iter_mut().enumerate() {
-            for (j, value) in row.iter_mut().enumerate() {
-                if i != j && rng.gen::<f64>() < config.probability {
-                    *value += config.magnitude;
-                }
-            }
-        }
+        perturb_costs(&mut costs, &mut rng, config);
         let (matrix, _) = matrix_from_costs(ham, &costs)?;
         matrices.push(matrix);
     }
     let weights = vec![1.0 / config.samples as f64; config.samples];
-    let _ = n;
     combine(&matrices, &weights).map_err(CompileError::Combine)
+}
+
+/// The RNG seed of the `index`-th sample in the *parallel* `P_rp`
+/// construction: a SplitMix64-style spread of `config.seed`, so each sample
+/// owns an independent stream and any scheduler that solves sample `index`
+/// with this seed produces the identical matrix.
+pub fn perturbation_sample_seed(config: &PerturbationConfig, index: usize) -> u64 {
+    config
+        .seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1))
+}
+
+/// Solves one independently seeded perturbed min-cost-flow problem — the
+/// unit of work of the parallel `P_rp` average. The output depends only on
+/// `(ham, config, index)`, never on scheduling order; averaging samples
+/// `0..config.samples` with equal weights yields the parallel `P_rp`.
+///
+/// # Errors
+///
+/// Propagates the flow-solve failure.
+pub fn perturbed_matrix_sample(
+    ham: &Hamiltonian,
+    config: &PerturbationConfig,
+    index: usize,
+) -> Result<TransitionMatrix, CompileError> {
+    let mut costs = cnot_cost_matrix(ham);
+    let mut rng = StdRng::seed_from_u64(perturbation_sample_seed(config, index));
+    perturb_costs(&mut costs, &mut rng, config);
+    let (matrix, _) = matrix_from_costs(ham, &costs)?;
+    Ok(matrix)
 }
 
 #[cfg(test)]
@@ -128,6 +171,33 @@ mod tests {
             .map(|(i, j)| (p_gc.prob(i, j) - p_rp.prob(i, j)).abs())
             .fold(0.0, f64::max);
         assert!(max_diff > 1e-3, "perturbation should change the matrix");
+    }
+
+    #[test]
+    fn parallel_samples_are_independent_and_deterministic() {
+        let ham = example();
+        let config = PerturbationConfig {
+            samples: 4,
+            seed: 21,
+            ..Default::default()
+        };
+        // Distinct samples get distinct seeds; the same sample twice is
+        // bit-identical (the property the engine's parallel average rests
+        // on), and averaging preserves the stationary distribution exactly
+        // like the serial construction.
+        assert_ne!(
+            perturbation_sample_seed(&config, 0),
+            perturbation_sample_seed(&config, 1)
+        );
+        let a = perturbed_matrix_sample(&ham, &config, 2).unwrap();
+        let b = perturbed_matrix_sample(&ham, &config, 2).unwrap();
+        assert_eq!(a, b);
+        let matrices: Vec<_> = (0..config.samples)
+            .map(|i| perturbed_matrix_sample(&ham, &config, i).unwrap())
+            .collect();
+        let weights = vec![1.0 / config.samples as f64; config.samples];
+        let averaged = combine(&matrices, &weights).unwrap();
+        assert!(averaged.preserves_distribution(&ham.stationary_distribution(), 1e-8));
     }
 
     #[test]

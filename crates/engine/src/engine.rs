@@ -1,7 +1,15 @@
-//! The engine: batched compile/sweep jobs over the pool + cache.
+//! The engine: workload execution over the pool + cache.
+//!
+//! The public job surface is the open [`Workload`] trait (see
+//! [`crate::workload`]); this module owns the machinery underneath it — the
+//! engine itself, the built-in compile/sweep job plumbing with its
+//! deduplicated graph resolution and flattened point-task queue, and the
+//! deprecated closed-enum shim ([`EngineJob`] / [`CompileBatch`] /
+//! [`JobOutcome`]) kept for one release.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 
@@ -16,8 +24,12 @@ use marqsim_pauli::Hamiltonian;
 
 use crate::cache::{hamiltonian_fingerprint, CacheConfig, CacheKey, StrategyKey, TransitionCache};
 use crate::error::EngineError;
-use crate::job::{JobControl, JobHandle, JobId, JobState};
-use crate::pool::ThreadPool;
+use crate::job::{CancelToken, JobControl, JobHandle, JobId, JobState};
+use crate::pool::{Priority, ThreadPool};
+use crate::workload::{
+    CompileWorkload, ProgressCadence, ProgressSink, SubmitOptions, SweepWorkload, Workload,
+    WorkloadCtx, WorkloadOutput,
+};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -243,115 +255,59 @@ impl SweepRequest {
     }
 }
 
-/// A job of a [`CompileBatch`].
+/// A built-in (compile or sweep) job — the unit the batched machinery
+/// schedules. Public API routes through the [`Workload`] trait; this enum
+/// stays internal so new workload kinds never require engine surgery.
 #[derive(Debug, Clone)]
-pub enum EngineJob {
-    /// Compile one configuration (optionally with fidelity).
+pub(crate) enum BuiltinJob {
     Compile(CompileRequest),
-    /// Run one full sweep.
     Sweep(SweepRequest),
 }
 
-impl EngineJob {
+impl BuiltinJob {
     fn label(&self) -> &str {
         match self {
-            EngineJob::Compile(req) => &req.label,
-            EngineJob::Sweep(req) => &req.label,
+            BuiltinJob::Compile(req) => &req.label,
+            BuiltinJob::Sweep(req) => &req.label,
         }
     }
 
     fn hamiltonian(&self) -> &Hamiltonian {
         match self {
-            EngineJob::Compile(req) => &req.hamiltonian,
-            EngineJob::Sweep(req) => &req.hamiltonian,
+            BuiltinJob::Compile(req) => &req.hamiltonian,
+            BuiltinJob::Sweep(req) => &req.hamiltonian,
         }
     }
 
     fn strategy(&self) -> &TransitionStrategy {
         match self {
-            EngineJob::Compile(req) => &req.config.strategy,
-            EngineJob::Sweep(req) => &req.strategy,
+            BuiltinJob::Compile(req) => &req.config.strategy,
+            BuiltinJob::Sweep(req) => &req.strategy,
         }
     }
 }
 
-/// The result of one batch job.
+/// The result of one built-in job.
 #[derive(Debug, Clone)]
-pub enum JobOutcome {
-    /// Output of an [`EngineJob::Compile`] job (boxed: a [`CompileResult`]
-    /// is an order of magnitude larger than a sweep handle).
+pub(crate) enum BuiltinOutcome {
+    /// Output of a compile job (boxed: a [`CompileResult`] is an order of
+    /// magnitude larger than a sweep handle).
     Compiled(Box<CompileOutcome>),
-    /// Output of an [`EngineJob::Sweep`] job.
+    /// Output of a sweep job.
     Swept(SweepResult),
 }
 
-impl JobOutcome {
-    /// Unwraps a compile outcome; panics on a sweep outcome.
-    pub fn into_compiled(self) -> CompileOutcome {
-        match self {
-            JobOutcome::Compiled(outcome) => *outcome,
-            JobOutcome::Swept(_) => panic!("expected a compile outcome, got a sweep"),
-        }
-    }
-
-    /// Unwraps a sweep outcome; panics on a compile outcome.
-    pub fn into_swept(self) -> SweepResult {
-        match self {
-            JobOutcome::Swept(sweep) => sweep,
-            JobOutcome::Compiled(_) => panic!("expected a sweep outcome, got a compile"),
-        }
-    }
-}
-
-/// A heterogeneous list of engine jobs submitted together. All jobs of a
-/// batch share the pool and the transition cache, and their point-level
-/// tasks are interleaved on one work queue, so a batch of many small sweeps
-/// load-balances as well as one big sweep.
-#[derive(Debug, Clone, Default)]
-pub struct CompileBatch {
-    /// The jobs, in submission order (outcomes keep this order).
-    pub jobs: Vec<EngineJob>,
-}
-
-impl CompileBatch {
-    /// An empty batch.
-    pub fn new() -> Self {
-        CompileBatch::default()
-    }
-
-    /// Adds a compile job.
-    pub fn compile(mut self, request: CompileRequest) -> Self {
-        self.jobs.push(EngineJob::Compile(request));
-        self
-    }
-
-    /// Adds a sweep job.
-    pub fn sweep(mut self, request: SweepRequest) -> Self {
-        self.jobs.push(EngineJob::Sweep(request));
-        self
-    }
-
-    /// Number of jobs.
-    pub fn len(&self) -> usize {
-        self.jobs.len()
-    }
-
-    /// Whether the batch has no jobs.
-    pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
-    }
-}
-
-/// A progress snapshot, reported once per completed point-level task.
+/// A progress snapshot, reported once per completed unit of work (subject
+/// to the submission's [`ProgressCadence`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Progress {
-    /// Tasks finished so far.
+    /// Units finished so far.
     pub completed: usize,
-    /// Total tasks of the running batch.
+    /// Total units of the running job.
     pub total: usize,
 }
 
-type ProgressFn = dyn Fn(Progress) + Send + Sync;
+pub(crate) type ProgressFn = dyn Fn(Progress) + Send + Sync;
 
 /// The parallel compilation engine.
 ///
@@ -363,6 +319,7 @@ pub struct Engine {
     progress: Option<Arc<ProgressFn>>,
     cache_enabled: bool,
     next_job_id: AtomicU64,
+    active_jobs: AtomicUsize,
 }
 
 impl std::fmt::Debug for Engine {
@@ -371,6 +328,7 @@ impl std::fmt::Debug for Engine {
             .field("threads", &self.pool.threads())
             .field("cache_enabled", &self.cache_enabled)
             .field("cache", &self.cache.stats())
+            .field("active_jobs", &self.active_jobs())
             .finish()
     }
 }
@@ -390,6 +348,7 @@ impl Engine {
             progress: None,
             cache_enabled: config.cache_enabled,
             next_job_id: AtomicU64::new(1),
+            active_jobs: AtomicUsize::new(0),
         }
     }
 
@@ -406,8 +365,11 @@ impl Engine {
         Ok(Engine::new(EngineConfig::from_env()?))
     }
 
-    /// Installs a progress callback, invoked on the submitting thread once
-    /// per completed point-level task of each batch.
+    /// Installs a default progress callback for *synchronous* runs
+    /// ([`run_workload`](Self::run_workload), [`compile_many`](Self::compile_many),
+    /// [`run_sweeps`](Self::run_sweeps)), invoked on the calling thread once
+    /// per completed unit. Asynchronous submissions attach their own
+    /// callback via [`submit_with_progress`](Self::submit_with_progress).
     pub fn with_progress(mut self, callback: impl Fn(Progress) + Send + Sync + 'static) -> Self {
         self.progress = Some(Arc::new(callback));
         self
@@ -423,69 +385,150 @@ impl Engine {
         &self.cache
     }
 
-    /// Runs a heterogeneous batch; outcomes are returned in job order.
-    ///
-    /// Execution has two phases. First every job's HTT graph is resolved
-    /// (through the cache when enabled) with the graph builds themselves
-    /// running on the pool — distinct Hamiltonians' min-cost-flow solves
-    /// proceed concurrently. Then all jobs are expanded into point-level
-    /// tasks (one per compile, one per sweep point) on a single work queue.
-    ///
-    /// Determinism: each task's output is a pure function of its request
-    /// (sweep points use `experiment::point_seed`, the serial seed stream),
-    /// so outcomes are bit-identical for any thread count.
-    pub fn run_batch(&self, batch: CompileBatch) -> Vec<Result<JobOutcome, EngineError>> {
-        self.run_batch_with(batch, None, self.progress.clone())
+    /// Whether transition-matrix caching is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
     }
 
-    /// Submits one job for asynchronous execution and returns immediately
-    /// with a [`JobHandle`] carrying the job's engine-unique [`JobId`].
+    /// Number of asynchronously submitted jobs that have not yet produced
+    /// an outcome.
+    pub fn active_jobs(&self) -> usize {
+        self.active_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Number of point-level tasks waiting in the pool's injector — the
+    /// queue-depth signal the serve layer reports in its `stats` verb.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queued()
+    }
+
+    pub(crate) fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    fn default_sink(&self) -> ProgressSink {
+        ProgressSink::new(self.progress.clone(), None, ProgressCadence::default())
+    }
+
+    /// The shared plumbing of every *synchronous* built-in run
+    /// ([`compile_many`](Self::compile_many), [`run_sweeps`](Self::run_sweeps),
+    /// the deprecated `run_batch`): fresh cancel token, engine-level
+    /// progress sink, normal priority.
+    fn run_builtin_default(
+        &self,
+        jobs: Vec<BuiltinJob>,
+    ) -> Vec<Result<BuiltinOutcome, EngineError>> {
+        let sink = self.default_sink();
+        self.run_builtin(
+            jobs,
+            &CancelToken::new(),
+            &|completed, total| sink.emit(Progress { completed, total }),
+            Priority::Normal,
+        )
+    }
+
+    /// Runs one workload synchronously on the calling thread (its pool
+    /// fan-out still parallelizes) and returns its output. Progress goes to
+    /// the engine-level [`with_progress`](Self::with_progress) callback.
     ///
-    /// The job runs exactly as it would inside [`run_batch`](Self::run_batch)
-    /// — same pool, same cache, same determinism guarantee — coordinated by
-    /// a dedicated thread so the caller never blocks. Collect the outcome
-    /// with [`JobHandle::collect`] (blocking) or [`JobHandle::try_collect`]
+    /// # Errors
+    ///
+    /// Returns the workload's [`EngineError`].
+    pub fn run_workload(&self, workload: &dyn Workload) -> Result<WorkloadOutput, EngineError> {
+        let ctx = WorkloadCtx::new(
+            self,
+            workload.label().to_string(),
+            CancelToken::new(),
+            self.default_sink(),
+            Priority::Normal,
+            workload.total_units(),
+        );
+        workload.run(&ctx)
+    }
+
+    /// Submits one workload for asynchronous execution and returns
+    /// immediately with a [`JobHandle`] carrying the job's engine-unique
+    /// [`JobId`].
+    ///
+    /// The workload runs on a dedicated coordinator thread (its pool
+    /// fan-out interleaves with every other job's on the shared work
+    /// queue), so the caller never blocks. Collect the outcome with
+    /// [`JobHandle::collect`] (blocking) or [`JobHandle::try_collect`]
     /// (non-blocking); request cooperative cancellation with
-    /// [`JobHandle::cancel`] (checked before graph resolution and before
-    /// every point-level task, so a cancelled job resolves to
-    /// [`EngineError::Cancelled`] after its in-flight points drain).
-    pub fn submit(self: &Arc<Self>, job: EngineJob) -> JobHandle {
-        self.submit_with_progress(job, |_| {})
+    /// [`JobHandle::cancel`] (observed by built-in workloads before graph
+    /// resolution and before every point-level task, so a cancelled job
+    /// resolves to [`EngineError::Cancelled`] after its in-flight units
+    /// drain).
+    pub fn submit<W: Workload + 'static>(self: &Arc<Self>, workload: W) -> JobHandle {
+        self.submit_with_options(workload, SubmitOptions::default(), |_| {})
     }
 
     /// Like [`submit`](Self::submit), with a per-job progress callback
-    /// invoked on the coordinator thread once per completed point-level
-    /// task. The handle's [`progress`](JobHandle::progress) snapshot is
-    /// updated either way.
-    pub fn submit_with_progress(
+    /// invoked on the coordinator thread (subject to the default
+    /// [`ProgressCadence`]: one event per completed unit). The handle's
+    /// [`progress`](JobHandle::progress) snapshot is updated either way.
+    pub fn submit_with_progress<W: Workload + 'static>(
         self: &Arc<Self>,
-        job: EngineJob,
+        workload: W,
+        callback: impl Fn(Progress) + Send + Sync + 'static,
+    ) -> JobHandle {
+        self.submit_with_options(workload, SubmitOptions::default(), callback)
+    }
+
+    /// The full submission entry point: explicit [`SubmitOptions`]
+    /// (priority, admission bound, progress cadence) plus a per-job
+    /// progress callback.
+    pub fn submit_with_options<W: Workload + 'static>(
+        self: &Arc<Self>,
+        workload: W,
+        options: SubmitOptions,
         callback: impl Fn(Progress) + Send + Sync + 'static,
     ) -> JobHandle {
         let id = JobId(self.next_job_id.fetch_add(1, Ordering::Relaxed));
-        let state = Arc::new(JobState::new(id, job.label().to_string()));
+        let state = Arc::new(JobState::new(id, workload.label().to_string()));
         let control = JobControl::new(Arc::clone(&state));
         let (tx, rx) = channel();
 
+        self.active_jobs.fetch_add(1, Ordering::Relaxed);
         let engine = Arc::clone(self);
         let coordinator_state = Arc::clone(&state);
-        let progress_state = Arc::clone(&state);
-        let progress: Arc<ProgressFn> = Arc::new(move |progress: Progress| {
-            progress_state.record_progress(progress);
-            callback(progress);
-        });
         std::thread::Builder::new()
             .name(format!("marqsim-job-{}", id.0))
             .spawn(move || {
-                let outcome = engine
-                    .run_batch_with(
-                        CompileBatch { jobs: vec![job] },
-                        Some(Arc::clone(&coordinator_state)),
-                        Some(progress),
+                let sink = ProgressSink::new(
+                    Some(Arc::new(callback)),
+                    Some(Arc::clone(&coordinator_state)),
+                    options.progress_every,
+                );
+                let cancel = coordinator_state.cancel.clone();
+                // A job cancelled before it starts never touches the pool.
+                let outcome = if cancel.is_cancelled() {
+                    Err(EngineError::cancelled(&coordinator_state.label))
+                } else {
+                    let ctx = WorkloadCtx::new(
+                        &engine,
+                        coordinator_state.label.clone(),
+                        cancel,
+                        sink,
+                        options.priority,
+                        workload.total_units(),
+                    );
+                    // A panic in a custom workload body costs that job, not
+                    // the coordinator accounting (the handle still resolves,
+                    // active_jobs still decrements).
+                    catch_unwind(AssertUnwindSafe(|| workload.run(&ctx))).unwrap_or_else(
+                        |payload| {
+                            let message = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "workload panicked".to_string());
+                            Err(EngineError::panic(&coordinator_state.label, message))
+                        },
                     )
-                    .pop()
-                    .expect("one outcome per submitted job");
+                };
                 coordinator_state.mark_finished();
+                engine.active_jobs.fetch_sub(1, Ordering::Relaxed);
                 // The handle may have been dropped; the outcome is then
                 // discarded, which is the fire-and-forget contract.
                 let _ = tx.send(outcome);
@@ -495,22 +538,118 @@ impl Engine {
         JobHandle::new(control, rx)
     }
 
-    fn run_batch_with(
+    /// Compiles one request on the calling thread's batch machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's [`EngineError`].
+    pub fn compile(&self, request: CompileRequest) -> Result<CompileOutcome, EngineError> {
+        self.run_workload(&CompileWorkload::new(request))
+            .map(WorkloadOutput::into_compiled)
+    }
+
+    /// Compiles many requests concurrently; outcomes keep request order.
+    pub fn compile_many(
         &self,
-        batch: CompileBatch,
-        cancel: Option<Arc<JobState>>,
-        progress: Option<Arc<ProgressFn>>,
-    ) -> Vec<Result<JobOutcome, EngineError>> {
-        let jobs = batch.jobs;
+        requests: Vec<CompileRequest>,
+    ) -> Vec<Result<CompileOutcome, EngineError>> {
+        let jobs = requests.into_iter().map(BuiltinJob::Compile).collect();
+        self.run_builtin_default(jobs)
+            .into_iter()
+            .map(|outcome| {
+                outcome.map(|outcome| match outcome {
+                    BuiltinOutcome::Compiled(compiled) => *compiled,
+                    BuiltinOutcome::Swept(_) => {
+                        unreachable!("compile jobs produce compile outcomes")
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Runs one sweep across the pool. Byte-identical to
+    /// `marqsim_core::experiment::run_sweep` with the same arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing point's [`EngineError`].
+    pub fn run_sweep(
+        &self,
+        ham: &Hamiltonian,
+        strategy: &TransitionStrategy,
+        config: &SweepConfig,
+    ) -> Result<SweepResult, EngineError> {
+        self.run_workload(&SweepWorkload::new(SweepRequest::new(
+            strategy.label(),
+            ham.clone(),
+            strategy.clone(),
+            config.clone(),
+        )))
+        .map(WorkloadOutput::into_swept)
+    }
+
+    /// Runs many sweeps concurrently on one flattened work queue; outcomes
+    /// keep request order.
+    pub fn run_sweeps(&self, requests: Vec<SweepRequest>) -> Vec<Result<SweepResult, EngineError>> {
+        let jobs = requests.into_iter().map(BuiltinJob::Sweep).collect();
+        self.run_builtin_default(jobs)
+            .into_iter()
+            .map(|outcome| {
+                outcome.map(|outcome| match outcome {
+                    BuiltinOutcome::Swept(sweep) => sweep,
+                    BuiltinOutcome::Compiled(_) => {
+                        unreachable!("sweep jobs produce sweep outcomes")
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Generic parallel map over the engine's pool: applies `f` to every
+    /// item concurrently and returns outputs in input order. Worker panics
+    /// become [`EngineError::WorkerPanic`] tagged with `label`, so workload
+    /// errors carry the job label.
+    pub fn map<I, O, F>(&self, label: &str, items: Vec<I>, f: F) -> Vec<Result<O, EngineError>>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(usize, I) -> O + Send + Sync + 'static,
+    {
+        self.pool
+            .map(items, Arc::new(f), |_| {})
+            .into_iter()
+            .map(|result| result.map_err(|message| EngineError::panic(label, message)))
+            .collect()
+    }
+
+    /// Runs a list of built-in jobs: two-phase execution with deduplicated
+    /// graph resolution and one flattened point-task queue.
+    ///
+    /// Execution has two phases. First every job's HTT graph is resolved
+    /// (through the cache when enabled) with the graph builds themselves
+    /// running on the pool — distinct Hamiltonians' min-cost-flow solves
+    /// proceed concurrently. Then all jobs are expanded into point-level
+    /// tasks (one per compile, one per sweep point) on a single work queue.
+    ///
+    /// Determinism: each task's output is a pure function of its request
+    /// (sweep points use `experiment::point_seed`, the serial seed stream),
+    /// so outcomes are bit-identical for any thread count or priority.
+    pub(crate) fn run_builtin(
+        &self,
+        jobs: Vec<BuiltinJob>,
+        cancel: &CancelToken,
+        on_progress: &(dyn Fn(usize, usize) + Sync),
+        priority: Priority,
+    ) -> Vec<Result<BuiltinOutcome, EngineError>> {
         // A job cancelled before graph resolution never touches the pool.
-        if cancel.as_deref().is_some_and(JobState::is_cancelled) {
+        if cancel.is_cancelled() {
             return jobs
                 .iter()
                 .map(|job| Err(EngineError::cancelled(job.label())))
                 .collect();
         }
         // Phase 1: resolve one HTT graph per job, building on the pool.
-        let graphs = self.resolve_graphs(&jobs);
+        let graphs = self.resolve_graphs(&jobs, priority);
 
         // Phase 2: expand into point-level tasks.
         let mut tasks: Vec<Task> = Vec::new();
@@ -520,7 +659,7 @@ impl Engine {
                 Err(_) => continue,
             };
             match job {
-                EngineJob::Compile(req) => tasks.push(Task {
+                BuiltinJob::Compile(req) => tasks.push(Task {
                     job: job_idx,
                     slot: 0,
                     kind: TaskKind::Compile {
@@ -528,7 +667,7 @@ impl Engine {
                         graph,
                     },
                 }),
-                EngineJob::Sweep(req) => {
+                BuiltinJob::Sweep(req) => {
                     for (eps_idx, &epsilon) in req.config.epsilons.iter().enumerate() {
                         for rep in 0..req.config.repeats {
                             tasks.push(Task {
@@ -550,96 +689,15 @@ impl Engine {
         let total = tasks.len();
         let task_meta: Vec<(usize, usize)> = tasks.iter().map(|t| (t.job, t.slot)).collect();
         let task_cancel = cancel.clone();
-        let outputs = self.pool.map(
+        let outputs = self.pool.map_at(
+            priority,
             tasks,
-            Arc::new(move |_index: usize, task: Task| task.run(task_cancel.as_deref())),
-            move |done| {
-                if let Some(progress) = &progress {
-                    progress(Progress {
-                        completed: done,
-                        total,
-                    });
-                }
-            },
+            Arc::new(move |_index: usize, task: Task| task.run(&task_cancel)),
+            |done| on_progress(done, total),
         );
 
         // Phase 3: reassemble per job.
         self.assemble(jobs, graphs, task_meta, outputs)
-    }
-
-    /// Compiles one request on the calling thread's batch machinery.
-    ///
-    /// # Errors
-    ///
-    /// Returns the job's [`EngineError`].
-    pub fn compile(&self, request: CompileRequest) -> Result<CompileOutcome, EngineError> {
-        self.compile_many(vec![request])
-            .pop()
-            .expect("one outcome per request")
-    }
-
-    /// Compiles many requests concurrently; outcomes keep request order.
-    pub fn compile_many(
-        &self,
-        requests: Vec<CompileRequest>,
-    ) -> Vec<Result<CompileOutcome, EngineError>> {
-        let batch = CompileBatch {
-            jobs: requests.into_iter().map(EngineJob::Compile).collect(),
-        };
-        self.run_batch(batch)
-            .into_iter()
-            .map(|outcome| outcome.map(JobOutcome::into_compiled))
-            .collect()
-    }
-
-    /// Runs one sweep across the pool. Byte-identical to
-    /// `marqsim_core::experiment::run_sweep` with the same arguments.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first failing point's [`EngineError`].
-    pub fn run_sweep(
-        &self,
-        ham: &Hamiltonian,
-        strategy: &TransitionStrategy,
-        config: &SweepConfig,
-    ) -> Result<SweepResult, EngineError> {
-        self.run_sweeps(vec![SweepRequest::new(
-            strategy.label(),
-            ham.clone(),
-            strategy.clone(),
-            config.clone(),
-        )])
-        .pop()
-        .expect("one outcome per sweep")
-    }
-
-    /// Runs many sweeps concurrently on one flattened work queue; outcomes
-    /// keep request order.
-    pub fn run_sweeps(&self, requests: Vec<SweepRequest>) -> Vec<Result<SweepResult, EngineError>> {
-        let batch = CompileBatch {
-            jobs: requests.into_iter().map(EngineJob::Sweep).collect(),
-        };
-        self.run_batch(batch)
-            .into_iter()
-            .map(|outcome| outcome.map(JobOutcome::into_swept))
-            .collect()
-    }
-
-    /// Generic parallel map over the engine's pool: applies `f` to every
-    /// item concurrently and returns outputs in input order. Worker panics
-    /// become [`EngineError::WorkerPanic`] tagged with `label`.
-    pub fn map<I, O, F>(&self, label: &str, items: Vec<I>, f: F) -> Vec<Result<O, EngineError>>
-    where
-        I: Send + 'static,
-        O: Send + 'static,
-        F: Fn(usize, I) -> O + Send + Sync + 'static,
-    {
-        self.pool
-            .map(items, Arc::new(f), |_| {})
-            .into_iter()
-            .map(|result| result.map_err(|message| EngineError::panic(label, message)))
-            .collect()
     }
 
     /// Resolves each job's HTT graph through the cache, building each
@@ -654,7 +712,11 @@ impl Engine {
     ///
     /// With the cache disabled every job builds independently (no sharing),
     /// which is that mode's documented contract.
-    fn resolve_graphs(&self, jobs: &[EngineJob]) -> Vec<Result<Arc<HttGraph>, EngineError>> {
+    fn resolve_graphs(
+        &self,
+        jobs: &[BuiltinJob],
+        priority: Priority,
+    ) -> Vec<Result<Arc<HttGraph>, EngineError>> {
         if !self.cache_enabled {
             let inputs: Vec<(Hamiltonian, TransitionStrategy)> = jobs
                 .iter()
@@ -662,7 +724,8 @@ impl Engine {
                 .collect();
             return self
                 .pool
-                .map(
+                .map_at(
+                    priority,
                     inputs,
                     Arc::new(|_idx, (ham, strategy): (Hamiltonian, TransitionStrategy)| {
                         HttGraph::build(&ham, &strategy).map(Arc::new)
@@ -710,7 +773,8 @@ impl Engine {
         let cache = Arc::clone(&self.cache);
         let distinct_count = distinct.len();
         let shared_distinct = Arc::new(distinct);
-        let group_results = self.pool.map(
+        let group_results = self.pool.map_at(
+            priority,
             groups,
             Arc::new(move |_idx, members: Vec<usize>| {
                 members
@@ -769,11 +833,11 @@ impl Engine {
 
     fn assemble(
         &self,
-        jobs: Vec<EngineJob>,
+        jobs: Vec<BuiltinJob>,
         graphs: Vec<Result<Arc<HttGraph>, EngineError>>,
         task_meta: Vec<(usize, usize)>,
         outputs: Vec<Result<TaskOutput, String>>,
-    ) -> Vec<Result<JobOutcome, EngineError>> {
+    ) -> Vec<Result<BuiltinOutcome, EngineError>> {
         // Group task outputs per job; `pool.map` keeps input order, so the
         // i-th output belongs to the i-th submitted task even when the task
         // panicked and its output carries no indices of its own.
@@ -790,11 +854,11 @@ impl Engine {
                 graph?;
                 outputs.sort_by_key(|(slot, _)| *slot);
                 match job {
-                    EngineJob::Compile(req) => {
+                    BuiltinJob::Compile(req) => {
                         let (_, output) = outputs.pop().expect("one task per compile job");
                         match output {
                             Ok(TaskOutput::Compiled(outcome)) => outcome
-                                .map(|outcome| JobOutcome::Compiled(Box::new(outcome)))
+                                .map(|outcome| BuiltinOutcome::Compiled(Box::new(outcome)))
                                 .map_err(|e| EngineError::compile(&req.label, e)),
                             Ok(TaskOutput::Point(_)) => {
                                 unreachable!("compile jobs produce compile outputs")
@@ -803,7 +867,7 @@ impl Engine {
                             Err(message) => Err(EngineError::panic(&req.label, message)),
                         }
                     }
-                    EngineJob::Sweep(req) => {
+                    BuiltinJob::Sweep(req) => {
                         let mut points: Vec<ExperimentPoint> = Vec::with_capacity(outputs.len());
                         for (_, output) in outputs {
                             match output {
@@ -820,7 +884,7 @@ impl Engine {
                                 }
                             }
                         }
-                        Ok(JobOutcome::Swept(SweepResult {
+                        Ok(BuiltinOutcome::Swept(SweepResult {
                             label: req.strategy.label(),
                             points,
                         }))
@@ -859,8 +923,8 @@ enum TaskOutput {
 }
 
 impl Task {
-    fn run(self, cancel: Option<&JobState>) -> TaskOutput {
-        if cancel.is_some_and(JobState::is_cancelled) {
+    fn run(self, cancel: &CancelToken) -> TaskOutput {
+        if cancel.is_cancelled() {
             return TaskOutput::Cancelled;
         }
         match self.kind {
@@ -890,5 +954,145 @@ impl Task {
                 seed,
             } => TaskOutput::Point(compile_point(&graph, &config, epsilon, seed)),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated closed-enum shim (one release)
+// ---------------------------------------------------------------------------
+
+/// A job of a [`CompileBatch`] — the closed enum of the pre-`Workload` API.
+#[deprecated(
+    since = "0.5.0",
+    note = "the job surface is open now: submit a SweepWorkload / CompileWorkload (or any custom Workload); convert with EngineJob::into_workload"
+)]
+#[derive(Debug, Clone)]
+pub enum EngineJob {
+    /// Compile one configuration (optionally with fidelity).
+    Compile(CompileRequest),
+    /// Run one full sweep.
+    Sweep(SweepRequest),
+}
+
+#[allow(deprecated)]
+impl EngineJob {
+    /// Converts this closed-enum job into the equivalent built-in workload,
+    /// ready for [`Engine::submit`] / [`Engine::run_workload`].
+    pub fn into_workload(self) -> Box<dyn Workload> {
+        match self {
+            EngineJob::Compile(req) => Box::new(CompileWorkload::new(req)),
+            EngineJob::Sweep(req) => Box::new(SweepWorkload::new(req)),
+        }
+    }
+
+    fn into_builtin(self) -> BuiltinJob {
+        match self {
+            EngineJob::Compile(req) => BuiltinJob::Compile(req),
+            EngineJob::Sweep(req) => BuiltinJob::Sweep(req),
+        }
+    }
+}
+
+/// The result of one [`CompileBatch`] job — the closed outcome enum of the
+/// pre-`Workload` API.
+#[deprecated(
+    since = "0.5.0",
+    note = "workload outputs are typed per workload now; see WorkloadOutput"
+)]
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Output of a compile job.
+    Compiled(Box<CompileOutcome>),
+    /// Output of a sweep job.
+    Swept(SweepResult),
+}
+
+#[allow(deprecated)]
+impl JobOutcome {
+    /// Unwraps a compile outcome; panics on a sweep outcome.
+    pub fn into_compiled(self) -> CompileOutcome {
+        match self {
+            JobOutcome::Compiled(outcome) => *outcome,
+            JobOutcome::Swept(_) => panic!("expected a compile outcome, got a sweep"),
+        }
+    }
+
+    /// Unwraps a sweep outcome; panics on a compile outcome.
+    pub fn into_swept(self) -> SweepResult {
+        match self {
+            JobOutcome::Swept(sweep) => sweep,
+            JobOutcome::Compiled(_) => panic!("expected a sweep outcome, got a compile"),
+        }
+    }
+}
+
+/// A heterogeneous list of engine jobs submitted together — the batch type
+/// of the pre-`Workload` API.
+#[deprecated(
+    since = "0.5.0",
+    note = "use BenchmarkSuiteWorkload for sweep grids, compile_many/run_sweeps for homogeneous batches, or any custom Workload"
+)]
+#[allow(deprecated)]
+#[derive(Debug, Clone, Default)]
+pub struct CompileBatch {
+    /// The jobs, in submission order (outcomes keep this order).
+    pub jobs: Vec<EngineJob>,
+}
+
+#[allow(deprecated)]
+impl CompileBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        CompileBatch::default()
+    }
+
+    /// Adds a compile job.
+    pub fn compile(mut self, request: CompileRequest) -> Self {
+        self.jobs.push(EngineJob::Compile(request));
+        self
+    }
+
+    /// Adds a sweep job.
+    pub fn sweep(mut self, request: SweepRequest) -> Self {
+        self.jobs.push(EngineJob::Sweep(request));
+        self
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+impl Engine {
+    /// Runs a heterogeneous batch; outcomes are returned in job order.
+    /// Identical machinery to the workload path (deduplicated graph
+    /// resolution, one flattened task queue); kept for one release as the
+    /// closed-enum shim.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use run_workload / submit with built-in or custom workloads"
+    )]
+    #[allow(deprecated)]
+    pub fn run_batch(&self, batch: CompileBatch) -> Vec<Result<JobOutcome, EngineError>> {
+        let jobs = batch
+            .jobs
+            .into_iter()
+            .map(EngineJob::into_builtin)
+            .collect();
+        self.run_builtin_default(jobs)
+            .into_iter()
+            .map(|outcome| {
+                outcome.map(|outcome| match outcome {
+                    BuiltinOutcome::Compiled(compiled) => JobOutcome::Compiled(compiled),
+                    BuiltinOutcome::Swept(sweep) => JobOutcome::Swept(sweep),
+                })
+            })
+            .collect()
     }
 }

@@ -41,10 +41,21 @@ pub enum EngineError {
         /// Label of the cancelled job.
         label: String,
     },
+    /// A [`Workload`](crate::Workload) implementation reported a
+    /// domain-specific failure. This is the open-ended variant custom
+    /// workloads (defined outside this crate) use, so their errors carry
+    /// the job label exactly like the built-in ones.
+    Workload {
+        /// Label of the failed job.
+        label: String,
+        /// The workload's description of what went wrong.
+        message: String,
+    },
 }
 
 impl EngineError {
-    pub(crate) fn compile(label: &str, source: CompileError) -> Self {
+    /// A compilation failure attributed to the job `label`.
+    pub fn compile(label: &str, source: CompileError) -> Self {
         EngineError::Compile {
             label: label.to_string(),
             source,
@@ -64,9 +75,22 @@ impl EngineError {
         }
     }
 
-    pub(crate) fn cancelled(label: &str) -> Self {
+    /// A cancellation outcome for the job `label`. Public because custom
+    /// [`Workload`](crate::Workload)s that observe
+    /// [`CancelToken`](crate::CancelToken) directly (instead of going
+    /// through [`WorkloadCtx::ensure_active`](crate::WorkloadCtx::ensure_active))
+    /// report cancellation with it.
+    pub fn cancelled(label: &str) -> Self {
         EngineError::Cancelled {
             label: label.to_string(),
+        }
+    }
+
+    /// A domain-specific workload failure attributed to the job `label`.
+    pub fn workload(label: &str, message: impl Into<String>) -> Self {
+        EngineError::Workload {
+            label: label.to_string(),
+            message: message.into(),
         }
     }
 
@@ -76,6 +100,7 @@ impl EngineError {
         match self {
             EngineError::Compile { label, .. }
             | EngineError::WorkerPanic { label, .. }
+            | EngineError::Workload { label, .. }
             | EngineError::Cancelled { label } => label,
             EngineError::InvalidConfig { .. } => "engine-config",
         }
@@ -102,6 +127,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Cancelled { label } => {
                 write!(f, "job '{label}' was cancelled")
+            }
+            EngineError::Workload { label, message } => {
+                write!(f, "workload '{label}' failed: {message}")
             }
         }
     }
@@ -141,6 +169,15 @@ mod tests {
         assert_eq!(e.label(), "engine-config");
         assert!(e.to_string().contains("invalid engine configuration"));
         assert!(e.to_string().contains("MARQSIM_THREADS"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn workload_errors_carry_label_and_message() {
+        let e = EngineError::workload("fib/7", "negative input");
+        assert_eq!(e.label(), "fib/7");
+        assert!(e.to_string().contains("fib/7"));
+        assert!(e.to_string().contains("negative input"));
         assert!(std::error::Error::source(&e).is_none());
     }
 

@@ -1,13 +1,15 @@
 //! Asynchronous job submission: ids, cancellation, and handles.
 //!
-//! [`Engine::run_batch`](crate::Engine::run_batch) is synchronous — it
-//! blocks the calling thread until the whole batch finishes. A service
+//! [`Engine::run_workload`](crate::Engine::run_workload) is synchronous — it
+//! blocks the calling thread until the workload finishes. A service
 //! front-end (the `marqsim-serve` crate) needs the opposite shape: submit a
 //! job, get a handle back immediately, poll or stream its progress, cancel
 //! it, and collect the outcome without blocking the connection's reader
 //! thread. This module provides that layer:
 //!
 //! * [`JobId`] — a monotonically increasing per-engine job identifier.
+//! * [`CancelToken`] — the cooperative cancellation flag a
+//!   [`WorkloadCtx`](crate::WorkloadCtx) exposes to running workloads.
 //! * [`JobControl`] — a cheaply cloneable view of a running job: id, label,
 //!   cancellation, progress snapshot, finished flag. This is what a job
 //!   registry stores.
@@ -15,11 +17,13 @@
 //!   plus collecting the outcome, either blocking ([`JobHandle::collect`])
 //!   or non-blocking ([`JobHandle::try_collect`]).
 //!
-//! Cancellation is cooperative and task-grained: the coordinator checks the
-//! flag before graph resolution and every point-level task checks it before
-//! running, so a cancelled sweep stops after the currently running points
-//! finish. A cancelled job's outcome is [`EngineError::Cancelled`]; point
-//! tasks that already completed are discarded.
+//! Cancellation is cooperative and unit-grained: built-in workloads check
+//! the token before graph resolution and before every point-level task, and
+//! custom workloads are expected to call
+//! [`WorkloadCtx::ensure_active`](crate::WorkloadCtx::ensure_active) between
+//! units of work, so a cancelled sweep stops after the currently running
+//! points finish. A cancelled job's outcome is [`EngineError::Cancelled`];
+//! units that already completed are discarded.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, TryRecvError};
@@ -27,7 +31,7 @@ use std::sync::Arc;
 
 use crate::engine::Progress;
 use crate::error::EngineError;
-use crate::JobOutcome;
+use crate::workload::WorkloadOutput;
 
 /// Identifier of a submitted job, unique within its [`Engine`](crate::Engine)
 /// (ids start at 1 and increase in submission order).
@@ -40,12 +44,38 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// A cooperative cancellation flag, cheaply cloneable and shared between a
+/// job's [`JobControl`]/[`JobHandle`] (which request cancellation) and its
+/// [`WorkloadCtx`](crate::WorkloadCtx) (which observes it between units of
+/// work).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Irrevocable.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
 /// Shared state of one submitted job.
 #[derive(Debug)]
 pub(crate) struct JobState {
     pub(crate) id: JobId,
     pub(crate) label: String,
-    cancelled: AtomicBool,
+    pub(crate) cancel: CancelToken,
     completed: AtomicUsize,
     total: AtomicUsize,
     finished: AtomicBool,
@@ -56,7 +86,7 @@ impl JobState {
         JobState {
             id,
             label,
-            cancelled: AtomicBool::new(false),
+            cancel: CancelToken::new(),
             completed: AtomicUsize::new(0),
             total: AtomicUsize::new(0),
             finished: AtomicBool::new(false),
@@ -70,10 +100,6 @@ impl JobState {
 
     pub(crate) fn mark_finished(&self) {
         self.finished.store(true, Ordering::Release);
-    }
-
-    pub(crate) fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Acquire)
     }
 }
 
@@ -103,17 +129,17 @@ impl JobControl {
     /// Requests cooperative cancellation (see the module docs for the
     /// granularity).
     pub fn cancel(&self) {
-        self.state.cancelled.store(true, Ordering::Release);
+        self.state.cancel.cancel();
     }
 
     /// Whether cancellation has been requested (the job may still be
     /// draining already-running tasks).
     pub fn is_cancelled(&self) -> bool {
-        self.state.cancelled.load(Ordering::Acquire)
+        self.state.cancel.is_cancelled()
     }
 
-    /// Latest progress snapshot. `total` is 0 until the job's tasks have
-    /// been expanded.
+    /// Latest progress snapshot. `total` is 0 until the job's work has been
+    /// expanded into units.
     pub fn progress(&self) -> Progress {
         Progress {
             completed: self.state.completed.load(Ordering::Relaxed),
@@ -136,7 +162,7 @@ impl JobControl {
 #[derive(Debug)]
 pub struct JobHandle {
     control: JobControl,
-    receiver: Receiver<Result<JobOutcome, EngineError>>,
+    receiver: Receiver<Result<WorkloadOutput, EngineError>>,
     /// Set once the outcome has been pulled off the channel so repeated
     /// `try_collect` calls after completion stay cheap and well-defined.
     taken: bool,
@@ -145,7 +171,7 @@ pub struct JobHandle {
 impl JobHandle {
     pub(crate) fn new(
         control: JobControl,
-        receiver: Receiver<Result<JobOutcome, EngineError>>,
+        receiver: Receiver<Result<WorkloadOutput, EngineError>>,
     ) -> Self {
         JobHandle {
             control,
@@ -185,7 +211,7 @@ impl JobHandle {
     /// `Some(outcome)` exactly once when it finishes. After the outcome has
     /// been taken (by this method or a disconnect), further calls return
     /// `None`.
-    pub fn try_collect(&mut self) -> Option<Result<JobOutcome, EngineError>> {
+    pub fn try_collect(&mut self) -> Option<Result<WorkloadOutput, EngineError>> {
         if self.taken {
             return None;
         }
@@ -209,7 +235,7 @@ impl JobHandle {
 
     /// Blocking collection: waits for the job to finish and returns its
     /// outcome.
-    pub fn collect(mut self) -> Result<JobOutcome, EngineError> {
+    pub fn collect(mut self) -> Result<WorkloadOutput, EngineError> {
         if self.taken {
             return Err(EngineError::panic(
                 self.control.label(),

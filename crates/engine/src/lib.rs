@@ -5,9 +5,10 @@
 //! gate-cancellation strategy re-solves the same min-cost-flow problem from
 //! scratch. This crate turns that loop into a subsystem:
 //!
-//! * **[`ThreadPool`]** (`pool`) — a channel-based thread-pool executor
+//! * **[`ThreadPool`]** (`pool`) — a priority-aware thread-pool executor
 //!   over `std::thread` with a shared injector queue (dynamic load
-//!   balancing) and per-task panic isolation.
+//!   balancing), three scheduling lanes ([`Priority`]), and per-task panic
+//!   isolation.
 //! * **[`TransitionCache`]** (`cache`) — validated HTT graphs keyed by a
 //!   structural Hamiltonian fingerprint plus a strategy key, so the
 //!   MCFP-derived `P_gc` — the dominant compile cost — is solved once and
@@ -16,28 +17,38 @@
 //!   sharded by fingerprint over per-mutex shards (`shard`), bounded by a
 //!   per-shard LRU entry cap, and can persist solved `P_gc` matrices to
 //!   disk in a versioned binary format with full-Hamiltonian
-//!   re-verification on load, so repeated runs (CI, figure regeneration)
-//!   skip the min-cost-flow solve entirely. [`CacheStats`] exposes
+//!   re-verification on load. [`CacheStats`] exposes
 //!   hit/miss/eviction/flow-solve/disk counters.
-//! * **[`Engine`]** (`engine`) — a batched job API: [`CompileRequest`]
-//!   (compile-only or compile + fidelity) and [`SweepRequest`] (full sweep)
-//!   submitted together as a [`CompileBatch`], with [`Progress`] reporting
-//!   and structured [`EngineError`]s.
+//! * **The open job API** (`workload`) — the [`Workload`] trait: anything
+//!   with a label, a unit count, and a `run` body is submittable. A running
+//!   workload is handed a [`WorkloadCtx`] (shared cache, pool fan-out,
+//!   cancellation token, throttled progress sink); submission is
+//!   parameterized by a typed [`SubmitOptions`] builder (priority,
+//!   admission bound, progress cadence). Built-ins: [`CompileWorkload`],
+//!   [`SweepWorkload`], [`PerturbAverageWorkload`] (parallel `P_rp`
+//!   averaging), and [`BenchmarkSuiteWorkload`] (multi-Hamiltonian ×
+//!   multi-strategy sweep grids).
 //! * **Asynchronous submission** (`job`) — [`Engine::submit`] returns a
 //!   [`JobHandle`] carrying an engine-unique [`JobId`], cooperative
-//!   cancellation, a live progress snapshot, and blocking
+//!   cancellation ([`CancelToken`]), a live progress snapshot, and blocking
 //!   ([`JobHandle::collect`]) or non-blocking ([`JobHandle::try_collect`])
 //!   outcome collection. This is the layer the `marqsim-serve` TCP
 //!   front-end multiplexes client connections onto.
 //!
+//! The closed `EngineJob` / `CompileBatch` enum API that predates the
+//! `Workload` trait is kept for one release, deprecated; see
+//! `docs/engine.md` in the repository root for the migration guide.
+//!
 //! # Job model
 //!
-//! A batch is a list of jobs. The engine first resolves one HTT graph per
-//! job (through the cache, builds running concurrently on the pool), then
-//! expands every job into *point-level tasks* — one task per compile
-//! request, one per `(ε, repetition)` sweep point — on a single work queue.
-//! Tasks from different jobs interleave, so many small sweeps load-balance
-//! exactly as well as one large one.
+//! Built-in compile/sweep workloads run on a two-phase batch machine: the
+//! engine first resolves one HTT graph per job (through the cache, builds
+//! running concurrently on the pool), then expands every job into
+//! *point-level tasks* — one task per compile request, one per
+//! `(ε, repetition)` sweep point — on a single work queue. Tasks from
+//! different jobs interleave, so many small sweeps load-balance exactly as
+//! well as one large one. Custom workloads get the same pool through
+//! [`WorkloadCtx::map`].
 //!
 //! # Determinism
 //!
@@ -53,9 +64,8 @@
 //!
 //! Consequently `Engine::run_sweep` with any thread count (including via
 //! the `MARQSIM_THREADS` override) returns byte-identical `SweepResult`
-//! data to `marqsim_core::experiment::run_sweep`, and caching cannot change
-//! results either: a cached graph is exactly the graph a fresh build would
-//! produce (construction is deterministic), only cheaper.
+//! data to `marqsim_core::experiment::run_sweep`, and neither caching nor
+//! scheduling priority can change results — only latency.
 //!
 //! # Environment
 //!
@@ -76,7 +86,7 @@
 //! # Example
 //!
 //! ```
-//! use marqsim_engine::{Engine, EngineConfig};
+//! use marqsim_engine::{Engine, EngineConfig, SweepRequest, SweepWorkload};
 //! use marqsim_core::experiment::{run_sweep, SweepConfig};
 //! use marqsim_core::TransitionStrategy;
 //! use marqsim_pauli::Hamiltonian;
@@ -87,7 +97,13 @@
 //! let strategy = TransitionStrategy::marqsim_gc();
 //!
 //! let engine = Engine::new(EngineConfig::default().with_threads(4));
-//! let parallel = engine.run_sweep(&ham, &strategy, &config)?;
+//! let workload = SweepWorkload::new(SweepRequest::new(
+//!     "example",
+//!     ham.clone(),
+//!     strategy.clone(),
+//!     config.clone(),
+//! ));
+//! let parallel = engine.run_workload(&workload)?.into_swept();
 //! let serial = run_sweep(&ham, &strategy, &config)?;
 //! for (p, s) in parallel.points.iter().zip(&serial.points) {
 //!     assert_eq!(p.seed, s.seed);
@@ -105,33 +121,48 @@ pub mod cache;
 pub mod job;
 pub mod pool;
 pub mod shard;
+pub mod workload;
 
 pub use cache::{
     hamiltonian_fingerprint, CacheConfig, CacheKey, CacheStats, StrategyKey, TransitionCache,
 };
-pub use engine::{
-    CompileBatch, CompileOutcome, CompileRequest, Engine, EngineConfig, EngineJob, JobOutcome,
-    Progress, SweepRequest,
-};
+#[allow(deprecated)]
+pub use engine::{CompileBatch, EngineJob, JobOutcome};
+pub use engine::{CompileOutcome, CompileRequest, Engine, EngineConfig, Progress, SweepRequest};
 pub use error::EngineError;
-pub use job::{JobControl, JobHandle, JobId};
-pub use pool::ThreadPool;
+pub use job::{CancelToken, JobControl, JobHandle, JobId};
+pub use pool::{Priority, ThreadPool};
 pub use shard::ShardedLru;
+pub use workload::{
+    BenchmarkSuiteResult, BenchmarkSuiteWorkload, CompileWorkload, PerturbAverageResult,
+    PerturbAverageWorkload, ProgressCadence, SubmitOptions, SuiteCase, SuiteCaseResult,
+    SweepWorkload, Workload, WorkloadCtx, WorkloadOutput,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use marqsim_core::experiment::{run_sweep, SweepConfig};
+    use marqsim_core::perturb::{perturbed_matrix_sample, PerturbationConfig};
     use marqsim_core::{CompilerConfig, TransitionStrategy};
+    use marqsim_markov::combine::combine;
     use marqsim_pauli::Hamiltonian;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     fn ham() -> Hamiltonian {
         Hamiltonian::parse(
             "0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ + 0.4 XYXY + 0.3 IZIZ + 0.2 YYII",
         )
         .unwrap()
+    }
+
+    fn sweep_workload(
+        label: &str,
+        strategy: TransitionStrategy,
+        config: SweepConfig,
+    ) -> SweepWorkload {
+        SweepWorkload::new(SweepRequest::new(label, ham(), strategy, config))
     }
 
     #[test]
@@ -190,8 +221,7 @@ mod tests {
     }
 
     #[test]
-    fn mixed_batch_covers_all_three_strategies() {
-        let engine = Engine::new(EngineConfig::default().with_threads(3));
+    fn benchmark_suite_workload_matches_run_sweeps_and_shares_pgc() {
         let sweep_config = SweepConfig {
             time: 0.5,
             epsilons: vec![0.1],
@@ -199,70 +229,47 @@ mod tests {
             base_seed: 4,
             evaluate_fidelity: false,
         };
-        let batch = CompileBatch::new()
-            .sweep(SweepRequest::new(
-                "sweep/baseline",
-                ham(),
-                TransitionStrategy::QDrift,
-                sweep_config.clone(),
-            ))
-            .sweep(SweepRequest::new(
-                "sweep/gc",
-                ham(),
-                TransitionStrategy::marqsim_gc(),
-                sweep_config.clone(),
-            ))
-            .sweep(SweepRequest::new(
-                "sweep/gc-rp",
-                ham(),
-                TransitionStrategy::marqsim_gc_rp(),
-                sweep_config,
-            ))
-            .compile(CompileRequest::new(
-                "compile/gc",
-                ham(),
-                CompilerConfig::new(0.5, 0.1)
-                    .with_strategy(TransitionStrategy::marqsim_gc())
-                    .with_seed(7),
-            ))
-            .compile(
-                CompileRequest::new(
-                    "compile/fidelity",
-                    Hamiltonian::parse("0.6 XZ + 0.4 ZY + 0.3 XX").unwrap(),
-                    CompilerConfig::new(0.4, 0.05)
-                        .with_strategy(TransitionStrategy::QDrift)
-                        .with_seed(2)
-                        .without_circuit(),
-                )
-                .with_fidelity(),
-            );
-        assert_eq!(batch.len(), 5);
-        let outcomes = engine.run_batch(batch);
-        assert_eq!(outcomes.len(), 5);
+        let strategies = [
+            TransitionStrategy::QDrift,
+            TransitionStrategy::marqsim_gc(),
+            TransitionStrategy::marqsim_gc_rp(),
+        ];
+        let reference = Engine::new(EngineConfig::default().with_threads(3));
+        let expected = reference.run_sweeps(
+            strategies
+                .iter()
+                .map(|s| SweepRequest::new(s.label(), ham(), s.clone(), sweep_config.clone()))
+                .collect(),
+        );
 
-        for (prefix, outcome) in ["Baseline", "MarQSim-GC", "MarQSim-GC-RP"]
-            .iter()
-            .zip(&outcomes)
-        {
-            let sweep = outcome.as_ref().unwrap().clone().into_swept();
-            assert_eq!(sweep.points.len(), 2);
-            assert!(
-                sweep.label.starts_with(prefix),
-                "{} vs {prefix}",
-                sweep.label
-            );
+        let engine = Engine::new(EngineConfig::default().with_threads(3));
+        let suite = BenchmarkSuiteWorkload::new("suite").grid(
+            vec![("bench".to_string(), ham())],
+            &strategies,
+            |_| sweep_config.clone(),
+        );
+        assert_eq!(suite.len(), 3);
+        assert_eq!(suite.total_units(), 3 * 2);
+        let result: BenchmarkSuiteResult = engine
+            .run_workload(&suite)
+            .unwrap()
+            .downcast()
+            .expect("suite output");
+        assert_eq!(result.cases.len(), 3);
+        for (case, expected) in result.cases.iter().zip(&expected) {
+            let expected = expected.as_ref().unwrap();
+            assert_eq!(case.benchmark, "bench");
+            assert_eq!(case.sweep.label, expected.label);
+            for (a, b) in case.sweep.points.iter().zip(&expected.points) {
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.stats, b.stats);
+            }
         }
+        assert!(result.sweep("bench", "Baseline").is_some());
+        assert!(result.sweep("bench", "nope").is_none());
 
-        let compiled = outcomes[3].as_ref().unwrap().clone().into_compiled();
-        assert_eq!(compiled.label, "compile/gc");
-        assert!(compiled.result.stats.cnot > 0);
-        assert!(compiled.fidelity.is_none());
-
-        let with_fidelity = outcomes[4].as_ref().unwrap().clone().into_compiled();
-        let f = with_fidelity.fidelity.expect("fidelity requested");
-        assert!(f > 0.9 && f <= 1.0 + 1e-9);
-
-        // The GC and GC-RP sweeps shared one P_gc component.
+        // The GC and GC-RP cases shared one P_gc component, exactly like
+        // the old closed-enum batch did.
         assert_eq!(engine.cache().stats().component_hits, 1);
     }
 
@@ -358,6 +365,7 @@ mod tests {
         let strategy = TransitionStrategy::marqsim_gc();
         let serial = run_sweep(&ham(), &strategy, &config).unwrap();
         let engine = Engine::new(EngineConfig::default().with_threads(4).with_cache(false));
+        assert!(!engine.cache_enabled());
         let parallel = engine.run_sweep(&ham(), &strategy, &config).unwrap();
         for (p, s) in parallel.points.iter().zip(&serial.points) {
             assert_eq!(p.stats, s.stats);
@@ -372,6 +380,21 @@ mod tests {
         for (i, result) in squares.iter().enumerate() {
             assert_eq!(*result.as_ref().unwrap(), (i * i) as u64);
         }
+    }
+
+    #[test]
+    fn engine_map_panics_carry_the_label() {
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let out = engine.map("labelled", vec![1u32, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("boom {x}");
+            }
+            x
+        });
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.label(), "labelled");
+        assert!(matches!(err, EngineError::WorkerPanic { .. }));
+        assert!(err.to_string().contains("boom 2"));
     }
 
     #[test]
@@ -490,12 +513,11 @@ mod tests {
 
         let handles: Vec<_> = (0..3)
             .map(|i| {
-                engine.submit(EngineJob::Sweep(SweepRequest::new(
-                    format!("async/{i}"),
-                    ham(),
+                engine.submit(sweep_workload(
+                    &format!("async/{i}"),
                     strategy.clone(),
                     config.clone(),
-                )))
+                ))
             })
             .collect();
         let mut ids: Vec<u64> = handles.iter().map(|h| h.id().0).collect();
@@ -511,17 +533,17 @@ mod tests {
                 assert_eq!(p.stats, s.stats);
             }
         }
+        assert_eq!(engine.active_jobs(), 0, "all coordinators retired");
     }
 
     #[test]
     fn try_collect_is_none_while_running_and_some_exactly_once() {
         let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
-        let mut handle = engine.submit(EngineJob::Sweep(SweepRequest::new(
+        let mut handle = engine.submit(sweep_workload(
             "async/poll",
-            ham(),
             TransitionStrategy::QDrift,
             SweepConfig::quick(0.5),
-        )));
+        ));
         // Poll until the outcome arrives; every pre-completion poll is None.
         let outcome = loop {
             match handle.try_collect() {
@@ -542,10 +564,9 @@ mod tests {
         let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(1)));
         // Cancel before submission is observable: the job is cancelled on
         // the handle immediately, so at the latest the first task boundary
-        // (and at best the pre-resolution check) stops it.
-        let handle = engine.submit(EngineJob::Sweep(SweepRequest::new(
+        // (and at best the pre-run check) stops it.
+        let handle = engine.submit(sweep_workload(
             "async/cancelled",
-            ham(),
             TransitionStrategy::QDrift,
             SweepConfig {
                 time: 0.5,
@@ -554,7 +575,7 @@ mod tests {
                 base_seed: 1,
                 evaluate_fidelity: false,
             },
-        )));
+        ));
         handle.cancel();
         let control = handle.control();
         match handle.collect() {
@@ -575,12 +596,11 @@ mod tests {
         let calls = Arc::new(AtomicUsize::new(0));
         let seen = Arc::clone(&calls);
         let handle = engine.submit_with_progress(
-            EngineJob::Sweep(SweepRequest::new(
+            sweep_workload(
                 "async/progress",
-                ham(),
                 TransitionStrategy::QDrift,
                 SweepConfig::quick(0.5),
-            )),
+            ),
             move |progress| {
                 seen.fetch_add(1, Ordering::Relaxed);
                 assert!(progress.completed <= progress.total);
@@ -588,6 +608,216 @@ mod tests {
         );
         handle.collect().unwrap();
         assert_eq!(calls.load(Ordering::Relaxed), 6, "one call per point");
+    }
+
+    #[test]
+    fn progress_cadence_coalesces_events_but_keeps_the_final_one() {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+        let events = Arc::new(Mutex::new(Vec::<Progress>::new()));
+        let sink = Arc::clone(&events);
+        let handle = engine.submit_with_options(
+            sweep_workload(
+                "async/throttled",
+                TransitionStrategy::QDrift,
+                SweepConfig {
+                    time: 0.5,
+                    epsilons: vec![0.1, 0.05],
+                    repeats: 6,
+                    base_seed: 1,
+                    evaluate_fidelity: false,
+                },
+            ),
+            SubmitOptions::new().with_progress_every(ProgressCadence::every(5)),
+            move |progress| sink.lock().unwrap().push(progress),
+        );
+        handle.collect().unwrap();
+        let events = events.lock().unwrap();
+        assert!(
+            events.len() <= 4,
+            "12 points at cadence 5 must coalesce, got {} events",
+            events.len()
+        );
+        let last = events.last().expect("final event always delivered");
+        assert_eq!((last.completed, last.total), (12, 12));
+        for pair in events.windows(2) {
+            assert!(pair[0].completed < pair[1].completed, "monotone events");
+        }
+    }
+
+    #[test]
+    fn perturb_average_workload_is_deterministic_across_thread_counts() {
+        let config = PerturbationConfig {
+            samples: 6,
+            seed: 13,
+            ..Default::default()
+        };
+        // The reference: serial combination of the independently seeded
+        // samples the workload is specified to average.
+        let matrices: Vec<_> = (0..config.samples)
+            .map(|i| perturbed_matrix_sample(&ham(), &config, i).unwrap())
+            .collect();
+        let weights = vec![1.0 / config.samples as f64; config.samples];
+        let expected = combine(&matrices, &weights).unwrap();
+
+        for threads in [1, 4] {
+            let engine = Engine::new(EngineConfig::default().with_threads(threads));
+            let result: PerturbAverageResult = engine
+                .run_workload(&PerturbAverageWorkload::new("prp", ham(), config))
+                .unwrap()
+                .downcast()
+                .expect("perturb output");
+            assert_eq!(result.samples, config.samples);
+            assert_eq!(result.matrix, expected, "{threads} threads");
+            assert!(result
+                .matrix
+                .preserves_distribution(&ham().stationary_distribution(), 1e-8));
+        }
+    }
+
+    #[test]
+    fn high_priority_submissions_produce_identical_results() {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+        let config = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
+        let normal = engine.run_sweep(&ham(), &strategy, &config).unwrap();
+        let handle = engine.submit_with_options(
+            sweep_workload("async/high", strategy, config),
+            SubmitOptions::new().with_priority(Priority::High),
+            |_| {},
+        );
+        let high = handle.collect().unwrap().into_swept();
+        for (a, b) in high.points.iter().zip(&normal.points) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn panicking_custom_workloads_resolve_as_worker_panics() {
+        struct Bomb;
+        impl Workload for Bomb {
+            fn label(&self) -> &str {
+                "bomb"
+            }
+            fn total_units(&self) -> usize {
+                1
+            }
+            fn run(&self, _ctx: &WorkloadCtx<'_>) -> Result<WorkloadOutput, EngineError> {
+                panic!("workload body exploded");
+            }
+        }
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(1)));
+        let handle = engine.submit(Bomb);
+        match handle.collect() {
+            Err(EngineError::WorkerPanic { label, message }) => {
+                assert_eq!(label, "bomb");
+                assert!(message.contains("exploded"));
+            }
+            other => panic!("expected a worker panic, got {other:?}"),
+        }
+        assert_eq!(engine.active_jobs(), 0, "accounting survives the panic");
+        // The engine still runs jobs afterwards.
+        engine
+            .run_sweep(
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compile_batch_shim_still_runs() {
+        // The closed-enum API is kept (deprecated) for one release; it must
+        // run through the same machinery with the same cache behavior.
+        let engine = Engine::new(EngineConfig::default().with_threads(3));
+        let sweep_config = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1],
+            repeats: 2,
+            base_seed: 4,
+            evaluate_fidelity: false,
+        };
+        let batch = CompileBatch::new()
+            .sweep(SweepRequest::new(
+                "sweep/baseline",
+                ham(),
+                TransitionStrategy::QDrift,
+                sweep_config.clone(),
+            ))
+            .sweep(SweepRequest::new(
+                "sweep/gc",
+                ham(),
+                TransitionStrategy::marqsim_gc(),
+                sweep_config.clone(),
+            ))
+            .sweep(SweepRequest::new(
+                "sweep/gc-rp",
+                ham(),
+                TransitionStrategy::marqsim_gc_rp(),
+                sweep_config,
+            ))
+            .compile(CompileRequest::new(
+                "compile/gc",
+                ham(),
+                CompilerConfig::new(0.5, 0.1)
+                    .with_strategy(TransitionStrategy::marqsim_gc())
+                    .with_seed(7),
+            ))
+            .compile(
+                CompileRequest::new(
+                    "compile/fidelity",
+                    Hamiltonian::parse("0.6 XZ + 0.4 ZY + 0.3 XX").unwrap(),
+                    CompilerConfig::new(0.4, 0.05)
+                        .with_strategy(TransitionStrategy::QDrift)
+                        .with_seed(2)
+                        .without_circuit(),
+                )
+                .with_fidelity(),
+            );
+        assert_eq!(batch.len(), 5);
+        assert!(!batch.is_empty());
+        let outcomes = engine.run_batch(batch);
+        assert_eq!(outcomes.len(), 5);
+
+        for (prefix, outcome) in ["Baseline", "MarQSim-GC", "MarQSim-GC-RP"]
+            .iter()
+            .zip(&outcomes)
+        {
+            let sweep = outcome.as_ref().unwrap().clone().into_swept();
+            assert_eq!(sweep.points.len(), 2);
+            assert!(
+                sweep.label.starts_with(prefix),
+                "{} vs {prefix}",
+                sweep.label
+            );
+        }
+
+        let compiled = outcomes[3].as_ref().unwrap().clone().into_compiled();
+        assert_eq!(compiled.label, "compile/gc");
+        assert!(compiled.result.stats.cnot > 0);
+        assert!(compiled.fidelity.is_none());
+
+        let with_fidelity = outcomes[4].as_ref().unwrap().clone().into_compiled();
+        let f = with_fidelity.fidelity.expect("fidelity requested");
+        assert!(f > 0.9 && f <= 1.0 + 1e-9);
+
+        // The GC and GC-RP sweeps shared one P_gc component.
+        assert_eq!(engine.cache().stats().component_hits, 1);
+
+        // And the EngineJob → Workload conversion runs through submit.
+        let engine = Arc::new(engine);
+        let handle = engine.submit(
+            EngineJob::Sweep(SweepRequest::new(
+                "shim/submit",
+                ham(),
+                TransitionStrategy::QDrift,
+                SweepConfig::quick(0.5),
+            ))
+            .into_workload(),
+        );
+        assert_eq!(handle.collect().unwrap().into_swept().points.len(), 6);
     }
 
     #[test]

@@ -1,33 +1,147 @@
-//! A channel-based thread-pool executor over `std::thread`.
+//! A priority-aware thread-pool executor over `std::thread`.
 //!
 //! Workers are spawned once per [`ThreadPool`] and block on a shared
-//! injector channel; every submitted task is a boxed closure, so the pool is
-//! agnostic to job types. [`ThreadPool::map`] builds the deterministic
-//! parallel-map primitive the engine is based on: each item's output depends
-//! only on `(index, item)`, results are reassembled by index, and worker
-//! panics are caught per task — so the output of a map is bit-identical for
-//! any thread count, including 1.
+//! injector — a mutex-protected set of per-priority queues plus a condvar —
+//! so every submitted task is a boxed closure and the pool is agnostic to
+//! job types. [`ThreadPool::map`] builds the deterministic parallel-map
+//! primitive the engine is based on: each item's output depends only on
+//! `(index, item)`, results are reassembled by index, and worker panics are
+//! caught per task — so the output of a map is bit-identical for any thread
+//! count, including 1.
+//!
+//! Priorities affect *scheduling order only*: a [`Priority::High`] task is
+//! popped before queued normal tasks, which is how an urgent
+//! [`SubmitOptions`](crate::SubmitOptions) job overtakes a backlog of bulk
+//! sweeps. Because map outputs are reassembled by index, priority can never
+//! change a result — only its latency.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-enum Message {
-    Run(Task),
-    Shutdown,
+/// Scheduling priority of a submitted task or job. Priorities reorder the
+/// shared work queue; they never affect results (outputs are reassembled by
+/// index, not completion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Scheduled only when no normal- or high-priority work is queued.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Popped before any queued normal- or low-priority task.
+    High,
 }
 
-/// A fixed-size pool of worker threads fed from one shared channel.
+impl Priority {
+    /// Queue index: high first.
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The wire/env spelling (`"low"`, `"normal"`, `"high"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parses the wire/env spelling.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// The shared injector: three FIFO lanes (one per priority) behind one
+/// mutex, with a condvar to park idle workers.
+struct Injector {
+    state: Mutex<InjectorState>,
+    available: Condvar,
+}
+
+struct InjectorState {
+    lanes: [std::collections::VecDeque<Task>; 3],
+    queued: usize,
+    shutdown: bool,
+}
+
+impl Injector {
+    fn new() -> Self {
+        Injector {
+            state: Mutex::new(InjectorState {
+                lanes: Default::default(),
+                queued: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, priority: Priority, task: Task) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.lanes[priority.lane()].push_back(task);
+        state.queued += 1;
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a task is available (highest-priority lane first) or the
+    /// pool shuts down.
+    fn pop(&self) -> Option<Task> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(task) = state.lanes.iter_mut().find_map(|lane| lane.pop_front()) {
+                state.queued -= 1;
+                return Some(task);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queued
+    }
+
+    fn shutdown(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+/// A fixed-size pool of worker threads fed from one shared injector.
 ///
 /// The shared injector gives dynamic load balancing for free: an idle worker
 /// steals the next task regardless of which worker ran the previous one, so
 /// heavy tasks (small-ε sweep points have many more samples than large-ε
 /// ones) do not serialize behind a static partition.
 pub struct ThreadPool {
-    sender: Sender<Message>,
+    injector: Arc<Injector>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -35,6 +149,7 @@ impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadPool")
             .field("threads", &self.workers.len())
+            .field("queued", &self.queued())
             .finish()
     }
 }
@@ -43,37 +158,25 @@ impl ThreadPool {
     /// Spawns a pool with `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver) = channel::<Message>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let injector = Arc::new(Injector::new());
         let workers = (0..threads)
             .map(|i| {
-                let receiver: Arc<Mutex<Receiver<Message>>> = Arc::clone(&receiver);
+                let injector = Arc::clone(&injector);
                 std::thread::Builder::new()
                     .name(format!("marqsim-engine-{i}"))
-                    .spawn(move || loop {
-                        let message = {
-                            // Recover a poisoned injector lock instead of
-                            // propagating: the receiver has no state a
-                            // panicking holder could have left half-updated,
-                            // and one panic must not wedge every later job.
-                            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
-                            guard.recv()
-                        };
-                        match message {
-                            // Catch panics from raw `execute` tasks here so a
-                            // panicking job costs one task, not one worker
-                            // (`map` additionally catches per item to report
-                            // the panic message to the caller).
-                            Ok(Message::Run(task)) => {
-                                let _ = catch_unwind(AssertUnwindSafe(task));
-                            }
-                            Ok(Message::Shutdown) | Err(_) => break,
+                    .spawn(move || {
+                        // Catch panics from raw `execute` tasks here so a
+                        // panicking job costs one task, not one worker
+                        // (`map` additionally catches per item to report
+                        // the panic message to the caller).
+                        while let Some(task) = injector.pop() {
+                            let _ = catch_unwind(AssertUnwindSafe(task));
                         }
                     })
                     .expect("spawn engine worker")
             })
             .collect();
-        ThreadPool { sender, workers }
+        ThreadPool { injector, workers }
     }
 
     /// Number of worker threads.
@@ -81,24 +184,50 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submits one fire-and-forget task. A panicking task is caught inside
-    /// the worker: it neither kills the worker thread nor poisons the shared
-    /// injector, so subsequent jobs run normally.
-    pub fn execute(&self, task: Task) {
-        self.sender
-            .send(Message::Run(task))
-            .expect("engine workers alive");
+    /// Number of tasks waiting in the injector (not yet picked up by a
+    /// worker) — the queue-depth signal the serve layer reports in `stats`.
+    pub fn queued(&self) -> usize {
+        self.injector.queued()
     }
 
-    /// Applies `f` to every item concurrently and returns the outputs in
-    /// input order. Each output is `Err(panic message)` if that item's
-    /// closure panicked; other items are unaffected.
+    /// Submits one fire-and-forget task at [`Priority::Normal`]. A panicking
+    /// task is caught inside the worker: it neither kills the worker thread
+    /// nor poisons the shared injector, so subsequent jobs run normally.
+    pub fn execute(&self, task: Task) {
+        self.execute_at(Priority::Normal, task);
+    }
+
+    /// Submits one fire-and-forget task at an explicit priority.
+    pub fn execute_at(&self, priority: Priority, task: Task) {
+        self.injector.push(priority, task);
+    }
+
+    /// Applies `f` to every item concurrently (at [`Priority::Normal`]) and
+    /// returns the outputs in input order. Each output is
+    /// `Err(panic message)` if that item's closure panicked; other items are
+    /// unaffected.
     ///
     /// `on_done` is invoked once per completed item (in completion order, on
     /// the calling thread) with the number of items finished so far — the
     /// hook behind the engine's progress reporting.
     pub fn map<I, O, F>(
         &self,
+        items: Vec<I>,
+        f: Arc<F>,
+        on_done: impl FnMut(usize),
+    ) -> Vec<Result<O, String>>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(usize, I) -> O + Send + Sync + 'static,
+    {
+        self.map_at(Priority::Normal, items, f, on_done)
+    }
+
+    /// [`map`](Self::map) at an explicit scheduling priority.
+    pub fn map_at<I, O, F>(
+        &self,
+        priority: Priority,
         items: Vec<I>,
         f: Arc<F>,
         mut on_done: impl FnMut(usize),
@@ -113,14 +242,17 @@ impl ThreadPool {
         for (index, item) in items.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let results_tx = results_tx.clone();
-            self.execute(Box::new(move || {
-                let output = catch_unwind(AssertUnwindSafe(|| f(index, item)))
-                    .map_err(|payload| panic_message(payload.as_ref()));
-                // The receiver outlives all tasks of this call, but a later
-                // panic in the caller could drop it first; a send failure
-                // then only means nobody is listening anymore.
-                let _ = results_tx.send((index, output));
-            }));
+            self.execute_at(
+                priority,
+                Box::new(move || {
+                    let output = catch_unwind(AssertUnwindSafe(|| f(index, item)))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    // The receiver outlives all tasks of this call, but a later
+                    // panic in the caller could drop it first; a send failure
+                    // then only means nobody is listening anymore.
+                    let _ = results_tx.send((index, output));
+                }),
+            );
         }
         drop(results_tx);
         let mut slots: Vec<Option<Result<O, String>>> = (0..total).map(|_| None).collect();
@@ -148,9 +280,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.sender.send(Message::Shutdown);
-        }
+        self.injector.shutdown();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -161,6 +291,7 @@ impl Drop for ThreadPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
 
     #[test]
     fn map_preserves_input_order_for_any_thread_count() {
@@ -240,5 +371,59 @@ mod tests {
         let out = pool.map(vec![1u32, 2, 3], Arc::new(|_, x: u32| x + 1), |_| {});
         let got: Vec<u32> = out.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(got, vec![2, 3, 4], "pool survives panicking jobs");
+    }
+
+    #[test]
+    fn high_priority_tasks_overtake_a_queued_backlog() {
+        // One worker, blocked by a gate task; queue a normal backlog, then a
+        // high-priority task. When the gate opens, the high-priority task
+        // must run before every queued normal task.
+        let pool = ThreadPool::new(1);
+        let (gate_tx, gate_rx) = channel::<()>();
+        pool.execute(Box::new(move || {
+            let _ = gate_rx.recv();
+        }));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        for _ in 0..4 {
+            let order = Arc::clone(&order);
+            pool.execute_at(
+                Priority::Normal,
+                Box::new(move || order.lock().unwrap().push("normal")),
+            );
+        }
+        let (done_tx, done_rx) = channel::<()>();
+        {
+            let order = Arc::clone(&order);
+            pool.execute_at(
+                Priority::High,
+                Box::new(move || {
+                    order.lock().unwrap().push("high");
+                    let _ = done_tx.send(());
+                }),
+            );
+        }
+        // Everything above is queued behind the gate on the single worker
+        // (the gate task itself may or may not have been dequeued yet).
+        let queued = pool.queued();
+        assert!((5..=6).contains(&queued), "queued = {queued}");
+        gate_tx.send(()).unwrap();
+        done_rx.recv().unwrap();
+        assert_eq!(order.lock().unwrap().first(), Some(&"high"));
+    }
+
+    #[test]
+    fn queued_drains_to_zero() {
+        let pool = ThreadPool::new(2);
+        pool.map((0..64u32).collect(), Arc::new(|_, x: u32| x), |_| {});
+        assert_eq!(pool.queued(), 0, "map drains the injector");
+    }
+
+    #[test]
+    fn priority_spellings_round_trip() {
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(Priority::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
     }
 }

@@ -226,6 +226,33 @@ pub fn benchmark_by_name(name: &str, scale: SuiteScale) -> Option<Benchmark> {
         .map(|s| build(s, scale))
 }
 
+/// The tiny fixed `(name, hamiltonian, time)` set the golden regression
+/// files (`tests/golden/`) are rendered on. **One** definition, shared by
+/// the golden tests and the serve smoke's over-TCP replay — editing it
+/// means re-blessing the goldens (`MARQSIM_GOLDEN_REGEN=1`), and keeping a
+/// single source prevents the two consumers from silently diverging.
+pub fn golden_tiny_benchmarks() -> Vec<(&'static str, Hamiltonian, f64)> {
+    vec![
+        (
+            "example-4.1",
+            Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").expect("fixed input"),
+            std::f64::consts::FRAC_PI_4,
+        ),
+        (
+            "tiny-ising",
+            Hamiltonian::parse("1.0 ZZI + 0.8 IZZ + 0.5 XII + 0.5 IXI + 0.5 IIX")
+                .expect("fixed input"),
+            0.5,
+        ),
+        (
+            "tiny-heisenberg",
+            Hamiltonian::parse("0.6 XXII + 0.6 YYII + 0.6 ZZII + 0.4 IXXI + 0.4 IYYI + 0.4 IZZI")
+                .expect("fixed input"),
+            0.4,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

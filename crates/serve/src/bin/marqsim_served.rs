@@ -36,18 +36,42 @@ fn main() {
         }
     }
 
+    let max_in_flight = match std::env::var("MARQSIM_SERVE_MAX_IN_FLIGHT")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+    {
+        // Same strictness as the thread counts: 0 or garbage is a hard
+        // exit-2 diagnostic, never a silent fallback.
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "marqsim-served: invalid engine configuration: \
+                     MARQSIM_SERVE_MAX_IN_FLIGHT={raw:?} is not a positive in-flight job bound"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     let engine = Arc::new(Engine::new(config));
-    let server = match Server::bind(&addr, engine) {
+    let mut server = match Server::bind(&addr, engine) {
         Ok(server) => server,
         Err(error) => {
             eprintln!("marqsim-served: failed to bind {addr}: {error}");
             std::process::exit(1);
         }
     };
+    if let Some(limit) = max_in_flight {
+        server = server.with_max_in_flight(limit);
+    }
     match server.local_addr() {
         Ok(bound) => println!(
-            "[marqsim-served] listening on {bound} with {} worker threads",
-            server.engine().threads()
+            "[marqsim-served] listening on {bound} with {} worker threads (workloads: {})",
+            server.engine().threads(),
+            server.workload_kinds().join(", ")
         ),
         Err(_) => println!("[marqsim-served] listening on {addr}"),
     }

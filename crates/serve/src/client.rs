@@ -6,6 +6,12 @@
 //! not-yet-consumed events: [`Client::wait`] returns the terminal event of
 //! *its* job and leaves everything else buffered for later calls.
 //!
+//! Submission is open-ended: [`Client::submit`] takes a workload kind plus
+//! a raw params object (see [`protocol::sweep_params`](crate::protocol::sweep_params)
+//! and friends for the built-in shapes), so a client can drive any kind the
+//! server's registry knows — including custom ones — without client-side
+//! code changes. An admission rejection surfaces as [`ClientError::Busy`].
+//!
 //! This is the client the integration tests, the `serve_smoke` benchmark
 //! binary, and the `serve_roundtrip` example use; it is deliberately
 //! synchronous (one thread, blocking reads with a timeout) so its behavior
@@ -18,11 +24,11 @@ use std::time::Duration;
 
 use marqsim_core::experiment::SweepConfig;
 use marqsim_core::TransitionStrategy;
-use marqsim_engine::CacheStats;
+use marqsim_engine::{CacheStats, SubmitOptions};
 use marqsim_pauli::Hamiltonian;
 
-use crate::protocol::{Event, Outcome, Request, SubmitJob};
-use crate::wire::WireError;
+use crate::protocol::{sweep_params, Event, Outcome, Request, ServerStats};
+use crate::wire::{Json, WireError};
 
 /// Default blocking-read timeout. Long enough for any reduced-scale sweep;
 /// prevents a wedged server from hanging a test suite forever.
@@ -38,6 +44,14 @@ pub enum ClientError {
     /// The server answered with an `error` event, or violated the protocol
     /// (e.g. no `hello` on connect).
     Protocol(String),
+    /// A submit was rejected by admission control; resubmit after one of
+    /// the connection's jobs finishes.
+    Busy {
+        /// In-flight jobs on this connection at rejection time.
+        in_flight: usize,
+        /// The effective admission bound.
+        limit: usize,
+    },
     /// The awaited job terminated with a `failed` event.
     JobFailed {
         /// The failure kind (`"compile"`, `"panic"`, `"cancelled"`, …).
@@ -53,6 +67,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Wire(e) => write!(f, "malformed server message: {e}"),
             ClientError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            ClientError::Busy { in_flight, limit } => {
+                write!(
+                    f,
+                    "rejected by admission control ({in_flight} jobs in flight, limit {limit})"
+                )
+            }
             ClientError::JobFailed { kind, message } => {
                 write!(f, "job failed ({kind}): {message}")
             }
@@ -91,6 +111,8 @@ pub struct Client {
     pending: VecDeque<Event>,
     /// Server worker-thread count from the `hello` event.
     threads: usize,
+    /// Workload kinds the server advertised in `hello`.
+    workloads: Vec<String>,
 }
 
 impl Client {
@@ -111,9 +133,14 @@ impl Client {
             reader,
             pending: VecDeque::new(),
             threads: 0,
+            workloads: Vec::new(),
         };
         match client.read_event()? {
-            Event::Hello { protocol, threads } => {
+            Event::Hello {
+                protocol,
+                threads,
+                workloads,
+            } => {
                 if protocol != crate::protocol::PROTOCOL_VERSION {
                     return Err(ClientError::Protocol(format!(
                         "server speaks protocol {protocol}, client speaks {}",
@@ -121,6 +148,7 @@ impl Client {
                     )));
                 }
                 client.threads = threads;
+                client.workloads = workloads;
                 Ok(client)
             }
             other => Err(ClientError::Protocol(format!(
@@ -132,6 +160,11 @@ impl Client {
     /// The server's engine worker-thread count (from `hello`).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The workload kinds the server advertised (from `hello`).
+    pub fn workloads(&self) -> &[String] {
+        &self.workloads
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
@@ -181,22 +214,48 @@ impl Client {
         }
     }
 
-    /// Submits a job and returns its server-assigned id.
+    /// Submits a workload of `kind` with default options and returns its
+    /// server-assigned id.
     ///
     /// # Errors
     ///
-    /// Fails on transport errors or a server-side rejection.
-    pub fn submit(&mut self, label: &str, job: SubmitJob) -> Result<u64, ClientError> {
+    /// Fails on transport errors, an admission rejection
+    /// ([`ClientError::Busy`]), or a server-side rejection of the kind or
+    /// params.
+    pub fn submit(&mut self, label: &str, kind: &str, params: Json) -> Result<u64, ClientError> {
+        self.submit_with_options(label, kind, params, SubmitOptions::default())
+    }
+
+    /// Submits a workload with explicit [`SubmitOptions`] (priority,
+    /// admission bound, progress cadence).
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit).
+    pub fn submit_with_options(
+        &mut self,
+        label: &str,
+        kind: &str,
+        params: Json,
+        options: SubmitOptions,
+    ) -> Result<u64, ClientError> {
         self.send(&Request::Submit {
             label: label.to_string(),
-            job,
+            kind: kind.to_string(),
+            params,
+            options,
         })?;
-        // Submit acks are emitted in request order, so the first submitted
-        // event to arrive after this request is ours (events of earlier
-        // jobs may interleave and are buffered).
-        match self.wait_for(|event| matches!(event, Event::Submitted { .. }))? {
+        // Submit acks (and busy rejections) are emitted in request order,
+        // so the first such event to arrive after this request is ours
+        // (events of earlier jobs may interleave and are buffered).
+        match self
+            .wait_for(|event| matches!(event, Event::Submitted { .. } | Event::Busy { .. }))?
+        {
             Event::Submitted { job, .. } => Ok(job),
-            _ => unreachable!("matcher admits only submitted events"),
+            Event::Busy {
+                in_flight, limit, ..
+            } => Err(ClientError::Busy { in_flight, limit }),
+            _ => unreachable!("matcher admits only submitted/busy events"),
         }
     }
 
@@ -215,11 +274,8 @@ impl Client {
     ) -> Result<u64, ClientError> {
         self.submit(
             label,
-            SubmitJob::Sweep {
-                hamiltonian: ham.to_string(),
-                strategy: strategy.clone(),
-                config: config.clone(),
-            },
+            "sweep",
+            sweep_params(&ham.to_string(), strategy, config),
         )
     }
 
@@ -331,15 +387,16 @@ impl Client {
         self.wait_for(|event| matches!(event, Event::Status { job: j, .. } if *j == job))
     }
 
-    /// Fetches engine-wide statistics: `(worker threads, cache counters)`.
+    /// Fetches engine-wide statistics plus this connection's in-flight
+    /// gauge.
     ///
     /// # Errors
     ///
     /// Fails on transport errors.
-    pub fn stats(&mut self) -> Result<(usize, CacheStats), ClientError> {
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         self.send(&Request::Stats)?;
         match self.wait_for(|event| matches!(event, Event::Stats { .. }))? {
-            Event::Stats { threads, cache } => Ok((threads, cache)),
+            Event::Stats(stats) => Ok(stats),
             _ => unreachable!("matcher admits only stats events"),
         }
     }

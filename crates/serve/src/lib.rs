@@ -1,12 +1,13 @@
 //! # marqsim-serve — the job-submission front-end over the engine
 //!
-//! The `marqsim-engine` crate runs batches synchronously inside one
-//! process. This crate puts a network protocol on top, the next step
-//! toward the ROADMAP's "serve heavy traffic to remote clients" north
-//! star: a `marqsim-served` daemon accepts concurrent TCP connections,
-//! multiplexes every client's jobs onto **one shared engine** (one worker
-//! pool, one transition cache — two clients sweeping the same Hamiltonian
-//! share the min-cost-flow solve), streams per-job progress, and supports
+//! The `marqsim-engine` crate runs workloads inside one process. This
+//! crate puts a network protocol on top, the next step toward the
+//! ROADMAP's "serve heavy traffic to remote clients" north star: a
+//! `marqsim-served` daemon accepts concurrent TCP connections, multiplexes
+//! every client's jobs onto **one shared engine** (one worker pool, one
+//! transition cache — two clients sweeping the same Hamiltonian share the
+//! min-cost-flow solve), streams per-job progress, bounds each
+//! connection's in-flight jobs (admission control), and supports
 //! cooperative cancellation.
 //!
 //! The module layering mirrors the protocol stack:
@@ -17,10 +18,18 @@
 //!   ids/seeds are exact; finite floats use shortest-round-trip encoding,
 //!   so results cross the wire **bit-identically**.
 //! * [`protocol`] — typed [`Request`] verbs (`submit`, `status`, `cancel`,
-//!   `stats`) and [`Event`] streams (`hello`, `submitted`, `progress`,
-//!   `done`, `failed`, `status`, `stats`, `error`).
+//!   `stats`) and [`Event`] streams (`hello`, `submitted`, `busy`,
+//!   `progress`, `done`, `failed`, `status`, `stats`, `error`).
+//! * [`registry`] — the open end of the protocol: `submit` names a
+//!   workload *kind* plus a params object, and the
+//!   [`WorkloadRegistry`] maps kinds to decoders/encoders. The four
+//!   built-in kinds (`sweep`, `compile`, `perturb_average`,
+//!   `benchmark_suite`) cover the evaluation; custom
+//!   [`Workload`](marqsim_engine::Workload)s register new kinds with **no
+//!   protocol surgery**.
 //! * [`server`] — the TCP accept loop; one reader/writer thread pair per
-//!   connection over the shared [`Engine`](marqsim_engine::Engine).
+//!   connection over the shared [`Engine`](marqsim_engine::Engine), with
+//!   per-connection admission control.
 //! * [`client`] — a blocking client used by the tests, the `serve_smoke`
 //!   binary, and the `serve_roundtrip` example.
 //!
@@ -39,6 +48,9 @@
 //!   `127.0.0.1:7878`; port `0` lets the OS pick and prints the result).
 //! * `MARQSIM_SERVE_THREADS=N` — engine worker count for the served
 //!   engine; unset falls back to `MARQSIM_THREADS`, then to all cores.
+//! * `MARQSIM_SERVE_MAX_IN_FLIGHT=N` — per-connection in-flight job bound
+//!   (a submit's `options.max_in_flight` can tighten it per request, never
+//!   raise it; default [`server::DEFAULT_MAX_IN_FLIGHT`]).
 //! * The engine cache variables (`MARQSIM_CACHE`, `MARQSIM_CACHE_CAP`,
 //!   `MARQSIM_CACHE_DIR`) apply unchanged.
 //!
@@ -47,7 +59,7 @@
 //! ```
 //! use std::sync::Arc;
 //! use marqsim_engine::{Engine, EngineConfig};
-//! use marqsim_serve::{Client, Server};
+//! use marqsim_serve::{Client, Outcome, Server};
 //! use marqsim_core::experiment::SweepConfig;
 //! use marqsim_core::TransitionStrategy;
 //! use marqsim_pauli::Hamiltonian;
@@ -66,7 +78,7 @@
 //! )?;
 //! let result = client.wait(job)?;
 //! match result.outcome {
-//!     marqsim_serve::Outcome::Sweep(sweep) => assert_eq!(sweep.points.len(), 6),
+//!     Outcome::Sweep(sweep) => assert_eq!(sweep.points.len(), 6),
 //!     _ => unreachable!(),
 //! }
 //! server.shutdown();
@@ -76,11 +88,16 @@
 
 pub mod client;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, JobResult};
-pub use protocol::{CompileSummary, Event, Outcome, Request, SubmitJob, PROTOCOL_VERSION};
+pub use protocol::{
+    compile_params, perturb_params, suite_params, sweep_params, CompileSummary, Event, Outcome,
+    Request, ServerStats, PROTOCOL_VERSION,
+};
+pub use registry::WorkloadRegistry;
 pub use server::{Server, ServerHandle};
 pub use wire::{Json, WireError};
 
@@ -89,7 +106,7 @@ mod tests {
     use super::*;
     use marqsim_core::experiment::SweepConfig;
     use marqsim_core::TransitionStrategy;
-    use marqsim_engine::{Engine, EngineConfig};
+    use marqsim_engine::{Engine, EngineConfig, SubmitOptions};
     use marqsim_pauli::Hamiltonian;
     use std::sync::Arc;
 
@@ -110,6 +127,11 @@ mod tests {
         let server = spawn_server(2);
         let mut client = Client::connect(server.addr()).unwrap();
         assert_eq!(client.threads(), 2);
+        assert_eq!(
+            client.workloads(),
+            &["benchmark_suite", "compile", "perturb_average", "sweep"],
+            "hello advertises the built-in kinds, sorted"
+        );
 
         let config = SweepConfig::quick(0.5);
         let job = client
@@ -141,14 +163,15 @@ mod tests {
         let job = client
             .submit(
                 "t/compile",
-                SubmitJob::Compile {
-                    hamiltonian: "0.6 XZ + 0.4 ZY + 0.3 XX".to_string(),
-                    strategy: TransitionStrategy::QDrift,
-                    time: 0.4,
-                    epsilon: 0.05,
-                    seed: 2,
-                    evaluate_fidelity: true,
-                },
+                "compile",
+                compile_params(
+                    "0.6 XZ + 0.4 ZY + 0.3 XX",
+                    &TransitionStrategy::QDrift,
+                    0.4,
+                    0.05,
+                    2,
+                    true,
+                ),
             )
             .unwrap();
         let result = client.wait(job).unwrap();
@@ -158,6 +181,41 @@ mod tests {
                 assert!(summary.lambda > 0.0);
                 let fidelity = summary.fidelity.expect("fidelity requested");
                 assert!(fidelity > 0.9 && fidelity <= 1.0 + 1e-9);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn perturb_average_jobs_round_trip_the_matrix() {
+        use marqsim_core::perturb::{perturbed_matrix_sample, PerturbationConfig};
+        use marqsim_markov::combine::combine;
+
+        let server = spawn_server(2);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let small = Hamiltonian::parse("0.6 XZ + 0.4 ZY + 0.3 XX").unwrap();
+        let config = PerturbationConfig {
+            samples: 4,
+            seed: 5,
+            ..Default::default()
+        };
+        let job = client
+            .submit(
+                "t/prp",
+                "perturb_average",
+                perturb_params(&small.to_string(), &config),
+            )
+            .unwrap();
+        let result = client.wait(job).unwrap();
+        let matrices: Vec<_> = (0..config.samples)
+            .map(|i| perturbed_matrix_sample(&small, &config, i).unwrap())
+            .collect();
+        let expected = combine(&matrices, &[0.25; 4]).unwrap();
+        match result.outcome {
+            Outcome::PerturbAverage(back) => {
+                assert_eq!(back.samples, 4);
+                assert_eq!(back.matrix, expected, "matrix crosses the wire bit-exactly");
             }
             other => panic!("unexpected outcome {other:?}"),
         }
@@ -199,9 +257,142 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
 
-        let (threads, cache) = client.stats().unwrap();
-        assert_eq!(threads, 1);
-        assert!(cache.misses >= 1, "the sweep populated the cache");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.threads, 1);
+        assert!(stats.cache.misses >= 1, "the sweep populated the cache");
+        assert_eq!(stats.in_flight, 0, "the finished job freed its slot");
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_submits_over_the_bound() {
+        let server = spawn_server(1);
+        let mut client = Client::connect(server.addr()).unwrap();
+        // A slow job occupies the single admission slot...
+        let big = SweepConfig {
+            time: 0.5,
+            epsilons: vec![0.1; 6],
+            repeats: 8,
+            base_seed: 2,
+            evaluate_fidelity: false,
+        };
+        let options = SubmitOptions::new().with_max_in_flight(1);
+        let blocker = client
+            .submit_with_options(
+                "t/occupy",
+                "sweep",
+                sweep_params(&ham().to_string(), &TransitionStrategy::QDrift, &big),
+                options.clone(),
+            )
+            .unwrap();
+        // ...so a second submit under the same bound is rejected, with the
+        // structured busy payload.
+        match client.submit_with_options(
+            "t/rejected",
+            "sweep",
+            sweep_params(
+                &ham().to_string(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            ),
+            options,
+        ) {
+            Err(ClientError::Busy { in_flight, limit }) => {
+                assert_eq!(in_flight, 1);
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        // The stats verb reports the gauge (≤ 1: the blocker may complete
+        // between the rejection and this round trip — the exact value at
+        // rejection time is pinned by the busy payload above).
+        let stats = client.stats().unwrap();
+        assert!(stats.in_flight <= 1);
+        // Once the blocker finishes, the slot frees and submits flow again.
+        client.wait(blocker).unwrap();
+        let job = client
+            .submit_sweep(
+                "t/after-busy",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        assert!(client.wait(job).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn clients_cannot_raise_the_server_admission_bound() {
+        // The server's bound is 1; a request asking for a million in-flight
+        // jobs must still be held to 1 (the per-request value only
+        // tightens).
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(1)));
+        let server = Server::bind("127.0.0.1:0", engine)
+            .expect("bind")
+            .with_max_in_flight(1)
+            .spawn()
+            .expect("spawn");
+        let mut client = Client::connect(server.addr()).unwrap();
+        let greedy = SubmitOptions::new().with_max_in_flight(1_000_000);
+        let blocker = client
+            .submit_with_options(
+                "t/greedy-1",
+                "sweep",
+                sweep_params(
+                    &ham().to_string(),
+                    &TransitionStrategy::QDrift,
+                    &SweepConfig {
+                        time: 0.5,
+                        epsilons: vec![0.1; 6],
+                        repeats: 8,
+                        base_seed: 2,
+                        evaluate_fidelity: false,
+                    },
+                ),
+                greedy.clone(),
+            )
+            .unwrap();
+        match client.submit_with_options(
+            "t/greedy-2",
+            "sweep",
+            sweep_params(
+                &ham().to_string(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            ),
+            greedy,
+        ) {
+            Err(ClientError::Busy { limit, .. }) => {
+                assert_eq!(limit, 1, "server bound wins over the client's ask")
+            }
+            other => panic!("expected busy at the server bound, got {other:?}"),
+        }
+        client.wait(blocker).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected_naming_the_known_ones() {
+        let server = spawn_server(1);
+        let mut client = Client::connect(server.addr()).unwrap();
+        match client.submit("t/unknown", "teleport", Json::obj([])) {
+            Err(ClientError::Protocol(message)) => {
+                assert!(message.contains("teleport"), "{message}");
+                assert!(message.contains("sweep"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The connection survives the rejection.
+        let job = client
+            .submit_sweep(
+                "t/after-unknown",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        assert!(client.wait(job).is_ok());
         server.shutdown();
     }
 
@@ -275,7 +466,7 @@ mod tests {
             let mut error_line = String::new();
             reader.read_line(&mut error_line).unwrap();
             assert!(error_line.contains("\"error\""), "{error_line}");
-            raw.write_all(br#"{"verb":"submit","label":"x","job":{"kind":"sweep","hamiltonian":"not a ham","strategy":{"kind":"qdrift"},"config":{"time":0.5,"epsilons":[0.1],"repeats":1,"base_seed":1,"evaluate_fidelity":false}}}"#).unwrap();
+            raw.write_all(br#"{"verb":"submit","label":"x","kind":"sweep","params":{"hamiltonian":"not a ham","strategy":{"kind":"qdrift"},"config":{"time":0.5,"epsilons":[0.1],"repeats":1,"base_seed":1,"evaluate_fidelity":false}}}"#).unwrap();
             raw.write_all(b"\n").unwrap();
             let mut error_line = String::new();
             reader.read_line(&mut error_line).unwrap();

@@ -4,25 +4,41 @@
 //! protocol is versioned by the `hello` event the server sends on connect;
 //! a client should check [`PROTOCOL_VERSION`] before submitting.
 //!
+//! # The open submit verb
+//!
+//! Protocol 2 generalizes `submit` from a closed job enum to a **workload
+//! kind** plus an opaque `params` object. The server resolves the kind
+//! through its [`WorkloadRegistry`](crate::WorkloadRegistry); the `hello`
+//! event advertises the kinds a server accepts. New workloads therefore
+//! change *no* protocol code — only a registry entry.
+//!
 //! # Verbs (client → server)
 //!
 //! ```json
-//! {"verb":"submit","label":"sweep/h2","job":{"kind":"sweep","hamiltonian":"0.9 ZZ + 0.5 XX","strategy":{"kind":"gate-cancellation","qdrift_weight":0.4},"config":{"time":0.5,"epsilons":[0.1,0.05],"repeats":3,"base_seed":1,"evaluate_fidelity":false}}}
+//! {"verb":"submit","label":"sweep/h2","kind":"sweep","params":{"hamiltonian":"0.9 ZZ + 0.5 XX","strategy":{"kind":"gate-cancellation","qdrift_weight":0.4},"config":{"time":0.5,"epsilons":[0.1,0.05],"repeats":3,"base_seed":1,"evaluate_fidelity":false}},"options":{"priority":"high","max_in_flight":4,"progress_units":100,"progress_ms":100}}
 //! {"verb":"status","job":1}
 //! {"verb":"cancel","job":1}
 //! {"verb":"stats"}
 //! ```
 //!
+//! The `options` object is optional, as is each of its fields:
+//! `priority` (`"low"`/`"normal"`/`"high"`), `max_in_flight` (admission
+//! bound for this connection — tightens the server default, never raises
+//! it), `progress_units` / `progress_ms` (progress coalescing — at most
+//! one event per that many units / milliseconds; a lone `progress_ms`
+//! disables the unit axis entirely).
+//!
 //! # Events (server → client)
 //!
 //! ```json
-//! {"event":"hello","protocol":1,"threads":4}
+//! {"event":"hello","protocol":2,"threads":4,"workloads":["benchmark_suite","compile","perturb_average","sweep"]}
 //! {"event":"submitted","job":1,"label":"sweep/h2"}
+//! {"event":"busy","label":"sweep/h2","in_flight":4,"limit":4}
 //! {"event":"progress","job":1,"completed":3,"total":6}
 //! {"event":"done","job":1,"outcome":{"kind":"sweep",...},"cache_delta":{...}}
 //! {"event":"failed","job":1,"kind":"cancelled","message":"..."}
 //! {"event":"status","job":1,"known":true,"finished":false,"cancelled":false,"completed":3,"total":6}
-//! {"event":"stats","threads":4,"cache":{...}}
+//! {"event":"stats","threads":4,"cache":{...},"active_jobs":2,"queue_depth":17,"in_flight":1}
 //! {"event":"error","message":"..."}
 //! ```
 //!
@@ -30,27 +46,40 @@
 //! are exact integers, floats use shortest-round-trip encoding, so a sweep
 //! result decoded from the wire is bit-identical to the in-process result.
 
+use std::time::Duration;
+
 use marqsim_core::experiment::{ExperimentPoint, SweepConfig, SweepResult};
 use marqsim_core::metrics::SequenceStats;
 use marqsim_core::perturb::PerturbationConfig;
 use marqsim_core::TransitionStrategy;
-use marqsim_engine::{CacheStats, EngineError};
+use marqsim_engine::{
+    BenchmarkSuiteResult, CacheStats, EngineError, PerturbAverageResult, Priority, ProgressCadence,
+    SubmitOptions, SuiteCaseResult,
+};
+use marqsim_markov::TransitionMatrix;
 
 use crate::wire::{Json, WireError};
 
-/// Version of the wire protocol; bumped on breaking changes.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Version of the wire protocol; bumped on breaking changes. Version 2
+/// introduced the open (kind + params) submit verb, submit options,
+/// admission control (`busy`), and the extended `stats` event.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Submit one job; the server answers with `submitted` carrying the
-    /// job id, then streams `progress` and finally `done` / `failed`.
+    /// Submit one workload; the server answers with `submitted` carrying
+    /// the job id (or `busy` when the connection's admission bound is hit),
+    /// then streams `progress` and finally `done` / `failed`.
     Submit {
         /// Client-chosen label echoed in every event about this job.
         label: String,
-        /// The work itself.
-        job: SubmitJob,
+        /// Workload kind, resolved through the server's registry.
+        kind: String,
+        /// Kind-specific parameters, passed to the registry decoder as-is.
+        params: Json,
+        /// Typed submission options (priority, admission, progress cadence).
+        options: SubmitOptions,
     },
     /// Query one job's state.
     Status {
@@ -66,38 +95,20 @@ pub enum Request {
     Stats,
 }
 
-/// The payload of a `submit` request. The Hamiltonian travels in the
-/// `marqsim_pauli::Hamiltonian::parse` textual format (coefficients use
-/// shortest-round-trip float formatting, so the parse is exact).
-#[derive(Debug, Clone, PartialEq)]
-pub enum SubmitJob {
-    /// A full sweep (the engine's `SweepRequest`).
-    Sweep {
-        /// Textual Hamiltonian.
-        hamiltonian: String,
-        /// Transition strategy for every point.
-        strategy: TransitionStrategy,
-        /// Sweep configuration.
-        config: SweepConfig,
-    },
-    /// A single compile (the engine's `CompileRequest`), reported back as a
-    /// summary (sample count + sequence-level gate statistics + optional
-    /// fidelity).
-    Compile {
-        /// Textual Hamiltonian.
-        hamiltonian: String,
-        /// Transition strategy.
-        strategy: TransitionStrategy,
-        /// Evolution time `t`.
-        time: f64,
-        /// Target precision `ε`.
-        epsilon: f64,
-        /// RNG seed.
-        seed: u64,
-        /// Whether to also evaluate unitary fidelity (exponential in qubit
-        /// count).
-        evaluate_fidelity: bool,
-    },
+/// The payload of the `stats` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Engine worker-thread count.
+    pub threads: usize,
+    /// Engine-wide cache counters.
+    pub cache: CacheStats,
+    /// Jobs submitted (engine-wide) that have not yet produced an outcome.
+    pub active_jobs: usize,
+    /// Point-level tasks waiting in the pool's injector.
+    pub queue_depth: usize,
+    /// In-flight jobs on *this* connection (what the admission bound
+    /// compares against).
+    pub in_flight: usize,
 }
 
 /// A server event.
@@ -109,6 +120,8 @@ pub enum Event {
         protocol: u64,
         /// Engine worker-thread count.
         threads: usize,
+        /// Workload kinds this server accepts, sorted.
+        workloads: Vec<String>,
     },
     /// Acknowledges a `submit`; all later events about this job carry `job`.
     Submitted {
@@ -117,13 +130,25 @@ pub enum Event {
         /// The label from the request.
         label: String,
     },
-    /// One point-level task of the job finished.
+    /// A `submit` was rejected by admission control: the connection already
+    /// has `in_flight` unfinished jobs against a bound of `limit`. Nothing
+    /// was queued; resubmit after a `done`/`failed` event frees a slot.
+    Busy {
+        /// The label of the rejected request (no job id was assigned).
+        label: String,
+        /// In-flight jobs on this connection at rejection time.
+        in_flight: usize,
+        /// The effective admission bound.
+        limit: usize,
+    },
+    /// One unit of the job finished (subject to the submit's progress
+    /// cadence).
     Progress {
         /// Job id.
         job: u64,
-        /// Tasks finished so far.
+        /// Units finished so far.
         completed: usize,
-        /// Total tasks of the job.
+        /// Total units of the job.
         total: usize,
     },
     /// The job finished successfully.
@@ -141,7 +166,9 @@ pub enum Event {
     Failed {
         /// Job id.
         job: u64,
-        /// `"compile"`, `"panic"`, `"cancelled"`, or `"invalid-config"`.
+        /// `"compile"`, `"panic"`, `"cancelled"`, `"workload"`,
+        /// `"invalid-config"`, or `"encode"` (registry encoder rejected the
+        /// output).
         kind: String,
         /// Human-readable description.
         message: String,
@@ -156,18 +183,13 @@ pub enum Event {
         finished: bool,
         /// Whether cancellation has been requested.
         cancelled: bool,
-        /// Tasks finished so far.
+        /// Units finished so far.
         completed: usize,
-        /// Total tasks (0 until expansion).
+        /// Total units (0 until expansion).
         total: usize,
     },
     /// Answer to `stats`.
-    Stats {
-        /// Engine worker-thread count.
-        threads: usize,
-        /// Engine-wide cache counters.
-        cache: CacheStats,
-    },
+    Stats(ServerStats),
     /// A request could not be understood or carried invalid data. The
     /// connection stays open.
     Error {
@@ -176,13 +198,26 @@ pub enum Event {
     },
 }
 
-/// A finished job's payload.
+/// A finished job's payload. Built-in kinds decode to typed variants; any
+/// other kind (a custom registry entry) decodes to [`Outcome::Other`] with
+/// the raw JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
-    /// Result of a sweep job.
+    /// Result of a `sweep` job.
     Sweep(SweepResult),
-    /// Summary of a compile job.
+    /// Summary of a `compile` job.
     Compile(CompileSummary),
+    /// Result of a `perturb_average` job (bit-exact matrix round trip).
+    PerturbAverage(PerturbAverageResult),
+    /// Result of a `benchmark_suite` job.
+    Suite(BenchmarkSuiteResult),
+    /// A custom workload kind's outcome, as raw JSON.
+    Other {
+        /// The `kind` field of the outcome object.
+        kind: String,
+        /// The full outcome object.
+        value: Json,
+    },
 }
 
 /// The wire summary of a compile job (the full `CompileResult` holds the
@@ -201,40 +236,40 @@ pub struct CompileSummary {
 }
 
 // ---------------------------------------------------------------------------
-// Field-access helpers
+// Field-access helpers (shared with the registry codecs)
 // ---------------------------------------------------------------------------
 
-fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+pub(crate) fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, WireError> {
     obj.get(key)
         .ok_or_else(|| WireError::shape(format!("missing field '{key}'")))
 }
 
-fn str_field(obj: &Json, key: &str) -> Result<String, WireError> {
+pub(crate) fn str_field(obj: &Json, key: &str) -> Result<String, WireError> {
     field(obj, key)?
         .as_str()
         .map(str::to_string)
         .ok_or_else(|| WireError::shape(format!("field '{key}' must be a string")))
 }
 
-fn u64_field(obj: &Json, key: &str) -> Result<u64, WireError> {
+pub(crate) fn u64_field(obj: &Json, key: &str) -> Result<u64, WireError> {
     field(obj, key)?
         .as_u64()
         .ok_or_else(|| WireError::shape(format!("field '{key}' must be an unsigned integer")))
 }
 
-fn usize_field(obj: &Json, key: &str) -> Result<usize, WireError> {
+pub(crate) fn usize_field(obj: &Json, key: &str) -> Result<usize, WireError> {
     field(obj, key)?
         .as_usize()
         .ok_or_else(|| WireError::shape(format!("field '{key}' must be an unsigned integer")))
 }
 
-fn f64_field(obj: &Json, key: &str) -> Result<f64, WireError> {
+pub(crate) fn f64_field(obj: &Json, key: &str) -> Result<f64, WireError> {
     field(obj, key)?
         .as_f64()
         .ok_or_else(|| WireError::shape(format!("field '{key}' must be a number")))
 }
 
-fn bool_field(obj: &Json, key: &str) -> Result<bool, WireError> {
+pub(crate) fn bool_field(obj: &Json, key: &str) -> Result<bool, WireError> {
     field(obj, key)?
         .as_bool()
         .ok_or_else(|| WireError::shape(format!("field '{key}' must be a boolean")))
@@ -248,6 +283,16 @@ fn opt_f64_field(obj: &Json, key: &str) -> Result<Option<f64>, WireError> {
             .as_f64()
             .map(Some)
             .ok_or_else(|| WireError::shape(format!("field '{key}' must be a number or null"))),
+    }
+}
+
+fn opt_usize_field(obj: &Json, key: &str) -> Result<Option<usize>, WireError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(value) if value.is_null() => Ok(None),
+        Some(value) => value.as_usize().map(Some).ok_or_else(|| {
+            WireError::shape(format!("field '{key}' must be an unsigned integer or null"))
+        }),
     }
 }
 
@@ -273,7 +318,7 @@ fn perturbation_from_json(json: &Json) -> Result<PerturbationConfig, WireError> 
     })
 }
 
-/// Encodes a strategy (public: the client builds submit requests from it).
+/// Encodes a strategy (public: clients build submit params from it).
 pub fn strategy_to_json(strategy: &TransitionStrategy) -> Json {
     match strategy {
         TransitionStrategy::QDrift => Json::obj([("kind", "qdrift".into())]),
@@ -346,7 +391,12 @@ fn sweep_config_to_json(config: &SweepConfig) -> Json {
     ])
 }
 
-fn sweep_config_from_json(json: &Json) -> Result<SweepConfig, WireError> {
+/// Decodes a sweep configuration (shared with the registry codecs).
+///
+/// # Errors
+///
+/// Returns a shape [`WireError`] on malformed input.
+pub fn sweep_config_from_json(json: &Json) -> Result<SweepConfig, WireError> {
     let epsilons = field(json, "epsilons")?
         .as_arr()
         .ok_or_else(|| WireError::shape("field 'epsilons' must be an array"))?
@@ -363,6 +413,144 @@ fn sweep_config_from_json(json: &Json) -> Result<SweepConfig, WireError> {
         base_seed: u64_field(json, "base_seed")?,
         evaluate_fidelity: bool_field(json, "evaluate_fidelity")?,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Submit-params builders (client side)
+// ---------------------------------------------------------------------------
+
+/// Builds the `params` object of a `sweep` submit. The Hamiltonian travels
+/// in the `marqsim_pauli::Hamiltonian::parse` textual format (coefficients
+/// use shortest-round-trip float formatting, so the parse is exact).
+pub fn sweep_params(
+    hamiltonian: &str,
+    strategy: &TransitionStrategy,
+    config: &SweepConfig,
+) -> Json {
+    Json::obj([
+        ("hamiltonian", hamiltonian.into()),
+        ("strategy", strategy_to_json(strategy)),
+        ("config", sweep_config_to_json(config)),
+    ])
+}
+
+/// Builds the `params` object of a `compile` submit.
+pub fn compile_params(
+    hamiltonian: &str,
+    strategy: &TransitionStrategy,
+    time: f64,
+    epsilon: f64,
+    seed: u64,
+    evaluate_fidelity: bool,
+) -> Json {
+    Json::obj([
+        ("hamiltonian", hamiltonian.into()),
+        ("strategy", strategy_to_json(strategy)),
+        ("time", time.into()),
+        ("epsilon", epsilon.into()),
+        ("seed", seed.into()),
+        ("evaluate_fidelity", evaluate_fidelity.into()),
+    ])
+}
+
+/// Builds the `params` object of a `perturb_average` submit.
+pub fn perturb_params(hamiltonian: &str, config: &PerturbationConfig) -> Json {
+    Json::obj([
+        ("hamiltonian", hamiltonian.into()),
+        ("samples", config.samples.into()),
+        ("magnitude", config.magnitude.into()),
+        ("probability", config.probability.into()),
+        ("seed", config.seed.into()),
+    ])
+}
+
+/// Builds the `params` object of a `benchmark_suite` submit from
+/// `(benchmark, hamiltonian, strategy, config)` cases.
+pub fn suite_params(cases: &[(String, String, TransitionStrategy, SweepConfig)]) -> Json {
+    Json::obj([(
+        "cases",
+        Json::Arr(
+            cases
+                .iter()
+                .map(|(benchmark, hamiltonian, strategy, config)| {
+                    Json::obj([
+                        ("benchmark", benchmark.as_str().into()),
+                        ("hamiltonian", hamiltonian.as_str().into()),
+                        ("strategy", strategy_to_json(strategy)),
+                        ("config", sweep_config_to_json(config)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+// ---------------------------------------------------------------------------
+// Submit-options codec
+// ---------------------------------------------------------------------------
+
+fn options_to_json(options: &SubmitOptions) -> Json {
+    let mut fields: Vec<(&str, Json)> = Vec::new();
+    if options.priority != Priority::Normal {
+        fields.push(("priority", options.priority.as_str().into()));
+    }
+    if let Some(max_in_flight) = options.max_in_flight {
+        fields.push(("max_in_flight", max_in_flight.into()));
+    }
+    // `progress_units` is omitted only when the decoder reconstructs the
+    // identical cadence without it: the every-unit default (units=1, no
+    // interval) and the interval-only marker (units=usize::MAX, which a
+    // lone `progress_ms` implies). In particular units=1 *with* an
+    // interval must be written explicitly, or the decode would flip it to
+    // interval-only and change progress behavior over the wire.
+    let cadence = options.progress_every;
+    let implied = (cadence.units == 1 && cadence.interval.is_none())
+        || (cadence.units == usize::MAX && cadence.interval.is_some());
+    if !implied {
+        fields.push(("progress_units", cadence.units.into()));
+    }
+    if let Some(interval) = options.progress_every.interval {
+        fields.push(("progress_ms", (interval.as_millis() as u64).into()));
+    }
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn options_from_json(json: Option<&Json>) -> Result<SubmitOptions, WireError> {
+    let mut options = SubmitOptions::default();
+    let Some(json) = json else {
+        return Ok(options);
+    };
+    if let Some(priority) = json.get("priority") {
+        let spelling = priority
+            .as_str()
+            .ok_or_else(|| WireError::shape("field 'priority' must be a string"))?;
+        options.priority = Priority::parse(spelling).ok_or_else(|| {
+            WireError::shape(format!(
+                "unknown priority '{spelling}' (use low/normal/high)"
+            ))
+        })?;
+    }
+    options.max_in_flight = opt_usize_field(json, "max_in_flight")?;
+    let units = opt_usize_field(json, "progress_units")?;
+    let interval = match json.get("progress_ms") {
+        Some(_) => Some(Duration::from_millis(u64_field(json, "progress_ms")?)),
+        None => None,
+    };
+    options.progress_every = match (units, interval) {
+        (None, None) => ProgressCadence::default(),
+        (Some(units), None) => ProgressCadence::every(units),
+        (Some(units), Some(interval)) => ProgressCadence::every(units).with_interval(interval),
+        // Interval-only: the unit axis must be disabled, or the default
+        // units=1 would emit on every report and the interval would never
+        // coalesce anything.
+        (None, Some(interval)) => ProgressCadence::every_interval(interval),
+    };
+    Ok(options)
 }
 
 // ---------------------------------------------------------------------------
@@ -439,6 +627,111 @@ pub fn sweep_result_from_json(json: &Json) -> Result<SweepResult, WireError> {
     })
 }
 
+/// Encodes a compile summary as a `compile` outcome object.
+pub fn compile_summary_to_json(summary: &CompileSummary) -> Json {
+    Json::obj([
+        ("kind", "compile".into()),
+        ("num_samples", summary.num_samples.into()),
+        ("lambda", summary.lambda.into()),
+        ("stats", stats_to_json(&summary.stats)),
+        ("fidelity", summary.fidelity.into()),
+    ])
+}
+
+fn compile_summary_from_json(json: &Json) -> Result<CompileSummary, WireError> {
+    Ok(CompileSummary {
+        num_samples: usize_field(json, "num_samples")?,
+        lambda: f64_field(json, "lambda")?,
+        stats: stats_from_json(field(json, "stats")?)?,
+        fidelity: opt_f64_field(json, "fidelity")?,
+    })
+}
+
+/// Encodes a perturbation-average result as a `perturb_average` outcome
+/// object (the full matrix, bit-exact floats).
+pub fn perturb_result_to_json(result: &PerturbAverageResult) -> Json {
+    Json::obj([
+        ("kind", "perturb_average".into()),
+        ("label", result.label.as_str().into()),
+        ("samples", result.samples.into()),
+        (
+            "matrix",
+            Json::Arr(
+                result
+                    .matrix
+                    .rows()
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&p| p.into()).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn perturb_result_from_json(json: &Json) -> Result<PerturbAverageResult, WireError> {
+    let rows = field(json, "matrix")?
+        .as_arr()
+        .ok_or_else(|| WireError::shape("field 'matrix' must be an array"))?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| WireError::shape("matrix rows must be arrays"))?
+                .iter()
+                .map(|p| {
+                    p.as_f64()
+                        .ok_or_else(|| WireError::shape("matrix entries must be numbers"))
+                })
+                .collect::<Result<Vec<f64>, WireError>>()
+        })
+        .collect::<Result<Vec<Vec<f64>>, WireError>>()?;
+    let matrix = TransitionMatrix::new(rows)
+        .map_err(|e| WireError::shape(format!("matrix is not row-stochastic: {e}")))?;
+    Ok(PerturbAverageResult {
+        label: str_field(json, "label")?,
+        samples: usize_field(json, "samples")?,
+        matrix,
+    })
+}
+
+/// Encodes a benchmark-suite result as a `benchmark_suite` outcome object.
+pub fn suite_result_to_json(result: &BenchmarkSuiteResult) -> Json {
+    Json::obj([
+        ("kind", "benchmark_suite".into()),
+        (
+            "cases",
+            Json::Arr(
+                result
+                    .cases
+                    .iter()
+                    .map(|case| {
+                        Json::obj([
+                            ("benchmark", case.benchmark.as_str().into()),
+                            ("strategy", case.strategy.as_str().into()),
+                            ("sweep", sweep_result_to_json(&case.sweep)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn suite_result_from_json(json: &Json) -> Result<BenchmarkSuiteResult, WireError> {
+    let cases = field(json, "cases")?
+        .as_arr()
+        .ok_or_else(|| WireError::shape("field 'cases' must be an array"))?
+        .iter()
+        .map(|case| {
+            Ok(SuiteCaseResult {
+                benchmark: str_field(case, "benchmark")?,
+                strategy: str_field(case, "strategy")?,
+                sweep: sweep_result_from_json(field(case, "sweep")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(BenchmarkSuiteResult { cases })
+}
+
 fn cache_stats_to_json(stats: &CacheStats) -> Json {
     Json::obj([
         ("hits", stats.hits.into()),
@@ -472,26 +765,24 @@ fn cache_stats_from_json(json: &Json) -> Result<CacheStats, WireError> {
 fn outcome_to_json(outcome: &Outcome) -> Json {
     match outcome {
         Outcome::Sweep(result) => sweep_result_to_json(result),
-        Outcome::Compile(summary) => Json::obj([
-            ("kind", "compile".into()),
-            ("num_samples", summary.num_samples.into()),
-            ("lambda", summary.lambda.into()),
-            ("stats", stats_to_json(&summary.stats)),
-            ("fidelity", summary.fidelity.into()),
-        ]),
+        Outcome::Compile(summary) => compile_summary_to_json(summary),
+        Outcome::PerturbAverage(result) => perturb_result_to_json(result),
+        Outcome::Suite(result) => suite_result_to_json(result),
+        Outcome::Other { value, .. } => value.clone(),
     }
 }
 
 fn outcome_from_json(json: &Json) -> Result<Outcome, WireError> {
-    match str_field(json, "kind")?.as_str() {
+    let kind = str_field(json, "kind")?;
+    match kind.as_str() {
         "sweep" => Ok(Outcome::Sweep(sweep_result_from_json(json)?)),
-        "compile" => Ok(Outcome::Compile(CompileSummary {
-            num_samples: usize_field(json, "num_samples")?,
-            lambda: f64_field(json, "lambda")?,
-            stats: stats_from_json(field(json, "stats")?)?,
-            fidelity: opt_f64_field(json, "fidelity")?,
-        })),
-        other => Err(WireError::shape(format!("unknown outcome kind '{other}'"))),
+        "compile" => Ok(Outcome::Compile(compile_summary_from_json(json)?)),
+        "perturb_average" => Ok(Outcome::PerturbAverage(perturb_result_from_json(json)?)),
+        "benchmark_suite" => Ok(Outcome::Suite(suite_result_from_json(json)?)),
+        _ => Ok(Outcome::Other {
+            kind,
+            value: json.clone(),
+        }),
     }
 }
 
@@ -503,6 +794,7 @@ pub fn failure_kind(error: &EngineError) -> &'static str {
         EngineError::WorkerPanic { .. } => "panic",
         EngineError::InvalidConfig { .. } => "invalid-config",
         EngineError::Cancelled { .. } => "cancelled",
+        EngineError::Workload { .. } => "workload",
     }
 }
 
@@ -518,40 +810,28 @@ impl Request {
 
     fn to_json(&self) -> Json {
         match self {
-            Request::Submit { label, job } => {
-                let job_json = match job {
-                    SubmitJob::Sweep {
-                        hamiltonian,
-                        strategy,
-                        config,
-                    } => Json::obj([
-                        ("kind", "sweep".into()),
-                        ("hamiltonian", hamiltonian.as_str().into()),
-                        ("strategy", strategy_to_json(strategy)),
-                        ("config", sweep_config_to_json(config)),
-                    ]),
-                    SubmitJob::Compile {
-                        hamiltonian,
-                        strategy,
-                        time,
-                        epsilon,
-                        seed,
-                        evaluate_fidelity,
-                    } => Json::obj([
-                        ("kind", "compile".into()),
-                        ("hamiltonian", hamiltonian.as_str().into()),
-                        ("strategy", strategy_to_json(strategy)),
-                        ("time", (*time).into()),
-                        ("epsilon", (*epsilon).into()),
-                        ("seed", (*seed).into()),
-                        ("evaluate_fidelity", (*evaluate_fidelity).into()),
-                    ]),
-                };
-                Json::obj([
-                    ("verb", "submit".into()),
-                    ("label", label.as_str().into()),
-                    ("job", job_json),
-                ])
+            Request::Submit {
+                label,
+                kind,
+                params,
+                options,
+            } => {
+                if *options == SubmitOptions::default() {
+                    Json::obj([
+                        ("verb", "submit".into()),
+                        ("label", label.as_str().into()),
+                        ("kind", kind.as_str().into()),
+                        ("params", params.clone()),
+                    ])
+                } else {
+                    Json::obj([
+                        ("verb", "submit".into()),
+                        ("label", label.as_str().into()),
+                        ("kind", kind.as_str().into()),
+                        ("params", params.clone()),
+                        ("options", options_to_json(options)),
+                    ])
+                }
             }
             Request::Status { job } => {
                 Json::obj([("verb", "status".into()), ("job", (*job).into())])
@@ -571,27 +851,12 @@ impl Request {
     pub fn decode(line: &str) -> Result<Request, WireError> {
         let json = Json::parse(line)?;
         match str_field(&json, "verb")?.as_str() {
-            "submit" => {
-                let label = str_field(&json, "label")?;
-                let job_json = field(&json, "job")?;
-                let job = match str_field(job_json, "kind")?.as_str() {
-                    "sweep" => SubmitJob::Sweep {
-                        hamiltonian: str_field(job_json, "hamiltonian")?,
-                        strategy: strategy_from_json(field(job_json, "strategy")?)?,
-                        config: sweep_config_from_json(field(job_json, "config")?)?,
-                    },
-                    "compile" => SubmitJob::Compile {
-                        hamiltonian: str_field(job_json, "hamiltonian")?,
-                        strategy: strategy_from_json(field(job_json, "strategy")?)?,
-                        time: f64_field(job_json, "time")?,
-                        epsilon: f64_field(job_json, "epsilon")?,
-                        seed: u64_field(job_json, "seed")?,
-                        evaluate_fidelity: bool_field(job_json, "evaluate_fidelity")?,
-                    },
-                    other => return Err(WireError::shape(format!("unknown job kind '{other}'"))),
-                };
-                Ok(Request::Submit { label, job })
-            }
+            "submit" => Ok(Request::Submit {
+                label: str_field(&json, "label")?,
+                kind: str_field(&json, "kind")?,
+                params: field(&json, "params")?.clone(),
+                options: options_from_json(json.get("options"))?,
+            }),
             "status" => Ok(Request::Status {
                 job: u64_field(&json, "job")?,
             }),
@@ -612,15 +877,33 @@ impl Event {
 
     fn to_json(&self) -> Json {
         match self {
-            Event::Hello { protocol, threads } => Json::obj([
+            Event::Hello {
+                protocol,
+                threads,
+                workloads,
+            } => Json::obj([
                 ("event", "hello".into()),
                 ("protocol", (*protocol).into()),
                 ("threads", (*threads).into()),
+                (
+                    "workloads",
+                    Json::Arr(workloads.iter().map(|k| k.as_str().into()).collect()),
+                ),
             ]),
             Event::Submitted { job, label } => Json::obj([
                 ("event", "submitted".into()),
                 ("job", (*job).into()),
                 ("label", label.as_str().into()),
+            ]),
+            Event::Busy {
+                label,
+                in_flight,
+                limit,
+            } => Json::obj([
+                ("event", "busy".into()),
+                ("label", label.as_str().into()),
+                ("in_flight", (*in_flight).into()),
+                ("limit", (*limit).into()),
             ]),
             Event::Progress {
                 job,
@@ -664,10 +947,13 @@ impl Event {
                 ("completed", (*completed).into()),
                 ("total", (*total).into()),
             ]),
-            Event::Stats { threads, cache } => Json::obj([
+            Event::Stats(stats) => Json::obj([
                 ("event", "stats".into()),
-                ("threads", (*threads).into()),
-                ("cache", cache_stats_to_json(cache)),
+                ("threads", stats.threads.into()),
+                ("cache", cache_stats_to_json(&stats.cache)),
+                ("active_jobs", stats.active_jobs.into()),
+                ("queue_depth", stats.queue_depth.into()),
+                ("in_flight", stats.in_flight.into()),
             ]),
             Event::Error { message } => Json::obj([
                 ("event", "error".into()),
@@ -687,10 +973,25 @@ impl Event {
             "hello" => Ok(Event::Hello {
                 protocol: u64_field(&json, "protocol")?,
                 threads: usize_field(&json, "threads")?,
+                workloads: field(&json, "workloads")?
+                    .as_arr()
+                    .ok_or_else(|| WireError::shape("field 'workloads' must be an array"))?
+                    .iter()
+                    .map(|k| {
+                        k.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| WireError::shape("workload kinds must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
             }),
             "submitted" => Ok(Event::Submitted {
                 job: u64_field(&json, "job")?,
                 label: str_field(&json, "label")?,
+            }),
+            "busy" => Ok(Event::Busy {
+                label: str_field(&json, "label")?,
+                in_flight: usize_field(&json, "in_flight")?,
+                limit: usize_field(&json, "limit")?,
             }),
             "progress" => Ok(Event::Progress {
                 job: u64_field(&json, "job")?,
@@ -715,10 +1016,13 @@ impl Event {
                 completed: usize_field(&json, "completed")?,
                 total: usize_field(&json, "total")?,
             }),
-            "stats" => Ok(Event::Stats {
+            "stats" => Ok(Event::Stats(ServerStats {
                 threads: usize_field(&json, "threads")?,
                 cache: cache_stats_from_json(field(&json, "cache")?)?,
-            }),
+                active_jobs: usize_field(&json, "active_jobs")?,
+                queue_depth: usize_field(&json, "queue_depth")?,
+                in_flight: usize_field(&json, "in_flight")?,
+            })),
             "error" => Ok(Event::Error {
                 message: str_field(&json, "message")?,
             }),
@@ -747,32 +1051,107 @@ mod tests {
     fn submit_sweep_round_trips() {
         request_round_trip(Request::Submit {
             label: "sweep/beh2 \"quoted\"".to_string(),
-            job: SubmitJob::Sweep {
-                hamiltonian: "0.9 ZZZZ + 0.7 XXII".to_string(),
-                strategy: TransitionStrategy::marqsim_gc_rp(),
-                config: SweepConfig {
+            kind: "sweep".to_string(),
+            params: sweep_params(
+                "0.9 ZZZZ + 0.7 XXII",
+                &TransitionStrategy::marqsim_gc_rp(),
+                &SweepConfig {
                     time: 0.5,
                     epsilons: vec![0.1, 0.05, 1.0 / 30.0],
                     repeats: 3,
                     base_seed: (1 << 53) + 1,
                     evaluate_fidelity: true,
                 },
-            },
+            ),
+            options: SubmitOptions::default(),
         });
     }
 
     #[test]
-    fn submit_compile_round_trips() {
+    fn submit_options_round_trip() {
         request_round_trip(Request::Submit {
-            label: "compile/x".to_string(),
-            job: SubmitJob::Compile {
-                hamiltonian: "0.6 XZ + 0.4 ZY".to_string(),
-                strategy: TransitionStrategy::QDrift,
-                time: 0.4,
-                epsilon: 0.05,
-                seed: 7,
-                evaluate_fidelity: true,
-            },
+            label: "opts".to_string(),
+            kind: "compile".to_string(),
+            params: compile_params(
+                "0.6 XZ + 0.4 ZY",
+                &TransitionStrategy::QDrift,
+                0.4,
+                0.05,
+                7,
+                true,
+            ),
+            options: SubmitOptions::new()
+                .with_priority(Priority::High)
+                .with_max_in_flight(4)
+                .with_progress_every(
+                    ProgressCadence::every(100).with_interval(Duration::from_millis(100)),
+                ),
+        });
+        // Missing options object → defaults.
+        let line = r#"{"verb":"submit","label":"x","kind":"sweep","params":{}}"#;
+        match Request::decode(line).unwrap() {
+            Request::Submit { options, .. } => assert_eq!(options, SubmitOptions::default()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown priority is rejected with context.
+        let line = r#"{"verb":"submit","label":"x","kind":"sweep","params":{},"options":{"priority":"urgent"}}"#;
+        let err = Request::decode(line).unwrap_err();
+        assert!(err.message.contains("urgent"));
+    }
+
+    #[test]
+    fn interval_only_options_disable_the_unit_axis() {
+        // A lone progress_ms must coalesce on time alone — with the unit
+        // threshold left at the default 1, every report would emit and the
+        // interval would be dead code.
+        let line = r#"{"verb":"submit","label":"x","kind":"sweep","params":{},"options":{"progress_ms":100}}"#;
+        match Request::decode(line).unwrap() {
+            Request::Submit { options, .. } => {
+                assert_eq!(
+                    options.progress_every,
+                    ProgressCadence::every_interval(Duration::from_millis(100))
+                );
+                assert_eq!(options.progress_every.units, usize::MAX);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And the interval-only cadence round-trips through encode.
+        request_round_trip(Request::Submit {
+            label: "x".to_string(),
+            kind: "sweep".to_string(),
+            params: Json::obj([]),
+            options: SubmitOptions::new()
+                .with_progress_every(ProgressCadence::every_interval(Duration::from_millis(250))),
+        });
+        // units=1 WITH an interval is not interval-only — it must encode
+        // progress_units explicitly so the wire round trip preserves the
+        // every-unit-plus-time-floor semantics.
+        request_round_trip(Request::Submit {
+            label: "x".to_string(),
+            kind: "sweep".to_string(),
+            params: Json::obj([]),
+            options: SubmitOptions::new().with_progress_every(
+                ProgressCadence::default().with_interval(Duration::from_millis(100)),
+            ),
+        });
+        // As does a hand-built units=usize::MAX cadence without interval.
+        request_round_trip(Request::Submit {
+            label: "x".to_string(),
+            kind: "sweep".to_string(),
+            params: Json::obj([]),
+            options: SubmitOptions::new().with_progress_every(ProgressCadence::every(usize::MAX)),
+        });
+    }
+
+    #[test]
+    fn submit_params_pass_through_untyped() {
+        // The protocol layer must not constrain params: an arbitrary object
+        // for a custom kind round-trips unchanged.
+        request_round_trip(Request::Submit {
+            label: "fib/e2e".to_string(),
+            kind: "fib".to_string(),
+            params: Json::obj([("n", 30u64.into()), ("note", "custom".into())]),
+            options: SubmitOptions::default(),
         });
     }
 
@@ -811,6 +1190,7 @@ mod tests {
 
     #[test]
     fn sweep_results_round_trip_bit_exactly() {
+        use marqsim_core::metrics::SequenceStats;
         let result = SweepResult {
             label: "MarQSim-GC (0.4 Pqd + 0.6 Pgc)".to_string(),
             points: vec![
@@ -868,14 +1248,109 @@ mod tests {
     }
 
     #[test]
+    fn perturb_average_outcomes_round_trip_bit_exactly() {
+        let matrix = TransitionMatrix::new(vec![
+            vec![0.5, 0.25, 0.25],
+            vec![0.1, 0.6, 0.3],
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ])
+        .unwrap();
+        let result = PerturbAverageResult {
+            label: "prp/na+".to_string(),
+            samples: 20,
+            matrix,
+        };
+        let event = Event::Done {
+            job: 7,
+            outcome: Outcome::PerturbAverage(result.clone()),
+            cache_delta: CacheStats::default(),
+        };
+        match Event::decode(&event.encode()).unwrap() {
+            Event::Done {
+                outcome: Outcome::PerturbAverage(back),
+                ..
+            } => {
+                assert_eq!(back.label, result.label);
+                assert_eq!(back.samples, result.samples);
+                for (a, b) in back.matrix.rows().iter().zip(result.matrix.rows()) {
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "matrix must cross bit-exactly");
+                    }
+                }
+            }
+            other => panic!("unexpected decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suite_outcomes_round_trip() {
+        let sweep = SweepResult {
+            label: "Baseline".to_string(),
+            points: vec![],
+        };
+        let result = BenchmarkSuiteResult {
+            cases: vec![SuiteCaseResult {
+                benchmark: "Na+".to_string(),
+                strategy: "Baseline".to_string(),
+                sweep,
+            }],
+        };
+        event_round_trip(Event::Done {
+            job: 9,
+            outcome: Outcome::Suite(result),
+            cache_delta: CacheStats::default(),
+        });
+    }
+
+    #[test]
+    fn custom_outcomes_decode_as_other() {
+        let event = Event::Done {
+            job: 11,
+            outcome: Outcome::Other {
+                kind: "fib".to_string(),
+                value: Json::obj([
+                    ("kind", "fib".into()),
+                    (
+                        "values",
+                        Json::Arr(vec![1u64.into(), 1u64.into(), 2u64.into()]),
+                    ),
+                ]),
+            },
+            cache_delta: CacheStats::default(),
+        };
+        match Event::decode(&event.encode()).unwrap() {
+            Event::Done {
+                outcome: Outcome::Other { kind, value },
+                ..
+            } => {
+                assert_eq!(kind, "fib");
+                assert_eq!(
+                    value
+                        .get("values")
+                        .and_then(Json::as_arr)
+                        .map(<[Json]>::len),
+                    Some(3)
+                );
+            }
+            other => panic!("unexpected decode {other:?}"),
+        }
+    }
+
+    #[test]
     fn events_round_trip() {
         event_round_trip(Event::Hello {
             protocol: PROTOCOL_VERSION,
             threads: 8,
+            workloads: vec!["fib".to_string(), "sweep".to_string()],
         });
         event_round_trip(Event::Submitted {
             job: 1,
             label: "x".to_string(),
+        });
+        event_round_trip(Event::Busy {
+            label: "x".to_string(),
+            in_flight: 4,
+            limit: 4,
         });
         event_round_trip(Event::Progress {
             job: 1,
@@ -895,10 +1370,13 @@ mod tests {
             completed: 0,
             total: 0,
         });
-        event_round_trip(Event::Stats {
+        event_round_trip(Event::Stats(ServerStats {
             threads: 4,
             cache: CacheStats::default(),
-        });
+            active_jobs: 2,
+            queue_depth: 17,
+            in_flight: 1,
+        }));
         event_round_trip(Event::Error {
             message: "unknown verb 'frobnicate'".to_string(),
         });
@@ -926,10 +1404,8 @@ mod tests {
             ("{}", "verb"),
             (r#"{"verb":"frobnicate"}"#, "frobnicate"),
             (r#"{"verb":"status"}"#, "job"),
-            (
-                r#"{"verb":"submit","label":"x","job":{"kind":"teleport"}}"#,
-                "teleport",
-            ),
+            (r#"{"verb":"submit","label":"x","kind":"sweep"}"#, "params"),
+            (r#"{"verb":"submit","label":"x","params":{}}"#, "kind"),
             ("not json", "expected"),
         ] {
             let err = Request::decode(line).unwrap_err();
@@ -958,6 +1434,13 @@ mod tests {
                 reason: "bad".into()
             }),
             "invalid-config"
+        );
+        assert_eq!(
+            failure_kind(&EngineError::Workload {
+                label: "x".into(),
+                message: "domain".into()
+            }),
+            "workload"
         );
     }
 }

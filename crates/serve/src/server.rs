@@ -3,8 +3,10 @@
 //! Each accepted connection gets a **reader/writer thread pair**:
 //!
 //! * the reader thread parses one [`Request`] per line and acts on it —
-//!   `submit` goes straight to [`Engine::submit`], `status`/`cancel` hit
-//!   the connection's job registry, `stats` snapshots the shared cache;
+//!   `submit` resolves the workload kind through the server's
+//!   [`WorkloadRegistry`] and goes to [`Engine::submit_with_options`],
+//!   `status`/`cancel` hit the connection's job registry, `stats`
+//!   snapshots the shared cache plus the engine's load gauges;
 //! * the writer thread owns the socket's write half and drains an mpsc
 //!   channel of encoded [`Event`] lines, so progress callbacks (which fire
 //!   on engine coordinator threads) and request acknowledgements (reader
@@ -15,6 +17,18 @@
 //! the min-cost-flow solve exactly as two jobs of one in-process batch
 //! would; the `cache_delta` field of each `done` event makes that visible
 //! per job (a warm-cache job reports `flow_solves=0`).
+//!
+//! # Admission control
+//!
+//! Every connection carries an in-flight gauge (jobs submitted but not yet
+//! finished). A `submit` arriving at or above the effective bound — the
+//! smaller of the request's `options.max_in_flight` and the server's
+//! default ([`Server::with_max_in_flight`], `MARQSIM_SERVE_MAX_IN_FLIGHT`
+//! on the daemon); a client can tighten its bound but never raise it — is
+//! rejected with a structured `busy` event and never reaches the engine,
+//! so one greedy client cannot queue unbounded coordinator threads. The
+//! `stats` event reports the connection's gauge alongside the engine-wide
+//! active-job count and pool queue depth.
 //!
 //! Job ids are engine-assigned and engine-unique, but the `status` and
 //! `cancel` verbs only resolve ids submitted on the **same connection** —
@@ -27,19 +41,15 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-use marqsim_engine::{
-    CompileRequest, Engine, EngineJob, JobControl, JobOutcome, Progress, SweepRequest,
-};
-use marqsim_pauli::Hamiltonian;
+use marqsim_engine::{Engine, JobControl, Progress, SubmitOptions};
 
-use crate::protocol::{
-    failure_kind, CompileSummary, Event, Outcome, Request, SubmitJob, PROTOCOL_VERSION,
-};
+use crate::protocol::{failure_kind, Event, Request, ServerStats, PROTOCOL_VERSION};
+use crate::registry::WorkloadRegistry;
 
 /// Maximum accepted request-line length (bytes). Bounds per-connection
 /// memory against hostile input; a sweep submit is a few hundred bytes, and
@@ -52,20 +62,29 @@ const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
 /// finished more than ~this many submissions ago may answer `known=false`.
 const MAX_TRACKED_JOBS: usize = 1024;
 
+/// Default per-connection in-flight job bound when neither the submit's
+/// `options.max_in_flight` nor [`Server::with_max_in_flight`] overrides it.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
+
 /// A bound listener plus the engine it serves.
 ///
-/// Construct with [`Server::bind`], then either [`run`](Server::run) on the
-/// current thread or [`spawn`](Server::spawn) a background accept loop and
-/// keep the returned [`ServerHandle`] for the address and shutdown.
+/// Construct with [`Server::bind`] (optionally [`with_registry`](Server::with_registry)
+/// / [`with_max_in_flight`](Server::with_max_in_flight)), then either
+/// [`run`](Server::run) on the current thread or [`spawn`](Server::spawn) a
+/// background accept loop and keep the returned [`ServerHandle`] for the
+/// address and shutdown.
 pub struct Server {
     engine: Arc<Engine>,
     listener: TcpListener,
+    registry: Arc<WorkloadRegistry>,
+    max_in_flight: usize,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
     /// Binds to `addr` (e.g. `"127.0.0.1:7878"`, or port `0` to let the OS
-    /// pick) and prepares to serve `engine`.
+    /// pick) and prepares to serve `engine` with the built-in workload
+    /// registry and the default admission bound.
     ///
     /// # Errors
     ///
@@ -75,8 +94,24 @@ impl Server {
         Ok(Server {
             engine,
             listener,
+            registry: Arc::new(WorkloadRegistry::builtin()),
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Replaces the workload registry (e.g. the built-ins plus custom
+    /// kinds).
+    pub fn with_registry(mut self, registry: WorkloadRegistry) -> Self {
+        self.registry = Arc::new(registry);
+        self
+    }
+
+    /// Sets the per-connection in-flight job bound (a submit's
+    /// `options.max_in_flight` can tighten it per request, never raise it).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self
     }
 
     /// The bound address (useful with port 0).
@@ -91,6 +126,11 @@ impl Server {
     /// The served engine.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// The workload kinds this server accepts.
+    pub fn workload_kinds(&self) -> Vec<String> {
+        self.registry.kinds()
     }
 
     /// Runs the accept loop on the calling thread until shut down (via a
@@ -109,10 +149,14 @@ impl Server {
             }
             match stream {
                 Ok(stream) => {
-                    let engine = Arc::clone(&self.engine);
+                    let conn = ConnectionShared {
+                        engine: Arc::clone(&self.engine),
+                        registry: Arc::clone(&self.registry),
+                        max_in_flight: self.max_in_flight,
+                    };
                     std::thread::Builder::new()
                         .name("marqsim-serve-conn".to_string())
-                        .spawn(move || handle_connection(engine, stream))
+                        .spawn(move || handle_connection(conn, stream))
                         .expect("spawn connection handler");
                 }
                 Err(error) => {
@@ -180,6 +224,13 @@ impl ServerHandle {
     }
 }
 
+/// What every connection handler shares with the accept loop.
+struct ConnectionShared {
+    engine: Arc<Engine>,
+    registry: Arc<WorkloadRegistry>,
+    max_in_flight: usize,
+}
+
 /// Reads one `\n`-terminated line with a length bound. Returns `None` on a
 /// clean EOF and an error for oversized lines.
 fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<Option<String>> {
@@ -206,7 +257,7 @@ fn send_event(out: &Sender<String>, event: &Event) {
     let _ = out.send(event.encode());
 }
 
-fn handle_connection(engine: Arc<Engine>, stream: TcpStream) {
+fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -236,12 +287,16 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream) {
         &out_tx,
         &Event::Hello {
             protocol: PROTOCOL_VERSION,
-            threads: engine.threads(),
+            threads: conn.engine.threads(),
+            workloads: conn.registry.kinds(),
         },
     );
 
     // Jobs submitted on this connection, for status/cancel resolution.
     let mut jobs: HashMap<u64, JobControl> = HashMap::new();
+    // In-flight gauge: incremented at submit, decremented by each job's
+    // waiter thread at its terminal event.
+    let in_flight = Arc::new(AtomicUsize::new(0));
     let mut reader = BufReader::new(stream);
     // An I/O error is treated like EOF: drop the connection.
     while let Ok(Some(line)) = read_bounded_line(&mut reader) {
@@ -249,8 +304,15 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream) {
             continue;
         }
         match Request::decode(&line) {
-            Ok(Request::Submit { label, job }) => {
-                handle_submit(&engine, &out_tx, &mut jobs, label, job);
+            Ok(Request::Submit {
+                label,
+                kind,
+                params,
+                options,
+            }) => {
+                handle_submit(
+                    &conn, &out_tx, &mut jobs, &in_flight, label, kind, params, options,
+                );
             }
             Ok(Request::Status { job }) => {
                 send_event(&out_tx, &status_event(&jobs, job));
@@ -264,10 +326,13 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream) {
             Ok(Request::Stats) => {
                 send_event(
                     &out_tx,
-                    &Event::Stats {
-                        threads: engine.threads(),
-                        cache: engine.cache().stats(),
-                    },
+                    &Event::Stats(ServerStats {
+                        threads: conn.engine.threads(),
+                        cache: conn.engine.cache().stats(),
+                        active_jobs: conn.engine.active_jobs(),
+                        queue_depth: conn.engine.queue_depth(),
+                        in_flight: in_flight.load(Ordering::Relaxed),
+                    }),
                 );
             }
             Err(error) => {
@@ -315,22 +380,48 @@ fn status_event(jobs: &HashMap<u64, JobControl>, job: u64) -> Event {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_submit(
-    engine: &Arc<Engine>,
+    conn: &ConnectionShared,
     out_tx: &Sender<String>,
     jobs: &mut HashMap<u64, JobControl>,
+    in_flight: &Arc<AtomicUsize>,
     label: String,
-    job: SubmitJob,
+    kind: String,
+    params: crate::wire::Json,
+    options: SubmitOptions,
 ) {
-    let engine_job = match build_engine_job(&label, job) {
-        Ok(job) => job,
+    // Admission control, checked before any decoding work. The request's
+    // own bound can only *tighten* the server's: a greedy client must not
+    // be able to raise the limit it is being held to.
+    let limit = options
+        .max_in_flight
+        .map_or(conn.max_in_flight, |requested| {
+            requested.min(conn.max_in_flight)
+        })
+        .max(1);
+    let currently = in_flight.load(Ordering::Acquire);
+    if currently >= limit {
+        send_event(
+            out_tx,
+            &Event::Busy {
+                label,
+                in_flight: currently,
+                limit,
+            },
+        );
+        return;
+    }
+
+    let workload = match conn.registry.decode(&kind, &label, &params) {
+        Ok(workload) => workload,
         Err(message) => {
             send_event(out_tx, &Event::Error { message });
             return;
         }
     };
 
-    let stats_before = engine.cache().stats();
+    let stats_before = conn.engine.cache().stats();
 
     // The progress callback fires on the job's coordinator thread, which
     // races this thread's learning of the job id from `submit` — but every
@@ -347,22 +438,26 @@ fn handle_submit(
     }));
     let progress_out = out_tx.clone();
     let progress_gate = Arc::clone(&gate);
-    let handle = engine.submit_with_progress(engine_job, move |progress| {
-        let mut gate = progress_gate.lock().unwrap_or_else(PoisonError::into_inner);
-        match gate.job {
-            Some(job) => {
-                let _ = progress_out.send(
-                    Event::Progress {
-                        job,
-                        completed: progress.completed,
-                        total: progress.total,
+    let engine_options = options.clone();
+    let handle =
+        conn.engine
+            .submit_with_options(workload, engine_options, move |progress: Progress| {
+                let mut gate = progress_gate.lock().unwrap_or_else(PoisonError::into_inner);
+                match gate.job {
+                    Some(job) => {
+                        let _ = progress_out.send(
+                            Event::Progress {
+                                job,
+                                completed: progress.completed,
+                                total: progress.total,
+                            }
+                            .encode(),
+                        );
                     }
-                    .encode(),
-                );
-            }
-            None => gate.buffered.push(progress),
-        }
-    });
+                    None => gate.buffered.push(progress),
+                }
+            });
+    in_flight.fetch_add(1, Ordering::AcqRel);
     let job_id = handle.id().0;
     if jobs.len() >= MAX_TRACKED_JOBS {
         jobs.retain(|_, control| !control.is_finished());
@@ -389,29 +484,30 @@ fn handle_submit(
     }
 
     // Waiter thread: blocks on the outcome, attributes the cache-counter
-    // delta to this job, and emits the terminal event.
+    // delta to this job, encodes the output through the registry, frees
+    // the admission slot, and emits the terminal event.
     let waiter_out = out_tx.clone();
-    let waiter_engine = Arc::clone(engine);
+    let waiter_engine = Arc::clone(&conn.engine);
+    let waiter_registry = Arc::clone(&conn.registry);
+    let waiter_in_flight = Arc::clone(in_flight);
     std::thread::Builder::new()
         .name(format!("marqsim-serve-job-{job_id}"))
         .spawn(move || {
             let outcome = handle.collect();
             let cache_delta = waiter_engine.cache().stats().delta_since(&stats_before);
+            waiter_in_flight.fetch_sub(1, Ordering::AcqRel);
             let event = match outcome {
-                Ok(JobOutcome::Swept(sweep)) => Event::Done {
-                    job: job_id,
-                    outcome: Outcome::Sweep(sweep),
-                    cache_delta,
-                },
-                Ok(JobOutcome::Compiled(compiled)) => Event::Done {
-                    job: job_id,
-                    outcome: Outcome::Compile(CompileSummary {
-                        num_samples: compiled.result.num_samples,
-                        lambda: compiled.result.lambda,
-                        stats: compiled.result.stats,
-                        fidelity: compiled.fidelity,
-                    }),
-                    cache_delta,
+                Ok(output) => match waiter_registry.encode(&kind, &output) {
+                    Ok(value) => Event::Done {
+                        job: job_id,
+                        outcome: crate::protocol::Outcome::Other { kind, value },
+                        cache_delta,
+                    },
+                    Err(message) => Event::Failed {
+                        job: job_id,
+                        kind: "encode".to_string(),
+                        message,
+                    },
                 },
                 Err(error) => Event::Failed {
                     job: job_id,
@@ -422,40 +518,4 @@ fn handle_submit(
             let _ = waiter_out.send(event.encode());
         })
         .expect("spawn job waiter");
-}
-
-fn build_engine_job(label: &str, job: SubmitJob) -> Result<EngineJob, String> {
-    match job {
-        SubmitJob::Sweep {
-            hamiltonian,
-            strategy,
-            config,
-        } => {
-            let ham = Hamiltonian::parse(&hamiltonian)
-                .map_err(|e| format!("invalid hamiltonian: {e}"))?;
-            Ok(EngineJob::Sweep(SweepRequest::new(
-                label, ham, strategy, config,
-            )))
-        }
-        SubmitJob::Compile {
-            hamiltonian,
-            strategy,
-            time,
-            epsilon,
-            seed,
-            evaluate_fidelity,
-        } => {
-            let ham = Hamiltonian::parse(&hamiltonian)
-                .map_err(|e| format!("invalid hamiltonian: {e}"))?;
-            let config = marqsim_core::CompilerConfig::new(time, epsilon)
-                .with_strategy(strategy)
-                .with_seed(seed)
-                .without_circuit();
-            let mut request = CompileRequest::new(label, ham, config);
-            if evaluate_fidelity {
-                request = request.with_fidelity();
-            }
-            Ok(EngineJob::Compile(request))
-        }
-    }
 }

@@ -27,11 +27,13 @@
 //! * [`core`] — the MarQSim compiler itself (HTT graph, Algorithm 1 and 2,
 //!   transition-matrix optimization, baselines, experiment drivers).
 //! * [`engine`] — the parallel compilation engine: a deterministic
-//!   thread-pool executor, transition-matrix caching, and the batched
-//!   compile/sweep job API the evaluation binaries run on.
+//!   priority-aware thread-pool executor, transition-matrix caching, and
+//!   the open `Workload` job API (typed `SubmitOptions`, cooperative
+//!   cancellation, throttled progress) the evaluation binaries run on.
 //! * [`serve`] — the TCP job-submission front-end over the engine: the
-//!   `marqsim-served` daemon, its line-delimited JSON wire protocol, and a
-//!   blocking client.
+//!   `marqsim-served` daemon, its line-delimited JSON wire protocol with a
+//!   string-keyed workload registry and per-connection admission control,
+//!   and a blocking client.
 //! * [`linalg`] — dense complex linear algebra used throughout.
 //!
 //! # Quick start

@@ -30,26 +30,11 @@ use marqsim::pauli::Hamiltonian;
 /// Relative tolerance of the float compare.
 const FLOAT_TOL: f64 = 1e-9;
 
-/// The tiny, fast, fixed benchmark set the goldens are rendered on.
+/// The tiny, fast, fixed benchmark set the goldens are rendered on —
+/// defined once in `marqsim_hamlib::suite` and shared with the serve
+/// smoke's over-TCP replay.
 fn tiny_benchmarks() -> Vec<(&'static str, Hamiltonian, f64)> {
-    vec![
-        (
-            "example-4.1",
-            Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").unwrap(),
-            std::f64::consts::FRAC_PI_4,
-        ),
-        (
-            "tiny-ising",
-            Hamiltonian::parse("1.0 ZZI + 0.8 IZZ + 0.5 XII + 0.5 IXI + 0.5 IIX").unwrap(),
-            0.5,
-        ),
-        (
-            "tiny-heisenberg",
-            Hamiltonian::parse("0.6 XXII + 0.6 YYII + 0.6 ZZII + 0.4 IXXI + 0.4 IYYI + 0.4 IZZI")
-                .unwrap(),
-            0.4,
-        ),
-    ]
+    marqsim::hamlib::suite::golden_tiny_benchmarks()
 }
 
 fn engine(threads: usize) -> Engine {

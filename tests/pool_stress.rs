@@ -138,7 +138,7 @@ fn submitted_job_stress_every_handle_resolves_exactly_once() {
     // cancelled), ids must be unique, and the engine must stay usable.
     use marqsim::core::experiment::SweepConfig;
     use marqsim::core::TransitionStrategy;
-    use marqsim::engine::{EngineError, EngineJob, SweepRequest};
+    use marqsim::engine::{EngineError, SweepRequest, SweepWorkload};
     use marqsim::pauli::Hamiltonian;
 
     let ham = Hamiltonian::parse("0.9 ZZ + 0.7 XX + 0.5 YY").unwrap();
@@ -153,7 +153,7 @@ fn submitted_job_stress_every_handle_resolves_exactly_once() {
         };
         let handles: Vec<_> = (0..60)
             .map(|i| {
-                engine.submit(EngineJob::Sweep(SweepRequest::new(
+                engine.submit(SweepWorkload::new(SweepRequest::new(
                     format!("stress/{i}"),
                     ham.clone(),
                     TransitionStrategy::QDrift,

@@ -154,8 +154,12 @@ fn two_concurrent_clients_share_one_warm_cache() {
     }
 
     // The engine-wide stats verb agrees with the deltas.
-    let (_, cache) = second.stats().unwrap();
-    assert_eq!(cache.flow_solves, 1, "one solve total across both clients");
+    let stats = second.stats().unwrap();
+    assert_eq!(
+        stats.cache.flow_solves, 1,
+        "one solve total across both clients"
+    );
+    assert_eq!(stats.in_flight, 0, "both jobs finished");
     server.shutdown();
 }
 
