@@ -1,0 +1,90 @@
+//! `flow_bench` — per-backend min-cost-flow timing on the gate-cancellation
+//! transportation model.
+//!
+//! For each problem size (Pauli-string count) it builds the same random
+//! Hamiltonian `table2` uses, derives the CNOT-cost bipartite instance, and
+//! solves it once per registered backend, printing one grep-able line per
+//! `(backend, size)` pair:
+//!
+//! ```text
+//! [flow] backend=ssp strings=500 states=500 solve_s=2.175 cost=3.4 bf_skipped=true
+//! ```
+//!
+//! plus a cross-backend agreement line per size (the optimal costs must
+//! match to 1e-9 — the equivalence guarantee the test suite enforces at
+//! small sizes, checked here at benchmark scale too). `bf_skipped` records
+//! the successive-shortest-path fast path: the CNOT cost model is
+//! non-negative, so its Bellman–Ford potential bootstrap is skipped.
+//!
+//! Run with `cargo run --release -p marqsim-bench --bin flow_bench
+//! [--quick]`. The default covers 100/500/1000 strings (≈30 s in release);
+//! `--quick` drops the 1000-string instance.
+
+use marqsim_bench::{header, timed};
+use marqsim_core::gate_cancel::cnot_cost_matrix;
+use marqsim_core::SolverKind;
+use marqsim_flow::bipartite;
+use marqsim_hamlib::random::{random_hamiltonian, RandomHamiltonianParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[100, 500]
+    } else {
+        &[100, 500, 1000]
+    };
+
+    header("flow_bench: min-cost-flow backend timing (gate-cancellation model)");
+    println!(
+        "(backends: {}; one [flow] line per backend and size)",
+        SolverKind::ALL.map(SolverKind::as_str).join(", ")
+    );
+
+    for &strings in sizes {
+        let ham = random_hamiltonian(&RandomHamiltonianParams {
+            qubits: 20,
+            terms: strings,
+            identity_bias: 0.6,
+            seed: 1234 + strings as u64,
+        })
+        .split_if_dominant();
+        let pi = ham.stationary_distribution();
+        let costs = cnot_cost_matrix(&ham);
+
+        let mut optima: Vec<(SolverKind, f64)> = Vec::new();
+        for kind in SolverKind::ALL {
+            let (solution, seconds) =
+                timed(|| bipartite::solve_with(kind, &pi, &costs, |i, j| i != j));
+            match solution {
+                Ok(flow) => {
+                    println!(
+                        "[flow] backend={} strings={strings} states={} solve_s={seconds:.3} cost={:.6} bf_skipped={}",
+                        kind.as_str(),
+                        ham.num_terms(),
+                        flow.cost,
+                        flow.bellman_ford_skipped,
+                    );
+                    optima.push((kind, flow.cost));
+                }
+                Err(error) => {
+                    eprintln!("flow_bench: backend {kind} failed at {strings} strings: {error}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let (reference_kind, reference) = optima[0];
+        for &(kind, cost) in &optima[1..] {
+            let delta = (cost - reference).abs();
+            let agree = delta < 1e-9;
+            println!(
+                "[flow] agreement strings={strings} {}={reference:.9} {}={cost:.9} delta={delta:.3e} equal={agree}",
+                reference_kind.as_str(),
+                kind.as_str(),
+            );
+            if !agree {
+                eprintln!("flow_bench: backends disagree on the optimal cost at {strings} strings");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -52,7 +52,11 @@ pub fn run_scale() -> RunScale {
 pub fn engine() -> Engine {
     match Engine::from_env() {
         Ok(engine) => {
-            println!("[marqsim-engine: {} worker threads]", engine.threads());
+            println!(
+                "[marqsim-engine: {} worker threads, flow solver {}]",
+                engine.threads(),
+                engine.flow_solver()
+            );
             engine
         }
         Err(error) => {
@@ -68,11 +72,13 @@ pub fn engine() -> Engine {
 /// `MARQSIM_CACHE_DIR`.
 pub fn report_cache_stats(stats: CacheStats) {
     println!(
-        "[cache] hits={} misses={} component_hits={} flow_solves={} disk_hits={} disk_writes={} disk_errors={} evictions={} graphs={} components={}",
+        "[cache] hits={} misses={} component_hits={} flow_solves={} flow_solves_ssp={} flow_solves_simplex={} disk_hits={} disk_writes={} disk_errors={} evictions={} graphs={} components={}",
         stats.hits,
         stats.misses,
         stats.component_hits,
         stats.flow_solves,
+        stats.flow_solves_ssp,
+        stats.flow_solves_simplex,
         stats.disk_hits,
         stats.disk_writes,
         stats.disk_errors,

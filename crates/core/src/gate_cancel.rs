@@ -12,7 +12,8 @@
 //! term carrying more than half of the total weight is split in two first
 //! (Appendix A.3), mirroring `Hamiltonian::split_dominant_terms`.
 
-use marqsim_flow::bipartite::{solve, BipartiteFlow};
+use marqsim_flow::bipartite::{solve_with, BipartiteFlow};
+use marqsim_flow::SolverKind;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::algebra::cnot_count_between;
 use marqsim_pauli::Hamiltonian;
@@ -36,7 +37,8 @@ pub fn cnot_cost_matrix(ham: &Hamiltonian) -> Vec<Vec<f64>> {
 }
 
 /// Solves the min-cost-flow model for a Hamiltonian with an arbitrary cost
-/// matrix (used directly by the random-perturbation variant).
+/// matrix (used directly by the random-perturbation variant) under the
+/// default solver backend.
 ///
 /// # Errors
 ///
@@ -47,8 +49,21 @@ pub fn matrix_from_costs(
     ham: &Hamiltonian,
     costs: &[Vec<f64>],
 ) -> Result<(TransitionMatrix, BipartiteFlow), CompileError> {
+    matrix_from_costs_with(ham, costs, SolverKind::default())
+}
+
+/// Like [`matrix_from_costs`] with an explicit min-cost-flow backend.
+///
+/// # Errors
+///
+/// Same contract as [`matrix_from_costs`].
+pub fn matrix_from_costs_with(
+    ham: &Hamiltonian,
+    costs: &[Vec<f64>],
+    solver: SolverKind,
+) -> Result<(TransitionMatrix, BipartiteFlow), CompileError> {
     let pi = ham.stationary_distribution();
-    let flow = solve(&pi, costs, |i, j| i != j)?;
+    let flow = solve_with(solver, &pi, costs, |i, j| i != j)?;
     // p_ij = f_ij / π_i (Equation in §5.1.2).
     let n = ham.num_terms();
     let mut rows = vec![vec![0.0; n]; n];
@@ -75,7 +90,8 @@ pub fn matrix_from_costs(
     Ok((matrix, flow))
 }
 
-/// Builds `P_gc` for a Hamiltonian (Algorithm 2).
+/// Builds `P_gc` for a Hamiltonian (Algorithm 2) under the default solver
+/// backend.
 ///
 /// The Hamiltonian must not have a term with more than half the total weight;
 /// call [`Hamiltonian::split_dominant_terms`] first if it does (the
@@ -85,8 +101,22 @@ pub fn matrix_from_costs(
 ///
 /// See [`matrix_from_costs`].
 pub fn gate_cancellation_matrix(ham: &Hamiltonian) -> Result<TransitionMatrix, CompileError> {
+    gate_cancellation_matrix_with(ham, SolverKind::default())
+}
+
+/// Like [`gate_cancellation_matrix`] with an explicit min-cost-flow backend
+/// — the entry point the engine's transition cache uses to honor its
+/// configured / per-job solver selection.
+///
+/// # Errors
+///
+/// See [`matrix_from_costs`].
+pub fn gate_cancellation_matrix_with(
+    ham: &Hamiltonian,
+    solver: SolverKind,
+) -> Result<TransitionMatrix, CompileError> {
     let costs = cnot_cost_matrix(ham);
-    matrix_from_costs(ham, &costs).map(|(m, _)| m)
+    matrix_from_costs_with(ham, &costs, solver).map(|(m, _)| m)
 }
 
 /// Builds `P_gc` and also returns the optimal objective value — by
@@ -198,6 +228,27 @@ mod tests {
         let split = ham.split_dominant_terms();
         let p = gate_cancellation_matrix(&split).unwrap();
         assert!(p.preserves_distribution(&split.stationary_distribution(), 1e-9));
+    }
+
+    #[test]
+    fn both_backends_build_equivalent_gc_matrices() {
+        // The cross-backend guarantee at the P_gc level: equal optimal cost
+        // and a valid (π-preserving) matrix from either backend.
+        let ham = example();
+        let pi = ham.stationary_distribution();
+        let costs = cnot_cost_matrix(&ham);
+        let (ssp, ssp_flow) =
+            matrix_from_costs_with(&ham, &costs, SolverKind::SuccessiveShortestPath).unwrap();
+        let (simplex, simplex_flow) =
+            matrix_from_costs_with(&ham, &costs, SolverKind::NetworkSimplex).unwrap();
+        assert!(
+            (ssp_flow.cost - simplex_flow.cost).abs() < 1e-9,
+            "ssp {} vs simplex {}",
+            ssp_flow.cost,
+            simplex_flow.cost
+        );
+        assert!(ssp.preserves_distribution(&pi, 1e-9));
+        assert!(simplex.preserves_distribution(&pi, 1e-9));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
 
-use crate::{CompileError, TransitionStrategy};
+use crate::{CompileError, SolverKind, TransitionStrategy};
 
 /// The Hamiltonian Term Transition Graph: the MarQSim intermediate
 /// representation pairing a Hamiltonian with a transition matrix over its
@@ -46,8 +46,23 @@ impl HttGraph {
     ///
     /// Propagates any failure of the transition-matrix construction.
     pub fn build(ham: &Hamiltonian, strategy: &TransitionStrategy) -> Result<Self, CompileError> {
+        HttGraph::build_with_solver(ham, strategy, SolverKind::default())
+    }
+
+    /// Like [`build`](Self::build) with an explicit min-cost-flow backend
+    /// for the strategy's flow solves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any failure of the transition-matrix construction.
+    pub fn build_with_solver(
+        ham: &Hamiltonian,
+        strategy: &TransitionStrategy,
+        solver: SolverKind,
+    ) -> Result<Self, CompileError> {
         let ham = ham.split_if_dominant();
-        let transition = crate::transition::build_transition_matrix(&ham, strategy)?;
+        let transition =
+            crate::transition::build_transition_matrix_solved_by(&ham, strategy, None, solver)?;
         let stationary = ham.stationary_distribution();
         Ok(HttGraph {
             hamiltonian: ham,

@@ -65,5 +65,10 @@ pub use error::CompileError;
 pub use htt::HttGraph;
 pub use strategy::TransitionStrategy;
 
+/// Re-export of the pluggable min-cost-flow solver API: the engine, serve,
+/// and bench layers select a backend through [`SolverKind`] without
+/// depending on `marqsim-flow` directly.
+pub use marqsim_flow::{MinCostFlowSolver, SolverKind};
+
 /// Re-export of the spectra analysis used for §5.4 (Fig. 11 / Fig. 15).
 pub use marqsim_markov::spectra as markov_spectra;

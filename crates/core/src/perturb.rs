@@ -17,8 +17,8 @@ use marqsim_markov::combine::combine;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
 
-use crate::gate_cancel::{cnot_cost_matrix, matrix_from_costs};
-use crate::CompileError;
+use crate::gate_cancel::{cnot_cost_matrix, matrix_from_costs_with};
+use crate::{CompileError, SolverKind};
 
 /// Configuration of the random-perturbation matrix construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +76,20 @@ pub fn random_perturbation_matrix(
     ham: &Hamiltonian,
     config: &PerturbationConfig,
 ) -> Result<TransitionMatrix, CompileError> {
+    random_perturbation_matrix_with(ham, config, SolverKind::default())
+}
+
+/// Like [`random_perturbation_matrix`] with an explicit min-cost-flow
+/// backend for the perturbed solves.
+///
+/// # Errors
+///
+/// Same contract as [`random_perturbation_matrix`].
+pub fn random_perturbation_matrix_with(
+    ham: &Hamiltonian,
+    config: &PerturbationConfig,
+    solver: SolverKind,
+) -> Result<TransitionMatrix, CompileError> {
     assert!(config.samples > 0, "need at least one perturbation sample");
     let base_costs = cnot_cost_matrix(ham);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -83,7 +97,7 @@ pub fn random_perturbation_matrix(
     for _ in 0..config.samples {
         let mut costs = base_costs.clone();
         perturb_costs(&mut costs, &mut rng, config);
-        let (matrix, _) = matrix_from_costs(ham, &costs)?;
+        let (matrix, _) = matrix_from_costs_with(ham, &costs, solver)?;
         matrices.push(matrix);
     }
     let weights = vec![1.0 / config.samples as f64; config.samples];
@@ -113,10 +127,24 @@ pub fn perturbed_matrix_sample(
     config: &PerturbationConfig,
     index: usize,
 ) -> Result<TransitionMatrix, CompileError> {
+    perturbed_matrix_sample_with(ham, config, index, SolverKind::default())
+}
+
+/// Like [`perturbed_matrix_sample`] with an explicit min-cost-flow backend.
+///
+/// # Errors
+///
+/// Propagates the flow-solve failure.
+pub fn perturbed_matrix_sample_with(
+    ham: &Hamiltonian,
+    config: &PerturbationConfig,
+    index: usize,
+    solver: SolverKind,
+) -> Result<TransitionMatrix, CompileError> {
     let mut costs = cnot_cost_matrix(ham);
     let mut rng = StdRng::seed_from_u64(perturbation_sample_seed(config, index));
     perturb_costs(&mut costs, &mut rng, config);
-    let (matrix, _) = matrix_from_costs(ham, &costs)?;
+    let (matrix, _) = matrix_from_costs_with(ham, &costs, solver)?;
     Ok(matrix)
 }
 

@@ -4,10 +4,10 @@ use marqsim_markov::combine::combine_refs;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
 
-use crate::gate_cancel::gate_cancellation_matrix;
-use crate::perturb::random_perturbation_matrix;
+use crate::gate_cancel::gate_cancellation_matrix_with;
+use crate::perturb::random_perturbation_matrix_with;
 use crate::qdrift::qdrift_matrix;
-use crate::{CompileError, TransitionStrategy};
+use crate::{CompileError, SolverKind, TransitionStrategy};
 
 /// Builds the transition matrix prescribed by `strategy` for `ham`.
 ///
@@ -54,6 +54,23 @@ pub fn build_transition_matrix_with_components(
     strategy: &TransitionStrategy,
     cached_gc: Option<&TransitionMatrix>,
 ) -> Result<TransitionMatrix, CompileError> {
+    build_transition_matrix_solved_by(ham, strategy, cached_gc, SolverKind::default())
+}
+
+/// Like [`build_transition_matrix_with_components`] with an explicit
+/// min-cost-flow backend for every flow solve the strategy performs (the
+/// `P_gc` model when no cached component is supplied, and each perturbed
+/// `P_rp` sample).
+///
+/// # Errors
+///
+/// Same contract as [`build_transition_matrix`].
+pub fn build_transition_matrix_solved_by(
+    ham: &Hamiltonian,
+    strategy: &TransitionStrategy,
+    cached_gc: Option<&TransitionMatrix>,
+    solver: SolverKind,
+) -> Result<TransitionMatrix, CompileError> {
     if !strategy.weights_are_valid() {
         return Err(CompileError::InvalidConfig {
             reason: format!("invalid combination weights in {strategy:?}"),
@@ -66,7 +83,7 @@ pub fn build_transition_matrix_with_components(
     let p_gc: Option<&TransitionMatrix> = if strategy_uses_gate_cancellation(strategy) {
         Some(match cached_gc {
             Some(m) => m,
-            None => solved_gc.insert(gate_cancellation_matrix(ham)?),
+            None => solved_gc.insert(gate_cancellation_matrix_with(ham, solver)?),
         })
     } else {
         None
@@ -84,7 +101,7 @@ pub fn build_transition_matrix_with_components(
             perturbation,
         } => {
             let p_gc = p_gc.expect("GC strategies carry a P_gc component");
-            let p_rp = random_perturbation_matrix(ham, perturbation)?;
+            let p_rp = random_perturbation_matrix_with(ham, perturbation, solver)?;
             let rp_weight = 1.0 - qdrift_weight - gc_weight;
             combine_refs(
                 &[&p_qd, p_gc, &p_rp],
@@ -98,7 +115,7 @@ pub fn build_transition_matrix_with_components(
             perturbation,
         } => {
             let p_gc = p_gc.expect("GC strategies carry a P_gc component");
-            let p_rp = random_perturbation_matrix(ham, perturbation)?;
+            let p_rp = random_perturbation_matrix_with(ham, perturbation, solver)?;
             combine_refs(
                 &[&p_qd, p_gc, &p_rp],
                 &[*qdrift_weight, *gc_weight, *rp_weight],

@@ -40,11 +40,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use marqsim_core::gate_cancel::gate_cancellation_matrix;
+use marqsim_core::gate_cancel::gate_cancellation_matrix_with;
 use marqsim_core::transition::{
-    build_transition_matrix_with_components, strategy_uses_gate_cancellation,
+    build_transition_matrix_solved_by, strategy_uses_gate_cancellation,
 };
-use marqsim_core::{CompileError, HttGraph, TransitionStrategy};
+use marqsim_core::{CompileError, HttGraph, SolverKind, TransitionStrategy};
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
 
@@ -143,13 +143,17 @@ impl StrategyKey {
     }
 }
 
-/// Cache key: which Hamiltonian, compiled how.
+/// Cache key: which Hamiltonian, compiled how, solved by which backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// [`hamiltonian_fingerprint`] of the (unsplit) input Hamiltonian.
     pub fingerprint: u64,
     /// [`StrategyKey`] of the transition strategy.
     pub strategy: StrategyKey,
+    /// The min-cost-flow backend the graph was solved with. Backends
+    /// guarantee equal optimal cost but may pick different optimal flows on
+    /// degenerate instances, so entries are never shared across backends.
+    pub solver: SolverKind,
 }
 
 /// Construction parameters of a [`TransitionCache`].
@@ -163,6 +167,11 @@ pub struct CacheConfig {
     /// Directory for persisted `P_gc` components; `None` disables
     /// persistence.
     pub persist_dir: Option<PathBuf>,
+    /// Default min-cost-flow backend for this cache's solves (a per-job
+    /// [`SubmitOptions::flow_solver`](crate::SubmitOptions) override selects
+    /// another backend per lookup). The engine wires this to
+    /// `MARQSIM_FLOW_SOLVER`.
+    pub flow_solver: SolverKind,
 }
 
 impl Default for CacheConfig {
@@ -171,6 +180,7 @@ impl Default for CacheConfig {
             shards: 0,
             cap_per_shard: DEFAULT_CACHE_CAP,
             persist_dir: None,
+            flow_solver: SolverKind::default(),
         }
     }
 }
@@ -193,6 +203,12 @@ impl CacheConfig {
         self.persist_dir = Some(dir.into());
         self
     }
+
+    /// Sets the default min-cost-flow backend.
+    pub fn with_flow_solver(mut self, solver: SolverKind) -> Self {
+        self.flow_solver = solver;
+        self
+    }
 }
 
 /// Counter snapshot of a [`TransitionCache`] (see [`TransitionCache::stats`]).
@@ -209,6 +225,10 @@ pub struct CacheStats {
     /// misses). The savings headline: every avoided solve is a `P_gc`
     /// served from memory or disk instead.
     pub flow_solves: u64,
+    /// Flow solves performed by the successive-shortest-path backend.
+    pub flow_solves_ssp: u64,
+    /// Flow solves performed by the network-simplex backend.
+    pub flow_solves_simplex: u64,
     /// `P_gc` components loaded from the persistence directory.
     pub disk_hits: u64,
     /// `P_gc` components written to the persistence directory.
@@ -239,6 +259,8 @@ impl CacheStats {
             misses,
             component_hits,
             flow_solves,
+            flow_solves_ssp,
+            flow_solves_simplex,
             disk_hits,
             disk_writes,
             disk_errors,
@@ -251,6 +273,8 @@ impl CacheStats {
             misses: misses.saturating_sub(earlier.misses),
             component_hits: component_hits.saturating_sub(earlier.component_hits),
             flow_solves: flow_solves.saturating_sub(earlier.flow_solves),
+            flow_solves_ssp: flow_solves_ssp.saturating_sub(earlier.flow_solves_ssp),
+            flow_solves_simplex: flow_solves_simplex.saturating_sub(earlier.flow_solves_simplex),
             disk_hits: disk_hits.saturating_sub(earlier.disk_hits),
             disk_writes: disk_writes.saturating_sub(earlier.disk_writes),
             disk_errors: disk_errors.saturating_sub(earlier.disk_errors),
@@ -272,6 +296,8 @@ impl std::ops::AddAssign for CacheStats {
             misses,
             component_hits,
             flow_solves,
+            flow_solves_ssp,
+            flow_solves_simplex,
             disk_hits,
             disk_writes,
             disk_errors,
@@ -283,6 +309,8 @@ impl std::ops::AddAssign for CacheStats {
         self.misses += misses;
         self.component_hits += component_hits;
         self.flow_solves += flow_solves;
+        self.flow_solves_ssp += flow_solves_ssp;
+        self.flow_solves_simplex += flow_solves_simplex;
         self.disk_hits += disk_hits;
         self.disk_writes += disk_writes;
         self.disk_errors += disk_errors;
@@ -305,12 +333,15 @@ impl std::ops::AddAssign for CacheStats {
 #[derive(Debug)]
 pub struct TransitionCache {
     graphs: ShardedLru<CacheKey, Hamiltonian, Arc<HttGraph>>,
-    components: ShardedLru<u64, Hamiltonian, Arc<TransitionMatrix>>,
+    components: ShardedLru<(u64, SolverKind), Hamiltonian, Arc<TransitionMatrix>>,
     persist_dir: Option<PathBuf>,
+    flow_solver: SolverKind,
     hits: AtomicU64,
     misses: AtomicU64,
     component_hits: AtomicU64,
     flow_solves: AtomicU64,
+    flow_solves_ssp: AtomicU64,
+    flow_solves_simplex: AtomicU64,
     disk_hits: AtomicU64,
     disk_writes: AtomicU64,
     disk_errors: AtomicU64,
@@ -335,14 +366,22 @@ impl TransitionCache {
             graphs: ShardedLru::new(config.shards, config.cap_per_shard),
             components: ShardedLru::new(config.shards, config.cap_per_shard),
             persist_dir: config.persist_dir,
+            flow_solver: config.flow_solver,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             component_hits: AtomicU64::new(0),
             flow_solves: AtomicU64::new(0),
+            flow_solves_ssp: AtomicU64::new(0),
+            flow_solves_simplex: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
             disk_errors: AtomicU64::new(0),
         }
+    }
+
+    /// The cache's default min-cost-flow backend.
+    pub fn flow_solver(&self) -> SolverKind {
+        self.flow_solver
     }
 
     /// Number of shards (same for the graph and component layers).
@@ -386,9 +425,30 @@ impl TransitionCache {
         ham: &Hamiltonian,
         strategy: &TransitionStrategy,
     ) -> Result<Arc<HttGraph>, CompileError> {
+        self.get_or_build_with(ham, strategy, self.flow_solver)
+    }
+
+    /// Like [`get_or_build`](Self::get_or_build) with an explicit
+    /// min-cost-flow backend — the per-job selection path
+    /// ([`SubmitOptions::flow_solver`](crate::SubmitOptions)). Entries are
+    /// keyed by backend, so a simplex-solved graph is never served to a
+    /// successive-shortest-path request (backends agree on optimal cost,
+    /// not necessarily on the optimal flow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transition-matrix construction failures; nothing is
+    /// cached for a failed build.
+    pub fn get_or_build_with(
+        &self,
+        ham: &Hamiltonian,
+        strategy: &TransitionStrategy,
+        solver: SolverKind,
+    ) -> Result<Arc<HttGraph>, CompileError> {
         let key = CacheKey {
             fingerprint: hamiltonian_fingerprint(ham),
             strategy: StrategyKey::of(strategy),
+            solver,
         };
         if let Some(graph) = self.graphs.get(key.fingerprint, &key, ham) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -401,12 +461,12 @@ impl TransitionCache {
         // split form.
         let working = ham.split_if_dominant();
         let cached_gc = if strategy_uses_gate_cancellation(strategy) {
-            Some(self.gc_component(&working)?)
+            Some(self.gc_component(&working, solver)?)
         } else {
             None
         };
         let matrix =
-            build_transition_matrix_with_components(&working, strategy, cached_gc.as_deref())?;
+            build_transition_matrix_solved_by(&working, strategy, cached_gc.as_deref(), solver)?;
         let graph = Arc::new(HttGraph::from_matrix(&working, matrix)?);
 
         self.graphs
@@ -430,37 +490,62 @@ impl TransitionCache {
         &self,
         ham: &Hamiltonian,
     ) -> Result<Arc<TransitionMatrix>, CompileError> {
-        self.gc_component(&ham.split_if_dominant())
+        self.get_or_solve_gc_with(ham, self.flow_solver)
+    }
+
+    /// Like [`get_or_solve_gc`](Self::get_or_solve_gc) with an explicit
+    /// min-cost-flow backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates min-cost-flow solver failures.
+    pub fn get_or_solve_gc_with(
+        &self,
+        ham: &Hamiltonian,
+        solver: SolverKind,
+    ) -> Result<Arc<TransitionMatrix>, CompileError> {
+        self.gc_component(&ham.split_if_dominant(), solver)
     }
 
     /// Returns the cached `P_gc` for the (already split) Hamiltonian:
     /// memory, then the persistence directory, then a min-cost-flow solve
-    /// (spilled back to disk when persistence is on).
-    fn gc_component(&self, working: &Hamiltonian) -> Result<Arc<TransitionMatrix>, CompileError> {
+    /// (spilled back to disk when persistence is on). Memory and disk
+    /// entries are namespaced per backend.
+    fn gc_component(
+        &self,
+        working: &Hamiltonian,
+        solver: SolverKind,
+    ) -> Result<Arc<TransitionMatrix>, CompileError> {
         let fp = hamiltonian_fingerprint(working);
-        if let Some(gc) = self.components.get(fp, &fp, working) {
+        let key = (fp, solver);
+        if let Some(gc) = self.components.get(fp, &key, working) {
             self.component_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(gc);
         }
         if let Some(dir) = &self.persist_dir {
-            if let Some(matrix) = persist::load_component(dir, fp, working) {
+            if let Some(matrix) = persist::load_component(dir, fp, solver, working) {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 let gc = Arc::new(matrix);
                 self.components
-                    .insert(fp, fp, working.clone(), Arc::clone(&gc));
+                    .insert(fp, key, working.clone(), Arc::clone(&gc));
                 return Ok(gc);
             }
         }
         self.flow_solves.fetch_add(1, Ordering::Relaxed);
-        let gc = Arc::new(gate_cancellation_matrix(working)?);
+        match solver {
+            SolverKind::SuccessiveShortestPath => &self.flow_solves_ssp,
+            SolverKind::NetworkSimplex => &self.flow_solves_simplex,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let gc = Arc::new(gate_cancellation_matrix_with(working, solver)?);
         if let Some(dir) = &self.persist_dir {
-            match persist::save_component(dir, fp, working, &gc) {
+            match persist::save_component(dir, fp, solver, working, &gc) {
                 Ok(()) => self.disk_writes.fetch_add(1, Ordering::Relaxed),
                 Err(_) => self.disk_errors.fetch_add(1, Ordering::Relaxed),
             };
         }
         self.components
-            .insert(fp, fp, working.clone(), Arc::clone(&gc));
+            .insert(fp, key, working.clone(), Arc::clone(&gc));
         Ok(gc)
     }
 
@@ -472,6 +557,8 @@ impl TransitionCache {
             misses: self.misses.load(Ordering::Relaxed),
             component_hits: self.component_hits.load(Ordering::Relaxed),
             flow_solves: self.flow_solves.load(Ordering::Relaxed),
+            flow_solves_ssp: self.flow_solves_ssp.load(Ordering::Relaxed),
+            flow_solves_simplex: self.flow_solves_simplex.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
             disk_errors: self.disk_errors.load(Ordering::Relaxed),
@@ -492,6 +579,8 @@ impl TransitionCache {
             &self.misses,
             &self.component_hits,
             &self.flow_solves,
+            &self.flow_solves_ssp,
+            &self.flow_solves_simplex,
             &self.disk_hits,
             &self.disk_writes,
             &self.disk_errors,
@@ -742,7 +831,10 @@ mod tests {
         assert_eq!(stats.disk_hits, 0, "corrupt file must not load");
         assert_eq!(stats.flow_solves, 1, "fell back to solving");
         assert_eq!(stats.disk_writes, 1, "and re-spilled the good matrix");
-        assert_eq!(*gc, gate_cancellation_matrix(&ham()).unwrap());
+        assert_eq!(
+            *gc,
+            marqsim_core::gate_cancel::gate_cancellation_matrix(&ham()).unwrap()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -2,10 +2,8 @@
 //!
 //! The public job surface is the open [`Workload`] trait (see
 //! [`crate::workload`]); this module owns the machinery underneath it — the
-//! engine itself, the built-in compile/sweep job plumbing with its
-//! deduplicated graph resolution and flattened point-task queue, and the
-//! deprecated closed-enum shim ([`EngineJob`] / [`CompileBatch`] /
-//! [`JobOutcome`]) kept for one release.
+//! engine itself and the built-in compile/sweep job plumbing with its
+//! deduplicated graph resolution and flattened point-task queue.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,7 +16,7 @@ use marqsim_core::experiment::{
 };
 use marqsim_core::metrics::evaluate_fidelity;
 use marqsim_core::{
-    CompileError, CompileResult, Compiler, CompilerConfig, HttGraph, TransitionStrategy,
+    CompileError, CompileResult, Compiler, CompilerConfig, HttGraph, SolverKind, TransitionStrategy,
 };
 use marqsim_pauli::Hamiltonian;
 
@@ -64,7 +62,9 @@ impl EngineConfig {
     ///   enable/disable the transition cache;
     /// * `MARQSIM_CACHE_CAP=N` — LRU entry cap per cache shard
     ///   (`0` = unbounded, default [`DEFAULT_CACHE_CAP`](crate::cache::DEFAULT_CACHE_CAP));
-    /// * `MARQSIM_CACHE_DIR=PATH` — enable `P_gc` disk persistence.
+    /// * `MARQSIM_CACHE_DIR=PATH` — enable `P_gc` disk persistence;
+    /// * `MARQSIM_FLOW_SOLVER=ssp|network_simplex` — default min-cost-flow
+    ///   backend for every flow solve this engine performs.
     ///
     /// Unset or empty variables keep their defaults.
     ///
@@ -85,6 +85,7 @@ impl EngineConfig {
             var("MARQSIM_CACHE").as_deref(),
             var("MARQSIM_CACHE_CAP").as_deref(),
             var("MARQSIM_CACHE_DIR").as_deref(),
+            var("MARQSIM_FLOW_SOLVER").as_deref(),
         )
     }
 
@@ -102,6 +103,7 @@ impl EngineConfig {
         cache: Option<&str>,
         cache_cap: Option<&str>,
         cache_dir: Option<&str>,
+        flow_solver: Option<&str>,
     ) -> Result<Self, EngineError> {
         let mut config = EngineConfig::default();
         if let Some(raw) = threads {
@@ -127,6 +129,14 @@ impl EngineConfig {
         }
         if let Some(raw) = cache_dir {
             config.cache.persist_dir = Some(raw.into());
+        }
+        if let Some(raw) = flow_solver {
+            config.cache.flow_solver = SolverKind::parse(raw).ok_or_else(|| {
+                EngineError::invalid_config(format!(
+                    "MARQSIM_FLOW_SOLVER={raw:?} is not a registered backend (use {})",
+                    SolverKind::ALL.map(SolverKind::as_str).join("/")
+                ))
+            })?;
         }
         Ok(config)
     }
@@ -390,6 +400,13 @@ impl Engine {
         self.cache_enabled
     }
 
+    /// The engine's default min-cost-flow backend (`MARQSIM_FLOW_SOLVER` /
+    /// [`CacheConfig::flow_solver`]); a submission's
+    /// [`SubmitOptions::flow_solver`] overrides it per job.
+    pub fn flow_solver(&self) -> SolverKind {
+        self.cache.flow_solver()
+    }
+
     /// Number of asynchronously submitted jobs that have not yet produced
     /// an outcome.
     pub fn active_jobs(&self) -> usize {
@@ -411,9 +428,9 @@ impl Engine {
     }
 
     /// The shared plumbing of every *synchronous* built-in run
-    /// ([`compile_many`](Self::compile_many), [`run_sweeps`](Self::run_sweeps),
-    /// the deprecated `run_batch`): fresh cancel token, engine-level
-    /// progress sink, normal priority.
+    /// ([`compile_many`](Self::compile_many), [`run_sweeps`](Self::run_sweeps)):
+    /// fresh cancel token, engine-level progress sink, normal priority,
+    /// engine-default flow solver.
     fn run_builtin_default(
         &self,
         jobs: Vec<BuiltinJob>,
@@ -424,6 +441,7 @@ impl Engine {
             &CancelToken::new(),
             &|completed, total| sink.emit(Progress { completed, total }),
             Priority::Normal,
+            self.flow_solver(),
         )
     }
 
@@ -441,6 +459,7 @@ impl Engine {
             CancelToken::new(),
             self.default_sink(),
             Priority::Normal,
+            self.flow_solver(),
             workload.total_units(),
         );
         workload.run(&ctx)
@@ -487,6 +506,7 @@ impl Engine {
         let id = JobId(self.next_job_id.fetch_add(1, Ordering::Relaxed));
         let state = Arc::new(JobState::new(id, workload.label().to_string()));
         let control = JobControl::new(Arc::clone(&state));
+        let flow_solver = options.flow_solver.unwrap_or_else(|| self.flow_solver());
         let (tx, rx) = channel();
 
         self.active_jobs.fetch_add(1, Ordering::Relaxed);
@@ -511,6 +531,7 @@ impl Engine {
                         cancel,
                         sink,
                         options.priority,
+                        flow_solver,
                         workload.total_units(),
                     );
                     // A panic in a custom workload body costs that job, not
@@ -640,6 +661,7 @@ impl Engine {
         cancel: &CancelToken,
         on_progress: &(dyn Fn(usize, usize) + Sync),
         priority: Priority,
+        solver: SolverKind,
     ) -> Vec<Result<BuiltinOutcome, EngineError>> {
         // A job cancelled before graph resolution never touches the pool.
         if cancel.is_cancelled() {
@@ -649,7 +671,7 @@ impl Engine {
                 .collect();
         }
         // Phase 1: resolve one HTT graph per job, building on the pool.
-        let graphs = self.resolve_graphs(&jobs, priority);
+        let graphs = self.resolve_graphs(&jobs, priority, solver);
 
         // Phase 2: expand into point-level tasks.
         let mut tasks: Vec<Task> = Vec::new();
@@ -716,6 +738,7 @@ impl Engine {
         &self,
         jobs: &[BuiltinJob],
         priority: Priority,
+        solver: SolverKind,
     ) -> Vec<Result<Arc<HttGraph>, EngineError>> {
         if !self.cache_enabled {
             let inputs: Vec<(Hamiltonian, TransitionStrategy)> = jobs
@@ -727,9 +750,11 @@ impl Engine {
                 .map_at(
                     priority,
                     inputs,
-                    Arc::new(|_idx, (ham, strategy): (Hamiltonian, TransitionStrategy)| {
-                        HttGraph::build(&ham, &strategy).map(Arc::new)
-                    }),
+                    Arc::new(
+                        move |_idx, (ham, strategy): (Hamiltonian, TransitionStrategy)| {
+                            HttGraph::build_with_solver(&ham, &strategy, solver).map(Arc::new)
+                        },
+                    ),
                     |_| {},
                 )
                 .into_iter()
@@ -751,6 +776,7 @@ impl Engine {
             let key = CacheKey {
                 fingerprint: hamiltonian_fingerprint(job.hamiltonian()),
                 strategy: StrategyKey::of(job.strategy()),
+                solver,
             };
             let index = distinct
                 .iter()
@@ -781,7 +807,7 @@ impl Engine {
                     .into_iter()
                     .map(|index| {
                         let (ham, strategy, _) = &shared_distinct[index];
-                        (index, cache.get_or_build(ham, strategy))
+                        (index, cache.get_or_build_with(ham, strategy, solver))
                     })
                     .collect::<Vec<_>>()
             }),
@@ -954,145 +980,5 @@ impl Task {
                 seed,
             } => TaskOutput::Point(compile_point(&graph, &config, epsilon, seed)),
         }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated closed-enum shim (one release)
-// ---------------------------------------------------------------------------
-
-/// A job of a [`CompileBatch`] — the closed enum of the pre-`Workload` API.
-#[deprecated(
-    since = "0.5.0",
-    note = "the job surface is open now: submit a SweepWorkload / CompileWorkload (or any custom Workload); convert with EngineJob::into_workload"
-)]
-#[derive(Debug, Clone)]
-pub enum EngineJob {
-    /// Compile one configuration (optionally with fidelity).
-    Compile(CompileRequest),
-    /// Run one full sweep.
-    Sweep(SweepRequest),
-}
-
-#[allow(deprecated)]
-impl EngineJob {
-    /// Converts this closed-enum job into the equivalent built-in workload,
-    /// ready for [`Engine::submit`] / [`Engine::run_workload`].
-    pub fn into_workload(self) -> Box<dyn Workload> {
-        match self {
-            EngineJob::Compile(req) => Box::new(CompileWorkload::new(req)),
-            EngineJob::Sweep(req) => Box::new(SweepWorkload::new(req)),
-        }
-    }
-
-    fn into_builtin(self) -> BuiltinJob {
-        match self {
-            EngineJob::Compile(req) => BuiltinJob::Compile(req),
-            EngineJob::Sweep(req) => BuiltinJob::Sweep(req),
-        }
-    }
-}
-
-/// The result of one [`CompileBatch`] job — the closed outcome enum of the
-/// pre-`Workload` API.
-#[deprecated(
-    since = "0.5.0",
-    note = "workload outputs are typed per workload now; see WorkloadOutput"
-)]
-#[derive(Debug, Clone)]
-pub enum JobOutcome {
-    /// Output of a compile job.
-    Compiled(Box<CompileOutcome>),
-    /// Output of a sweep job.
-    Swept(SweepResult),
-}
-
-#[allow(deprecated)]
-impl JobOutcome {
-    /// Unwraps a compile outcome; panics on a sweep outcome.
-    pub fn into_compiled(self) -> CompileOutcome {
-        match self {
-            JobOutcome::Compiled(outcome) => *outcome,
-            JobOutcome::Swept(_) => panic!("expected a compile outcome, got a sweep"),
-        }
-    }
-
-    /// Unwraps a sweep outcome; panics on a compile outcome.
-    pub fn into_swept(self) -> SweepResult {
-        match self {
-            JobOutcome::Swept(sweep) => sweep,
-            JobOutcome::Compiled(_) => panic!("expected a sweep outcome, got a compile"),
-        }
-    }
-}
-
-/// A heterogeneous list of engine jobs submitted together — the batch type
-/// of the pre-`Workload` API.
-#[deprecated(
-    since = "0.5.0",
-    note = "use BenchmarkSuiteWorkload for sweep grids, compile_many/run_sweeps for homogeneous batches, or any custom Workload"
-)]
-#[allow(deprecated)]
-#[derive(Debug, Clone, Default)]
-pub struct CompileBatch {
-    /// The jobs, in submission order (outcomes keep this order).
-    pub jobs: Vec<EngineJob>,
-}
-
-#[allow(deprecated)]
-impl CompileBatch {
-    /// An empty batch.
-    pub fn new() -> Self {
-        CompileBatch::default()
-    }
-
-    /// Adds a compile job.
-    pub fn compile(mut self, request: CompileRequest) -> Self {
-        self.jobs.push(EngineJob::Compile(request));
-        self
-    }
-
-    /// Adds a sweep job.
-    pub fn sweep(mut self, request: SweepRequest) -> Self {
-        self.jobs.push(EngineJob::Sweep(request));
-        self
-    }
-
-    /// Number of jobs.
-    pub fn len(&self) -> usize {
-        self.jobs.len()
-    }
-
-    /// Whether the batch has no jobs.
-    pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
-    }
-}
-
-impl Engine {
-    /// Runs a heterogeneous batch; outcomes are returned in job order.
-    /// Identical machinery to the workload path (deduplicated graph
-    /// resolution, one flattened task queue); kept for one release as the
-    /// closed-enum shim.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use run_workload / submit with built-in or custom workloads"
-    )]
-    #[allow(deprecated)]
-    pub fn run_batch(&self, batch: CompileBatch) -> Vec<Result<JobOutcome, EngineError>> {
-        let jobs = batch
-            .jobs
-            .into_iter()
-            .map(EngineJob::into_builtin)
-            .collect();
-        self.run_builtin_default(jobs)
-            .into_iter()
-            .map(|outcome| {
-                outcome.map(|outcome| match outcome {
-                    BuiltinOutcome::Compiled(compiled) => JobOutcome::Compiled(compiled),
-                    BuiltinOutcome::Swept(sweep) => JobOutcome::Swept(sweep),
-                })
-            })
-            .collect()
     }
 }

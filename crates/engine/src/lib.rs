@@ -35,9 +35,9 @@
 //!   outcome collection. This is the layer the `marqsim-serve` TCP
 //!   front-end multiplexes client connections onto.
 //!
-//! The closed `EngineJob` / `CompileBatch` enum API that predates the
-//! `Workload` trait is kept for one release, deprecated; see
-//! `docs/engine.md` in the repository root for the migration guide.
+//! The closed `EngineJob` / `CompileBatch` enum API that predated the
+//! `Workload` trait was deprecated for one release and has been removed;
+//! `docs/engine.md` in the repository root keeps the migration guide.
 //!
 //! # Job model
 //!
@@ -69,7 +69,7 @@
 //!
 //! # Environment
 //!
-//! [`Engine::from_env`] reads four variables; unset or empty means "use
+//! [`Engine::from_env`] reads five variables; unset or empty means "use
 //! the default", and any unparsable value is a hard
 //! [`EngineError::InvalidConfig`] naming the offending setting — never a
 //! silent fallback.
@@ -82,6 +82,9 @@
 //!   (`0` = unbounded; default [`cache::DEFAULT_CACHE_CAP`]).
 //! * `MARQSIM_CACHE_DIR=PATH` — persist solved `P_gc` matrices under
 //!   `PATH` and reload them in later processes.
+//! * `MARQSIM_FLOW_SOLVER=ssp|network_simplex` — default min-cost-flow
+//!   backend ([`SolverKind`]); per-job override via
+//!   [`SubmitOptions::with_flow_solver`].
 //!
 //! # Example
 //!
@@ -126,11 +129,12 @@ pub mod workload;
 pub use cache::{
     hamiltonian_fingerprint, CacheConfig, CacheKey, CacheStats, StrategyKey, TransitionCache,
 };
-#[allow(deprecated)]
-pub use engine::{CompileBatch, EngineJob, JobOutcome};
 pub use engine::{CompileOutcome, CompileRequest, Engine, EngineConfig, Progress, SweepRequest};
 pub use error::EngineError;
 pub use job::{CancelToken, JobControl, JobHandle, JobId};
+/// Re-export of the min-cost-flow backend selector, so engine/serve callers
+/// pick a backend without a direct `marqsim-flow` dependency.
+pub use marqsim_core::SolverKind;
 pub use pool::{Priority, ThreadPool};
 pub use shard::ShardedLru;
 pub use workload::{
@@ -407,7 +411,7 @@ mod tests {
         assert!(config.cache_enabled);
         assert_eq!(config.with_threads(3).threads, 3);
 
-        let parsed = EngineConfig::from_values(Some("6"), None, None, None).unwrap();
+        let parsed = EngineConfig::from_values(Some("6"), None, None, None, None).unwrap();
         assert_eq!(parsed.threads, 6);
         assert!(parsed.cache_enabled);
     }
@@ -417,7 +421,7 @@ mod tests {
         // MARQSIM_THREADS=0 and garbage used to silently fall back to
         // "auto"; both must now produce a clear InvalidConfig.
         for bad in ["0", "garbage", "-2", "1.5"] {
-            let err = EngineConfig::from_values(Some(bad), None, None, None).unwrap_err();
+            let err = EngineConfig::from_values(Some(bad), None, None, None, None).unwrap_err();
             assert!(
                 matches!(err, EngineError::InvalidConfig { .. }),
                 "MARQSIM_THREADS={bad}"
@@ -428,9 +432,9 @@ mod tests {
 
     #[test]
     fn invalid_cache_switches_and_caps_are_hard_errors() {
-        let err = EngineConfig::from_values(None, Some("maybe"), None, None).unwrap_err();
+        let err = EngineConfig::from_values(None, Some("maybe"), None, None, None).unwrap_err();
         assert!(err.to_string().contains("MARQSIM_CACHE"));
-        let err = EngineConfig::from_values(None, None, Some("lots"), None).unwrap_err();
+        let err = EngineConfig::from_values(None, None, Some("lots"), None, None).unwrap_err();
         assert!(err.to_string().contains("MARQSIM_CACHE_CAP"));
 
         // Every documented spelling of the switch parses.
@@ -444,7 +448,7 @@ mod tests {
             ("false", false),
             ("no", false),
         ] {
-            let config = EngineConfig::from_values(None, Some(value), None, None).unwrap();
+            let config = EngineConfig::from_values(None, Some(value), None, None, None).unwrap();
             assert_eq!(config.cache_enabled, enabled, "MARQSIM_CACHE={value}");
         }
     }
@@ -452,7 +456,8 @@ mod tests {
     #[test]
     fn cache_cap_and_dir_reach_the_cache_config() {
         let config =
-            EngineConfig::from_values(None, None, Some("17"), Some("/tmp/marqsim-cc")).unwrap();
+            EngineConfig::from_values(None, None, Some("17"), Some("/tmp/marqsim-cc"), None)
+                .unwrap();
         assert_eq!(config.cache.cap_per_shard, 17);
         assert_eq!(
             config.cache.persist_dir.as_deref(),
@@ -727,97 +732,85 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_compile_batch_shim_still_runs() {
-        // The closed-enum API is kept (deprecated) for one release; it must
-        // run through the same machinery with the same cache behavior.
-        let engine = Engine::new(EngineConfig::default().with_threads(3));
-        let sweep_config = SweepConfig {
-            time: 0.5,
-            epsilons: vec![0.1],
-            repeats: 2,
-            base_seed: 4,
-            evaluate_fidelity: false,
-        };
-        let batch = CompileBatch::new()
-            .sweep(SweepRequest::new(
-                "sweep/baseline",
-                ham(),
-                TransitionStrategy::QDrift,
-                sweep_config.clone(),
-            ))
-            .sweep(SweepRequest::new(
-                "sweep/gc",
-                ham(),
-                TransitionStrategy::marqsim_gc(),
-                sweep_config.clone(),
-            ))
-            .sweep(SweepRequest::new(
-                "sweep/gc-rp",
-                ham(),
-                TransitionStrategy::marqsim_gc_rp(),
-                sweep_config,
-            ))
-            .compile(CompileRequest::new(
-                "compile/gc",
-                ham(),
-                CompilerConfig::new(0.5, 0.1)
-                    .with_strategy(TransitionStrategy::marqsim_gc())
-                    .with_seed(7),
-            ))
-            .compile(
-                CompileRequest::new(
-                    "compile/fidelity",
-                    Hamiltonian::parse("0.6 XZ + 0.4 ZY + 0.3 XX").unwrap(),
-                    CompilerConfig::new(0.4, 0.05)
-                        .with_strategy(TransitionStrategy::QDrift)
-                        .with_seed(2)
-                        .without_circuit(),
-                )
-                .with_fidelity(),
-            );
-        assert_eq!(batch.len(), 5);
-        assert!(!batch.is_empty());
-        let outcomes = engine.run_batch(batch);
-        assert_eq!(outcomes.len(), 5);
+    fn flow_solver_env_values_parse_strictly() {
+        let parsed =
+            EngineConfig::from_values(None, None, None, None, Some("network_simplex")).unwrap();
+        assert_eq!(parsed.cache.flow_solver, SolverKind::NetworkSimplex);
+        let parsed = EngineConfig::from_values(None, None, None, None, Some("ssp")).unwrap();
+        assert_eq!(parsed.cache.flow_solver, SolverKind::SuccessiveShortestPath);
+        let err = EngineConfig::from_values(None, None, None, None, Some("dijkstra")).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("MARQSIM_FLOW_SOLVER"), "{err}");
+        assert!(err.to_string().contains("network_simplex"), "{err}");
+    }
 
-        for (prefix, outcome) in ["Baseline", "MarQSim-GC", "MarQSim-GC-RP"]
-            .iter()
-            .zip(&outcomes)
-        {
-            let sweep = outcome.as_ref().unwrap().clone().into_swept();
-            assert_eq!(sweep.points.len(), 2);
-            assert!(
-                sweep.label.starts_with(prefix),
-                "{} vs {prefix}",
-                sweep.label
-            );
-        }
+    #[test]
+    fn flow_solver_selection_is_cached_and_attributed_per_backend() {
+        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+        assert_eq!(engine.flow_solver(), SolverKind::SuccessiveShortestPath);
+        let config = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
 
-        let compiled = outcomes[3].as_ref().unwrap().clone().into_compiled();
-        assert_eq!(compiled.label, "compile/gc");
-        assert!(compiled.result.stats.cnot > 0);
-        assert!(compiled.fidelity.is_none());
+        engine.run_sweep(&ham(), &strategy, &config).unwrap();
+        let stats = engine.cache().stats();
+        assert_eq!(stats.flow_solves_ssp, 1);
+        assert_eq!(stats.flow_solves_simplex, 0);
+        assert_eq!(stats.flow_solves, 1);
 
-        let with_fidelity = outcomes[4].as_ref().unwrap().clone().into_compiled();
-        let f = with_fidelity.fidelity.expect("fidelity requested");
-        assert!(f > 0.9 && f <= 1.0 + 1e-9);
-
-        // The GC and GC-RP sweeps shared one P_gc component.
-        assert_eq!(engine.cache().stats().component_hits, 1);
-
-        // And the EngineJob → Workload conversion runs through submit.
-        let engine = Arc::new(engine);
-        let handle = engine.submit(
-            EngineJob::Sweep(SweepRequest::new(
-                "shim/submit",
-                ham(),
-                TransitionStrategy::QDrift,
-                SweepConfig::quick(0.5),
-            ))
-            .into_workload(),
+        // Per-job override: its own cache entry, attributed to the simplex
+        // backend.
+        let ns_options = SubmitOptions::new().with_flow_solver(SolverKind::NetworkSimplex);
+        let handle = engine.submit_with_options(
+            sweep_workload("async/ns", strategy.clone(), config.clone()),
+            ns_options.clone(),
+            |_| {},
         );
-        assert_eq!(handle.collect().unwrap().into_swept().points.len(), 6);
+        let swept = handle.collect().unwrap().into_swept();
+        assert_eq!(swept.points.len(), 6);
+        let stats = engine.cache().stats();
+        assert_eq!(stats.flow_solves_simplex, 1);
+        assert_eq!(stats.flow_solves, 2);
+        assert_eq!(stats.misses, 2, "the backend is part of the cache key");
+
+        // Repeats under the same override are pure cache hits.
+        let handle = engine.submit_with_options(
+            sweep_workload("async/ns2", strategy, config),
+            ns_options,
+            |_| {},
+        );
+        handle.collect().unwrap();
+        let stats = engine.cache().stats();
+        assert_eq!(stats.flow_solves, 2, "no further solves");
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn network_simplex_engine_sweeps_are_deterministic_across_thread_counts() {
+        // The alternate backend has the same determinism contract as the
+        // default: the sweep outcome is a pure function of the request.
+        let config = SweepConfig::quick(0.5);
+        let strategy = TransitionStrategy::marqsim_gc();
+        let cache_config = CacheConfig::default().with_flow_solver(SolverKind::NetworkSimplex);
+        let reference = Engine::new(
+            EngineConfig::default()
+                .with_threads(1)
+                .with_cache_config(cache_config.clone()),
+        );
+        assert_eq!(reference.flow_solver(), SolverKind::NetworkSimplex);
+        let expected = reference.run_sweep(&ham(), &strategy, &config).unwrap();
+        for threads in [2, 4] {
+            let engine = Engine::new(
+                EngineConfig::default()
+                    .with_threads(threads)
+                    .with_cache_config(cache_config.clone()),
+            );
+            let swept = engine.run_sweep(&ham(), &strategy, &config).unwrap();
+            for (a, b) in swept.points.iter().zip(&expected.points) {
+                assert_eq!(a.seed, b.seed, "{threads} threads");
+                assert_eq!(a.stats, b.stats, "{threads} threads");
+            }
+            assert_eq!(engine.cache().stats().flow_solves_simplex, 1);
+        }
     }
 
     #[test]

@@ -45,15 +45,34 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use marqsim_core::SolverKind;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::{Hamiltonian, PauliOp, PauliString, Term};
 
 const MAGIC: &[u8; 4] = b"MQSC";
-const VERSION: u32 = 1;
+/// Format/provenance version. Bumped to 2 with the pluggable-solver
+/// redesign: the default backend's non-negative fast path may select a
+/// different (equally optimal) flow than the pre-redesign solver did on
+/// degenerate instances, so files solved by the old code must not mix with
+/// fresh solves — the version gate degrades them to a one-time re-solve.
+const VERSION: u32 = 2;
 
-/// Path of the component file for a fingerprint inside `dir`.
+/// Path of the component file for a fingerprint inside `dir` (the default
+/// backend's layout, unchanged since version 1 so existing cache
+/// directories stay valid).
 pub(crate) fn component_path(dir: &Path, fingerprint: u64) -> PathBuf {
     dir.join(format!("pgc-{fingerprint:016x}.mqsc"))
+}
+
+/// Path of the component file for a fingerprint solved by `solver`.
+/// Non-default backends get a backend-tagged file name: backends guarantee
+/// equal optimal cost but may pick different optimal flows on degenerate
+/// instances, so persisted components are never shared across backends.
+pub(crate) fn component_path_for(dir: &Path, fingerprint: u64, solver: SolverKind) -> PathBuf {
+    match solver {
+        SolverKind::SuccessiveShortestPath => component_path(dir, fingerprint),
+        other => dir.join(format!("pgc-{fingerprint:016x}.{}.mqsc", other.as_str())),
+    }
 }
 
 /// Serializes `(ham, matrix)` into the version-1 binary format.
@@ -91,6 +110,7 @@ fn encode(fingerprint: u64, ham: &Hamiltonian, matrix: &TransitionMatrix) -> Vec
 pub(crate) fn save_component(
     dir: &Path,
     fingerprint: u64,
+    solver: SolverKind,
     ham: &Hamiltonian,
     matrix: &TransitionMatrix,
 ) -> io::Result<()> {
@@ -106,22 +126,23 @@ pub(crate) fn save_component(
         std::process::id()
     ));
     fs::write(&tmp, &bytes)?;
-    let result = fs::rename(&tmp, component_path(dir, fingerprint));
+    let result = fs::rename(&tmp, component_path_for(dir, fingerprint, solver));
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
     result
 }
 
-/// Loads the component for `fingerprint` from `dir`, returning `None` —
-/// a plain cache miss — unless every validation described in the module
-/// docs passes against `expected`.
+/// Loads the component for `fingerprint` solved by `solver` from `dir`,
+/// returning `None` — a plain cache miss — unless every validation
+/// described in the module docs passes against `expected`.
 pub(crate) fn load_component(
     dir: &Path,
     fingerprint: u64,
+    solver: SolverKind,
     expected: &Hamiltonian,
 ) -> Option<TransitionMatrix> {
-    let bytes = fs::read(component_path(dir, fingerprint)).ok()?;
+    let bytes = fs::read(component_path_for(dir, fingerprint, solver)).ok()?;
     decode(&bytes, fingerprint, expected)
 }
 
@@ -223,16 +244,40 @@ mod tests {
         let ham = ham();
         let fp = hamiltonian_fingerprint(&ham);
         let matrix = gate_cancellation_matrix(&ham).unwrap();
-        save_component(&dir, fp, &ham, &matrix).unwrap();
-        let loaded = load_component(&dir, fp, &ham).expect("valid file loads");
+        save_component(&dir, fp, SolverKind::default(), &ham, &matrix).unwrap();
+        let loaded =
+            load_component(&dir, fp, SolverKind::default(), &ham).expect("valid file loads");
         assert_eq!(loaded, matrix, "bit-identical rows");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backends_persist_to_separate_files() {
+        let dir = temp_dir("backend-namespacing");
+        let ham = ham();
+        let fp = hamiltonian_fingerprint(&ham);
+        let matrix = gate_cancellation_matrix(&ham).unwrap();
+        save_component(&dir, fp, SolverKind::NetworkSimplex, &ham, &matrix).unwrap();
+        assert_ne!(
+            component_path_for(&dir, fp, SolverKind::NetworkSimplex),
+            component_path(&dir, fp),
+            "non-default backend gets a tagged file"
+        );
+        assert!(
+            load_component(&dir, fp, SolverKind::default(), &ham).is_none(),
+            "a simplex-solved component must not answer a default-backend load"
+        );
+        assert_eq!(
+            load_component(&dir, fp, SolverKind::NetworkSimplex, &ham).unwrap(),
+            matrix
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn missing_file_is_a_miss() {
         let dir = temp_dir("missing");
-        assert!(load_component(&dir, 1234, &ham()).is_none());
+        assert!(load_component(&dir, 1234, SolverKind::default(), &ham()).is_none());
     }
 
     #[test]
@@ -241,22 +286,31 @@ mod tests {
         let ham = ham();
         let fp = hamiltonian_fingerprint(&ham);
         let matrix = gate_cancellation_matrix(&ham).unwrap();
-        save_component(&dir, fp, &ham, &matrix).unwrap();
+        save_component(&dir, fp, SolverKind::default(), &ham, &matrix).unwrap();
         let path = component_path(&dir, fp);
         let good = fs::read(&path).unwrap();
 
         // Truncation anywhere must be rejected, as must trailing garbage
         // and a flipped magic byte.
         fs::write(&path, &good[..good.len() / 2]).unwrap();
-        assert!(load_component(&dir, fp, &ham).is_none(), "truncated");
+        assert!(
+            load_component(&dir, fp, SolverKind::default(), &ham).is_none(),
+            "truncated"
+        );
         let mut extended = good.clone();
         extended.push(0);
         fs::write(&path, &extended).unwrap();
-        assert!(load_component(&dir, fp, &ham).is_none(), "trailing bytes");
+        assert!(
+            load_component(&dir, fp, SolverKind::default(), &ham).is_none(),
+            "trailing bytes"
+        );
         let mut flipped = good.clone();
         flipped[0] ^= 0xff;
         fs::write(&path, &flipped).unwrap();
-        assert!(load_component(&dir, fp, &ham).is_none(), "bad magic");
+        assert!(
+            load_component(&dir, fp, SolverKind::default(), &ham).is_none(),
+            "bad magic"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -270,9 +324,9 @@ mod tests {
         let other = Hamiltonian::parse("0.6 XZII + 0.4 ZYII + 0.3 XXII + 0.1 IIZZ").unwrap();
         let matrix = gate_cancellation_matrix(&ham).unwrap();
         let other_fp = hamiltonian_fingerprint(&other);
-        save_component(&dir, other_fp, &ham, &matrix).unwrap();
+        save_component(&dir, other_fp, SolverKind::default(), &ham, &matrix).unwrap();
         assert!(
-            load_component(&dir, other_fp, &other).is_none(),
+            load_component(&dir, other_fp, SolverKind::default(), &other).is_none(),
             "stored Hamiltonian differs from the requested one"
         );
         let _ = fs::remove_dir_all(&dir);
@@ -284,7 +338,7 @@ mod tests {
         let ham = ham();
         let fp = hamiltonian_fingerprint(&ham);
         let matrix = gate_cancellation_matrix(&ham).unwrap();
-        save_component(&dir, fp, &ham, &matrix).unwrap();
+        save_component(&dir, fp, SolverKind::default(), &ham, &matrix).unwrap();
         let path = component_path(&dir, fp);
         let mut bytes = fs::read(&path).unwrap();
         // Overwrite the last matrix entry with 7.0: the row no longer sums
@@ -292,7 +346,7 @@ mod tests {
         let last = bytes.len() - 8;
         bytes[last..].copy_from_slice(&7.0f64.to_bits().to_le_bytes());
         fs::write(&path, &bytes).unwrap();
-        assert!(load_component(&dir, fp, &ham).is_none());
+        assert!(load_component(&dir, fp, SolverKind::default(), &ham).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -50,8 +50,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use marqsim_core::experiment::{SweepConfig, SweepResult};
-use marqsim_core::perturb::{perturbed_matrix_sample, PerturbationConfig};
-use marqsim_core::{HttGraph, TransitionStrategy};
+use marqsim_core::perturb::{perturbed_matrix_sample_with, PerturbationConfig};
+use marqsim_core::{HttGraph, SolverKind, TransitionStrategy};
 use marqsim_markov::combine::combine;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
@@ -238,6 +238,9 @@ pub struct SubmitOptions {
     pub max_in_flight: Option<usize>,
     /// Progress-event coalescing.
     pub progress_every: ProgressCadence,
+    /// Min-cost-flow backend for this job's flow solves; `None` uses the
+    /// engine default ([`Engine::flow_solver`]).
+    pub flow_solver: Option<SolverKind>,
 }
 
 impl SubmitOptions {
@@ -262,6 +265,12 @@ impl SubmitOptions {
     /// Sets the progress cadence.
     pub fn with_progress_every(mut self, cadence: ProgressCadence) -> Self {
         self.progress_every = cadence;
+        self
+    }
+
+    /// Selects the min-cost-flow backend for this job.
+    pub fn with_flow_solver(mut self, solver: SolverKind) -> Self {
+        self.flow_solver = Some(solver);
         self
     }
 }
@@ -370,6 +379,9 @@ pub struct WorkloadCtx<'a> {
     cancel: CancelToken,
     sink: ProgressSink,
     priority: Priority,
+    /// The min-cost-flow backend of this job (submission override or the
+    /// engine default).
+    flow_solver: SolverKind,
     /// The workload's own unit count, the denominator of cumulative
     /// progress.
     total_units: usize,
@@ -384,6 +396,7 @@ impl<'a> WorkloadCtx<'a> {
         cancel: CancelToken,
         sink: ProgressSink,
         priority: Priority,
+        flow_solver: SolverKind,
         total_units: usize,
     ) -> Self {
         WorkloadCtx {
@@ -392,6 +405,7 @@ impl<'a> WorkloadCtx<'a> {
             cancel,
             sink,
             priority,
+            flow_solver,
             total_units,
             units_done: AtomicUsize::new(0),
         }
@@ -422,6 +436,12 @@ impl<'a> WorkloadCtx<'a> {
     /// The scheduling priority this job was submitted at.
     pub fn priority(&self) -> Priority {
         self.priority
+    }
+
+    /// The min-cost-flow backend this job's flow solves use
+    /// ([`SubmitOptions::flow_solver`] override, or the engine default).
+    pub fn flow_solver(&self) -> SolverKind {
+        self.flow_solver
     }
 
     /// A clone of the job's cancellation token (for handing to helper
@@ -520,9 +540,10 @@ impl<'a> WorkloadCtx<'a> {
         strategy: &TransitionStrategy,
     ) -> Result<Arc<HttGraph>, EngineError> {
         let built = if self.cache_enabled() {
-            self.cache().get_or_build(ham, strategy)
+            self.cache()
+                .get_or_build_with(ham, strategy, self.flow_solver)
         } else {
-            HttGraph::build(ham, strategy).map(Arc::new)
+            HttGraph::build_with_solver(ham, strategy, self.flow_solver).map(Arc::new)
         };
         built.map_err(|e| EngineError::compile(&self.label, e))
     }
@@ -553,6 +574,7 @@ impl<'a> WorkloadCtx<'a> {
                 })
             },
             self.priority,
+            self.flow_solver,
         );
         self.units_done.fetch_max(base + planned, Ordering::Relaxed);
         outcomes
@@ -699,9 +721,10 @@ impl Workload for PerturbAverageWorkload {
         let ham = Arc::new(self.hamiltonian.clone());
         let config = self.config;
         let label = self.label.clone();
+        let solver = ctx.flow_solver();
         let matrices = ctx
             .map((0..self.config.samples).collect(), move |_idx, sample| {
-                perturbed_matrix_sample(&ham, &config, sample)
+                perturbed_matrix_sample_with(&ham, &config, sample, solver)
                     .map_err(|e| EngineError::compile(&label, e))
             })
             .into_iter()

@@ -13,7 +13,7 @@
 //! two layers. Dividing row `i` of the flow by `π_i` yields the transition
 //! matrix (§5.1.2); that conversion lives in `marqsim-core`.
 
-use crate::{FlowError, FlowNetwork};
+use crate::{FlowError, FlowNetwork, SolverKind};
 
 /// Result of solving the bipartite transportation problem.
 #[derive(Debug, Clone)]
@@ -24,6 +24,12 @@ pub struct BipartiteFlow {
     /// expected CNOT count per transition when the flow is turned into a
     /// transition matrix.
     pub cost: f64,
+    /// Name of the backend that solved the underlying network.
+    pub solver: &'static str,
+    /// Whether the backend skipped its Bellman–Ford potential bootstrap
+    /// (the successive-shortest-path fast path — always taken here when the
+    /// cost matrix is non-negative, e.g. for CNOT counts).
+    pub bellman_ford_skipped: bool,
 }
 
 /// Errors produced by [`solve`].
@@ -67,7 +73,8 @@ impl std::error::Error for BipartiteError {}
 /// A very large capacity standing in for the paper's `∞` on inner edges.
 const INF_CAPACITY: f64 = 1e18;
 
-/// Solves the bipartite transportation problem.
+/// Solves the bipartite transportation problem with the default backend
+/// ([`SolverKind::SuccessiveShortestPath`]).
 ///
 /// `allow(i, j)` controls which inner edges exist; MarQSim's gate-cancellation
 /// model excludes the diagonal (`i == j`) to rule out the trivial identity
@@ -78,6 +85,27 @@ const INF_CAPACITY: f64 = 1e18;
 /// Returns a [`BipartiteError`] if the inputs are malformed or the problem is
 /// infeasible (e.g. a single state with its self-edge excluded).
 pub fn solve<F>(
+    marginal: &[f64],
+    costs: &[Vec<f64>],
+    allow: F,
+) -> Result<BipartiteFlow, BipartiteError>
+where
+    F: FnMut(usize, usize) -> bool,
+{
+    solve_with(SolverKind::default(), marginal, costs, allow)
+}
+
+/// Like [`solve`] with an explicit min-cost-flow backend.
+///
+/// Every backend produces the same optimal cost and the same
+/// [`BipartiteError`] classification; the flows themselves may differ
+/// between backends when the optimum is not unique.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with<F>(
+    solver: SolverKind,
     marginal: &[f64],
     costs: &[Vec<f64>],
     mut allow: F,
@@ -115,7 +143,7 @@ where
     }
 
     let result = net
-        .min_cost_flow(source, sink, 1.0)
+        .min_cost_flow_with(solver, source, sink, 1.0)
         .map_err(BipartiteError::Infeasible)?;
 
     let mut flows = vec![vec![0.0; n]; n];
@@ -130,6 +158,8 @@ where
     Ok(BipartiteFlow {
         flows,
         cost: result.cost,
+        solver: result.solver,
+        bellman_ford_skipped: result.bellman_ford_skipped,
     })
 }
 
@@ -240,6 +270,56 @@ mod tests {
             solve(&[1.0], &costs, |i, j| i != j).unwrap_err(),
             BipartiteError::Infeasible(_)
         ));
+    }
+
+    #[test]
+    fn error_classification_is_backend_agnostic() {
+        // Malformed inputs and infeasible networks map to the same
+        // BipartiteError variant whichever backend solves them.
+        for kind in SolverKind::ALL {
+            let costs = vec![vec![0.0; 2]; 2];
+            assert!(
+                matches!(
+                    solve_with(kind, &[0.5, 0.6], &costs, |_, _| true).unwrap_err(),
+                    BipartiteError::InvalidMarginal { .. }
+                ),
+                "{kind}"
+            );
+            let ragged = vec![vec![0.0; 3]; 2];
+            assert!(
+                matches!(
+                    solve_with(kind, &[0.5, 0.5], &ragged, |_, _| true).unwrap_err(),
+                    BipartiteError::CostShapeMismatch { .. }
+                ),
+                "{kind}"
+            );
+            let single = vec![vec![0.0]];
+            assert!(
+                matches!(
+                    solve_with(kind, &[1.0], &single, |i, j| i != j).unwrap_err(),
+                    BipartiteError::Infeasible(_)
+                ),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_backends_find_the_paper_example_optimum() {
+        let (pi, costs) = example_5_1();
+        let ssp = solve(&pi, &costs, |i, j| i != j).unwrap();
+        let simplex = solve_with(SolverKind::NetworkSimplex, &pi, &costs, |i, j| i != j).unwrap();
+        assert!(
+            (ssp.cost - simplex.cost).abs() < 1e-9,
+            "ssp {} vs simplex {}",
+            ssp.cost,
+            simplex.cost
+        );
+        // Marginals are matched by both solutions.
+        for i in 0..pi.len() {
+            let row: f64 = simplex.flows[i].iter().sum();
+            assert!((row - pi[i]).abs() < 1e-9, "row {i}");
+        }
     }
 
     #[test]

@@ -1,13 +1,20 @@
-//! Flow network representation and the successive-shortest-path solver.
+//! Flow network representation and the pluggable solver API.
+//!
+//! The network itself is a plain edge list ([`FlowNetwork`]); solving is
+//! delegated to a [`MinCostFlowSolver`] implementation selected by
+//! [`SolverKind`]. Solvers build their own working state (a CSR residual
+//! network, a spanning-tree structure, …) per solve, so the network stays
+//! immutable and cheap to share.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
-/// Numerical tolerance for treating residual capacities as zero.
-const CAP_EPS: f64 = 1e-12;
+use crate::simplex::NetworkSimplex;
+use crate::ssp::SuccessiveShortestPath;
 
-/// Errors produced by the min-cost flow solver.
+/// Numerical tolerance for treating residual capacities as zero.
+pub(crate) const CAP_EPS: f64 = 1e-12;
+
+/// Errors produced by the min-cost flow solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
     /// The requested amount of flow cannot be routed from source to sink.
@@ -57,70 +64,64 @@ pub struct FlowResult {
     /// Flow on each edge, indexed by the [`FlowNetwork::add_edge`] return
     /// value.
     pub edge_flows: Vec<f64>,
+    /// [`MinCostFlowSolver::name`] of the backend that produced this result.
+    pub solver: &'static str,
+    /// Whether the successive-shortest-path backend skipped its Bellman–Ford
+    /// potential initialization because every edge cost was non-negative
+    /// (always `false` for other backends).
+    pub bellman_ford_skipped: bool,
 }
 
-#[derive(Debug, Clone)]
-struct Arc {
-    to: usize,
-    cap: f64,
-    cost: f64,
-    /// Index of the reverse arc in the adjacency list of `to`.
-    rev: usize,
-    /// `Some(edge_id)` for forward arcs created by `add_edge`.
-    edge_id: Option<usize>,
+/// One directed edge of a [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEdge {
+    /// Tail node.
+    pub from: usize,
+    /// Head node.
+    pub to: usize,
+    /// Capacity (non-negative).
+    pub capacity: f64,
+    /// Cost per unit of flow (finite; may be negative).
+    pub cost: f64,
 }
 
 /// A directed flow network with real-valued capacities and costs
 /// (Definition 2.7 of the paper).
 #[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
-    adjacency: Vec<Vec<Arc>>,
-    num_edges: usize,
-}
-
-/// Binary-heap entry for Dijkstra (min-heap via reversed ordering).
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: usize,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap becomes a min-heap on dist.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    num_nodes: usize,
+    edges: Vec<FlowEdge>,
 }
 
 impl FlowNetwork {
     /// Creates a network with `num_nodes` nodes and no edges.
     pub fn new(num_nodes: usize) -> Self {
         FlowNetwork {
-            adjacency: vec![Vec::new(); num_nodes],
-            num_edges: 0,
+            num_nodes,
+            edges: Vec::new(),
         }
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adjacency.len()
+        self.num_nodes
     }
 
     /// Number of edges added via [`Self::add_edge`].
     pub fn num_edges(&self) -> usize {
-        self.num_edges
+        self.edges.len()
+    }
+
+    /// The edges, in insertion order (the index of an edge in this slice is
+    /// its edge id).
+    pub fn edges(&self) -> &[FlowEdge] {
+        &self.edges
+    }
+
+    /// Whether every edge cost is non-negative (the successive-shortest-path
+    /// fast path: Dijkstra needs no Bellman–Ford potential bootstrap).
+    pub fn costs_are_non_negative(&self) -> bool {
+        self.edges.iter().all(|e| e.cost >= 0.0)
     }
 
     /// Adds a directed edge with the given capacity and cost and returns its
@@ -131,33 +132,23 @@ impl FlowNetwork {
     /// Panics if an endpoint is out of range, the capacity is negative or the
     /// cost is not finite.
     pub fn add_edge(&mut self, from: usize, to: usize, capacity: f64, cost: f64) -> usize {
-        let n = self.num_nodes();
+        let n = self.num_nodes;
         assert!(from < n && to < n, "edge endpoints must be existing nodes");
         assert!(capacity >= 0.0, "capacity must be non-negative");
         assert!(cost.is_finite(), "cost must be finite");
-        let edge_id = self.num_edges;
-        self.num_edges += 1;
-        let rev_from = self.adjacency[to].len();
-        let rev_to = self.adjacency[from].len();
-        self.adjacency[from].push(Arc {
+        let edge_id = self.edges.len();
+        self.edges.push(FlowEdge {
+            from,
             to,
-            cap: capacity,
+            capacity,
             cost,
-            rev: rev_from,
-            edge_id: Some(edge_id),
-        });
-        self.adjacency[to].push(Arc {
-            to: from,
-            cap: 0.0,
-            cost: -cost,
-            rev: rev_to,
-            edge_id: None,
         });
         edge_id
     }
 
     /// Computes a minimum-cost flow of `amount` units from `source` to
-    /// `sink` using successive shortest paths with Johnson potentials.
+    /// `sink` with the default backend
+    /// ([`SolverKind::SuccessiveShortestPath`]).
     ///
     /// # Errors
     ///
@@ -169,288 +160,381 @@ impl FlowNetwork {
         sink: usize,
         amount: f64,
     ) -> Result<FlowResult, FlowError> {
-        let n = self.num_nodes();
+        self.min_cost_flow_with(SolverKind::default(), source, sink, amount)
+    }
+
+    /// Like [`min_cost_flow`](Self::min_cost_flow) with an explicit backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`min_cost_flow`](Self::min_cost_flow).
+    pub fn min_cost_flow_with(
+        &self,
+        solver: SolverKind,
+        source: usize,
+        sink: usize,
+        amount: f64,
+    ) -> Result<FlowResult, FlowError> {
+        solver.solver().solve(self, source, sink, amount)
+    }
+
+    /// Shared endpoint validation for every backend.
+    pub(crate) fn validate_endpoints(&self, source: usize, sink: usize) -> Result<(), FlowError> {
+        let n = self.num_nodes;
         if source >= n || sink >= n {
             return Err(FlowError::InvalidNode {
                 node: source.max(sink),
                 num_nodes: n,
             });
         }
-        let mut graph = self.adjacency.clone();
-        let mut potentials = vec![0.0f64; n];
-        // Initial potentials via Bellman–Ford so that negative edge costs are
-        // supported (the random-perturbation variant keeps costs non-negative,
-        // but the solver does not rely on that).
-        bellman_ford_potentials(&graph, source, &mut potentials);
+        Ok(())
+    }
+}
 
-        let mut remaining = amount;
-        let mut total_cost = 0.0;
-        let mut edge_flows = vec![0.0f64; self.num_edges];
+// ---------------------------------------------------------------------------
+// The solver API
+// ---------------------------------------------------------------------------
 
-        while remaining > CAP_EPS {
-            // Dijkstra on reduced costs.
-            let (dist, prev) = dijkstra(&graph, source, &potentials);
-            if dist[sink].is_infinite() {
-                return Err(FlowError::Infeasible {
-                    routed: amount - remaining,
-                    requested: amount,
-                });
-            }
-            // Update potentials.
-            for v in 0..n {
-                if dist[v].is_finite() {
-                    potentials[v] += dist[v];
-                }
-            }
-            // Find bottleneck along the path.
-            let mut bottleneck = remaining;
-            let mut v = sink;
-            while v != source {
-                let (u, arc_idx) = prev[v].expect("path exists since dist is finite");
-                bottleneck = bottleneck.min(graph[u][arc_idx].cap);
-                v = u;
-            }
-            // Augment.
-            let mut v = sink;
-            while v != source {
-                let (u, arc_idx) = prev[v].expect("path exists since dist is finite");
-                let rev = graph[u][arc_idx].rev;
-                graph[u][arc_idx].cap -= bottleneck;
-                graph[v][rev].cap += bottleneck;
-                total_cost += bottleneck * graph[u][arc_idx].cost;
-                if let Some(id) = graph[u][arc_idx].edge_id {
-                    edge_flows[id] += bottleneck;
-                } else {
-                    // Residual arc of an original edge: cancel flow on it.
-                    let id = graph[v][rev]
-                        .edge_id
-                        .expect("one direction of every pair is an original edge");
-                    edge_flows[id] -= bottleneck;
-                }
-                v = u;
-            }
-            remaining -= bottleneck;
+/// A min-cost-flow backend. Implementations are stateless (per-solve working
+/// state is local), so one `&'static` instance serves every thread.
+pub trait MinCostFlowSolver: Send + Sync {
+    /// Stable backend name — the spelling used by `MARQSIM_FLOW_SOLVER`,
+    /// the serve wire protocol, and bench/stat lines.
+    fn name(&self) -> &'static str;
+
+    /// Computes a minimum-cost flow of `amount` units from `source` to
+    /// `sink`.
+    ///
+    /// On networks without negative-cost cycles every backend returns the
+    /// same optimal cost. With such a cycle present, backends legitimately
+    /// differ (see the [crate docs](crate)): SSP solves the pure s→t
+    /// problem while the simplex also cancels the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Infeasible`] (carrying how much flow *could* be
+    /// routed) if the network cannot carry the requested amount, or
+    /// [`FlowError::InvalidNode`] for out-of-range endpoints — the same
+    /// classification for every backend.
+    fn solve(
+        &self,
+        network: &FlowNetwork,
+        source: usize,
+        sink: usize,
+        amount: f64,
+    ) -> Result<FlowResult, FlowError>;
+}
+
+/// The registered backends, selectable end to end (engine `CacheConfig`,
+/// `SubmitOptions`, the serve wire protocol, `MARQSIM_FLOW_SOLVER`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Successive shortest paths with Johnson potentials (Dijkstra inner
+    /// loop). The default; preserves the historical solver's per-node
+    /// arc-order tie-breaking (see `ssp` module docs for the one
+    /// observable fast-path caveat on degenerate instances).
+    #[default]
+    SuccessiveShortestPath,
+    /// Primal network simplex over a spanning-tree structure with a
+    /// block-search pivot rule.
+    NetworkSimplex,
+}
+
+static SSP: SuccessiveShortestPath = SuccessiveShortestPath;
+static SIMPLEX: NetworkSimplex = NetworkSimplex;
+
+impl SolverKind {
+    /// Every registered backend, default first.
+    pub const ALL: [SolverKind; 2] = [
+        SolverKind::SuccessiveShortestPath,
+        SolverKind::NetworkSimplex,
+    ];
+
+    /// The stable name ([`MinCostFlowSolver::name`] of the backend).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SolverKind::SuccessiveShortestPath => "ssp",
+            SolverKind::NetworkSimplex => "network_simplex",
         }
+    }
 
-        Ok(FlowResult {
-            amount,
-            cost: total_cost,
-            edge_flows,
+    /// Parses a backend name (the `as_str` spellings plus common aliases).
+    pub fn parse(spelling: &str) -> Option<SolverKind> {
+        match spelling.trim().to_ascii_lowercase().as_str() {
+            "ssp" | "successive_shortest_path" | "successive-shortest-path" => {
+                Some(SolverKind::SuccessiveShortestPath)
+            }
+            "network_simplex" | "network-simplex" | "simplex" => Some(SolverKind::NetworkSimplex),
+            _ => None,
+        }
+    }
+
+    /// The backend implementation.
+    pub fn solver(self) -> &'static dyn MinCostFlowSolver {
+        match self {
+            SolverKind::SuccessiveShortestPath => &SSP,
+            SolverKind::NetworkSimplex => &SIMPLEX,
+        }
+    }
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SolverKind::parse(s).ok_or_else(|| {
+            format!(
+                "unknown flow solver '{s}' (registered backends: {})",
+                SolverKind::ALL.map(SolverKind::as_str).join(", ")
+            )
         })
     }
-}
-
-/// Bellman–Ford pass to initialize potentials (handles negative costs).
-fn bellman_ford_potentials(graph: &[Vec<Arc>], source: usize, potentials: &mut [f64]) {
-    let n = graph.len();
-    for p in potentials.iter_mut() {
-        *p = f64::INFINITY;
-    }
-    potentials[source] = 0.0;
-    for _ in 0..n {
-        let mut changed = false;
-        for u in 0..n {
-            if potentials[u].is_infinite() {
-                continue;
-            }
-            for arc in &graph[u] {
-                if arc.cap > CAP_EPS && potentials[u] + arc.cost < potentials[arc.to] - 1e-15 {
-                    potentials[arc.to] = potentials[u] + arc.cost;
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    // Unreachable nodes keep potential 0 so reduced costs stay finite.
-    for p in potentials.iter_mut() {
-        if p.is_infinite() {
-            *p = 0.0;
-        }
-    }
-}
-
-/// Dijkstra over residual arcs with reduced costs; returns distances and the
-/// predecessor arc of each node.
-#[allow(clippy::type_complexity)]
-fn dijkstra(
-    graph: &[Vec<Arc>],
-    source: usize,
-    potentials: &[f64],
-) -> (Vec<f64>, Vec<Option<(usize, usize)>>) {
-    let n = graph.len();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[source] = 0.0;
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: source,
-    });
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if d > dist[u] + 1e-15 {
-            continue;
-        }
-        for (idx, arc) in graph[u].iter().enumerate() {
-            if arc.cap <= CAP_EPS {
-                continue;
-            }
-            let reduced = arc.cost + potentials[u] - potentials[arc.to];
-            // Clamp tiny negative values caused by floating-point noise.
-            let reduced = reduced.max(0.0);
-            let nd = d + reduced;
-            if nd + 1e-15 < dist[arc.to] {
-                dist[arc.to] = nd;
-                prev[arc.to] = Some((u, idx));
-                heap.push(HeapEntry {
-                    dist: nd,
-                    node: arc.to,
-                });
-            }
-        }
-    }
-    (dist, prev)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn both() -> [SolverKind; 2] {
+        SolverKind::ALL
+    }
+
+    #[test]
+    fn solver_kind_round_trips_names() {
+        for kind in both() {
+            assert_eq!(SolverKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(kind.solver().name(), kind.as_str());
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert_eq!(
+            SolverKind::parse("simplex"),
+            Some(SolverKind::NetworkSimplex)
+        );
+        assert_eq!(SolverKind::parse("nope"), None);
+        assert!("nope".parse::<SolverKind>().unwrap_err().contains("ssp"));
+        assert_eq!(SolverKind::default(), SolverKind::SuccessiveShortestPath);
+    }
+
     #[test]
     fn single_edge_network() {
-        let mut net = FlowNetwork::new(2);
-        let e = net.add_edge(0, 1, 2.0, 3.0);
-        let r = net.min_cost_flow(0, 1, 1.5).unwrap();
-        assert!((r.cost - 4.5).abs() < 1e-9);
-        assert!((r.edge_flows[e] - 1.5).abs() < 1e-9);
+        for kind in both() {
+            let mut net = FlowNetwork::new(2);
+            let e = net.add_edge(0, 1, 2.0, 3.0);
+            let r = net.min_cost_flow_with(kind, 0, 1, 1.5).unwrap();
+            assert!((r.cost - 4.5).abs() < 1e-9, "{kind}");
+            assert!((r.edge_flows[e] - 1.5).abs() < 1e-9, "{kind}");
+            assert_eq!(r.solver, kind.as_str());
+        }
     }
 
     #[test]
     fn prefers_the_cheaper_route() {
-        let mut net = FlowNetwork::new(4);
-        let cheap_a = net.add_edge(0, 1, 1.0, 1.0);
-        let cheap_b = net.add_edge(1, 3, 1.0, 1.0);
-        let pricey_a = net.add_edge(0, 2, 1.0, 5.0);
-        let pricey_b = net.add_edge(2, 3, 1.0, 5.0);
-        let r = net.min_cost_flow(0, 3, 1.0).unwrap();
-        assert!((r.cost - 2.0).abs() < 1e-9);
-        assert!((r.edge_flows[cheap_a] - 1.0).abs() < 1e-9);
-        assert!((r.edge_flows[cheap_b] - 1.0).abs() < 1e-9);
-        assert!(r.edge_flows[pricey_a].abs() < 1e-9);
-        assert!(r.edge_flows[pricey_b].abs() < 1e-9);
+        for kind in both() {
+            let mut net = FlowNetwork::new(4);
+            let cheap_a = net.add_edge(0, 1, 1.0, 1.0);
+            let cheap_b = net.add_edge(1, 3, 1.0, 1.0);
+            let pricey_a = net.add_edge(0, 2, 1.0, 5.0);
+            let pricey_b = net.add_edge(2, 3, 1.0, 5.0);
+            let r = net.min_cost_flow_with(kind, 0, 3, 1.0).unwrap();
+            assert!((r.cost - 2.0).abs() < 1e-9, "{kind}");
+            assert!((r.edge_flows[cheap_a] - 1.0).abs() < 1e-9, "{kind}");
+            assert!((r.edge_flows[cheap_b] - 1.0).abs() < 1e-9, "{kind}");
+            assert!(r.edge_flows[pricey_a].abs() < 1e-9, "{kind}");
+            assert!(r.edge_flows[pricey_b].abs() < 1e-9, "{kind}");
+        }
     }
 
     #[test]
     fn spills_over_to_the_expensive_route_when_needed() {
-        let mut net = FlowNetwork::new(4);
-        net.add_edge(0, 1, 1.0, 1.0);
-        net.add_edge(1, 3, 1.0, 1.0);
-        net.add_edge(0, 2, 1.0, 5.0);
-        net.add_edge(2, 3, 1.0, 5.0);
-        let r = net.min_cost_flow(0, 3, 2.0).unwrap();
-        assert!((r.cost - 12.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn infeasible_demand_is_reported() {
-        let mut net = FlowNetwork::new(2);
-        net.add_edge(0, 1, 1.0, 1.0);
-        let err = net.min_cost_flow(0, 1, 2.0).unwrap_err();
-        match err {
-            FlowError::Infeasible { routed, requested } => {
-                assert!((routed - 1.0).abs() < 1e-9);
-                assert!((requested - 2.0).abs() < 1e-9);
-            }
-            other => panic!("unexpected error {other:?}"),
+        for kind in both() {
+            let mut net = FlowNetwork::new(4);
+            net.add_edge(0, 1, 1.0, 1.0);
+            net.add_edge(1, 3, 1.0, 1.0);
+            net.add_edge(0, 2, 1.0, 5.0);
+            net.add_edge(2, 3, 1.0, 5.0);
+            let r = net.min_cost_flow_with(kind, 0, 3, 2.0).unwrap();
+            assert!((r.cost - 12.0).abs() < 1e-9, "{kind}");
         }
     }
 
     #[test]
-    fn invalid_node_is_reported() {
-        let net = FlowNetwork::new(2);
-        assert!(matches!(
-            net.min_cost_flow(0, 5, 1.0).unwrap_err(),
-            FlowError::InvalidNode { .. }
-        ));
+    fn infeasible_demand_is_reported_identically_by_every_backend() {
+        for kind in both() {
+            let mut net = FlowNetwork::new(2);
+            net.add_edge(0, 1, 1.0, 1.0);
+            let err = net.min_cost_flow_with(kind, 0, 1, 2.0).unwrap_err();
+            match err {
+                FlowError::Infeasible { routed, requested } => {
+                    assert!((routed - 1.0).abs() < 1e-9, "{kind}: routed {routed}");
+                    assert!((requested - 2.0).abs() < 1e-9, "{kind}");
+                }
+                other => panic!("{kind}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_node_is_reported_identically_by_every_backend() {
+        for kind in both() {
+            let net = FlowNetwork::new(2);
+            assert_eq!(
+                net.min_cost_flow_with(kind, 0, 5, 1.0).unwrap_err(),
+                FlowError::InvalidNode {
+                    node: 5,
+                    num_nodes: 2
+                },
+                "{kind}"
+            );
+        }
     }
 
     #[test]
     fn flow_conservation_holds_at_interior_nodes() {
-        // Diamond with an extra middle edge; route 1.5 units.
-        let mut net = FlowNetwork::new(5);
-        let edges = [
-            (0, 1, 1.0, 2.0),
-            (0, 2, 1.0, 1.0),
-            (1, 2, 0.5, 0.1),
-            (1, 3, 1.0, 3.0),
-            (2, 3, 1.2, 2.0),
-            (3, 4, 2.0, 0.0),
-        ];
-        let ids: Vec<usize> = edges
-            .iter()
-            .map(|&(u, v, c, w)| net.add_edge(u, v, c, w))
-            .collect();
-        let r = net.min_cost_flow(0, 4, 1.5).unwrap();
-        // Net flow into each interior node equals net flow out.
-        for node in 1..=3 {
-            let mut balance = 0.0;
-            for (&(u, v, _, _), &id) in edges.iter().zip(ids.iter()) {
-                if v == node {
-                    balance += r.edge_flows[id];
+        for kind in both() {
+            // Diamond with an extra middle edge; route 1.5 units.
+            let mut net = FlowNetwork::new(5);
+            let edges = [
+                (0, 1, 1.0, 2.0),
+                (0, 2, 1.0, 1.0),
+                (1, 2, 0.5, 0.1),
+                (1, 3, 1.0, 3.0),
+                (2, 3, 1.2, 2.0),
+                (3, 4, 2.0, 0.0),
+            ];
+            let ids: Vec<usize> = edges
+                .iter()
+                .map(|&(u, v, c, w)| net.add_edge(u, v, c, w))
+                .collect();
+            let r = net.min_cost_flow_with(kind, 0, 4, 1.5).unwrap();
+            // Net flow into each interior node equals net flow out.
+            for node in 1..=3 {
+                let mut balance = 0.0;
+                for (&(u, v, _, _), &id) in edges.iter().zip(ids.iter()) {
+                    if v == node {
+                        balance += r.edge_flows[id];
+                    }
+                    if u == node {
+                        balance -= r.edge_flows[id];
+                    }
                 }
-                if u == node {
-                    balance -= r.edge_flows[id];
-                }
+                assert!(
+                    balance.abs() < 1e-9,
+                    "{kind}: node {node} imbalance {balance}"
+                );
             }
-            assert!(balance.abs() < 1e-9, "node {node} imbalance {balance}");
-        }
-        // Capacities respected.
-        for (&(_, _, cap, _), &id) in edges.iter().zip(ids.iter()) {
-            assert!(r.edge_flows[id] <= cap + 1e-9);
-            assert!(r.edge_flows[id] >= -1e-9);
+            // Capacities respected.
+            for (&(_, _, cap, _), &id) in edges.iter().zip(ids.iter()) {
+                assert!(r.edge_flows[id] <= cap + 1e-9, "{kind}");
+                assert!(r.edge_flows[id] >= -1e-9, "{kind}");
+            }
         }
     }
 
     #[test]
     fn residual_rerouting_finds_the_global_optimum() {
-        // Classic example where the greedy path must later be partially
-        // undone through residual arcs to reach the optimum.
-        let mut net = FlowNetwork::new(4);
-        net.add_edge(0, 1, 1.0, 1.0);
-        net.add_edge(0, 2, 1.0, 10.0);
-        net.add_edge(1, 2, 1.0, -8.0);
-        net.add_edge(1, 3, 1.0, 10.0);
-        net.add_edge(2, 3, 1.0, 1.0);
-        let r = net.min_cost_flow(0, 3, 2.0).unwrap();
-        // Optimum is 22: either {0-1-3, 0-2-3} (11 + 11) or, equivalently,
-        // {0-1-2-3 at -6, then 0-2, residual 2->1, 1-3 at 28}. A greedy solver
-        // that never revisits the negative edge through residuals would pay
-        // more.
-        assert!((r.cost - 22.0).abs() < 1e-9);
-        assert!((r.amount - 2.0).abs() < 1e-12);
+        for kind in both() {
+            // Classic example where the greedy path must later be partially
+            // undone through residual arcs to reach the optimum.
+            let mut net = FlowNetwork::new(4);
+            net.add_edge(0, 1, 1.0, 1.0);
+            net.add_edge(0, 2, 1.0, 10.0);
+            net.add_edge(1, 2, 1.0, -8.0);
+            net.add_edge(1, 3, 1.0, 10.0);
+            net.add_edge(2, 3, 1.0, 1.0);
+            let r = net.min_cost_flow_with(kind, 0, 3, 2.0).unwrap();
+            assert!((r.cost - 22.0).abs() < 1e-9, "{kind}: cost {}", r.cost);
+            assert!((r.amount - 2.0).abs() < 1e-12, "{kind}");
+        }
     }
 
     #[test]
     fn fractional_capacities_route_exactly() {
-        let mut net = FlowNetwork::new(3);
-        let a = net.add_edge(0, 1, 0.3, 1.0);
-        let b = net.add_edge(0, 1, 0.7, 2.0);
-        let c = net.add_edge(1, 2, 1.0, 0.0);
-        let r = net.min_cost_flow(0, 2, 1.0).unwrap();
-        assert!((r.edge_flows[a] - 0.3).abs() < 1e-9);
-        assert!((r.edge_flows[b] - 0.7).abs() < 1e-9);
-        assert!((r.edge_flows[c] - 1.0).abs() < 1e-9);
-        assert!((r.cost - (0.3 + 1.4)).abs() < 1e-9);
+        for kind in both() {
+            let mut net = FlowNetwork::new(3);
+            let a = net.add_edge(0, 1, 0.3, 1.0);
+            let b = net.add_edge(0, 1, 0.7, 2.0);
+            let c = net.add_edge(1, 2, 1.0, 0.0);
+            let r = net.min_cost_flow_with(kind, 0, 2, 1.0).unwrap();
+            assert!((r.edge_flows[a] - 0.3).abs() < 1e-9, "{kind}");
+            assert!((r.edge_flows[b] - 0.7).abs() < 1e-9, "{kind}");
+            assert!((r.edge_flows[c] - 1.0).abs() < 1e-9, "{kind}");
+            assert!((r.cost - (0.3 + 1.4)).abs() < 1e-9, "{kind}");
+        }
     }
 
     #[test]
     fn zero_amount_flow_costs_nothing() {
+        for kind in both() {
+            let mut net = FlowNetwork::new(2);
+            net.add_edge(0, 1, 1.0, 7.0);
+            let r = net.min_cost_flow_with(kind, 0, 1, 0.0).unwrap();
+            assert_eq!(r.cost, 0.0, "{kind}");
+            assert!(r.edge_flows.iter().all(|&f| f == 0.0), "{kind}");
+        }
+    }
+
+    #[test]
+    fn ssp_records_the_bellman_ford_skip() {
+        // Non-negative costs: the default backend skips the Bellman–Ford
+        // bootstrap and says so; a negative cost forces the full init.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.0, 1.0);
+        net.add_edge(1, 2, 1.0, 0.0);
+        let r = net.min_cost_flow(0, 2, 1.0).unwrap();
+        assert!(r.bellman_ford_skipped);
+
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.0, -1.0);
+        net.add_edge(1, 2, 1.0, 2.0);
+        let r = net.min_cost_flow(0, 2, 1.0).unwrap();
+        assert!(!r.bellman_ford_skipped);
+        assert!((r.cost - 1.0).abs() < 1e-9);
+
+        // The simplex backend never reports a skip.
         let mut net = FlowNetwork::new(2);
-        net.add_edge(0, 1, 1.0, 7.0);
-        let r = net.min_cost_flow(0, 1, 0.0).unwrap();
-        assert_eq!(r.cost, 0.0);
-        assert!(r.edge_flows.iter().all(|&f| f == 0.0));
+        net.add_edge(0, 1, 1.0, 1.0);
+        let r = net
+            .min_cost_flow_with(SolverKind::NetworkSimplex, 0, 1, 1.0)
+            .unwrap();
+        assert!(!r.bellman_ford_skipped);
+    }
+
+    #[test]
+    fn backends_agree_on_cost_for_a_dense_network() {
+        // A denser network with parallel routes: both backends must land on
+        // the same optimal cost (the cross-backend headline guarantee).
+        let mut net = FlowNetwork::new(6);
+        let arcs = [
+            (0usize, 1usize, 2.0, 4.0),
+            (0, 2, 2.0, 1.0),
+            (1, 2, 1.0, 1.0),
+            (1, 3, 1.5, 3.0),
+            (2, 3, 1.0, 6.0),
+            (2, 4, 2.0, 2.0),
+            (3, 5, 2.0, 1.0),
+            (4, 3, 1.0, 0.5),
+            (4, 5, 1.0, 7.0),
+        ];
+        for &(u, v, c, w) in &arcs {
+            net.add_edge(u, v, c, w);
+        }
+        let a = net
+            .min_cost_flow_with(SolverKind::SuccessiveShortestPath, 0, 5, 2.5)
+            .unwrap();
+        let b = net
+            .min_cost_flow_with(SolverKind::NetworkSimplex, 0, 5, 2.5)
+            .unwrap();
+        assert!(
+            (a.cost - b.cost).abs() < 1e-9,
+            "ssp {} vs simplex {}",
+            a.cost,
+            b.cost
+        );
     }
 }

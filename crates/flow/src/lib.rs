@@ -5,21 +5,42 @@
 //! → sink, with the stationary distribution as the capacities of the outer
 //! edges and the pairwise CNOT count as the cost of the inner edges. The
 //! paper uses Python's `networkx` solver; this crate is the from-scratch
-//! replacement:
+//! replacement, redesigned around a **pluggable solver API**:
 //!
 //! * [`FlowNetwork`] — a directed flow network with real-valued capacities
-//!   and costs (Definition 2.7).
-//! * [`FlowNetwork::min_cost_flow`] — successive-shortest-path min-cost flow
-//!   with Johnson potentials (Dijkstra inner loop), supporting fractional
-//!   capacities.
+//!   and costs (Definition 2.7), stored as an immutable edge list.
+//! * [`MinCostFlowSolver`] — the backend trait: `name()` plus
+//!   `solve(&network, source, sink, amount)`. Backends build their own
+//!   per-solve working state over a shared CSR residual core (`csr`), so
+//!   adding a solver never touches the network type or its callers.
+//! * [`SolverKind`] — the registered backends:
+//!   [`SolverKind::SuccessiveShortestPath`] (`ssp`, the default — Johnson
+//!   potentials with a Dijkstra inner loop, preserving the historical
+//!   solver's arc-order tie-breaking, with a recorded Bellman–Ford skip
+//!   when all costs are non-negative) and [`SolverKind::NetworkSimplex`]
+//!   (`network_simplex` — primal network simplex on a spanning-tree basis
+//!   with a block-search pivot rule).
 //! * [`bipartite`] — the MarQSim-shaped bipartite transportation network:
 //!   given a marginal distribution `π` and a cost matrix, it returns the
-//!   optimal flow between `Prev` and `Next` copies of the states.
+//!   optimal flow between `Prev` and `Next` copies of the states, under any
+//!   backend ([`bipartite::solve_with`]).
+//!
+//! On networks **without negative-cost cycles** — which includes every
+//! MarQSim model (CNOT counts are non-negative) — every backend reports
+//! the same optimal cost (the cross-backend equivalence property the test
+//! suite enforces to 1e-9) and the same [`FlowError`] classification;
+//! individually optimal *flows* may differ when the optimum is not unique.
+//! Networks that do contain a capacitated negative-cost cycle are outside
+//! the equivalence contract: successive shortest paths solves the pure
+//! s→t problem (it never circulates flow that does not serve the demand),
+//! while the network simplex returns the true minimum-cost flow, which
+//! additionally cancels such cycles. See `docs/flow.md` for the
+//! architecture and how to add a backend.
 //!
 //! # Example
 //!
 //! ```
-//! use marqsim_flow::FlowNetwork;
+//! use marqsim_flow::{FlowNetwork, SolverKind};
 //!
 //! // Send one unit from 0 to 3 over two parallel routes with different costs.
 //! let mut net = FlowNetwork::new(4);
@@ -29,10 +50,21 @@
 //! net.add_edge(2, 3, 1.0, 5.0);
 //! let result = net.min_cost_flow(0, 3, 1.0).unwrap();
 //! assert!((result.cost - 2.0).abs() < 1e-9);
+//!
+//! // The same solve through the network-simplex backend: equal optimum.
+//! let simplex = net
+//!     .min_cost_flow_with(SolverKind::NetworkSimplex, 0, 3, 1.0)
+//!     .unwrap();
+//! assert!((simplex.cost - result.cost).abs() < 1e-9);
 //! ```
 
+mod csr;
 mod graph;
+mod simplex;
+mod ssp;
 
 pub mod bipartite;
 
-pub use graph::{FlowError, FlowNetwork, FlowResult};
+pub use graph::{FlowEdge, FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, SolverKind};
+pub use simplex::NetworkSimplex;
+pub use ssp::SuccessiveShortestPath;

@@ -2,17 +2,45 @@
 //!
 //! Binds `MARQSIM_SERVE_ADDR` (default `127.0.0.1:7878`), builds one shared
 //! engine (worker count from `MARQSIM_SERVE_THREADS`, falling back to
-//! `MARQSIM_THREADS`, then all cores; cache settings from the usual
-//! `MARQSIM_CACHE*` variables), and serves the line-delimited JSON protocol
-//! until killed. See the `marqsim-serve` crate docs for the protocol.
+//! `MARQSIM_THREADS`, then all cores; cache/solver settings from the usual
+//! `MARQSIM_CACHE*` / `MARQSIM_FLOW_SOLVER` variables), and serves the
+//! line-delimited JSON protocol until killed. Admission bounds:
+//! `MARQSIM_SERVE_MAX_IN_FLIGHT` per connection, `MARQSIM_MAX_ACTIVE_JOBS`
+//! engine-wide across all connections. See the `marqsim-serve` crate docs
+//! for the protocol.
 
 use std::sync::Arc;
 
 use marqsim_engine::{Engine, EngineConfig};
 use marqsim_serve::Server;
 
+/// A non-empty environment override, trimmed.
+fn env_value(name: &str) -> Option<String> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+}
+
+/// Strictly parses a positive-count override: `0` or garbage is a hard
+/// exit-2 diagnostic naming the variable (`what` describes the unit), never
+/// a silent fallback — the shared rule of every `MARQSIM_*` count.
+fn positive_env(name: &str, what: &str) -> Option<usize> {
+    let raw = env_value(name)?;
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!(
+                "marqsim-served: invalid engine configuration: \
+                 {name}={raw:?} is not a positive {what} (unset it for the default)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let addr = std::env::var("MARQSIM_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let addr = env_value("MARQSIM_SERVE_ADDR").unwrap_or_else(|| "127.0.0.1:7878".to_string());
 
     let mut config = match EngineConfig::from_env() {
         Ok(config) => config,
@@ -21,11 +49,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Some(threads) = std::env::var("MARQSIM_SERVE_THREADS")
-        .ok()
-        .map(|v| v.trim().to_string())
-        .filter(|v| !v.is_empty())
-    {
+    if let Some(threads) = env_value("MARQSIM_SERVE_THREADS") {
         // Same strict rule (and diagnostic shape) as MARQSIM_THREADS.
         match EngineConfig::parse_threads("MARQSIM_SERVE_THREADS", &threads) {
             Ok(n) => config.threads = n,
@@ -36,25 +60,8 @@ fn main() {
         }
     }
 
-    let max_in_flight = match std::env::var("MARQSIM_SERVE_MAX_IN_FLIGHT")
-        .ok()
-        .map(|v| v.trim().to_string())
-        .filter(|v| !v.is_empty())
-    {
-        // Same strictness as the thread counts: 0 or garbage is a hard
-        // exit-2 diagnostic, never a silent fallback.
-        Some(raw) => match raw.parse::<usize>() {
-            Ok(n) if n > 0 => Some(n),
-            _ => {
-                eprintln!(
-                    "marqsim-served: invalid engine configuration: \
-                     MARQSIM_SERVE_MAX_IN_FLIGHT={raw:?} is not a positive in-flight job bound"
-                );
-                std::process::exit(2);
-            }
-        },
-        None => None,
-    };
+    let max_in_flight = positive_env("MARQSIM_SERVE_MAX_IN_FLIGHT", "in-flight job bound");
+    let max_active_jobs = positive_env("MARQSIM_MAX_ACTIVE_JOBS", "engine-wide job bound");
 
     let engine = Arc::new(Engine::new(config));
     let mut server = match Server::bind(&addr, engine) {
@@ -66,6 +73,9 @@ fn main() {
     };
     if let Some(limit) = max_in_flight {
         server = server.with_max_in_flight(limit);
+    }
+    if let Some(limit) = max_active_jobs {
+        server = server.with_max_active_jobs(limit);
     }
     match server.local_addr() {
         Ok(bound) => println!(

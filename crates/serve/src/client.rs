@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use marqsim_core::experiment::SweepConfig;
 use marqsim_core::TransitionStrategy;
-use marqsim_engine::{CacheStats, SubmitOptions};
+use marqsim_engine::{CacheStats, SolverKind, SubmitOptions};
 use marqsim_pauli::Hamiltonian;
 
 use crate::protocol::{sweep_params, Event, Outcome, Request, ServerStats};
@@ -101,6 +101,8 @@ pub struct JobResult {
     pub outcome: Outcome,
     /// Cache-counter delta the server attributed to this job.
     pub cache_delta: CacheStats,
+    /// The min-cost-flow backend the job's solves used.
+    pub flow_solver: SolverKind,
 }
 
 /// One connection to a `marqsim-served` instance.
@@ -113,6 +115,10 @@ pub struct Client {
     threads: usize,
     /// Workload kinds the server advertised in `hello`.
     workloads: Vec<String>,
+    /// The server's default min-cost-flow backend from `hello`.
+    flow_solver: SolverKind,
+    /// Backends the server advertised in `hello`.
+    flow_solvers: Vec<String>,
 }
 
 impl Client {
@@ -134,12 +140,16 @@ impl Client {
             pending: VecDeque::new(),
             threads: 0,
             workloads: Vec::new(),
+            flow_solver: SolverKind::default(),
+            flow_solvers: Vec::new(),
         };
         match client.read_event()? {
             Event::Hello {
                 protocol,
                 threads,
                 workloads,
+                flow_solver,
+                flow_solvers,
             } => {
                 if protocol != crate::protocol::PROTOCOL_VERSION {
                     return Err(ClientError::Protocol(format!(
@@ -149,6 +159,8 @@ impl Client {
                 }
                 client.threads = threads;
                 client.workloads = workloads;
+                client.flow_solver = flow_solver;
+                client.flow_solvers = flow_solvers;
                 Ok(client)
             }
             other => Err(ClientError::Protocol(format!(
@@ -165,6 +177,16 @@ impl Client {
     /// The workload kinds the server advertised (from `hello`).
     pub fn workloads(&self) -> &[String] {
         &self.workloads
+    }
+
+    /// The server's default min-cost-flow backend (from `hello`).
+    pub fn flow_solver(&self) -> SolverKind {
+        self.flow_solver
+    }
+
+    /// The min-cost-flow backends the server advertised (from `hello`).
+    pub fn flow_solvers(&self) -> &[String] {
+        &self.flow_solvers
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
@@ -350,10 +372,12 @@ impl Client {
             Event::Done {
                 outcome,
                 cache_delta,
+                flow_solver,
                 ..
             } => Ok(JobResult {
                 outcome,
                 cache_delta,
+                flow_solver,
             }),
             Event::Failed { kind, message, .. } => Err(ClientError::JobFailed { kind, message }),
             other => Err(ClientError::Protocol(format!(

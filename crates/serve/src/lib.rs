@@ -51,8 +51,13 @@
 //! * `MARQSIM_SERVE_MAX_IN_FLIGHT=N` — per-connection in-flight job bound
 //!   (a submit's `options.max_in_flight` can tighten it per request, never
 //!   raise it; default [`server::DEFAULT_MAX_IN_FLIGHT`]).
-//! * The engine cache variables (`MARQSIM_CACHE`, `MARQSIM_CACHE_CAP`,
-//!   `MARQSIM_CACHE_DIR`) apply unchanged.
+//! * `MARQSIM_MAX_ACTIVE_JOBS=N` — engine-wide active-job bound across
+//!   **all** connections (unset = unlimited); submits over it bounce with
+//!   the structured `busy` event, and the bound is surfaced in `stats`.
+//! * The engine cache/solver variables (`MARQSIM_CACHE`,
+//!   `MARQSIM_CACHE_CAP`, `MARQSIM_CACHE_DIR`, `MARQSIM_FLOW_SOLVER`)
+//!   apply unchanged; a submit's `options.flow_solver` selects the
+//!   min-cost-flow backend per job.
 //!
 //! # Example
 //!
@@ -115,11 +120,65 @@ mod tests {
     }
 
     fn spawn_server(threads: usize) -> ServerHandle {
+        spawn_server_with(threads, |server| server)
+    }
+
+    /// A workload that runs until cancelled — the deterministic
+    /// "occupy an admission slot" blocker. A real sweep can finish before
+    /// the next submit's round trip on a loaded machine, which made the
+    /// admission tests flaky; this cannot.
+    struct BlockUntilCancelled(String);
+
+    impl marqsim_engine::Workload for BlockUntilCancelled {
+        fn label(&self) -> &str {
+            &self.0
+        }
+
+        fn total_units(&self) -> usize {
+            1
+        }
+
+        fn run(
+            &self,
+            ctx: &marqsim_engine::WorkloadCtx<'_>,
+        ) -> Result<marqsim_engine::WorkloadOutput, marqsim_engine::EngineError> {
+            loop {
+                ctx.ensure_active()?;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Spawns a server whose registry carries the built-ins plus the
+    /// `block` kind, with `configure` applied to the server before spawn.
+    fn spawn_server_with(threads: usize, configure: impl FnOnce(Server) -> Server) -> ServerHandle {
         let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(threads)));
-        Server::bind("127.0.0.1:0", engine)
-            .expect("bind")
-            .spawn()
-            .expect("spawn")
+        let mut registry = WorkloadRegistry::builtin();
+        registry.register(
+            "block",
+            |label, _params| {
+                Ok(Box::new(BlockUntilCancelled(label.to_string()))
+                    as Box<dyn marqsim_engine::Workload>)
+            },
+            |_output| Ok(Json::obj([("kind", "block".into())])),
+        );
+        configure(
+            Server::bind("127.0.0.1:0", engine)
+                .expect("bind")
+                .with_registry(registry),
+        )
+        .spawn()
+        .expect("spawn")
+    }
+
+    /// Cancels the blocking job and consumes its `cancelled` terminal
+    /// event, releasing the admission slot it occupied.
+    fn release_blocker(client: &mut Client, job: u64) {
+        client.cancel(job).unwrap();
+        match client.wait(job) {
+            Err(ClientError::JobFailed { kind, .. }) => assert_eq!(kind, "cancelled"),
+            other => panic!("expected the blocker to cancel, got {other:?}"),
+        }
     }
 
     #[test]
@@ -129,8 +188,14 @@ mod tests {
         assert_eq!(client.threads(), 2);
         assert_eq!(
             client.workloads(),
-            &["benchmark_suite", "compile", "perturb_average", "sweep"],
-            "hello advertises the built-in kinds, sorted"
+            &[
+                "benchmark_suite",
+                "block",
+                "compile",
+                "perturb_average",
+                "sweep"
+            ],
+            "hello advertises the registered kinds, sorted"
         );
 
         let config = SweepConfig::quick(0.5);
@@ -268,22 +333,11 @@ mod tests {
     fn admission_control_rejects_submits_over_the_bound() {
         let server = spawn_server(1);
         let mut client = Client::connect(server.addr()).unwrap();
-        // A slow job occupies the single admission slot...
-        let big = SweepConfig {
-            time: 0.5,
-            epsilons: vec![0.1; 6],
-            repeats: 8,
-            base_seed: 2,
-            evaluate_fidelity: false,
-        };
+        // A job that runs until cancelled occupies the single admission
+        // slot...
         let options = SubmitOptions::new().with_max_in_flight(1);
         let blocker = client
-            .submit_with_options(
-                "t/occupy",
-                "sweep",
-                sweep_params(&ham().to_string(), &TransitionStrategy::QDrift, &big),
-                options.clone(),
-            )
+            .submit_with_options("t/occupy", "block", Json::obj([]), options.clone())
             .unwrap();
         // ...so a second submit under the same bound is rejected, with the
         // structured busy payload.
@@ -303,13 +357,12 @@ mod tests {
             }
             other => panic!("expected busy, got {other:?}"),
         }
-        // The stats verb reports the gauge (≤ 1: the blocker may complete
-        // between the rejection and this round trip — the exact value at
-        // rejection time is pinned by the busy payload above).
+        // The stats verb reports the gauge.
         let stats = client.stats().unwrap();
-        assert!(stats.in_flight <= 1);
-        // Once the blocker finishes, the slot frees and submits flow again.
-        client.wait(blocker).unwrap();
+        assert_eq!(stats.in_flight, 1);
+        // Once the blocker is released, the slot frees and submits flow
+        // again.
+        release_blocker(&mut client, blocker);
         let job = client
             .submit_sweep(
                 "t/after-busy",
@@ -323,35 +376,61 @@ mod tests {
     }
 
     #[test]
+    fn engine_wide_admission_bounds_jobs_across_connections() {
+        // A global MARQSIM_MAX_ACTIVE_JOBS-style bound of one: a blocker on
+        // connection A makes a submit on connection B bounce with the
+        // structured busy event, even though B has zero in-flight jobs of
+        // its own.
+        let server = spawn_server_with(1, |server| server.with_max_active_jobs(1));
+        let mut client_a = Client::connect(server.addr()).unwrap();
+        let mut client_b = Client::connect(server.addr()).unwrap();
+
+        let blocker = client_a
+            .submit("t/global-occupy", "block", Json::obj([]))
+            .unwrap();
+        match client_b.submit_sweep(
+            "t/global-rejected",
+            &ham(),
+            &TransitionStrategy::QDrift,
+            &SweepConfig::quick(0.5),
+        ) {
+            Err(ClientError::Busy { in_flight, limit }) => {
+                assert_eq!(in_flight, 1, "engine-wide active jobs, not B's own");
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected busy from the global bound, got {other:?}"),
+        }
+        // The bound and the engine-wide gauge are surfaced in stats on
+        // every connection.
+        let stats = client_b.stats().unwrap();
+        assert_eq!(stats.max_active_jobs, 1);
+        assert_eq!(stats.active_jobs, 1);
+        assert_eq!(stats.in_flight, 0, "B itself has nothing in flight");
+
+        // Releasing A's blocker frees the engine-wide slot for B.
+        release_blocker(&mut client_a, blocker);
+        let job = client_b
+            .submit_sweep(
+                "t/global-after",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        assert!(client_b.wait(job).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
     fn clients_cannot_raise_the_server_admission_bound() {
         // The server's bound is 1; a request asking for a million in-flight
         // jobs must still be held to 1 (the per-request value only
         // tightens).
-        let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(1)));
-        let server = Server::bind("127.0.0.1:0", engine)
-            .expect("bind")
-            .with_max_in_flight(1)
-            .spawn()
-            .expect("spawn");
+        let server = spawn_server_with(1, |server| server.with_max_in_flight(1));
         let mut client = Client::connect(server.addr()).unwrap();
         let greedy = SubmitOptions::new().with_max_in_flight(1_000_000);
         let blocker = client
-            .submit_with_options(
-                "t/greedy-1",
-                "sweep",
-                sweep_params(
-                    &ham().to_string(),
-                    &TransitionStrategy::QDrift,
-                    &SweepConfig {
-                        time: 0.5,
-                        epsilons: vec![0.1; 6],
-                        repeats: 8,
-                        base_seed: 2,
-                        evaluate_fidelity: false,
-                    },
-                ),
-                greedy.clone(),
-            )
+            .submit_with_options("t/greedy-1", "block", Json::obj([]), greedy.clone())
             .unwrap();
         match client.submit_with_options(
             "t/greedy-2",
@@ -368,7 +447,50 @@ mod tests {
             }
             other => panic!("expected busy at the server bound, got {other:?}"),
         }
-        client.wait(blocker).unwrap();
+        release_blocker(&mut client, blocker);
+        server.shutdown();
+    }
+
+    #[test]
+    fn flow_solver_selection_round_trips_over_the_wire() {
+        use marqsim_engine::SolverKind;
+        let server = spawn_server(2);
+        let mut client = Client::connect(server.addr()).unwrap();
+        // The hello handshake advertises the backends and the default.
+        assert_eq!(client.flow_solver(), SolverKind::SuccessiveShortestPath);
+        assert_eq!(
+            client.flow_solvers(),
+            ["ssp".to_string(), "network_simplex".to_string()]
+        );
+
+        // A GC sweep under the non-default backend: accepted, solved by the
+        // simplex (per-backend attribution in the job's cache delta), and
+        // the done event echoes the backend.
+        let job = client
+            .submit_with_options(
+                "t/ns-sweep",
+                "sweep",
+                sweep_params(
+                    &ham().to_string(),
+                    &TransitionStrategy::marqsim_gc(),
+                    &SweepConfig::quick(0.5),
+                ),
+                SubmitOptions::new().with_flow_solver(SolverKind::NetworkSimplex),
+            )
+            .unwrap();
+        let result = client.wait(job).unwrap();
+        assert_eq!(result.flow_solver, SolverKind::NetworkSimplex);
+        assert_eq!(result.cache_delta.flow_solves_simplex, 1);
+        assert_eq!(result.cache_delta.flow_solves_ssp, 0);
+        match result.outcome {
+            Outcome::Sweep(sweep) => assert_eq!(sweep.points.len(), 6),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+
+        // Stats report the engine's default backend.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.flow_solver, SolverKind::SuccessiveShortestPath);
+        assert_eq!(stats.max_active_jobs, 0, "no global bound configured");
         server.shutdown();
     }
 
@@ -400,35 +522,16 @@ mod tests {
     fn cancelled_jobs_fail_with_the_cancelled_kind() {
         let server = spawn_server(1);
         let mut client = Client::connect(server.addr()).unwrap();
-        // A blocker job first: with one worker thread, the victim job's
-        // tasks queue behind the blocker's, so the cancel round trip (a
-        // localhost ping) always lands while the victim is still pending.
-        let blocker = client
+        // The victim only resolves on cancellation, so the cancel round
+        // trip can never race a natural completion. A sweep runs alongside
+        // it to show cancellation is per job, not per connection.
+        let job = client.submit("t/cancel", "block", Json::obj([])).unwrap();
+        let survivor = client
             .submit_sweep(
-                "t/blocker",
-                &ham(),
-                &TransitionStrategy::marqsim_gc(),
-                &SweepConfig {
-                    time: 0.5,
-                    epsilons: vec![0.1; 4],
-                    repeats: 8,
-                    base_seed: 2,
-                    evaluate_fidelity: false,
-                },
-            )
-            .unwrap();
-        let job = client
-            .submit_sweep(
-                "t/cancel",
+                "t/survivor",
                 &ham(),
                 &TransitionStrategy::QDrift,
-                &SweepConfig {
-                    time: 0.5,
-                    epsilons: vec![0.1; 8],
-                    repeats: 8,
-                    base_seed: 1,
-                    evaluate_fidelity: false,
-                },
+                &SweepConfig::quick(0.5),
             )
             .unwrap();
         match client.cancel(job).unwrap() {
@@ -444,7 +547,7 @@ mod tests {
             Err(ClientError::JobFailed { kind, .. }) => assert_eq!(kind, "cancelled"),
             other => panic!("expected cancellation, got {other:?}"),
         }
-        assert!(client.wait(blocker).is_ok(), "blocker runs to completion");
+        assert!(client.wait(survivor).is_ok(), "survivor runs to completion");
         server.shutdown();
     }
 

@@ -26,19 +26,21 @@
 //! bound for this connection — tightens the server default, never raises
 //! it), `progress_units` / `progress_ms` (progress coalescing — at most
 //! one event per that many units / milliseconds; a lone `progress_ms`
-//! disables the unit axis entirely).
+//! disables the unit axis entirely), and `flow_solver` (the min-cost-flow
+//! backend for this job's solves — one of the `hello` event's
+//! `flow_solvers`; unset uses the server default).
 //!
 //! # Events (server → client)
 //!
 //! ```json
-//! {"event":"hello","protocol":2,"threads":4,"workloads":["benchmark_suite","compile","perturb_average","sweep"]}
+//! {"event":"hello","protocol":3,"threads":4,"workloads":["benchmark_suite","compile","perturb_average","sweep"],"flow_solver":"ssp","flow_solvers":["ssp","network_simplex"]}
 //! {"event":"submitted","job":1,"label":"sweep/h2"}
 //! {"event":"busy","label":"sweep/h2","in_flight":4,"limit":4}
 //! {"event":"progress","job":1,"completed":3,"total":6}
-//! {"event":"done","job":1,"outcome":{"kind":"sweep",...},"cache_delta":{...}}
+//! {"event":"done","job":1,"outcome":{"kind":"sweep",...},"cache_delta":{...},"flow_solver":"ssp"}
 //! {"event":"failed","job":1,"kind":"cancelled","message":"..."}
 //! {"event":"status","job":1,"known":true,"finished":false,"cancelled":false,"completed":3,"total":6}
-//! {"event":"stats","threads":4,"cache":{...},"active_jobs":2,"queue_depth":17,"in_flight":1}
+//! {"event":"stats","threads":4,"cache":{...},"active_jobs":2,"queue_depth":17,"in_flight":1,"flow_solver":"ssp","max_active_jobs":0}
 //! {"event":"error","message":"..."}
 //! ```
 //!
@@ -54,7 +56,7 @@ use marqsim_core::perturb::PerturbationConfig;
 use marqsim_core::TransitionStrategy;
 use marqsim_engine::{
     BenchmarkSuiteResult, CacheStats, EngineError, PerturbAverageResult, Priority, ProgressCadence,
-    SubmitOptions, SuiteCaseResult,
+    SolverKind, SubmitOptions, SuiteCaseResult,
 };
 use marqsim_markov::TransitionMatrix;
 
@@ -62,8 +64,16 @@ use crate::wire::{Json, WireError};
 
 /// Version of the wire protocol; bumped on breaking changes. Version 2
 /// introduced the open (kind + params) submit verb, submit options,
-/// admission control (`busy`), and the extended `stats` event.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// admission control (`busy`), and the extended `stats` event. Version 3
+/// added min-cost-flow backend selection (`options.flow_solver`, advertised
+/// in `hello`, echoed in `done`/`stats` with per-backend solve counters)
+/// and the engine-wide `max_active_jobs` admission bound.
+///
+/// Backend names are part of the typed surface (decoders reject unknown
+/// names), and clients enforce an exact version match at the handshake —
+/// registering a new `SolverKind` therefore bumps this version; see
+/// `docs/flow.md`.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +116,14 @@ pub struct ServerStats {
     pub active_jobs: usize,
     /// Point-level tasks waiting in the pool's injector.
     pub queue_depth: usize,
-    /// In-flight jobs on *this* connection (what the admission bound
-    /// compares against).
+    /// In-flight jobs on *this* connection (what the per-connection
+    /// admission bound compares against).
     pub in_flight: usize,
+    /// The engine's default min-cost-flow backend.
+    pub flow_solver: SolverKind,
+    /// Engine-wide active-job admission bound across all connections
+    /// (`MARQSIM_MAX_ACTIVE_JOBS`); `0` means unlimited.
+    pub max_active_jobs: usize,
 }
 
 /// A server event.
@@ -122,6 +137,11 @@ pub enum Event {
         threads: usize,
         /// Workload kinds this server accepts, sorted.
         workloads: Vec<String>,
+        /// The engine's default min-cost-flow backend.
+        flow_solver: SolverKind,
+        /// Every registered backend a submit's `options.flow_solver` may
+        /// name.
+        flow_solvers: Vec<String>,
     },
     /// Acknowledges a `submit`; all later events about this job carry `job`.
     Submitted {
@@ -161,6 +181,9 @@ pub enum Event {
         /// between submission and completion; concurrent jobs' activity can
         /// bleed into each other's windows).
         cache_delta: CacheStats,
+        /// The min-cost-flow backend this job's solves used (the submit's
+        /// `options.flow_solver`, or the server default).
+        flow_solver: SolverKind,
     },
     /// The job failed or was cancelled.
     Failed {
@@ -512,6 +535,9 @@ fn options_to_json(options: &SubmitOptions) -> Json {
     if let Some(interval) = options.progress_every.interval {
         fields.push(("progress_ms", (interval.as_millis() as u64).into()));
     }
+    if let Some(solver) = options.flow_solver {
+        fields.push(("flow_solver", solver.as_str().into()));
+    }
     Json::Obj(
         fields
             .into_iter()
@@ -550,7 +576,23 @@ fn options_from_json(json: Option<&Json>) -> Result<SubmitOptions, WireError> {
         // coalesce anything.
         (None, Some(interval)) => ProgressCadence::every_interval(interval),
     };
+    if let Some(solver) = json.get("flow_solver") {
+        let spelling = solver
+            .as_str()
+            .ok_or_else(|| WireError::shape("field 'flow_solver' must be a string"))?;
+        options.flow_solver = Some(parse_solver(spelling)?);
+    }
     Ok(options)
+}
+
+/// Parses a wire backend name with a diagnostic naming the valid spellings.
+fn parse_solver(spelling: &str) -> Result<SolverKind, WireError> {
+    SolverKind::parse(spelling).ok_or_else(|| {
+        WireError::shape(format!(
+            "unknown flow solver '{spelling}' (use {})",
+            SolverKind::ALL.map(SolverKind::as_str).join("/")
+        ))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -738,6 +780,8 @@ fn cache_stats_to_json(stats: &CacheStats) -> Json {
         ("misses", stats.misses.into()),
         ("component_hits", stats.component_hits.into()),
         ("flow_solves", stats.flow_solves.into()),
+        ("flow_solves_ssp", stats.flow_solves_ssp.into()),
+        ("flow_solves_simplex", stats.flow_solves_simplex.into()),
         ("disk_hits", stats.disk_hits.into()),
         ("disk_writes", stats.disk_writes.into()),
         ("disk_errors", stats.disk_errors.into()),
@@ -753,6 +797,8 @@ fn cache_stats_from_json(json: &Json) -> Result<CacheStats, WireError> {
         misses: u64_field(json, "misses")?,
         component_hits: u64_field(json, "component_hits")?,
         flow_solves: u64_field(json, "flow_solves")?,
+        flow_solves_ssp: u64_field(json, "flow_solves_ssp")?,
+        flow_solves_simplex: u64_field(json, "flow_solves_simplex")?,
         disk_hits: u64_field(json, "disk_hits")?,
         disk_writes: u64_field(json, "disk_writes")?,
         disk_errors: u64_field(json, "disk_errors")?,
@@ -881,6 +927,8 @@ impl Event {
                 protocol,
                 threads,
                 workloads,
+                flow_solver,
+                flow_solvers,
             } => Json::obj([
                 ("event", "hello".into()),
                 ("protocol", (*protocol).into()),
@@ -888,6 +936,11 @@ impl Event {
                 (
                     "workloads",
                     Json::Arr(workloads.iter().map(|k| k.as_str().into()).collect()),
+                ),
+                ("flow_solver", flow_solver.as_str().into()),
+                (
+                    "flow_solvers",
+                    Json::Arr(flow_solvers.iter().map(|k| k.as_str().into()).collect()),
                 ),
             ]),
             Event::Submitted { job, label } => Json::obj([
@@ -919,11 +972,13 @@ impl Event {
                 job,
                 outcome,
                 cache_delta,
+                flow_solver,
             } => Json::obj([
                 ("event", "done".into()),
                 ("job", (*job).into()),
                 ("outcome", outcome_to_json(outcome)),
                 ("cache_delta", cache_stats_to_json(cache_delta)),
+                ("flow_solver", flow_solver.as_str().into()),
             ]),
             Event::Failed { job, kind, message } => Json::obj([
                 ("event", "failed".into()),
@@ -954,6 +1009,8 @@ impl Event {
                 ("active_jobs", stats.active_jobs.into()),
                 ("queue_depth", stats.queue_depth.into()),
                 ("in_flight", stats.in_flight.into()),
+                ("flow_solver", stats.flow_solver.as_str().into()),
+                ("max_active_jobs", stats.max_active_jobs.into()),
             ]),
             Event::Error { message } => Json::obj([
                 ("event", "error".into()),
@@ -983,6 +1040,17 @@ impl Event {
                             .ok_or_else(|| WireError::shape("workload kinds must be strings"))
                     })
                     .collect::<Result<Vec<_>, WireError>>()?,
+                flow_solver: parse_solver(&str_field(&json, "flow_solver")?)?,
+                flow_solvers: field(&json, "flow_solvers")?
+                    .as_arr()
+                    .ok_or_else(|| WireError::shape("field 'flow_solvers' must be an array"))?
+                    .iter()
+                    .map(|k| {
+                        k.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| WireError::shape("flow solvers must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
             }),
             "submitted" => Ok(Event::Submitted {
                 job: u64_field(&json, "job")?,
@@ -1002,6 +1070,7 @@ impl Event {
                 job: u64_field(&json, "job")?,
                 outcome: outcome_from_json(field(&json, "outcome")?)?,
                 cache_delta: cache_stats_from_json(field(&json, "cache_delta")?)?,
+                flow_solver: parse_solver(&str_field(&json, "flow_solver")?)?,
             }),
             "failed" => Ok(Event::Failed {
                 job: u64_field(&json, "job")?,
@@ -1022,6 +1091,8 @@ impl Event {
                 active_jobs: usize_field(&json, "active_jobs")?,
                 queue_depth: usize_field(&json, "queue_depth")?,
                 in_flight: usize_field(&json, "in_flight")?,
+                flow_solver: parse_solver(&str_field(&json, "flow_solver")?)?,
+                max_active_jobs: usize_field(&json, "max_active_jobs")?,
             })),
             "error" => Ok(Event::Error {
                 message: str_field(&json, "message")?,
@@ -1227,8 +1298,10 @@ mod tests {
             outcome: Outcome::Sweep(result.clone()),
             cache_delta: CacheStats {
                 flow_solves: 1,
+                flow_solves_ssp: 1,
                 ..CacheStats::default()
             },
+            flow_solver: SolverKind::SuccessiveShortestPath,
         };
         let decoded = Event::decode(&event.encode()).unwrap();
         match decoded {
@@ -1264,6 +1337,7 @@ mod tests {
             job: 7,
             outcome: Outcome::PerturbAverage(result.clone()),
             cache_delta: CacheStats::default(),
+            flow_solver: SolverKind::NetworkSimplex,
         };
         match Event::decode(&event.encode()).unwrap() {
             Event::Done {
@@ -1299,6 +1373,7 @@ mod tests {
             job: 9,
             outcome: Outcome::Suite(result),
             cache_delta: CacheStats::default(),
+            flow_solver: SolverKind::SuccessiveShortestPath,
         });
     }
 
@@ -1306,6 +1381,7 @@ mod tests {
     fn custom_outcomes_decode_as_other() {
         let event = Event::Done {
             job: 11,
+            flow_solver: SolverKind::SuccessiveShortestPath,
             outcome: Outcome::Other {
                 kind: "fib".to_string(),
                 value: Json::obj([
@@ -1342,6 +1418,8 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             threads: 8,
             workloads: vec!["fib".to_string(), "sweep".to_string()],
+            flow_solver: SolverKind::SuccessiveShortestPath,
+            flow_solvers: SolverKind::ALL.map(|k| k.as_str().to_string()).to_vec(),
         });
         event_round_trip(Event::Submitted {
             job: 1,
@@ -1376,12 +1454,15 @@ mod tests {
             active_jobs: 2,
             queue_depth: 17,
             in_flight: 1,
+            flow_solver: SolverKind::NetworkSimplex,
+            max_active_jobs: 64,
         }));
         event_round_trip(Event::Error {
             message: "unknown verb 'frobnicate'".to_string(),
         });
         event_round_trip(Event::Done {
             job: 5,
+            flow_solver: SolverKind::NetworkSimplex,
             outcome: Outcome::Compile(CompileSummary {
                 num_samples: 100,
                 lambda: 2.5,

@@ -20,15 +20,21 @@
 //!
 //! # Admission control
 //!
-//! Every connection carries an in-flight gauge (jobs submitted but not yet
-//! finished). A `submit` arriving at or above the effective bound — the
-//! smaller of the request's `options.max_in_flight` and the server's
-//! default ([`Server::with_max_in_flight`], `MARQSIM_SERVE_MAX_IN_FLIGHT`
-//! on the daemon); a client can tighten its bound but never raise it — is
-//! rejected with a structured `busy` event and never reaches the engine,
-//! so one greedy client cannot queue unbounded coordinator threads. The
-//! `stats` event reports the connection's gauge alongside the engine-wide
-//! active-job count and pool queue depth.
+//! Two layers, both rejected with the structured `busy` event before any
+//! decoding work. First the **engine-wide** bound
+//! ([`Server::with_max_active_jobs`], `MARQSIM_MAX_ACTIVE_JOBS` on the
+//! daemon; `0` = unlimited): a `submit` arriving while the shared engine
+//! already has that many unfinished jobs — across *all* connections — is
+//! rejected, so a swarm of polite clients cannot overload the daemon
+//! collectively. Then the **per-connection** in-flight gauge (jobs
+//! submitted but not yet finished): a `submit` at or above the effective
+//! bound — the smaller of the request's `options.max_in_flight` and the
+//! server's default ([`Server::with_max_in_flight`],
+//! `MARQSIM_SERVE_MAX_IN_FLIGHT` on the daemon); a client can tighten its
+//! bound but never raise it — is rejected, so one greedy client cannot
+//! queue unbounded coordinator threads either. The `stats` event reports
+//! the connection's gauge alongside the engine-wide active-job count, the
+//! global bound, and the pool queue depth.
 //!
 //! Job ids are engine-assigned and engine-unique, but the `status` and
 //! `cancel` verbs only resolve ids submitted on the **same connection** —
@@ -46,7 +52,7 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-use marqsim_engine::{Engine, JobControl, Progress, SubmitOptions};
+use marqsim_engine::{Engine, JobControl, Progress, SolverKind, SubmitOptions};
 
 use crate::protocol::{failure_kind, Event, Request, ServerStats, PROTOCOL_VERSION};
 use crate::registry::WorkloadRegistry;
@@ -78,6 +84,12 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<WorkloadRegistry>,
     max_in_flight: usize,
+    max_active_jobs: usize,
+    /// Jobs holding an engine-wide admission slot (reserved at submit,
+    /// released when the job reaches its terminal event). A shared atomic
+    /// rather than a read of the engine's gauge, so concurrent submits on
+    /// different connections cannot all pass the check at once.
+    global_active: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -96,6 +108,8 @@ impl Server {
             listener,
             registry: Arc::new(WorkloadRegistry::builtin()),
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            max_active_jobs: 0,
+            global_active: Arc::new(AtomicUsize::new(0)),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -111,6 +125,17 @@ impl Server {
     /// `options.max_in_flight` can tighten it per request, never raise it).
     pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
         self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+
+    /// Sets the engine-wide active-job bound across **all** connections
+    /// (`MARQSIM_MAX_ACTIVE_JOBS` on the daemon; `0` = unlimited). A submit
+    /// arriving while the engine already has this many unfinished jobs is
+    /// rejected with the structured `busy` event before any decoding work;
+    /// the per-connection bound can only tighten admission further, never
+    /// bypass this one.
+    pub fn with_max_active_jobs(mut self, max_active_jobs: usize) -> Self {
+        self.max_active_jobs = max_active_jobs;
         self
     }
 
@@ -153,6 +178,8 @@ impl Server {
                         engine: Arc::clone(&self.engine),
                         registry: Arc::clone(&self.registry),
                         max_in_flight: self.max_in_flight,
+                        max_active_jobs: self.max_active_jobs,
+                        global_active: Arc::clone(&self.global_active),
                     };
                     std::thread::Builder::new()
                         .name("marqsim-serve-conn".to_string())
@@ -229,6 +256,25 @@ struct ConnectionShared {
     engine: Arc<Engine>,
     registry: Arc<WorkloadRegistry>,
     max_in_flight: usize,
+    /// Engine-wide active-job bound across all connections (`0` =
+    /// unlimited).
+    max_active_jobs: usize,
+    /// Jobs currently holding a slot against `max_active_jobs`.
+    global_active: Arc<AtomicUsize>,
+}
+
+/// A held engine-wide admission slot (`None` when no global bound is
+/// configured). Dropping it releases the slot, so every path out of
+/// `handle_submit` — per-connection rejection, decode failure, or the
+/// waiter thread's terminal event — frees it exactly once.
+struct GlobalSlot(Option<Arc<AtomicUsize>>);
+
+impl Drop for GlobalSlot {
+    fn drop(&mut self) {
+        if let Some(counter) = self.0.take() {
+            counter.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 /// Reads one `\n`-terminated line with a length bound. Returns `None` on a
@@ -289,6 +335,11 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
             protocol: PROTOCOL_VERSION,
             threads: conn.engine.threads(),
             workloads: conn.registry.kinds(),
+            flow_solver: conn.engine.flow_solver(),
+            flow_solvers: SolverKind::ALL
+                .iter()
+                .map(|k| k.as_str().to_string())
+                .collect(),
         },
     );
 
@@ -332,6 +383,8 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
                         active_jobs: conn.engine.active_jobs(),
                         queue_depth: conn.engine.queue_depth(),
                         in_flight: in_flight.load(Ordering::Relaxed),
+                        flow_solver: conn.engine.flow_solver(),
+                        max_active_jobs: conn.max_active_jobs,
                     }),
                 );
             }
@@ -391,9 +444,38 @@ fn handle_submit(
     params: crate::wire::Json,
     options: SubmitOptions,
 ) {
-    // Admission control, checked before any decoding work. The request's
-    // own bound can only *tighten* the server's: a greedy client must not
-    // be able to raise the limit it is being held to.
+    // Admission control, checked before any decoding work. Two bounds, both
+    // rejected with the structured `busy` event: the engine-wide active-job
+    // cap shared by every connection, then the per-connection in-flight
+    // bound (which the request can only *tighten*, never raise — a greedy
+    // client must not be able to raise the limit it is being held to).
+    //
+    // The global slot is *reserved* with a compare-and-swap, not checked
+    // against a gauge: N connections submitting at the same instant get at
+    // most `max_active_jobs` slots between them. The reservation is held
+    // by a drop guard until the job's terminal event.
+    let global_slot = if conn.max_active_jobs > 0 {
+        match conn
+            .global_active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |active| {
+                (active < conn.max_active_jobs).then_some(active + 1)
+            }) {
+            Ok(_) => GlobalSlot(Some(Arc::clone(&conn.global_active))),
+            Err(active) => {
+                send_event(
+                    out_tx,
+                    &Event::Busy {
+                        label,
+                        in_flight: active,
+                        limit: conn.max_active_jobs,
+                    },
+                );
+                return;
+            }
+        }
+    } else {
+        GlobalSlot(None)
+    };
     let limit = options
         .max_in_flight
         .map_or(conn.max_in_flight, |requested| {
@@ -422,6 +504,9 @@ fn handle_submit(
     };
 
     let stats_before = conn.engine.cache().stats();
+    let job_flow_solver = options
+        .flow_solver
+        .unwrap_or_else(|| conn.engine.flow_solver());
 
     // The progress callback fires on the job's coordinator thread, which
     // races this thread's learning of the job id from `submit` — but every
@@ -496,12 +581,17 @@ fn handle_submit(
             let outcome = handle.collect();
             let cache_delta = waiter_engine.cache().stats().delta_since(&stats_before);
             waiter_in_flight.fetch_sub(1, Ordering::AcqRel);
+            // The job is terminal: free its engine-wide admission slot
+            // before the event goes out, so a client that saw `done` can
+            // immediately resubmit.
+            drop(global_slot);
             let event = match outcome {
                 Ok(output) => match waiter_registry.encode(&kind, &output) {
                     Ok(value) => Event::Done {
                         job: job_id,
                         outcome: crate::protocol::Outcome::Other { kind, value },
                         cache_delta,
+                        flow_solver: job_flow_solver,
                     },
                     Err(message) => Event::Failed {
                         job: job_id,
