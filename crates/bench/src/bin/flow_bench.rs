@@ -25,6 +25,7 @@ use marqsim_core::gate_cancel::cnot_cost_matrix;
 use marqsim_core::SolverKind;
 use marqsim_flow::bipartite;
 use marqsim_hamlib::random::{random_hamiltonian, RandomHamiltonianParams};
+use marqsim_obs::{error, info};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -57,8 +58,9 @@ fn main() {
                 timed(|| bipartite::solve_with(kind, &pi, &costs, |i, j| i != j));
             match solution {
                 Ok(flow) => {
-                    println!(
-                        "[flow] backend={} strings={strings} states={} solve_s={seconds:.3} cost={:.6} bf_skipped={}",
+                    info!(
+                        "flow",
+                        "backend={} strings={strings} states={} solve_s={seconds:.3} cost={:.6} bf_skipped={}",
                         kind.as_str(),
                         ham.num_terms(),
                         flow.cost,
@@ -66,8 +68,11 @@ fn main() {
                     );
                     optima.push((kind, flow.cost));
                 }
-                Err(error) => {
-                    eprintln!("flow_bench: backend {kind} failed at {strings} strings: {error}");
+                Err(cause) => {
+                    error!(
+                        "flow",
+                        "backend {kind} failed at {strings} strings: {cause}"
+                    );
                     std::process::exit(1);
                 }
             }
@@ -76,13 +81,17 @@ fn main() {
         for &(kind, cost) in &optima[1..] {
             let delta = (cost - reference).abs();
             let agree = delta < 1e-9;
-            println!(
-                "[flow] agreement strings={strings} {}={reference:.9} {}={cost:.9} delta={delta:.3e} equal={agree}",
+            info!(
+                "flow",
+                "agreement strings={strings} {}={reference:.9} {}={cost:.9} delta={delta:.3e} equal={agree}",
                 reference_kind.as_str(),
                 kind.as_str(),
             );
             if !agree {
-                eprintln!("flow_bench: backends disagree on the optimal cost at {strings} strings");
+                error!(
+                    "flow",
+                    "backends disagree on the optimal cost at {strings} strings"
+                );
                 std::process::exit(1);
             }
         }

@@ -39,8 +39,18 @@ fn table2_benchmarks() -> Vec<(&'static str, Hamiltonian, f64)> {
 }
 
 fn fail(message: impl std::fmt::Display) -> ! {
-    eprintln!("serve_smoke: FAILED: {message}");
+    marqsim_obs::error!("serve-smoke", "FAILED: {message}");
     std::process::exit(1);
+}
+
+/// Total sample count across the per-backend `flow_solve` latency
+/// histograms in a Prometheus-style exposition.
+fn flow_solve_histogram_count(exposition: &str) -> u64 {
+    exposition
+        .lines()
+        .filter(|line| line.starts_with("marqsim_flow_solve_seconds_count"))
+        .filter_map(|line| line.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
 }
 
 fn main() {
@@ -129,6 +139,19 @@ fn main() {
     }
     println!("[serve-smoke] TCP sweep is bit-identical to the in-process engine");
 
+    // Telemetry: the cold job's min-cost-flow solves must be visible in the
+    // server's per-backend latency histogram through the metrics verb.
+    let cold_metrics = client
+        .metrics()
+        .unwrap_or_else(|e| fail(format!("metrics: {e}")));
+    let cold_solves = flow_solve_histogram_count(&cold_metrics.exposition);
+    if cold_solves == 0 {
+        fail("metrics exposition reports an empty flow-solve histogram after a cold GC sweep");
+    }
+    if cold_metrics.requests == 0 || cold_metrics.bytes_in == 0 || cold_metrics.bytes_out == 0 {
+        fail("metrics verb reports zero per-connection request/byte counters");
+    }
+
     // Round trip 2: a second connection must be served from the warm cache.
     let mut second =
         Client::connect(&*addr).unwrap_or_else(|e| fail(format!("second connect: {e}")));
@@ -155,6 +178,20 @@ fn main() {
         other => fail(format!("unexpected outcome {other:?}")),
     }
     println!("[serve-smoke] second client shared the warm cache (flow_solves=0)");
+
+    // The warm rerun must leave the flow-solve histogram count unchanged —
+    // the registry-level proof that the cache, not a re-solve, served it.
+    let warm_metrics = second
+        .metrics()
+        .unwrap_or_else(|e| fail(format!("warm metrics: {e}")));
+    let warm_solves = flow_solve_histogram_count(&warm_metrics.exposition);
+    println!(
+        "[telemetry] flow_solve_hist_cold={cold_solves} flow_solve_hist_warm={warm_solves} equal={}",
+        warm_solves == cold_solves
+    );
+    if warm_solves != cold_solves {
+        fail("warm-cache rerun changed the flow-solve histogram count");
+    }
 
     // Round trip 3: the open submit verb — a benchmark_suite workload kind
     // replaying the golden table2 grid (3 tiny benchmarks × 3 strategies at

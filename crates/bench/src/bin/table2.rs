@@ -39,7 +39,7 @@ fn main() {
     let epsilon = 0.05;
 
     let env_config = EngineConfig::from_env().unwrap_or_else(|error| {
-        eprintln!("marqsim-bench: {error}");
+        marqsim_obs::error!("bench", "{error}");
         std::process::exit(2);
     });
     let persistent = env_config.cache.persist_dir.is_some();

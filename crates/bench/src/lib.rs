@@ -60,19 +60,22 @@ pub fn engine() -> Engine {
             engine
         }
         Err(error) => {
-            eprintln!("marqsim-bench: {error}");
+            marqsim_obs::error!("bench", "{error}");
             std::process::exit(2);
         }
     }
 }
 
-/// Prints cache counters in a stable, grep-able one-line format. Every
-/// binary emits this before exiting; the CI persistence smoke job asserts
-/// the line reports `flow_solves=0` when `table2` reruns against a warm
-/// `MARQSIM_CACHE_DIR`.
+/// Emits the cache counters in the stable, grep-able one-line format
+/// through the `marqsim-obs` structured logger (info level, stderr). Every
+/// binary emits this before exiting; the CI smoke jobs redirect stderr into
+/// their logs and assert e.g. `flow_solves=0` when `table2` reruns against
+/// a warm `MARQSIM_CACHE_DIR`. The line format predates the logger and is
+/// frozen: `[cache] key=value …`.
 pub fn report_cache_stats(stats: CacheStats) {
-    println!(
-        "[cache] hits={} misses={} component_hits={} flow_solves={} flow_solves_ssp={} flow_solves_simplex={} disk_hits={} disk_writes={} disk_errors={} evictions={} graphs={} components={}",
+    marqsim_obs::info!(
+        "cache",
+        "hits={} misses={} component_hits={} flow_solves={} flow_solves_ssp={} flow_solves_simplex={} disk_hits={} disk_writes={} disk_errors={} evictions={} graphs={} components={}",
         stats.hits,
         stats.misses,
         stats.component_hits,

@@ -46,6 +46,7 @@ use marqsim_core::transition::{
 };
 use marqsim_core::{CompileError, HttGraph, SolverKind, TransitionStrategy};
 use marqsim_markov::TransitionMatrix;
+use marqsim_obs::{metrics, trace};
 use marqsim_pauli::Hamiltonian;
 
 use crate::persist;
@@ -320,6 +321,38 @@ impl std::ops::AddAssign for CacheStats {
     }
 }
 
+/// Registry handles mirroring the cache's own atomic counters into the
+/// process-wide metrics registry (`marqsim_cache_*_total`). The atomics
+/// stay authoritative for [`CacheStats`] — per-cache, resettable by
+/// [`TransitionCache::clear`] — while the registry view is cumulative
+/// across every cache in the process (registry counters are monotonic by
+/// contract, so `clear` never rolls them back).
+#[derive(Debug)]
+struct CacheInstruments {
+    hits: Arc<metrics::Counter>,
+    misses: Arc<metrics::Counter>,
+    component_hits: Arc<metrics::Counter>,
+    flow_solves: Arc<metrics::Counter>,
+    disk_hits: Arc<metrics::Counter>,
+    disk_writes: Arc<metrics::Counter>,
+    disk_errors: Arc<metrics::Counter>,
+}
+
+impl CacheInstruments {
+    fn from_global_registry() -> Self {
+        let registry = metrics::global();
+        CacheInstruments {
+            hits: registry.counter("marqsim_cache_hits_total"),
+            misses: registry.counter("marqsim_cache_misses_total"),
+            component_hits: registry.counter("marqsim_cache_component_hits_total"),
+            flow_solves: registry.counter("marqsim_cache_flow_solves_total"),
+            disk_hits: registry.counter("marqsim_cache_disk_hits_total"),
+            disk_writes: registry.counter("marqsim_cache_disk_writes_total"),
+            disk_errors: registry.counter("marqsim_cache_disk_errors_total"),
+        }
+    }
+}
+
 /// A cache of validated HTT graphs and `P_gc` components.
 ///
 /// Thread-safe; each [`Engine`](crate::Engine) owns one behind an [`Arc`]
@@ -345,6 +378,7 @@ pub struct TransitionCache {
     disk_hits: AtomicU64,
     disk_writes: AtomicU64,
     disk_errors: AtomicU64,
+    instruments: CacheInstruments,
 }
 
 impl Default for TransitionCache {
@@ -376,6 +410,7 @@ impl TransitionCache {
             disk_hits: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
             disk_errors: AtomicU64::new(0),
+            instruments: CacheInstruments::from_global_registry(),
         }
     }
 
@@ -452,9 +487,11 @@ impl TransitionCache {
         };
         if let Some(graph) = self.graphs.get(key.fingerprint, &key, ham) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.instruments.hits.inc();
             return Ok(graph);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.instruments.misses.inc();
 
         // Dominant-term splitting happens before fingerprinting the working
         // Hamiltonian for the component cache: P_gc is a function of the
@@ -520,11 +557,19 @@ impl TransitionCache {
         let key = (fp, solver);
         if let Some(gc) = self.components.get(fp, &key, working) {
             self.component_hits.fetch_add(1, Ordering::Relaxed);
+            self.instruments.component_hits.inc();
             return Ok(gc);
         }
         if let Some(dir) = &self.persist_dir {
-            if let Some(matrix) = persist::load_component(dir, fp, solver, working) {
+            let loaded = {
+                let _span = trace::Span::enter("persist_load")
+                    .field("fingerprint", fp)
+                    .field("backend", solver.as_str());
+                persist::load_component(dir, fp, solver, working)
+            };
+            if let Some(matrix) = loaded {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.instruments.disk_hits.inc();
                 let gc = Arc::new(matrix);
                 self.components
                     .insert(fp, key, working.clone(), Arc::clone(&gc));
@@ -532,6 +577,7 @@ impl TransitionCache {
             }
         }
         self.flow_solves.fetch_add(1, Ordering::Relaxed);
+        self.instruments.flow_solves.inc();
         match solver {
             SolverKind::SuccessiveShortestPath => &self.flow_solves_ssp,
             SolverKind::NetworkSimplex => &self.flow_solves_simplex,
@@ -539,9 +585,18 @@ impl TransitionCache {
         .fetch_add(1, Ordering::Relaxed);
         let gc = Arc::new(gate_cancellation_matrix_with(working, solver)?);
         if let Some(dir) = &self.persist_dir {
+            let _span = trace::Span::enter("persist_store")
+                .field("fingerprint", fp)
+                .field("backend", solver.as_str());
             match persist::save_component(dir, fp, solver, working, &gc) {
-                Ok(()) => self.disk_writes.fetch_add(1, Ordering::Relaxed),
-                Err(_) => self.disk_errors.fetch_add(1, Ordering::Relaxed),
+                Ok(()) => {
+                    self.disk_writes.fetch_add(1, Ordering::Relaxed);
+                    self.instruments.disk_writes.inc();
+                }
+                Err(_) => {
+                    self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    self.instruments.disk_errors.inc();
+                }
             };
         }
         self.components
@@ -839,6 +894,29 @@ mod tests {
     }
 
     #[test]
+    fn cache_counters_mirror_into_the_global_registry() {
+        let registry = metrics::global();
+        let hits = registry.counter("marqsim_cache_hits_total");
+        let misses = registry.counter("marqsim_cache_misses_total");
+        let solves = registry.counter("marqsim_cache_flow_solves_total");
+        let (hits_before, misses_before, solves_before) = (hits.get(), misses.get(), solves.get());
+
+        let cache = TransitionCache::new();
+        let strategy = TransitionStrategy::marqsim_gc();
+        cache.get_or_build(&ham(), &strategy).unwrap();
+        cache.get_or_build(&ham(), &strategy).unwrap();
+        assert!(misses.get() > misses_before, "miss mirrored");
+        assert!(hits.get() > hits_before, "hit mirrored");
+        assert!(solves.get() > solves_before, "flow solve mirrored");
+
+        // `clear` resets the per-cache snapshot but the registry counters
+        // are process-cumulative and must stay monotonic.
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(hits.get() > hits_before);
+    }
+
+    #[test]
     fn get_or_solve_gc_counts_hits_like_the_graph_path() {
         let cache = TransitionCache::new();
         let a = cache.get_or_solve_gc(&ham()).unwrap();
@@ -853,5 +931,92 @@ mod tests {
             .unwrap();
         assert_eq!(cache.stats().flow_solves, 1);
         assert_eq!(cache.stats().component_hits, 2);
+    }
+
+    /// A snapshot with every field set to a distinct value, so a delta or
+    /// aggregation that swapped, dropped, or doubled a field cannot cancel
+    /// out. `scale` shifts the whole set while keeping fields distinct.
+    fn distinct_stats(scale: u64) -> CacheStats {
+        CacheStats {
+            hits: scale + 1,
+            misses: scale + 2,
+            component_hits: scale + 3,
+            flow_solves: scale + 4,
+            flow_solves_ssp: scale + 5,
+            flow_solves_simplex: scale + 6,
+            disk_hits: scale + 7,
+            disk_writes: scale + 8,
+            disk_errors: scale + 9,
+            evictions: scale + 10,
+            graphs: scale as usize + 11,
+            components: scale as usize + 12,
+        }
+    }
+
+    #[test]
+    fn delta_since_subtracts_every_counter_and_keeps_the_gauges() {
+        let earlier = distinct_stats(0);
+        let later = distinct_stats(100);
+        let delta = later.delta_since(&earlier);
+        // Every counter field is later − earlier — each pair differs by
+        // exactly 100, so a swapped subtraction would surface as ≠ 100.
+        assert_eq!(delta.hits, 100);
+        assert_eq!(delta.misses, 100);
+        assert_eq!(delta.component_hits, 100);
+        assert_eq!(delta.flow_solves, 100);
+        assert_eq!(delta.flow_solves_ssp, 100);
+        assert_eq!(delta.flow_solves_simplex, 100);
+        assert_eq!(delta.disk_hits, 100);
+        assert_eq!(delta.disk_writes, 100);
+        assert_eq!(delta.disk_errors, 100);
+        assert_eq!(delta.evictions, 100);
+        // The size fields are gauges: the later snapshot's values survive
+        // untouched rather than being differenced.
+        assert_eq!(delta.graphs, later.graphs);
+        assert_eq!(delta.components, later.components);
+    }
+
+    #[test]
+    fn delta_since_saturates_instead_of_wrapping() {
+        // A cleared cache can legitimately produce a "later" snapshot with
+        // smaller counters; the delta must clamp to zero, never wrap.
+        let earlier = distinct_stats(100);
+        let later = distinct_stats(0);
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.hits, 0);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.component_hits, 0);
+        assert_eq!(delta.flow_solves, 0);
+        assert_eq!(delta.flow_solves_ssp, 0);
+        assert_eq!(delta.flow_solves_simplex, 0);
+        assert_eq!(delta.disk_hits, 0);
+        assert_eq!(delta.disk_writes, 0);
+        assert_eq!(delta.disk_errors, 0);
+        assert_eq!(delta.evictions, 0);
+        assert_eq!(delta.graphs, later.graphs);
+        assert_eq!(delta.components, later.components);
+    }
+
+    #[test]
+    fn add_assign_accumulates_every_field() {
+        let mut total = distinct_stats(0);
+        total += distinct_stats(1000);
+        // Each field is the sum of its two distinct inputs: offset i plus
+        // offset 1000 + i, i.e. 1000 + 2i — unique per field, so a swap or
+        // a double-count cannot produce the expected value elsewhere.
+        assert_eq!(total.hits, 1002);
+        assert_eq!(total.misses, 1004);
+        assert_eq!(total.component_hits, 1006);
+        assert_eq!(total.flow_solves, 1008);
+        assert_eq!(total.flow_solves_ssp, 1010);
+        assert_eq!(total.flow_solves_simplex, 1012);
+        assert_eq!(total.disk_hits, 1014);
+        assert_eq!(total.disk_writes, 1016);
+        assert_eq!(total.disk_errors, 1018);
+        assert_eq!(total.evictions, 1020);
+        // Sizes accumulate too (table2 sums the counters of several
+        // caches, each contributing its own entry counts).
+        assert_eq!(total.graphs, 1022);
+        assert_eq!(total.components, 1024);
     }
 }

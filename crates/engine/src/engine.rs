@@ -18,6 +18,7 @@ use marqsim_core::metrics::evaluate_fidelity;
 use marqsim_core::{
     CompileError, CompileResult, Compiler, CompilerConfig, HttGraph, SolverKind, TransitionStrategy,
 };
+use marqsim_obs::{metrics, trace};
 use marqsim_pauli::Hamiltonian;
 
 use crate::cache::{hamiltonian_fingerprint, CacheConfig, CacheKey, StrategyKey, TransitionCache};
@@ -510,11 +511,25 @@ impl Engine {
         let (tx, rx) = channel();
 
         self.active_jobs.fetch_add(1, Ordering::Relaxed);
+        let registry = metrics::global();
+        registry.counter("marqsim_engine_jobs_total").inc();
+        registry.gauge("marqsim_engine_active_jobs").add(1);
         let engine = Arc::clone(self);
         let coordinator_state = Arc::clone(&state);
+        let job_id = id.0;
         std::thread::Builder::new()
             .name(format!("marqsim-job-{}", id.0))
             .spawn(move || {
+                // The job span is opened on the coordinator thread, so
+                // everything the workload does — graph resolution, pool
+                // submissions (whose tasks re-parent here), persist I/O —
+                // nests under it in the trace.
+                let _job_span = trace::Span::enter("job")
+                    // Named `job`, not `id`: the record already carries
+                    // the span's own `id` key.
+                    .field("job", job_id)
+                    .field("label", coordinator_state.label.as_str())
+                    .field("flow_solver", flow_solver.as_str());
                 let sink = ProgressSink::new(
                     Some(Arc::new(callback)),
                     Some(Arc::clone(&coordinator_state)),
@@ -550,6 +565,7 @@ impl Engine {
                 };
                 coordinator_state.mark_finished();
                 engine.active_jobs.fetch_sub(1, Ordering::Relaxed);
+                metrics::global().gauge("marqsim_engine_active_jobs").sub(1);
                 // The handle may have been dropped; the outcome is then
                 // discarded, which is the fire-and-forget contract.
                 let _ = tx.send(outcome);
@@ -671,7 +687,12 @@ impl Engine {
                 .collect();
         }
         // Phase 1: resolve one HTT graph per job, building on the pool.
-        let graphs = self.resolve_graphs(&jobs, priority, solver);
+        let graphs = {
+            let _span = trace::Span::enter("resolve_graph")
+                .field("jobs", jobs.len())
+                .field("backend", solver.as_str());
+            self.resolve_graphs(&jobs, priority, solver)
+        };
 
         // Phase 2: expand into point-level tasks.
         let mut tasks: Vec<Task> = Vec::new();

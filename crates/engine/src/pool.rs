@@ -17,10 +17,56 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use marqsim_obs::{metrics, trace};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A task plus the telemetry captured at submission time: its lane, its
+/// enqueue instant (queue-wait is timed from here to dequeue), and the
+/// submitter's innermost open span so the worker-side `pool_task` span and
+/// the `queue_wait` interval stay attached to the submitting job's trace
+/// even though they fire on another thread.
+struct QueuedTask {
+    run: Task,
+    lane: Priority,
+    enqueued: Instant,
+    parent: Option<trace::SpanId>,
+}
+
+/// Registry handles of the pool's instruments, resolved once per process:
+/// every [`ThreadPool`] feeds the same process-wide counters (the registry
+/// is global; per-pool breakdowns were not worth a label axis).
+struct PoolMetrics {
+    /// `marqsim_pool_tasks_total{lane}` — submissions per priority lane.
+    tasks: [Arc<metrics::Counter>; 3],
+    /// `marqsim_pool_queue_depth` — tasks waiting in injectors right now.
+    queue_depth: Arc<metrics::Gauge>,
+    /// `marqsim_pool_queue_wait_seconds` — enqueue-to-dequeue latency.
+    queue_wait: Arc<metrics::Histogram>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = metrics::global();
+        let lane_counter = |lane: Priority| {
+            registry.counter_with("marqsim_pool_tasks_total", &[("lane", lane.as_str())])
+        };
+        PoolMetrics {
+            tasks: [
+                lane_counter(Priority::High),
+                lane_counter(Priority::Normal),
+                lane_counter(Priority::Low),
+            ],
+            queue_depth: registry.gauge("marqsim_pool_queue_depth"),
+            queue_wait: registry.histogram("marqsim_pool_queue_wait_seconds"),
+        }
+    })
+}
 
 /// Scheduling priority of a submitted task or job. Priorities reorder the
 /// shared work queue; they never affect results (outputs are reassembled by
@@ -74,7 +120,7 @@ struct Injector {
 }
 
 struct InjectorState {
-    lanes: [std::collections::VecDeque<Task>; 3],
+    lanes: [std::collections::VecDeque<QueuedTask>; 3],
     queued: usize,
     shutdown: bool,
 }
@@ -92,20 +138,48 @@ impl Injector {
     }
 
     fn push(&self, priority: Priority, task: Task) {
+        let instruments = pool_metrics();
+        instruments.tasks[priority.lane()].inc();
+        let queued = QueuedTask {
+            run: task,
+            lane: priority,
+            enqueued: Instant::now(),
+            // Captured on the submitting thread: the worker that runs this
+            // task parents its span here, not in its own (empty) span stack.
+            parent: trace::current_span(),
+        };
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        state.lanes[priority.lane()].push_back(task);
+        state.lanes[priority.lane()].push_back(queued);
         state.queued += 1;
         drop(state);
+        instruments.queue_depth.add(1);
         self.available.notify_one();
     }
 
     /// Blocks until a task is available (highest-priority lane first) or the
-    /// pool shuts down.
-    fn pop(&self) -> Option<Task> {
+    /// pool shuts down. Dequeue is where queue-wait is observed: the
+    /// enqueue-to-dequeue latency goes to the wait histogram and, when
+    /// tracing is on, to a `queue_wait` interval attached to the
+    /// submitter's span.
+    fn pop(&self) -> Option<QueuedTask> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(task) = state.lanes.iter_mut().find_map(|lane| lane.pop_front()) {
                 state.queued -= 1;
+                drop(state);
+                let instruments = pool_metrics();
+                instruments.queue_depth.sub(1);
+                let waited = task.enqueued.elapsed();
+                instruments.queue_wait.record(waited.as_secs_f64());
+                if trace::enabled() {
+                    trace::emit_interval(
+                        "queue_wait",
+                        task.parent,
+                        task.enqueued,
+                        waited.as_micros() as u64,
+                        &[("lane", task.lane.as_str().to_string())],
+                    );
+                }
                 return Some(task);
             }
             if state.shutdown {
@@ -170,7 +244,9 @@ impl ThreadPool {
                         // (`map` additionally catches per item to report
                         // the panic message to the caller).
                         while let Some(task) = injector.pop() {
-                            let _ = catch_unwind(AssertUnwindSafe(task));
+                            let _span = trace::Span::child_of("pool_task", task.parent)
+                                .field("lane", task.lane.as_str());
+                            let _ = catch_unwind(AssertUnwindSafe(task.run));
                         }
                     })
                     .expect("spawn engine worker")
@@ -416,6 +492,36 @@ mod tests {
         let pool = ThreadPool::new(2);
         pool.map((0..64u32).collect(), Arc::new(|_, x: u32| x), |_| {});
         assert_eq!(pool.queued(), 0, "map drains the injector");
+    }
+
+    #[test]
+    fn pool_publishes_queue_instruments() {
+        let registry = metrics::global();
+        let normal = registry.counter_with("marqsim_pool_tasks_total", &[("lane", "normal")]);
+        let high = registry.counter_with("marqsim_pool_tasks_total", &[("lane", "high")]);
+        let wait = registry.histogram("marqsim_pool_queue_wait_seconds");
+        let (tasks_before, high_before, wait_before) = (normal.get(), high.get(), wait.count());
+
+        let pool = ThreadPool::new(2);
+        pool.map((0..16u32).collect(), Arc::new(|_, x: u32| x), |_| {});
+        pool.map_at(
+            Priority::High,
+            vec![1u32, 2],
+            Arc::new(|_, x: u32| x),
+            |_| {},
+        );
+        drop(pool);
+
+        assert!(normal.get() >= tasks_before + 16, "normal lane counted");
+        assert!(high.get() >= high_before + 2, "high lane counted");
+        assert!(
+            wait.count() >= wait_before + 18,
+            "every dequeue records a queue wait"
+        );
+        assert!(
+            metrics::global().gauge("marqsim_pool_queue_depth").get() >= 0,
+            "drained pools never leave the depth gauge negative"
+        );
     }
 
     #[test]

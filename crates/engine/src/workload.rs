@@ -54,6 +54,7 @@ use marqsim_core::perturb::{perturbed_matrix_sample_with, PerturbationConfig};
 use marqsim_core::{HttGraph, SolverKind, TransitionStrategy};
 use marqsim_markov::combine::combine;
 use marqsim_markov::TransitionMatrix;
+use marqsim_obs::trace;
 use marqsim_pauli::Hamiltonian;
 
 use crate::cache::TransitionCache;
@@ -387,6 +388,9 @@ pub struct WorkloadCtx<'a> {
     total_units: usize,
     /// Units completed by earlier `map` / `run_builtin` phases.
     units_done: AtomicUsize,
+    /// The innermost span open when this context was created — the job
+    /// span for submitted jobs (see [`WorkloadCtx::job_span`]).
+    job_span: Option<trace::SpanId>,
 }
 
 impl<'a> WorkloadCtx<'a> {
@@ -408,7 +412,17 @@ impl<'a> WorkloadCtx<'a> {
             flow_solver,
             total_units,
             units_done: AtomicUsize::new(0),
+            job_span: trace::current_span(),
         }
+    }
+
+    /// The job's trace span, when tracing is enabled — the parent to hand
+    /// to [`trace::Span::child_of`] or [`trace::emit_interval`] from helper
+    /// threads a workload spawns itself (the pool's own tasks re-parent
+    /// automatically). `None` when tracing is off or the context was built
+    /// outside any span.
+    pub fn job_span(&self) -> Option<trace::SpanId> {
+        self.job_span
     }
 
     /// The running job's label.
@@ -539,6 +553,9 @@ impl<'a> WorkloadCtx<'a> {
         ham: &Hamiltonian,
         strategy: &TransitionStrategy,
     ) -> Result<Arc<HttGraph>, EngineError> {
+        let _span = trace::Span::enter("resolve_graph")
+            .field("label", self.label.as_str())
+            .field("backend", self.flow_solver.as_str());
         let built = if self.cache_enabled() {
             self.cache()
                 .get_or_build_with(ham, strategy, self.flow_solver)

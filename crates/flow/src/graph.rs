@@ -7,6 +7,10 @@
 //! immutable and cheap to share.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use marqsim_obs::{metrics, trace};
 
 use crate::simplex::NetworkSimplex;
 use crate::ssp::SuccessiveShortestPath;
@@ -70,6 +74,26 @@ pub struct FlowResult {
     /// potential initialization because every edge cost was non-negative
     /// (always `false` for other backends).
     pub bellman_ford_skipped: bool,
+    /// Per-solve profiling filled in by the backend (pivot/iteration count
+    /// and phase timings); published to the metrics registry by
+    /// [`FlowNetwork::min_cost_flow_with`].
+    pub profile: SolveProfile,
+}
+
+/// Backend-reported profiling for one solve. Phase semantics per backend:
+/// for `ssp`, `init` is the CSR build plus the (possibly skipped)
+/// Bellman–Ford potential bootstrap and `pivots` counts augmenting-path
+/// iterations; for `network_simplex`, `init` is arc-list and initial-basis
+/// construction and `pivots` counts basis exchanges. `optimize` is the
+/// main solve loop for both.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveProfile {
+    /// Basis exchanges (simplex) or augmenting iterations (ssp).
+    pub pivots: u64,
+    /// Seconds spent building per-solve working state.
+    pub init_seconds: f64,
+    /// Seconds spent in the optimization loop.
+    pub optimize_seconds: f64,
 }
 
 /// One directed edge of a [`FlowNetwork`].
@@ -165,6 +189,11 @@ impl FlowNetwork {
 
     /// Like [`min_cost_flow`](Self::min_cost_flow) with an explicit backend.
     ///
+    /// Every solve through this entry point is telemetered: one
+    /// `flow_solve` trace span, plus per-backend registry instruments
+    /// (solve counters, latency/phase histograms, pivot and
+    /// Bellman–Ford-skip counters — see `docs/observability.md`).
+    ///
     /// # Errors
     ///
     /// Same contract as [`min_cost_flow`](Self::min_cost_flow).
@@ -175,7 +204,31 @@ impl FlowNetwork {
         sink: usize,
         amount: f64,
     ) -> Result<FlowResult, FlowError> {
-        solver.solver().solve(self, source, sink, amount)
+        let span = trace::Span::enter("flow_solve")
+            .field("backend", solver.as_str())
+            .field("nodes", self.num_nodes)
+            .field("edges", self.edges.len());
+        let started = Instant::now();
+        let result = solver.solver().solve(self, source, sink, amount);
+        let elapsed = started.elapsed().as_secs_f64();
+        let instruments = backend_metrics(solver);
+        instruments.solve_seconds.record(elapsed);
+        match &result {
+            Ok(flow) => {
+                instruments.solves.inc();
+                instruments.pivots.add(flow.profile.pivots);
+                if flow.bellman_ford_skipped {
+                    instruments.bf_skips.inc();
+                }
+                instruments.init_seconds.record(flow.profile.init_seconds);
+                instruments
+                    .optimize_seconds
+                    .record(flow.profile.optimize_seconds);
+            }
+            Err(_) => instruments.solve_errors.inc(),
+        }
+        drop(span);
+        result
     }
 
     /// Shared endpoint validation for every backend.
@@ -242,6 +295,51 @@ pub enum SolverKind {
 
 static SSP: SuccessiveShortestPath = SuccessiveShortestPath;
 static SIMPLEX: NetworkSimplex = NetworkSimplex;
+
+/// Cached global-registry handles for one backend — registered once, so
+/// the per-solve record path is atomics only.
+struct BackendMetrics {
+    solves: Arc<metrics::Counter>,
+    solve_errors: Arc<metrics::Counter>,
+    solve_seconds: Arc<metrics::Histogram>,
+    pivots: Arc<metrics::Counter>,
+    bf_skips: Arc<metrics::Counter>,
+    init_seconds: Arc<metrics::Histogram>,
+    optimize_seconds: Arc<metrics::Histogram>,
+}
+
+fn backend_metrics(kind: SolverKind) -> &'static BackendMetrics {
+    static METRICS: OnceLock<Vec<BackendMetrics>> = OnceLock::new();
+    let all = METRICS.get_or_init(|| {
+        let registry = metrics::global();
+        SolverKind::ALL
+            .iter()
+            .map(|kind| {
+                let backend: &[(&str, &str)] = &[("backend", kind.as_str())];
+                BackendMetrics {
+                    solves: registry.counter_with("marqsim_flow_solves_total", backend),
+                    solve_errors: registry.counter_with("marqsim_flow_solve_errors_total", backend),
+                    solve_seconds: registry.histogram_with("marqsim_flow_solve_seconds", backend),
+                    pivots: registry.counter_with("marqsim_flow_pivots_total", backend),
+                    bf_skips: registry.counter_with("marqsim_flow_bf_skips_total", backend),
+                    init_seconds: registry.histogram_with(
+                        "marqsim_flow_phase_seconds",
+                        &[("backend", kind.as_str()), ("phase", "init")],
+                    ),
+                    optimize_seconds: registry.histogram_with(
+                        "marqsim_flow_phase_seconds",
+                        &[("backend", kind.as_str()), ("phase", "optimize")],
+                    ),
+                }
+            })
+            .collect()
+    });
+    let index = SolverKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every SolverKind appears in ALL");
+    &all[index]
+}
 
 impl SolverKind {
     /// Every registered backend, default first.
@@ -503,6 +601,40 @@ mod tests {
             .min_cost_flow_with(SolverKind::NetworkSimplex, 0, 1, 1.0)
             .unwrap();
         assert!(!r.bellman_ford_skipped);
+    }
+
+    #[test]
+    fn solves_fill_profiles_and_registry_instruments() {
+        let registry = metrics::global();
+        for kind in both() {
+            let backend: &[(&str, &str)] = &[("backend", kind.as_str())];
+            let solves = registry.counter_with("marqsim_flow_solves_total", backend);
+            let pivots = registry.counter_with("marqsim_flow_pivots_total", backend);
+            let seconds = registry.histogram_with("marqsim_flow_solve_seconds", backend);
+            let (solves_before, pivots_before, count_before) =
+                (solves.get(), pivots.get(), seconds.count());
+
+            let mut net = FlowNetwork::new(3);
+            net.add_edge(0, 1, 2.0, 1.0);
+            net.add_edge(1, 2, 2.0, 1.0);
+            let r = net.min_cost_flow_with(kind, 0, 2, 1.0).unwrap();
+            assert!(r.profile.pivots >= 1, "{kind}: at least one iteration");
+            assert!(r.profile.init_seconds >= 0.0, "{kind}");
+            assert!(r.profile.optimize_seconds >= 0.0, "{kind}");
+
+            assert_eq!(solves.get(), solves_before + 1, "{kind}");
+            assert_eq!(pivots.get(), pivots_before + r.profile.pivots, "{kind}");
+            assert_eq!(seconds.count(), count_before + 1, "{kind}");
+        }
+
+        // Errors land in the error counter, not the solve counter.
+        let errors =
+            registry.counter_with("marqsim_flow_solve_errors_total", &[("backend", "ssp")]);
+        let errors_before = errors.get();
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1.0, 1.0);
+        let _ = net.min_cost_flow(0, 1, 5.0).unwrap_err();
+        assert_eq!(errors.get(), errors_before + 1);
     }
 
     #[test]

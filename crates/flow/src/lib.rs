@@ -65,6 +65,8 @@ mod ssp;
 
 pub mod bipartite;
 
-pub use graph::{FlowEdge, FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, SolverKind};
+pub use graph::{
+    FlowEdge, FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, SolveProfile, SolverKind,
+};
 pub use simplex::NetworkSimplex;
 pub use ssp::SuccessiveShortestPath;

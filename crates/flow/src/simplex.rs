@@ -21,7 +21,9 @@
 //! so the simple recompute keeps the code auditable at no measurable cost
 //! for the bipartite transportation instances this crate serves.
 
-use crate::graph::{FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, CAP_EPS};
+use std::time::Instant;
+
+use crate::graph::{FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, SolveProfile, CAP_EPS};
 
 /// Reduced-cost violation threshold for pricing: an arc enters only if its
 /// violation exceeds this, so float noise cannot drive endless pivots.
@@ -93,9 +95,11 @@ impl MinCostFlowSolver for NetworkSimplex {
                 edge_flows: vec![0.0; num_real],
                 solver: self.name(),
                 bellman_ford_skipped: false,
+                profile: SolveProfile::default(),
             });
         }
 
+        let init_started = Instant::now();
         let n = network.num_nodes();
         let root = n;
 
@@ -170,6 +174,10 @@ impl MinCostFlowSolver for NetworkSimplex {
         // feasibility makes cycling a theoretical-only concern.
         let pivot_cap = 1000 + 64 * total_arcs;
         let mut pivots = 0usize;
+        let optimize_started = Instant::now();
+        let init_seconds = optimize_started
+            .saturating_duration_since(init_started)
+            .as_secs_f64();
 
         while clean_blocks < num_blocks {
             let mut entering = None;
@@ -222,6 +230,11 @@ impl MinCostFlowSolver for NetworkSimplex {
             edge_flows,
             solver: self.name(),
             bellman_ford_skipped: false,
+            profile: SolveProfile {
+                pivots: pivots as u64,
+                init_seconds,
+                optimize_seconds: optimize_started.elapsed().as_secs_f64(),
+            },
         })
     }
 }

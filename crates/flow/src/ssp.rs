@@ -18,9 +18,10 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use crate::csr::{Csr, NO_EDGE};
-use crate::graph::{FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, CAP_EPS};
+use crate::graph::{FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, SolveProfile, CAP_EPS};
 
 /// The successive-shortest-path solver (see the [module docs](self)).
 #[derive(Debug, Default)]
@@ -65,6 +66,7 @@ impl MinCostFlowSolver for SuccessiveShortestPath {
         amount: f64,
     ) -> Result<FlowResult, FlowError> {
         network.validate_endpoints(source, sink)?;
+        let init_started = Instant::now();
         let n = network.num_nodes();
         let mut csr = Csr::build(network);
         let mut potentials = vec![0.0f64; n];
@@ -76,12 +78,18 @@ impl MinCostFlowSolver for SuccessiveShortestPath {
         if !bellman_ford_skipped {
             bellman_ford_potentials(&csr, source, &mut potentials);
         }
+        let optimize_started = Instant::now();
+        let init_seconds = optimize_started
+            .saturating_duration_since(init_started)
+            .as_secs_f64();
 
         let mut remaining = amount;
         let mut total_cost = 0.0;
         let mut edge_flows = vec![0.0f64; network.num_edges()];
+        let mut iterations = 0u64;
 
         while remaining > CAP_EPS {
+            iterations += 1;
             // Dijkstra on reduced costs.
             let (dist, prev) = dijkstra(&csr, source, &potentials);
             if dist[sink].is_infinite() {
@@ -132,6 +140,11 @@ impl MinCostFlowSolver for SuccessiveShortestPath {
             edge_flows,
             solver: self.name(),
             bellman_ford_skipped,
+            profile: SolveProfile {
+                pivots: iterations,
+                init_seconds,
+                optimize_seconds: optimize_started.elapsed().as_secs_f64(),
+            },
         })
     }
 }

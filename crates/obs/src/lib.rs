@@ -1,0 +1,34 @@
+//! Telemetry for the MarQSim workspace: metrics, traces, and logs — with
+//! zero dependencies (the build environment has no registry access) and a
+//! lock-free record path.
+//!
+//! Three pillars, each usable on its own:
+//!
+//! * [`metrics`] — a process-global [`metrics::Registry`] of named
+//!   instruments: monotonic [`metrics::Counter`]s, up/down
+//!   [`metrics::Gauge`]s, and fixed-bucket [`metrics::Histogram`]s with
+//!   p50/p90/p99 estimation. Handles are `Arc`s around atomics; recording
+//!   never takes a lock. [`metrics::Registry::expose`] renders the whole
+//!   registry as a Prometheus-style text exposition (what the serve
+//!   protocol's `metrics` verb returns).
+//! * [`trace`] — structured span tracing. A [`trace::Span`] measures a
+//!   named region, nests under the enclosing span of its thread (or an
+//!   explicit cross-thread parent), and on drop emits one JSONL record to
+//!   the `MARQSIM_TRACE` sink (a file path, or `stderr`). When the sink is
+//!   not configured, spans are a single relaxed atomic load — the
+//!   zero-overhead guarantee BENCH.md pins.
+//! * [`log`] — a leveled structured logger: `MARQSIM_LOG=error|warn|info|
+//!   debug` (default `info`) gates `[target] key=value …` lines on stderr.
+//!   The `[cache]`/`[flow]` bench lines CI greps for are `info`-level
+//!   emissions through this logger, format-stable by construction.
+//!
+//! The instrument catalog, environment variables, and the exposition
+//! format are documented in `docs/observability.md`.
+
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use log::Level;
+pub use metrics::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{current_span, Span, SpanId};

@@ -1,0 +1,158 @@
+//! The leveled structured logger: `[target] key=value …` lines on stderr.
+//!
+//! `MARQSIM_LOG=error|warn|info|debug` sets the maximum emitted level
+//! (default `info`). The line format is `[{target}] {message}` where the
+//! message is key=value pairs by convention — the format the pre-existing
+//! `[cache]`/`[flow]` bench lines already used, so migrating them onto
+//! the logger changes nothing CI greps for. An unknown `MARQSIM_LOG`
+//! value logs one warning and falls back to the default rather than
+//! aborting: losing telemetry must never take the engine down.
+//!
+//! Use through the [`error!`](crate::error), [`warn!`](crate::warn),
+//! [`info!`](crate::info), and [`debug!`](crate::debug) macros, which
+//! skip all formatting when the level is filtered:
+//!
+//! ```
+//! marqsim_obs::info!("cache", "hits={} misses={}", 3, 1);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures that lose work or data.
+    Error,
+    /// Degraded-but-continuing conditions.
+    Warn,
+    /// Normal operational lines (the default level; includes the
+    /// grep-able bench report lines).
+    Info,
+    /// High-volume diagnostics (per-job, per-connection detail).
+    Debug,
+}
+
+impl Level {
+    /// The spelling accepted by `MARQSIM_LOG` and shown in diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `MARQSIM_LOG` spelling.
+    pub fn parse(spelling: &str) -> Option<Level> {
+        match spelling.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// The active maximum level (from `MARQSIM_LOG`, read once).
+pub fn max_level() -> Level {
+    static MAX: OnceLock<Level> = OnceLock::new();
+    *MAX.get_or_init(|| match std::env::var("MARQSIM_LOG") {
+        Err(_) => Level::Info,
+        Ok(raw) if raw.trim().is_empty() => Level::Info,
+        Ok(raw) => Level::parse(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "[obs] level=warn msg=\"unknown MARQSIM_LOG value, using info\" value={raw:?}"
+            );
+            Level::Info
+        }),
+    })
+}
+
+/// Whether `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Emits one line (already level-checked by the macros): `[target] args`.
+pub fn write(target: &str, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{target}] {args}");
+}
+
+/// Logs at [`Level::Error`]: `marqsim_obs::error!("serve", "msg=\"…\"")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write($target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::write($target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`] — the level of the grep-able bench lines.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write($target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write($target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("trace"), None);
+    }
+
+    #[test]
+    fn default_level_admits_info_but_not_debug() {
+        // The test process does not set MARQSIM_LOG (the harness would
+        // have to leak it); with the default, info passes and debug not.
+        if std::env::var("MARQSIM_LOG").is_err() {
+            assert!(enabled(Level::Error));
+            assert!(enabled(Level::Info));
+            assert!(!enabled(Level::Debug));
+        }
+    }
+
+    #[test]
+    fn macros_compile_for_every_level() {
+        // Emission goes to stderr; this only pins the macro surface.
+        crate::error!("obs-test", "k={}", 1);
+        crate::warn!("obs-test", "k={}", 2);
+        crate::info!("obs-test", "k={}", 3);
+        crate::debug!("obs-test", "k={}", 4);
+    }
+}

@@ -1,0 +1,628 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket latency
+//! histograms with a lock-free record path.
+//!
+//! Instruments are registered by name (plus optional `key="value"` labels,
+//! Prometheus-style) and handed back as `Arc` handles around plain
+//! atomics; recording is `fetch_add`/CAS only. Registration takes the
+//! registry lock once per instrument — callers cache the handle (usually
+//! in a `OnceLock`), so steady-state hot paths never touch the lock.
+//! Registering the same `(name, labels)` again returns the existing
+//! handle, so independent subsystems can share an instrument safely.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous up/down value (queue depths, active jobs).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-on-read bucket counts over a set
+/// of strictly increasing upper edges, plus an implicit `+Inf` overflow
+/// bucket, a running sum, and a total count. Records are two relaxed
+/// `fetch_add`s and one CAS loop on the sum bits — no lock.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Strictly increasing upper bucket edges; a value `v` lands in the
+    /// first bucket with `v <= edge`, or the overflow bucket.
+    edges: Vec<f64>,
+    /// Per-bucket counts, `edges.len() + 1` long (last = overflow).
+    counts: Vec<AtomicU64>,
+    /// Running sum of recorded values, stored as `f64` bits.
+    sum_bits: AtomicU64,
+    /// Total number of recorded values.
+    count: AtomicU64,
+}
+
+/// A point-in-time copy of a [`Histogram`], for exposition and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// The bucket upper edges (same meaning as [`Histogram`]'s).
+    pub edges: Vec<f64>,
+    /// Per-bucket counts, `edges.len() + 1` long (last = overflow).
+    pub counts: Vec<u64>,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Total recorded values.
+    pub count: u64,
+}
+
+/// The default latency edges (seconds): ~1µs to 60s, roughly
+/// logarithmic. Chosen so both a sub-millisecond cached lookup and a
+/// multi-second 1000-string flow solve land in interior buckets.
+pub const LATENCY_EDGES_SECONDS: [f64; 20] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.5, 2.5, 10.0, 60.0,
+];
+
+impl Histogram {
+    /// A histogram over the given strictly increasing upper edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty, non-finite, or not strictly increasing.
+    pub fn new(edges: &[f64]) -> Histogram {
+        assert!(!edges.is_empty(), "a histogram needs at least one edge");
+        for pair in edges.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram edges must be strictly increasing"
+            );
+        }
+        assert!(
+            edges.iter().all(|e| e.is_finite()),
+            "histogram edges must be finite"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            counts: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram with the default latency edges.
+    pub fn latency() -> Histogram {
+        Histogram::new(&LATENCY_EDGES_SECONDS)
+    }
+
+    /// The index of the bucket `v` lands in (the first edge `>= v`, or
+    /// the overflow bucket).
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.edges
+            .iter()
+            .position(|&edge| v <= edge)
+            .unwrap_or(self.edges.len())
+    }
+
+    /// Records one value (NaN is counted in the overflow bucket with a
+    /// zero sum contribution rather than poisoning the sum).
+    pub fn record(&self, v: f64) {
+        let index = if v.is_nan() {
+            self.edges.len()
+        } else {
+            self.bucket_index(v)
+        };
+        self.counts[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !v.is_nan() {
+            let mut current = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) as the **upper edge** of
+    /// the bucket containing the `ceil(q·count)`-th observation — an
+    /// upper bound on the true quantile for interior buckets. Returns
+    /// `None` when the histogram is empty; observations in the overflow
+    /// bucket estimate as `f64::INFINITY` (no finite upper edge exists).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let snapshot = self.snapshot();
+        snapshot.quantile(q)
+    }
+
+    /// A point-in-time copy. Concurrent records may tear between buckets
+    /// and the total — fine for exposition, which is advisory by nature.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            edges: self.edges.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge sets differ — merging histograms is only
+    /// meaningful over identical buckets.
+    pub fn merge(&self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "merge requires identical edges");
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let add = other.sum();
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (index, count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(if index < self.edges.len() {
+                    self.edges[index]
+                } else {
+                    f64::INFINITY
+                });
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+/// One registered instrument.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A namespace of instruments, renderable as one text exposition.
+///
+/// Most callers use the process-global [`global`] registry; a fresh
+/// `Registry::new()` is available for tests that need isolation.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// The process-global registry — what engine/cache/flow/serve register
+/// their instruments in and what the serve `metrics` verb exposes.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        as_existing: impl Fn(&Instrument) -> Option<Arc<T>>,
+        create: impl FnOnce() -> (Arc<T>, Instrument),
+    ) -> Arc<T> {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(entry) = entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+        {
+            return as_existing(&entry.instrument).unwrap_or_else(|| {
+                panic!(
+                    "instrument '{name}' already registered as a {}",
+                    entry.instrument.kind()
+                )
+            });
+        }
+        let (handle, instrument) = create();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            instrument,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::default());
+                (Arc::clone(&c), Instrument::Counter(c))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::default());
+                (Arc::clone(&g), Instrument::Gauge(g))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) a histogram with the default latency
+    /// edges.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labeled histogram with the default
+    /// latency edges. (An already-registered instrument keeps its
+    /// original edges.)
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with_edges(name, labels, &LATENCY_EDGES_SECONDS)
+    }
+
+    /// Registers (or retrieves) a labeled histogram with explicit edges.
+    pub fn histogram_with_edges(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        edges: &[f64],
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new(edges));
+                (Arc::clone(&h), Instrument::Histogram(h))
+            },
+        )
+    }
+
+    /// Renders every instrument as a Prometheus-style text exposition:
+    /// one `# TYPE` comment per metric name, `name{labels} value` sample
+    /// lines, and for histograms the conventional cumulative
+    /// `_bucket{le=…}` / `_sum` / `_count` series. Output is sorted by
+    /// name then labels, so two snapshots diff cleanly.
+    pub fn expose(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut sorted: Vec<&Entry> = entries.iter().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for entry in sorted {
+            if last_name != Some(entry.name.as_str()) {
+                out.push_str(&format!(
+                    "# TYPE {} {}\n",
+                    entry.name,
+                    entry.instrument.kind()
+                ));
+                last_name = Some(entry.name.as_str());
+            }
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(&sample(
+                        &entry.name,
+                        &entry.labels,
+                        None,
+                        &c.get().to_string(),
+                    ));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&sample(
+                        &entry.name,
+                        &entry.labels,
+                        None,
+                        &g.get().to_string(),
+                    ));
+                }
+                Instrument::Histogram(h) => {
+                    let snapshot = h.snapshot();
+                    let bucket_name = format!("{}_bucket", entry.name);
+                    let mut cumulative = 0u64;
+                    for (index, count) in snapshot.counts.iter().enumerate() {
+                        cumulative += count;
+                        let le = if index < snapshot.edges.len() {
+                            format_float(snapshot.edges[index])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&sample(
+                            &bucket_name,
+                            &entry.labels,
+                            Some(("le", &le)),
+                            &cumulative.to_string(),
+                        ));
+                    }
+                    out.push_str(&sample(
+                        &format!("{}_sum", entry.name),
+                        &entry.labels,
+                        None,
+                        &format_float(snapshot.sum),
+                    ));
+                    out.push_str(&sample(
+                        &format!("{}_count", entry.name),
+                        &entry.labels,
+                        None,
+                        &snapshot.count.to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn labels_eq(registered: &[(String, String)], requested: &[(&str, &str)]) -> bool {
+    registered.len() == requested.len()
+        && registered
+            .iter()
+            .zip(requested.iter())
+            .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+}
+
+/// One exposition sample line: `name{labels} value`.
+fn sample(
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) -> String {
+    let mut rendered = Vec::new();
+    for (k, v) in labels {
+        rendered.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if let Some((k, v)) = extra {
+        rendered.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if rendered.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{}}} {value}\n", rendered.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // "0.25" stays "0.25"; "5" becomes "5.0"
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let registry = Registry::new();
+        let a = registry.counter("marqsim_test_total");
+        let b = registry.counter("marqsim_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit the same instrument");
+
+        let g = registry.gauge("marqsim_test_depth");
+        g.set(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        registry.gauge("marqsim_test_depth").add(1);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn labeled_instruments_are_distinct() {
+        let registry = Registry::new();
+        let ssp = registry.counter_with("marqsim_solves_total", &[("backend", "ssp")]);
+        let simplex =
+            registry.counter_with("marqsim_solves_total", &[("backend", "network_simplex")]);
+        ssp.inc();
+        assert_eq!(ssp.get(), 1);
+        assert_eq!(simplex.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("marqsim_mismatch");
+        registry.gauge("marqsim_mismatch");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for v in [0.05, 0.5, 0.5, 5.0] {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        assert_eq!(snapshot.counts, vec![1, 2, 1, 0]);
+        assert_eq!(snapshot.count, 4);
+        assert!((snapshot.sum - 6.05).abs() < 1e-12);
+        // Rank 2 of 4 sits in the (0.1, 1.0] bucket.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        // Values beyond the last edge land in the overflow bucket.
+        h.record(1e9);
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_the_union() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 2.0]);
+        let union = Histogram::new(&[1.0, 2.0]);
+        for v in [0.5, 1.5] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [1.7, 9.0] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), union.snapshot());
+    }
+
+    #[test]
+    fn exposition_renders_all_kinds_sorted() {
+        let registry = Registry::new();
+        registry.counter("marqsim_b_total").add(7);
+        registry.gauge("marqsim_a_depth").set(-2);
+        let h = registry.histogram_with_edges("marqsim_c_seconds", &[("backend", "ssp")], &[1.0]);
+        h.record(0.5);
+        h.record(3.0);
+        let text = registry.expose();
+        let expected = "\
+# TYPE marqsim_a_depth gauge
+marqsim_a_depth -2
+# TYPE marqsim_b_total counter
+marqsim_b_total 7
+# TYPE marqsim_c_seconds histogram
+marqsim_c_seconds_bucket{backend=\"ssp\",le=\"1.0\"} 1
+marqsim_c_seconds_bucket{backend=\"ssp\",le=\"+Inf\"} 2
+marqsim_c_seconds_sum{backend=\"ssp\"} 3.5
+marqsim_c_seconds_count{backend=\"ssp\"} 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let c = global().counter("marqsim_obs_selftest_total");
+        let before = c.get();
+        global().counter("marqsim_obs_selftest_total").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use marqsim_engine::{Engine, EngineConfig};
+use marqsim_obs::error;
 use marqsim_serve::Server;
 
 /// A non-empty environment override, trimmed.
@@ -30,8 +31,9 @@ fn positive_env(name: &str, what: &str) -> Option<usize> {
     match raw.parse::<usize>() {
         Ok(n) if n > 0 => Some(n),
         _ => {
-            eprintln!(
-                "marqsim-served: invalid engine configuration: \
+            error!(
+                "served",
+                "invalid engine configuration: \
                  {name}={raw:?} is not a positive {what} (unset it for the default)"
             );
             std::process::exit(2);
@@ -44,8 +46,8 @@ fn main() {
 
     let mut config = match EngineConfig::from_env() {
         Ok(config) => config,
-        Err(error) => {
-            eprintln!("marqsim-served: {error}");
+        Err(cause) => {
+            error!("served", "{cause}");
             std::process::exit(2);
         }
     };
@@ -53,8 +55,8 @@ fn main() {
         // Same strict rule (and diagnostic shape) as MARQSIM_THREADS.
         match EngineConfig::parse_threads("MARQSIM_SERVE_THREADS", &threads) {
             Ok(n) => config.threads = n,
-            Err(error) => {
-                eprintln!("marqsim-served: {error}");
+            Err(cause) => {
+                error!("served", "{cause}");
                 std::process::exit(2);
             }
         }
@@ -66,8 +68,8 @@ fn main() {
     let engine = Arc::new(Engine::new(config));
     let mut server = match Server::bind(&addr, engine) {
         Ok(server) => server,
-        Err(error) => {
-            eprintln!("marqsim-served: failed to bind {addr}: {error}");
+        Err(cause) => {
+            error!("served", "failed to bind {addr}: {cause}");
             std::process::exit(1);
         }
     };
@@ -85,8 +87,8 @@ fn main() {
         ),
         Err(_) => println!("[marqsim-served] listening on {addr}"),
     }
-    if let Err(error) = server.run() {
-        eprintln!("marqsim-served: accept loop failed: {error}");
+    if let Err(cause) = server.run() {
+        error!("served", "accept loop failed: {cause}");
         std::process::exit(1);
     }
 }

@@ -105,6 +105,22 @@ pub struct JobResult {
     pub flow_solver: SolverKind,
 }
 
+/// The telemetry snapshot returned by [`Client::metrics`]: the server's
+/// process-wide Prometheus-style exposition plus this connection's own
+/// request/byte counters (as the server's reader/writer threads count them).
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Prometheus-style text exposition of the server's metrics registry.
+    pub exposition: String,
+    /// Requests the server has decoded on this connection (including this
+    /// `metrics` request itself).
+    pub requests: u64,
+    /// Request-line bytes the server has read on this connection.
+    pub bytes_in: u64,
+    /// Event bytes the server has written on this connection.
+    pub bytes_out: u64,
+}
+
 /// One connection to a `marqsim-served` instance.
 pub struct Client {
     writer: BufWriter<TcpStream>,
@@ -422,6 +438,30 @@ impl Client {
         match self.wait_for(|event| matches!(event, Event::Stats { .. }))? {
             Event::Stats(stats) => Ok(stats),
             _ => unreachable!("matcher admits only stats events"),
+        }
+    }
+
+    /// Fetches the server's metrics exposition plus this connection's
+    /// request/byte counters (protocol v4).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.wait_for(|event| matches!(event, Event::Metrics { .. }))? {
+            Event::Metrics {
+                exposition,
+                requests,
+                bytes_in,
+                bytes_out,
+            } => Ok(MetricsReport {
+                exposition,
+                requests,
+                bytes_in,
+                bytes_out,
+            }),
+            _ => unreachable!("matcher admits only metrics events"),
         }
     }
 }

@@ -18,8 +18,11 @@
 //!   ids/seeds are exact; finite floats use shortest-round-trip encoding,
 //!   so results cross the wire **bit-identically**.
 //! * [`protocol`] — typed [`Request`] verbs (`submit`, `status`, `cancel`,
-//!   `stats`) and [`Event`] streams (`hello`, `submitted`, `busy`,
-//!   `progress`, `done`, `failed`, `status`, `stats`, `error`).
+//!   `stats`, `metrics`) and [`Event`] streams (`hello`, `submitted`,
+//!   `busy`, `progress`, `done`, `failed`, `status`, `stats`, `metrics`,
+//!   `error`). The `metrics` verb (protocol v4) answers with the
+//!   process-wide Prometheus-style exposition from `marqsim-obs` plus the
+//!   connection's own request/byte counters — see `docs/observability.md`.
 //! * [`registry`] — the open end of the protocol: `submit` names a
 //!   workload *kind* plus a params object, and the
 //!   [`WorkloadRegistry`] maps kinds to decoders/encoders. The four
@@ -97,7 +100,7 @@ pub mod registry;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, JobResult};
+pub use client::{Client, ClientError, JobResult, MetricsReport};
 pub use protocol::{
     compile_params, perturb_params, suite_params, sweep_params, CompileSummary, Event, Outcome,
     Request, ServerStats, PROTOCOL_VERSION,
@@ -491,6 +494,57 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats.flow_solver, SolverKind::SuccessiveShortestPath);
         assert_eq!(stats.max_active_jobs, 0, "no global bound configured");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_verb_reports_exposition_and_connection_counters() {
+        let server = spawn_server(2);
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        // A min-cost-flow workload so the backend histograms have samples.
+        let job = client
+            .submit_sweep(
+                "t/metrics",
+                &ham(),
+                &TransitionStrategy::marqsim_gc(),
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        client.wait(job).unwrap();
+
+        let report = client.metrics().unwrap();
+        assert!(
+            report.requests >= 2,
+            "submit + metrics decoded on this connection, got {}",
+            report.requests
+        );
+        assert!(report.bytes_in > 0, "request bytes counted");
+        assert!(
+            report.bytes_out > 0,
+            "hello/submitted/progress/done bytes counted"
+        );
+
+        // The exposition carries every subsystem's instruments: cache,
+        // flow backends, pool, engine, and the serve layer itself.
+        for needle in [
+            "# TYPE marqsim_cache_hits_total counter",
+            "marqsim_cache_misses_total",
+            "marqsim_flow_solve_seconds_bucket",
+            "marqsim_flow_solves_total{backend=\"ssp\"}",
+            "marqsim_pool_queue_depth",
+            "marqsim_pool_queue_wait_seconds_count",
+            "marqsim_engine_jobs_total",
+            "marqsim_serve_connections_total",
+            "marqsim_serve_requests_total{verb=\"submit\"}",
+            "marqsim_serve_bytes_read_total",
+        ] {
+            assert!(
+                report.exposition.contains(needle),
+                "exposition is missing {needle:?}:\n{}",
+                report.exposition
+            );
+        }
         server.shutdown();
     }
 

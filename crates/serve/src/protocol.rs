@@ -67,13 +67,16 @@ use crate::wire::{Json, WireError};
 /// admission control (`busy`), and the extended `stats` event. Version 3
 /// added min-cost-flow backend selection (`options.flow_solver`, advertised
 /// in `hello`, echoed in `done`/`stats` with per-backend solve counters)
-/// and the engine-wide `max_active_jobs` admission bound.
+/// and the engine-wide `max_active_jobs` admission bound. Version 4 added
+/// the telemetry surface: the `metrics` verb returning the process-wide
+/// Prometheus-style text exposition plus this connection's request/byte
+/// counters (see `docs/observability.md`).
 ///
 /// Backend names are part of the typed surface (decoders reject unknown
 /// names), and clients enforce an exact version match at the handshake —
 /// registering a new `SolverKind` therefore bumps this version; see
 /// `docs/flow.md`.
-pub const PROTOCOL_VERSION: u64 = 3;
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +106,9 @@ pub enum Request {
     },
     /// Query engine-wide statistics.
     Stats,
+    /// Query the process-wide telemetry registry (Prometheus-style text
+    /// exposition) plus this connection's request/byte counters.
+    Metrics,
 }
 
 /// The payload of the `stats` event.
@@ -213,6 +219,19 @@ pub enum Event {
     },
     /// Answer to `stats`.
     Stats(ServerStats),
+    /// Answer to `metrics`.
+    Metrics {
+        /// The process-wide metrics registry rendered as Prometheus-style
+        /// text exposition (counters, gauges, cumulative histograms).
+        exposition: String,
+        /// Requests this connection has sent, including the `metrics`
+        /// request being answered.
+        requests: u64,
+        /// Bytes read from this connection so far.
+        bytes_in: u64,
+        /// Bytes written to this connection before this event.
+        bytes_out: u64,
+    },
     /// A request could not be understood or carried invalid data. The
     /// connection stays open.
     Error {
@@ -886,6 +905,7 @@ impl Request {
                 Json::obj([("verb", "cancel".into()), ("job", (*job).into())])
             }
             Request::Stats => Json::obj([("verb", "stats".into())]),
+            Request::Metrics => Json::obj([("verb", "metrics".into())]),
         }
     }
 
@@ -910,6 +930,7 @@ impl Request {
                 job: u64_field(&json, "job")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             other => Err(WireError::shape(format!("unknown verb '{other}'"))),
         }
     }
@@ -1012,6 +1033,18 @@ impl Event {
                 ("flow_solver", stats.flow_solver.as_str().into()),
                 ("max_active_jobs", stats.max_active_jobs.into()),
             ]),
+            Event::Metrics {
+                exposition,
+                requests,
+                bytes_in,
+                bytes_out,
+            } => Json::obj([
+                ("event", "metrics".into()),
+                ("exposition", exposition.as_str().into()),
+                ("requests", (*requests).into()),
+                ("bytes_in", (*bytes_in).into()),
+                ("bytes_out", (*bytes_out).into()),
+            ]),
             Event::Error { message } => Json::obj([
                 ("event", "error".into()),
                 ("message", message.as_str().into()),
@@ -1094,6 +1127,12 @@ impl Event {
                 flow_solver: parse_solver(&str_field(&json, "flow_solver")?)?,
                 max_active_jobs: usize_field(&json, "max_active_jobs")?,
             })),
+            "metrics" => Ok(Event::Metrics {
+                exposition: str_field(&json, "exposition")?,
+                requests: u64_field(&json, "requests")?,
+                bytes_in: u64_field(&json, "bytes_in")?,
+                bytes_out: u64_field(&json, "bytes_out")?,
+            }),
             "error" => Ok(Event::Error {
                 message: str_field(&json, "message")?,
             }),
@@ -1231,6 +1270,7 @@ mod tests {
         request_round_trip(Request::Status { job: 3 });
         request_round_trip(Request::Cancel { job: u64::MAX });
         request_round_trip(Request::Stats);
+        request_round_trip(Request::Metrics);
     }
 
     #[test]
@@ -1457,6 +1497,18 @@ mod tests {
             flow_solver: SolverKind::NetworkSimplex,
             max_active_jobs: 64,
         }));
+        event_round_trip(Event::Metrics {
+            // A representative slice of the exposition format: newlines,
+            // quotes in label values, and histogram bucket lines must all
+            // survive the JSON string codec.
+            exposition: "# TYPE marqsim_flow_solves_total counter\n\
+                         marqsim_flow_solves_total{backend=\"ssp\"} 3\n\
+                         marqsim_flow_solve_seconds_bucket{backend=\"ssp\",le=\"+Inf\"} 3\n"
+                .to_string(),
+            requests: 7,
+            bytes_in: 812,
+            bytes_out: 40960,
+        });
         event_round_trip(Event::Error {
             message: "unknown verb 'frobnicate'".to_string(),
         });

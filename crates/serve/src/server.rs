@@ -47,12 +47,13 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 use marqsim_engine::{Engine, JobControl, Progress, SolverKind, SubmitOptions};
+use marqsim_obs::{metrics, warn};
 
 use crate::protocol::{failure_kind, Event, Request, ServerStats, PROTOCOL_VERSION};
 use crate::registry::WorkloadRegistry;
@@ -71,6 +72,38 @@ const MAX_TRACKED_JOBS: usize = 1024;
 /// Default per-connection in-flight job bound when neither the submit's
 /// `options.max_in_flight` nor [`Server::with_max_in_flight`] overrides it.
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
+
+/// Process-wide serve instruments in the global [`metrics`] registry,
+/// resolved once. Request counters are labelled by verb so the exposition
+/// separates cheap `status` polls from `submit` work.
+struct ServeInstruments {
+    connections: Arc<metrics::Counter>,
+    bytes_read: Arc<metrics::Counter>,
+    bytes_written: Arc<metrics::Counter>,
+    /// Per-verb request counters, indexed like [`VERBS`].
+    requests: [Arc<metrics::Counter>; VERBS.len()],
+    bad_requests: Arc<metrics::Counter>,
+}
+
+/// Verb labels for `marqsim_serve_requests_total`, in [`Request`] variant
+/// order: submit, status, cancel, stats, metrics.
+const VERBS: [&str; 5] = ["submit", "status", "cancel", "stats", "metrics"];
+
+fn serve_instruments() -> &'static ServeInstruments {
+    static INSTRUMENTS: OnceLock<ServeInstruments> = OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let registry = metrics::global();
+        ServeInstruments {
+            connections: registry.counter("marqsim_serve_connections_total"),
+            bytes_read: registry.counter("marqsim_serve_bytes_read_total"),
+            bytes_written: registry.counter("marqsim_serve_bytes_written_total"),
+            requests: VERBS.map(|verb| {
+                registry.counter_with("marqsim_serve_requests_total", &[("verb", verb)])
+            }),
+            bad_requests: registry.counter("marqsim_serve_bad_requests_total"),
+        }
+    })
+}
 
 /// A bound listener plus the engine it serves.
 ///
@@ -187,7 +220,7 @@ impl Server {
                         .expect("spawn connection handler");
                 }
                 Err(error) => {
-                    eprintln!("marqsim-served: accept failed: {error}");
+                    warn!("serve", "accept failed: {error}");
                 }
             }
         }
@@ -307,11 +340,18 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let instruments = serve_instruments();
+    instruments.connections.inc();
     let (out_tx, out_rx) = channel::<String>();
+
+    // Bytes this connection has written, shared with the writer thread so
+    // the `metrics` verb can report it alongside the reader-side counters.
+    let bytes_out = Arc::new(AtomicU64::new(0));
 
     // Writer thread: sole owner of the socket's write half. Exits when
     // every sender is gone (reader done, all job waiters done) or the
     // socket dies.
+    let writer_bytes_out = Arc::clone(&bytes_out);
     let writer = std::thread::Builder::new()
         .name("marqsim-serve-write".to_string())
         .spawn(move || {
@@ -325,6 +365,9 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
                 {
                     break;
                 }
+                let written = line.len() as u64 + 1;
+                writer_bytes_out.fetch_add(written, Ordering::Relaxed);
+                serve_instruments().bytes_written.add(written);
             }
         })
         .expect("spawn connection writer");
@@ -348,12 +391,20 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
     // In-flight gauge: incremented at submit, decremented by each job's
     // waiter thread at its terminal event.
     let in_flight = Arc::new(AtomicUsize::new(0));
+    // Per-connection request/byte counters, reported by the `metrics` verb.
+    // `bytes_in` counts request-line bytes including the line terminator.
+    let mut requests: u64 = 0;
+    let mut bytes_in: u64 = 0;
     let mut reader = BufReader::new(stream);
     // An I/O error is treated like EOF: drop the connection.
     while let Ok(Some(line)) = read_bounded_line(&mut reader) {
+        let line_bytes = line.len() as u64 + 1;
+        bytes_in += line_bytes;
+        instruments.bytes_read.add(line_bytes);
         if line.trim().is_empty() {
             continue;
         }
+        requests += 1;
         match Request::decode(&line) {
             Ok(Request::Submit {
                 label,
@@ -361,20 +412,24 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
                 params,
                 options,
             }) => {
+                instruments.requests[0].inc();
                 handle_submit(
                     &conn, &out_tx, &mut jobs, &in_flight, label, kind, params, options,
                 );
             }
             Ok(Request::Status { job }) => {
+                instruments.requests[1].inc();
                 send_event(&out_tx, &status_event(&jobs, job));
             }
             Ok(Request::Cancel { job }) => {
+                instruments.requests[2].inc();
                 if let Some(control) = jobs.get(&job) {
                     control.cancel();
                 }
                 send_event(&out_tx, &status_event(&jobs, job));
             }
             Ok(Request::Stats) => {
+                instruments.requests[3].inc();
                 send_event(
                     &out_tx,
                     &Event::Stats(ServerStats {
@@ -388,7 +443,20 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
                     }),
                 );
             }
+            Ok(Request::Metrics) => {
+                instruments.requests[4].inc();
+                send_event(
+                    &out_tx,
+                    &Event::Metrics {
+                        exposition: metrics::global().expose(),
+                        requests,
+                        bytes_in,
+                        bytes_out: bytes_out.load(Ordering::Relaxed),
+                    },
+                );
+            }
             Err(error) => {
+                instruments.bad_requests.inc();
                 send_event(
                     &out_tx,
                     &Event::Error {

@@ -34,6 +34,9 @@
 //!   `marqsim-served` daemon, its line-delimited JSON wire protocol with a
 //!   string-keyed workload registry and per-connection admission control,
 //!   and a blocking client.
+//! * [`obs`] — the telemetry subsystem: the process-wide metrics registry
+//!   (counters, gauges, latency histograms), structured span tracing with
+//!   a `MARQSIM_TRACE` JSONL sink, and the `MARQSIM_LOG` leveled logger.
 //! * [`linalg`] — dense complex linear algebra used throughout.
 //!
 //! # Quick start
@@ -63,6 +66,7 @@ pub use marqsim_flow as flow;
 pub use marqsim_hamlib as hamlib;
 pub use marqsim_linalg as linalg;
 pub use marqsim_markov as markov;
+pub use marqsim_obs as obs;
 pub use marqsim_pauli as pauli;
 pub use marqsim_serve as serve;
 pub use marqsim_sim as sim;
