@@ -1,0 +1,306 @@
+//! The checked-in allowlist (`analysis/allow.toml`): existing debt is
+//! enumerated, not hidden. Parsed with a hand-rolled TOML-subset reader
+//! (this crate is dependency-free), which accepts exactly the shape the
+//! allowlist uses:
+//!
+//! ```toml
+//! # comment
+//! [[allow]]
+//! lint = "panic-hygiene"
+//! path = "crates/engine/src/engine.rs"
+//! contains = "spawn job coordinator"   # optional message substring
+//! count = 1                            # optional exact expected matches
+//! reason = "thread spawn failure at submit time is unrecoverable"
+//! ```
+//!
+//! Every entry must carry a `reason`. If `count` is set, the number of
+//! matching findings must equal it exactly — fewer means the debt was
+//! paid down and the entry is stale, more means new debt crept in under
+//! an existing entry; both are reported so the allowlist tracks reality.
+
+use std::fmt;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowEntry {
+    pub lint: String,
+    /// Workspace-relative path; a trailing `*` makes it a prefix match.
+    pub path: String,
+    /// If set, only findings whose message contains this substring match.
+    pub contains: Option<String>,
+    /// If set, exactly this many findings must match.
+    pub count: Option<usize>,
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for error reporting.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    fn matches(&self, diag: &Diagnostic) -> bool {
+        if diag.lint != self.lint {
+            return false;
+        }
+        let path_ok = match self.path.strip_suffix('*') {
+            Some(prefix) => diag.file.starts_with(prefix),
+            None => diag.file == self.path,
+        };
+        if !path_ok {
+            return false;
+        }
+        self.contains
+            .as_ref()
+            .is_none_or(|needle| diag.message.contains(needle))
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A parse failure: line number and what went wrong.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Allowlist, ParseError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (index, raw) in text.lines().enumerate() {
+            let line_no = index as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(done) = current.take() {
+                    entries.push(validate(done)?);
+                }
+                current = Some(AllowEntry {
+                    lint: String::new(),
+                    path: String::new(),
+                    contains: None,
+                    count: None,
+                    reason: String::new(),
+                    line: line_no,
+                });
+                continue;
+            }
+            let entry = current.as_mut().ok_or_else(|| ParseError {
+                line: line_no,
+                message: "expected [[allow]] before key assignments".into(),
+            })?;
+            let (key, value) = line.split_once('=').ok_or_else(|| ParseError {
+                line: line_no,
+                message: format!("expected `key = value`, got {line:?}"),
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "lint" => entry.lint = parse_string(value, line_no)?,
+                "path" => entry.path = parse_string(value, line_no)?,
+                "contains" => entry.contains = Some(parse_string(value, line_no)?),
+                "reason" => entry.reason = parse_string(value, line_no)?,
+                "count" => {
+                    entry.count = Some(value.parse().map_err(|_| ParseError {
+                        line: line_no,
+                        message: format!("count must be a non-negative integer, got {value:?}"),
+                    })?)
+                }
+                other => {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("unknown key {other:?}"),
+                    })
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            entries.push(validate(done)?);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Marks every diagnostic matched by some entry as `allowed`, and
+    /// appends drift notes: entries matching nothing, and entries whose
+    /// `count` no longer equals the number of matches.
+    pub fn apply(&self, diags: &mut Vec<Diagnostic>) {
+        let mut matched = vec![0usize; self.entries.len()];
+        for diag in diags.iter_mut() {
+            // Notes produced by the engine itself (drift notes from a
+            // previous stage) are never allowlisted.
+            if diag.severity == Severity::Note {
+                continue;
+            }
+            for (i, entry) in self.entries.iter().enumerate() {
+                if entry.matches(diag) {
+                    diag.allowed = true;
+                    matched[i] += 1;
+                    break;
+                }
+            }
+        }
+        for (entry, &hits) in self.entries.iter().zip(&matched) {
+            if hits == 0 {
+                diags.push(Diagnostic::note(
+                    "allowlist",
+                    "analysis/allow.toml",
+                    format!(
+                        "stale entry (line {}): no finding matches lint={:?} path={:?}",
+                        entry.line, entry.lint, entry.path
+                    ),
+                ));
+            } else if let Some(expected) = entry.count {
+                if hits != expected {
+                    diags.push(Diagnostic::note(
+                        "allowlist",
+                        "analysis/allow.toml",
+                        format!(
+                            "count drift (line {}): entry for lint={:?} path={:?} expects {} finding(s), matched {}",
+                            entry.line, entry.lint, entry.path, expected, hits
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn validate(entry: AllowEntry) -> Result<AllowEntry, ParseError> {
+    for (field, value) in [
+        ("lint", &entry.lint),
+        ("path", &entry.path),
+        ("reason", &entry.reason),
+    ] {
+        if value.is_empty() {
+            return Err(ParseError {
+                line: entry.line,
+                message: format!("[[allow]] entry is missing required key {field:?}"),
+            });
+        }
+    }
+    Ok(entry)
+}
+
+/// Strips a trailing `#` comment, honoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_string(value: &str, line: u32) -> Result<String, ParseError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected a double-quoted string, got {value}"),
+        })?;
+    // Unescape the two sequences the allowlist can need; anything else
+    // passes through literally.
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# workspace debt register
+[[allow]]
+lint = "panic-hygiene"
+path = "crates/engine/src/engine.rs"
+contains = "expect"  # message substring
+count = 2
+reason = "startup-time spawn failures are unrecoverable"
+
+[[allow]]
+lint = "lock-order"
+path = "crates/serve/src/*"
+reason = "gate ordering requires send under lock"
+"##;
+
+    #[test]
+    fn parses_entries() {
+        let list = Allowlist::parse(SAMPLE).expect("parses");
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].lint, "panic-hygiene");
+        assert_eq!(list.entries[0].count, Some(2));
+        assert_eq!(list.entries[0].contains.as_deref(), Some("expect"));
+        assert_eq!(list.entries[1].path, "crates/serve/src/*");
+        assert!(list.entries[1].count.is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = Allowlist::parse("[[allow]]\nlint = \"x\"\npath = \"y\"\n").unwrap_err();
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn apply_marks_allowed_and_reports_drift() {
+        let list = Allowlist::parse(SAMPLE).expect("parses");
+        let mut diags = vec![
+            Diagnostic::new(
+                "panic-hygiene",
+                "crates/engine/src/engine.rs",
+                10,
+                5,
+                "expect() in library code",
+            ),
+            Diagnostic::new(
+                "lock-order",
+                "crates/serve/src/server.rs",
+                20,
+                9,
+                "lock held across send",
+            ),
+            Diagnostic::new("panic-hygiene", "crates/obs/src/log.rs", 3, 1, "unwrap()"),
+        ];
+        list.apply(&mut diags);
+        assert!(diags[0].allowed);
+        assert!(diags[1].allowed);
+        assert!(!diags[2].allowed);
+        // count=2 but only 1 matched → drift note.
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == "allowlist" && d.message.contains("count drift")));
+    }
+
+    #[test]
+    fn stale_entries_are_noted() {
+        let list =
+            Allowlist::parse("[[allow]]\nlint = \"x\"\npath = \"gone.rs\"\nreason = \"old\"\n")
+                .expect("parses");
+        let mut diags = Vec::new();
+        list.apply(&mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("stale entry"));
+    }
+}

@@ -1,0 +1,166 @@
+//! marqsim-lint: the workspace static-analysis CLI.
+//!
+//! ```text
+//! cargo run -p marqsim-analysis --                 # lint the workspace
+//! cargo run -p marqsim-analysis -- --deny-warnings # CI mode: notes fail too
+//! cargo run -p marqsim-analysis -- --json report.json
+//! cargo run -p marqsim-analysis -- --lint lock-order --lint panic-hygiene
+//! cargo run -p marqsim-analysis -- --list
+//! ```
+//!
+//! Exit codes: 0 clean (modulo `analysis/allow.toml`), 1 findings,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use marqsim_analysis::diag::Severity;
+use marqsim_analysis::lint::{registry, run_lints};
+use marqsim_analysis::{Allowlist, Workspace};
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    deny_warnings: bool,
+    lints: Vec<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        // The binary lives two levels below the workspace root.
+        root: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        json: None,
+        deny_warnings: false,
+        lints: Vec::new(),
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                options.root = PathBuf::from(args.next().ok_or("--root requires a path argument")?);
+            }
+            "--json" => {
+                options.json = Some(PathBuf::from(
+                    args.next().ok_or("--json requires a path argument")?,
+                ));
+            }
+            "--deny-warnings" => options.deny_warnings = true,
+            "--lint" => {
+                options
+                    .lints
+                    .push(args.next().ok_or("--lint requires a lint name")?);
+            }
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "marqsim-lint: workspace static analysis\n\n\
+                     options:\n  \
+                     --root PATH        workspace root (default: this repo)\n  \
+                     --json PATH        write the machine-readable report\n  \
+                     --deny-warnings    exit non-zero on notes as well\n  \
+                     --lint NAME        run only the named lint (repeatable)\n  \
+                     --list             list available lints and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("marqsim-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.list {
+        for lint in registry() {
+            println!("{:<18} {}", lint.name(), lint.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let known: Vec<&'static str> = registry().iter().map(|l| l.name()).collect();
+    for name in &options.lints {
+        if !known.contains(&name.as_str()) {
+            eprintln!(
+                "marqsim-lint: unknown lint {name:?} (known: {})",
+                known.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let workspace = match Workspace::load(&options.root) {
+        Ok(workspace) => workspace,
+        Err(error) => {
+            eprintln!(
+                "marqsim-lint: cannot load workspace at {}: {error}",
+                options.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = options.root.join("analysis/allow.toml");
+    let allowlist = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(list) => list,
+            Err(error) => {
+                eprintln!("marqsim-lint: {error}");
+                return ExitCode::from(2);
+            }
+        },
+        // No allowlist simply means no exceptions.
+        Err(_) => Allowlist::default(),
+    };
+
+    let selected: Vec<&str> = options.lints.iter().map(String::as_str).collect();
+    let report = run_lints(
+        &workspace,
+        &allowlist,
+        (!selected.is_empty()).then_some(selected.as_slice()),
+    );
+
+    for diag in &report.diagnostics {
+        // Allowed findings are visible in the JSON report but kept out of
+        // the terminal stream — the point of the allowlist is a quiet run.
+        if !diag.allowed {
+            eprintln!("{diag}");
+        }
+    }
+
+    if let Some(path) = &options.json {
+        if let Err(error) = std::fs::write(path, report.to_json().render()) {
+            eprintln!("marqsim-lint: cannot write {}: {error}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let warnings = report
+        .active_findings()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    let notes = report
+        .active_findings()
+        .filter(|d| d.severity == Severity::Note)
+        .count();
+    eprintln!(
+        "marqsim-lint: {} files scanned, {warnings} warning(s), {notes} note(s)",
+        report.files_scanned
+    );
+
+    let failing = warnings > 0 || (options.deny_warnings && notes > 0);
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

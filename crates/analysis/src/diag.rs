@@ -1,0 +1,117 @@
+//! Diagnostics: what a lint reports, and how findings are rendered in the
+//! rustc-style `file:line:col` text form.
+
+use std::fmt;
+
+/// Finding severity. `Warn` findings fail the build under
+/// `--deny-warnings` unless allowlisted; `Note` findings are informational
+/// (e.g. an allowlist entry that no longer matches anything) but still
+/// fail under `--deny-warnings` so the allowlist cannot silently rot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warn,
+    Note,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One finding from one lint at one source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The lint that produced this, e.g. `lock-order`.
+    pub lint: &'static str,
+    /// Workspace-relative path (empty for whole-workspace findings such as
+    /// a documented-but-unimplemented env var).
+    pub file: String,
+    /// 1-based; 0 when the finding has no precise location.
+    pub line: u32,
+    pub col: u32,
+    pub severity: Severity,
+    pub message: String,
+    /// Set by allowlist matching after the lints run: an allowed finding
+    /// is reported in the JSON report but does not affect the exit code.
+    pub allowed: bool,
+}
+
+impl Diagnostic {
+    pub fn new(
+        lint: &'static str,
+        file: impl Into<String>,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            lint,
+            file: file.into(),
+            line,
+            col,
+            severity: Severity::Warn,
+            message: message.into(),
+            allowed: false,
+        }
+    }
+
+    pub fn note(
+        lint: &'static str,
+        file: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            lint,
+            file: file.into(),
+            line: 0,
+            col: 0,
+            severity: Severity::Note,
+            message: message.into(),
+            allowed: false,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.severity.as_str())?;
+        if self.allowed {
+            write!(f, " (allowed)")?;
+        }
+        write!(f, ": [{}] ", self.lint)?;
+        if !self.file.is_empty() {
+            write!(f, "{}", self.file)?;
+            if self.line > 0 {
+                write!(f, ":{}:{}", self.line, self.col)?;
+            }
+            write!(f, ": ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_style() {
+        let d = Diagnostic::new("lock-order", "crates/engine/src/pool.rs", 42, 9, "cycle");
+        assert_eq!(
+            d.to_string(),
+            "warning: [lock-order] crates/engine/src/pool.rs:42:9: cycle"
+        );
+        let mut d = d;
+        d.allowed = true;
+        assert!(d.to_string().starts_with("warning (allowed):"));
+        let n = Diagnostic::note("env-registry", "", "MARQSIM_GONE documented but unused");
+        assert_eq!(
+            n.to_string(),
+            "note: [env-registry] MARQSIM_GONE documented but unused"
+        );
+    }
+}

@@ -1,0 +1,541 @@
+//! A hand-rolled Rust lexer: comment-, string-, and char-literal-aware,
+//! producing a flat token stream with byte spans and line/column positions.
+//!
+//! This is deliberately *not* a full Rust parser. The lints in this crate
+//! work on token-pattern matching (`.lock` `(` `)`, `env` `::` `var` `(`
+//! `"…"` `)`, brace-matched regions), for which a correct token stream with
+//! faithful spans is sufficient — and a lexer, unlike a parser, can be
+//! exhaustively property-tested: for any input, the emitted spans must
+//! tile the source exactly (every byte is either inside exactly one token
+//! span or inside the whitespace/comment gap between two), and every
+//! token's recorded text must equal the source slice of its span. The
+//! `tests/lexer_props.rs` quickprop suite pins both invariants over
+//! generated source.
+//!
+//! Handled forms: line and (nested) block comments, doc comments, string
+//! literals with escapes, raw strings `r#"…"#` (any hash depth), byte and
+//! byte-raw strings, char literals (including `'\''` and `'\\'`),
+//! lifetimes (disambiguated from char literals), raw identifiers `r#ident`,
+//! numeric literals with underscores/exponents/suffixes, and multi-byte
+//! UTF-8 (columns count characters, not bytes).
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are not distinguished), including
+    /// raw identifiers (`r#fn` lexes as an `Ident` with text `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` (including `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal (integer or float, any base, any suffix).
+    Number,
+    /// A string literal of any flavor (`"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`). [`Token::str_value`] yields the inner text.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One lexed token: its class, its byte span in the source, and its
+/// 1-based line / column (column counts `char`s, matching rustc).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The source slice this token covers.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+
+    /// For [`TokenKind::Str`] tokens, the text between the quotes (escape
+    /// sequences are *not* decoded — the lints match plain substrings that
+    /// never contain escapes). `None` for any other kind.
+    pub fn str_value<'a>(&self, source: &'a str) -> Option<&'a str> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let text = self.text(source);
+        let open = text.find('"')?;
+        // The closing quote is the last `"`; raw strings additionally have
+        // their trailing hashes after it.
+        let close = text.rfind('"')?;
+        (close > open).then(|| &text[open + 1..close])
+    }
+}
+
+/// Lexes `source` into its token stream. Comments and whitespace are
+/// skipped (they form the gaps between token spans); unterminated strings
+/// or comments consume to end-of-input rather than erroring, so the lexer
+/// is total over arbitrary text.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/col. Only call on ASCII; for
+    /// multi-byte characters use [`advance_char`](Self::advance_char).
+    fn advance(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances one whole `char` (counts one column).
+    fn advance_char(&mut self) {
+        let c = self.src[self.pos..].chars().next().expect("in bounds");
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += c.len_utf8();
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.advance(),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) || !b.is_ascii() => self.ident_or_char(),
+                _ => self.punct(),
+            }
+        }
+        self.tokens
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.advance_char();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // `/*` already peeked; consume it, then track nesting.
+        self.advance();
+        self.advance();
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.advance();
+                self.advance();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.advance();
+                self.advance();
+            } else {
+                self.advance_char();
+            }
+        }
+    }
+
+    /// Dispatches the `r` / `b` / `br` / `rb`-prefixed literal forms and
+    /// raw identifiers. Returns `true` if it consumed a token; `false`
+    /// leaves the `r`/`b` to be lexed as a plain identifier start.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        let b0 = self.bytes[self.pos];
+        // r"…" / r#"…"# / r#ident
+        if b0 == b'r' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.advance();
+                    self.raw_string_body(0);
+                    self.emit(TokenKind::Str, start, line, col);
+                    return true;
+                }
+                Some(b'#') => {
+                    // Count hashes; a quote after them is a raw string, an
+                    // identifier character is a raw identifier.
+                    let mut hashes = 0usize;
+                    while self.peek(1 + hashes) == Some(b'#') {
+                        hashes += 1;
+                    }
+                    match self.peek(1 + hashes) {
+                        Some(b'"') => {
+                            self.advance(); // r
+                            for _ in 0..hashes {
+                                self.advance();
+                            }
+                            self.raw_string_body(hashes);
+                            self.emit(TokenKind::Str, start, line, col);
+                            return true;
+                        }
+                        Some(c) if hashes == 1 && is_ident_start(c) => {
+                            self.advance(); // r
+                            self.advance(); // #
+                            self.ident_tail();
+                            self.emit(TokenKind::Ident, start, line, col);
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+                _ => return false,
+            }
+        }
+        // b"…" / b'…' / br"…" / br#"…"#
+        if b0 == b'b' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.advance();
+                    self.string();
+                    // `string` emitted a token starting at the quote;
+                    // widen it to include the prefix.
+                    let token = self.tokens.last_mut().expect("string emitted");
+                    token.start = start;
+                    token.col = col;
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.advance();
+                    self.char_literal();
+                    let token = self.tokens.last_mut().expect("char emitted");
+                    token.start = start;
+                    token.col = col;
+                    return true;
+                }
+                Some(b'r') => {
+                    let mut hashes = 0usize;
+                    while self.peek(2 + hashes) == Some(b'#') {
+                        hashes += 1;
+                    }
+                    if self.peek(2 + hashes) == Some(b'"') {
+                        self.advance(); // b
+                        self.advance(); // r
+                        for _ in 0..hashes {
+                            self.advance();
+                        }
+                        self.raw_string_body(hashes);
+                        self.emit(TokenKind::Str, start, line, col);
+                        return true;
+                    }
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Consumes from the opening `"` of a raw string through the closing
+    /// `"` followed by `hashes` hash characters.
+    fn raw_string_body(&mut self, hashes: usize) {
+        debug_assert_eq!(self.bytes[self.pos], b'"');
+        self.advance();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut all = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    self.advance();
+                    for _ in 0..hashes {
+                        self.advance();
+                    }
+                    return;
+                }
+            }
+            self.advance_char();
+        }
+    }
+
+    /// A regular (escaped) string literal, starting at the opening quote.
+    fn string(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.advance(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.advance();
+                    if self.pos < self.bytes.len() {
+                        self.advance_char();
+                    }
+                }
+                b'"' => {
+                    self.advance();
+                    break;
+                }
+                _ => self.advance_char(),
+            }
+        }
+        self.emit(TokenKind::Str, start, line, col);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): a quote two
+    /// characters after the opening one (or an escape right after it)
+    /// means char literal.
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(),
+            Some(c) if is_ident_start(c) => {
+                // `'x'` is a char, `'xyz` a lifetime. Find where the
+                // identifier run ends; a quote there means char literal
+                // only if the run is exactly one character long.
+                let mut len = 1;
+                while self.peek(1 + len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(1 + len) == Some(b'\'') && len == 1 {
+                    self.char_literal();
+                } else {
+                    let start = self.pos;
+                    let (line, col) = (self.line, self.col);
+                    self.advance();
+                    self.ident_tail();
+                    self.emit(TokenKind::Lifetime, start, line, col);
+                }
+            }
+            _ => self.char_literal(),
+        }
+    }
+
+    /// A char literal starting at `'`: consumes through the closing quote,
+    /// honoring escapes (`'\''`, `'\\'`, `'\u{1F600}'`).
+    fn char_literal(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.advance(); // opening '
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.advance();
+                    if self.pos < self.bytes.len() {
+                        self.advance_char();
+                    }
+                }
+                b'\'' => {
+                    self.advance();
+                    break;
+                }
+                _ => self.advance_char(),
+            }
+        }
+        self.emit(TokenKind::Char, start, line, col);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        // Integer part (any base prefix rides along as ident-continue).
+        while self
+            .peek(0)
+            .is_some_and(|b| is_ident_continue(b) || b == b'.')
+        {
+            // `1..10` — the range dots are punctuation, not a float.
+            if self.bytes[self.pos] == b'.' {
+                if self.peek(1) == Some(b'.') {
+                    break;
+                }
+                // `1.method()` — a dot followed by an identifier start is
+                // a method call on an integer literal.
+                if self.peek(1).is_some_and(is_ident_start) {
+                    break;
+                }
+            }
+            // Exponent sign: `1e-9` / `1E+9`.
+            if (self.bytes[self.pos] == b'e' || self.bytes[self.pos] == b'E')
+                && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                && self.peek(2).is_some_and(|b| b.is_ascii_digit())
+            {
+                self.advance();
+                self.advance();
+                continue;
+            }
+            self.advance();
+        }
+        self.emit(TokenKind::Number, start, line, col);
+    }
+
+    fn ident_or_char(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.ident_tail();
+        self.emit(TokenKind::Ident, start, line, col);
+    }
+
+    /// Consumes an identifier run (start byte included); multi-byte
+    /// characters are accepted as continue characters (XID approximation:
+    /// good enough for source that compiles).
+    fn ident_tail(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if is_ident_continue(b) {
+                self.advance();
+            } else if !b.is_ascii() {
+                self.advance_char();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.advance_char();
+        self.emit(TokenKind::Punct, start, line, col);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_confused() {
+        let src = r#"let a = "// not a comment"; // real "not a string"
+        /* block "quote" /* nested */ still comment */ b"#;
+        let toks = kinds(src);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[3].1, "\"// not a comment\"");
+        assert_eq!(toks.last().unwrap().1, "b");
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r##"r"plain" r#"with "quote" inside"# br#"bytes"#"##;
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert!(toks.iter().all(|(k, _)| *k == TokenKind::Str));
+        let lexed = lex(src);
+        assert_eq!(lexed[1].str_value(src), Some("with \"quote\" inside"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "'a 'static '_ 'x' '\\'' '\\\\' b'z'";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#fn r#type normal");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "normal".into()));
+    }
+
+    #[test]
+    fn numbers_with_everything() {
+        let toks = kinds("0xFF_u8 1_000 2.5e-9 1..10 3.max(4)");
+        assert_eq!(toks[0], (TokenKind::Number, "0xFF_u8".into()));
+        assert_eq!(toks[1], (TokenKind::Number, "1_000".into()));
+        assert_eq!(toks[2], (TokenKind::Number, "2.5e-9".into()));
+        assert_eq!(toks[3], (TokenKind::Number, "1".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[6], (TokenKind::Number, "10".into()));
+        assert_eq!(toks[7], (TokenKind::Number, "3".into()));
+        assert_eq!(toks[8], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[9], (TokenKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let src = "ab\n  cd \"é\" x";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        // The 2-byte é counts as one column inside the string.
+        let x = toks.last().unwrap();
+        assert_eq!((x.line, x.col), (2, 10));
+        assert_eq!(x.text(src), "x");
+    }
+
+    #[test]
+    fn unterminated_forms_consume_to_eof_without_panicking() {
+        for src in ["\"abc", "'", "/* never closed", "r#\"open", "b\"oops"] {
+            let toks = lex(src);
+            assert!(toks.len() <= 1, "{src:?} lexes totally");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! marqsim-analysis: workspace-specific static analysis.
+//!
+//! This crate is the lint engine behind `cargo run -p marqsim-analysis`
+//! (the `marqsim-lint` binary). It is deliberately dependency-free — no
+//! syn, no proc-macro2 — so it builds and runs even when the rest of the
+//! workspace does not, and so the lint layer can never be the thing that
+//! drags in a supply chain. Instead of a full parser it uses a hand-rolled
+//! span-aware [`lexer`] plus token-pattern matching, which is exactly
+//! enough for the workspace-specific properties checked here:
+//!
+//! - [`lints::lock_order`] — reconstructs the workspace lock graph from
+//!   `.lock()` / `.read()` / `.write()` call sites, propagates acquisitions
+//!   inter-procedurally, and flags cycles (potential deadlocks) plus locks
+//!   held across thread-pool / channel-send boundaries.
+//! - [`lints::panic_hygiene`] — `unwrap()` / `expect()` / `panic!` in
+//!   non-test library code, with existing debt enumerated (not hidden) in
+//!   the checked-in allowlist `analysis/allow.toml`.
+//! - [`lints::env_registry`] — every `MARQSIM_*` env var must be read
+//!   through a designated config module and documented, and every
+//!   documented var must still exist in code.
+//! - [`lints::telemetry_names`] — metric and span names at `obs` call
+//!   sites must match the naming grammar and the `docs/observability.md`
+//!   catalog, both ways.
+//! - [`lints::protocol_doc`] — serve verbs and events in `protocol.rs`
+//!   must match `docs/serve-protocol.md` and be exercised by tests.
+//!
+//! The static pass is complemented by a *runtime* witness in
+//! `marqsim-obs` (`obs::lockcheck`): a debug-assertions-only lock-order
+//! checker wired into the same locks the static lint models, so the
+//! stress suites dynamically validate what the static pass claims.
+//!
+//! See `docs/analysis.md` for the lint catalog, the allowlist format, and
+//! how to add a lint.
+
+pub mod allow;
+pub mod diag;
+pub mod json;
+pub mod lexer;
+pub mod lint;
+pub mod lints;
+pub mod source;
+
+pub use allow::Allowlist;
+pub use diag::{Diagnostic, Severity};
+pub use lint::{run_lints, LintSink, Report};
+pub use source::{FileKind, SourceFile, Workspace};

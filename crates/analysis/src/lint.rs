@@ -1,0 +1,150 @@
+//! The `Lint` trait, the registry, and the engine driver that runs every
+//! lint over a loaded workspace and folds the allowlist in.
+
+use crate::allow::Allowlist;
+use crate::diag::{Diagnostic, Severity};
+use crate::json::Json;
+use crate::lints;
+use crate::source::Workspace;
+
+/// A single analysis pass. Implementations live in [`crate::lints`]; to
+/// add one, implement this trait and add it to [`registry`] (see
+/// `docs/analysis.md` for the walkthrough).
+pub trait Lint {
+    /// Stable kebab-case name used in diagnostics, `--lint` filters, and
+    /// `allow.toml` entries.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Scans the workspace, reporting findings into `sink`.
+    fn check(&self, workspace: &Workspace, sink: &mut LintSink);
+}
+
+/// Collects findings and structured report sections from lints.
+#[derive(Debug, Default)]
+pub struct LintSink {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Named JSON sections merged into the report — e.g. the lock-order
+    /// lint contributes `lock_graph` so tooling can consume the
+    /// reconstructed graph without re-parsing diagnostics.
+    pub sections: Vec<(&'static str, Json)>,
+}
+
+impl LintSink {
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diagnostics.push(diag);
+    }
+
+    pub fn section(&mut self, name: &'static str, value: Json) {
+        self.sections.push((name, value));
+    }
+}
+
+/// Every lint, in the order they run and report.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(lints::lock_order::LockOrder),
+        Box::new(lints::panic_hygiene::PanicHygiene),
+        Box::new(lints::env_registry::EnvRegistry),
+        Box::new(lints::telemetry_names::TelemetryNames),
+        Box::new(lints::protocol_doc::ProtocolDoc),
+    ]
+}
+
+/// The result of a full lint run.
+#[derive(Debug)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub sections: Vec<(&'static str, Json)>,
+    /// Files scanned, for the report header.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that should affect the exit code: anything not allowlisted.
+    /// (Notes count — a stale allowlist entry is actionable drift.)
+    pub fn active_findings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.allowed)
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.active_findings().next().is_none()
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> Json {
+        let diags = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("lint", Json::str(d.lint)),
+                    ("file", Json::str(&d.file)),
+                    ("line", Json::num(d.line)),
+                    ("col", Json::num(d.col)),
+                    ("severity", Json::str(d.severity.as_str())),
+                    ("allowed", Json::Bool(d.allowed)),
+                    ("message", Json::str(&d.message)),
+                ])
+            })
+            .collect();
+        let mut pairs = vec![
+            ("tool", Json::str("marqsim-lint")),
+            ("files_scanned", Json::num(self.files_scanned as u32)),
+            (
+                "findings",
+                Json::num(self.diagnostics.iter().filter(|d| !d.allowed).count() as u32),
+            ),
+            (
+                "allowed",
+                Json::num(self.diagnostics.iter().filter(|d| d.allowed).count() as u32),
+            ),
+            ("clean", Json::Bool(self.is_clean())),
+            ("diagnostics", Json::Arr(diags)),
+        ];
+        for (name, value) in &self.sections {
+            pairs.push((name, value.clone()));
+        }
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Runs `selected` lints (all from [`registry`] when `None`) over the
+/// workspace and applies the allowlist.
+pub fn run_lints(
+    workspace: &Workspace,
+    allowlist: &Allowlist,
+    selected: Option<&[&str]>,
+) -> Report {
+    let mut sink = LintSink::default();
+    for lint in registry() {
+        if selected.is_some_and(|names| !names.contains(&lint.name())) {
+            continue;
+        }
+        lint.check(workspace, &mut sink);
+    }
+    allowlist.apply(&mut sink.diagnostics);
+    // Stable order: by file, then line, then lint name; notes last within
+    // a location. Keeps output and JSON reports diffable.
+    sink.diagnostics.sort_by(|a, b| {
+        (
+            a.file.as_str(),
+            a.line,
+            a.col,
+            a.lint,
+            a.severity == Severity::Note,
+        )
+            .cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.col,
+                b.lint,
+                b.severity == Severity::Note,
+            ))
+    });
+    Report {
+        diagnostics: sink.diagnostics,
+        sections: sink.sections,
+        files_scanned: workspace.files.len(),
+    }
+}

@@ -1,0 +1,195 @@
+//! Env-var registry: the `MARQSIM_*` environment surface must stay
+//! coherent in both directions —
+//!
+//! - every `env::var("MARQSIM_…")` read must live in a designated config
+//!   module (ad-hoc reads scattered through the codebase are how two
+//!   subsystems end up parsing the same variable differently), and
+//! - every variable read in non-test code must be documented in README /
+//!   `docs/`, and every variable the docs promise must still exist in
+//!   code.
+//!
+//! The designated config modules are the per-subsystem entry points that
+//! already own environment parsing. A new module earns its place here by
+//! being the *single* place its subsystem reads configuration.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::lint::{Lint, LintSink};
+use crate::source::Workspace;
+
+const LINT: &str = "env-registry";
+
+/// Files allowed to call `env::var` on a `MARQSIM_*` name.
+const CONFIG_MODULES: &[&str] = &[
+    "crates/engine/src/engine.rs",
+    "crates/obs/src/log.rs",
+    "crates/obs/src/trace.rs",
+    "crates/serve/src/bin/marqsim_served.rs",
+    "crates/bench/src/lib.rs",
+];
+
+/// Built at runtime so this lint's own source does not register as an
+/// env-var mention when the workspace scans itself.
+fn prefix() -> String {
+    ["MARQ", "SIM_"].concat()
+}
+
+pub struct EnvRegistry;
+
+impl Lint for EnvRegistry {
+    fn name(&self) -> &'static str {
+        LINT
+    }
+
+    fn description(&self) -> &'static str {
+        "MARQSIM_* env reads must go through a config module and match the documented registry"
+    }
+
+    fn check(&self, workspace: &Workspace, sink: &mut LintSink) {
+        let prefix = prefix();
+        // Var -> first read site in non-test code.
+        let mut reads: BTreeMap<String, (String, u32, u32)> = BTreeMap::new();
+        // Vars mentioned as string literals anywhere in code (incl. tests).
+        let mut mentioned: BTreeSet<String> = BTreeSet::new();
+
+        for file in &workspace.files {
+            for (i, tok) in file.tokens.iter().enumerate() {
+                if tok.kind != TokenKind::Str {
+                    continue;
+                }
+                let Some(value) = tok.str_value(&file.text) else {
+                    continue;
+                };
+                let Some(var) = parse_var(value, &prefix) else {
+                    continue;
+                };
+                mentioned.insert(var.clone());
+                if file.is_test_code(tok.start) {
+                    continue;
+                }
+                // A *read* is the literal appearing as the argument of
+                // `var(…)` / `var_os(…)` / `remove_var(…)` / `set_var(…)`.
+                let is_env_call = i >= 2
+                    && file.tokens[i - 1].kind == TokenKind::Punct
+                    && file.tokens[i - 1].text(&file.text) == "("
+                    && file.tokens[i - 2].kind == TokenKind::Ident
+                    && matches!(
+                        file.tokens[i - 2].text(&file.text),
+                        "var" | "var_os" | "set_var" | "remove_var"
+                    );
+                if is_env_call {
+                    reads
+                        .entry(var)
+                        .or_insert((file.rel.clone(), tok.line, tok.col));
+                    if !CONFIG_MODULES.contains(&file.rel.as_str()) {
+                        sink.push(Diagnostic::new(
+                            LINT,
+                            &file.rel,
+                            tok.line,
+                            tok.col,
+                            format!(
+                                "env read of `{}` outside a config module — route it through \
+                                 one of: {}",
+                                tok.str_value(&file.text).unwrap_or_default(),
+                                CONFIG_MODULES.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Vars the docs promise.
+        let mut documented: BTreeSet<String> = BTreeSet::new();
+        for doc in &workspace.docs {
+            scan_doc_vars(&doc.text, &prefix, &mut documented);
+        }
+
+        for (var, (file, line, col)) in &reads {
+            if !documented.contains(var) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    file.as_str(),
+                    *line,
+                    *col,
+                    format!("env var `{var}` is read but not documented in README/docs"),
+                ));
+            }
+        }
+        for var in &documented {
+            if !mentioned.contains(var) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    "",
+                    0,
+                    0,
+                    format!("env var `{var}` is documented but no longer exists in code"),
+                ));
+            }
+        }
+    }
+}
+
+/// Accepts a string literal that *is* a var name (`MARQSIM_THREADS`),
+/// rejecting prose that merely starts with the prefix.
+fn parse_var(value: &str, prefix: &str) -> Option<String> {
+    let rest = value.strip_prefix(prefix)?;
+    if rest.is_empty()
+        || !rest
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+    {
+        return None;
+    }
+    Some(value.to_string())
+}
+
+/// Extracts every `MARQSIM_<NAME>` occurrence from Markdown text.
+fn scan_doc_vars(text: &str, prefix: &str, out: &mut BTreeSet<String>) {
+    let mut rest = text;
+    while let Some(at) = rest.find(prefix) {
+        let tail = &rest[at + prefix.len()..];
+        let len = tail
+            .find(|c: char| !(c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'))
+            .unwrap_or(tail.len());
+        let name = tail[..len].trim_end_matches('_');
+        if !name.is_empty() {
+            out.insert(format!("{prefix}{name}"));
+        }
+        rest = &rest[at + prefix.len()..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_name_parsing() {
+        let p = prefix();
+        assert_eq!(
+            parse_var("MARQSIM_THREADS", &p).as_deref(),
+            Some("MARQSIM_THREADS")
+        );
+        assert!(parse_var("MARQSIM_", &p).is_none());
+        assert!(parse_var("MARQSIM_THREADS: set this", &p).is_none());
+        assert!(parse_var("OTHER_THREADS", &p).is_none());
+    }
+
+    #[test]
+    fn doc_scanning_finds_vars_in_prose_and_tables() {
+        let mut out = BTreeSet::new();
+        scan_doc_vars(
+            "| `MARQSIM_TRACE` | path | Set MARQSIM_LOG=debug. (MARQSIM_CACHE_CAP)",
+            &prefix(),
+            &mut out,
+        );
+        let vars: Vec<_> = out.iter().cloned().collect();
+        assert_eq!(
+            vars,
+            vec!["MARQSIM_CACHE_CAP", "MARQSIM_LOG", "MARQSIM_TRACE"]
+        );
+    }
+}

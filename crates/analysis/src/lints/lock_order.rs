@@ -1,0 +1,673 @@
+//! Lock-order analysis: reconstructs the workspace lock graph from
+//! `.lock()` / `.read()` / `.write()` call sites and reports potential
+//! deadlocks.
+//!
+//! The pass works in four stages:
+//!
+//! 1. **Acquisition sites.** Every zero-argument `.lock()` / `.read()` /
+//!    `.write()` call in non-test code is an acquisition. The receiver
+//!    chain is walked backwards to a naming identifier (the lock field or
+//!    static), qualified as `<crate>/<file_stem>.<ident>` — e.g. the pool
+//!    injector mutex is `engine/pool.state`, the trace sink
+//!    `obs/trace.SINK`. An indexed receiver (`self.shards[i].lock()`)
+//!    marks the lock as an *indexed family* whose members are ordered by
+//!    index (the ascending-acquisition convention; see `docs/analysis.md`).
+//! 2. **Guard liveness.** Each acquisition's held region is derived from
+//!    the binding form: a `let guard = …` binding lives until an explicit
+//!    `drop(guard)` or the end of its enclosing block; an `if let` /
+//!    `while let` header binding lives for the following block; an
+//!    unbound temporary lives to the end of its statement.
+//! 3. **Inter-procedural propagation.** A may-acquire set is computed per
+//!    function and closed over the call graph (`self.method(…)` resolves
+//!    within the defining file; free and `Path::fn` calls resolve to the
+//!    unique workspace definition). An acquisition of `B` — direct or via
+//!    a call — while `A` is held adds the edge `A → B`.
+//! 4. **Verdicts.** Cycles in the lock graph are potential deadlocks.
+//!    A repeated acquisition of the same non-indexed lock inside its own
+//!    region is a self-deadlock. Any lock held across a blocking handoff
+//!    boundary (`.send(…)`, `.execute(…)`, `.spawn(…)`) is flagged —
+//!    even when the channel is unbounded today, holding a lock across a
+//!    handoff couples the lock to a foreign subsystem's liveness.
+//!
+//! The reconstructed graph is attached to the JSON report as the
+//! `lock_graph` section (nodes, edges, cycles) so the self-scan test can
+//! assert the engine's real lock graph — pool injector, cache shards,
+//! trace sink — is reproduced with no cycles.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::json::Json;
+use crate::lexer::TokenKind;
+use crate::lint::{Lint, LintSink};
+use crate::source::{SourceFile, Workspace};
+
+const LINT: &str = "lock-order";
+
+/// Zero-argument methods that acquire a blocking lock.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Call names that hand work to another subsystem while potentially
+/// blocking or coupling liveness: channel sends, pool submission, thread
+/// spawning.
+const BOUNDARY_METHODS: &[&str] = &["send", "execute", "execute_at", "spawn"];
+
+pub struct LockOrder;
+
+/// One lock acquisition: the lock's qualified name, whether the receiver
+/// was indexed (`shards[i]`), the acquisition token, and the token range
+/// over which the guard is held.
+#[derive(Debug)]
+struct Acquisition {
+    name: String,
+    indexed: bool,
+    site: usize,
+    region_end: usize,
+}
+
+/// A call site inside a function body, pre-resolution.
+#[derive(Debug)]
+struct CallSite {
+    callee: String,
+    site: usize,
+    /// `self.callee(…)` — resolves within the defining file only.
+    via_self: bool,
+}
+
+/// Per-function analysis state, keyed by `(file index, function index)`.
+#[derive(Debug, Default)]
+struct FnInfo {
+    acquisitions: Vec<Acquisition>,
+    calls: Vec<CallSite>,
+}
+
+impl Lint for LockOrder {
+    fn name(&self) -> &'static str {
+        LINT
+    }
+
+    fn description(&self) -> &'static str {
+        "reconstructs the lock graph from .lock()/.read()/.write() sites; \
+         flags cycles, recursive acquisition, and locks held across \
+         send/execute/spawn boundaries"
+    }
+
+    fn check(&self, workspace: &Workspace, sink: &mut LintSink) {
+        let mut infos: BTreeMap<(usize, usize), FnInfo> = BTreeMap::new();
+        // Which lock families are indexed (receiver was subscripted
+        // anywhere): indexed families are ordered by index, so a
+        // same-family nested acquisition is convention, not a cycle.
+        let mut indexed_families: BTreeSet<String> = BTreeSet::new();
+        // name -> total acquisition sites, for the report.
+        let mut site_counts: BTreeMap<String, usize> = BTreeMap::new();
+
+        for (file_idx, file) in workspace.files.iter().enumerate() {
+            if file.kind.is_test_like() {
+                continue;
+            }
+            let owners = token_owners(file);
+            for (fn_idx, function) in file.functions.iter().enumerate() {
+                let mut info = FnInfo::default();
+                collect_function(
+                    file,
+                    fn_idx,
+                    function.body_open,
+                    function.body_close,
+                    &owners,
+                    &mut info,
+                );
+                for acq in &info.acquisitions {
+                    if acq.indexed {
+                        indexed_families.insert(acq.name.clone());
+                    }
+                    *site_counts.entry(acq.name.clone()).or_default() += 1;
+                }
+                infos.insert((file_idx, fn_idx), info);
+            }
+        }
+
+        let may_acquire = fixpoint_may_acquire(workspace, &infos);
+
+        // Edge set: (from, to) -> first witnessing site "file:line".
+        let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
+        for ((file_idx, _fn_idx), info) in &infos {
+            let file = &workspace.files[*file_idx];
+            for acq in &info.acquisitions {
+                // Nested direct acquisitions inside this guard's region.
+                for other in &info.acquisitions {
+                    if other.site > acq.site && other.site <= acq.region_end {
+                        record_edge(&mut edges, file, other.site, &acq.name, &other.name);
+                        if acq.name == other.name && !indexed_families.contains(&acq.name) {
+                            let tok = &file.tokens[other.site];
+                            sink.push(Diagnostic::new(
+                                LINT,
+                                &file.rel,
+                                tok.line,
+                                tok.col,
+                                format!(
+                                    "lock `{}` re-acquired while already held — \
+                                     self-deadlock on a non-reentrant mutex",
+                                    acq.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // Acquisitions reachable through calls made under the guard.
+                for call in &info.calls {
+                    if call.site <= acq.site || call.site > acq.region_end {
+                        continue;
+                    }
+                    if let Some(callee_key) = resolve_call(workspace, *file_idx, call) {
+                        if let Some(locks) = may_acquire.get(&callee_key) {
+                            for lock in locks {
+                                record_edge(&mut edges, file, call.site, &acq.name, lock);
+                            }
+                        }
+                    }
+                }
+                // Handoff boundaries crossed while the guard is held.
+                for boundary in boundary_sites(file, acq.site + 1, acq.region_end) {
+                    let tok = &file.tokens[boundary];
+                    sink.push(Diagnostic::new(
+                        LINT,
+                        &file.rel,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "lock `{}` held across `.{}(` — a handoff boundary \
+                             couples the critical section to another subsystem's liveness",
+                            acq.name,
+                            file.token_text(boundary),
+                        ),
+                    ));
+                }
+            }
+        }
+
+        let cycles = find_cycles(&edges, &indexed_families);
+        for cycle in &cycles {
+            let path = cycle.join(" -> ");
+            let first_edge = (cycle[0].clone(), cycle[1 % cycle.len()].clone());
+            let site = edges.get(&first_edge).cloned().unwrap_or_default();
+            let (file, line) = split_site(&site);
+            sink.push(Diagnostic::new(
+                LINT,
+                file,
+                line,
+                1,
+                format!(
+                    "lock-order cycle (potential deadlock): {path} -> {}",
+                    cycle[0]
+                ),
+            ));
+        }
+
+        sink.section(
+            "lock_graph",
+            graph_json(&site_counts, &indexed_families, &edges, &cycles),
+        );
+    }
+}
+
+/// Maps each token index to the innermost function containing it (outer
+/// entries span nested `fn` items; processing by descending body size
+/// lets the innermost overwrite).
+fn token_owners(file: &SourceFile) -> Vec<Option<usize>> {
+    let mut owners = vec![None; file.tokens.len()];
+    let mut order: Vec<usize> = (0..file.functions.len()).collect();
+    order.sort_by_key(|&i| {
+        let f = &file.functions[i];
+        std::cmp::Reverse(f.body_close - f.body_open)
+    });
+    for idx in order {
+        let f = &file.functions[idx];
+        for slot in owners.iter_mut().take(f.body_close + 1).skip(f.body_open) {
+            *slot = Some(idx);
+        }
+    }
+    owners
+}
+
+fn text(file: &SourceFile, i: usize) -> &str {
+    file.tokens[i].text(&file.text)
+}
+
+fn is_punct(file: &SourceFile, i: usize, s: &str) -> bool {
+    file.tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(&file.text) == s)
+}
+
+fn is_ident(file: &SourceFile, i: usize) -> bool {
+    file.tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident)
+}
+
+/// Scans one function body for acquisitions and call sites, skipping
+/// tokens owned by nested `fn` items (they are analyzed as their own
+/// functions) and `#[cfg(test)]` regions.
+fn collect_function(
+    file: &SourceFile,
+    fn_idx: usize,
+    body_open: usize,
+    body_close: usize,
+    owners: &[Option<usize>],
+    info: &mut FnInfo,
+) {
+    let mut i = body_open + 1;
+    while i < body_close {
+        if owners[i] != Some(fn_idx) {
+            i += 1;
+            continue;
+        }
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        if file.is_test_code(tok.start) {
+            i += 1;
+            continue;
+        }
+        let name = text(file, i);
+        // `.lock()` / `.read()` / `.write()` with no arguments: the
+        // zero-arg requirement is what separates RwLock/Mutex acquisition
+        // from io::Read::read(&mut buf) and friends.
+        if ACQUIRE_METHODS.contains(&name)
+            && is_punct(file, i - 1, ".")
+            && is_punct(file, i + 1, "(")
+            && is_punct(file, i + 2, ")")
+        {
+            if let Some((lock_name, indexed)) = resolve_receiver(file, i - 1) {
+                let region_end = guard_region_end(file, i, body_close);
+                info.acquisitions.push(Acquisition {
+                    name: format!("{}/{}.{}", file.crate_name, file.stem(), lock_name),
+                    indexed,
+                    site: i,
+                    region_end,
+                });
+            }
+            i += 3;
+            continue;
+        }
+        // Call sites: `name(` that is not a macro (`name!(`).
+        if is_punct(file, i + 1, "(") {
+            let via_self = is_punct(file, i - 1, ".")
+                && is_ident(file, i - 2)
+                && text(file, i - 2) == "self"
+                && !is_punct(file, i - 3, ".");
+            let via_path = is_punct(file, i - 1, ":") && is_punct(file, i - 2, ":");
+            let method_on_other = is_punct(file, i - 1, ".") && !via_self;
+            let keyword = matches!(name, "if" | "while" | "match" | "for" | "return" | "fn");
+            if !method_on_other && !keyword {
+                // Free calls, `self.m(…)`, and `Path::f(…)` are resolvable;
+                // `expr.m(…)` is not (no type information).
+                let _ = via_path;
+                info.calls.push(CallSite {
+                    callee: name.to_string(),
+                    site: i,
+                    via_self,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Walks the receiver chain backwards from the `.` that precedes the
+/// acquisition method and returns the naming identifier plus whether the
+/// receiver was indexed. `self.state` → `state`; `self.shards[i]` →
+/// (`shards`, indexed); `SINK` → `SINK`; `io::stdout()` → `stdout`.
+fn resolve_receiver(file: &SourceFile, dot: usize) -> Option<(String, bool)> {
+    let mut j = dot.checked_sub(1)?;
+    let mut indexed = false;
+    loop {
+        if is_punct(file, j, "]") {
+            // Skip the subscript backwards to its `[`.
+            indexed = true;
+            let mut depth = 0usize;
+            loop {
+                if is_punct(file, j, "]") {
+                    depth += 1;
+                } else if is_punct(file, j, "[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        if is_punct(file, j, ")") {
+            // Receiver is a call result (`io::stdout().lock()`): name the
+            // lock after the producing call.
+            let mut depth = 0usize;
+            loop {
+                if is_punct(file, j, ")") {
+                    depth += 1;
+                } else if is_punct(file, j, "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        if is_ident(file, j) {
+            let name = text(file, j);
+            if name == "self" {
+                return None;
+            }
+            return Some((name.to_string(), indexed));
+        }
+        return None;
+    }
+}
+
+/// Determines where the guard produced by the acquisition at `site` dies.
+fn guard_region_end(file: &SourceFile, site: usize, body_close: usize) -> usize {
+    // Find the start of the statement: the token after the previous `;`,
+    // `{`, or `}` (expression-block receivers are rare enough to accept
+    // the approximation).
+    let mut start = site;
+    while start > 0 {
+        let t = &file.tokens[start - 1];
+        if t.kind == TokenKind::Punct && matches!(t.text(&file.text), ";" | "{" | "}") {
+            break;
+        }
+        start -= 1;
+    }
+    let starts_with = |offset: usize, word: &str| {
+        file.tokens
+            .get(start + offset)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(&file.text) == word)
+    };
+    // `if let` / `while let` header: the guard lives for the block that
+    // follows the header.
+    if (starts_with(0, "if") || starts_with(0, "while")) && starts_with(1, "let") {
+        let mut k = site;
+        let mut depth = 0isize;
+        while k <= body_close {
+            if is_punct(file, k, "(") || is_punct(file, k, "[") {
+                depth += 1;
+            } else if is_punct(file, k, ")") || is_punct(file, k, "]") {
+                depth -= 1;
+            } else if is_punct(file, k, "{") && depth == 0 {
+                return crate::source::matching_brace(&file.tokens, &file.text, k);
+            }
+            k += 1;
+        }
+        return body_close;
+    }
+    // `let guard = …`: until `drop(guard)` or the end of the enclosing
+    // block, whichever comes first.
+    if starts_with(0, "let") {
+        let mut name_at = start + 1;
+        if starts_with(1, "mut") {
+            name_at += 1;
+        }
+        if is_ident(file, name_at) {
+            let guard = text(file, name_at).to_string();
+            // Enclosing block end: the first `}` that closes a brace
+            // opened before this statement.
+            let mut depth = 0isize;
+            let mut block_end = body_close;
+            let mut k = site;
+            while k <= body_close {
+                if is_punct(file, k, "{") {
+                    depth += 1;
+                } else if is_punct(file, k, "}") {
+                    depth -= 1;
+                    if depth < 0 {
+                        block_end = k;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            // Explicit early drop.
+            let mut k = site;
+            while k + 3 <= block_end {
+                if is_ident(file, k)
+                    && text(file, k) == "drop"
+                    && is_punct(file, k + 1, "(")
+                    && is_ident(file, k + 2)
+                    && text(file, k + 2) == guard
+                    && is_punct(file, k + 3, ")")
+                {
+                    return k;
+                }
+                k += 1;
+            }
+            return block_end;
+        }
+    }
+    // Unbound temporary: held to the end of the statement.
+    let mut depth = 0isize;
+    let mut k = site;
+    while k <= body_close {
+        if is_punct(file, k, "(") || is_punct(file, k, "[") || is_punct(file, k, "{") {
+            depth += 1;
+        } else if is_punct(file, k, ")") || is_punct(file, k, "]") {
+            depth -= 1;
+        } else if is_punct(file, k, "}") {
+            depth -= 1;
+            if depth < 0 {
+                return k;
+            }
+        } else if is_punct(file, k, ";") && depth <= 0 {
+            return k;
+        }
+        k += 1;
+    }
+    body_close
+}
+
+/// Handoff-boundary call sites (`.send(` / `.execute(` / `::spawn(` …)
+/// in the token range.
+fn boundary_sites(file: &SourceFile, from: usize, to: usize) -> Vec<usize> {
+    let mut sites = Vec::new();
+    for i in from..=to.min(file.tokens.len().saturating_sub(2)) {
+        if file.tokens[i].kind == TokenKind::Ident
+            && BOUNDARY_METHODS.contains(&text(file, i))
+            && is_punct(file, i + 1, "(")
+            && (is_punct(file, i - 1, ".") || is_punct(file, i - 1, ":"))
+        {
+            sites.push(i);
+        }
+    }
+    sites
+}
+
+/// Resolves a call site to the `(file, fn)` key of its unique definition,
+/// or `None` when ambiguous/unknown. `self.m(…)` resolves within the
+/// defining file; free and path calls try the same file, then a unique
+/// match in the same crate, then a unique match workspace-wide.
+fn resolve_call(workspace: &Workspace, file_idx: usize, call: &CallSite) -> Option<(usize, usize)> {
+    let same_file: Vec<(usize, usize)> = workspace.files[file_idx]
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == call.callee)
+        .map(|(i, _)| (file_idx, i))
+        .collect();
+    if same_file.len() == 1 {
+        return Some(same_file[0]);
+    }
+    if call.via_self || !same_file.is_empty() {
+        return None;
+    }
+    let crate_name = &workspace.files[file_idx].crate_name;
+    let mut in_crate = Vec::new();
+    let mut anywhere = Vec::new();
+    for (fi, file) in workspace.files.iter().enumerate() {
+        if file.kind.is_test_like() {
+            continue;
+        }
+        for (gi, f) in file.functions.iter().enumerate() {
+            if f.name == call.callee {
+                anywhere.push((fi, gi));
+                if &file.crate_name == crate_name {
+                    in_crate.push((fi, gi));
+                }
+            }
+        }
+    }
+    if in_crate.len() == 1 {
+        return Some(in_crate[0]);
+    }
+    if anywhere.len() == 1 {
+        return Some(anywhere[0]);
+    }
+    None
+}
+
+/// Closes the per-function direct-acquisition sets over the call graph.
+fn fixpoint_may_acquire(
+    workspace: &Workspace,
+    infos: &BTreeMap<(usize, usize), FnInfo>,
+) -> BTreeMap<(usize, usize), BTreeSet<String>> {
+    let mut sets: BTreeMap<(usize, usize), BTreeSet<String>> = infos
+        .iter()
+        .map(|(key, info)| {
+            (
+                *key,
+                info.acquisitions.iter().map(|a| a.name.clone()).collect(),
+            )
+        })
+        .collect();
+    let resolved: BTreeMap<(usize, usize), Vec<(usize, usize)>> = infos
+        .iter()
+        .map(|(key, info)| {
+            (
+                *key,
+                info.calls
+                    .iter()
+                    .filter_map(|c| resolve_call(workspace, key.0, c))
+                    .collect(),
+            )
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (key, callees) in &resolved {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in callees {
+                if callee == key {
+                    continue;
+                }
+                if let Some(locks) = sets.get(callee) {
+                    add.extend(locks.iter().cloned());
+                }
+            }
+            let entry = sets.entry(*key).or_default();
+            for lock in add {
+                changed |= entry.insert(lock);
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+fn record_edge(
+    edges: &mut BTreeMap<(String, String), String>,
+    file: &SourceFile,
+    site: usize,
+    from: &str,
+    to: &str,
+) {
+    let tok = &file.tokens[site];
+    edges
+        .entry((from.to_string(), to.to_string()))
+        .or_insert_with(|| format!("{}:{}", file.rel, tok.line));
+}
+
+fn split_site(site: &str) -> (String, u32) {
+    match site.rsplit_once(':') {
+        Some((file, line)) => (file.to_string(), line.parse().unwrap_or(0)),
+        None => (site.to_string(), 0),
+    }
+}
+
+/// Finds elementary cycles by DFS self-reachability; a self-edge on an
+/// indexed family is the ascending-index convention, not a cycle.
+fn find_cycles(
+    edges: &BTreeMap<(String, String), String>,
+    indexed_families: &BTreeSet<String>,
+) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        if from == to && indexed_families.contains(from) {
+            continue;
+        }
+        adj.entry(from).or_default().push(to);
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_sets: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for &start in adj.keys() {
+        // DFS looking for a path back to `start`.
+        let mut stack = vec![(start, vec![start.to_string()])];
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            for &next in adj.get(node).into_iter().flatten() {
+                if next == start {
+                    let set: BTreeSet<String> = path.iter().cloned().collect();
+                    if seen_sets.insert(set) {
+                        cycles.push(path.clone());
+                    }
+                } else if visited.insert(next) {
+                    let mut p = path.clone();
+                    p.push(next.to_string());
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    cycles
+}
+
+fn graph_json(
+    site_counts: &BTreeMap<String, usize>,
+    indexed_families: &BTreeSet<String>,
+    edges: &BTreeMap<(String, String), String>,
+    cycles: &[Vec<String>],
+) -> Json {
+    let nodes = site_counts
+        .iter()
+        .map(|(name, count)| {
+            Json::obj([
+                ("name", Json::str(name.as_str())),
+                ("indexed", Json::Bool(indexed_families.contains(name))),
+                ("acquisition_sites", Json::num(*count as u32)),
+            ])
+        })
+        .collect();
+    let edge_items = edges
+        .iter()
+        .map(|((from, to), site)| {
+            Json::obj([
+                ("from", Json::str(from.as_str())),
+                ("to", Json::str(to.as_str())),
+                ("site", Json::str(site.as_str())),
+            ])
+        })
+        .collect();
+    let cycle_items = cycles
+        .iter()
+        .map(|cycle| Json::Arr(cycle.iter().map(|n| Json::str(n.as_str())).collect()))
+        .collect();
+    Json::obj([
+        ("nodes", Json::Arr(nodes)),
+        ("edges", Json::Arr(edge_items)),
+        ("cycles", Json::Arr(cycle_items)),
+    ])
+}

@@ -1,0 +1,9 @@
+//! The workspace-specific lints. Each submodule implements
+//! [`crate::lint::Lint`]; the registry in [`crate::lint::registry`] lists
+//! them in run order.
+
+pub mod env_registry;
+pub mod lock_order;
+pub mod panic_hygiene;
+pub mod protocol_doc;
+pub mod telemetry_names;

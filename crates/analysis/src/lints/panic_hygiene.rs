@@ -1,0 +1,92 @@
+//! Panic hygiene: `unwrap()` / `expect(…)` / `panic!` / `todo!` /
+//! `unimplemented!` in non-test *library* code. Library code is expected
+//! to surface failures as typed errors; every deliberate exception is
+//! enumerated in `analysis/allow.toml` with a reason, so the debt stays
+//! visible instead of accumulating silently.
+//!
+//! Scope: `FileKind::Lib` only, outside `#[cfg(test)]` regions. Binaries,
+//! tests, benches, and examples are exempt (a CLI `main` aborting on
+//! startup misconfiguration is the correct behavior, and test code
+//! unwraps by design). `unreachable!` is also exempt: it documents a
+//! statically impossible branch rather than a failure path.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::lint::{Lint, LintSink};
+use crate::source::{FileKind, Workspace};
+
+const LINT: &str = "panic-hygiene";
+
+pub struct PanicHygiene;
+
+impl Lint for PanicHygiene {
+    fn name(&self) -> &'static str {
+        LINT
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap()/expect()/panic! in non-test library code (allowlisted debt in analysis/allow.toml)"
+    }
+
+    fn check(&self, workspace: &Workspace, sink: &mut LintSink) {
+        for file in &workspace.files {
+            if file.kind != FileKind::Lib {
+                continue;
+            }
+            let tokens = &file.tokens;
+            for i in 0..tokens.len() {
+                let tok = &tokens[i];
+                if tok.kind != TokenKind::Ident || file.is_test_code(tok.start) {
+                    continue;
+                }
+                let name = tok.text(&file.text);
+                let next_is = |offset: usize, s: &str| {
+                    tokens
+                        .get(i + offset)
+                        .is_some_and(|t| t.kind == TokenKind::Punct && t.text(&file.text) == s)
+                };
+                let construct = match name {
+                    "unwrap" if next_is(1, "(") && next_is(2, ")") && prev_is_dot(file, i) => {
+                        Some(".unwrap()".to_string())
+                    }
+                    "expect" if next_is(1, "(") && prev_is_dot(file, i) => {
+                        Some(format!(".expect({})", first_str_arg(file, i + 2)))
+                    }
+                    "panic" | "todo" | "unimplemented" if next_is(1, "!") => {
+                        Some(format!("{name}!({})", first_str_arg(file, i + 3)))
+                    }
+                    _ => None,
+                };
+                if let Some(construct) = construct {
+                    sink.push(Diagnostic::new(
+                        LINT,
+                        &file.rel,
+                        tok.line,
+                        tok.col,
+                        format!("`{construct}` in library code — return a typed error instead"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn prev_is_dot(file: &crate::source::SourceFile, i: usize) -> bool {
+    i > 0
+        && file.tokens[i - 1].kind == TokenKind::Punct
+        && file.tokens[i - 1].text(&file.text) == "."
+}
+
+/// The first string literal in the argument list (for `.expect("…")` /
+/// `panic!("…")`), so allowlist entries can pin a specific message.
+fn first_str_arg(file: &crate::source::SourceFile, from: usize) -> String {
+    for tok in file.tokens.iter().skip(from).take(3) {
+        if tok.kind == TokenKind::Str {
+            return tok.text(&file.text).to_string();
+        }
+        if tok.kind == TokenKind::Punct && matches!(tok.text(&file.text), ")" | ";") {
+            break;
+        }
+    }
+    String::new()
+}

@@ -1,0 +1,269 @@
+//! Protocol-doc drift: the serve protocol's verbs and events, as
+//! implemented in `crates/serve/src/protocol.rs`, must agree with
+//! `docs/serve-protocol.md`, and every verb/event must be exercised
+//! somewhere in test code.
+//!
+//! Code side: verb names are harvested from both the encoder pairs
+//! (`("verb", "submit".into())`) and the decoder match arms
+//! (`"submit" => Ok(Request::…)`); events likewise with `"event"` /
+//! `Event`. Doc side: `"verb":"x"` / `"event":"x"` JSON snippets plus the
+//! events table (first-column backticked names). Coverage: the name (or
+//! its CamelCase variant) must appear in test code.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::lint::{Lint, LintSink};
+use crate::source::Workspace;
+
+const LINT: &str = "protocol-doc";
+const PROTOCOL_RS: &str = "crates/serve/src/protocol.rs";
+const DOC: &str = "docs/serve-protocol.md";
+
+pub struct ProtocolDoc;
+
+impl Lint for ProtocolDoc {
+    fn name(&self) -> &'static str {
+        LINT
+    }
+
+    fn description(&self) -> &'static str {
+        "serve verbs/events in protocol.rs must match docs/serve-protocol.md and be covered by tests"
+    }
+
+    fn check(&self, workspace: &Workspace, sink: &mut LintSink) {
+        let Some(protocol) = workspace.files.iter().find(|f| f.rel == PROTOCOL_RS) else {
+            // Fixture workspaces without a serve crate have nothing to check.
+            return;
+        };
+        let code_verbs = harvest(protocol, "verb", "Request");
+        let code_events = harvest(protocol, "event", "Event");
+
+        let Some(doc) = workspace.doc(DOC) else {
+            sink.push(Diagnostic::note(
+                LINT,
+                DOC,
+                "missing docs/serve-protocol.md — protocol drift cannot be checked",
+            ));
+            return;
+        };
+        let doc_verbs = doc_json_names(&doc.text, "verb");
+        let mut doc_events = doc_json_names(&doc.text, "event");
+        doc_events.extend(doc_table_names(&doc.text));
+
+        // Code -> docs. Verbs are often discussed in prose (`the `stats`
+        // verb`), so a backticked mention counts as documentation; events
+        // must be in the events table or a JSON example.
+        for (verb, line) in &code_verbs {
+            if !doc_verbs.contains(verb) && !doc.text.contains(&format!("`{verb}`")) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    PROTOCOL_RS,
+                    *line,
+                    1,
+                    format!("verb `{verb}` is implemented but not documented in {DOC}"),
+                ));
+            }
+        }
+        for (event, line) in &code_events {
+            if !doc_events.contains(event) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    PROTOCOL_RS,
+                    *line,
+                    1,
+                    format!("event `{event}` is implemented but not documented in {DOC}"),
+                ));
+            }
+        }
+        // Docs -> code.
+        for verb in &doc_verbs {
+            if !code_verbs.contains_key(verb) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    DOC,
+                    0,
+                    0,
+                    format!("documented verb `{verb}` is not implemented in {PROTOCOL_RS}"),
+                ));
+            }
+        }
+        for event in &doc_events {
+            if !code_events.contains_key(event) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    DOC,
+                    0,
+                    0,
+                    format!("documented event `{event}` is not implemented in {PROTOCOL_RS}"),
+                ));
+            }
+        }
+
+        // Coverage: each verb/event must be exercised by test code.
+        let (test_strings, test_idents) = test_surface(workspace);
+        for (kind, names) in [("verb", &code_verbs), ("event", &code_events)] {
+            for (name, line) in names {
+                let variant = camel(name);
+                let covered = test_idents.contains(&variant)
+                    || test_strings.iter().any(|s| s.contains(name.as_str()));
+                if !covered {
+                    sink.push(Diagnostic::new(
+                        LINT,
+                        PROTOCOL_RS,
+                        *line,
+                        1,
+                        format!(
+                            "{kind} `{name}` has no test coverage mention (neither the \
+                                 wire name nor `{variant}` appears in test code)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Harvests wire names from encode pairs `("<key>", "<name>".into())` and
+/// decode arms `"<name>" => Ok(<Type>::…)`, mapped to the line of their
+/// first occurrence.
+fn harvest(file: &crate::source::SourceFile, key: &str, type_name: &str) -> BTreeMap<String, u32> {
+    let mut names = BTreeMap::new();
+    let toks = &file.tokens;
+    let txt = |i: usize| toks[i].text(&file.text);
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Str || file.is_test_code(toks[i].start) {
+            continue;
+        }
+        // Encode: Str(key) `,` Str(name)
+        if toks[i].str_value(&file.text) == Some(key)
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokenKind::Punct
+            && txt(i + 1) == ","
+            && toks[i + 2].kind == TokenKind::Str
+        {
+            if let Some(name) = toks[i + 2].str_value(&file.text) {
+                names.entry(name.to_string()).or_insert(toks[i + 2].line);
+            }
+        }
+        // Decode: Str(name) `=` `>` `Ok` `(` Type
+        if i + 5 < toks.len()
+            && toks[i + 1].kind == TokenKind::Punct
+            && txt(i + 1) == "="
+            && txt(i + 2) == ">"
+            && txt(i + 3) == "Ok"
+            && txt(i + 4) == "("
+            && txt(i + 5) == type_name
+        {
+            if let Some(name) = toks[i].str_value(&file.text) {
+                names.entry(name.to_string()).or_insert(toks[i].line);
+            }
+        }
+    }
+    names
+}
+
+/// `"<key>":"<name>"` occurrences in the doc's JSON snippets.
+fn doc_json_names(text: &str, key: &str) -> BTreeSet<String> {
+    let needle = format!("\"{key}\":\"");
+    let mut out = BTreeSet::new();
+    let mut rest = text;
+    while let Some(at) = rest.find(&needle) {
+        let tail = &rest[at + needle.len()..];
+        if let Some(end) = tail.find('"') {
+            let name = &tail[..end];
+            if !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                out.insert(name.to_string());
+            }
+        }
+        rest = &rest[at + needle.len()..];
+    }
+    out
+}
+
+/// Event names from the events table: rows whose first cell is a single
+/// backticked lower-snake word.
+fn doc_table_names(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = trimmed.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        if let Some(inner) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            if !inner.is_empty() && inner.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                out.insert(inner.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Everything test code says: string-literal contents and identifiers,
+/// across test files and `#[cfg(test)]` regions.
+fn test_surface(workspace: &Workspace) -> (Vec<String>, BTreeSet<String>) {
+    let mut strings = Vec::new();
+    let mut idents = BTreeSet::new();
+    for file in &workspace.files {
+        for tok in &file.tokens {
+            if !file.is_test_code(tok.start) {
+                continue;
+            }
+            match tok.kind {
+                TokenKind::Str => {
+                    if let Some(s) = tok.str_value(&file.text) {
+                        strings.push(s.to_string());
+                    }
+                }
+                TokenKind::Ident => {
+                    idents.insert(tok.text(&file.text).to_string());
+                }
+                _ => {}
+            }
+        }
+    }
+    (strings, idents)
+}
+
+/// `perturb_average` → `PerturbAverage`.
+fn camel(name: &str) -> String {
+    name.split('_')
+        .map(|part| {
+            let mut chars = part.chars();
+            match chars.next() {
+                Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_extraction() {
+        let text = "\
+request: {\"verb\":\"submit\",\"label\":\"x\"}\n\
+| event | payload |\n|---|---|\n| `done` | `job` stuff |\n| `failed` | `kind` |\n";
+        assert_eq!(
+            doc_json_names(text, "verb").into_iter().collect::<Vec<_>>(),
+            vec!["submit"]
+        );
+        let events = doc_table_names(text);
+        assert!(events.contains("done") && events.contains("failed"));
+        assert!(!events.contains("event"));
+    }
+
+    #[test]
+    fn camel_case_variants() {
+        assert_eq!(camel("submit"), "Submit");
+        assert_eq!(camel("perturb_average"), "PerturbAverage");
+    }
+}

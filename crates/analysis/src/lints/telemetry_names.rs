@@ -1,0 +1,287 @@
+//! Telemetry-name conformance: metric and span names used at `obs` call
+//! sites must follow the naming grammar and agree — both directions —
+//! with the catalog in `docs/observability.md`.
+//!
+//! Grammar (Prometheus conventions, as the doc promises):
+//! - metric names match `marqsim_[a-z0-9_]+`; counters end in `_total`,
+//!   latency histograms in `_seconds`, gauges in neither;
+//! - span names match `[a-z][a-z0-9_]*`.
+//!
+//! Catalog sync: a name registered in non-test code but absent from the
+//! doc tables is undocumented telemetry; a name in the tables that no
+//! call site emits is a stale catalog row.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::lint::{Lint, LintSink};
+use crate::source::Workspace;
+
+const LINT: &str = "telemetry-names";
+const DOC: &str = "docs/observability.md";
+
+/// Registration methods on the metrics registry, with the instrument kind
+/// each one creates.
+const METRIC_METHODS: &[(&str, &str)] = &[
+    ("counter", "counter"),
+    ("counter_with", "counter"),
+    ("gauge", "gauge"),
+    ("gauge_with", "gauge"),
+    ("histogram", "histogram"),
+    ("histogram_with", "histogram"),
+    ("histogram_with_edges", "histogram"),
+];
+
+pub struct TelemetryNames;
+
+impl Lint for TelemetryNames {
+    fn name(&self) -> &'static str {
+        LINT
+    }
+
+    fn description(&self) -> &'static str {
+        "metric/span names at obs call sites must match the naming grammar and the docs/observability.md catalog"
+    }
+
+    fn check(&self, workspace: &Workspace, sink: &mut LintSink) {
+        // name -> (kind, first site) for metrics; name -> first site for spans.
+        let mut metrics: BTreeMap<String, (&'static str, String, u32, u32)> = BTreeMap::new();
+        let mut spans: BTreeMap<String, (String, u32, u32)> = BTreeMap::new();
+
+        for file in &workspace.files {
+            // The obs crate's own sources define the API and exercise it
+            // with placeholder names; call-site conformance is about the
+            // rest of the workspace.
+            if file.crate_name == "obs" {
+                continue;
+            }
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                if toks[i].kind != TokenKind::Ident || file.is_test_code(toks[i].start) {
+                    continue;
+                }
+                let name = toks[i].text(&file.text);
+                let prev_dot = i > 0
+                    && toks[i - 1].kind == TokenKind::Punct
+                    && toks[i - 1].text(&file.text) == ".";
+                let prev_path = i > 1
+                    && toks[i - 1].kind == TokenKind::Punct
+                    && toks[i - 1].text(&file.text) == ":"
+                    && toks[i - 2].text(&file.text) == ":";
+                let Some(arg) = first_string_arg(file, i + 1) else {
+                    continue;
+                };
+                if prev_dot {
+                    if let Some((_, kind)) = METRIC_METHODS.iter().find(|(m, _)| *m == name) {
+                        let tok = &toks[i];
+                        metrics
+                            .entry(arg)
+                            .or_insert((kind, file.rel.clone(), tok.line, tok.col));
+                        continue;
+                    }
+                }
+                let is_span_ctor = matches!(name, "enter" | "child_of")
+                    && prev_path
+                    && i > 3
+                    && toks[i - 3].text(&file.text) == "Span";
+                let is_interval = name == "emit_interval" && !prev_dot;
+                if is_span_ctor || is_interval {
+                    let tok = &toks[i];
+                    spans
+                        .entry(arg)
+                        .or_insert((file.rel.clone(), tok.line, tok.col));
+                }
+            }
+        }
+
+        // Grammar checks on the used names.
+        for (name, (kind, file, line, col)) in &metrics {
+            if let Some(problem) = metric_grammar_problem(name, kind) {
+                sink.push(Diagnostic::new(LINT, file.as_str(), *line, *col, problem));
+            }
+        }
+        for (name, (file, line, col)) in &spans {
+            if !is_lower_snake(name) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    file.as_str(),
+                    *line,
+                    *col,
+                    format!("span name `{name}` does not match the grammar `[a-z][a-z0-9_]*`"),
+                ));
+            }
+        }
+
+        // Catalog sync, both directions.
+        let (doc_metrics, doc_spans) = match workspace.doc(DOC) {
+            Some(doc) => catalog_names(&doc.text),
+            None => {
+                sink.push(Diagnostic::note(
+                    LINT,
+                    DOC,
+                    "missing docs/observability.md — telemetry catalog cannot be checked",
+                ));
+                return;
+            }
+        };
+        for (name, (_, file, line, col)) in &metrics {
+            if !doc_metrics.contains(name) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    file.as_str(),
+                    *line,
+                    *col,
+                    format!("metric `{name}` is not in the {DOC} instrument catalog"),
+                ));
+            }
+        }
+        for name in &doc_metrics {
+            if !metrics.contains_key(name) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    DOC,
+                    0,
+                    0,
+                    format!("catalog metric `{name}` has no registration site in the workspace"),
+                ));
+            }
+        }
+        for (name, (file, line, col)) in &spans {
+            if !doc_spans.contains(name) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    file.as_str(),
+                    *line,
+                    *col,
+                    format!("span `{name}` is not in the {DOC} span catalog"),
+                ));
+            }
+        }
+        for name in &doc_spans {
+            if !spans.contains_key(name) {
+                sink.push(Diagnostic::new(
+                    LINT,
+                    DOC,
+                    0,
+                    0,
+                    format!("catalog span `{name}` is never emitted in the workspace"),
+                ));
+            }
+        }
+    }
+}
+
+/// The first string literal inside the call parens starting at `open`
+/// (tolerates the name being on its own line — token scan, not text scan).
+fn first_string_arg(file: &crate::source::SourceFile, open: usize) -> Option<String> {
+    let toks = &file.tokens;
+    if !(toks.get(open)?.kind == TokenKind::Punct && toks[open].text(&file.text) == "(") {
+        return None;
+    }
+    for tok in toks.iter().skip(open + 1).take(4) {
+        match tok.kind {
+            TokenKind::Str => return tok.str_value(&file.text).map(str::to_string),
+            _ => {
+                if tok.kind == TokenKind::Punct && tok.text(&file.text) == ")" {
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+fn is_lower_snake(name: &str) -> bool {
+    !name.is_empty()
+        && name.starts_with(|c: char| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn metric_grammar_problem(name: &str, kind: &str) -> Option<String> {
+    if !name.starts_with("marqsim_") || !is_lower_snake(name) {
+        return Some(format!(
+            "metric `{name}` does not match the grammar `marqsim_[a-z0-9_]+`"
+        ));
+    }
+    match kind {
+        "counter" if !name.ends_with("_total") => {
+            Some(format!("counter `{name}` must end in `_total`"))
+        }
+        "histogram" if !name.ends_with("_seconds") => {
+            Some(format!("latency histogram `{name}` must end in `_seconds`"))
+        }
+        "gauge" if name.ends_with("_total") || name.ends_with("_seconds") => Some(format!(
+            "gauge `{name}` must not use a counter/histogram suffix"
+        )),
+        _ => None,
+    }
+}
+
+/// Extracts the documented names from the Markdown tables: the first cell
+/// of each table row, split into backticked tokens; `marqsim_*` names are
+/// metrics, other lowercase names are spans.
+fn catalog_names(text: &str) -> (Vec<String>, Vec<String>) {
+    let mut metrics = Vec::new();
+    let mut spans = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let Some(first_cell) = trimmed.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        for name in backticked(first_cell) {
+            if name.starts_with("marqsim_") {
+                metrics.push(name);
+            } else if is_lower_snake(&name) {
+                spans.push(name);
+            }
+        }
+    }
+    (metrics, spans)
+}
+
+/// All `` `name` `` occurrences in a table cell (a cell can document two
+/// names, e.g. `` `persist_load` / `persist_store` ``).
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(start) = rest.find('`') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('`') else { break };
+        out.push(tail[..end].to_string());
+        rest = &tail[end + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_checks() {
+        assert!(metric_grammar_problem("marqsim_cache_hits_total", "counter").is_none());
+        assert!(metric_grammar_problem("marqsim_pool_queue_depth", "gauge").is_none());
+        assert!(metric_grammar_problem("marqsim_flow_solve_seconds", "histogram").is_none());
+        assert!(metric_grammar_problem("marqsim_hits", "counter").is_some());
+        assert!(metric_grammar_problem("marqsim_depth_total", "gauge").is_some());
+        assert!(metric_grammar_problem("cache_hits_total", "counter").is_some());
+        assert!(is_lower_snake("flow_solve"));
+        assert!(!is_lower_snake("FlowSolve"));
+    }
+
+    #[test]
+    fn catalog_extraction_splits_shared_cells() {
+        let doc = "\
+| name | kind |\n|---|---|\n| `marqsim_cache_hits_total` | counter |\n\n\
+| span | emitted by |\n|---|---|\n| `persist_load` / `persist_store` | cache |\n";
+        let (metrics, spans) = catalog_names(doc);
+        assert_eq!(metrics, vec!["marqsim_cache_hits_total"]);
+        assert_eq!(spans, vec!["persist_load", "persist_store"]);
+    }
+}

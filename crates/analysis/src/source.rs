@@ -1,0 +1,470 @@
+//! Workspace discovery: walks the repository, loads and lexes every Rust
+//! source file, classifies each (library vs. test vs. bench code), marks
+//! `#[cfg(test)]` regions, and extracts function bodies by token-level
+//! brace matching. Also loads the Markdown docs the consistency lints
+//! compare against.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// How a source file participates in the build — lints apply different
+/// rules to library code than to tests and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` of a crate (excluding `src/bin`).
+    Lib,
+    /// `src/bin/**` — binary entry points (CLI code may panic more freely,
+    /// but still goes through panic hygiene).
+    Bin,
+    /// `tests/**` — integration tests.
+    Test,
+    /// `benches/**`.
+    Bench,
+    /// `examples/**`.
+    Example,
+}
+
+impl FileKind {
+    /// Test-like files are exempt from panic hygiene and lock-order
+    /// analysis (test code unwraps and locks however it pleases).
+    pub fn is_test_like(self) -> bool {
+        matches!(self, FileKind::Test | FileKind::Bench | FileKind::Example)
+    }
+}
+
+/// A function extracted from the token stream: its name and the token
+/// range of its body (the tokens strictly between the outer braces).
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// Token index of the opening `{` of the body.
+    pub body_open: usize,
+    /// Token index of the matching closing `}`.
+    pub body_close: usize,
+    /// Line of the `fn` keyword, for diagnostics.
+    pub line: u32,
+}
+
+/// One loaded, lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Short crate label: the directory under `crates/` (`engine`, `obs`,
+    /// …), or `marqsim` for the root facade.
+    pub crate_name: String,
+    pub kind: FileKind,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]`-gated items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Functions in source order (nested functions and closures are not
+    /// extracted separately; a closure's tokens belong to its enclosing
+    /// function, which is the right granularity for lock analysis).
+    pub functions: Vec<Function>,
+}
+
+impl SourceFile {
+    /// Whether the byte offset lies inside a `#[cfg(test)]` region.
+    pub fn is_test_code(&self, offset: usize) -> bool {
+        self.kind.is_test_like()
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// The file stem (`pool` for `crates/engine/src/pool.rs`), used to
+    /// qualify lock names.
+    pub fn stem(&self) -> &str {
+        let base = self.rel.rsplit('/').next().unwrap_or(&self.rel);
+        base.strip_suffix(".rs").unwrap_or(base)
+    }
+
+    pub fn token_text(&self, index: usize) -> &str {
+        self.tokens[index].text(&self.text)
+    }
+}
+
+/// A Markdown document loaded for the doc-consistency lints.
+#[derive(Debug)]
+pub struct DocFile {
+    pub rel: String,
+    pub text: String,
+}
+
+/// The loaded workspace: every lexed Rust file plus the docs.
+#[derive(Debug)]
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    pub docs: Vec<DocFile>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`. Skips `target/`, `.git/`,
+    /// `vendor/` (third-party stand-ins follow their own conventions) and
+    /// the lint engine's own test fixtures (which contain deliberate
+    /// violations).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut docs = Vec::new();
+        walk(root, root, &mut files, &mut docs)?;
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        docs.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            docs,
+        })
+    }
+
+    /// Builds a workspace from in-memory sources — used by the fixture
+    /// tests. Each entry is `(relative path, text)`; docs entries are
+    /// recognized by their `.md` extension.
+    pub fn from_sources(entries: &[(&str, &str)]) -> Workspace {
+        let mut files = Vec::new();
+        let mut docs = Vec::new();
+        for (rel, text) in entries {
+            if rel.ends_with(".md") {
+                docs.push(DocFile {
+                    rel: rel.to_string(),
+                    text: text.to_string(),
+                });
+            } else {
+                files.push(load_source(rel, text.to_string()));
+            }
+        }
+        Workspace {
+            root: PathBuf::from("."),
+            files,
+            docs,
+        }
+    }
+
+    pub fn doc(&self, rel: &str) -> Option<&DocFile> {
+        self.docs.iter().find(|d| d.rel == rel)
+    }
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    files: &mut Vec<SourceFile>,
+    docs: &mut Vec<DocFile>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if matches!(&*name, "target" | ".git" | "vendor" | "node_modules") {
+                continue;
+            }
+            // The lint engine's own fixtures contain deliberate violations.
+            let rel = rel_of(root, &path);
+            if rel.starts_with("crates/analysis/tests/fixtures") {
+                continue;
+            }
+            walk(root, &path, files, docs)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_of(root, &path);
+            if !is_scanned_rust_path(&rel) {
+                continue;
+            }
+            let text = fs::read_to_string(&path)?;
+            files.push(load_source(&rel, text));
+        } else if name.ends_with(".md") {
+            let rel = rel_of(root, &path);
+            if rel == "README.md" || rel.starts_with("docs/") {
+                let text = fs::read_to_string(&path)?;
+                docs.push(DocFile { rel, text });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Only source under a recognized build root is scanned; stray `.rs`
+/// files (scripts, codegen output at the top level) are not part of any
+/// crate and would only produce noise.
+fn is_scanned_rust_path(rel: &str) -> bool {
+    let in_crate = rel.strip_prefix("crates/").map(|rest| {
+        rest.split_once('/')
+            .map(|(_, tail)| tail)
+            .unwrap_or(rest)
+            .to_string()
+    });
+    let tail = match in_crate {
+        Some(tail) => tail,
+        None => rel.to_string(),
+    };
+    ["src/", "tests/", "benches/", "examples/"]
+        .iter()
+        .any(|prefix| tail.starts_with(prefix))
+}
+
+fn classify(rel: &str) -> (String, FileKind) {
+    let (crate_name, tail) = match rel.strip_prefix("crates/") {
+        Some(rest) => match rest.split_once('/') {
+            Some((name, tail)) => (name.to_string(), tail),
+            None => (rest.to_string(), ""),
+        },
+        None => ("marqsim".to_string(), rel),
+    };
+    let kind = if tail.starts_with("src/bin/") {
+        FileKind::Bin
+    } else if tail.starts_with("src/") {
+        FileKind::Lib
+    } else if tail.starts_with("tests/") {
+        FileKind::Test
+    } else if tail.starts_with("benches/") {
+        FileKind::Bench
+    } else {
+        FileKind::Example
+    };
+    (crate_name, kind)
+}
+
+fn load_source(rel: &str, text: String) -> SourceFile {
+    let tokens = lex(&text);
+    let test_ranges = find_test_ranges(&text, &tokens);
+    let functions = find_functions(&text, &tokens);
+    let (crate_name, kind) = classify(rel);
+    SourceFile {
+        rel: rel.to_string(),
+        crate_name,
+        kind,
+        text,
+        tokens,
+        test_ranges,
+        functions,
+    }
+}
+
+fn is(tokens: &[Token], src: &str, i: usize, kind: TokenKind, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == kind && t.text(src) == text)
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`, or the
+/// last token if unbalanced (total over malformed input).
+pub fn matching_brace(tokens: &[Token], src: &str, open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.kind == TokenKind::Punct {
+            match tok.text(src) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated items: the attribute pattern
+/// `#` `[` `cfg` `(` `test` `)` `]` followed (possibly via further
+/// attributes) by an item whose body is brace-matched. Handles both
+/// `#[cfg(test)] mod tests { … }` and `#[cfg(test)] fn helper() { … }`.
+fn find_test_ranges(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let matched = is(tokens, src, i, TokenKind::Punct, "#")
+            && is(tokens, src, i + 1, TokenKind::Punct, "[")
+            && is(tokens, src, i + 2, TokenKind::Ident, "cfg")
+            && is(tokens, src, i + 3, TokenKind::Punct, "(")
+            && is(tokens, src, i + 4, TokenKind::Ident, "test")
+            && is(tokens, src, i + 5, TokenKind::Punct, ")")
+            && is(tokens, src, i + 6, TokenKind::Punct, "]");
+        if !matched {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's opening brace
+        // (or terminating `;` for e.g. `#[cfg(test)] use …;`).
+        let mut j = i + 7;
+        while is(tokens, src, j, TokenKind::Punct, "#")
+            && is(tokens, src, j + 1, TokenKind::Punct, "[")
+        {
+            // Skip to the matching `]`.
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match (tokens[j].kind, tokens[j].text(src)) {
+                    (TokenKind::Punct, "[") => depth += 1,
+                    (TokenKind::Punct, "]") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let mut open = None;
+        let mut k = j;
+        while k < tokens.len() {
+            match (tokens[k].kind, tokens[k].text(src)) {
+                (TokenKind::Punct, "{") => {
+                    open = Some(k);
+                    break;
+                }
+                (TokenKind::Punct, ";") => break,
+                _ => k += 1,
+            }
+        }
+        if let Some(open) = open {
+            let close = matching_brace(tokens, src, open);
+            ranges.push((tokens[i].start, tokens[close].end));
+            i = close + 1;
+        } else {
+            i = k + 1;
+        }
+    }
+    ranges
+}
+
+/// Extracts `fn` items by scanning for the `fn` keyword, taking the next
+/// identifier as the name, and brace-matching the first `{` reached at
+/// paren/bracket depth zero (a `;` first means a bodiless trait method /
+/// extern decl, which is skipped).
+fn find_functions(src: &str, tokens: &[Token]) -> Vec<Function> {
+    let mut functions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Ident && tokens[i].text(src) == "fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = tokens[i].line;
+        let name = match tokens.get(i + 1) {
+            Some(t) if t.kind == TokenKind::Ident => t.text(src).to_string(),
+            // `fn(` — a function-pointer type, not an item.
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut depth = 0isize;
+        let mut j = i + 2;
+        let mut open = None;
+        while j < tokens.len() {
+            match (tokens[j].kind, tokens[j].text(src)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => depth -= 1,
+                (TokenKind::Punct, "{") if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                (TokenKind::Punct, ";") if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        match open {
+            Some(open) => {
+                let close = matching_brace(tokens, src, open);
+                functions.push(Function {
+                    name,
+                    body_open: open,
+                    body_close: close,
+                    line: fn_line,
+                });
+                // Continue scanning *inside* the body too: nested fns are
+                // their own items, and the outer entry already spans them.
+                i = open + 1;
+            }
+            None => i = j + 1,
+        }
+    }
+    functions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/engine/src/pool.rs").0, "engine");
+        assert_eq!(classify("crates/engine/src/pool.rs").1, FileKind::Lib);
+        assert_eq!(
+            classify("crates/serve/src/bin/marqsim_served.rs").1,
+            FileKind::Bin
+        );
+        assert_eq!(
+            classify("crates/engine/tests/pool_stress.rs").1,
+            FileKind::Test
+        );
+        assert_eq!(classify("src/lib.rs").0, "marqsim");
+        assert_eq!(classify("src/lib.rs").1, FileKind::Lib);
+    }
+
+    #[test]
+    fn scanned_paths() {
+        assert!(is_scanned_rust_path("crates/engine/src/pool.rs"));
+        assert!(is_scanned_rust_path("src/lib.rs"));
+        assert!(is_scanned_rust_path("tests/e2e.rs"));
+        assert!(!is_scanned_rust_path("scripts/gen.rs"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_found() {
+        let src = r#"
+            pub fn lib_code() { value.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { other.unwrap(); }
+            }
+        "#;
+        let file = load_source("crates/x/src/lib.rs", src.to_string());
+        let lib_unwrap = src.find("value.unwrap").unwrap();
+        let test_unwrap = src.find("other.unwrap").unwrap();
+        assert!(!file.is_test_code(lib_unwrap));
+        assert!(file.is_test_code(test_unwrap));
+    }
+
+    #[test]
+    fn functions_with_tricky_signatures() {
+        let src = r#"
+            fn plain() { body(); }
+            fn generic<T: Fn() -> u8>(f: T) -> Result<Vec<u8>, Error>
+            where T: Clone { inner(); }
+            trait T { fn bodiless(&self); fn with_default(&self) { x(); } }
+            type F = fn(u8) -> u8;
+        "#;
+        let file = load_source("crates/x/src/lib.rs", src.to_string());
+        let names: Vec<_> = file.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["plain", "generic", "with_default"]);
+    }
+
+    #[test]
+    fn nested_functions_are_separate_entries() {
+        let src = "fn outer() { fn inner() { a(); } b(); }";
+        let file = load_source("crates/x/src/lib.rs", src.to_string());
+        let names: Vec<_> = file.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+}

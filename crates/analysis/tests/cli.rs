@@ -1,0 +1,85 @@
+//! End-to-end tests of the `marqsim-lint` binary: exit codes, the JSON
+//! report, and flag handling, driven over the on-disk fixture workspaces.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_marqsim-lint"))
+        .args(args)
+        .output()
+        .expect("run marqsim-lint")
+}
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn clean_fixture_exits_zero_even_under_deny_warnings() {
+    let out = lint(&["--root", &fixture("clean"), "--deny-warnings"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected success, stderr:\n{stderr}");
+    assert!(stderr.contains("0 warning(s)"), "{stderr}");
+}
+
+#[test]
+fn violating_fixture_exits_nonzero_and_names_the_lints() {
+    let out = lint(&["--root", &fixture("bad")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[lock-order]"), "{stderr}");
+    assert!(stderr.contains("[panic-hygiene]"), "{stderr}");
+    assert!(stderr.contains("[env-registry]"), "{stderr}");
+    assert!(stderr.contains("lock-order cycle"), "{stderr}");
+}
+
+#[test]
+fn lint_filter_restricts_the_run() {
+    let out = lint(&["--root", &fixture("bad"), "--lint", "env-registry"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[env-registry]"), "{stderr}");
+    assert!(!stderr.contains("[panic-hygiene]"), "{stderr}");
+}
+
+#[test]
+fn json_report_is_written_and_carries_the_lock_graph() {
+    let path =
+        std::env::temp_dir().join(format!("marqsim-lint-report-{}.json", std::process::id()));
+    let path_str = path.to_string_lossy().into_owned();
+    let out = lint(&["--root", &fixture("bad"), "--json", &path_str]);
+    assert_eq!(out.status.code(), Some(1));
+    let report = std::fs::read_to_string(&path).expect("report written");
+    let _ = std::fs::remove_file(&path);
+    assert!(report.contains("\"tool\": \"marqsim-lint\""), "{report}");
+    assert!(report.contains("\"clean\": false"), "{report}");
+    assert!(report.contains("\"lock_graph\""), "{report}");
+    assert!(report.contains("demo/lib.alpha"), "{report}");
+}
+
+#[test]
+fn unknown_lint_name_is_a_usage_error() {
+    let out = lint(&["--lint", "no-such-lint"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_prints_every_registered_lint() {
+    let out = lint(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "lock-order",
+        "panic-hygiene",
+        "env-registry",
+        "telemetry-names",
+        "protocol-doc",
+    ] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}

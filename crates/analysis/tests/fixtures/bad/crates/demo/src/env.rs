@@ -1,0 +1,6 @@
+//! Fixture: an env read outside any config module, of a variable no doc
+//! registers.
+
+pub fn sneaky() -> Option<String> {
+    std::env::var("MARQSIM_FIXTURE_ONLY").ok()
+}

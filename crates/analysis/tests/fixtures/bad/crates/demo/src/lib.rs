@@ -1,0 +1,23 @@
+//! Fixture: deliberate violations — an inconsistent lock order between
+//! the two methods (a cycle) and library-code unwraps.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn alpha_then_beta(&self) -> u32 {
+        let alpha = self.alpha.lock().unwrap();
+        let beta = self.beta.lock().unwrap();
+        *alpha + *beta
+    }
+
+    pub fn beta_then_alpha(&self) -> u32 {
+        let beta = self.beta.lock().unwrap();
+        let alpha = self.alpha.lock().unwrap();
+        *alpha - *beta
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: a well-behaved library file — consistent lock order, no
+//! panicking calls in library code, no stray env reads.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let first = self.first.lock().unwrap_or_else(PoisonError::into_inner);
+        let second = self.second.lock().unwrap_or_else(PoisonError::into_inner);
+        *first + *second
+    }
+
+    pub fn product(&self) -> u32 {
+        let first = self.first.lock().unwrap_or_else(PoisonError::into_inner);
+        let second = self.second.lock().unwrap_or_else(PoisonError::into_inner);
+        *first * *second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let _ = "1".parse::<u32>().unwrap();
+    }
+}

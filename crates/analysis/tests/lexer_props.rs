@@ -1,0 +1,160 @@
+//! Property tests for the span-aware lexer: spans must exactly tile the
+//! token text, stay ordered and in bounds on arbitrary input, and survive
+//! a whitespace-normalizing round trip.
+
+use marqsim_analysis::lexer::{lex, TokenKind};
+use quickprop::{check, Config, Gen};
+
+/// Building blocks a generated source file is assembled from. Comments
+/// and raw/byte literals are included deliberately — they are where the
+/// hand-rolled scanner has the most edge cases.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "pub",
+    "let",
+    "self",
+    "match",
+    "identifier",
+    "x2",
+    "r#async",
+    "0",
+    "42",
+    "0xFF_u8",
+    "0b1010",
+    "2.5",
+    "1e9",
+    "3.25e-4",
+    "7_000",
+    "\"plain string\"",
+    "\"esc \\\" aped\"",
+    "r\"raw\"",
+    "r#\"raw # quote \"#",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "'x'",
+    "'\\n'",
+    "b'z'",
+    "'static",
+    "'a",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    ",",
+    ";",
+    ".",
+    ":",
+    "#",
+    "!",
+    "&",
+    "|",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "?",
+    "@",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* deeper */ out */",
+    " ",
+    "\n",
+    "\t",
+];
+
+fn generate_source(gen: &mut Gen) -> String {
+    let parts = gen.vec_of(0..60, |g| *g.choose(FRAGMENTS));
+    // Space-join so fragments cannot merge into different tokens (e.g. two
+    // `/` puncts becoming a line comment).
+    parts.join(" ")
+}
+
+/// Spans are strictly ordered, in bounds, on char boundaries, and each
+/// token's `text()` is exactly the source slice it claims.
+fn span_invariants(source: &str) -> Result<(), String> {
+    let tokens = lex(source);
+    let mut cursor = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.start >= tok.end {
+            return Err(format!(
+                "token {i} has empty span {}..{}",
+                tok.start, tok.end
+            ));
+        }
+        if tok.start < cursor {
+            return Err(format!("token {i} overlaps the previous one"));
+        }
+        if tok.end > source.len() {
+            return Err(format!("token {i} ends past the source"));
+        }
+        if !source.is_char_boundary(tok.start) || !source.is_char_boundary(tok.end) {
+            return Err(format!("token {i} span not on char boundaries"));
+        }
+        if tok.text(source) != &source[tok.start..tok.end] {
+            return Err(format!("token {i} text disagrees with its span"));
+        }
+        cursor = tok.end;
+    }
+    Ok(())
+}
+
+#[test]
+fn spans_tile_generated_sources() {
+    check(
+        "lexer span invariants",
+        Config::default().with_seed(0x1E8E1).with_cases(200),
+        generate_source,
+        |source| span_invariants(source),
+    );
+}
+
+#[test]
+fn relex_of_token_texts_preserves_kinds() {
+    check(
+        "lexer round trip",
+        Config::default().with_seed(0xB0B).with_cases(200),
+        generate_source,
+        |source| {
+            let tokens = lex(source);
+            let kinds: Vec<TokenKind> = tokens.iter().map(|t| t.kind).collect();
+            let rejoined = tokens
+                .iter()
+                .map(|t| t.text(source))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let relexed: Vec<TokenKind> = lex(&rejoined).iter().map(|t| t.kind).collect();
+            if kinds != relexed {
+                return Err(format!(
+                    "kinds changed after round trip:\n  source: {source:?}\n  rejoined: {rejoined:?}"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The lexer must be total: arbitrary junk — including unterminated
+/// strings, stray quotes, and non-ASCII — must lex without panicking and
+/// still satisfy the span invariants.
+#[test]
+fn lexing_is_total_on_arbitrary_text() {
+    check(
+        "lexer totality",
+        Config::default().with_seed(0xDEAD).with_cases(300),
+        |gen| {
+            let chars: Vec<char> = gen.vec_of(0..80, |g| {
+                *g.choose(&[
+                    'a', 'Z', '0', '9', '_', ' ', '\n', '\t', '"', '\'', '\\', '/', '*', '#', 'r',
+                    'b', '{', '}', '(', ')', '.', 'é', 'λ', '€', '中',
+                ])
+            });
+            chars.into_iter().collect::<String>()
+        },
+        |source: &String| span_invariants(source),
+    );
+}

@@ -1,0 +1,358 @@
+//! Per-lint fixture tests: each lint is run over a small in-memory
+//! workspace containing a known-good and a known-bad example, asserting
+//! both that violations are reported and that clean code stays quiet.
+
+use marqsim_analysis::{run_lints, Allowlist, Workspace};
+
+/// Runs one lint over in-memory sources and returns the rendered
+/// diagnostics.
+fn scan(entries: &[(&str, &str)], lint: &str) -> Vec<String> {
+    let ws = Workspace::from_sources(entries);
+    run_lints(&ws, &Allowlist::default(), Some(&[lint]))
+        .diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+// -- lock-order -------------------------------------------------------------
+
+const INCONSISTENT_ORDER: &str = r#"
+use std::sync::Mutex;
+pub struct Pair { alpha: Mutex<u32>, beta: Mutex<u32> }
+impl Pair {
+    pub fn alpha_then_beta(&self) -> u32 {
+        let alpha = self.alpha.lock().unwrap();
+        let beta = self.beta.lock().unwrap();
+        *alpha + *beta
+    }
+    pub fn beta_then_alpha(&self) -> u32 {
+        let beta = self.beta.lock().unwrap();
+        let alpha = self.alpha.lock().unwrap();
+        *alpha - *beta
+    }
+}
+"#;
+
+#[test]
+fn lock_order_flags_inconsistent_acquisition_order() {
+    let diags = scan(
+        &[("crates/demo/src/lib.rs", INCONSISTENT_ORDER)],
+        "lock-order",
+    );
+    assert!(
+        diags.iter().any(|d| d.contains("lock-order cycle")),
+        "expected a cycle diagnostic, got: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.contains("demo/lib.alpha")),
+        "cycle should name the locks: {diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_accepts_consistent_order() {
+    let src = r#"
+use std::sync::Mutex;
+pub struct Pair { alpha: Mutex<u32>, beta: Mutex<u32> }
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let alpha = self.alpha.lock().unwrap();
+        let beta = self.beta.lock().unwrap();
+        *alpha + *beta
+    }
+    pub fn product(&self) -> u32 {
+        let alpha = self.alpha.lock().unwrap();
+        let beta = self.beta.lock().unwrap();
+        *alpha * *beta
+    }
+}
+"#;
+    let diags = scan(&[("crates/demo/src/lib.rs", src)], "lock-order");
+    assert!(diags.is_empty(), "consistent order is clean: {diags:?}");
+}
+
+#[test]
+fn lock_order_flags_guard_held_across_send() {
+    let src = r#"
+use std::sync::{mpsc::Sender, Mutex};
+pub fn drain(queue: &Mutex<Vec<u32>>, tx: &Sender<u32>) {
+    let guard = queue.lock().unwrap();
+    for item in guard.iter() {
+        let _ = tx.send(*item);
+    }
+}
+"#;
+    let diags = scan(&[("crates/demo/src/lib.rs", src)], "lock-order");
+    assert!(
+        diags.iter().any(|d| d.contains("held across `.send(`")),
+        "expected a boundary diagnostic: {diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_allows_send_after_guard_dropped() {
+    let src = r#"
+use std::sync::{mpsc::Sender, Mutex};
+pub fn drain(queue: &Mutex<Vec<u32>>, tx: &Sender<u32>) {
+    let guard = queue.lock().unwrap();
+    let items = guard.clone();
+    drop(guard);
+    for item in items {
+        let _ = tx.send(item);
+    }
+}
+"#;
+    let diags = scan(&[("crates/demo/src/lib.rs", src)], "lock-order");
+    assert!(diags.is_empty(), "send after drop is clean: {diags:?}");
+}
+
+// -- panic-hygiene ----------------------------------------------------------
+
+#[test]
+fn panic_hygiene_flags_library_unwrap_but_not_tests() {
+    let lib = r#"
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated() { let _ = "x".parse::<u32>().unwrap(); }
+}
+"#;
+    let test_file = r#"
+#[test]
+fn integration() { let _ = "1".parse::<u32>().unwrap(); }
+"#;
+    let diags = scan(
+        &[
+            ("crates/demo/src/lib.rs", lib),
+            ("crates/demo/tests/it.rs", test_file),
+        ],
+        "panic-hygiene",
+    );
+    assert_eq!(diags.len(), 1, "only the library unwrap: {diags:?}");
+    assert!(diags[0].contains("crates/demo/src/lib.rs:3"));
+}
+
+#[test]
+fn panic_hygiene_flags_expect_and_panic_with_messages() {
+    let lib = r#"
+pub fn load(path: &str) -> String {
+    std::fs::read_to_string(path).expect("config present")
+}
+pub fn boom() { panic!("unreachable state"); }
+"#;
+    let diags = scan(&[("crates/demo/src/lib.rs", lib)], "panic-hygiene");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags[0].contains("config present"));
+    assert!(diags[1].contains("panic!"));
+}
+
+// -- env-registry -----------------------------------------------------------
+
+#[test]
+fn env_registry_flags_stray_and_undocumented_reads() {
+    let lib = r#"
+pub fn threads() -> Option<String> { std::env::var("MARQSIM_STRAY").ok() }
+"#;
+    let diags = scan(&[("crates/demo/src/lib.rs", lib)], "env-registry");
+    assert!(
+        diags.iter().any(|d| d.contains("outside a config module")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.contains("not documented")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn env_registry_accepts_documented_read_in_config_module() {
+    let config = r#"
+pub fn level() -> Option<String> { std::env::var("MARQSIM_LOG").ok() }
+"#;
+    let doc = "The `MARQSIM_LOG` variable sets the level.\n";
+    let diags = scan(
+        &[
+            ("crates/obs/src/log.rs", config),
+            ("docs/observability.md", doc),
+        ],
+        "env-registry",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn env_registry_flags_documented_but_vanished_var() {
+    let diags = scan(
+        &[
+            ("crates/demo/src/lib.rs", "pub fn nothing() {}\n"),
+            ("docs/config.md", "Set `MARQSIM_GONE` to enable it.\n"),
+        ],
+        "env-registry",
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].contains("MARQSIM_GONE") && diags[0].contains("no longer exists"));
+}
+
+// -- telemetry-names --------------------------------------------------------
+
+const OBS_DOC: &str = "\
+| name | kind |\n|---|---|\n| `marqsim_demo_hits_total` | counter |\n\n\
+| span | emitted by |\n|---|---|\n| `demo_phase` | demo |\n";
+
+#[test]
+fn telemetry_names_accepts_cataloged_conforming_names() {
+    let lib = r#"
+pub fn instruments(registry: &Registry) {
+    let _ = registry.counter("marqsim_demo_hits_total");
+    let _span = Span::enter("demo_phase");
+}
+"#;
+    let diags = scan(
+        &[
+            ("crates/demo/src/lib.rs", lib),
+            ("docs/observability.md", OBS_DOC),
+        ],
+        "telemetry-names",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn telemetry_names_flags_grammar_and_catalog_drift() {
+    let lib = r#"
+pub fn instruments(registry: &Registry) {
+    let _ = registry.counter("demo_hits");
+    let _ = registry.gauge("marqsim_demo_depth");
+}
+"#;
+    let diags = scan(
+        &[
+            ("crates/demo/src/lib.rs", lib),
+            ("docs/observability.md", OBS_DOC),
+        ],
+        "telemetry-names",
+    );
+    // `demo_hits`: bad grammar + not in catalog; `marqsim_demo_depth`:
+    // conforming gauge but undocumented; catalog counter + span unused.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("does not match the grammar")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("`marqsim_demo_depth` is not in")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("`marqsim_demo_hits_total` has no registration site")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("`demo_phase` is never emitted")),
+        "{diags:?}"
+    );
+}
+
+// -- protocol-doc -----------------------------------------------------------
+
+#[test]
+fn protocol_doc_flags_drift_in_both_directions() {
+    let protocol = r#"
+pub fn encode() {
+    let _ = ("verb", "submit");
+    let _ = ("verb", "zap");
+}
+"#;
+    let doc = "Request: {\"verb\":\"submit\"}\nAlso documented: {\"verb\":\"gone\"}\n";
+    let tests = r#"
+#[test]
+fn covers() { let _ = ("submit", "zap", "gone"); }
+"#;
+    let diags = scan(
+        &[
+            ("crates/serve/src/protocol.rs", protocol),
+            ("crates/serve/tests/proto.rs", tests),
+            ("docs/serve-protocol.md", doc),
+        ],
+        "protocol-doc",
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("verb `zap` is implemented but not documented")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("documented verb `gone` is not implemented")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn protocol_doc_flags_missing_test_coverage() {
+    let protocol = r#"
+pub fn encode() { let _ = ("verb", "submit"); }
+"#;
+    let doc = "Request: {\"verb\":\"submit\"}\n";
+    let diags = scan(
+        &[
+            ("crates/serve/src/protocol.rs", protocol),
+            ("docs/serve-protocol.md", doc),
+        ],
+        "protocol-doc",
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.contains("verb `submit` has no test coverage")),
+        "{diags:?}"
+    );
+}
+
+// -- allowlist --------------------------------------------------------------
+
+#[test]
+fn allowlist_suppresses_counts_and_reports_drift() {
+    let lib = r#"
+pub fn first(values: &[u32]) -> u32 { *values.first().unwrap() }
+"#;
+    let ws = Workspace::from_sources(&[("crates/demo/src/lib.rs", lib)]);
+    let allow = marqsim_analysis::Allowlist::parse(
+        r#"
+[[allow]]
+lint = "panic-hygiene"
+path = "crates/demo/src/lib.rs"
+count = 1
+reason = "fixture"
+
+[[allow]]
+lint = "panic-hygiene"
+path = "crates/demo/src/gone.rs"
+reason = "stale"
+"#,
+    )
+    .expect("allowlist parses");
+    let report = run_lints(&ws, &allow, Some(&["panic-hygiene"]));
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    // The unwrap is allowed; the unmatched entry surfaces as a stale note,
+    // which keeps the report non-clean so drift cannot hide.
+    assert!(
+        rendered.iter().any(|d| d.contains("(allowed)")),
+        "{rendered:?}"
+    );
+    assert!(rendered.iter().any(|d| d.contains("stale")), "{rendered:?}");
+    assert!(!report.is_clean());
+}

@@ -1,0 +1,84 @@
+//! The lint engine run against the live workspace: the repo must scan
+//! clean modulo `analysis/allow.toml`, and the reconstructed lock graph
+//! must contain the locks the runtime witness shadows — with no cycles.
+
+use std::path::Path;
+
+use marqsim_analysis::json::Json;
+use marqsim_analysis::{run_lints, Allowlist, Workspace};
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn live_report() -> marqsim_analysis::Report {
+    let root = workspace_root();
+    let ws = Workspace::load(root).expect("workspace loads");
+    let allow_text = std::fs::read_to_string(root.join("analysis/allow.toml"))
+        .expect("analysis/allow.toml is checked in");
+    let allow = Allowlist::parse(&allow_text).expect("allowlist parses");
+    run_lints(&ws, &allow, None)
+}
+
+#[test]
+fn workspace_is_clean_modulo_allowlist() {
+    let report = live_report();
+    let active: Vec<String> = report.active_findings().map(|d| d.to_string()).collect();
+    assert!(
+        active.is_empty(),
+        "live workspace has unallowed findings (fix them or extend \
+         analysis/allow.toml with a reviewed reason):\n{}",
+        active.join("\n")
+    );
+}
+
+#[test]
+fn lock_graph_names_the_witnessed_locks_and_has_no_cycles() {
+    let report = live_report();
+    let graph = report
+        .sections
+        .iter()
+        .find(|(name, _)| *name == "lock_graph")
+        .map(|(_, value)| value)
+        .expect("lock-order lint contributes a lock_graph section");
+    let Json::Obj(pairs) = graph else {
+        panic!("lock_graph is an object");
+    };
+    let field = |key: &str| {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("lock_graph has a `{key}` field"))
+    };
+
+    let Json::Arr(nodes) = field("nodes") else {
+        panic!("nodes is an array");
+    };
+    let names: Vec<&str> = nodes
+        .iter()
+        .filter_map(|node| match node {
+            Json::Obj(fields) => fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("name", Json::Str(s)) => Some(s.as_str()),
+                _ => None,
+            }),
+            _ => None,
+        })
+        .collect();
+    // The locks the runtime witness (obs::lockcheck) shadows must all be
+    // visible to the static analysis under their source names.
+    for expected in ["engine/pool.state", "engine/shard.shards", "obs/trace.SINK"] {
+        assert!(
+            names.contains(&expected),
+            "lock graph should contain `{expected}`; nodes: {names:?}"
+        );
+    }
+
+    let Json::Arr(cycles) = field("cycles") else {
+        panic!("cycles is an array");
+    };
+    assert!(
+        cycles.is_empty(),
+        "live workspace lock graph has cycles: {cycles:?}"
+    );
+}

@@ -21,7 +21,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use marqsim_obs::{metrics, trace};
+use marqsim_obs::{lockcheck, metrics, trace};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -148,10 +148,12 @@ impl Injector {
             // task parents its span here, not in its own (empty) span stack.
             parent: trace::current_span(),
         };
+        let witness = lockcheck::acquire("engine.pool.injector");
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.lanes[priority.lane()].push_back(queued);
         state.queued += 1;
         drop(state);
+        drop(witness);
         instruments.queue_depth.add(1);
         self.available.notify_one();
     }
@@ -162,11 +164,18 @@ impl Injector {
     /// tracing is on, to a `queue_wait` interval attached to the
     /// submitter's span.
     fn pop(&self) -> Option<QueuedTask> {
+        // The witness outlives the `Condvar::wait` guard cycling: the thread
+        // is parked (acquiring nothing) whenever the mutex is actually
+        // released, so the over-held token cannot learn a false edge. It is
+        // dropped with the guard before the metric/trace calls below so no
+        // injector → registry/sink edge is recorded.
+        let witness = lockcheck::acquire("engine.pool.injector");
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(task) = state.lanes.iter_mut().find_map(|lane| lane.pop_front()) {
                 state.queued -= 1;
                 drop(state);
+                drop(witness);
                 let instruments = pool_metrics();
                 instruments.queue_depth.sub(1);
                 let waited = task.enqueued.elapsed();
@@ -193,6 +202,7 @@ impl Injector {
     }
 
     fn queued(&self) -> usize {
+        let _witness = lockcheck::acquire("engine.pool.injector");
         self.state
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -200,10 +210,12 @@ impl Injector {
     }
 
     fn shutdown(&self) {
+        let witness = lockcheck::acquire("engine.pool.injector");
         self.state
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .shutdown = true;
+        drop(witness);
         self.available.notify_all();
     }
 }
@@ -229,14 +241,17 @@ impl std::fmt::Debug for ThreadPool {
 }
 
 impl ThreadPool {
-    /// Spawns a pool with `threads` workers (at least one).
+    /// Spawns a pool with `threads` workers (at least one). If the OS
+    /// refuses some worker threads the pool degrades to however many did
+    /// spawn; it panics only when not even one worker could start, since a
+    /// workerless pool would deadlock every `map`.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let injector = Arc::new(Injector::new());
-        let workers = (0..threads)
-            .map(|i| {
+        let workers: Vec<JoinHandle<()>> = (0..threads)
+            .filter_map(|i| {
                 let injector = Arc::clone(&injector);
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("marqsim-engine-{i}"))
                     .spawn(move || {
                         // Catch panics from raw `execute` tasks here so a
@@ -248,10 +263,20 @@ impl ThreadPool {
                                 .field("lane", task.lane.as_str());
                             let _ = catch_unwind(AssertUnwindSafe(task.run));
                         }
-                    })
-                    .expect("spawn engine worker")
+                    });
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    Err(err) => {
+                        marqsim_obs::warn!("pool", "event=spawn_failed worker={i} err=\"{err}\"");
+                        None
+                    }
+                }
             })
             .collect();
+        assert!(
+            !workers.is_empty(),
+            "thread pool could not spawn any worker thread"
+        );
         ThreadPool { injector, workers }
     }
 

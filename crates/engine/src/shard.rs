@@ -23,10 +23,23 @@
 //! cache stores `Arc`s) and every mutation below is a sequence of
 //! already-valid states, so a panicking thread cannot leave a shard
 //! half-updated in a way that matters.
+//!
+//! **Lock order.** All shard acquisition funnels through
+//! [`ShardedLru::lock_shard`] (one shard) or
+//! [`ShardedLru::lock_all_ascending`] (every shard, by ascending index —
+//! the workspace convention for multi-shard operations, documented in
+//! `docs/analysis.md`). Both register with the debug-build lock witness
+//! (`marqsim_obs::lockcheck`), which panics on a descending same-family
+//! acquisition, so any future code path that grabs two shards out of
+//! order fails loudly under the stress tests instead of deadlocking in
+//! production.
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::ops::{Deref, DerefMut};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use marqsim_obs::lockcheck;
 
 /// Upper bound on the automatically selected shard count.
 const MAX_AUTO_SHARDS: usize = 64;
@@ -98,11 +111,34 @@ where
         }
     }
 
-    fn shard(&self, hash: u64) -> MutexGuard<'_, Shard<B, K, V>> {
+    fn shard(&self, hash: u64) -> ShardGuard<'_, B, K, V> {
         let index = (hash as usize) & (self.shards.len() - 1);
-        self.shards[index]
+        self.lock_shard(index)
+    }
+
+    /// Locks the shard at `index` (all single-shard paths funnel here, so
+    /// the lock witness sees every acquisition).
+    fn lock_shard(&self, index: usize) -> ShardGuard<'_, B, K, V> {
+        let witness = lockcheck::acquire_indexed("engine.cache.shard", index);
+        let guard = self.shards[index]
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_else(PoisonError::into_inner);
+        ShardGuard {
+            guard,
+            _witness: witness,
+        }
+    }
+
+    /// Locks **every** shard in ascending index order and returns the
+    /// guards (index order preserved). This is the only sanctioned way to
+    /// hold more than one shard at a time: ascending acquisition cannot
+    /// deadlock against another ascending acquirer, and the witness
+    /// panics in debug builds if any path ever descends. Holding all
+    /// shards gives multi-shard read-outs a consistent snapshot.
+    fn lock_all_ascending(&self) -> Vec<ShardGuard<'_, B, K, V>> {
+        (0..self.shards.len())
+            .map(|index| self.lock_shard(index))
+            .collect()
     }
 
     /// Looks up the entry with full key `key` in bucket `bucket`, bumping
@@ -168,28 +204,55 @@ where
         self.len() == 0
     }
 
-    /// Entry count of each shard, in shard order.
+    /// Entry count of each shard, in shard order. Holds all shards
+    /// (ascending) so the counts are a consistent snapshot — a concurrent
+    /// insert cannot be double-counted or missed while the vector is
+    /// assembled.
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards
+        self.lock_all_ascending()
             .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len)
+            .map(|shard| shard.len)
             .collect()
     }
 
     /// Total LRU evictions across all shards since creation (or the last
-    /// [`clear`](Self::clear)).
+    /// [`clear`](Self::clear)); a consistent all-shards snapshot like
+    /// [`shard_lens`](Self::shard_lens).
     pub fn evictions(&self) -> u64 {
-        self.shards
+        self.lock_all_ascending()
             .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).evictions)
+            .map(|shard| shard.evictions)
             .sum()
     }
 
-    /// Drops every entry and resets the eviction counters.
+    /// Drops every entry and resets the eviction counters. Holding all
+    /// shards makes the clear atomic: no reader can observe some shards
+    /// cleared and others not.
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
-            *shard.lock().unwrap_or_else(PoisonError::into_inner) = Shard::default();
+        for shard in self.lock_all_ascending().iter_mut() {
+            **shard = Shard::default();
         }
+    }
+}
+
+/// A locked shard: the mutex guard plus its lock-witness token, released
+/// together. Dereferences to the shard.
+struct ShardGuard<'a, B, K, V> {
+    guard: MutexGuard<'a, Shard<B, K, V>>,
+    _witness: lockcheck::Held,
+}
+
+impl<B, K, V> Deref for ShardGuard<'_, B, K, V> {
+    type Target = Shard<B, K, V>;
+
+    fn deref(&self) -> &Shard<B, K, V> {
+        &self.guard
+    }
+}
+
+impl<B, K, V> DerefMut for ShardGuard<'_, B, K, V> {
+    fn deref_mut(&mut self) -> &mut Shard<B, K, V> {
+        &mut self.guard
     }
 }
 

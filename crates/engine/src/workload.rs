@@ -54,7 +54,7 @@ use marqsim_core::perturb::{perturbed_matrix_sample_with, PerturbationConfig};
 use marqsim_core::{HttGraph, SolverKind, TransitionStrategy};
 use marqsim_markov::combine::combine;
 use marqsim_markov::TransitionMatrix;
-use marqsim_obs::trace;
+use marqsim_obs::{lockcheck, trace};
 use marqsim_pauli::Hamiltonian;
 
 use crate::cache::TransitionCache;
@@ -314,6 +314,7 @@ impl ProgressSink {
 
     pub(crate) fn emit(&self, progress: Progress) {
         let (advanced, emit) = {
+            let _witness = lockcheck::acquire("engine.workload.throttle");
             let mut throttle = self.throttle.lock().unwrap_or_else(PoisonError::into_inner);
             // Monotonicity: a report that does not advance the completed
             // count is dropped (stale counts from overlapping phases must

@@ -24,7 +24,15 @@
 //!
 //! The instrument catalog, environment variables, and the exposition
 //! format are documented in `docs/observability.md`.
+//!
+//! A fourth, debug-only pillar: [`lockcheck`] — a runtime lock-order
+//! witness (thread-local held-lock set, global order table learned at
+//! first acquisition, panic on inversion) wired into the workspace's
+//! hand-rolled locks. It dynamically validates the lock graph that the
+//! static `marqsim-lint` lock-order pass reconstructs; release builds
+//! compile it away entirely.
 
+pub mod lockcheck;
 pub mod log;
 pub mod metrics;
 pub mod trace;

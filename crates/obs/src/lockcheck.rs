@@ -1,0 +1,277 @@
+//! A debug-assertions-only runtime lock-order witness.
+//!
+//! The static lock-order lint (`cargo run -p marqsim-analysis`)
+//! reconstructs the workspace lock graph from source; this module is its
+//! dynamic counterpart, wired into the same locks (pool injector, cache
+//! shards, trace sink, metrics registry, serve gates) so the stress
+//! suites *execute* the ordering claims the lint makes. Every
+//! instrumented acquisition:
+//!
+//! 1. checks the thread-local held-lock set for a same-family re-entry
+//!    (self-deadlock) or a descending same-family index (the shard
+//!    convention is ascending — see `docs/analysis.md`),
+//! 2. consults the global order table — a directed graph over lock
+//!    families learned at first acquisition — and panics if acquiring
+//!    `B` while holding `A` when `B → … → A` is already on record (an
+//!    inversion: some other thread nests the other way), and
+//! 3. otherwise records `A → B` and pushes onto the held set.
+//!
+//! Release builds compile all of it to nothing: [`acquire`] returns an
+//! inert zero-sized token and the order table does not exist. The `cargo
+//! test` profile has `debug_assertions` on, so the whole test suite runs
+//! witnessed without any feature flag.
+//!
+//! The witness's own state lock is a leaf: the witness never calls user
+//! code while holding it, so it cannot participate in the graphs it
+//! checks.
+
+/// A token proving the holder appears in the thread's held-lock set.
+/// Drop it when the guard it shadows is released (bind it *before* the
+/// guard so scope-end drops release the lock first, or drop both
+/// explicitly for early releases like the pool's `drop(state)`).
+#[must_use = "the witness token must live exactly as long as the lock guard it shadows"]
+#[derive(Debug)]
+pub struct Held {
+    #[cfg(debug_assertions)]
+    token: u64,
+}
+
+/// Registers an acquisition of the named (non-indexed) lock family.
+/// Panics — in debug builds only — on recursive acquisition or on an
+/// ordering inversion against the learned global order.
+#[inline]
+pub fn acquire(name: &'static str) -> Held {
+    acquire_indexed(name, usize::MAX)
+}
+
+/// Registers an acquisition of one member of an indexed lock family
+/// (e.g. cache shard `index`). Members of the same family must be
+/// acquired in ascending index order; `usize::MAX` marks a non-indexed
+/// family (same-family re-entry is then always a violation).
+#[inline]
+pub fn acquire_indexed(name: &'static str, index: usize) -> Held {
+    #[cfg(debug_assertions)]
+    {
+        imp::acquire(name, index)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (name, index);
+        Held {}
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for Held {
+    fn drop(&mut self) {
+        imp::release(self.token);
+    }
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::Held;
+    use std::cell::RefCell;
+    use std::collections::{BTreeSet, HashMap};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
+    struct OrderState {
+        /// Family name -> dense id.
+        families: HashMap<&'static str, usize>,
+        names: Vec<&'static str>,
+        /// Learned order: `edges[a]` contains `b` when some thread held
+        /// `a` while acquiring `b`.
+        edges: Vec<BTreeSet<usize>>,
+    }
+
+    static ORDER: Mutex<Option<OrderState>> = Mutex::new(None);
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+    #[derive(Clone, Copy)]
+    struct HeldEntry {
+        index: usize,
+        token: u64,
+        name: &'static str,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// `from` reaches `to` in the learned order graph?
+    fn reaches(edges: &[BTreeSet<usize>], from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![false; edges.len()];
+        while let Some(node) = stack.pop() {
+            if node == to {
+                return true;
+            }
+            if seen[node] {
+                continue;
+            }
+            seen[node] = true;
+            stack.extend(edges[node].iter().copied());
+        }
+        false
+    }
+
+    pub(super) fn acquire(name: &'static str, index: usize) -> Held {
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        // TLS teardown (locks taken from destructors of other
+        // thread-locals) degrades to an unwitnessed acquisition.
+        let held_snapshot: Option<Vec<HeldEntry>> =
+            HELD.try_with(|held| held.borrow().clone()).ok();
+        let Some(snapshot) = held_snapshot else {
+            return Held { token: 0 };
+        };
+
+        // Same-family checks need no global state.
+        for entry in &snapshot {
+            if entry.name == name {
+                if index == usize::MAX || entry.index == usize::MAX {
+                    panic!(
+                        "lock witness: recursive acquisition of `{name}` \
+                         (already held by this thread) — self-deadlock"
+                    );
+                }
+                if entry.index >= index {
+                    panic!(
+                        "lock witness: `{name}[{}]` held while acquiring `{name}[{index}]` — \
+                         indexed families must be acquired in ascending order",
+                        entry.index
+                    );
+                }
+            }
+        }
+
+        {
+            let mut order = ORDER.lock().unwrap_or_else(PoisonError::into_inner);
+            let state = order.get_or_insert_with(|| OrderState {
+                families: HashMap::new(),
+                names: Vec::new(),
+                edges: Vec::new(),
+            });
+            let family = intern(state, name);
+            for entry in &snapshot {
+                if entry.name == name {
+                    continue;
+                }
+                let held_family = intern(state, entry.name);
+                if reaches(&state.edges, family, held_family) {
+                    panic!(
+                        "lock witness: ordering inversion — acquiring `{name}` while \
+                         holding `{}`, but the learned order already requires \
+                         `{name}` before `{}`",
+                        entry.name, entry.name
+                    );
+                }
+                state.edges[held_family].insert(family);
+            }
+            // Push while the order lock serializes us against concurrent
+            // learners; the entry itself is thread-local.
+            let _ = HELD.try_with(|held| held.borrow_mut().push(HeldEntry { index, token, name }));
+        }
+        Held { token }
+    }
+
+    fn intern(state: &mut OrderState, name: &'static str) -> usize {
+        if let Some(&id) = state.families.get(name) {
+            return id;
+        }
+        let id = state.names.len();
+        state.families.insert(name, id);
+        state.names.push(name);
+        state.edges.push(BTreeSet::new());
+        id
+    }
+
+    pub(super) fn release(token: u64) {
+        if token == 0 {
+            return;
+        }
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(position) = held.iter().position(|e| e.token == token) {
+                held.swap_remove(position);
+            }
+        });
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Runs `f` on a fresh thread and reports whether it panicked —
+    /// violations must not poison this test thread's held set.
+    fn panics(f: impl FnOnce() + Send + 'static) -> bool {
+        std::thread::spawn(f).join().is_err()
+    }
+
+    // Distinct family names per test: the order table is process-global
+    // and these tests run concurrently with each other.
+
+    #[test]
+    fn recursive_acquisition_panics() {
+        assert!(panics(|| {
+            let _a = acquire("test.recursive");
+            let _b = acquire("test.recursive");
+        }));
+    }
+
+    #[test]
+    fn descending_indexed_acquisition_panics() {
+        assert!(panics(|| {
+            let _a = acquire_indexed("test.shard_desc", 3);
+            let _b = acquire_indexed("test.shard_desc", 1);
+        }));
+        assert!(!panics(|| {
+            let _a = acquire_indexed("test.shard_asc", 1);
+            let _b = acquire_indexed("test.shard_asc", 3);
+        }));
+    }
+
+    #[test]
+    fn ordering_inversion_panics_even_without_a_real_deadlock() {
+        // Learn a -> b on one thread…
+        assert!(!panics(|| {
+            let _a = acquire("test.inv_a");
+            let _b = acquire("test.inv_b");
+        }));
+        // …then b -> a is an inversion, no matter the thread.
+        assert!(panics(|| {
+            let _b = acquire("test.inv_b");
+            let _a = acquire("test.inv_a");
+        }));
+    }
+
+    #[test]
+    fn consistent_nesting_is_quiet_and_release_unwinds() {
+        static ROUNDS: AtomicUsize = AtomicUsize::new(0);
+        assert!(!panics(|| {
+            for _ in 0..100 {
+                let _outer = acquire("test.nest_outer");
+                {
+                    let _inner = acquire("test.nest_inner");
+                    ROUNDS.fetch_add(1, Ordering::Relaxed);
+                }
+                // Inner released: re-acquiring it is fine.
+                let _again = acquire("test.nest_inner");
+            }
+        }));
+        assert_eq!(ROUNDS.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn out_of_order_release_is_supported() {
+        assert!(!panics(|| {
+            let a = acquire("test.rel_a");
+            let b = acquire("test.rel_b");
+            drop(a); // release the outer token first
+            let _c = acquire("test.rel_c");
+            drop(b);
+        }));
+    }
+}

@@ -304,6 +304,7 @@ impl Registry {
         as_existing: impl Fn(&Instrument) -> Option<Arc<T>>,
         create: impl FnOnce() -> (Arc<T>, Instrument),
     ) -> Arc<T> {
+        let _witness = crate::lockcheck::acquire("obs.metrics.registry");
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(entry) = entries
             .iter()
@@ -410,6 +411,7 @@ impl Registry {
     /// `_bucket{le=…}` / `_sum` / `_count` series. Output is sorted by
     /// name then labels, so two snapshots diff cleanly.
     pub fn expose(&self) -> String {
+        let _witness = crate::lockcheck::acquire("obs.metrics.registry");
         let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let mut sorted: Vec<&Entry> = entries.iter().collect();
         sorted.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));

@@ -72,6 +72,7 @@ pub fn enabled() -> bool {
 }
 
 fn init_from_env() -> bool {
+    let _witness = crate::lockcheck::acquire("obs.trace.sink");
     let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
     // Double-checked: another thread may have initialized while we waited.
     match STATE.load(Ordering::Relaxed) {
@@ -109,6 +110,7 @@ fn init_from_env() -> bool {
 /// returns the buffer. For tests (process-global: affects every thread).
 pub fn install_memory_sink() -> Arc<Mutex<Vec<String>>> {
     let buffer = Arc::new(Mutex::new(Vec::new()));
+    let _witness = crate::lockcheck::acquire("obs.trace.sink");
     let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
     epoch();
     *sink = Some(SinkTarget::Memory(Arc::clone(&buffer)));
@@ -117,6 +119,7 @@ pub fn install_memory_sink() -> Arc<Mutex<Vec<String>>> {
 }
 
 fn write_line(line: String) {
+    let _witness = crate::lockcheck::acquire("obs.trace.sink");
     let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
     match sink.as_mut() {
         Some(SinkTarget::File(file)) => {
@@ -126,6 +129,9 @@ fn write_line(line: String) {
             eprintln!("{line}");
         }
         Some(SinkTarget::Memory(buffer)) => {
+            // The one deliberate nesting in the workspace lock graph:
+            // obs.trace.sink -> obs.trace.memory (test-only sink target).
+            let _inner = crate::lockcheck::acquire("obs.trace.memory");
             buffer
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)

@@ -53,7 +53,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 use marqsim_engine::{Engine, JobControl, Progress, SolverKind, SubmitOptions};
-use marqsim_obs::{metrics, warn};
+use marqsim_obs::{lockcheck, metrics, warn};
 
 use crate::protocol::{failure_kind, Event, Request, ServerStats, PROTOCOL_VERSION};
 use crate::registry::WorkloadRegistry;
@@ -214,10 +214,14 @@ impl Server {
                         max_active_jobs: self.max_active_jobs,
                         global_active: Arc::clone(&self.global_active),
                     };
-                    std::thread::Builder::new()
+                    // A refused thread drops the stream (the client sees a
+                    // clean close) but must not take the accept loop down.
+                    if let Err(error) = std::thread::Builder::new()
                         .name("marqsim-serve-conn".to_string())
                         .spawn(move || handle_connection(conn, stream))
-                        .expect("spawn connection handler");
+                    {
+                        warn!("serve", "connection handler spawn failed: {error}");
+                    }
                 }
                 Err(error) => {
                     warn!("serve", "accept failed: {error}");
@@ -242,8 +246,7 @@ impl Server {
             .name("marqsim-serve-accept".to_string())
             .spawn(move || {
                 let _ = self.run();
-            })
-            .expect("spawn accept loop");
+            })?;
         Ok(ServerHandle {
             addr,
             shutdown,
@@ -352,7 +355,7 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
     // every sender is gone (reader done, all job waiters done) or the
     // socket dies.
     let writer_bytes_out = Arc::clone(&bytes_out);
-    let writer = std::thread::Builder::new()
+    let writer = match std::thread::Builder::new()
         .name("marqsim-serve-write".to_string())
         .spawn(move || {
             let mut writer = BufWriter::new(write_half);
@@ -369,8 +372,15 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
                 writer_bytes_out.fetch_add(written, Ordering::Relaxed);
                 serve_instruments().bytes_written.add(written);
             }
-        })
-        .expect("spawn connection writer");
+        }) {
+        Ok(writer) => writer,
+        Err(error) => {
+            // Without a writer half the connection cannot speak at all;
+            // drop it and let the client retry.
+            warn!("serve", "connection writer spawn failed: {error}");
+            return;
+        }
+    };
 
     send_event(
         &out_tx,
@@ -595,6 +605,7 @@ fn handle_submit(
     let handle =
         conn.engine
             .submit_with_options(workload, engine_options, move |progress: Progress| {
+                let _witness = lockcheck::acquire("serve.server.gate");
                 let mut gate = progress_gate.lock().unwrap_or_else(PoisonError::into_inner);
                 match gate.job {
                     Some(job) => {
@@ -622,6 +633,7 @@ fn handle_submit(
     // Open the gate only after the submitted ack is on the writer queue,
     // so the wire order is always submitted → progress → done.
     {
+        let _witness = lockcheck::acquire("serve.server.gate");
         let mut gate = gate.lock().unwrap_or_else(PoisonError::into_inner);
         gate.job = Some(job_id);
         for progress in gate.buffered.drain(..) {
@@ -643,7 +655,7 @@ fn handle_submit(
     let waiter_engine = Arc::clone(&conn.engine);
     let waiter_registry = Arc::clone(&conn.registry);
     let waiter_in_flight = Arc::clone(in_flight);
-    std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name(format!("marqsim-serve-job-{job_id}"))
         .spawn(move || {
             let outcome = handle.collect();
@@ -674,6 +686,21 @@ fn handle_submit(
                 },
             };
             let _ = waiter_out.send(event.encode());
-        })
-        .expect("spawn job waiter");
+        });
+    if let Err(error) = spawned {
+        // The unspawned closure was dropped, which already freed the
+        // admission slot it captured; the in-flight count and the client
+        // are still ours to settle. The job itself keeps running in the
+        // engine — only its outcome is lost.
+        warn!("serve", "job waiter spawn failed: {error}");
+        in_flight.fetch_sub(1, Ordering::AcqRel);
+        send_event(
+            out_tx,
+            &Event::Failed {
+                job: job_id,
+                kind: "internal".to_string(),
+                message: format!("job waiter thread could not be spawned: {error}"),
+            },
+        );
+    }
 }

@@ -37,6 +37,10 @@
 //! * [`obs`] — the telemetry subsystem: the process-wide metrics registry
 //!   (counters, gauges, latency histograms), structured span tracing with
 //!   a `MARQSIM_TRACE` JSONL sink, and the `MARQSIM_LOG` leveled logger.
+//! * [`analysis`] — workspace-specific static analysis: the span-aware
+//!   lexer, the pluggable lint registry behind the `marqsim-lint` CLI
+//!   (lock-order deadlock detection, panic hygiene, env/telemetry/protocol
+//!   consistency), and the allowlist machinery.
 //! * [`linalg`] — dense complex linear algebra used throughout.
 //!
 //! # Quick start
@@ -58,6 +62,7 @@
 //! # }
 //! ```
 
+pub use marqsim_analysis as analysis;
 pub use marqsim_circuit as circuit;
 pub use marqsim_core as core;
 pub use marqsim_engine as engine;
