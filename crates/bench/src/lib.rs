@@ -71,11 +71,12 @@ pub fn engine() -> Engine {
 /// binary emits this before exiting; the CI smoke jobs redirect stderr into
 /// their logs and assert e.g. `flow_solves=0` when `table2` reruns against
 /// a warm `MARQSIM_CACHE_DIR`. The line format predates the logger and is
-/// frozen: `[cache] key=value …`.
+/// frozen: `[cache] key=value …` — new counters append at the end so the
+/// existing `key=value ` greps keep matching.
 pub fn report_cache_stats(stats: CacheStats) {
     marqsim_obs::info!(
         "cache",
-        "hits={} misses={} component_hits={} flow_solves={} flow_solves_ssp={} flow_solves_simplex={} disk_hits={} disk_writes={} disk_errors={} evictions={} graphs={} components={}",
+        "hits={} misses={} component_hits={} flow_solves={} flow_solves_ssp={} flow_solves_simplex={} disk_hits={} disk_writes={} disk_errors={} evictions={} graphs={} components={} warm_starts={}",
         stats.hits,
         stats.misses,
         stats.component_hits,
@@ -88,6 +89,7 @@ pub fn report_cache_stats(stats: CacheStats) {
         stats.evictions,
         stats.graphs,
         stats.components,
+        stats.warm_starts,
     );
 }
 

@@ -12,8 +12,8 @@
 //! term carrying more than half of the total weight is split in two first
 //! (Appendix A.3), mirroring `Hamiltonian::split_dominant_terms`.
 
-use marqsim_flow::bipartite::{solve_with, BipartiteFlow};
-use marqsim_flow::SolverKind;
+use marqsim_flow::bipartite::{solve_warm_with, solve_with_basis, BipartiteFlow};
+use marqsim_flow::{SolverKind, SpanningBasis};
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::algebra::cnot_count_between;
 use marqsim_pauli::Hamiltonian;
@@ -62,9 +62,58 @@ pub fn matrix_from_costs_with(
     costs: &[Vec<f64>],
     solver: SolverKind,
 ) -> Result<(TransitionMatrix, BipartiteFlow), CompileError> {
+    matrix_from_costs_with_basis(ham, costs, solver).map(|(matrix, flow, _)| (matrix, flow))
+}
+
+/// Like [`matrix_from_costs_with`], additionally returning the solver's
+/// optimal [`SpanningBasis`] (`None` for backends without warm support).
+/// The basis can warm-start [`matrix_from_costs_warm_with`] for the same
+/// Hamiltonian under a different cost matrix — the flow network's
+/// topology depends only on `π` and the excluded diagonal, both fixed by
+/// the Hamiltonian, which is exactly the `P_rp` perturbed-cost shape.
+///
+/// # Errors
+///
+/// Same contract as [`matrix_from_costs`].
+pub fn matrix_from_costs_with_basis(
+    ham: &Hamiltonian,
+    costs: &[Vec<f64>],
+    solver: SolverKind,
+) -> Result<(TransitionMatrix, BipartiteFlow, Option<SpanningBasis>), CompileError> {
     let pi = ham.stationary_distribution();
-    let flow = solve_with(solver, &pi, costs, |i, j| i != j)?;
-    // p_ij = f_ij / π_i (Equation in §5.1.2).
+    let (flow, basis) = solve_with_basis(solver, &pi, costs, |i, j| i != j)?;
+    let matrix = matrix_from_flow(ham, &pi, &flow)?;
+    Ok((matrix, flow, basis))
+}
+
+/// Warm-start variant of [`matrix_from_costs_with_basis`]: re-prices and
+/// re-pivots from a basis saved by an earlier solve for the *same*
+/// Hamiltonian. A mismatched basis or a backend without warm support
+/// degrades to a cold solve ([`BipartiteFlow::warm_start`] reports what
+/// happened); errors are classified identically either way.
+///
+/// # Errors
+///
+/// Same contract as [`matrix_from_costs`].
+pub fn matrix_from_costs_warm_with(
+    ham: &Hamiltonian,
+    costs: &[Vec<f64>],
+    solver: SolverKind,
+    basis: &SpanningBasis,
+) -> Result<(TransitionMatrix, BipartiteFlow, Option<SpanningBasis>), CompileError> {
+    let pi = ham.stationary_distribution();
+    let (flow, basis) = solve_warm_with(solver, &pi, costs, |i, j| i != j, basis)?;
+    let matrix = matrix_from_flow(ham, &pi, &flow)?;
+    Ok((matrix, flow, basis))
+}
+
+/// Converts an optimal bipartite flow into the transition matrix
+/// `p_ij = f_ij / π_i` (§5.1.2), renormalizing each row against round-off.
+fn matrix_from_flow(
+    ham: &Hamiltonian,
+    pi: &[f64],
+    flow: &BipartiteFlow,
+) -> Result<TransitionMatrix, CompileError> {
     let n = ham.num_terms();
     let mut rows = vec![vec![0.0; n]; n];
     for i in 0..n {
@@ -86,8 +135,7 @@ pub fn matrix_from_costs_with(
             rows[i][i] = 1.0;
         }
     }
-    let matrix = TransitionMatrix::new(rows)?;
-    Ok((matrix, flow))
+    Ok(TransitionMatrix::new(rows)?)
 }
 
 /// Builds `P_gc` for a Hamiltonian (Algorithm 2) under the default solver
@@ -117,6 +165,23 @@ pub fn gate_cancellation_matrix_with(
 ) -> Result<TransitionMatrix, CompileError> {
     let costs = cnot_cost_matrix(ham);
     matrix_from_costs_with(ham, &costs, solver).map(|(m, _)| m)
+}
+
+/// Like [`gate_cancellation_matrix_with`], additionally returning the
+/// backend's optimal [`SpanningBasis`] (`None` for `ssp`). The engine's
+/// transition cache persists this basis next to `P_gc` so the `P_rp`
+/// perturbation samples — same network topology, perturbed costs — can be
+/// solved as warm re-pivots instead of cold solves.
+///
+/// # Errors
+///
+/// See [`matrix_from_costs`].
+pub fn gate_cancellation_matrix_with_basis(
+    ham: &Hamiltonian,
+    solver: SolverKind,
+) -> Result<(TransitionMatrix, Option<SpanningBasis>), CompileError> {
+    let costs = cnot_cost_matrix(ham);
+    matrix_from_costs_with_basis(ham, &costs, solver).map(|(m, _, basis)| (m, basis))
 }
 
 /// Builds `P_gc` and also returns the optimal objective value — by

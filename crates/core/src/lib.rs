@@ -68,7 +68,7 @@ pub use strategy::TransitionStrategy;
 /// Re-export of the pluggable min-cost-flow solver API: the engine, serve,
 /// and bench layers select a backend through [`SolverKind`] without
 /// depending on `marqsim-flow` directly.
-pub use marqsim_flow::{MinCostFlowSolver, SolverKind};
+pub use marqsim_flow::{MinCostFlowSolver, SolverKind, SpanningBasis};
 
 /// Re-export of the spectra analysis used for §5.4 (Fig. 11 / Fig. 15).
 pub use marqsim_markov::spectra as markov_spectra;

@@ -17,7 +17,12 @@ use marqsim_markov::combine::combine;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
 
-use crate::gate_cancel::{cnot_cost_matrix, matrix_from_costs_with};
+use marqsim_flow::SpanningBasis;
+
+use crate::gate_cancel::{
+    cnot_cost_matrix, matrix_from_costs_warm_with, matrix_from_costs_with,
+    matrix_from_costs_with_basis,
+};
 use crate::{CompileError, SolverKind};
 
 /// Configuration of the random-perturbation matrix construction.
@@ -104,6 +109,62 @@ pub fn random_perturbation_matrix_with(
     combine(&matrices, &weights).map_err(CompileError::Combine)
 }
 
+/// Like [`random_perturbation_matrix_with`], solving the perturbed
+/// problems as warm re-pivots from a [`SpanningBasis`]. The perturbation
+/// only changes edge costs — the network topology is fixed by the
+/// Hamiltonian — so every sample can reuse one basis:
+///
+/// * with `gc_basis = Some(..)` (the engine path: the basis saved by the
+///   `P_gc` solve) every sample warm-starts from it;
+/// * with `gc_basis = None` the first sample solves cold and exports its
+///   basis, and the remaining `samples - 1` warm-start from that.
+///
+/// Also returns how many solves actually re-pivoted a basis (always `0`
+/// for backends without warm support, which silently degrade to the cold
+/// construction). Determinism is preserved: the result is a pure
+/// function of `(ham, config, solver, gc_basis)`, and `gc_basis` itself
+/// is a pure function of `(ham, solver)` when derived from the `P_gc`
+/// solve — so cached and cache-disabled runs build identical matrices.
+///
+/// # Errors
+///
+/// Same contract as [`random_perturbation_matrix`].
+pub fn random_perturbation_matrix_warm_with(
+    ham: &Hamiltonian,
+    config: &PerturbationConfig,
+    solver: SolverKind,
+    gc_basis: Option<&SpanningBasis>,
+) -> Result<(TransitionMatrix, u64), CompileError> {
+    assert!(config.samples > 0, "need at least one perturbation sample");
+    let base_costs = cnot_cost_matrix(ham);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut matrices = Vec::with_capacity(config.samples);
+    let mut warm_starts = 0u64;
+    let mut first_basis: Option<SpanningBasis> = None;
+    for _ in 0..config.samples {
+        let mut costs = base_costs.clone();
+        perturb_costs(&mut costs, &mut rng, config);
+        let matrix = match gc_basis.or(first_basis.as_ref()) {
+            Some(basis) => {
+                let (matrix, flow, _) = matrix_from_costs_warm_with(ham, &costs, solver, basis)?;
+                if flow.warm_start {
+                    warm_starts += 1;
+                }
+                matrix
+            }
+            None => {
+                let (matrix, _, exported) = matrix_from_costs_with_basis(ham, &costs, solver)?;
+                first_basis = exported;
+                matrix
+            }
+        };
+        matrices.push(matrix);
+    }
+    let weights = vec![1.0 / config.samples as f64; config.samples];
+    let averaged = combine(&matrices, &weights).map_err(CompileError::Combine)?;
+    Ok((averaged, warm_starts))
+}
+
 /// The RNG seed of the `index`-th sample in the *parallel* `P_rp`
 /// construction: a SplitMix64-style spread of `config.seed`, so each sample
 /// owns an independent stream and any scheduler that solves sample `index`
@@ -146,6 +207,59 @@ pub fn perturbed_matrix_sample_with(
     perturb_costs(&mut costs, &mut rng, config);
     let (matrix, _) = matrix_from_costs_with(ham, &costs, solver)?;
     Ok(matrix)
+}
+
+/// Like [`perturbed_matrix_sample_with`], additionally exporting the
+/// solve's optimal [`SpanningBasis`] when the backend supports it (`None`
+/// otherwise). The matrix is bit-identical to the plain cold sample; the
+/// basis lets the caller warm-start the *other* samples of the same
+/// average — the engine's parallel `P_rp` workload solves sample `0`
+/// through this and re-pivots samples `1..` from the returned basis.
+///
+/// # Errors
+///
+/// Propagates the flow-solve failure.
+pub fn perturbed_matrix_sample_with_basis(
+    ham: &Hamiltonian,
+    config: &PerturbationConfig,
+    index: usize,
+    solver: SolverKind,
+) -> Result<(TransitionMatrix, Option<SpanningBasis>), CompileError> {
+    let mut costs = cnot_cost_matrix(ham);
+    let mut rng = StdRng::seed_from_u64(perturbation_sample_seed(config, index));
+    perturb_costs(&mut costs, &mut rng, config);
+    let (matrix, _, basis) = matrix_from_costs_with_basis(ham, &costs, solver)?;
+    Ok((matrix, basis))
+}
+
+/// Like [`perturbed_matrix_sample_with`], warm-starting the flow solve
+/// from a [`SpanningBasis`] saved by an earlier solve for the same
+/// Hamiltonian (the perturbation only changes costs, never the network
+/// topology, so any basis for `ham` matches). Returns the sample matrix
+/// and whether the basis was actually re-pivoted (`false` on the cold
+/// fallback — mismatched basis or a backend without warm support).
+///
+/// The matrix depends only on `(ham, config, index, solver, basis)` —
+/// warm sampling stays exactly as deterministic as cold sampling as long
+/// as the caller derives `basis` deterministically (the engine derives
+/// it from the `P_gc` solve, itself a pure function of `(ham, solver)`).
+///
+/// # Errors
+///
+/// Propagates the flow-solve failure — warm and cold solves classify
+/// errors identically.
+pub fn perturbed_matrix_sample_warm_with(
+    ham: &Hamiltonian,
+    config: &PerturbationConfig,
+    index: usize,
+    solver: SolverKind,
+    basis: &SpanningBasis,
+) -> Result<(TransitionMatrix, bool), CompileError> {
+    let mut costs = cnot_cost_matrix(ham);
+    let mut rng = StdRng::seed_from_u64(perturbation_sample_seed(config, index));
+    perturb_costs(&mut costs, &mut rng, config);
+    let (matrix, flow, _) = matrix_from_costs_warm_with(ham, &costs, solver, basis)?;
+    Ok((matrix, flow.warm_start))
 }
 
 #[cfg(test)]

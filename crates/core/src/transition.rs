@@ -1,11 +1,12 @@
 //! Building the compiler's transition matrix from a strategy.
 
+use marqsim_flow::SpanningBasis;
 use marqsim_markov::combine::combine_refs;
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::Hamiltonian;
 
-use crate::gate_cancel::gate_cancellation_matrix_with;
-use crate::perturb::random_perturbation_matrix_with;
+use crate::gate_cancel::{gate_cancellation_matrix_with, gate_cancellation_matrix_with_basis};
+use crate::perturb::{random_perturbation_matrix_warm_with, random_perturbation_matrix_with};
 use crate::qdrift::qdrift_matrix;
 use crate::{CompileError, SolverKind, TransitionStrategy};
 
@@ -124,7 +125,102 @@ pub fn build_transition_matrix_solved_by(
     };
 
     let pi = ham.stationary_distribution();
-    if !matrix.preserves_distribution(&pi, 1e-7) {
+    validate_theorem_4_1(&matrix, &pi)?;
+    Ok(matrix)
+}
+
+/// Like [`build_transition_matrix_solved_by`], but solving every `P_rp`
+/// perturbation sample as a **warm re-pivot** from the `P_gc` spanning
+/// basis instead of a cold solve — the perturbation changes only edge
+/// costs, so the `P_gc` basis always matches the samples' networks.
+///
+/// `cached_gc` optionally supplies the previously solved `P_gc` matrix
+/// *and* the basis its solve exported (the engine's transition cache
+/// persists both). When absent, `P_gc` is solved here and its basis
+/// feeds the samples directly — the basis is a pure function of
+/// `(ham, solver)`, so cached and uncached builds produce identical
+/// matrices. Backends without warm support (`ssp`) degrade to cold
+/// solves throughout and report zero warm starts, leaving the default
+/// pipeline byte-identical to [`build_transition_matrix_solved_by`].
+///
+/// Returns the matrix and the number of flow solves that actually
+/// re-pivoted a saved basis.
+///
+/// # Errors
+///
+/// Same contract as [`build_transition_matrix`].
+pub fn build_transition_matrix_solved_by_warm(
+    ham: &Hamiltonian,
+    strategy: &TransitionStrategy,
+    cached_gc: Option<(&TransitionMatrix, Option<&SpanningBasis>)>,
+    solver: SolverKind,
+) -> Result<(TransitionMatrix, u64), CompileError> {
+    if !strategy.weights_are_valid() {
+        return Err(CompileError::InvalidConfig {
+            reason: format!("invalid combination weights in {strategy:?}"),
+        });
+    }
+    let mut solved: Option<(TransitionMatrix, Option<SpanningBasis>)> = None;
+    let (p_gc, gc_basis): (Option<&TransitionMatrix>, Option<&SpanningBasis>) =
+        if strategy_uses_gate_cancellation(strategy) {
+            match cached_gc {
+                Some((matrix, basis)) => (Some(matrix), basis),
+                None => {
+                    let pair = solved.insert(gate_cancellation_matrix_with_basis(ham, solver)?);
+                    (Some(&pair.0), pair.1.as_ref())
+                }
+            }
+        } else {
+            (None, None)
+        };
+    let p_qd = qdrift_matrix(ham);
+    let mut warm_starts = 0u64;
+    let matrix = match strategy {
+        TransitionStrategy::QDrift => p_qd,
+        TransitionStrategy::GateCancellation { qdrift_weight } => {
+            let p_gc = p_gc.expect("GC strategies carry a P_gc component");
+            combine_refs(&[&p_qd, p_gc], &[*qdrift_weight, 1.0 - *qdrift_weight])?
+        }
+        TransitionStrategy::GateCancellationRandomPerturbation {
+            qdrift_weight,
+            gc_weight,
+            perturbation,
+        } => {
+            let p_gc = p_gc.expect("GC strategies carry a P_gc component");
+            let (p_rp, warm) =
+                random_perturbation_matrix_warm_with(ham, perturbation, solver, gc_basis)?;
+            warm_starts += warm;
+            let rp_weight = 1.0 - qdrift_weight - gc_weight;
+            combine_refs(
+                &[&p_qd, p_gc, &p_rp],
+                &[*qdrift_weight, *gc_weight, rp_weight],
+            )?
+        }
+        TransitionStrategy::Combined {
+            qdrift_weight,
+            gc_weight,
+            rp_weight,
+            perturbation,
+        } => {
+            let p_gc = p_gc.expect("GC strategies carry a P_gc component");
+            let (p_rp, warm) =
+                random_perturbation_matrix_warm_with(ham, perturbation, solver, gc_basis)?;
+            warm_starts += warm;
+            combine_refs(
+                &[&p_qd, p_gc, &p_rp],
+                &[*qdrift_weight, *gc_weight, *rp_weight],
+            )?
+        }
+    };
+
+    let pi = ham.stationary_distribution();
+    validate_theorem_4_1(&matrix, &pi)?;
+    Ok((matrix, warm_starts))
+}
+
+/// The Theorem 4.1 exit checks shared by every builder entry point.
+fn validate_theorem_4_1(matrix: &TransitionMatrix, pi: &[f64]) -> Result<(), CompileError> {
+    if !matrix.preserves_distribution(pi, 1e-7) {
         return Err(CompileError::TheoremViolation {
             condition: "stationary distribution preservation",
         });
@@ -134,7 +230,7 @@ pub fn build_transition_matrix_solved_by(
             condition: "strong connectivity",
         });
     }
-    Ok(matrix)
+    Ok(())
 }
 
 #[cfg(test)]

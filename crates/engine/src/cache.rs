@@ -40,11 +40,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use marqsim_core::gate_cancel::gate_cancellation_matrix_with;
+use marqsim_core::gate_cancel::gate_cancellation_matrix_with_basis;
 use marqsim_core::transition::{
-    build_transition_matrix_solved_by, strategy_uses_gate_cancellation,
+    build_transition_matrix_solved_by_warm, strategy_uses_gate_cancellation,
 };
-use marqsim_core::{CompileError, HttGraph, SolverKind, TransitionStrategy};
+use marqsim_core::{CompileError, HttGraph, SolverKind, SpanningBasis, TransitionStrategy};
 use marqsim_markov::TransitionMatrix;
 use marqsim_obs::{metrics, trace};
 use marqsim_pauli::Hamiltonian;
@@ -230,6 +230,13 @@ pub struct CacheStats {
     pub flow_solves_ssp: u64,
     /// Flow solves performed by the network-simplex backend.
     pub flow_solves_simplex: u64,
+    /// Flow solves answered by **warm-starting** a saved spanning basis
+    /// (re-price + re-pivot) instead of a cold solve — `P_rp` perturbation
+    /// samples reusing the `P_gc` basis. Warm starts are *not* counted in
+    /// [`flow_solves`](Self::flow_solves): that field keeps meaning "cold
+    /// solves of the full model", so `flow_solves=1 warm_starts=N−1` reads
+    /// as one real solve amortized over N sample re-pivots.
+    pub warm_starts: u64,
     /// `P_gc` components loaded from the persistence directory.
     pub disk_hits: u64,
     /// `P_gc` components written to the persistence directory.
@@ -262,6 +269,7 @@ impl CacheStats {
             flow_solves,
             flow_solves_ssp,
             flow_solves_simplex,
+            warm_starts,
             disk_hits,
             disk_writes,
             disk_errors,
@@ -276,6 +284,7 @@ impl CacheStats {
             flow_solves: flow_solves.saturating_sub(earlier.flow_solves),
             flow_solves_ssp: flow_solves_ssp.saturating_sub(earlier.flow_solves_ssp),
             flow_solves_simplex: flow_solves_simplex.saturating_sub(earlier.flow_solves_simplex),
+            warm_starts: warm_starts.saturating_sub(earlier.warm_starts),
             disk_hits: disk_hits.saturating_sub(earlier.disk_hits),
             disk_writes: disk_writes.saturating_sub(earlier.disk_writes),
             disk_errors: disk_errors.saturating_sub(earlier.disk_errors),
@@ -299,6 +308,7 @@ impl std::ops::AddAssign for CacheStats {
             flow_solves,
             flow_solves_ssp,
             flow_solves_simplex,
+            warm_starts,
             disk_hits,
             disk_writes,
             disk_errors,
@@ -312,6 +322,7 @@ impl std::ops::AddAssign for CacheStats {
         self.flow_solves += flow_solves;
         self.flow_solves_ssp += flow_solves_ssp;
         self.flow_solves_simplex += flow_solves_simplex;
+        self.warm_starts += warm_starts;
         self.disk_hits += disk_hits;
         self.disk_writes += disk_writes;
         self.disk_errors += disk_errors;
@@ -333,6 +344,7 @@ struct CacheInstruments {
     misses: Arc<metrics::Counter>,
     component_hits: Arc<metrics::Counter>,
     flow_solves: Arc<metrics::Counter>,
+    warm_starts: Arc<metrics::Counter>,
     disk_hits: Arc<metrics::Counter>,
     disk_writes: Arc<metrics::Counter>,
     disk_errors: Arc<metrics::Counter>,
@@ -346,11 +358,25 @@ impl CacheInstruments {
             misses: registry.counter("marqsim_cache_misses_total"),
             component_hits: registry.counter("marqsim_cache_component_hits_total"),
             flow_solves: registry.counter("marqsim_cache_flow_solves_total"),
+            warm_starts: registry.counter("marqsim_cache_warm_starts_total"),
             disk_hits: registry.counter("marqsim_cache_disk_hits_total"),
             disk_writes: registry.counter("marqsim_cache_disk_writes_total"),
             disk_errors: registry.counter("marqsim_cache_disk_errors_total"),
         }
     }
+}
+
+/// A cached `P_gc` component: the solved matrix plus the spanning basis
+/// its min-cost-flow solve exported (`None` under backends without warm
+/// support). The basis rides along so `P_rp` perturbation samples — same
+/// network topology, perturbed costs — can be solved as warm re-pivots.
+#[derive(Debug, Clone)]
+pub struct GcComponent {
+    /// The solved `P_gc` transition matrix.
+    pub matrix: Arc<TransitionMatrix>,
+    /// The optimal spanning basis of the solve, when the backend exports
+    /// one.
+    pub basis: Option<Arc<SpanningBasis>>,
 }
 
 /// A cache of validated HTT graphs and `P_gc` components.
@@ -366,7 +392,7 @@ impl CacheInstruments {
 #[derive(Debug)]
 pub struct TransitionCache {
     graphs: ShardedLru<CacheKey, Hamiltonian, Arc<HttGraph>>,
-    components: ShardedLru<(u64, SolverKind), Hamiltonian, Arc<TransitionMatrix>>,
+    components: ShardedLru<(u64, SolverKind), Hamiltonian, GcComponent>,
     persist_dir: Option<PathBuf>,
     flow_solver: SolverKind,
     hits: AtomicU64,
@@ -375,6 +401,7 @@ pub struct TransitionCache {
     flow_solves: AtomicU64,
     flow_solves_ssp: AtomicU64,
     flow_solves_simplex: AtomicU64,
+    warm_starts: AtomicU64,
     disk_hits: AtomicU64,
     disk_writes: AtomicU64,
     disk_errors: AtomicU64,
@@ -407,6 +434,7 @@ impl TransitionCache {
             flow_solves: AtomicU64::new(0),
             flow_solves_ssp: AtomicU64::new(0),
             flow_solves_simplex: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
             disk_errors: AtomicU64::new(0),
@@ -502,8 +530,15 @@ impl TransitionCache {
         } else {
             None
         };
-        let matrix =
-            build_transition_matrix_solved_by(&working, strategy, cached_gc.as_deref(), solver)?;
+        let (matrix, warm_starts) = build_transition_matrix_solved_by_warm(
+            &working,
+            strategy,
+            cached_gc
+                .as_ref()
+                .map(|component| (&*component.matrix, component.basis.as_deref())),
+            solver,
+        )?;
+        self.record_warm_starts(warm_starts);
         let graph = Arc::new(HttGraph::from_matrix(&working, matrix)?);
 
         self.graphs
@@ -542,17 +577,62 @@ impl TransitionCache {
         solver: SolverKind,
     ) -> Result<Arc<TransitionMatrix>, CompileError> {
         self.gc_component(&ham.split_if_dominant(), solver)
+            .map(|component| component.matrix)
+    }
+
+    /// Like [`get_or_solve_gc_with`](Self::get_or_solve_gc_with), returning
+    /// the full [`GcComponent`] — matrix plus the solve's spanning basis —
+    /// for callers that warm-start their own follow-up solves (the
+    /// perturbation-average workload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates min-cost-flow solver failures.
+    pub fn get_or_solve_gc_component_with(
+        &self,
+        ham: &Hamiltonian,
+        solver: SolverKind,
+    ) -> Result<GcComponent, CompileError> {
+        self.gc_component(&ham.split_if_dominant(), solver)
+    }
+
+    /// Records `count` warm-started flow re-pivots into the cache's stats
+    /// and the process-wide registry. Warm starts performed inside
+    /// [`get_or_build`](Self::get_or_build) are recorded automatically;
+    /// workloads that warm-start their own solves (the perturbation
+    /// average) report through here so the job's `[cache]` delta shows
+    /// them.
+    pub fn record_warm_starts(&self, count: u64) {
+        if count > 0 {
+            self.warm_starts.fetch_add(count, Ordering::Relaxed);
+            self.instruments.warm_starts.add(count);
+        }
+    }
+
+    /// Records one cold min-cost-flow solve performed *outside* the cache
+    /// (a workload solving its own model) so job-level `[cache]` deltas
+    /// account for every solve, attributed to `solver`'s per-backend
+    /// counter.
+    pub fn record_flow_solve(&self, solver: SolverKind) {
+        self.flow_solves.fetch_add(1, Ordering::Relaxed);
+        self.instruments.flow_solves.inc();
+        match solver {
+            SolverKind::SuccessiveShortestPath => &self.flow_solves_ssp,
+            SolverKind::NetworkSimplex => &self.flow_solves_simplex,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Returns the cached `P_gc` for the (already split) Hamiltonian:
     /// memory, then the persistence directory, then a min-cost-flow solve
     /// (spilled back to disk when persistence is on). Memory and disk
-    /// entries are namespaced per backend.
+    /// entries are namespaced per backend. The component carries the
+    /// solve's spanning basis, which persists and reloads with the matrix.
     fn gc_component(
         &self,
         working: &Hamiltonian,
         solver: SolverKind,
-    ) -> Result<Arc<TransitionMatrix>, CompileError> {
+    ) -> Result<GcComponent, CompileError> {
         let fp = hamiltonian_fingerprint(working);
         let key = (fp, solver);
         if let Some(gc) = self.components.get(fp, &key, working) {
@@ -567,28 +647,29 @@ impl TransitionCache {
                     .field("backend", solver.as_str());
                 persist::load_component(dir, fp, solver, working)
             };
-            if let Some(matrix) = loaded {
+            if let Some((matrix, basis)) = loaded {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.instruments.disk_hits.inc();
-                let gc = Arc::new(matrix);
-                self.components
-                    .insert(fp, key, working.clone(), Arc::clone(&gc));
+                let gc = GcComponent {
+                    matrix: Arc::new(matrix),
+                    basis: basis.map(Arc::new),
+                };
+                self.components.insert(fp, key, working.clone(), gc.clone());
                 return Ok(gc);
             }
         }
-        self.flow_solves.fetch_add(1, Ordering::Relaxed);
-        self.instruments.flow_solves.inc();
-        match solver {
-            SolverKind::SuccessiveShortestPath => &self.flow_solves_ssp,
-            SolverKind::NetworkSimplex => &self.flow_solves_simplex,
-        }
-        .fetch_add(1, Ordering::Relaxed);
-        let gc = Arc::new(gate_cancellation_matrix_with(working, solver)?);
+        self.record_flow_solve(solver);
+        let (matrix, basis) = gate_cancellation_matrix_with_basis(working, solver)?;
+        let gc = GcComponent {
+            matrix: Arc::new(matrix),
+            basis: basis.map(Arc::new),
+        };
         if let Some(dir) = &self.persist_dir {
             let _span = trace::Span::enter("persist_store")
                 .field("fingerprint", fp)
                 .field("backend", solver.as_str());
-            match persist::save_component(dir, fp, solver, working, &gc) {
+            match persist::save_component(dir, fp, solver, working, &gc.matrix, gc.basis.as_deref())
+            {
                 Ok(()) => {
                     self.disk_writes.fetch_add(1, Ordering::Relaxed);
                     self.instruments.disk_writes.inc();
@@ -599,8 +680,7 @@ impl TransitionCache {
                 }
             };
         }
-        self.components
-            .insert(fp, key, working.clone(), Arc::clone(&gc));
+        self.components.insert(fp, key, working.clone(), gc.clone());
         Ok(gc)
     }
 
@@ -614,6 +694,7 @@ impl TransitionCache {
             flow_solves: self.flow_solves.load(Ordering::Relaxed),
             flow_solves_ssp: self.flow_solves_ssp.load(Ordering::Relaxed),
             flow_solves_simplex: self.flow_solves_simplex.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
             disk_errors: self.disk_errors.load(Ordering::Relaxed),
@@ -636,6 +717,7 @@ impl TransitionCache {
             &self.flow_solves,
             &self.flow_solves_ssp,
             &self.flow_solves_simplex,
+            &self.warm_starts,
             &self.disk_hits,
             &self.disk_writes,
             &self.disk_errors,
@@ -944,12 +1026,13 @@ mod tests {
             flow_solves: scale + 4,
             flow_solves_ssp: scale + 5,
             flow_solves_simplex: scale + 6,
-            disk_hits: scale + 7,
-            disk_writes: scale + 8,
-            disk_errors: scale + 9,
-            evictions: scale + 10,
-            graphs: scale as usize + 11,
-            components: scale as usize + 12,
+            warm_starts: scale + 7,
+            disk_hits: scale + 8,
+            disk_writes: scale + 9,
+            disk_errors: scale + 10,
+            evictions: scale + 11,
+            graphs: scale as usize + 12,
+            components: scale as usize + 13,
         }
     }
 
@@ -966,6 +1049,7 @@ mod tests {
         assert_eq!(delta.flow_solves, 100);
         assert_eq!(delta.flow_solves_ssp, 100);
         assert_eq!(delta.flow_solves_simplex, 100);
+        assert_eq!(delta.warm_starts, 100);
         assert_eq!(delta.disk_hits, 100);
         assert_eq!(delta.disk_writes, 100);
         assert_eq!(delta.disk_errors, 100);
@@ -989,6 +1073,7 @@ mod tests {
         assert_eq!(delta.flow_solves, 0);
         assert_eq!(delta.flow_solves_ssp, 0);
         assert_eq!(delta.flow_solves_simplex, 0);
+        assert_eq!(delta.warm_starts, 0);
         assert_eq!(delta.disk_hits, 0);
         assert_eq!(delta.disk_writes, 0);
         assert_eq!(delta.disk_errors, 0);
@@ -1010,13 +1095,14 @@ mod tests {
         assert_eq!(total.flow_solves, 1008);
         assert_eq!(total.flow_solves_ssp, 1010);
         assert_eq!(total.flow_solves_simplex, 1012);
-        assert_eq!(total.disk_hits, 1014);
-        assert_eq!(total.disk_writes, 1016);
-        assert_eq!(total.disk_errors, 1018);
-        assert_eq!(total.evictions, 1020);
+        assert_eq!(total.warm_starts, 1014);
+        assert_eq!(total.disk_hits, 1016);
+        assert_eq!(total.disk_writes, 1018);
+        assert_eq!(total.disk_errors, 1020);
+        assert_eq!(total.evictions, 1022);
         // Sizes accumulate too (table2 sums the counters of several
         // caches, each contributing its own entry counts).
-        assert_eq!(total.graphs, 1022);
-        assert_eq!(total.components, 1024);
+        assert_eq!(total.graphs, 1024);
+        assert_eq!(total.components, 1026);
     }
 }

@@ -680,6 +680,60 @@ mod tests {
     }
 
     #[test]
+    fn perturb_average_workload_warm_starts_from_one_cold_solve() {
+        let config = PerturbationConfig {
+            samples: 6,
+            seed: 13,
+            ..Default::default()
+        };
+        // Simplex backend: sample 0 solves cold and exports its basis, the
+        // other samples re-pivot — the stats window must read exactly
+        // flow_solves = 1, warm_starts = samples - 1.
+        let cache_config = CacheConfig::default().with_flow_solver(SolverKind::NetworkSimplex);
+        let mut results = Vec::new();
+        for threads in [1, 4] {
+            let engine = Engine::new(
+                EngineConfig::default()
+                    .with_threads(threads)
+                    .with_cache_config(cache_config.clone()),
+            );
+            let before = engine.cache().stats();
+            let result: PerturbAverageResult = engine
+                .run_workload(&PerturbAverageWorkload::new("prp-warm", ham(), config))
+                .unwrap()
+                .downcast()
+                .expect("perturb output");
+            let delta = engine.cache().stats().delta_since(&before);
+            assert_eq!(delta.flow_solves, 1, "{threads} threads: one cold solve");
+            assert_eq!(delta.flow_solves_simplex, 1, "{threads} threads");
+            assert_eq!(
+                delta.warm_starts,
+                config.samples as u64 - 1,
+                "{threads} threads: every other sample re-pivots"
+            );
+            assert!(result
+                .matrix
+                .preserves_distribution(&ham().stationary_distribution(), 1e-8));
+            results.push(result.matrix);
+        }
+        assert_eq!(
+            results[0], results[1],
+            "warm averaging is deterministic across thread counts"
+        );
+
+        // The default backend has no warm support: every sample solves
+        // cold and is attributed as a plain flow solve.
+        let engine = Engine::new(EngineConfig::default().with_threads(2));
+        let before = engine.cache().stats();
+        engine
+            .run_workload(&PerturbAverageWorkload::new("prp-cold", ham(), config))
+            .unwrap();
+        let delta = engine.cache().stats().delta_since(&before);
+        assert_eq!(delta.flow_solves, config.samples as u64);
+        assert_eq!(delta.warm_starts, 0);
+    }
+
+    #[test]
     fn high_priority_submissions_produce_identical_results() {
         let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
         let config = SweepConfig::quick(0.5);

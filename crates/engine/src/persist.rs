@@ -8,7 +8,7 @@
 //! (CI, figure regeneration) nearly free: a fresh process loads the matrix
 //! instead of re-solving the flow model.
 //!
-//! # File format (version 1)
+//! # File format (version 3)
 //!
 //! One file per component, named `pgc-<fingerprint:016x>.mqsc`, all fields
 //! little-endian:
@@ -23,7 +23,19 @@
 //!                           num_qubits × PauliOp byte)
 //! states      u64          -- matrix dimension (== num_terms)
 //! rows        states² × f64 bits as u64
+//! basis_flag  u8           -- 0 = no spanning basis follows, 1 = it does
+//! [when basis_flag == 1]
+//! topology    u64          -- flow-network topology fingerprint
+//! num_nodes   u64          -- real node count of the solved network
+//! num_real    u64          -- real arc count
+//! arc_states  (num_real + num_nodes) × u8
+//! arc_flows   (num_real + num_nodes) × f64 bits as u64
 //! ```
+//!
+//! The basis section (version 3) stores the network simplex's optimal
+//! spanning basis next to the matrix, so a later process warm-starts the
+//! `P_rp` perturbation solves from the loaded basis exactly as the
+//! original process did; `ssp` components write `basis_flag = 0`.
 //!
 //! # Safety against collisions and stale files
 //!
@@ -45,7 +57,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use marqsim_core::SolverKind;
+use marqsim_core::{SolverKind, SpanningBasis};
 use marqsim_markov::TransitionMatrix;
 use marqsim_pauli::{Hamiltonian, PauliOp, PauliString, Term};
 
@@ -55,7 +67,12 @@ const MAGIC: &[u8; 4] = b"MQSC";
 /// different (equally optimal) flow than the pre-redesign solver did on
 /// degenerate instances, so files solved by the old code must not mix with
 /// fresh solves — the version gate degrades them to a one-time re-solve.
-const VERSION: u32 = 2;
+/// Bumped to 3 with warm-start re-solves: version-3 files append the
+/// solve's spanning basis (see the module docs), and version-2 files are
+/// re-solved rather than loaded so a cached matrix is never paired with a
+/// missing basis (which would make warm-started `P_rp` samples depend on
+/// which process solved `P_gc`).
+const VERSION: u32 = 3;
 
 /// Path of the component file for a fingerprint inside `dir` (the default
 /// backend's layout, unchanged since version 1 so existing cache
@@ -75,10 +92,15 @@ pub(crate) fn component_path_for(dir: &Path, fingerprint: u64, solver: SolverKin
     }
 }
 
-/// Serializes `(ham, matrix)` into the version-1 binary format.
-fn encode(fingerprint: u64, ham: &Hamiltonian, matrix: &TransitionMatrix) -> Vec<u8> {
+/// Serializes `(ham, matrix, basis)` into the version-3 binary format.
+fn encode(
+    fingerprint: u64,
+    ham: &Hamiltonian,
+    matrix: &TransitionMatrix,
+    basis: Option<&SpanningBasis>,
+) -> Vec<u8> {
     let n = matrix.num_states();
-    let mut out = Vec::with_capacity(4 + 4 + 8 * 3 + ham.num_terms() * 16 + n * n * 8);
+    let mut out = Vec::with_capacity(4 + 4 + 8 * 3 + ham.num_terms() * 16 + n * n * 8 + 1);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&fingerprint.to_le_bytes());
@@ -95,6 +117,19 @@ fn encode(fingerprint: u64, ham: &Hamiltonian, matrix: &TransitionMatrix) -> Vec
         for &p in row {
             out.extend_from_slice(&p.to_bits().to_le_bytes());
         }
+    }
+    match basis {
+        Some(basis) => {
+            out.push(1);
+            out.extend_from_slice(&basis.topology().to_le_bytes());
+            out.extend_from_slice(&(basis.num_nodes() as u64).to_le_bytes());
+            out.extend_from_slice(&(basis.num_real_arcs() as u64).to_le_bytes());
+            out.extend_from_slice(&basis.state_bytes());
+            for &flow in basis.flows() {
+                out.extend_from_slice(&flow.to_bits().to_le_bytes());
+            }
+        }
+        None => out.push(0),
     }
     out
 }
@@ -113,9 +148,10 @@ pub(crate) fn save_component(
     solver: SolverKind,
     ham: &Hamiltonian,
     matrix: &TransitionMatrix,
+    basis: Option<&SpanningBasis>,
 ) -> io::Result<()> {
     fs::create_dir_all(dir)?;
-    let bytes = encode(fingerprint, ham, matrix);
+    let bytes = encode(fingerprint, ham, matrix, basis);
     // Unique per call, not just per process: concurrent misses on one key
     // may both solve and both save (see the cache docs), and they must not
     // interleave writes through a shared temp path.
@@ -135,18 +171,23 @@ pub(crate) fn save_component(
 
 /// Loads the component for `fingerprint` solved by `solver` from `dir`,
 /// returning `None` — a plain cache miss — unless every validation
-/// described in the module docs passes against `expected`.
+/// described in the module docs passes against `expected`. The second
+/// element is the persisted spanning basis, when the solve exported one.
 pub(crate) fn load_component(
     dir: &Path,
     fingerprint: u64,
     solver: SolverKind,
     expected: &Hamiltonian,
-) -> Option<TransitionMatrix> {
+) -> Option<(TransitionMatrix, Option<SpanningBasis>)> {
     let bytes = fs::read(component_path_for(dir, fingerprint, solver)).ok()?;
     decode(&bytes, fingerprint, expected)
 }
 
-fn decode(bytes: &[u8], fingerprint: u64, expected: &Hamiltonian) -> Option<TransitionMatrix> {
+fn decode(
+    bytes: &[u8],
+    fingerprint: u64,
+    expected: &Hamiltonian,
+) -> Option<(TransitionMatrix, Option<SpanningBasis>)> {
     let mut cursor = Cursor { bytes, pos: 0 };
     if cursor.take(4)? != MAGIC {
         return None;
@@ -194,10 +235,34 @@ fn decode(bytes: &[u8], fingerprint: u64, expected: &Hamiltonian) -> Option<Tran
         }
         rows.push(row);
     }
+    let basis = match cursor.take(1)? {
+        [0] => None,
+        [1] => {
+            let topology = cursor.u64()?;
+            let num_nodes = cursor.u64()? as usize;
+            let num_real = cursor.u64()? as usize;
+            let total = num_real.checked_add(num_nodes)?;
+            // `take` bounds `total` against the remaining bytes before any
+            // allocation, mirroring the header guard above.
+            let state_bytes = cursor.take(total)?;
+            let mut flows = Vec::with_capacity(total);
+            for _ in 0..total {
+                flows.push(f64::from_bits(cursor.u64()?));
+            }
+            Some(SpanningBasis::from_raw(
+                topology,
+                num_nodes,
+                num_real,
+                state_bytes,
+                flows,
+            )?)
+        }
+        _ => return None,
+    };
     if cursor.pos != bytes.len() {
         return None;
     }
-    TransitionMatrix::new(rows).ok()
+    Some((TransitionMatrix::new(rows).ok()?, basis))
 }
 
 struct Cursor<'a> {
@@ -225,7 +290,9 @@ impl<'a> Cursor<'a> {
 mod tests {
     use super::*;
     use crate::cache::hamiltonian_fingerprint;
-    use marqsim_core::gate_cancel::gate_cancellation_matrix;
+    use marqsim_core::gate_cancel::{
+        gate_cancellation_matrix, gate_cancellation_matrix_with_basis,
+    };
 
     fn ham() -> Hamiltonian {
         Hamiltonian::parse("1.0 IIIZ + 0.5 IIZZ + 0.4 XXYY + 0.1 ZXZY").unwrap()
@@ -244,10 +311,40 @@ mod tests {
         let ham = ham();
         let fp = hamiltonian_fingerprint(&ham);
         let matrix = gate_cancellation_matrix(&ham).unwrap();
-        save_component(&dir, fp, SolverKind::default(), &ham, &matrix).unwrap();
-        let loaded =
+        save_component(&dir, fp, SolverKind::default(), &ham, &matrix, None).unwrap();
+        let (loaded, basis) =
             load_component(&dir, fp, SolverKind::default(), &ham).expect("valid file loads");
         assert_eq!(loaded, matrix, "bit-identical rows");
+        assert!(basis.is_none(), "no basis was saved");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn round_trip_restores_the_spanning_basis() {
+        let dir = temp_dir("basis-roundtrip");
+        let ham = ham();
+        let fp = hamiltonian_fingerprint(&ham);
+        let (matrix, basis) =
+            gate_cancellation_matrix_with_basis(&ham, SolverKind::NetworkSimplex).unwrap();
+        let basis = basis.expect("network simplex exports its optimal basis");
+        save_component(
+            &dir,
+            fp,
+            SolverKind::NetworkSimplex,
+            &ham,
+            &matrix,
+            Some(&basis),
+        )
+        .unwrap();
+        let (loaded, loaded_basis) =
+            load_component(&dir, fp, SolverKind::NetworkSimplex, &ham).expect("valid file loads");
+        assert_eq!(loaded, matrix, "bit-identical rows");
+        let loaded_basis = loaded_basis.expect("basis section round-trips");
+        assert_eq!(loaded_basis.topology(), basis.topology());
+        assert_eq!(loaded_basis.num_nodes(), basis.num_nodes());
+        assert_eq!(loaded_basis.num_real_arcs(), basis.num_real_arcs());
+        assert_eq!(loaded_basis.state_bytes(), basis.state_bytes());
+        assert_eq!(loaded_basis.flows(), basis.flows());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -257,7 +354,7 @@ mod tests {
         let ham = ham();
         let fp = hamiltonian_fingerprint(&ham);
         let matrix = gate_cancellation_matrix(&ham).unwrap();
-        save_component(&dir, fp, SolverKind::NetworkSimplex, &ham, &matrix).unwrap();
+        save_component(&dir, fp, SolverKind::NetworkSimplex, &ham, &matrix, None).unwrap();
         assert_ne!(
             component_path_for(&dir, fp, SolverKind::NetworkSimplex),
             component_path(&dir, fp),
@@ -268,7 +365,9 @@ mod tests {
             "a simplex-solved component must not answer a default-backend load"
         );
         assert_eq!(
-            load_component(&dir, fp, SolverKind::NetworkSimplex, &ham).unwrap(),
+            load_component(&dir, fp, SolverKind::NetworkSimplex, &ham)
+                .unwrap()
+                .0,
             matrix
         );
         let _ = fs::remove_dir_all(&dir);
@@ -286,7 +385,7 @@ mod tests {
         let ham = ham();
         let fp = hamiltonian_fingerprint(&ham);
         let matrix = gate_cancellation_matrix(&ham).unwrap();
-        save_component(&dir, fp, SolverKind::default(), &ham, &matrix).unwrap();
+        save_component(&dir, fp, SolverKind::default(), &ham, &matrix, None).unwrap();
         let path = component_path(&dir, fp);
         let good = fs::read(&path).unwrap();
 
@@ -324,7 +423,7 @@ mod tests {
         let other = Hamiltonian::parse("0.6 XZII + 0.4 ZYII + 0.3 XXII + 0.1 IIZZ").unwrap();
         let matrix = gate_cancellation_matrix(&ham).unwrap();
         let other_fp = hamiltonian_fingerprint(&other);
-        save_component(&dir, other_fp, SolverKind::default(), &ham, &matrix).unwrap();
+        save_component(&dir, other_fp, SolverKind::default(), &ham, &matrix, None).unwrap();
         assert!(
             load_component(&dir, other_fp, SolverKind::default(), &other).is_none(),
             "stored Hamiltonian differs from the requested one"
@@ -338,15 +437,72 @@ mod tests {
         let ham = ham();
         let fp = hamiltonian_fingerprint(&ham);
         let matrix = gate_cancellation_matrix(&ham).unwrap();
-        save_component(&dir, fp, SolverKind::default(), &ham, &matrix).unwrap();
+        save_component(&dir, fp, SolverKind::default(), &ham, &matrix, None).unwrap();
         let path = component_path(&dir, fp);
         let mut bytes = fs::read(&path).unwrap();
-        // Overwrite the last matrix entry with 7.0: the row no longer sums
-        // to one, so TransitionMatrix::new must reject the load.
-        let last = bytes.len() - 8;
-        bytes[last..].copy_from_slice(&7.0f64.to_bits().to_le_bytes());
+        // Overwrite the last matrix entry with 7.0 (the matrix rows end one
+        // byte before EOF — the trailing byte is the basis flag): the row no
+        // longer sums to one, so TransitionMatrix::new must reject the load.
+        let last = bytes.len() - 9;
+        bytes[last..last + 8].copy_from_slice(&7.0f64.to_bits().to_le_bytes());
         fs::write(&path, &bytes).unwrap();
         assert!(load_component(&dir, fp, SolverKind::default(), &ham).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_format_versions_are_rejected() {
+        // A version-2 file has no basis section; accepting it would pair a
+        // cached matrix with a missing basis and make warm starts depend on
+        // which process solved the component. The version gate must degrade
+        // it to a re-solve.
+        let dir = temp_dir("old-version");
+        let ham = ham();
+        let fp = hamiltonian_fingerprint(&ham);
+        let matrix = gate_cancellation_matrix(&ham).unwrap();
+        save_component(&dir, fp, SolverKind::default(), &ham, &matrix, None).unwrap();
+        let path = component_path(&dir, fp);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_component(&dir, fp, SolverKind::default(), &ham).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_basis_sections_are_rejected() {
+        let dir = temp_dir("corrupt-basis");
+        let ham = ham();
+        let fp = hamiltonian_fingerprint(&ham);
+        let (matrix, basis) =
+            gate_cancellation_matrix_with_basis(&ham, SolverKind::NetworkSimplex).unwrap();
+        let basis = basis.unwrap();
+        save_component(
+            &dir,
+            fp,
+            SolverKind::NetworkSimplex,
+            &ham,
+            &matrix,
+            Some(&basis),
+        )
+        .unwrap();
+        let path = component_path_for(&dir, fp, SolverKind::NetworkSimplex);
+        let good = fs::read(&path).unwrap();
+
+        // An invalid basis flag must be rejected outright…
+        let total = basis.num_real_arcs() + basis.num_nodes();
+        let flag_pos = good.len() - (8 * 3 + total + 8 * total) - 1;
+        assert_eq!(good[flag_pos], 1, "flag offset arithmetic");
+        let mut bad_flag = good.clone();
+        bad_flag[flag_pos] = 9;
+        fs::write(&path, &bad_flag).unwrap();
+        assert!(load_component(&dir, fp, SolverKind::NetworkSimplex, &ham).is_none());
+
+        // …and so must an invalid arc-state byte inside the section.
+        let mut bad_state = good.clone();
+        bad_state[flag_pos + 1 + 8 * 3] = 0xff;
+        fs::write(&path, &bad_state).unwrap();
+        assert!(load_component(&dir, fp, SolverKind::NetworkSimplex, &ham).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

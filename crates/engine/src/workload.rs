@@ -50,7 +50,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use marqsim_core::experiment::{SweepConfig, SweepResult};
-use marqsim_core::perturb::{perturbed_matrix_sample_with, PerturbationConfig};
+use marqsim_core::perturb::{
+    perturbed_matrix_sample_warm_with, perturbed_matrix_sample_with,
+    perturbed_matrix_sample_with_basis, PerturbationConfig,
+};
 use marqsim_core::{HttGraph, SolverKind, TransitionStrategy};
 use marqsim_markov::combine::combine;
 use marqsim_markov::TransitionMatrix;
@@ -683,9 +686,18 @@ impl Workload for SweepWorkload {
 /// so the result is deterministic for any thread count — but it is *not*
 /// the same matrix as the serial
 /// [`random_perturbation_matrix`](marqsim_core::perturb::random_perturbation_matrix),
-/// which threads one RNG through all samples. The compiler's GC-RP strategy
-/// keeps the serial construction (existing results stay bit-identical);
-/// this workload is the parallel path for standalone `P_rp` analysis.
+/// which threads one RNG through all samples. The compiler's GC-RP
+/// strategy keeps the serial construction (warm-started from the `P_gc`
+/// basis where the backend supports it); this workload is the parallel
+/// path for standalone `P_rp` analysis.
+///
+/// Under a basis-exporting backend the workload solves sample `0` cold,
+/// exports its spanning basis, and warm-starts samples `1..` from it in
+/// parallel — the perturbation only changes costs, never the topology, so
+/// one basis serves every sample. On a cache-enabled engine the solves
+/// are attributed to the cache stats as `flow_solves` (cold) and
+/// `warm_starts` (re-pivots): an `N`-sample job under the simplex backend
+/// reports `flow_solves = 1, warm_starts = N - 1`.
 #[derive(Debug, Clone)]
 pub struct PerturbAverageWorkload {
     label: String,
@@ -740,13 +752,41 @@ impl Workload for PerturbAverageWorkload {
         let config = self.config;
         let label = self.label.clone();
         let solver = ctx.flow_solver();
-        let matrices = ctx
-            .map((0..self.config.samples).collect(), move |_idx, sample| {
-                perturbed_matrix_sample_with(&ham, &config, sample, solver)
-                    .map_err(|e| EngineError::compile(&label, e))
+        // Sample 0 solves cold and exports its basis; the remaining samples
+        // warm-start from it in parallel. The basis is a pure function of
+        // (ham, config, solver), so the averaged matrix stays deterministic
+        // for every thread count; backends without warm support export no
+        // basis and each sample solves cold exactly as before.
+        let (first, basis) =
+            perturbed_matrix_sample_with_basis(&self.hamiltonian, &config, 0, solver)
+                .map_err(|e| EngineError::compile(&self.label, e))?;
+        ctx.report(1, self.config.samples);
+        let basis = basis.map(Arc::new);
+        let shared_basis = basis.clone();
+        let rest = ctx
+            .map((1..self.config.samples).collect(), move |_idx, sample| {
+                match shared_basis.as_deref() {
+                    Some(basis) => {
+                        perturbed_matrix_sample_warm_with(&ham, &config, sample, solver, basis)
+                    }
+                    None => perturbed_matrix_sample_with(&ham, &config, sample, solver)
+                        .map(|matrix| (matrix, false)),
+                }
+                .map_err(|e| EngineError::compile(&label, e))
             })
             .into_iter()
-            .collect::<Result<Vec<TransitionMatrix>, EngineError>>()?;
+            .collect::<Result<Vec<(TransitionMatrix, bool)>, EngineError>>()?;
+        if ctx.cache_enabled() {
+            let warm_starts = rest.iter().filter(|(_, warm)| *warm).count() as u64;
+            let cold_solves = 1 + rest.len() - warm_starts as usize;
+            for _ in 0..cold_solves {
+                ctx.cache().record_flow_solve(solver);
+            }
+            ctx.cache().record_warm_starts(warm_starts);
+        }
+        let matrices: Vec<TransitionMatrix> = std::iter::once(first)
+            .chain(rest.into_iter().map(|(matrix, _)| matrix))
+            .collect();
         let weights = vec![1.0 / matrices.len() as f64; matrices.len()];
         let matrix = combine(&matrices, &weights).map_err(|e| {
             EngineError::compile(&self.label, marqsim_core::CompileError::Combine(e))

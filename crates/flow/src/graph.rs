@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use marqsim_obs::{metrics, trace};
 
+use crate::basis::SpanningBasis;
 use crate::simplex::NetworkSimplex;
 use crate::ssp::SuccessiveShortestPath;
 
@@ -35,6 +36,14 @@ pub enum FlowError {
         /// Number of nodes in the network.
         num_nodes: usize,
     },
+    /// The network-simplex anti-cycling watchdog hit its hard pivot cap
+    /// without reaching optimality. Never returned by a correct solve on
+    /// well-formed inputs; it exists so the backstop can *never* be a
+    /// silent break returning a suboptimal flow.
+    PivotLimit {
+        /// Pivots performed when the cap was hit.
+        pivots: u64,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -50,6 +59,12 @@ impl fmt::Display for FlowError {
                 write!(
                     f,
                     "node {node} out of range for a network with {num_nodes} nodes"
+                )
+            }
+            FlowError::PivotLimit { pivots } => {
+                write!(
+                    f,
+                    "network simplex hit the anti-cycling pivot cap after {pivots} pivots"
                 )
             }
         }
@@ -74,6 +89,10 @@ pub struct FlowResult {
     /// potential initialization because every edge cost was non-negative
     /// (always `false` for other backends).
     pub bellman_ford_skipped: bool,
+    /// Whether this solve actually reused a saved [`SpanningBasis`]
+    /// (`false` on cold solves and whenever a warm request fell back —
+    /// backend without warm support, fingerprint mismatch, corrupt basis).
+    pub warm_start: bool,
     /// Per-solve profiling filled in by the backend (pivot/iteration count
     /// and phase timings); published to the metrics registry by
     /// [`FlowNetwork::min_cost_flow_with`].
@@ -204,21 +223,88 @@ impl FlowNetwork {
         sink: usize,
         amount: f64,
     ) -> Result<FlowResult, FlowError> {
+        self.solve_telemetered(solver, source, sink, amount, None)
+            .map(|(result, _)| result)
+    }
+
+    /// Like [`min_cost_flow_with`](Self::min_cost_flow_with), additionally
+    /// returning the solver's optimal [`SpanningBasis`] when the backend
+    /// supports warm starts (`None` for `ssp`). Telemetered identically.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`min_cost_flow`](Self::min_cost_flow).
+    pub fn min_cost_flow_with_basis(
+        &self,
+        solver: SolverKind,
+        source: usize,
+        sink: usize,
+        amount: f64,
+    ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        self.solve_telemetered(solver, source, sink, amount, None)
+    }
+
+    /// Warm-start re-solve from a saved basis (see
+    /// [`MinCostFlowSolver::solve_warm`]): a matching basis is re-priced
+    /// under this network's costs and re-pivoted to optimality; a
+    /// mismatched basis or a backend without warm support degrades to a
+    /// cold solve. On an actual warm start the solve additionally bumps
+    /// `marqsim_flow_warm_starts_total` and records the re-pivot time in
+    /// `marqsim_flow_repivot_seconds`.
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`min_cost_flow`](Self::min_cost_flow) —
+    /// infeasibility reports identically warm or cold.
+    pub fn min_cost_flow_warm(
+        &self,
+        solver: SolverKind,
+        source: usize,
+        sink: usize,
+        amount: f64,
+        basis: &SpanningBasis,
+    ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        self.solve_telemetered(solver, source, sink, amount, Some(basis))
+    }
+
+    fn solve_telemetered(
+        &self,
+        solver: SolverKind,
+        source: usize,
+        sink: usize,
+        amount: f64,
+        warm: Option<&SpanningBasis>,
+    ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        // The span's `warm` field reports whether a usable (matching)
+        // basis was offered; `FlowResult::warm_start` is the ground truth
+        // for whether it was reused.
+        let warm_requested = warm.is_some_and(|b| b.matches(self, source, sink, amount));
         let span = trace::Span::enter("flow_solve")
             .field("backend", solver.as_str())
             .field("nodes", self.num_nodes)
-            .field("edges", self.edges.len());
+            .field("edges", self.edges.len())
+            .field("warm", warm_requested);
         let started = Instant::now();
-        let result = solver.solver().solve(self, source, sink, amount);
+        let backend = solver.solver();
+        let result = match warm {
+            Some(basis) => backend.solve_warm(self, source, sink, amount, basis),
+            None => backend.solve_with_basis(self, source, sink, amount),
+        };
         let elapsed = started.elapsed().as_secs_f64();
         let instruments = backend_metrics(solver);
         instruments.solve_seconds.record(elapsed);
         match &result {
-            Ok(flow) => {
+            Ok((flow, _)) => {
                 instruments.solves.inc();
                 instruments.pivots.add(flow.profile.pivots);
                 if flow.bellman_ford_skipped {
                     instruments.bf_skips.inc();
+                }
+                if flow.warm_start {
+                    instruments.warm_starts.inc();
+                    instruments
+                        .repivot_seconds
+                        .record(flow.profile.optimize_seconds);
                 }
                 instruments.init_seconds.record(flow.profile.init_seconds);
                 instruments
@@ -276,6 +362,50 @@ pub trait MinCostFlowSolver: Send + Sync {
         sink: usize,
         amount: f64,
     ) -> Result<FlowResult, FlowError>;
+
+    /// Like [`solve`](Self::solve), additionally returning the solver's
+    /// optimal basis when the backend supports warm starts (`None`
+    /// otherwise — the default implementation). The basis can seed
+    /// [`solve_warm`](Self::solve_warm) on later same-topology instances.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    fn solve_with_basis(
+        &self,
+        network: &FlowNetwork,
+        source: usize,
+        sink: usize,
+        amount: f64,
+    ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        self.solve(network, source, sink, amount)
+            .map(|result| (result, None))
+    }
+
+    /// Re-solves from a saved basis: re-prices the basis under this
+    /// network's costs and re-pivots to optimality instead of starting
+    /// from scratch. The default implementation ignores the basis and
+    /// solves cold (the `ssp` fallback), so every backend accepts a warm
+    /// request; [`FlowResult::warm_start`] reports whether the basis was
+    /// actually reused. A basis whose topology fingerprint does not match
+    /// the instance is never applied.
+    ///
+    /// # Errors
+    ///
+    /// Identical classification to [`solve`](Self::solve) — in particular
+    /// an infeasible instance reports the same
+    /// [`FlowError::Infeasible`] whether solved warm or cold.
+    fn solve_warm(
+        &self,
+        network: &FlowNetwork,
+        source: usize,
+        sink: usize,
+        amount: f64,
+        basis: &SpanningBasis,
+    ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        let _ = basis;
+        self.solve_with_basis(network, source, sink, amount)
+    }
 }
 
 /// The registered backends, selectable end to end (engine `CacheConfig`,
@@ -304,6 +434,8 @@ struct BackendMetrics {
     solve_seconds: Arc<metrics::Histogram>,
     pivots: Arc<metrics::Counter>,
     bf_skips: Arc<metrics::Counter>,
+    warm_starts: Arc<metrics::Counter>,
+    repivot_seconds: Arc<metrics::Histogram>,
     init_seconds: Arc<metrics::Histogram>,
     optimize_seconds: Arc<metrics::Histogram>,
 }
@@ -322,6 +454,9 @@ fn backend_metrics(kind: SolverKind) -> &'static BackendMetrics {
                     solve_seconds: registry.histogram_with("marqsim_flow_solve_seconds", backend),
                     pivots: registry.counter_with("marqsim_flow_pivots_total", backend),
                     bf_skips: registry.counter_with("marqsim_flow_bf_skips_total", backend),
+                    warm_starts: registry.counter_with("marqsim_flow_warm_starts_total", backend),
+                    repivot_seconds: registry
+                        .histogram_with("marqsim_flow_repivot_seconds", backend),
                     init_seconds: registry.histogram_with(
                         "marqsim_flow_phase_seconds",
                         &[("backend", kind.as_str()), ("phase", "init")],

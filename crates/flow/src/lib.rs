@@ -24,6 +24,12 @@
 //!   given a marginal distribution `π` and a cost matrix, it returns the
 //!   optimal flow between `Prev` and `Next` copies of the states, under any
 //!   backend ([`bipartite::solve_with`]).
+//! * [`SpanningBasis`] — warm-start re-solves: the network simplex exports
+//!   its optimal spanning-tree basis, and a later solve over the same
+//!   topology with different costs re-prices and re-pivots from it
+//!   ([`FlowNetwork::min_cost_flow_warm`]) instead of rebuilding from the
+//!   artificial root — the cost-perturbation shape of `P_rp` sampling and
+//!   sweep grids. Backends without warm support fall back to cold solves.
 //!
 //! On networks **without negative-cost cycles** — which includes every
 //! MarQSim model (CNOT counts are non-negative) — every backend reports
@@ -58,6 +64,7 @@
 //! assert!((simplex.cost - result.cost).abs() < 1e-9);
 //! ```
 
+mod basis;
 mod csr;
 mod graph;
 mod simplex;
@@ -65,6 +72,7 @@ mod ssp;
 
 pub mod bipartite;
 
+pub use basis::{topology_fingerprint, SpanningBasis};
 pub use graph::{
     FlowEdge, FlowError, FlowNetwork, FlowResult, MinCostFlowSolver, SolveProfile, SolverKind,
 };

@@ -140,6 +140,7 @@ impl MinCostFlowSolver for SuccessiveShortestPath {
             edge_flows,
             solver: self.name(),
             bellman_ford_skipped,
+            warm_start: false,
             profile: SolveProfile {
                 pivots: iterations,
                 init_seconds,

@@ -70,13 +70,16 @@ use crate::wire::{Json, WireError};
 /// and the engine-wide `max_active_jobs` admission bound. Version 4 added
 /// the telemetry surface: the `metrics` verb returning the process-wide
 /// Prometheus-style text exposition plus this connection's request/byte
-/// counters (see `docs/observability.md`).
+/// counters (see `docs/observability.md`). Version 5 added the
+/// `warm_starts` counter to every cache-stats payload (`done` deltas and
+/// the `stats` event): warm basis re-pivots are attributed separately
+/// from cold `flow_solves`.
 ///
 /// Backend names are part of the typed surface (decoders reject unknown
 /// names), and clients enforce an exact version match at the handshake —
 /// registering a new `SolverKind` therefore bumps this version; see
 /// `docs/flow.md`.
-pub const PROTOCOL_VERSION: u64 = 4;
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -801,6 +804,7 @@ fn cache_stats_to_json(stats: &CacheStats) -> Json {
         ("flow_solves", stats.flow_solves.into()),
         ("flow_solves_ssp", stats.flow_solves_ssp.into()),
         ("flow_solves_simplex", stats.flow_solves_simplex.into()),
+        ("warm_starts", stats.warm_starts.into()),
         ("disk_hits", stats.disk_hits.into()),
         ("disk_writes", stats.disk_writes.into()),
         ("disk_errors", stats.disk_errors.into()),
@@ -818,6 +822,7 @@ fn cache_stats_from_json(json: &Json) -> Result<CacheStats, WireError> {
         flow_solves: u64_field(json, "flow_solves")?,
         flow_solves_ssp: u64_field(json, "flow_solves_ssp")?,
         flow_solves_simplex: u64_field(json, "flow_solves_simplex")?,
+        warm_starts: u64_field(json, "warm_starts")?,
         disk_hits: u64_field(json, "disk_hits")?,
         disk_writes: u64_field(json, "disk_writes")?,
         disk_errors: u64_field(json, "disk_errors")?,
