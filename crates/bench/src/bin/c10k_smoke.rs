@@ -1,0 +1,192 @@
+//! Full-scale C10K smoke test of the event-loop server: parks thousands of
+//! idle connections on the single reactor thread, drives dozens of active
+//! sweeps through the crowd, and requires
+//!
+//! * every active sweep to come back **bit-identical** to the same sweep
+//!   run through an in-process engine,
+//! * every sampled idle connection to still answer a `stats` round trip
+//!   after the storm, and
+//! * resident memory (`VmRSS`) to stay under a per-connection budget —
+//!   idle connections must cost a slab slot and an epoll registration,
+//!   not a thread stack.
+//!
+//! Run with `cargo run -p marqsim-bench --release --bin c10k_smoke`. Needs
+//! `ulimit -n` comfortably above the idle-crowd size (the CI `c10k-smoke`
+//! job sets 8192); `MARQSIM_C10K_IDLE=<n>` overrides the default 2000. Exits
+//! non-zero on any failure; prints `[c10k-smoke]` lines for the CI grep.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use marqsim_bench::c10k_idle_conns;
+use marqsim_core::experiment::SweepConfig;
+use marqsim_core::TransitionStrategy;
+use marqsim_engine::{Engine, EngineConfig};
+use marqsim_pauli::Hamiltonian;
+use marqsim_serve::{Client, Outcome, Server};
+
+const ACTIVE_CONNS: usize = 50;
+/// RSS budget: base process footprint plus a generous 64 KiB for every
+/// parked connection (actual per-connection state is a few hundred bytes
+/// of slab entry plus kernel socket buffers).
+const RSS_BASE_KIB: u64 = 512 * 1024;
+const RSS_PER_CONN_KIB: u64 = 64;
+
+fn ham() -> Hamiltonian {
+    Hamiltonian::parse("0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.6 IYYI + 0.5 IIZZ")
+        .expect("valid smoke Hamiltonian")
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    marqsim_obs::error!("c10k-smoke", "FAILED: {message}");
+    std::process::exit(1);
+}
+
+/// Current resident set size in KiB from `/proc/self/status`, or `None`
+/// off Linux (the RSS gate is then skipped, not failed).
+fn rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Opens a connection, consumes the `hello` line, and parks the socket.
+fn idle_conn(addr: SocketAddr, index: usize) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(format!("idle connect {index} (check ulimit -n): {e}")));
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream);
+    let mut hello = String::new();
+    reader
+        .read_line(&mut hello)
+        .unwrap_or_else(|e| fail(format!("idle hello {index}: {e}")));
+    if !hello.contains("\"event\":\"hello\"") {
+        fail(format!("idle connection {index} greeted with {hello:?}"));
+    }
+    reader
+}
+
+fn main() {
+    let idle_conns = c10k_idle_conns();
+
+    let strategy = TransitionStrategy::marqsim_gc();
+    let config = SweepConfig {
+        time: 0.5,
+        epsilons: vec![0.1, 0.05],
+        repeats: 3,
+        base_seed: 41,
+        evaluate_fidelity: false,
+    };
+
+    // In-process reference for the bit-identity check.
+    let reference_engine = Engine::new(EngineConfig::default().with_threads(2));
+    let reference = reference_engine
+        .run_sweep(&ham(), &strategy, &config)
+        .unwrap_or_else(|e| fail(format!("in-process sweep: {e}")));
+
+    let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+    let server = Server::bind("127.0.0.1:0", engine)
+        .unwrap_or_else(|e| fail(format!("bind: {e}")))
+        .spawn()
+        .unwrap_or_else(|e| fail(format!("spawn: {e}")));
+    let addr = server.addr();
+    println!("[c10k-smoke] spawned in-process server at {addr}");
+
+    // Park the idle crowd.
+    let connect_start = Instant::now();
+    let idle: Vec<BufReader<TcpStream>> = (0..idle_conns).map(|i| idle_conn(addr, i)).collect();
+    println!(
+        "[c10k-smoke] parked {} idle connections in {:.2}s",
+        idle.len(),
+        connect_start.elapsed().as_secs_f64()
+    );
+
+    // Drive active sweeps through the crowd: all submitted before any
+    // result is awaited, so they overlap on the reactor.
+    let storm_start = Instant::now();
+    let mut active: Vec<(Client, u64)> = (0..ACTIVE_CONNS)
+        .map(|i| {
+            let mut client =
+                Client::connect(addr).unwrap_or_else(|e| fail(format!("active connect {i}: {e}")));
+            let job = client
+                .submit_sweep(&format!("c10k/active-{i}"), &ham(), &strategy, &config)
+                .unwrap_or_else(|e| fail(format!("active submit {i}: {e}")));
+            (client, job)
+        })
+        .collect();
+    for (i, (client, job)) in active.iter_mut().enumerate() {
+        let result = client
+            .wait(*job)
+            .unwrap_or_else(|e| fail(format!("active wait {i}: {e}")));
+        let sweep = match result.outcome {
+            Outcome::Sweep(sweep) => sweep,
+            other => fail(format!("active {i}: unexpected outcome {other:?}")),
+        };
+        if sweep.points.len() != reference.points.len() {
+            fail(format!(
+                "active {i}: {} points, reference has {}",
+                sweep.points.len(),
+                reference.points.len()
+            ));
+        }
+        for (remote, local) in sweep.points.iter().zip(reference.points.iter()) {
+            if remote.epsilon.to_bits() != local.epsilon.to_bits()
+                || remote.seed != local.seed
+                || remote.num_samples != local.num_samples
+                || remote.stats != local.stats
+            {
+                fail(format!(
+                    "active {i}: sweep diverged from the in-process engine \
+                     at epsilon {} seed {}",
+                    local.epsilon, local.seed
+                ));
+            }
+        }
+    }
+    println!(
+        "[c10k-smoke] {ACTIVE_CONNS} active sweeps bit-identical to the \
+         in-process engine in {:.2}s",
+        storm_start.elapsed().as_secs_f64()
+    );
+
+    // The idle crowd must still be responsive after the storm: round-trip
+    // a `stats` request on a sample of parked sockets.
+    let mut sampled = 0usize;
+    for (i, reader) in idle.into_iter().enumerate() {
+        if i % 100 != 0 {
+            continue;
+        }
+        let mut stream = reader.into_inner();
+        stream
+            .write_all(b"{\"verb\":\"stats\"}\n")
+            .unwrap_or_else(|e| fail(format!("idle conn {i} died: {e}")));
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| fail(format!("idle conn {i} stats read: {e}")));
+        if !line.contains("\"event\":\"stats\"") {
+            fail(format!("idle conn {i} answered {line:?}"));
+        }
+        sampled += 1;
+    }
+    println!("[c10k-smoke] {sampled} sampled idle connections still responsive");
+
+    match rss_kib() {
+        Some(rss) => {
+            let budget = RSS_BASE_KIB + RSS_PER_CONN_KIB * idle_conns as u64;
+            println!("[c10k-smoke] VmRSS {rss} KiB (budget {budget} KiB)");
+            if rss > budget {
+                fail(format!("RSS {rss} KiB exceeds budget {budget} KiB"));
+            }
+        }
+        None => println!("[c10k-smoke] VmRSS unavailable on this platform; RSS gate skipped"),
+    }
+
+    server.shutdown();
+    println!("[c10k-smoke] PASS");
+}

@@ -44,6 +44,16 @@ pub fn run_scale() -> RunScale {
     }
 }
 
+/// Idle-connection crowd size for the `c10k_smoke` binary:
+/// `MARQSIM_C10K_IDLE=<n>` overrides the default of 2000 (e.g. to run
+/// under a tight `ulimit -n` locally).
+pub fn c10k_idle_conns() -> usize {
+    std::env::var("MARQSIM_C10K_IDLE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(2000)
+}
+
 /// Builds the engine every binary routes its compilations through
 /// (`MARQSIM_THREADS` / `MARQSIM_CACHE` / `MARQSIM_CACHE_CAP` /
 /// `MARQSIM_CACHE_DIR` overrides apply) and prints a one-line banner so

@@ -508,6 +508,11 @@ impl TransitionCache {
         strategy: &TransitionStrategy,
         solver: SolverKind,
     ) -> Result<Arc<HttGraph>, CompileError> {
+        // The `auto` policy resolves here, on the as-submitted term count,
+        // so cache keys only ever name concrete backends — an auto request
+        // and an explicit request for the backend it resolves to share one
+        // entry.
+        let solver = solver.resolve_for_strings(ham.num_terms());
         let key = CacheKey {
             fingerprint: hamiltonian_fingerprint(ham),
             strategy: StrategyKey::of(strategy),
@@ -617,7 +622,9 @@ impl TransitionCache {
         self.flow_solves.fetch_add(1, Ordering::Relaxed);
         self.instruments.flow_solves.inc();
         match solver {
-            SolverKind::SuccessiveShortestPath => &self.flow_solves_ssp,
+            // `Auto` resolves before any solve path records; a stray
+            // unresolved record is attributed to the default backend.
+            SolverKind::SuccessiveShortestPath | SolverKind::Auto => &self.flow_solves_ssp,
             SolverKind::NetworkSimplex => &self.flow_solves_simplex,
         }
         .fetch_add(1, Ordering::Relaxed);
@@ -633,6 +640,10 @@ impl TransitionCache {
         working: &Hamiltonian,
         solver: SolverKind,
     ) -> Result<GcComponent, CompileError> {
+        // Direct component callers may hand us `auto`; resolve on the
+        // working (split) term count so memory keys, disk file names, and
+        // per-backend solve attribution all see a concrete backend.
+        let solver = solver.resolve_for_strings(working.num_terms());
         let fp = hamiltonian_fingerprint(working);
         let key = (fp, solver);
         if let Some(gc) = self.components.get(fp, &key, working) {

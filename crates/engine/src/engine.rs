@@ -135,7 +135,7 @@ impl EngineConfig {
             config.cache.flow_solver = SolverKind::parse(raw).ok_or_else(|| {
                 EngineError::invalid_config(format!(
                     "MARQSIM_FLOW_SOLVER={raw:?} is not a registered backend (use {})",
-                    SolverKind::ALL.map(SolverKind::as_str).join("/")
+                    SolverKind::SELECTABLE.map(SolverKind::as_str).join("/")
                 ))
             })?;
         }
@@ -504,11 +504,43 @@ impl Engine {
         options: SubmitOptions,
         callback: impl Fn(Progress) + Send + Sync + 'static,
     ) -> JobHandle {
+        let (tx, rx) = channel();
+        let control = self.submit_with_hooks(
+            workload,
+            options,
+            move |_, progress| callback(progress),
+            move |_, outcome| {
+                // The handle may have been dropped; the outcome is then
+                // discarded, which is the fire-and-forget contract.
+                let _ = tx.send(outcome);
+            },
+        );
+        JobHandle::new(control, rx)
+    }
+
+    /// The hook-based submission entry point under
+    /// [`submit_with_options`](Self::submit_with_options): instead of a
+    /// [`JobHandle`] to block on, the caller passes a completion hook and
+    /// gets the job's [`JobControl`] back immediately. Both hooks run on
+    /// the job's coordinator thread and carry the engine-assigned
+    /// [`JobId`], so a caller multiplexing many jobs into one queue (the
+    /// serve event loop) needs neither a per-job waiter thread nor an id
+    /// handshake with the progress stream.
+    ///
+    /// `on_complete` fires exactly once, after the job is marked finished
+    /// ([`JobControl::is_finished`] already answers `true` inside the
+    /// hook) and the engine's active-job gauge has been decremented.
+    pub fn submit_with_hooks<W: Workload + 'static>(
+        self: &Arc<Self>,
+        workload: W,
+        options: SubmitOptions,
+        on_progress: impl Fn(JobId, Progress) + Send + Sync + 'static,
+        on_complete: impl FnOnce(JobId, Result<WorkloadOutput, EngineError>) + Send + 'static,
+    ) -> JobControl {
         let id = JobId(self.next_job_id.fetch_add(1, Ordering::Relaxed));
         let state = Arc::new(JobState::new(id, workload.label().to_string()));
         let control = JobControl::new(Arc::clone(&state));
         let flow_solver = options.flow_solver.unwrap_or_else(|| self.flow_solver());
-        let (tx, rx) = channel();
 
         self.active_jobs.fetch_add(1, Ordering::Relaxed);
         let registry = metrics::global();
@@ -531,7 +563,7 @@ impl Engine {
                     .field("label", coordinator_state.label.as_str())
                     .field("flow_solver", flow_solver.as_str());
                 let sink = ProgressSink::new(
-                    Some(Arc::new(callback)),
+                    Some(Arc::new(move |progress| on_progress(id, progress))),
                     Some(Arc::clone(&coordinator_state)),
                     options.progress_every,
                 );
@@ -566,13 +598,11 @@ impl Engine {
                 coordinator_state.mark_finished();
                 engine.active_jobs.fetch_sub(1, Ordering::Relaxed);
                 metrics::global().gauge("marqsim_engine_active_jobs").sub(1);
-                // The handle may have been dropped; the outcome is then
-                // discarded, which is the fire-and-forget contract.
-                let _ = tx.send(outcome);
+                on_complete(id, outcome);
             })
             .expect("spawn job coordinator");
 
-        JobHandle::new(control, rx)
+        control
     }
 
     /// Compiles one request on the calling thread's batch machinery.

@@ -751,7 +751,13 @@ impl Workload for PerturbAverageWorkload {
         let ham = Arc::new(self.hamiltonian.clone());
         let config = self.config;
         let label = self.label.clone();
-        let solver = ctx.flow_solver();
+        // Resolve the `auto` policy on this workload's instance size up
+        // front: the warm-start basis, the per-sample solves, and the
+        // per-backend solve attribution below must all name one concrete
+        // backend.
+        let solver = ctx
+            .flow_solver()
+            .resolve_for_strings(self.hamiltonian.num_terms());
         // Sample 0 solves cold and exports its basis; the remaining samples
         // warm-start from it in parallel. The basis is a pure function of
         // (ham, config, solver), so the averaged matrix stays deterministic

@@ -275,6 +275,10 @@ impl FlowNetwork {
         amount: f64,
         warm: Option<&SpanningBasis>,
     ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        // Resolve the `auto` policy once, up front: the trace span, the
+        // per-backend instruments, and the result's `solver` field all name
+        // the concrete backend that actually ran.
+        let solver = solver.resolve_for_nodes(self.num_nodes);
         // The span's `warm` field reports whether a usable (matching)
         // basis was offered; `FlowResult::warm_start` is the ground truth
         // for whether it was reused.
@@ -421,10 +425,71 @@ pub enum SolverKind {
     /// Primal network simplex over a spanning-tree structure with a
     /// block-search pivot rule.
     NetworkSimplex,
+    /// Per-instance backend selection from the measured crossover
+    /// (`BENCH.md`): `ssp` for small instances (≤ [`Self::AUTO_SSP_MAX_STRINGS`]
+    /// Hamiltonian strings, where absolute solve cost is negligible and the
+    /// historical default's tie-breaking is preserved), `network_simplex`
+    /// above it (decisively faster at 500+ strings: 0.79 s vs 2.03 s cold).
+    /// `Auto` always resolves to one of the concrete backends before any
+    /// solve, metric, or cache attribution — it never appears in
+    /// [`Self::ALL`] or on a `FlowResult`.
+    Auto,
 }
 
 static SSP: SuccessiveShortestPath = SuccessiveShortestPath;
 static SIMPLEX: NetworkSimplex = NetworkSimplex;
+static AUTO: AutoSolver = AutoSolver;
+
+/// [`MinCostFlowSolver`] adapter for [`SolverKind::Auto`]: delegates each
+/// solve to the backend [`SolverKind::resolve_for_nodes`] picks for the
+/// network at hand, so `SolverKind::solver()` stays total. The returned
+/// [`FlowResult::solver`] names the *resolved* backend, never `"auto"`.
+struct AutoSolver;
+
+impl AutoSolver {
+    fn resolved(network: &FlowNetwork) -> &'static dyn MinCostFlowSolver {
+        SolverKind::Auto
+            .resolve_for_nodes(network.num_nodes())
+            .solver()
+    }
+}
+
+impl MinCostFlowSolver for AutoSolver {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn solve(
+        &self,
+        network: &FlowNetwork,
+        source: usize,
+        sink: usize,
+        amount: f64,
+    ) -> Result<FlowResult, FlowError> {
+        Self::resolved(network).solve(network, source, sink, amount)
+    }
+
+    fn solve_with_basis(
+        &self,
+        network: &FlowNetwork,
+        source: usize,
+        sink: usize,
+        amount: f64,
+    ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        Self::resolved(network).solve_with_basis(network, source, sink, amount)
+    }
+
+    fn solve_warm(
+        &self,
+        network: &FlowNetwork,
+        source: usize,
+        sink: usize,
+        amount: f64,
+        basis: &SpanningBasis,
+    ) -> Result<(FlowResult, Option<SpanningBasis>), FlowError> {
+        Self::resolved(network).solve_warm(network, source, sink, amount, basis)
+    }
+}
 
 /// Cached global-registry handles for one backend — registered once, so
 /// the per-solve record path is atomics only.
@@ -477,17 +542,36 @@ fn backend_metrics(kind: SolverKind) -> &'static BackendMetrics {
 }
 
 impl SolverKind {
-    /// Every registered backend, default first.
+    /// Every concrete backend, default first. `Auto` is deliberately absent:
+    /// it is a selection *policy*, and everything indexed per backend
+    /// (registry instruments, cache-key attribution, bench tables) only
+    /// deals in resolved kinds. Use [`Self::SELECTABLE`] for the spellings a
+    /// user may request.
     pub const ALL: [SolverKind; 2] = [
         SolverKind::SuccessiveShortestPath,
         SolverKind::NetworkSimplex,
     ];
+
+    /// Everything a user may select end to end (`MARQSIM_FLOW_SOLVER`,
+    /// `SubmitOptions::flow_solver`, the serve wire protocol): the concrete
+    /// backends plus the `auto` policy.
+    pub const SELECTABLE: [SolverKind; 3] = [
+        SolverKind::SuccessiveShortestPath,
+        SolverKind::NetworkSimplex,
+        SolverKind::Auto,
+    ];
+
+    /// Largest instance (in Hamiltonian strings) `Auto` still hands to
+    /// `ssp`; anything larger resolves to `network_simplex`. Sits between
+    /// the 100-string and 500-string rows of the `BENCH.md` backend table.
+    pub const AUTO_SSP_MAX_STRINGS: usize = 100;
 
     /// The stable name ([`MinCostFlowSolver::name`] of the backend).
     pub const fn as_str(self) -> &'static str {
         match self {
             SolverKind::SuccessiveShortestPath => "ssp",
             SolverKind::NetworkSimplex => "network_simplex",
+            SolverKind::Auto => "auto",
         }
     }
 
@@ -498,15 +582,45 @@ impl SolverKind {
                 Some(SolverKind::SuccessiveShortestPath)
             }
             "network_simplex" | "network-simplex" | "simplex" => Some(SolverKind::NetworkSimplex),
+            "auto" => Some(SolverKind::Auto),
             _ => None,
         }
     }
 
-    /// The backend implementation.
+    /// Resolves the `Auto` policy for an instance of `strings` Hamiltonian
+    /// terms; concrete kinds return themselves. The crossover is the
+    /// measured one from `BENCH.md`: small instances keep the historical
+    /// `ssp` default (negligible absolute cost, bit-compatible
+    /// tie-breaking), larger ones get the decisively faster simplex.
+    pub const fn resolve_for_strings(self, strings: usize) -> SolverKind {
+        match self {
+            SolverKind::Auto => {
+                if strings <= Self::AUTO_SSP_MAX_STRINGS {
+                    SolverKind::SuccessiveShortestPath
+                } else {
+                    SolverKind::NetworkSimplex
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// [`Self::resolve_for_strings`] via the node count of the bipartite
+    /// transition network (`nodes = 2·strings + 2`: one in-layer and one
+    /// out-layer node per Hamiltonian string plus source and sink).
+    pub const fn resolve_for_nodes(self, num_nodes: usize) -> SolverKind {
+        self.resolve_for_strings(num_nodes.saturating_sub(2) / 2)
+    }
+
+    /// The backend implementation. Total over every kind: `Auto` returns an
+    /// adapter that resolves per network, though the telemetered solve
+    /// entry points resolve *before* reaching it so instruments and spans
+    /// always name a concrete backend.
     pub fn solver(self) -> &'static dyn MinCostFlowSolver {
         match self {
             SolverKind::SuccessiveShortestPath => &SSP,
             SolverKind::NetworkSimplex => &SIMPLEX,
+            SolverKind::Auto => &AUTO,
         }
     }
 }
@@ -524,7 +638,7 @@ impl std::str::FromStr for SolverKind {
         SolverKind::parse(s).ok_or_else(|| {
             format!(
                 "unknown flow solver '{s}' (registered backends: {})",
-                SolverKind::ALL.map(SolverKind::as_str).join(", ")
+                SolverKind::SELECTABLE.map(SolverKind::as_str).join(", ")
             )
         })
     }
@@ -552,6 +666,80 @@ mod tests {
         assert_eq!(SolverKind::parse("nope"), None);
         assert!("nope".parse::<SolverKind>().unwrap_err().contains("ssp"));
         assert_eq!(SolverKind::default(), SolverKind::SuccessiveShortestPath);
+    }
+
+    #[test]
+    fn auto_resolves_by_instance_size() {
+        // The policy: ssp up to the crossover, simplex above it.
+        assert_eq!(
+            SolverKind::Auto.resolve_for_strings(1),
+            SolverKind::SuccessiveShortestPath
+        );
+        assert_eq!(
+            SolverKind::Auto.resolve_for_strings(SolverKind::AUTO_SSP_MAX_STRINGS),
+            SolverKind::SuccessiveShortestPath
+        );
+        assert_eq!(
+            SolverKind::Auto.resolve_for_strings(SolverKind::AUTO_SSP_MAX_STRINGS + 1),
+            SolverKind::NetworkSimplex
+        );
+        // Node form: the bipartite transition network has 2n + 2 nodes.
+        assert_eq!(
+            SolverKind::Auto.resolve_for_nodes(2 * SolverKind::AUTO_SSP_MAX_STRINGS + 2),
+            SolverKind::SuccessiveShortestPath
+        );
+        assert_eq!(
+            SolverKind::Auto.resolve_for_nodes(2 * (SolverKind::AUTO_SSP_MAX_STRINGS + 1) + 2),
+            SolverKind::NetworkSimplex
+        );
+        // Concrete kinds are fixed points of resolution.
+        for kind in SolverKind::ALL {
+            assert_eq!(kind.resolve_for_strings(1_000_000), kind);
+            assert_eq!(kind.resolve_for_nodes(0), kind);
+        }
+        // Spellings: parseable and selectable, but not a registered backend.
+        assert_eq!(SolverKind::parse("auto"), Some(SolverKind::Auto));
+        assert_eq!(SolverKind::Auto.as_str(), "auto");
+        assert!(!SolverKind::ALL.contains(&SolverKind::Auto));
+        assert!(SolverKind::SELECTABLE.contains(&SolverKind::Auto));
+        assert!("nope".parse::<SolverKind>().unwrap_err().contains("auto"));
+        // `solver()` is total, and a solve through the auto policy reports
+        // the *resolved* backend, never "auto".
+        assert_eq!(SolverKind::Auto.solver().name(), "auto");
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1.0, 1.0);
+        let r = net.min_cost_flow_with(SolverKind::Auto, 0, 1, 1.0).unwrap();
+        assert_eq!(r.solver, "ssp");
+        assert!((r.cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_solves_match_the_resolved_backend_exactly() {
+        // Same seed-free deterministic instance solved via Auto and via the
+        // backend Auto resolves to: identical results, bit for bit.
+        let mut net = FlowNetwork::new(6);
+        for &(u, v, c, w) in &[
+            (0usize, 1usize, 2.0, 4.0),
+            (0, 2, 2.0, 1.0),
+            (1, 2, 1.0, 1.0),
+            (1, 3, 1.5, 3.0),
+            (2, 3, 1.0, 6.0),
+            (2, 4, 2.0, 2.0),
+            (3, 5, 2.0, 1.0),
+            (4, 3, 1.0, 0.5),
+            (4, 5, 1.0, 7.0),
+        ] {
+            net.add_edge(u, v, c, w);
+        }
+        let resolved = SolverKind::Auto.resolve_for_nodes(net.num_nodes());
+        let auto = net.min_cost_flow_with(SolverKind::Auto, 0, 5, 2.5).unwrap();
+        let direct = net.min_cost_flow_with(resolved, 0, 5, 2.5).unwrap();
+        assert_eq!(auto.solver, direct.solver);
+        assert_eq!(auto.cost.to_bits(), direct.cost.to_bits());
+        assert_eq!(auto.edge_flows.len(), direct.edge_flows.len());
+        for (a, d) in auto.edge_flows.iter().zip(direct.edge_flows.iter()) {
+            assert_eq!(a.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Bounded line framing over short reads.
+//!
+//! A nonblocking socket delivers bytes in arbitrary chunks — a request line
+//! can arrive split across many reads, or many lines can arrive in one.
+//! [`LineAssembler`] turns that byte stream back into `\n`-terminated
+//! lines with a hard per-line size bound, the reactor-side equivalent of
+//! the blocking server's bounded `read_line`:
+//!
+//! * returned lines have every trailing `\n` / `\r` stripped;
+//! * a line whose bytes (terminator included) would exceed the bound is a
+//!   framing error — the connection is hostile or broken and should close;
+//! * bytes must be valid UTF-8 once a full line is assembled (the wire
+//!   protocol is JSON text).
+
+use std::collections::VecDeque;
+
+/// Why the byte stream cannot be framed; the connection should close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramingError {
+    /// A single line exceeds the configured size bound.
+    Oversized {
+        /// The configured bound (bytes, terminator included).
+        limit: usize,
+    },
+    /// A completed line is not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for FramingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FramingError::Oversized { limit } => {
+                write!(f, "request line exceeds the size limit ({limit} bytes)")
+            }
+            FramingError::InvalidUtf8 => write!(f, "request line is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FramingError {}
+
+/// Reassembles `\n`-terminated lines from arbitrarily chunked reads.
+pub struct LineAssembler {
+    buf: VecDeque<u8>,
+    /// Bytes of `buf` already scanned for `\n`, so repeated `next_line`
+    /// calls over a slowly growing buffer stay linear overall.
+    scanned: usize,
+    /// Maximum accepted line length in bytes, terminator included.
+    max_line: usize,
+}
+
+impl LineAssembler {
+    /// An empty assembler accepting lines up to `max_line` bytes
+    /// (terminator included).
+    pub fn new(max_line: usize) -> LineAssembler {
+        LineAssembler {
+            buf: VecDeque::new(),
+            scanned: 0,
+            max_line: max_line.max(1),
+        }
+    }
+
+    /// Appends one read's worth of bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes.iter().copied());
+    }
+
+    /// Bytes buffered but not yet returned as lines.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete line, trailing `\r`/`\n` stripped. `None`
+    /// means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FramingError::Oversized`] once the pending line cannot possibly
+    /// fit the bound; [`FramingError::InvalidUtf8`] for non-UTF-8 lines.
+    /// Both are terminal for the stream.
+    pub fn next_line(&mut self) -> Result<Option<String>, FramingError> {
+        let newline = self
+            .buf
+            .iter()
+            .skip(self.scanned)
+            .position(|&b| b == b'\n')
+            .map(|offset| self.scanned + offset);
+        match newline {
+            Some(index) => {
+                if index + 1 > self.max_line {
+                    return Err(FramingError::Oversized {
+                        limit: self.max_line,
+                    });
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=index).collect();
+                self.scanned = 0;
+                while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                    line.pop();
+                }
+                match String::from_utf8(line) {
+                    Ok(line) => Ok(Some(line)),
+                    Err(_) => Err(FramingError::InvalidUtf8),
+                }
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() >= self.max_line {
+                    return Err(FramingError::Oversized {
+                        limit: self.max_line,
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassembles_lines_across_arbitrary_chunking() {
+        let mut assembler = LineAssembler::new(1024);
+        for chunk in [&b"he"[..], b"llo\nwo", b"", b"rld\r\n", b"tail"] {
+            assembler.push(chunk);
+        }
+        assert_eq!(assembler.next_line().unwrap(), Some("hello".to_string()));
+        assert_eq!(assembler.next_line().unwrap(), Some("world".to_string()));
+        assert_eq!(assembler.next_line().unwrap(), None, "tail is incomplete");
+        assembler.push(b"\n");
+        assert_eq!(assembler.next_line().unwrap(), Some("tail".to_string()));
+        assert_eq!(assembler.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_lines_error_before_completion() {
+        let mut assembler = LineAssembler::new(8);
+        assembler.push(b"123456789");
+        assert!(matches!(
+            assembler.next_line(),
+            Err(FramingError::Oversized { limit: 8 })
+        ));
+    }
+
+    #[test]
+    fn line_exactly_at_the_bound_fits() {
+        // 7 content bytes + '\n' == the 8-byte bound.
+        let mut assembler = LineAssembler::new(8);
+        assembler.push(b"1234567\n");
+        assert_eq!(assembler.next_line().unwrap(), Some("1234567".to_string()));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_framing_error() {
+        let mut assembler = LineAssembler::new(64);
+        assembler.push(&[0xff, 0xfe, b'\n']);
+        assert_eq!(assembler.next_line(), Err(FramingError::InvalidUtf8));
+    }
+
+    #[test]
+    fn empty_lines_come_back_empty() {
+        let mut assembler = LineAssembler::new(64);
+        assembler.push(b"\n\r\n");
+        assert_eq!(assembler.next_line().unwrap(), Some(String::new()));
+        assert_eq!(assembler.next_line().unwrap(), Some(String::new()));
+    }
+}

@@ -1,0 +1,268 @@
+//! The readiness poller: a thin, typed wrapper over one epoll instance.
+//!
+//! [`Poller::wait`] is **level-triggered**: a registered fd keeps reporting
+//! readiness until the caller drains it, so a handler that reads less than
+//! everything available is woken again rather than wedged — the forgiving
+//! mode for a single-threaded event loop. Writable interest is meant to be
+//! registered only while there is something queued to write (see
+//! [`Interest`]), otherwise every idle socket would report writable on
+//! every wait.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+use std::time::Duration;
+
+use crate::instruments;
+use crate::sys;
+
+/// Caller-chosen identity delivered back with every readiness event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub u64);
+
+/// Which readiness directions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd can accept writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the idle-connection steady state.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions — a connection with queued outbound data.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if self.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if self.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: Token,
+    /// The fd is readable (includes peer hang-up, which reads as EOF).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Error / hang-up condition: the connection is dead or dying. The
+    /// caller should still attempt a read to observe the precise error.
+    pub closed: bool,
+}
+
+/// How many kernel events one `wait` call can harvest.
+const EVENT_CAPACITY: usize = 1024;
+
+/// One epoll instance plus the scratch buffer `wait` fills from the
+/// kernel.
+pub struct Poller {
+    epoll: OwnedFd,
+    scratch: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        let fd = sys::epoll_create()?;
+        // SAFETY: `epoll_create` returned a freshly created fd we own.
+        let epoll = unsafe { OwnedFd::from_raw_fd(fd) };
+        Ok(Poller {
+            epoll,
+            scratch: vec![sys::EpollEvent::default(); EVENT_CAPACITY],
+        })
+    }
+
+    /// Registers `fd` with the given interest; readiness events carry
+    /// `token` back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. the fd is already registered).
+    pub fn register(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(
+            self.epoll.as_raw_fd(),
+            fd.as_raw_fd(),
+            interest.mask(),
+            token.0,
+        )
+    }
+
+    /// Changes an existing registration's interest (and token).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. the fd is not registered).
+    pub fn reregister(
+        &self,
+        fd: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_modify(
+            self.epoll.as_raw_fd(),
+            fd.as_raw_fd(),
+            interest.mask(),
+            token.0,
+        )
+    }
+
+    /// Removes a registration. Safe to call on an already-closed fd (the
+    /// error is swallowed — the kernel removed it with the fd).
+    pub fn deregister(&self, fd: &impl AsRawFd) {
+        let _ = sys::epoll_delete(self.epoll.as_raw_fd(), fd.as_raw_fd());
+    }
+
+    /// Blocks until readiness events arrive or `timeout` elapses
+    /// (`None` = forever), appends them to `events`, and returns how many
+    /// were delivered. A timeout delivers zero events and is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure (never `EINTR`, which is retried).
+    pub fn wait(
+        &mut self,
+        events: &mut Vec<PollEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let count = sys::epoll_wait_events(self.epoll.as_raw_fd(), &mut self.scratch, timeout)?;
+        let net = instruments();
+        net.polls.inc();
+        net.events.add(count as u64);
+        for raw in &self.scratch[..count] {
+            // Copy out of the (possibly packed) kernel struct before use.
+            let mask = raw.events;
+            let data = raw.data;
+            events.push(PollEvent {
+                token: Token(data),
+                readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: mask & sys::EPOLLOUT != 0,
+                closed: mask & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_event_carries_the_token() {
+        let mut poller = Poller::new().unwrap();
+        let (a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(&a, Token(42), Interest::READABLE).unwrap();
+
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "nothing written yet");
+
+        b.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, Token(42));
+        assert!(events[0].readable);
+        assert!(!events[0].closed);
+    }
+
+    #[test]
+    fn level_triggered_readiness_persists_until_drained() {
+        let mut poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(&a, Token(1), Interest::READABLE).unwrap();
+        b.write_all(b"xy").unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+
+        // Read one of the two bytes; the fd must still report readable.
+        let mut byte = [0u8; 1];
+        a.read_exact(&mut byte).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "level-triggered: one byte remains");
+    }
+
+    #[test]
+    fn hangup_reports_closed() {
+        let mut poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(&a, Token(9), Interest::READABLE).unwrap();
+        drop(b);
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].closed);
+        assert!(events[0].readable, "hang-up reads as EOF");
+    }
+
+    #[test]
+    fn reregister_switches_interest() {
+        let mut poller = Poller::new().unwrap();
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        poller.register(&a, Token(3), Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // An idle socket with plenty of send-buffer space is writable.
+        poller.reregister(&a, Token(3), Interest::BOTH).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable);
+
+        poller.deregister(&a);
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fds deliver nothing");
+    }
+}

@@ -1,0 +1,191 @@
+//! Nonblocking listener and stream wrappers.
+//!
+//! Thin adapters that put `WouldBlock` into the type: reactor code matches
+//! on [`IoStatus`] instead of re-deriving the three-way outcome (progress /
+//! try later / gone) from `io::Error` at every call site. `Interrupted` is
+//! retried internally; any other error means the connection is dead.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Outcome of one nonblocking read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStatus {
+    /// `n` bytes moved (`n > 0`).
+    Ready(usize),
+    /// The operation would block; wait for readiness and retry.
+    WouldBlock,
+    /// Orderly end of stream (read side only).
+    Closed,
+}
+
+/// A nonblocking accept loop over a bound [`TcpListener`].
+pub struct Listener {
+    inner: TcpListener,
+}
+
+impl Listener {
+    /// Puts `listener` into nonblocking mode and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the mode change failure.
+    pub fn from_std(listener: TcpListener) -> io::Result<Listener> {
+        listener.set_nonblocking(true)?;
+        Ok(Listener { inner: listener })
+    }
+
+    /// Accepts one pending connection, or `None` when the backlog is
+    /// empty. Transient per-connection errors (peer reset before accept)
+    /// also come back as `None` — the listener itself is fine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-level failures (e.g. fd exhaustion).
+    pub fn accept(&self) -> io::Result<Option<(TcpStream, SocketAddr)>> {
+        loop {
+            match self.inner.accept() {
+                Ok(pair) => return Ok(Some(pair)),
+                Err(error) => match error.kind() {
+                    io::ErrorKind::WouldBlock => return Ok(None),
+                    io::ErrorKind::Interrupted | io::ErrorKind::ConnectionAborted => continue,
+                    _ => return Err(error),
+                },
+            }
+        }
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}
+
+/// A nonblocking TCP stream with status-typed reads and writes.
+pub struct Stream {
+    inner: TcpStream,
+}
+
+impl Stream {
+    /// Puts `stream` into nonblocking mode and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the mode change failure.
+    pub fn from_std(stream: TcpStream) -> io::Result<Stream> {
+        stream.set_nonblocking(true)?;
+        Ok(Stream { inner: stream })
+    }
+
+    /// Reads into `buf` once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal socket errors (`WouldBlock` / EOF are statuses,
+    /// not errors; `Interrupted` is retried).
+    pub fn read(&mut self, buf: &mut [u8]) -> io::Result<IoStatus> {
+        loop {
+            match self.inner.read(buf) {
+                Ok(0) => return Ok(IoStatus::Closed),
+                Ok(n) => return Ok(IoStatus::Ready(n)),
+                Err(error) => match error.kind() {
+                    io::ErrorKind::WouldBlock => return Ok(IoStatus::WouldBlock),
+                    io::ErrorKind::Interrupted => continue,
+                    _ => return Err(error),
+                },
+            }
+        }
+    }
+
+    /// Writes from `buf` once; short writes are normal under backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal socket errors.
+    pub fn write(&mut self, buf: &[u8]) -> io::Result<IoStatus> {
+        loop {
+            match self.inner.write(buf) {
+                Ok(n) => return Ok(IoStatus::Ready(n)),
+                Err(error) => match error.kind() {
+                    io::ErrorKind::WouldBlock => return Ok(IoStatus::WouldBlock),
+                    io::ErrorKind::Interrupted => continue,
+                    _ => return Err(error),
+                },
+            }
+        }
+    }
+
+    /// The wrapped socket (peer address, nodelay, shutdown).
+    pub fn std(&self) -> &TcpStream {
+        &self.inner
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn accept_returns_none_on_an_empty_backlog() {
+        let listener = Listener::from_std(TcpListener::bind("127.0.0.1:0").unwrap()).unwrap();
+        assert!(listener.accept().unwrap().is_none());
+    }
+
+    #[test]
+    fn read_write_round_trip_with_statuses() {
+        let listener = Listener::from_std(TcpListener::bind("127.0.0.1:0").unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+
+        let accepted = loop {
+            if let Some((stream, _)) = listener.accept().unwrap() {
+                break stream;
+            }
+        };
+        let mut server_side = Stream::from_std(accepted).unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(server_side.read(&mut buf).unwrap(), IoStatus::WouldBlock);
+
+        {
+            use std::io::Write as _;
+            let mut client = &client;
+            client.write_all(b"ping").unwrap();
+        }
+        // The bytes are in flight; poll until they land.
+        let n = loop {
+            match server_side.read(&mut buf).unwrap() {
+                IoStatus::Ready(n) => break n,
+                IoStatus::WouldBlock => std::thread::sleep(std::time::Duration::from_millis(1)),
+                IoStatus::Closed => panic!("client is still connected"),
+            }
+        };
+        assert_eq!(&buf[..n], b"ping");
+
+        drop(client);
+        let status = loop {
+            match server_side.read(&mut buf).unwrap() {
+                IoStatus::WouldBlock => std::thread::sleep(std::time::Duration::from_millis(1)),
+                status => break status,
+            }
+        };
+        assert_eq!(status, IoStatus::Closed);
+    }
+}

@@ -1,0 +1,214 @@
+//! Raw syscall bindings for the reactor.
+//!
+//! The workspace has no registry access, so there is no `libc` crate to
+//! lean on. `std` already links the platform C library, which means the
+//! handful of symbols the reactor needs — `epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, and `poll` — can be declared here directly and resolve at
+//! link time. Everything else (socket creation, nonblocking mode, fd
+//! lifecycle, `errno`) goes through `std`: [`std::io::Error::last_os_error`]
+//! reads `errno`, and [`std::os::fd::OwnedFd`] closes on drop.
+//!
+//! All wrappers retry on `EINTR` and translate failures into
+//! [`std::io::Error`], so callers never see a raw return code.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: an error condition is pending (always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hang-up (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: the peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+/// `EPOLL_CLOEXEC` == `O_CLOEXEC`.
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64, where the kernel
+/// ABI lays the 64-bit payload directly after the 32-bit event mask.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned payload, returned verbatim with each readiness event.
+    pub data: u64,
+}
+
+/// The kernel's `struct pollfd`, for single-fd blocking waits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+}
+
+/// Converts an optional wait bound to the millisecond convention poll-style
+/// syscalls use: `None` → `-1` (block forever), sub-millisecond non-zero
+/// durations round *up* so a short timeout never degenerates into a busy
+/// spin, and very long durations clamp to `i32::MAX`.
+pub fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+/// Creates a close-on-exec epoll instance and returns its fd.
+pub fn epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers cross the boundary; the return value is checked.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(fd)
+}
+
+fn epoll_op(epfd: RawFd, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+    let mut event = event;
+    let ptr = event
+        .as_mut()
+        .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+    // SAFETY: `ptr` is null (DEL) or points at a live, properly laid out
+    // `EpollEvent` for the duration of the call.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, ptr) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// `EPOLL_CTL_ADD` with the given event mask and payload.
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_ADD, fd, Some(EpollEvent { events, data }))
+}
+
+/// `EPOLL_CTL_MOD` with the given event mask and payload.
+pub fn epoll_modify(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_MOD, fd, Some(EpollEvent { events, data }))
+}
+
+/// `EPOLL_CTL_DEL`.
+pub fn epoll_delete(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_DEL, fd, None)
+}
+
+/// Blocks until the epoll set has readiness events or the timeout elapses;
+/// fills `events` and returns the count. Retries on `EINTR`.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout: Option<Duration>,
+) -> io::Result<usize> {
+    let ms = timeout_ms(timeout);
+    loop {
+        // SAFETY: `events` is a live, correctly sized buffer of the
+        // kernel's event layout for the duration of the call.
+        let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let error = io::Error::last_os_error();
+        if error.kind() != io::ErrorKind::Interrupted {
+            return Err(error);
+        }
+    }
+}
+
+fn poll_one(fd: RawFd, events: i16, timeout: Option<Duration>) -> io::Result<bool> {
+    let ms = timeout_ms(timeout);
+    let mut pollfd = PollFd {
+        fd,
+        events,
+        revents: 0,
+    };
+    loop {
+        // SAFETY: `pollfd` lives on this stack frame for the whole call.
+        let rc = unsafe { poll(&mut pollfd, 1, ms) };
+        if rc > 0 {
+            return Ok(true);
+        }
+        if rc == 0 {
+            return Ok(false);
+        }
+        let error = io::Error::last_os_error();
+        if error.kind() != io::ErrorKind::Interrupted {
+            return Err(error);
+        }
+    }
+}
+
+/// Blocks until `fd` is readable (or has a pending error/hang-up — `poll`
+/// always reports those) or the timeout elapses; `false` means timeout.
+pub fn wait_readable(fd: RawFd, timeout: Option<Duration>) -> io::Result<bool> {
+    poll_one(fd, POLLIN, timeout)
+}
+
+/// Blocks until `fd` is writable or the timeout elapses; `false` means
+/// timeout.
+pub fn wait_writable(fd: RawFd, timeout: Option<Duration>) -> io::Result<bool> {
+    poll_one(fd, POLLOUT, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_conversion_rounds_up_and_clamps() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(10))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        assert_eq!(
+            timeout_ms(Some(Duration::from_secs(u64::MAX / 2))),
+            i32::MAX
+        );
+    }
+
+    #[test]
+    fn wait_readable_times_out_on_a_silent_socket() {
+        use std::os::fd::AsRawFd;
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let ready = wait_readable(a.as_raw_fd(), Some(Duration::from_millis(10))).unwrap();
+        assert!(!ready, "no bytes were written, the wait must time out");
+    }
+
+    #[test]
+    fn wait_readable_sees_written_bytes() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+        let (a, mut b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.write_all(&[7]).unwrap();
+        let ready = wait_readable(a.as_raw_fd(), Some(Duration::from_secs(5))).unwrap();
+        assert!(ready);
+    }
+}

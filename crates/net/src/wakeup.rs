@@ -1,0 +1,130 @@
+//! Cross-thread wakeup for a blocked event loop.
+//!
+//! An event loop parked in [`Poller::wait`](crate::Poller::wait) cannot see
+//! an in-process notification (a finished job, a shutdown request) — only
+//! fd readiness. [`Wakeup`] bridges the gap with a nonblocking socketpair:
+//! the loop registers the read end like any other fd, and any thread holding
+//! a [`WakeHandle`] makes the loop's next `wait` return by writing one byte.
+//!
+//! Wakeups **coalesce**: if the loop has not drained yet, further wakes hit
+//! a full pipe buffer and are dropped — which is fine, because one pending
+//! byte already guarantees a wake, and the waking threads' actual payloads
+//! travel through whatever shared queue the loop drains after
+//! [`Wakeup::drain`].
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+use crate::instruments;
+
+/// The read end, owned by the event loop. Register [`Wakeup::reader`] with
+/// the poller; on readiness, call [`Wakeup::drain`].
+pub struct Wakeup {
+    reader: UnixStream,
+    writer: Arc<UnixStream>,
+}
+
+/// The write end: cheap to clone, send one to every thread that needs to
+/// nudge the loop.
+#[derive(Clone)]
+pub struct WakeHandle {
+    writer: Arc<UnixStream>,
+}
+
+impl Wakeup {
+    /// Creates a connected wakeup pair, both ends nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair creation failure.
+    pub fn new() -> io::Result<Wakeup> {
+        let (reader, writer) = UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        Ok(Wakeup {
+            reader,
+            writer: Arc::new(writer),
+        })
+    }
+
+    /// The fd to register with the poller (readable interest).
+    pub fn reader(&self) -> &UnixStream {
+        &self.reader
+    }
+
+    /// A cloneable handle for waking threads.
+    pub fn handle(&self) -> WakeHandle {
+        WakeHandle {
+            writer: Arc::clone(&self.writer),
+        }
+    }
+
+    /// Consumes every pending wake byte. Call once per readiness event on
+    /// the reader before draining the shared work queue.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.reader).read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl WakeHandle {
+    /// Makes the event loop's current (or next) `wait` return. Never
+    /// blocks: a full pipe means a wake is already pending, and any error
+    /// means the loop is gone — both are fine to ignore.
+    pub fn wake(&self) {
+        instruments().wakeups.inc();
+        let _ = (&*self.writer).write(&[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interest, PollEvent, Poller, Token};
+    use std::time::Duration;
+
+    #[test]
+    fn wake_unblocks_a_poller_and_drain_resets_it() {
+        let mut poller = Poller::new().unwrap();
+        let wakeup = Wakeup::new().unwrap();
+        poller
+            .register(wakeup.reader(), Token(0), Interest::READABLE)
+            .unwrap();
+
+        let handle = wakeup.handle();
+        let waker = std::thread::spawn(move || handle.wake());
+
+        let mut events: Vec<PollEvent> = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        waker.join().unwrap();
+
+        wakeup.drain();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained wakeup no longer reports readable");
+    }
+
+    #[test]
+    fn wakes_coalesce_without_blocking() {
+        let wakeup = Wakeup::new().unwrap();
+        let handle = wakeup.handle();
+        // Far more wakes than the pipe buffer holds; none may block.
+        for _ in 0..100_000 {
+            handle.wake();
+        }
+        wakeup.drain();
+    }
+}

@@ -6,8 +6,10 @@
 //! `MARQSIM_CACHE*` / `MARQSIM_FLOW_SOLVER` variables), and serves the
 //! line-delimited JSON protocol until killed. Admission bounds:
 //! `MARQSIM_SERVE_MAX_IN_FLIGHT` per connection, `MARQSIM_MAX_ACTIVE_JOBS`
-//! engine-wide across all connections. See the `marqsim-serve` crate docs
-//! for the protocol.
+//! engine-wide across all connections. `MARQSIM_SERVE_IDLE_TIMEOUT_MS`
+//! (unset = never) reaps connections that send no request bytes for that
+//! long, cancelling whatever they left running. See the `marqsim-serve`
+//! crate docs for the protocol.
 
 use std::sync::Arc;
 
@@ -64,6 +66,7 @@ fn main() {
 
     let max_in_flight = positive_env("MARQSIM_SERVE_MAX_IN_FLIGHT", "in-flight job bound");
     let max_active_jobs = positive_env("MARQSIM_MAX_ACTIVE_JOBS", "engine-wide job bound");
+    let idle_timeout_ms = positive_env("MARQSIM_SERVE_IDLE_TIMEOUT_MS", "millisecond timeout");
 
     let engine = Arc::new(Engine::new(config));
     let mut server = match Server::bind(&addr, engine) {
@@ -79,6 +82,9 @@ fn main() {
     if let Some(limit) = max_active_jobs {
         server = server.with_max_active_jobs(limit);
     }
+    if let Some(ms) = idle_timeout_ms {
+        server = server.with_idle_timeout(std::time::Duration::from_millis(ms as u64));
+    }
     match server.local_addr() {
         Ok(bound) => println!(
             "[marqsim-served] listening on {bound} with {} worker threads (workloads: {})",
@@ -88,7 +94,7 @@ fn main() {
         Err(_) => println!("[marqsim-served] listening on {addr}"),
     }
     if let Err(cause) = server.run() {
-        error!("served", "accept loop failed: {cause}");
+        error!("served", "event loop failed: {cause}");
         std::process::exit(1);
     }
 }

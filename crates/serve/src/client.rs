@@ -14,25 +14,41 @@
 //!
 //! This is the client the integration tests, the `serve_smoke` benchmark
 //! binary, and the `serve_roundtrip` example use; it is deliberately
-//! synchronous (one thread, blocking reads with a timeout) so its behavior
-//! under test is deterministic.
+//! synchronous (one thread), but built on a nonblocking socket with
+//! poll-based readiness waits rather than blocking reads: every read and
+//! write parks in `poll(2)` until the socket is ready or a deadline
+//! expires, so a stalled server surfaces as a timeout instead of a
+//! busy-retry loop or an indefinite hang. While waiting on a long job,
+//! [`Client::wait_with_progress`] additionally sends a keepalive `status`
+//! poll for the awaited job whenever the socket has been silent for
+//! [`KEEPALIVE_INTERVAL`] — inbound requests are what the server's idle
+//! timeout counts, so a patient waiter is never mistaken for a half-open
+//! peer. The acks of those polls are consumed internally and never
+//! surface to callers.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
 
 use marqsim_core::experiment::SweepConfig;
 use marqsim_core::TransitionStrategy;
 use marqsim_engine::{CacheStats, SolverKind, SubmitOptions};
+use marqsim_net::{wait_readable, wait_writable, LineAssembler};
 use marqsim_pauli::Hamiltonian;
 
 use crate::protocol::{sweep_params, Event, Outcome, Request, ServerStats};
 use crate::wire::{Json, WireError};
 
-/// Default blocking-read timeout. Long enough for any reduced-scale sweep;
+/// Per-event read deadline. Long enough for any reduced-scale sweep;
 /// prevents a wedged server from hanging a test suite forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Socket-silence span after which [`Client::wait_with_progress`] sends a
+/// keepalive `status` poll for the awaited job (see the module docs).
+/// Comfortably inside any reasonable server idle timeout.
+pub const KEEPALIVE_INTERVAL: Duration = Duration::from_secs(30);
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -107,7 +123,7 @@ pub struct JobResult {
 
 /// The telemetry snapshot returned by [`Client::metrics`]: the server's
 /// process-wide Prometheus-style exposition plus this connection's own
-/// request/byte counters (as the server's reader/writer threads count them).
+/// request/byte counters (as the server's event loop counts them).
 #[derive(Debug, Clone)]
 pub struct MetricsReport {
     /// Prometheus-style text exposition of the server's metrics registry.
@@ -123,10 +139,15 @@ pub struct MetricsReport {
 
 /// One connection to a `marqsim-served` instance.
 pub struct Client {
-    writer: BufWriter<TcpStream>,
-    reader: BufReader<TcpStream>,
+    /// The nonblocking socket; all waits go through `poll(2)`.
+    stream: TcpStream,
+    /// Reassembles wire lines from whatever chunks the socket delivers.
+    assembler: LineAssembler,
     /// Events read off the wire but not yet consumed by a waiter.
     pending: VecDeque<Event>,
+    /// Keepalive `status` polls sent but not yet acknowledged; matching
+    /// status events are swallowed instead of surfacing to callers.
+    keepalives_outstanding: usize,
     /// Server worker-thread count from the `hello` event.
     threads: usize,
     /// Workload kinds the server advertised in `hello`.
@@ -146,14 +167,17 @@ impl Client {
     /// version mismatch.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(READ_TIMEOUT))?;
         stream.set_nodelay(true)?;
-        let writer = BufWriter::new(stream.try_clone()?);
-        let reader = BufReader::new(stream);
+        stream.set_nonblocking(true)?;
         let mut client = Client {
-            writer,
-            reader,
+            stream,
+            // Events are as large as their result payloads (a perturb
+            // matrix is megabytes); the client trusts its server and keeps
+            // line reassembly unbounded, exactly like the old buffered
+            // reader.
+            assembler: LineAssembler::new(usize::MAX),
             pending: VecDeque::new(),
+            keepalives_outstanding: 0,
             threads: 0,
             workloads: Vec::new(),
             flow_solver: SolverKind::default(),
@@ -205,32 +229,111 @@ impl Client {
         &self.flow_solvers
     }
 
+    /// Writes one request line, parking in `poll(2)` whenever the socket's
+    /// send buffer is full (never a busy-retry on `WouldBlock`).
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        self.writer.write_all(request.encode().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        let mut line = request.encode();
+        line.push('\n');
+        let bytes = line.as_bytes();
+        let deadline = Instant::now() + READ_TIMEOUT;
+        let mut written = 0;
+        while written < bytes.len() {
+            match (&self.stream).write(&bytes[written..]) {
+                Ok(0) => {
+                    return Err(ClientError::Protocol(
+                        "server closed the connection".to_string(),
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero()
+                        || !wait_writable(self.stream.as_raw_fd(), Some(remaining))?
+                    {
+                        return Err(ClientError::Io(ErrorKind::TimedOut.into()));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
         Ok(())
     }
 
     fn read_event(&mut self) -> Result<Event, ClientError> {
-        let mut line = String::new();
+        self.read_event_by(Instant::now() + READ_TIMEOUT)
+    }
+
+    /// Returns the next event, parking in `poll(2)` until bytes arrive or
+    /// `deadline` passes (a timeout surfaces as [`ClientError::Io`] with
+    /// [`ErrorKind::TimedOut`], like the old blocking read timeout).
+    fn read_event_by(&mut self, deadline: Instant) -> Result<Event, ClientError> {
+        let mut buf = [0u8; 64 * 1024];
         loop {
-            line.clear();
-            let read = self.reader.read_line(&mut line)?;
-            if read == 0 {
-                return Err(ClientError::Protocol(
-                    "server closed the connection".to_string(),
-                ));
+            while let Some(line) = self
+                .assembler
+                .next_line()
+                .map_err(|e| ClientError::Protocol(e.to_string()))?
+            {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                // A protocol-level error event aborts whatever we were
+                // doing.
+                return match Event::decode(trimmed)? {
+                    Event::Error { message } => Err(ClientError::Protocol(message)),
+                    event => Ok(event),
+                };
             }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
+            match (&self.stream).read(&mut buf) {
+                Ok(0) => {
+                    return Err(ClientError::Protocol(
+                        "server closed the connection".to_string(),
+                    ))
+                }
+                Ok(n) => self.assembler.push(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero()
+                        || !wait_readable(self.stream.as_raw_fd(), Some(remaining))?
+                    {
+                        return Err(ClientError::Io(ErrorKind::TimedOut.into()));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
             }
-            // A protocol-level error event aborts whatever we were doing.
-            return match Event::decode(trimmed)? {
-                Event::Error { message } => Err(ClientError::Protocol(message)),
-                event => Ok(event),
+        }
+    }
+
+    /// [`read_event`](Self::read_event) with the keepalive policy for a
+    /// long wait on `job`: after [`KEEPALIVE_INTERVAL`] of socket silence,
+    /// send a `status` poll for the job (counting it outstanding) and keep
+    /// waiting; swallow the matching status acks so they never surface.
+    fn read_event_keepalive(&mut self, job: u64) -> Result<Event, ClientError> {
+        let mut deadline = Instant::now() + READ_TIMEOUT;
+        loop {
+            let poll_at = Instant::now() + KEEPALIVE_INTERVAL;
+            let event = match self.read_event_by(deadline.min(poll_at)) {
+                Err(ClientError::Io(e))
+                    if e.kind() == ErrorKind::TimedOut && poll_at < deadline =>
+                {
+                    self.send(&Request::Status { job })?;
+                    self.keepalives_outstanding += 1;
+                    continue;
+                }
+                other => other?,
             };
+            match event {
+                Event::Status { job: j, .. } if j == job && self.keepalives_outstanding > 0 => {
+                    self.keepalives_outstanding -= 1;
+                    // The ack proves the server is alive; refresh the
+                    // per-event deadline like any other received event.
+                    deadline = Instant::now() + READ_TIMEOUT;
+                }
+                event => return Ok(event),
+            }
         }
     }
 
@@ -327,6 +430,31 @@ impl Client {
     pub fn wait_with_progress(
         &mut self,
         job: u64,
+        on_progress: impl FnMut(usize, usize),
+    ) -> Result<JobResult, ClientError> {
+        let result = self.wait_with_progress_inner(job, on_progress);
+        // Keepalive acks that raced the terminal event are stale; drop any
+        // already buffered and forget the rest (an ack still in flight will
+        // be buffered as an ordinary status event, which later waiters
+        // ignore — `status` is advisory and inherently racy).
+        if self.keepalives_outstanding > 0 {
+            let mut stale = self.keepalives_outstanding;
+            self.pending.retain(|event| {
+                let is_ack =
+                    stale > 0 && matches!(event, Event::Status { job: j, .. } if *j == job);
+                if is_ack {
+                    stale -= 1;
+                }
+                !is_ack
+            });
+            self.keepalives_outstanding = 0;
+        }
+        result
+    }
+
+    fn wait_with_progress_inner(
+        &mut self,
+        job: u64,
         mut on_progress: impl FnMut(usize, usize),
     ) -> Result<JobResult, ClientError> {
         // Drain buffered progress of this job (a progress event can be
@@ -351,7 +479,7 @@ impl Client {
             return Self::terminal(event);
         }
         loop {
-            match self.read_event()? {
+            match self.read_event_keepalive(job)? {
                 Event::Progress {
                     job: j,
                     completed,

@@ -57,6 +57,10 @@
 //! * `MARQSIM_MAX_ACTIVE_JOBS=N` — engine-wide active-job bound across
 //!   **all** connections (unset = unlimited); submits over it bounce with
 //!   the structured `busy` event, and the bound is surfaced in `stats`.
+//! * `MARQSIM_SERVE_IDLE_TIMEOUT_MS=N` — reap connections that send no
+//!   request bytes for `N` milliseconds: their unfinished jobs are
+//!   cancelled and a structured `error` event precedes the close (unset =
+//!   never reap; in-process: [`Server::with_idle_timeout`]).
 //! * The engine cache/solver variables (`MARQSIM_CACHE`,
 //!   `MARQSIM_CACHE_CAP`, `MARQSIM_CACHE_DIR`, `MARQSIM_FLOW_SOLVER`)
 //!   apply unchanged; a submit's `options.flow_solver` selects the
@@ -463,7 +467,11 @@ mod tests {
         assert_eq!(client.flow_solver(), SolverKind::SuccessiveShortestPath);
         assert_eq!(
             client.flow_solvers(),
-            ["ssp".to_string(), "network_simplex".to_string()]
+            [
+                "ssp".to_string(),
+                "network_simplex".to_string(),
+                "auto".to_string()
+            ]
         );
 
         // A GC sweep under the non-default backend: accepted, solved by the
@@ -639,6 +647,115 @@ mod tests {
             )
             .unwrap();
         assert!(client.wait(job).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn auto_flow_solver_resolves_per_instance_and_shares_the_cache() {
+        use marqsim_engine::SolverKind;
+        let server = spawn_server(2);
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        // An auto GC sweep on a small Hamiltonian: the done event echoes
+        // the requested policy, while the cache delta attributes the solve
+        // to the backend it resolved to (ssp at 4 strings).
+        let params = sweep_params(
+            &ham().to_string(),
+            &TransitionStrategy::marqsim_gc(),
+            &SweepConfig::quick(0.5),
+        );
+        let job = client
+            .submit_with_options(
+                "t/auto-sweep",
+                "sweep",
+                params.clone(),
+                SubmitOptions::new().with_flow_solver(SolverKind::Auto),
+            )
+            .unwrap();
+        let auto_result = client.wait(job).unwrap();
+        assert_eq!(auto_result.flow_solver, SolverKind::Auto);
+        assert_eq!(auto_result.cache_delta.flow_solves_ssp, 1);
+        assert_eq!(auto_result.cache_delta.flow_solves_simplex, 0);
+
+        // The same sweep requested with the explicit resolved backend hits
+        // the cache entry the auto job built (flow_solves delta 0): auto
+        // and its resolution share one cache key.
+        let job = client
+            .submit_with_options(
+                "t/ssp-sweep",
+                "sweep",
+                params,
+                SubmitOptions::new().with_flow_solver(SolverKind::SuccessiveShortestPath),
+            )
+            .unwrap();
+        let ssp_result = client.wait(job).unwrap();
+        assert_eq!(ssp_result.cache_delta.flow_solves, 0);
+
+        // Parity: identical sweep results, point for point.
+        match (auto_result.outcome, ssp_result.outcome) {
+            (Outcome::Sweep(auto_sweep), Outcome::Sweep(ssp_sweep)) => {
+                assert_eq!(auto_sweep.points.len(), ssp_sweep.points.len());
+                for (a, s) in auto_sweep.points.iter().zip(ssp_sweep.points.iter()) {
+                    assert_eq!(a.epsilon.to_bits(), s.epsilon.to_bits());
+                    assert_eq!(a.seed, s.seed);
+                    assert_eq!(a.stats, s.stats);
+                }
+            }
+            other => panic!("unexpected outcomes {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_and_their_jobs_cancelled() {
+        use std::io::{BufRead, BufReader, Write};
+        let server = spawn_server_with(2, |server| {
+            server.with_idle_timeout(std::time::Duration::from_millis(200))
+        });
+
+        // A half-open client: submits a blocker, then goes silent (never
+        // writes again). Inbound bytes are the only activity that counts,
+        // so running jobs do not keep the connection alive.
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("hello"), "{line}");
+        raw.write_all(b"{\"verb\":\"submit\",\"label\":\"t/idle-blocker\",\"kind\":\"block\",\"params\":{}}\n")
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("submitted"), "{line}");
+        assert_eq!(server.engine().active_jobs(), 1);
+
+        // The reaper tells us why before closing, then the stream ends.
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("idle timeout"),
+            "expected the idle-timeout error event, got {line:?}"
+        );
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF");
+
+        // The blocker was cancelled by the reap, not abandoned.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.engine().active_jobs() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reaped connection's job was never cancelled"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        // A connection that keeps talking is not reaped: the idle deadline
+        // is pushed out by every request.
+        let mut client = Client::connect(server.addr()).unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.active_jobs, 0);
+        }
         server.shutdown();
     }
 }

@@ -33,7 +33,7 @@
 //! # Events (server → client)
 //!
 //! ```json
-//! {"event":"hello","protocol":3,"threads":4,"workloads":["benchmark_suite","compile","perturb_average","sweep"],"flow_solver":"ssp","flow_solvers":["ssp","network_simplex"]}
+//! {"event":"hello","protocol":6,"threads":4,"workloads":["benchmark_suite","compile","perturb_average","sweep"],"flow_solver":"ssp","flow_solvers":["ssp","network_simplex","auto"]}
 //! {"event":"submitted","job":1,"label":"sweep/h2"}
 //! {"event":"busy","label":"sweep/h2","in_flight":4,"limit":4}
 //! {"event":"progress","job":1,"completed":3,"total":6}
@@ -73,13 +73,18 @@ use crate::wire::{Json, WireError};
 /// counters (see `docs/observability.md`). Version 5 added the
 /// `warm_starts` counter to every cache-stats payload (`done` deltas and
 /// the `stats` event): warm basis re-pivots are attributed separately
-/// from cold `flow_solves`.
+/// from cold `flow_solves`. Version 6 rebuilt the server as a
+/// single-threaded event loop (same wire surface) and registered the
+/// `auto` flow-solver policy: `hello.flow_solvers` now lists `auto`
+/// alongside the concrete backends, `options.flow_solver` accepts it, and
+/// a `done` event for an auto job echoes `"auto"` while its cache delta
+/// attributes the solves to the backend the policy resolved to.
 ///
 /// Backend names are part of the typed surface (decoders reject unknown
 /// names), and clients enforce an exact version match at the handshake —
 /// registering a new `SolverKind` therefore bumps this version; see
 /// `docs/flow.md`.
-pub const PROTOCOL_VERSION: u64 = 5;
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -612,7 +617,7 @@ fn parse_solver(spelling: &str) -> Result<SolverKind, WireError> {
     SolverKind::parse(spelling).ok_or_else(|| {
         WireError::shape(format!(
             "unknown flow solver '{spelling}' (use {})",
-            SolverKind::ALL.map(SolverKind::as_str).join("/")
+            SolverKind::SELECTABLE.map(SolverKind::as_str).join("/")
         ))
     })
 }

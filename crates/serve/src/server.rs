@@ -1,22 +1,34 @@
-//! The TCP server: concurrent client connections over one shared engine.
+//! The TCP server: one event-loop thread over one shared engine.
 //!
-//! Each accepted connection gets a **reader/writer thread pair**:
+//! Earlier revisions spent a reader/writer **thread pair per connection**
+//! plus a waiter thread per job, which caps a daemon at hundreds of
+//! clients. This server is a readiness reactor built on `marqsim-net`:
 //!
-//! * the reader thread parses one [`Request`] per line and acts on it —
-//!   `submit` resolves the workload kind through the server's
-//!   [`WorkloadRegistry`] and goes to [`Engine::submit_with_options`],
-//!   `status`/`cancel` hit the connection's job registry, `stats`
-//!   snapshots the shared cache plus the engine's load gauges;
-//! * the writer thread owns the socket's write half and drains an mpsc
-//!   channel of encoded [`Event`] lines, so progress callbacks (which fire
-//!   on engine coordinator threads) and request acknowledgements (reader
-//!   thread) can both emit events without sharing the socket.
+//! * **one event-loop thread** owns the listener, every connection socket,
+//!   and a [`Poller`]; connections are per-slot state machines (bounded
+//!   line reassembly in, a bounded outbound queue out);
+//! * engine progress/completion hooks run on the job's coordinator thread
+//!   and only push a note onto a shared queue + wake the loop through the
+//!   reactor's [`Wakeup`] channel — no per-job waiter thread, and no id
+//!   handshake: hooks carry the engine-assigned job id;
+//! * **backpressure** is explicit: each connection's outbound queue is
+//!   bounded in events and bytes. Above a soft threshold, consecutive
+//!   progress events of one job coalesce (newest wins); at the hard cap
+//!   the client is a slow consumer and gets a structured `error` event,
+//!   its jobs are cancelled, and the connection drains and closes — the
+//!   queue never grows without bound;
+//! * **timeouts** ride the reactor's deadline wheel: an optional idle
+//!   timeout ([`Server::with_idle_timeout`],
+//!   `MARQSIM_SERVE_IDLE_TIMEOUT_MS` on the daemon) reaps connections that
+//!   send nothing, cancelling whatever they left running, and a grace
+//!   timer force-closes a disconnecting connection whose peer never drains
+//!   the final error event.
 //!
-//! All connections share one [`Engine`] — and therefore one worker pool and
-//! one transition cache. Two clients sweeping the same Hamiltonian share
-//! the min-cost-flow solve exactly as two jobs of one in-process batch
-//! would; the `cache_delta` field of each `done` event makes that visible
-//! per job (a warm-cache job reports `flow_solves=0`).
+//! All connections share one [`Engine`] — and therefore one worker pool
+//! and one transition cache. Two clients sweeping the same Hamiltonian
+//! share the min-cost-flow solve exactly as two jobs of one in-process
+//! batch would; the `cache_delta` field of each `done` event makes that
+//! visible per job (a warm-cache job reports `flow_solves=0`).
 //!
 //! # Admission control
 //!
@@ -40,28 +52,35 @@
 //! `cancel` verbs only resolve ids submitted on the **same connection** —
 //! one client cannot cancel another's jobs.
 //!
-//! Disconnect policy: when a client hangs up, its unfinished jobs are
-//! cancelled (cooperatively), so an interrupted sweep stops consuming the
-//! pool.
+//! Disconnect policy: when a client hangs up (or is reaped by a timeout),
+//! its unfinished jobs are cancelled (cooperatively), so an interrupted
+//! sweep stops consuming the pool.
+//!
+//! See `docs/net.md` for the reactor architecture and the connection
+//! state-machine lifecycle.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use marqsim_engine::{Engine, JobControl, Progress, SolverKind, SubmitOptions};
-use marqsim_obs::{lockcheck, metrics, warn};
+use marqsim_engine::{Engine, JobControl, SolverKind, SubmitOptions};
+use marqsim_net::{
+    DeadlineWheel, Interest, IoStatus, LineAssembler, Listener, PollEvent, Poller, Stream,
+    TimerKey, Token, WakeHandle, Wakeup,
+};
+use marqsim_obs::{lockcheck, metrics, trace, warn};
 
 use crate::protocol::{failure_kind, Event, Request, ServerStats, PROTOCOL_VERSION};
 use crate::registry::WorkloadRegistry;
 
-/// Maximum accepted request-line length (bytes). Bounds per-connection
-/// memory against hostile input; a sweep submit is a few hundred bytes, and
-/// even thousand-term Hamiltonians stay far below this.
-const MAX_LINE_BYTES: u64 = 8 * 1024 * 1024;
+/// Maximum accepted request-line length (bytes, terminator included).
+/// Bounds per-connection memory against hostile input; a sweep submit is a
+/// few hundred bytes, and even thousand-term Hamiltonians stay far below
+/// this.
+const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 
 /// Once a connection tracks this many jobs, finished entries are evicted
 /// from its registry before the next submit, so a long-lived connection
@@ -73,6 +92,32 @@ const MAX_TRACKED_JOBS: usize = 1024;
 /// `options.max_in_flight` nor [`Server::with_max_in_flight`] overrides it.
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
 
+/// Soft outbound-queue threshold (events): above it, consecutive progress
+/// events of one job coalesce (newest wins) instead of queueing — a slow
+/// reader still learns the latest progress, just not every step.
+const OUTBOUND_COALESCE_EVENTS: usize = 64;
+
+/// Hard outbound-queue cap in events; exceeding it is a slow-consumer
+/// disconnect.
+const OUTBOUND_MAX_EVENTS: usize = 8192;
+
+/// Hard outbound-queue cap in bytes; exceeding it is a slow-consumer
+/// disconnect. Generous enough for any single result payload (a 500-string
+/// perturb matrix is ~6 MB) — the cap is about *accumulation*, not one
+/// large event.
+const OUTBOUND_MAX_BYTES: usize = 64 * 1024 * 1024;
+
+/// How long a disconnecting connection may take to drain its final error
+/// event before the socket is closed regardless.
+const CLOSE_GRACE: Duration = Duration::from_secs(5);
+
+/// Listener registration token.
+const TOKEN_LISTENER: u64 = 0;
+/// Wakeup-channel registration token.
+const TOKEN_WAKEUP: u64 = 1;
+/// Connection tokens start here: token = slot + TOKEN_CONN_BASE.
+const TOKEN_CONN_BASE: u64 = 2;
+
 /// Process-wide serve instruments in the global [`metrics`] registry,
 /// resolved once. Request counters are labelled by verb so the exposition
 /// separates cheap `status` polls from `submit` work.
@@ -83,6 +128,11 @@ struct ServeInstruments {
     /// Per-verb request counters, indexed like [`VERBS`].
     requests: [Arc<metrics::Counter>; VERBS.len()],
     bad_requests: Arc<metrics::Counter>,
+    /// Events queued but not yet written, summed over all connections.
+    outbound_queue_depth: Arc<metrics::Gauge>,
+    progress_coalesced: Arc<metrics::Counter>,
+    slow_disconnects: Arc<metrics::Counter>,
+    idle_timeouts: Arc<metrics::Counter>,
 }
 
 /// Verb labels for `marqsim_serve_requests_total`, in [`Request`] variant
@@ -101,6 +151,10 @@ fn serve_instruments() -> &'static ServeInstruments {
                 registry.counter_with("marqsim_serve_requests_total", &[("verb", verb)])
             }),
             bad_requests: registry.counter("marqsim_serve_bad_requests_total"),
+            outbound_queue_depth: registry.gauge("marqsim_serve_outbound_queue_depth"),
+            progress_coalesced: registry.counter("marqsim_serve_progress_coalesced_total"),
+            slow_disconnects: registry.counter("marqsim_serve_slow_disconnects_total"),
+            idle_timeouts: registry.counter("marqsim_serve_idle_timeouts_total"),
         }
     })
 }
@@ -108,9 +162,10 @@ fn serve_instruments() -> &'static ServeInstruments {
 /// A bound listener plus the engine it serves.
 ///
 /// Construct with [`Server::bind`] (optionally [`with_registry`](Server::with_registry)
-/// / [`with_max_in_flight`](Server::with_max_in_flight)), then either
+/// / [`with_max_in_flight`](Server::with_max_in_flight) /
+/// [`with_idle_timeout`](Server::with_idle_timeout)), then either
 /// [`run`](Server::run) on the current thread or [`spawn`](Server::spawn) a
-/// background accept loop and keep the returned [`ServerHandle`] for the
+/// background event loop and keep the returned [`ServerHandle`] for the
 /// address and shutdown.
 pub struct Server {
     engine: Arc<Engine>,
@@ -118,12 +173,16 @@ pub struct Server {
     registry: Arc<WorkloadRegistry>,
     max_in_flight: usize,
     max_active_jobs: usize,
+    idle_timeout: Option<Duration>,
     /// Jobs holding an engine-wide admission slot (reserved at submit,
     /// released when the job reaches its terminal event). A shared atomic
     /// rather than a read of the engine's gauge, so concurrent submits on
     /// different connections cannot all pass the check at once.
     global_active: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
+    /// The event loop's cross-thread doorbell, created at bind time so a
+    /// [`ServerHandle`] can interrupt a parked loop.
+    wakeup: Wakeup,
 }
 
 impl Server {
@@ -133,7 +192,7 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind (or wakeup-channel) failure.
     pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
@@ -142,8 +201,10 @@ impl Server {
             registry: Arc::new(WorkloadRegistry::builtin()),
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             max_active_jobs: 0,
+            idle_timeout: None,
             global_active: Arc::new(AtomicUsize::new(0)),
             shutdown: Arc::new(AtomicBool::new(false)),
+            wakeup: Wakeup::new()?,
         })
     }
 
@@ -172,6 +233,18 @@ impl Server {
         self
     }
 
+    /// Reaps connections that send no request bytes for `timeout`
+    /// (`MARQSIM_SERVE_IDLE_TIMEOUT_MS` on the daemon; unset = never).
+    /// Inbound bytes are the only activity that counts — a half-open
+    /// client with jobs still running *is* reaped, and its jobs are
+    /// cancelled, exactly like a hang-up. The blocking [`Client`]
+    /// (`crate::Client`) sends keepalive `status` polls while waiting on a
+    /// long job, so well-behaved waiters survive any reasonable timeout.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = Some(timeout.max(Duration::from_millis(1)));
+        self
+    }
+
     /// The bound address (useful with port 0).
     ///
     /// # Errors
@@ -191,47 +264,48 @@ impl Server {
         self.registry.kinds()
     }
 
-    /// Runs the accept loop on the calling thread until shut down (via a
+    /// Runs the event loop on the calling thread until shut down (via a
     /// [`ServerHandle`] from [`spawn`](Server::spawn); a plain `run` server
-    /// loops until the process exits). Each connection is handled on its
-    /// own thread pair.
+    /// loops until the process exits).
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop failures (individual connection errors are
+    /// Propagates reactor-level failures (individual connection errors are
     /// contained).
     pub fn run(self) -> std::io::Result<()> {
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    let conn = ConnectionShared {
-                        engine: Arc::clone(&self.engine),
-                        registry: Arc::clone(&self.registry),
-                        max_in_flight: self.max_in_flight,
-                        max_active_jobs: self.max_active_jobs,
-                        global_active: Arc::clone(&self.global_active),
-                    };
-                    // A refused thread drops the stream (the client sees a
-                    // clean close) but must not take the accept loop down.
-                    if let Err(error) = std::thread::Builder::new()
-                        .name("marqsim-serve-conn".to_string())
-                        .spawn(move || handle_connection(conn, stream))
-                    {
-                        warn!("serve", "connection handler spawn failed: {error}");
-                    }
-                }
-                Err(error) => {
-                    warn!("serve", "accept failed: {error}");
-                }
-            }
-        }
-        Ok(())
+        let poller = Poller::new()?;
+        let listener = Listener::from_std(self.listener)?;
+        poller.register(&listener, Token(TOKEN_LISTENER), Interest::READABLE)?;
+        poller.register(
+            self.wakeup.reader(),
+            Token(TOKEN_WAKEUP),
+            Interest::READABLE,
+        )?;
+        let wake = self.wakeup.handle();
+        let mut event_loop = EventLoop {
+            engine: self.engine,
+            registry: self.registry,
+            max_in_flight: self.max_in_flight,
+            max_active_jobs: self.max_active_jobs,
+            idle_timeout: self.idle_timeout,
+            global_active: self.global_active,
+            shutdown: self.shutdown,
+            poller,
+            listener,
+            wakeup: self.wakeup,
+            wake,
+            notes: Arc::new(Mutex::new(VecDeque::new())),
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            wheel: DeadlineWheel::new(),
+            dirty: Vec::new(),
+            read_buf: vec![0u8; 64 * 1024],
+        };
+        event_loop.run()
     }
 
-    /// Moves the accept loop to a background thread and returns a handle
+    /// Moves the event loop to a background thread and returns a handle
     /// with the bound address and a shutdown switch — the shape the tests
     /// and the in-process smoke binary use.
     ///
@@ -242,15 +316,19 @@ impl Server {
         let addr = self.local_addr()?;
         let shutdown = Arc::clone(&self.shutdown);
         let engine = Arc::clone(&self.engine);
+        let wake = self.wakeup.handle();
         let thread = std::thread::Builder::new()
-            .name("marqsim-serve-accept".to_string())
+            .name("marqsim-serve-loop".to_string())
             .spawn(move || {
-                let _ = self.run();
+                if let Err(error) = self.run() {
+                    warn!("serve", "event loop failed: {error}");
+                }
             })?;
         Ok(ServerHandle {
             addr,
             shutdown,
             engine,
+            wake,
             thread: Some(thread),
         })
     }
@@ -261,6 +339,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     engine: Arc<Engine>,
+    wake: WakeHandle,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -275,34 +354,43 @@ impl ServerHandle {
         &self.engine
     }
 
-    /// Stops accepting new connections and joins the accept loop. Existing
-    /// connections drain on their own threads.
+    /// Stops the event loop and joins it. Open connections are closed and
+    /// their unfinished jobs cancelled.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Release);
-        // Unblock the accept call with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.wake.wake();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
     }
 }
 
-/// What every connection handler shares with the accept loop.
-struct ConnectionShared {
-    engine: Arc<Engine>,
-    registry: Arc<WorkloadRegistry>,
-    max_in_flight: usize,
-    /// Engine-wide active-job bound across all connections (`0` =
-    /// unlimited).
-    max_active_jobs: usize,
-    /// Jobs currently holding a slot against `max_active_jobs`.
-    global_active: Arc<AtomicUsize>,
+/// Identity of one connection across slot reuse: a note addressed to a
+/// `(slot, generation)` that no longer matches is stale and dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConnKey {
+    slot: usize,
+    gen: u64,
+}
+
+/// What engine-side hook threads push for the event loop to deliver.
+enum Note {
+    Progress {
+        conn: ConnKey,
+        job: u64,
+        completed: usize,
+        total: usize,
+    },
+    /// The job's terminal event, already encoded (the encoding and the
+    /// cache-delta attribution happen on the coordinator thread, keeping
+    /// the event loop lean).
+    Terminal { conn: ConnKey, line: String },
 }
 
 /// A held engine-wide admission slot (`None` when no global bound is
 /// configured). Dropping it releases the slot, so every path out of
 /// `handle_submit` — per-connection rejection, decode failure, or the
-/// waiter thread's terminal event — frees it exactly once.
+/// completion hook's terminal note — frees it exactly once.
 struct GlobalSlot(Option<Arc<AtomicUsize>>);
 
 impl Drop for GlobalSlot {
@@ -313,109 +401,320 @@ impl Drop for GlobalSlot {
     }
 }
 
-/// Reads one `\n`-terminated line with a length bound. Returns `None` on a
-/// clean EOF and an error for oversized lines.
-fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<Option<String>> {
-    let mut line = String::new();
-    let read = reader.take(MAX_LINE_BYTES).read_line(&mut line)?;
-    if read == 0 {
-        return Ok(None);
-    }
-    if !line.ends_with('\n') && read as u64 == MAX_LINE_BYTES {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "request line exceeds the size limit",
-        ));
-    }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
-    Ok(Some(line))
+/// One queued outbound line (terminator included in `line`).
+struct OutLine {
+    line: String,
+    /// `Some(job)` for progress events — the coalescing key.
+    progress_job: Option<u64>,
 }
 
-fn send_event(out: &Sender<String>, event: &Event) {
-    // A failed send only means the writer (and therefore the client) is
-    // gone; the reader loop notices on its next read.
-    let _ = out.send(event.encode());
+/// Why a connection is being torn down (for the trace span).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// Peer hung up or the socket died.
+    Eof,
+    /// Unframeable input (oversized line, invalid UTF-8).
+    BadInput,
+    /// The outbound queue hit its hard cap.
+    SlowConsumer,
+    /// No inbound bytes within the idle timeout.
+    IdleTimeout,
+    /// Server shutdown.
+    Shutdown,
 }
 
-fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let instruments = serve_instruments();
-    instruments.connections.inc();
-    let (out_tx, out_rx) = channel::<String>();
+impl CloseReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            CloseReason::Eof => "eof",
+            CloseReason::BadInput => "bad_input",
+            CloseReason::SlowConsumer => "slow_consumer",
+            CloseReason::IdleTimeout => "idle_timeout",
+            CloseReason::Shutdown => "shutdown",
+        }
+    }
+}
 
-    // Bytes this connection has written, shared with the writer thread so
-    // the `metrics` verb can report it alongside the reader-side counters.
-    let bytes_out = Arc::new(AtomicU64::new(0));
+/// Deadline-wheel payloads: which connection, which kind of timer.
+#[derive(Debug, Clone, Copy)]
+enum Timer {
+    /// Idle-timeout check for a slot.
+    Idle(usize),
+    /// Force-close for a disconnecting slot that never drained.
+    ForceClose(usize),
+}
 
-    // Writer thread: sole owner of the socket's write half. Exits when
-    // every sender is gone (reader done, all job waiters done) or the
-    // socket dies.
-    let writer_bytes_out = Arc::clone(&bytes_out);
-    let writer = match std::thread::Builder::new()
-        .name("marqsim-serve-write".to_string())
-        .spawn(move || {
-            let mut writer = BufWriter::new(write_half);
-            for line in out_rx {
-                if writer
-                    .write_all(line.as_bytes())
-                    .and_then(|_| writer.write_all(b"\n"))
-                    .and_then(|_| writer.flush())
-                    .is_err()
-                {
+/// Per-connection state machine.
+struct Conn {
+    stream: Stream,
+    gen: u64,
+    assembler: LineAssembler,
+    /// Encoded events waiting for socket writability; bounded (see
+    /// [`OUTBOUND_MAX_EVENTS`] / [`OUTBOUND_MAX_BYTES`]).
+    outbound: VecDeque<OutLine>,
+    outbound_bytes: usize,
+    /// Bytes of the queue head already written (short writes happen under
+    /// backpressure).
+    write_offset: usize,
+    interest: Interest,
+    /// Jobs submitted on this connection, for status/cancel resolution.
+    jobs: HashMap<u64, JobControl>,
+    /// In-flight gauge: incremented at submit, decremented when the job's
+    /// terminal note is processed. Event-loop-local, so no atomics.
+    in_flight: usize,
+    /// Per-connection request/byte counters, reported by the `metrics`
+    /// verb. `bytes_in` counts request-line bytes including the line
+    /// terminator.
+    requests: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    /// Last instant inbound bytes arrived (what the idle timeout watches).
+    last_activity: Instant,
+    idle_timer: Option<TimerKey>,
+    close_timer: Option<TimerKey>,
+    /// `Some(why)` while a structured disconnect is in progress: input is
+    /// ignored, queued events drain, then the socket closes with `why`.
+    closing: Option<CloseReason>,
+    /// Marks membership in the loop's dirty list (pending flush attempt).
+    dirty: bool,
+    opened: Instant,
+}
+
+/// The reactor state owned by [`Server::run`]'s thread.
+struct EventLoop {
+    engine: Arc<Engine>,
+    registry: Arc<WorkloadRegistry>,
+    max_in_flight: usize,
+    max_active_jobs: usize,
+    idle_timeout: Option<Duration>,
+    global_active: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+    poller: Poller,
+    listener: Listener,
+    wakeup: Wakeup,
+    wake: WakeHandle,
+    /// The engine→loop note queue; hook threads push, the loop drains.
+    notes: Arc<Mutex<VecDeque<Note>>>,
+    /// Connection slab; token = slot + [`TOKEN_CONN_BASE`].
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    wheel: DeadlineWheel<Timer>,
+    /// Slots with queued outbound data to flush this iteration.
+    dirty: Vec<usize>,
+    read_buf: Vec<u8>,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> std::io::Result<()> {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut expired: Vec<(TimerKey, Timer)> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let timeout = self
+                .wheel
+                .next_deadline()
+                .map(|at| at.saturating_duration_since(Instant::now()));
+            events.clear();
+            self.poller.wait(&mut events, timeout)?;
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            for event in &events {
+                match event.token.0 {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKEUP => self.wakeup.drain(),
+                    token => {
+                        let slot = (token - TOKEN_CONN_BASE) as usize;
+                        if event.readable {
+                            self.conn_readable(slot);
+                        }
+                        if event.writable {
+                            self.mark_dirty(slot);
+                        }
+                        if event.closed && !event.readable {
+                            // Pure error condition with nothing to read.
+                            self.close_conn(slot, CloseReason::Eof);
+                        }
+                    }
+                }
+            }
+            self.drain_notes();
+            expired.clear();
+            let now = Instant::now();
+            self.wheel.expire(now, &mut expired);
+            for (key, timer) in expired.drain(..) {
+                self.timer_fired(key, timer, now);
+            }
+            self.flush_dirty();
+        }
+        // Shutdown: close every connection (cancelling its jobs).
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close_conn(slot, CloseReason::Shutdown);
+            }
+        }
+        Ok(())
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok(Some((stream, _peer))) => self.open_conn(stream),
+                Ok(None) => break,
+                Err(error) => {
+                    warn!("serve", "accept failed: {error}");
                     break;
                 }
-                let written = line.len() as u64 + 1;
-                writer_bytes_out.fetch_add(written, Ordering::Relaxed);
-                serve_instruments().bytes_written.add(written);
             }
-        }) {
-        Ok(writer) => writer,
-        Err(error) => {
-            // Without a writer half the connection cannot speak at all;
-            // drop it and let the client retry.
-            warn!("serve", "connection writer spawn failed: {error}");
+        }
+    }
+
+    fn open_conn(&mut self, stream: std::net::TcpStream) {
+        let stream = match Stream::from_std(stream) {
+            Ok(stream) => stream,
+            Err(error) => {
+                warn!("serve", "could not prepare connection: {error}");
+                return;
+            }
+        };
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.next_gen += 1;
+        let now = Instant::now();
+        let mut conn = Conn {
+            stream,
+            gen: self.next_gen,
+            assembler: LineAssembler::new(MAX_LINE_BYTES),
+            outbound: VecDeque::new(),
+            outbound_bytes: 0,
+            write_offset: 0,
+            interest: Interest::READABLE,
+            jobs: HashMap::new(),
+            in_flight: 0,
+            requests: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            last_activity: now,
+            idle_timer: None,
+            close_timer: None,
+            closing: None,
+            dirty: false,
+            opened: now,
+        };
+        let token = Token(slot as u64 + TOKEN_CONN_BASE);
+        if let Err(error) = self.poller.register(&conn.stream, token, conn.interest) {
+            // A refused registration drops the stream (the client sees a
+            // clean close) but must not take the loop down.
+            warn!("serve", "connection registration failed: {error}");
+            self.free.push(slot);
             return;
         }
-    };
-
-    send_event(
-        &out_tx,
-        &Event::Hello {
+        if let Some(timeout) = self.idle_timeout {
+            conn.idle_timer = Some(self.wheel.arm(now + timeout, Timer::Idle(slot)));
+        }
+        serve_instruments().connections.inc();
+        self.conns[slot] = Some(conn);
+        let hello = Event::Hello {
             protocol: PROTOCOL_VERSION,
-            threads: conn.engine.threads(),
-            workloads: conn.registry.kinds(),
-            flow_solver: conn.engine.flow_solver(),
-            flow_solvers: SolverKind::ALL
+            threads: self.engine.threads(),
+            workloads: self.registry.kinds(),
+            flow_solver: self.engine.flow_solver(),
+            flow_solvers: SolverKind::SELECTABLE
                 .iter()
                 .map(|k| k.as_str().to_string())
                 .collect(),
-        },
-    );
+        };
+        self.push_event(slot, &hello, None);
+    }
 
-    // Jobs submitted on this connection, for status/cancel resolution.
-    let mut jobs: HashMap<u64, JobControl> = HashMap::new();
-    // In-flight gauge: incremented at submit, decremented by each job's
-    // waiter thread at its terminal event.
-    let in_flight = Arc::new(AtomicUsize::new(0));
-    // Per-connection request/byte counters, reported by the `metrics` verb.
-    // `bytes_in` counts request-line bytes including the line terminator.
-    let mut requests: u64 = 0;
-    let mut bytes_in: u64 = 0;
-    let mut reader = BufReader::new(stream);
-    // An I/O error is treated like EOF: drop the connection.
-    while let Ok(Some(line)) = read_bounded_line(&mut reader) {
-        let line_bytes = line.len() as u64 + 1;
-        bytes_in += line_bytes;
-        instruments.bytes_read.add(line_bytes);
-        if line.trim().is_empty() {
-            continue;
+    fn mark_dirty(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            if !conn.dirty {
+                conn.dirty = true;
+                self.dirty.push(slot);
+            }
         }
-        requests += 1;
-        match Request::decode(&line) {
+    }
+
+    /// Drains readable bytes and processes every completed request line.
+    fn conn_readable(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.closing.is_some() {
+                // Input after a structured disconnect is ignored; the
+                // socket only stays registered to drain and close.
+                return;
+            }
+            let status = match conn.stream.read(&mut self.read_buf) {
+                Ok(status) => status,
+                Err(_) => {
+                    // An I/O error is treated like EOF: drop the connection.
+                    self.close_conn(slot, CloseReason::Eof);
+                    return;
+                }
+            };
+            match status {
+                IoStatus::Ready(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.assembler.push(&self.read_buf[..n]);
+                    if !self.process_lines(slot) {
+                        return;
+                    }
+                }
+                IoStatus::WouldBlock => return,
+                IoStatus::Closed => {
+                    self.close_conn(slot, CloseReason::Eof);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pops and handles every complete line; returns `false` when the
+    /// connection was closed (framing error).
+    fn process_lines(&mut self, slot: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return false;
+            };
+            if conn.closing.is_some() {
+                return true;
+            }
+            match conn.assembler.next_line() {
+                Ok(Some(line)) => self.process_line(slot, &line),
+                Ok(None) => return true,
+                Err(_) => {
+                    // Unframeable input (oversized line / invalid UTF-8):
+                    // the stream can no longer be trusted, drop it.
+                    self.close_conn(slot, CloseReason::BadInput);
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn process_line(&mut self, slot: usize, line: &str) {
+        let instruments = serve_instruments();
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let line_bytes = line.len() as u64 + 1;
+            conn.bytes_in += line_bytes;
+            instruments.bytes_read.add(line_bytes);
+            if line.trim().is_empty() {
+                return;
+            }
+            conn.requests += 1;
+        }
+        match Request::decode(line) {
             Ok(Request::Submit {
                 label,
                 kind,
@@ -423,284 +722,573 @@ fn handle_connection(conn: ConnectionShared, stream: TcpStream) {
                 options,
             }) => {
                 instruments.requests[0].inc();
-                handle_submit(
-                    &conn, &out_tx, &mut jobs, &in_flight, label, kind, params, options,
-                );
+                self.handle_submit(slot, label, kind, params, options);
             }
             Ok(Request::Status { job }) => {
                 instruments.requests[1].inc();
-                send_event(&out_tx, &status_event(&jobs, job));
+                let event = self.status_event(slot, job);
+                self.push_event(slot, &event, None);
             }
             Ok(Request::Cancel { job }) => {
                 instruments.requests[2].inc();
-                if let Some(control) = jobs.get(&job) {
-                    control.cancel();
+                if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                    if let Some(control) = conn.jobs.get(&job) {
+                        control.cancel();
+                    }
                 }
-                send_event(&out_tx, &status_event(&jobs, job));
+                let event = self.status_event(slot, job);
+                self.push_event(slot, &event, None);
             }
             Ok(Request::Stats) => {
                 instruments.requests[3].inc();
-                send_event(
-                    &out_tx,
-                    &Event::Stats(ServerStats {
-                        threads: conn.engine.threads(),
-                        cache: conn.engine.cache().stats(),
-                        active_jobs: conn.engine.active_jobs(),
-                        queue_depth: conn.engine.queue_depth(),
-                        in_flight: in_flight.load(Ordering::Relaxed),
-                        flow_solver: conn.engine.flow_solver(),
-                        max_active_jobs: conn.max_active_jobs,
-                    }),
-                );
+                let in_flight = self
+                    .conns
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .map_or(0, |conn| conn.in_flight);
+                let event = Event::Stats(ServerStats {
+                    threads: self.engine.threads(),
+                    cache: self.engine.cache().stats(),
+                    active_jobs: self.engine.active_jobs(),
+                    queue_depth: self.engine.queue_depth(),
+                    in_flight,
+                    flow_solver: self.engine.flow_solver(),
+                    max_active_jobs: self.max_active_jobs,
+                });
+                self.push_event(slot, &event, None);
             }
             Ok(Request::Metrics) => {
                 instruments.requests[4].inc();
-                send_event(
-                    &out_tx,
-                    &Event::Metrics {
-                        exposition: metrics::global().expose(),
-                        requests,
-                        bytes_in,
-                        bytes_out: bytes_out.load(Ordering::Relaxed),
-                    },
-                );
+                let (requests, bytes_in, bytes_out) = self
+                    .conns
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .map_or((0, 0, 0), |conn| {
+                        (conn.requests, conn.bytes_in, conn.bytes_out)
+                    });
+                let event = Event::Metrics {
+                    exposition: metrics::global().expose(),
+                    requests,
+                    bytes_in,
+                    bytes_out,
+                };
+                self.push_event(slot, &event, None);
             }
             Err(error) => {
                 instruments.bad_requests.inc();
-                send_event(
-                    &out_tx,
-                    &Event::Error {
-                        message: format!("bad request: {}", error.message),
-                    },
-                );
+                let event = Event::Error {
+                    message: format!("bad request: {}", error.message),
+                };
+                self.push_event(slot, &event, None);
             }
         }
     }
 
-    // Client hung up: cancel whatever it left running.
-    for control in jobs.values() {
-        if !control.is_finished() {
-            control.cancel();
-        }
-    }
-    drop(out_tx);
-    let _ = writer.join();
-}
-
-fn status_event(jobs: &HashMap<u64, JobControl>, job: u64) -> Event {
-    match jobs.get(&job) {
-        Some(control) => {
-            let progress = control.progress();
-            Event::Status {
-                job,
-                known: true,
-                finished: control.is_finished(),
-                cancelled: control.is_cancelled(),
-                completed: progress.completed,
-                total: progress.total,
-            }
-        }
-        None => Event::Status {
-            job,
-            known: false,
-            finished: false,
-            cancelled: false,
-            completed: 0,
-            total: 0,
-        },
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_submit(
-    conn: &ConnectionShared,
-    out_tx: &Sender<String>,
-    jobs: &mut HashMap<u64, JobControl>,
-    in_flight: &Arc<AtomicUsize>,
-    label: String,
-    kind: String,
-    params: crate::wire::Json,
-    options: SubmitOptions,
-) {
-    // Admission control, checked before any decoding work. Two bounds, both
-    // rejected with the structured `busy` event: the engine-wide active-job
-    // cap shared by every connection, then the per-connection in-flight
-    // bound (which the request can only *tighten*, never raise — a greedy
-    // client must not be able to raise the limit it is being held to).
-    //
-    // The global slot is *reserved* with a compare-and-swap, not checked
-    // against a gauge: N connections submitting at the same instant get at
-    // most `max_active_jobs` slots between them. The reservation is held
-    // by a drop guard until the job's terminal event.
-    let global_slot = if conn.max_active_jobs > 0 {
-        match conn
-            .global_active
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |active| {
-                (active < conn.max_active_jobs).then_some(active + 1)
-            }) {
-            Ok(_) => GlobalSlot(Some(Arc::clone(&conn.global_active))),
-            Err(active) => {
-                send_event(
-                    out_tx,
-                    &Event::Busy {
-                        label,
-                        in_flight: active,
-                        limit: conn.max_active_jobs,
-                    },
-                );
-                return;
-            }
-        }
-    } else {
-        GlobalSlot(None)
-    };
-    let limit = options
-        .max_in_flight
-        .map_or(conn.max_in_flight, |requested| {
-            requested.min(conn.max_in_flight)
-        })
-        .max(1);
-    let currently = in_flight.load(Ordering::Acquire);
-    if currently >= limit {
-        send_event(
-            out_tx,
-            &Event::Busy {
-                label,
-                in_flight: currently,
-                limit,
-            },
-        );
-        return;
-    }
-
-    let workload = match conn.registry.decode(&kind, &label, &params) {
-        Ok(workload) => workload,
-        Err(message) => {
-            send_event(out_tx, &Event::Error { message });
-            return;
-        }
-    };
-
-    let stats_before = conn.engine.cache().stats();
-    let job_flow_solver = options
-        .flow_solver
-        .unwrap_or_else(|| conn.engine.flow_solver());
-
-    // The progress callback fires on the job's coordinator thread, which
-    // races this thread's learning of the job id from `submit` — but every
-    // progress event needs the id. Events that arrive before the id is
-    // known are buffered and flushed (in order) the moment it is set, so
-    // none are dropped or mislabeled.
-    struct ProgressGate {
-        job: Option<u64>,
-        buffered: Vec<Progress>,
-    }
-    let gate = Arc::new(Mutex::new(ProgressGate {
-        job: None,
-        buffered: Vec::new(),
-    }));
-    let progress_out = out_tx.clone();
-    let progress_gate = Arc::clone(&gate);
-    let engine_options = options.clone();
-    let handle =
-        conn.engine
-            .submit_with_options(workload, engine_options, move |progress: Progress| {
-                let _witness = lockcheck::acquire("serve.server.gate");
-                let mut gate = progress_gate.lock().unwrap_or_else(PoisonError::into_inner);
-                match gate.job {
-                    Some(job) => {
-                        let _ = progress_out.send(
-                            Event::Progress {
-                                job,
-                                completed: progress.completed,
-                                total: progress.total,
-                            }
-                            .encode(),
-                        );
-                    }
-                    None => gate.buffered.push(progress),
-                }
-            });
-    in_flight.fetch_add(1, Ordering::AcqRel);
-    let job_id = handle.id().0;
-    if jobs.len() >= MAX_TRACKED_JOBS {
-        jobs.retain(|_, control| !control.is_finished());
-    }
-    jobs.insert(job_id, handle.control());
-
-    send_event(out_tx, &Event::Submitted { job: job_id, label });
-
-    // Open the gate only after the submitted ack is on the writer queue,
-    // so the wire order is always submitted → progress → done.
-    {
-        let _witness = lockcheck::acquire("serve.server.gate");
-        let mut gate = gate.lock().unwrap_or_else(PoisonError::into_inner);
-        gate.job = Some(job_id);
-        for progress in gate.buffered.drain(..) {
-            let _ = out_tx.send(
-                Event::Progress {
-                    job: job_id,
+    fn status_event(&self, slot: usize, job: u64) -> Event {
+        let control = self
+            .conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .and_then(|conn| conn.jobs.get(&job));
+        match control {
+            Some(control) => {
+                let progress = control.progress();
+                Event::Status {
+                    job,
+                    known: true,
+                    finished: control.is_finished(),
+                    cancelled: control.is_cancelled(),
                     completed: progress.completed,
                     total: progress.total,
                 }
-                .encode(),
-            );
+            }
+            None => Event::Status {
+                job,
+                known: false,
+                finished: false,
+                cancelled: false,
+                completed: 0,
+                total: 0,
+            },
         }
     }
 
-    // Waiter thread: blocks on the outcome, attributes the cache-counter
-    // delta to this job, encodes the output through the registry, frees
-    // the admission slot, and emits the terminal event.
-    let waiter_out = out_tx.clone();
-    let waiter_engine = Arc::clone(&conn.engine);
-    let waiter_registry = Arc::clone(&conn.registry);
-    let waiter_in_flight = Arc::clone(in_flight);
-    let spawned = std::thread::Builder::new()
-        .name(format!("marqsim-serve-job-{job_id}"))
-        .spawn(move || {
-            let outcome = handle.collect();
-            let cache_delta = waiter_engine.cache().stats().delta_since(&stats_before);
-            waiter_in_flight.fetch_sub(1, Ordering::AcqRel);
-            // The job is terminal: free its engine-wide admission slot
-            // before the event goes out, so a client that saw `done` can
-            // immediately resubmit.
-            drop(global_slot);
-            let event = match outcome {
-                Ok(output) => match waiter_registry.encode(&kind, &output) {
-                    Ok(value) => Event::Done {
-                        job: job_id,
-                        outcome: crate::protocol::Outcome::Other { kind, value },
-                        cache_delta,
-                        flow_solver: job_flow_solver,
-                    },
-                    Err(message) => Event::Failed {
-                        job: job_id,
-                        kind: "encode".to_string(),
-                        message,
-                    },
-                },
-                Err(error) => Event::Failed {
-                    job: job_id,
-                    kind: failure_kind(&error).to_string(),
-                    message: error.to_string(),
-                },
+    fn handle_submit(
+        &mut self,
+        slot: usize,
+        label: String,
+        kind: String,
+        params: crate::wire::Json,
+        options: SubmitOptions,
+    ) {
+        // Admission control, checked before any decoding work. Two bounds,
+        // both rejected with the structured `busy` event: the engine-wide
+        // active-job cap shared by every connection, then the
+        // per-connection in-flight bound (which the request can only
+        // *tighten*, never raise — a greedy client must not be able to
+        // raise the limit it is being held to).
+        //
+        // The global slot is *reserved* with a compare-and-swap, not
+        // checked against a gauge: N connections submitting at the same
+        // instant get at most `max_active_jobs` slots between them. The
+        // reservation is held by a drop guard until the job's terminal
+        // event.
+        let global_slot = if self.max_active_jobs > 0 {
+            match self
+                .global_active
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |active| {
+                    (active < self.max_active_jobs).then_some(active + 1)
+                }) {
+                Ok(_) => GlobalSlot(Some(Arc::clone(&self.global_active))),
+                Err(active) => {
+                    let event = Event::Busy {
+                        label,
+                        in_flight: active,
+                        limit: self.max_active_jobs,
+                    };
+                    self.push_event(slot, &event, None);
+                    return;
+                }
+            }
+        } else {
+            GlobalSlot(None)
+        };
+        let limit = options
+            .max_in_flight
+            .map_or(self.max_in_flight, |requested| {
+                requested.min(self.max_in_flight)
+            })
+            .max(1);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let currently = conn.in_flight;
+        if currently >= limit {
+            let event = Event::Busy {
+                label,
+                in_flight: currently,
+                limit,
             };
-            let _ = waiter_out.send(event.encode());
-        });
-    if let Err(error) = spawned {
-        // The unspawned closure was dropped, which already freed the
-        // admission slot it captured; the in-flight count and the client
-        // are still ours to settle. The job itself keeps running in the
-        // engine — only its outcome is lost.
-        warn!("serve", "job waiter spawn failed: {error}");
-        in_flight.fetch_sub(1, Ordering::AcqRel);
-        send_event(
-            out_tx,
-            &Event::Failed {
-                job: job_id,
-                kind: "internal".to_string(),
-                message: format!("job waiter thread could not be spawned: {error}"),
+            self.push_event(slot, &event, None);
+            return;
+        }
+
+        let workload = match self.registry.decode(&kind, &label, &params) {
+            Ok(workload) => workload,
+            Err(message) => {
+                let event = Event::Error { message };
+                self.push_event(slot, &event, None);
+                return;
+            }
+        };
+
+        let key = ConnKey {
+            slot,
+            gen: conn.gen,
+        };
+        let stats_before = self.engine.cache().stats();
+        let job_flow_solver = options
+            .flow_solver
+            .unwrap_or_else(|| self.engine.flow_solver());
+
+        // Hooks run on the job's coordinator thread and carry the
+        // engine-assigned id, so there is no submit/progress id race to
+        // gate: they push a note and ring the loop's doorbell. The loop
+        // only drains notes *after* the current request batch, so the wire
+        // order is always submitted → progress → done.
+        let progress_notes = Arc::clone(&self.notes);
+        let progress_wake = self.wake.clone();
+        let terminal_notes = Arc::clone(&self.notes);
+        let terminal_wake = self.wake.clone();
+        let engine = Arc::clone(&self.engine);
+        let registry = Arc::clone(&self.registry);
+        let control = self.engine.submit_with_hooks(
+            workload,
+            options,
+            move |job, progress| {
+                let note = Note::Progress {
+                    conn: key,
+                    job: job.0,
+                    completed: progress.completed,
+                    total: progress.total,
+                };
+                {
+                    let _witness = lockcheck::acquire("serve.server.notes");
+                    let mut queue = progress_notes
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    queue.push_back(note);
+                }
+                progress_wake.wake();
+            },
+            move |job, outcome| {
+                // Terminal path, still on the coordinator thread: attribute
+                // the cache-counter delta to this job, free the engine-wide
+                // admission slot (so a client that saw `done` can
+                // immediately resubmit), and encode the terminal event.
+                let cache_delta = engine.cache().stats().delta_since(&stats_before);
+                drop(global_slot);
+                let event = match outcome {
+                    Ok(output) => match registry.encode(&kind, &output) {
+                        Ok(value) => Event::Done {
+                            job: job.0,
+                            outcome: crate::protocol::Outcome::Other { kind, value },
+                            cache_delta,
+                            flow_solver: job_flow_solver,
+                        },
+                        Err(message) => Event::Failed {
+                            job: job.0,
+                            kind: "encode".to_string(),
+                            message,
+                        },
+                    },
+                    Err(error) => Event::Failed {
+                        job: job.0,
+                        kind: failure_kind(&error).to_string(),
+                        message: error.to_string(),
+                    },
+                };
+                let note = Note::Terminal {
+                    conn: key,
+                    line: encode_line(&event),
+                };
+                {
+                    let _witness = lockcheck::acquire("serve.server.notes");
+                    let mut queue = terminal_notes
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    queue.push_back(note);
+                }
+                terminal_wake.wake();
             },
         );
+
+        let job_id = control.id().0;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.in_flight += 1;
+        if conn.jobs.len() >= MAX_TRACKED_JOBS {
+            conn.jobs.retain(|_, control| !control.is_finished());
+        }
+        conn.jobs.insert(job_id, control);
+        let event = Event::Submitted { job: job_id, label };
+        self.push_event(slot, &event, None);
     }
+
+    /// Delivers queued engine notes to their connections.
+    fn drain_notes(&mut self) {
+        let drained: Vec<Note> = {
+            let _witness = lockcheck::acquire("serve.server.notes");
+            let mut queue = self.notes.lock().unwrap_or_else(PoisonError::into_inner);
+            queue.drain(..).collect()
+        };
+        for note in drained {
+            match note {
+                Note::Progress {
+                    conn: key,
+                    job,
+                    completed,
+                    total,
+                } => {
+                    if !self.conn_matches(key) {
+                        continue;
+                    }
+                    let event = Event::Progress {
+                        job,
+                        completed,
+                        total,
+                    };
+                    self.push_event(key.slot, &event, Some(job));
+                }
+                Note::Terminal { conn: key, line } => {
+                    if !self.conn_matches(key) {
+                        continue;
+                    }
+                    if let Some(conn) = self.conns.get_mut(key.slot).and_then(Option::as_mut) {
+                        conn.in_flight = conn.in_flight.saturating_sub(1);
+                    }
+                    self.push_line(key.slot, line, None);
+                }
+            }
+        }
+    }
+
+    fn conn_matches(&self, key: ConnKey) -> bool {
+        self.conns
+            .get(key.slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|conn| conn.gen == key.gen)
+    }
+
+    fn push_event(&mut self, slot: usize, event: &Event, progress_job: Option<u64>) {
+        self.push_line(slot, encode_line(event), progress_job);
+    }
+
+    /// Queues one encoded line (terminator included) for write, enforcing
+    /// the backpressure policy.
+    fn push_line(&mut self, slot: usize, line: String, progress_job: Option<u64>) {
+        let instruments = serve_instruments();
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.closing.is_some() {
+            return;
+        }
+        // Progress coalescing above the soft threshold: replace the
+        // youngest queued progress event of the same job instead of
+        // growing the queue — a slow reader still learns the latest
+        // progress, just not every step.
+        if let Some(job) = progress_job {
+            if conn.outbound.len() >= OUTBOUND_COALESCE_EVENTS {
+                if let Some(back) = conn
+                    .outbound
+                    .back_mut()
+                    .filter(|back| back.progress_job == Some(job))
+                {
+                    conn.outbound_bytes -= back.line.len();
+                    conn.outbound_bytes += line.len();
+                    back.line = line;
+                    instruments.progress_coalesced.inc();
+                    self.mark_dirty(slot);
+                    return;
+                }
+            }
+        }
+        if conn.outbound.len() >= OUTBOUND_MAX_EVENTS
+            || conn.outbound_bytes + line.len() > OUTBOUND_MAX_BYTES
+        {
+            self.slow_consumer_disconnect(slot);
+            return;
+        }
+        conn.outbound_bytes += line.len();
+        conn.outbound.push_back(OutLine { line, progress_job });
+        instruments.outbound_queue_depth.add(1);
+        self.mark_dirty(slot);
+    }
+
+    /// Structured disconnect for a consumer that cannot keep up: queued
+    /// events are dropped (keeping a partially written head, which must
+    /// finish to preserve framing), a terminal `error` event is queued,
+    /// jobs are cancelled, input is ignored, and the socket closes once
+    /// the error drains — or when the grace timer fires.
+    fn slow_consumer_disconnect(&mut self, slot: usize) {
+        let instruments = serve_instruments();
+        instruments.slow_disconnects.inc();
+        let error_line = encode_line(&Event::Error {
+            message: format!(
+                "disconnected: outbound queue overflow (slow consumer, limit {OUTBOUND_MAX_EVENTS} \
+                 events / {OUTBOUND_MAX_BYTES} bytes)"
+            ),
+        });
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        for control in conn.jobs.values() {
+            if !control.is_finished() {
+                control.cancel();
+            }
+        }
+        let keep_head = usize::from(conn.write_offset > 0);
+        let dropped = conn.outbound.len().saturating_sub(keep_head);
+        conn.outbound.truncate(keep_head);
+        conn.outbound_bytes = conn.outbound.iter().map(|l| l.line.len()).sum();
+        conn.outbound_bytes += error_line.len();
+        conn.outbound.push_back(OutLine {
+            line: error_line,
+            progress_job: None,
+        });
+        instruments.outbound_queue_depth.sub(dropped as i64 - 1);
+        conn.closing = Some(CloseReason::SlowConsumer);
+        if let Some(key) = conn.idle_timer.take() {
+            self.wheel.cancel(key);
+        }
+        let grace = Instant::now() + CLOSE_GRACE;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.close_timer = Some(self.wheel.arm(grace, Timer::ForceClose(slot)));
+        self.mark_dirty(slot);
+    }
+
+    fn timer_fired(&mut self, key: TimerKey, timer: Timer, now: Instant) {
+        match timer {
+            Timer::Idle(slot) => {
+                let Some(timeout) = self.idle_timeout else {
+                    return;
+                };
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                if conn.idle_timer != Some(key) || conn.closing.is_some() {
+                    return;
+                }
+                let deadline = conn.last_activity + timeout;
+                if now < deadline {
+                    // Activity since arming: push the deadline out.
+                    conn.idle_timer = Some(self.wheel.arm(deadline, Timer::Idle(slot)));
+                    return;
+                }
+                serve_instruments().idle_timeouts.inc();
+                conn.idle_timer = None;
+                // Reap: cancel whatever the silent client left running,
+                // tell it why (best effort), drain, close.
+                for control in conn.jobs.values() {
+                    if !control.is_finished() {
+                        control.cancel();
+                    }
+                }
+                let message = format!(
+                    "disconnected: no request for {} ms (idle timeout)",
+                    timeout.as_millis()
+                );
+                self.push_event(slot, &Event::Error { message }, None);
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                conn.closing = Some(CloseReason::IdleTimeout);
+                conn.close_timer = Some(self.wheel.arm(now + CLOSE_GRACE, Timer::ForceClose(slot)));
+                self.mark_dirty(slot);
+            }
+            Timer::ForceClose(slot) => {
+                let matches = self
+                    .conns
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|conn| conn.close_timer == Some(key));
+                if matches {
+                    let reason = self.conns[slot]
+                        .as_ref()
+                        .and_then(|c| c.closing)
+                        .unwrap_or(CloseReason::Eof);
+                    self.close_conn(slot, reason);
+                }
+            }
+        }
+    }
+
+    /// Attempts to flush every dirty connection's outbound queue, then
+    /// fixes up poller interest (writable only while data is queued).
+    fn flush_dirty(&mut self) {
+        let slots: Vec<usize> = self.dirty.drain(..).collect();
+        for slot in slots {
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                conn.dirty = false;
+            } else {
+                continue;
+            }
+            self.flush_conn(slot);
+        }
+    }
+
+    fn flush_conn(&mut self, slot: usize) {
+        let instruments = serve_instruments();
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let Some(front) = conn.outbound.front() else {
+                // Drained. A closing connection is done for good.
+                if let Some(reason) = conn.closing {
+                    self.close_conn(slot, reason);
+                    return;
+                }
+                self.update_interest(slot, false);
+                return;
+            };
+            let bytes = front.line.as_bytes();
+            let offset = conn.write_offset;
+            match conn.stream.write(&bytes[offset..]) {
+                Ok(IoStatus::Ready(n)) => {
+                    conn.write_offset += n;
+                    if conn.write_offset == bytes.len() {
+                        conn.write_offset = 0;
+                        if let Some(line) = conn.outbound.pop_front() {
+                            conn.outbound_bytes -= line.line.len();
+                            conn.bytes_out += line.line.len() as u64;
+                            instruments.bytes_written.add(line.line.len() as u64);
+                            instruments.outbound_queue_depth.sub(1);
+                        }
+                    }
+                }
+                Ok(IoStatus::WouldBlock) => {
+                    self.update_interest(slot, true);
+                    return;
+                }
+                Ok(IoStatus::Closed) | Err(_) => {
+                    self.close_conn(slot, CloseReason::Eof);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Reconciles the poller registration with what the connection needs
+    /// now: readable unless closing, writable only while data is queued.
+    fn update_interest(&mut self, slot: usize, writable: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let desired = Interest {
+            readable: conn.closing.is_none(),
+            writable,
+        };
+        if desired == conn.interest {
+            return;
+        }
+        let token = Token(slot as u64 + TOKEN_CONN_BASE);
+        if self.poller.reregister(&conn.stream, token, desired).is_ok() {
+            conn.interest = desired;
+        }
+    }
+
+    /// Tears one connection down: cancels its unfinished jobs, releases
+    /// its timers and registration, emits the connection-lifetime trace
+    /// span, and frees the slot.
+    fn close_conn(&mut self, slot: usize, reason: CloseReason) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        // Client is gone (or being evicted): cancel whatever it left
+        // running so an interrupted sweep stops consuming the pool.
+        for control in conn.jobs.values() {
+            if !control.is_finished() {
+                control.cancel();
+            }
+        }
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        if let Some(key) = conn.idle_timer {
+            self.wheel.cancel(key);
+        }
+        if let Some(key) = conn.close_timer {
+            self.wheel.cancel(key);
+        }
+        self.poller.deregister(&conn.stream);
+        serve_instruments()
+            .outbound_queue_depth
+            .sub(conn.outbound.len() as i64);
+        let dur_us = conn.opened.elapsed().as_micros() as u64;
+        trace::emit_interval(
+            "conn",
+            None,
+            conn.opened,
+            dur_us,
+            &[
+                ("reason", reason.as_str().to_string()),
+                ("requests", conn.requests.to_string()),
+                ("bytes_in", conn.bytes_in.to_string()),
+                ("bytes_out", conn.bytes_out.to_string()),
+            ],
+        );
+        self.free.push(slot);
+    }
+}
+
+/// Encodes one event as its wire line, terminator included.
+fn encode_line(event: &Event) -> String {
+    let mut line = event.encode();
+    line.push('\n');
+    line
 }

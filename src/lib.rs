@@ -30,10 +30,15 @@
 //!   priority-aware thread-pool executor, transition-matrix caching, and
 //!   the open `Workload` job API (typed `SubmitOptions`, cooperative
 //!   cancellation, throttled progress) the evaluation binaries run on.
+//! * [`net`] — the dependency-free readiness reactor: a level-triggered
+//!   epoll [`Poller`](net::Poller), nonblocking listener/stream wrappers,
+//!   a cross-thread [`Wakeup`](net::Wakeup) channel, bounded line framing,
+//!   and a [`DeadlineWheel`](net::DeadlineWheel) for connection timeouts.
 //! * [`serve`] — the TCP job-submission front-end over the engine: the
 //!   `marqsim-served` daemon, its line-delimited JSON wire protocol with a
 //!   string-keyed workload registry and per-connection admission control,
-//!   and a blocking client.
+//!   an event-loop server built on [`net`], and a poll-based blocking
+//!   client.
 //! * [`obs`] — the telemetry subsystem: the process-wide metrics registry
 //!   (counters, gauges, latency histograms), structured span tracing with
 //!   a `MARQSIM_TRACE` JSONL sink, and the `MARQSIM_LOG` leveled logger.
@@ -71,6 +76,7 @@ pub use marqsim_flow as flow;
 pub use marqsim_hamlib as hamlib;
 pub use marqsim_linalg as linalg;
 pub use marqsim_markov as markov;
+pub use marqsim_net as net;
 pub use marqsim_obs as obs;
 pub use marqsim_pauli as pauli;
 pub use marqsim_serve as serve;

@@ -1,0 +1,162 @@
+//! Scaled-down C10K stress test of the event-loop server: one reactor
+//! thread must hold hundreds of idle connections while serving active
+//! sweeps bit-identically, all inside the default test-runner fd budget.
+//! The full-scale run (thousands of idle connections, RSS bound) lives in
+//! the `c10k_smoke` bench binary and the CI `c10k-smoke` job; this test
+//! keeps the same shape small enough for `cargo test`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use marqsim::core::experiment::SweepConfig;
+use marqsim::core::TransitionStrategy;
+use marqsim::engine::{Engine, EngineConfig};
+use marqsim::pauli::Hamiltonian;
+use marqsim::serve::{Client, Outcome, Server, ServerHandle};
+
+const IDLE_CONNS: usize = 200;
+const ACTIVE_CONNS: usize = 20;
+
+fn ham() -> Hamiltonian {
+    Hamiltonian::parse("0.9 ZZZZ + 0.8 ZZIZ + 0.7 XXII + 0.5 IIZZ").unwrap()
+}
+
+fn sweep_config() -> SweepConfig {
+    SweepConfig {
+        time: 0.4,
+        epsilons: vec![0.1],
+        repeats: 3,
+        base_seed: 41,
+        evaluate_fidelity: false,
+    }
+}
+
+fn spawn_server() -> ServerHandle {
+    let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
+    Server::bind("127.0.0.1:0", engine)
+        .expect("bind localhost")
+        .spawn()
+        .expect("spawn event loop")
+}
+
+/// Opens a connection, consumes the `hello` line, and parks the socket.
+fn idle_conn(addr: std::net::SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect idle");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut hello = String::new();
+    reader.read_line(&mut hello).expect("read hello");
+    assert!(
+        hello.contains("\"event\":\"hello\""),
+        "idle connection greeted with {hello:?}"
+    );
+    reader
+}
+
+#[test]
+fn hundreds_of_idle_connections_do_not_disturb_active_sweeps() {
+    let strategy = TransitionStrategy::marqsim_gc();
+    let config = sweep_config();
+
+    // In-process reference for the bit-identity check.
+    let reference_engine = Engine::new(EngineConfig::default().with_threads(2));
+    let reference = reference_engine
+        .run_sweep(&ham(), &strategy, &config)
+        .unwrap();
+
+    let server = spawn_server();
+    let addr = server.addr();
+
+    // Park a crowd of idle connections. Each one holds a slab slot and an
+    // epoll registration on the single reactor thread.
+    let idle: Vec<BufReader<TcpStream>> = (0..IDLE_CONNS).map(|_| idle_conn(addr)).collect();
+
+    // Drive active sweeps through the crowd, all submitted before any
+    // result is awaited so they overlap on the reactor.
+    let mut active: Vec<(Client, u64)> = (0..ACTIVE_CONNS)
+        .map(|i| {
+            let mut client = Client::connect(addr).expect("connect active");
+            let job = client
+                .submit_sweep(&format!("c10k/active-{i}"), &ham(), &strategy, &config)
+                .expect("submit");
+            (client, job)
+        })
+        .collect();
+    for (client, job) in &mut active {
+        let result = client.wait(*job).expect("wait");
+        let sweep = match result.outcome {
+            Outcome::Sweep(sweep) => sweep,
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        assert_eq!(sweep.points.len(), reference.points.len());
+        for (remote, local) in sweep.points.iter().zip(reference.points.iter()) {
+            assert_eq!(remote.epsilon.to_bits(), local.epsilon.to_bits());
+            assert_eq!(remote.seed, local.seed);
+            assert_eq!(remote.num_samples, local.num_samples);
+            assert_eq!(remote.stats, local.stats, "sweep diverged over TCP");
+        }
+    }
+
+    // The idle crowd must still be alive and answerable after the storm.
+    let mut stats_client = Client::connect(addr).expect("connect post-storm");
+    let stats = stats_client.stats().expect("stats");
+    assert_eq!(stats.active_jobs, 0, "all jobs drained");
+    for (i, reader) in idle.into_iter().enumerate().step_by(50) {
+        let mut stream = reader.into_inner();
+        stream
+            .write_all(b"{\"verb\":\"stats\"}\n")
+            .unwrap_or_else(|e| panic!("idle conn {i} died: {e}"));
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read stats");
+        assert!(
+            line.contains("\"event\":\"stats\""),
+            "idle conn {i} answered {line:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn dropped_connections_release_their_jobs() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let strategy = TransitionStrategy::marqsim_gc();
+    // Enough repeats that the job is usually still running at disconnect;
+    // the assertion holds either way (finished or cancelled both drain).
+    let config = SweepConfig {
+        time: 0.4,
+        epsilons: vec![0.1, 0.05],
+        repeats: 16,
+        base_seed: 97,
+        evaluate_fidelity: false,
+    };
+
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .submit_sweep("c10k/abandoned", &ham(), &strategy, &config)
+            .expect("submit");
+        // Drop without waiting: the server must cancel on disconnect.
+    }
+
+    let mut observer = Client::connect(addr).expect("connect observer");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = observer.stats().expect("stats");
+        if stats.active_jobs == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job still active {}s after its connection dropped",
+            30
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}

@@ -216,3 +216,92 @@ fn interleaved_jobs_from_one_client_resolve_independently() {
     }
     server.shutdown();
 }
+
+/// Satellite property for the event-loop server's framing layer: a valid
+/// request stream decodes to the same request sequence no matter how the
+/// transport slices it into reads. The server only ever sees bytes through
+/// `marqsim::net::LineAssembler`, so chunk boundaries falling inside a
+/// line, on a terminator, or coalescing many lines into one read must all
+/// be invisible to the protocol layer.
+#[test]
+fn request_streams_decode_identically_under_any_byte_chunking() {
+    use marqsim::engine::SubmitOptions;
+    use marqsim::net::LineAssembler;
+    use marqsim::serve::{sweep_params, Request};
+    use quickprop::{check, Config, Gen};
+
+    fn arbitrary_request(g: &mut Gen) -> Request {
+        match g.usize_in(0..5) {
+            0 => Request::Submit {
+                label: format!("prop/chunk-{}", g.u64_in(0..=9999)),
+                kind: "sweep".to_string(),
+                params: sweep_params(
+                    &ham().to_string(),
+                    &TransitionStrategy::marqsim_gc(),
+                    &sweep_config(),
+                ),
+                options: SubmitOptions::default(),
+            },
+            1 => Request::Status { job: g.u64() },
+            2 => Request::Cancel { job: g.u64() },
+            3 => Request::Stats,
+            _ => Request::Metrics,
+        }
+    }
+
+    check(
+        "byte-chunked request streams decode identically",
+        Config::default()
+            .with_cases(64)
+            .with_seed(0x0066_7261_6d69_6e67),
+        |g| {
+            let requests = g.vec_of(1..8, arbitrary_request);
+            let mut stream: Vec<u8> = Vec::new();
+            for request in &requests {
+                stream.extend_from_slice(request.encode().as_bytes());
+                // The assembler accepts both terminators; mix them.
+                if g.bool(0.25) {
+                    stream.push(b'\r');
+                }
+                stream.push(b'\n');
+            }
+            // Random cut points; 0 cuts = one coalesced read, many cuts
+            // shatter lines mid-escape-sequence.
+            let cuts = g.vec_of(0..24, |g| g.usize_in(0..stream.len()));
+            (requests, stream, cuts)
+        },
+        |(requests, stream, cuts)| {
+            let mut boundaries = cuts.clone();
+            boundaries.push(0);
+            boundaries.push(stream.len());
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            let mut assembler = LineAssembler::new(8 * 1024 * 1024);
+            let mut decoded = Vec::new();
+            for window in boundaries.windows(2) {
+                assembler.push(&stream[window[0]..window[1]]);
+                loop {
+                    match assembler.next_line() {
+                        Ok(Some(line)) => decoded
+                            .push(Request::decode(&line).map_err(|e| format!("decode: {e}"))?),
+                        Ok(None) => break,
+                        Err(e) => return Err(format!("framing: {e}")),
+                    }
+                }
+            }
+            if assembler.buffered() != 0 {
+                return Err(format!("{} bytes left unframed", assembler.buffered()));
+            }
+            if decoded == *requests {
+                Ok(())
+            } else {
+                Err(format!(
+                    "decoded {} requests from {} chunks, expected {}",
+                    decoded.len(),
+                    boundaries.len() - 1,
+                    requests.len()
+                ))
+            }
+        },
+    );
+}
