@@ -54,6 +54,15 @@ pub fn c10k_idle_conns() -> usize {
         .unwrap_or(2000)
 }
 
+/// The fleet shared secret for the `cluster_smoke` binary:
+/// `MARQSIM_SERVE_TOKEN` (the same variable `marqsim-served` honors),
+/// `None` when unset or empty.
+pub fn serve_token() -> Option<String> {
+    std::env::var("MARQSIM_SERVE_TOKEN")
+        .ok()
+        .filter(|token| !token.is_empty())
+}
+
 /// Builds the engine every binary routes its compilations through
 /// (`MARQSIM_THREADS` / `MARQSIM_CACHE` / `MARQSIM_CACHE_CAP` /
 /// `MARQSIM_CACHE_DIR` overrides apply) and prints a one-line banner so

@@ -1,0 +1,66 @@
+//! # marqsim-cluster — fleet-building primitives under the router
+//!
+//! One daemon is a ceiling; production scale means a fleet. This crate is
+//! the dependency-free policy layer the `marqsim-served` router mode is
+//! built on — the parts of clustering that are pure data structures and
+//! therefore property-testable without sockets:
+//!
+//! * [`HashRing`] — a consistent-hash ring keyed by Hamiltonian
+//!   fingerprint. Each node contributes virtual points; placement is a
+//!   pure function of the member set, and a membership change moves only
+//!   the departing/arriving node's share (≈ `1/n` of the keyspace), so
+//!   every node's in-memory transition-matrix cache stays hot for its
+//!   shard.
+//! * [`Membership`] — the per-node health table: probe scheduling with
+//!   timeout, exponential backoff and deterministic jitter, the
+//!   `Up → Suspect → Down` escalation, and the `Draining` state for
+//!   planned removal (stop routing new work, let in-flight jobs finish,
+//!   drop the node).
+//!
+//! The router itself (connection handling, job-id translation, event
+//! relay) lives in `marqsim-serve`; this crate performs no I/O and never
+//! reads the clock — the router passes its own `Instant`s in, which keeps
+//! every health transition replayable in tests.
+//!
+//! The router's fleet instruments are registered here (see
+//! [`instruments`]): `marqsim_cluster_routed_total{node}`,
+//! `marqsim_cluster_node_up{node}`,
+//! `marqsim_cluster_probe_failures_total`, and
+//! `marqsim_cluster_drains_total`, all in the global `marqsim-obs`
+//! registry and cataloged in `docs/observability.md`.
+
+pub mod membership;
+pub mod ring;
+
+pub use membership::{Health, Membership, MembershipConfig};
+pub use ring::{HashRing, DEFAULT_REPLICAS};
+
+/// Fleet instruments in the global metrics registry. Per-node instruments
+/// are label-keyed; callers cache the returned `Arc` per node rather than
+/// re-resolving on every event.
+pub mod instruments {
+    use std::sync::Arc;
+
+    use marqsim_obs::metrics;
+
+    /// Jobs the router forwarded to `node` (counter, labeled by node).
+    pub fn routed(node: &str) -> Arc<metrics::Counter> {
+        metrics::global().counter_with("marqsim_cluster_routed_total", &[("node", node)])
+    }
+
+    /// Whether `node` is currently routable (gauge: 1 up/suspect, 0
+    /// down/draining; labeled by node).
+    pub fn node_up(node: &str) -> Arc<metrics::Gauge> {
+        metrics::global().gauge_with("marqsim_cluster_node_up", &[("node", node)])
+    }
+
+    /// Health probes that failed, fleet-wide.
+    pub fn probe_failures() -> Arc<metrics::Counter> {
+        metrics::global().counter("marqsim_cluster_probe_failures_total")
+    }
+
+    /// Drains initiated on fleet nodes.
+    pub fn drains() -> Arc<metrics::Counter> {
+        metrics::global().counter("marqsim_cluster_drains_total")
+    }
+}

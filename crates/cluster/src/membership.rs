@@ -1,0 +1,436 @@
+//! Fleet membership: who is healthy, and when to probe next.
+//!
+//! [`Membership`] is a pure policy table — it decides *when* each node is
+//! due a health probe and *what* its health is after each outcome, but
+//! performs no I/O and never reads the clock. The router owns the sockets
+//! and the event loop; it feeds observed outcomes in via
+//! [`record_success`](Membership::record_success) /
+//! [`record_failure`](Membership::record_failure) with its own `now`, and
+//! arms its deadline wheel from [`next_deadline`](Membership::next_deadline).
+//! Keeping the clock out of the table makes every transition unit-testable
+//! with synthetic instants.
+//!
+//! Health follows probe outcomes: a node is [`Health::Up`] while probes
+//! succeed, degrades to [`Health::Suspect`] on the first failure, and is
+//! marked [`Health::Down`] only after [`MembershipConfig::down_after`]
+//! consecutive failures — each retry backed off exponentially and jittered
+//! so a fleet of routers does not synchronize its probe storms. A planned
+//! removal goes through [`Health::Draining`] instead: no new work routes
+//! to the node, in-flight jobs finish, then the router drops it.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Health of one fleet node, as judged by probe outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Probes are succeeding; the node receives new work.
+    Up,
+    /// At least one probe failed; retries are in flight, routing
+    /// continues until the node is declared down.
+    Suspect,
+    /// `down_after` consecutive probes failed; no new work, in-flight
+    /// jobs fail with `node_lost`. Probes continue for reconnection.
+    Down,
+    /// Planned removal: no new work, in-flight jobs run to completion,
+    /// then the node is dropped. Not probed.
+    Draining,
+}
+
+/// Probe cadence and failure policy.
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipConfig {
+    /// Gap between probes while a node is healthy.
+    pub probe_interval: Duration,
+    /// Delay before the first retry after a failure; doubles per
+    /// consecutive failure.
+    pub backoff_base: Duration,
+    /// Ceiling on the retry delay, reached after a few doublings and held
+    /// while a down node awaits reconnection.
+    pub backoff_cap: Duration,
+    /// Consecutive failures before a node is declared [`Health::Down`].
+    pub down_after: u32,
+    /// Jitter applied to every scheduled delay, as a fraction of the
+    /// delay (`0.25` → ±25%). Deterministic per (node, probe count).
+    pub jitter: f64,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            probe_interval: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(5),
+            down_after: 3,
+            jitter: 0.25,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    health: Health,
+    /// Consecutive probe failures since the last success.
+    failures: u32,
+    /// When the next probe is due; `None` while draining.
+    next_probe: Option<Instant>,
+    /// Monotonic count of scheduling decisions, fed to the jitter hash so
+    /// consecutive delays for one node land on different offsets.
+    schedules: u64,
+}
+
+/// The per-node health table and probe scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Membership {
+    config: MembershipConfig,
+    nodes: BTreeMap<String, NodeState>,
+}
+
+impl Membership {
+    /// An empty table with the given policy.
+    pub fn new(config: MembershipConfig) -> Membership {
+        Membership {
+            config,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &MembershipConfig {
+        &self.config
+    }
+
+    /// Adds a node as [`Health::Up`] with an immediate probe due; a no-op
+    /// if already present. Returns whether the member set changed.
+    pub fn insert(&mut self, node: &str, now: Instant) -> bool {
+        if self.nodes.contains_key(node) {
+            return false;
+        }
+        self.nodes.insert(
+            node.to_string(),
+            NodeState {
+                health: Health::Up,
+                failures: 0,
+                next_probe: Some(now),
+                schedules: 0,
+            },
+        );
+        true
+    }
+
+    /// Drops a node entirely. Returns whether it was present.
+    pub fn remove(&mut self, node: &str) -> bool {
+        self.nodes.remove(node).is_some()
+    }
+
+    /// A probe (or any request) to `node` succeeded: the node is
+    /// [`Health::Up`] again (draining nodes stay draining), the failure
+    /// streak resets, and the next probe lands one jittered
+    /// [`MembershipConfig::probe_interval`] out. Returns the new health,
+    /// or `None` for an unknown node.
+    pub fn record_success(&mut self, node: &str, now: Instant) -> Option<Health> {
+        let config = self.config;
+        let state = self.nodes.get_mut(node)?;
+        state.failures = 0;
+        if state.health != Health::Draining {
+            state.health = Health::Up;
+            state.next_probe = Some(now + jittered(config.probe_interval, &config, node, state));
+        }
+        Some(state.health)
+    }
+
+    /// A probe (or request) to `node` failed: the streak grows, health
+    /// degrades to [`Health::Suspect`] and then [`Health::Down`] at
+    /// [`MembershipConfig::down_after`], and the retry backs off
+    /// exponentially (jittered, capped). Returns the new health, or
+    /// `None` for an unknown node.
+    pub fn record_failure(&mut self, node: &str, now: Instant) -> Option<Health> {
+        let config = self.config;
+        let state = self.nodes.get_mut(node)?;
+        state.failures = state.failures.saturating_add(1);
+        if state.health != Health::Draining {
+            state.health = if state.failures >= config.down_after {
+                Health::Down
+            } else {
+                Health::Suspect
+            };
+            let exponent = state.failures.saturating_sub(1).min(16);
+            let delay = config
+                .backoff_base
+                .saturating_mul(1u32 << exponent)
+                .min(config.backoff_cap);
+            state.next_probe = Some(now + jittered(delay, &config, node, state));
+        }
+        Some(state.health)
+    }
+
+    /// Marks a probe as *started*: the node's deadline moves one jittered
+    /// [`MembershipConfig::probe_interval`] out so the scheduler does not
+    /// re-fire while the outcome is pending — the caller's own probe
+    /// timeout is expected to resolve first and record an outcome, which
+    /// reschedules again. Returns whether the node was probeable (present
+    /// and not draining).
+    pub fn begin_probe(&mut self, node: &str, now: Instant) -> bool {
+        let config = self.config;
+        match self.nodes.get_mut(node) {
+            Some(state) if state.health != Health::Draining => {
+                state.next_probe =
+                    Some(now + jittered(config.probe_interval, &config, node, state));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks a node [`Health::Draining`]: no new work, no further probes.
+    /// Returns whether the node was present (draining is idempotent).
+    pub fn begin_drain(&mut self, node: &str) -> bool {
+        match self.nodes.get_mut(node) {
+            Some(state) => {
+                state.health = Health::Draining;
+                state.next_probe = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The node's current health, or `None` if unknown.
+    pub fn health(&self, node: &str) -> Option<Health> {
+        self.nodes.get(node).map(|state| state.health)
+    }
+
+    /// Whether new work may route to `node` (up or suspect — a suspect
+    /// node keeps serving until it is declared down).
+    pub fn is_routable(&self, node: &str) -> bool {
+        matches!(self.health(node), Some(Health::Up | Health::Suspect))
+    }
+
+    /// Nodes whose probe deadline has arrived, in name order.
+    pub fn due_probes(&self, now: Instant) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, state)| state.next_probe.is_some_and(|at| at <= now))
+            .map(|(node, _)| node.clone())
+            .collect()
+    }
+
+    /// The earliest probe deadline across all nodes, for bounding the
+    /// event loop's poll wait.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.nodes
+            .values()
+            .filter_map(|state| state.next_probe)
+            .min()
+    }
+
+    /// `(node, health)` for every member, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Health)> {
+        self.nodes
+            .iter()
+            .map(|(node, state)| (node.as_str(), state.health))
+    }
+
+    /// How many nodes are tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Applies deterministic jitter to a delay: the (node, schedule count)
+/// pair hashes to a factor in `[1 - jitter, 1 + jitter]`, so a fleet of
+/// routers probing the same nodes never locks onto one phase, yet every
+/// transition is replayable in tests.
+fn jittered(
+    delay: Duration,
+    config: &MembershipConfig,
+    node: &str,
+    state: &mut NodeState,
+) -> Duration {
+    state.schedules = state.schedules.wrapping_add(1);
+    if config.jitter <= 0.0 {
+        return delay;
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in node.as_bytes() {
+        hash = (hash ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash = hash.wrapping_add(state.schedules);
+    let mut z = hash.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Uniform in [-1, 1], scaled by the jitter fraction.
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    let factor = 1.0 + config.jitter * (2.0 * unit - 1.0);
+    delay.mul_f64(factor.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (Membership, Instant) {
+        let mut membership = Membership::default();
+        let now = Instant::now();
+        membership.insert("a:7100", now);
+        (membership, now)
+    }
+
+    #[test]
+    fn new_nodes_are_up_and_immediately_due() {
+        let (membership, now) = table();
+        assert_eq!(membership.health("a:7100"), Some(Health::Up));
+        assert_eq!(membership.due_probes(now), ["a:7100"]);
+        assert!(membership.is_routable("a:7100"));
+    }
+
+    #[test]
+    fn failures_escalate_suspect_then_down() {
+        let (mut membership, now) = table();
+        assert_eq!(
+            membership.record_failure("a:7100", now),
+            Some(Health::Suspect)
+        );
+        assert!(
+            membership.is_routable("a:7100"),
+            "one failure does not stop routing"
+        );
+        assert_eq!(
+            membership.record_failure("a:7100", now),
+            Some(Health::Suspect)
+        );
+        assert_eq!(membership.record_failure("a:7100", now), Some(Health::Down));
+        assert!(!membership.is_routable("a:7100"));
+    }
+
+    #[test]
+    fn retry_delays_double_and_cap() {
+        let config = MembershipConfig {
+            jitter: 0.0,
+            ..MembershipConfig::default()
+        };
+        let mut membership = Membership::new(config);
+        let now = Instant::now();
+        membership.insert("a:7100", now);
+        let mut delays = Vec::new();
+        for _ in 0..7 {
+            membership.record_failure("a:7100", now);
+            let due = membership.next_deadline().unwrap();
+            delays.push(due - now);
+        }
+        assert_eq!(delays[0], config.backoff_base);
+        assert_eq!(delays[1], config.backoff_base * 2);
+        assert_eq!(delays[2], config.backoff_base * 4);
+        assert_eq!(
+            *delays.last().unwrap(),
+            config.backoff_cap,
+            "the exponential series caps: {delays:?}"
+        );
+    }
+
+    #[test]
+    fn success_resets_the_streak_and_health() {
+        let (mut membership, now) = table();
+        membership.record_failure("a:7100", now);
+        membership.record_failure("a:7100", now);
+        assert_eq!(membership.record_success("a:7100", now), Some(Health::Up));
+        // The streak reset: the next failure is the *first* again.
+        assert_eq!(
+            membership.record_failure("a:7100", now),
+            Some(Health::Suspect)
+        );
+    }
+
+    #[test]
+    fn jitter_stays_bounded_and_is_deterministic() {
+        let config = MembershipConfig::default();
+        let base = config.probe_interval;
+        let run = || {
+            let mut membership = Membership::new(config);
+            let now = Instant::now();
+            membership.insert("a:7100", now);
+            let mut delays = Vec::new();
+            for _ in 0..32 {
+                membership.record_success("a:7100", now);
+                delays.push(membership.next_deadline().unwrap() - now);
+            }
+            delays
+        };
+        let first = run();
+        let lo = base.mul_f64(1.0 - config.jitter);
+        let hi = base.mul_f64(1.0 + config.jitter);
+        for delay in &first {
+            assert!(
+                (lo..=hi).contains(delay),
+                "jittered delay {delay:?} outside [{lo:?}, {hi:?}]"
+            );
+        }
+        let spread: std::collections::BTreeSet<_> = first.iter().collect();
+        assert!(spread.len() > 1, "jitter actually varies across schedules");
+        assert_eq!(first, run(), "jitter is deterministic per schedule index");
+    }
+
+    #[test]
+    fn begin_probe_defers_the_deadline_until_an_outcome() {
+        let config = MembershipConfig {
+            jitter: 0.0,
+            ..MembershipConfig::default()
+        };
+        let mut membership = Membership::new(config);
+        let now = Instant::now();
+        membership.insert("a:7100", now);
+        assert_eq!(membership.due_probes(now), ["a:7100"]);
+        assert!(membership.begin_probe("a:7100", now));
+        // The started probe is no longer due — the scheduler cannot spin
+        // re-firing it while its outcome is pending.
+        assert!(membership.due_probes(now).is_empty());
+        assert_eq!(
+            membership.next_deadline(),
+            Some(now + config.probe_interval)
+        );
+    }
+
+    #[test]
+    fn draining_nodes_stop_probing_and_routing() {
+        let (mut membership, now) = table();
+        assert!(membership.begin_drain("a:7100"));
+        assert_eq!(membership.health("a:7100"), Some(Health::Draining));
+        assert!(!membership.is_routable("a:7100"));
+        assert!(membership
+            .due_probes(now + Duration::from_secs(60))
+            .is_empty());
+        assert_eq!(membership.next_deadline(), None);
+        // Probe outcomes arriving late do not resurrect a draining node.
+        assert_eq!(
+            membership.record_success("a:7100", now),
+            Some(Health::Draining)
+        );
+        assert_eq!(
+            membership.record_failure("a:7100", now),
+            Some(Health::Draining)
+        );
+    }
+
+    #[test]
+    fn next_deadline_is_the_minimum_across_nodes() {
+        let config = MembershipConfig {
+            jitter: 0.0,
+            ..MembershipConfig::default()
+        };
+        let mut membership = Membership::new(config);
+        let now = Instant::now();
+        membership.insert("a:7100", now);
+        membership.insert("b:7200", now);
+        membership.record_success("a:7100", now);
+        membership.record_failure("b:7200", now);
+        // b's first retry (backoff_base) lands before a's probe_interval.
+        assert_eq!(membership.next_deadline(), Some(now + config.backoff_base));
+        assert_eq!(membership.due_probes(now + config.backoff_base), ["b:7200"]);
+    }
+}

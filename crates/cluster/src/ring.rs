@@ -1,0 +1,288 @@
+//! Consistent hashing for the fleet: which node owns a fingerprint.
+//!
+//! A [`HashRing`] maps Hamiltonian fingerprints (or any `u64` shard key)
+//! to node names so that each node's in-memory cache stays hot for its
+//! shard. Every node contributes [`HashRing::replicas`] *virtual* points
+//! on a `u64` ring; a key is owned by the first point clockwise from the
+//! key's own ring position. Placement is a pure function of the member
+//! set — two routers that agree on membership agree on every placement —
+//! and membership changes move only the keys adjacent to the added or
+//! removed node's points (≈ `1/n` of the keyspace), which is the whole
+//! reason to prefer a ring over `fingerprint % n`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Virtual points each node contributes when none is specified. 64 points
+/// per node keeps the max/mean shard imbalance under ~2x for small fleets
+/// while the ring stays a few hundred entries.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// A consistent-hash ring over node names.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    replicas: usize,
+    /// Ring points: `(point, node)` — keying by the pair keeps the ring
+    /// deterministic even if two virtual points collide on a hash value.
+    points: BTreeSet<(u64, String)>,
+    nodes: BTreeMap<String, ()>,
+}
+
+impl Default for HashRing {
+    fn default() -> Self {
+        HashRing::new(DEFAULT_REPLICAS)
+    }
+}
+
+impl HashRing {
+    /// An empty ring placing `replicas` virtual points per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero — a node with no points is
+    /// indistinguishable from an absent node.
+    pub fn new(replicas: usize) -> HashRing {
+        assert!(replicas > 0, "a ring needs at least one point per node");
+        HashRing {
+            replicas,
+            points: BTreeSet::new(),
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Virtual points contributed per node.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Adds a node; a no-op if it is already a member. Returns whether the
+    /// member set changed.
+    pub fn add(&mut self, node: &str) -> bool {
+        if self.nodes.contains_key(node) {
+            return false;
+        }
+        for replica in 0..self.replicas {
+            self.points
+                .insert((point_hash(node, replica), node.to_string()));
+        }
+        self.nodes.insert(node.to_string(), ());
+        true
+    }
+
+    /// Removes a node; a no-op if it is not a member. Returns whether the
+    /// member set changed.
+    pub fn remove(&mut self, node: &str) -> bool {
+        if self.nodes.remove(node).is_none() {
+            return false;
+        }
+        for replica in 0..self.replicas {
+            self.points
+                .remove(&(point_hash(node, replica), node.to_string()));
+        }
+        true
+    }
+
+    /// The node owning `fingerprint`: the first ring point clockwise from
+    /// the key's position, wrapping at the top. `None` on an empty ring.
+    pub fn owner(&self, fingerprint: u64) -> Option<&str> {
+        let key = mix(fingerprint);
+        self.points
+            .range((key, String::new())..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, node)| node.as_str())
+    }
+
+    /// Member node names in sorted order.
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.nodes.keys().map(String::as_str)
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: &str) -> bool {
+        self.nodes.contains_key(node)
+    }
+
+    /// How many nodes are members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// FNV-1a over the node name and replica index: the ring position of one
+/// virtual point. FNV matches the engine's fingerprint hash in spirit —
+/// deterministic, dependency-free, and stable across processes.
+fn point_hash(node: &str, replica: usize) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in node.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    // Separate the replicas of one node across the ring.
+    for byte in (replica as u64).to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    mix(hash)
+}
+
+/// SplitMix64 finalizer. Fingerprints arrive as FNV outputs whose low bits
+/// correlate with the hashed suffix; the finalizer spreads them uniformly
+/// over the ring so shard sizes stay balanced.
+fn mix(value: u64) -> u64 {
+    let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quickprop::{check, Config};
+
+    fn ring_of(nodes: &[String]) -> HashRing {
+        let mut ring = HashRing::default();
+        for node in nodes {
+            ring.add(node);
+        }
+        ring
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::default();
+        assert!(ring.owner(42).is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut ring = HashRing::default();
+        ring.add("a:1");
+        for key in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(ring.owner(key), Some("a:1"));
+        }
+    }
+
+    #[test]
+    fn add_and_remove_round_trip() {
+        let mut ring = HashRing::default();
+        assert!(ring.add("a:1"));
+        assert!(!ring.add("a:1"), "double add is a no-op");
+        assert!(ring.add("b:2"));
+        assert_eq!(ring.len(), 2);
+        assert!(ring.remove("a:1"));
+        assert!(!ring.remove("a:1"), "double remove is a no-op");
+        assert_eq!(ring.nodes().collect::<Vec<_>>(), ["b:2"]);
+    }
+
+    /// Placement is a pure function of the member set: insertion order
+    /// must not matter, and two independently built rings must agree.
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        check(
+            "ring placement is order-independent",
+            Config::default().with_cases(32).with_seed(0x51A6),
+            |g| {
+                let n = g.usize_in(1..8);
+                let nodes: Vec<String> = (0..n).map(|i| format!("node{i}:7{i}00")).collect();
+                let keys = g.vec_of(1..64, quickprop::Gen::u64);
+                let mut shuffled = nodes.clone();
+                // Fisher–Yates with generator-driven indices.
+                for i in (1..shuffled.len()).rev() {
+                    let j = g.usize_in(0..i + 1);
+                    shuffled.swap(i, j);
+                }
+                (nodes, shuffled, keys)
+            },
+            |(nodes, shuffled, keys)| {
+                let forward = ring_of(nodes);
+                let reordered = ring_of(shuffled);
+                for key in keys {
+                    let a = forward.owner(*key);
+                    let b = reordered.owner(*key);
+                    if a != b {
+                        return Err(format!("key {key:#x}: {a:?} vs {b:?} across orders"));
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Adding one node steals keys only *for* that node; removing one node
+    /// reassigns only the keys it owned. Everything else stays put — the
+    /// minimal-movement property that keeps per-node caches hot across
+    /// membership changes.
+    #[test]
+    fn membership_changes_move_only_the_affected_share() {
+        check(
+            "ring movement is minimal on add/remove",
+            Config::default().with_cases(32).with_seed(0xC0DE),
+            |g| {
+                let n = g.usize_in(2..7);
+                let nodes: Vec<String> = (0..n).map(|i| format!("node{i}:7{i}00")).collect();
+                let keys = g.vec_of(16..128, quickprop::Gen::u64);
+                let victim = g.usize_in(0..n);
+                (nodes, keys, victim)
+            },
+            |(nodes, keys, victim)| {
+                let base = ring_of(nodes);
+                let newcomer = "fresh:7999".to_string();
+
+                let mut grown = base.clone();
+                grown.add(&newcomer);
+                for key in keys {
+                    let before = base.owner(*key).unwrap();
+                    let after = grown.owner(*key).unwrap();
+                    if after != before && after != newcomer {
+                        return Err(format!(
+                            "key {key:#x} moved {before} -> {after}, not to the new node"
+                        ));
+                    }
+                }
+
+                let mut shrunk = base.clone();
+                shrunk.remove(&nodes[*victim]);
+                for key in keys {
+                    let before = base.owner(*key).unwrap();
+                    let after = shrunk.owner(*key).unwrap();
+                    if before != nodes[*victim] && after != before {
+                        return Err(format!(
+                            "key {key:#x} moved {before} -> {after} though its owner stayed"
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// With enough virtual points, no node's shard collapses to nothing on
+    /// a small fleet — the balance rationale behind [`DEFAULT_REPLICAS`].
+    #[test]
+    fn every_node_owns_some_share_of_a_dense_keyspace() {
+        let nodes: Vec<String> = (0..3).map(|i| format!("node{i}:7{i}31")).collect();
+        let ring = ring_of(&nodes);
+        let mut counts = BTreeMap::new();
+        for key in 0..4096u64 {
+            *counts
+                .entry(ring.owner(key).unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3, "all three nodes own keys: {counts:?}");
+        for (node, count) in &counts {
+            assert!(
+                *count > 256,
+                "node {node} owns a vanishing share: {counts:?}"
+            );
+        }
+    }
+}

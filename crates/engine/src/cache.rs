@@ -171,7 +171,9 @@ pub struct CacheConfig {
     /// Default min-cost-flow backend for this cache's solves (a per-job
     /// [`SubmitOptions::flow_solver`](crate::SubmitOptions) override selects
     /// another backend per lookup). The engine wires this to
-    /// `MARQSIM_FLOW_SOLVER`.
+    /// `MARQSIM_FLOW_SOLVER`; the engine-level default is
+    /// [`SolverKind::Auto`], which picks per instance by size
+    /// (`MARQSIM_FLOW_SOLVER=ssp` pins the legacy backend).
     pub flow_solver: SolverKind,
 }
 
@@ -181,7 +183,7 @@ impl Default for CacheConfig {
             shards: 0,
             cap_per_shard: DEFAULT_CACHE_CAP,
             persist_dir: None,
-            flow_solver: SolverKind::default(),
+            flow_solver: SolverKind::Auto,
         }
     }
 }

@@ -801,10 +801,12 @@ mod tests {
     #[test]
     fn flow_solver_selection_is_cached_and_attributed_per_backend() {
         let engine = Arc::new(Engine::new(EngineConfig::default().with_threads(2)));
-        assert_eq!(engine.flow_solver(), SolverKind::SuccessiveShortestPath);
+        assert_eq!(engine.flow_solver(), SolverKind::Auto);
         let config = SweepConfig::quick(0.5);
         let strategy = TransitionStrategy::marqsim_gc();
 
+        // `Auto` resolves the tiny test Hamiltonian to the SSP backend, so
+        // the solve is attributed there.
         engine.run_sweep(&ham(), &strategy, &config).unwrap();
         let stats = engine.cache().stats();
         assert_eq!(stats.flow_solves_ssp, 1);

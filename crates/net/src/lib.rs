@@ -10,7 +10,9 @@
 //! * [`Poller`] / [`Token`] / [`Interest`] — a level-triggered readiness
 //!   poller over one epoll instance;
 //! * [`Listener`] / [`Stream`] / [`IoStatus`] — nonblocking accept/read/
-//!   write wrappers that put `WouldBlock` into the type;
+//!   write wrappers that put `WouldBlock` into the type, plus outbound
+//!   nonblocking [`Stream::connect`] with a typed [`ConnectStatus`] (the
+//!   cluster router dials its nodes from inside the event loop);
 //! * [`Wakeup`] / [`WakeHandle`] — a socketpair-backed channel for waking
 //!   a parked event loop from other threads (job completions, shutdown);
 //! * [`DeadlineWheel`] / [`TimerKey`] — ordered timeouts (idle
@@ -36,7 +38,7 @@ pub mod wheel;
 
 pub use framing::{FramingError, LineAssembler};
 pub use poller::{Interest, PollEvent, Poller, Token};
-pub use stream::{IoStatus, Listener, Stream};
+pub use stream::{ConnectStatus, IoStatus, Listener, Stream};
 pub use sys::{wait_readable, wait_writable};
 pub use wakeup::{WakeHandle, Wakeup};
 pub use wheel::{DeadlineWheel, TimerKey};

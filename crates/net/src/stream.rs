@@ -7,7 +7,9 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::os::fd::{AsRawFd, RawFd};
+use std::os::fd::{AsRawFd, FromRawFd, IntoRawFd, RawFd};
+
+use crate::sys;
 
 /// Outcome of one nonblocking read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +20,17 @@ pub enum IoStatus {
     WouldBlock,
     /// Orderly end of stream (read side only).
     Closed,
+}
+
+/// Outcome of starting a nonblocking [`Stream::connect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectStatus {
+    /// The handshake completed inside the `connect` call itself.
+    Ready,
+    /// The handshake is in flight: register the stream for write interest
+    /// (or [`crate::wait_writable`]) and call [`Stream::connect_result`]
+    /// once it turns writable.
+    InProgress,
 }
 
 /// A nonblocking accept loop over a bound [`TcpListener`].
@@ -86,6 +99,37 @@ impl Stream {
     pub fn from_std(stream: TcpStream) -> io::Result<Stream> {
         stream.set_nonblocking(true)?;
         Ok(Stream { inner: stream })
+    }
+
+    /// Starts a nonblocking outbound connect to `addr`. On
+    /// [`ConnectStatus::InProgress`], the stream is not usable until it
+    /// turns writable and [`connect_result`](Stream::connect_result)
+    /// confirms the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket creation failure and synchronously reported
+    /// connect errors (e.g. immediate `ECONNREFUSED` on loopback).
+    pub fn connect(addr: &SocketAddr) -> io::Result<(Stream, ConnectStatus)> {
+        let (fd, progress) = sys::connect_nonblocking(addr)?;
+        // SAFETY: `fd` is an owned, open socket fd; ownership transfers
+        // into the `TcpStream`, which closes it on drop.
+        let inner = unsafe { TcpStream::from_raw_fd(fd.into_raw_fd()) };
+        let status = match progress {
+            sys::ConnectProgress::Ready => ConnectStatus::Ready,
+            sys::ConnectProgress::InProgress => ConnectStatus::InProgress,
+        };
+        Ok((Stream { inner }, status))
+    }
+
+    /// The outcome of an in-progress connect, valid once the stream has
+    /// turned writable: reads and clears `SO_ERROR`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stored connect failure (e.g. `ECONNREFUSED`).
+    pub fn connect_result(&self) -> io::Result<()> {
+        sys::take_socket_error(self.inner.as_raw_fd())
     }
 
     /// Reads into `buf` once.
@@ -187,5 +231,90 @@ mod tests {
             }
         };
         assert_eq!(status, IoStatus::Closed);
+    }
+
+    /// Drives an outbound connect to completion, whichever of the two
+    /// kernel-reported shapes it takes.
+    fn finish_connect(stream: &Stream, status: ConnectStatus) -> std::io::Result<()> {
+        match status {
+            ConnectStatus::Ready => Ok(()),
+            ConnectStatus::InProgress => {
+                use std::os::fd::AsRawFd as _;
+                let writable = crate::wait_writable(
+                    stream.as_raw_fd(),
+                    Some(std::time::Duration::from_secs(5)),
+                )
+                .unwrap();
+                assert!(writable, "in-progress connect never resolved");
+                stream.connect_result()
+            }
+        }
+    }
+
+    #[test]
+    fn connect_to_a_live_listener_completes_and_moves_bytes() {
+        let listener = Listener::from_std(TcpListener::bind("127.0.0.1:0").unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let (mut client, status) = Stream::connect(&addr).unwrap();
+        finish_connect(&client, status).expect("connect to a live listener succeeds");
+
+        let accepted = loop {
+            if let Some((stream, _)) = listener.accept().unwrap() {
+                break stream;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        let mut server_side = Stream::from_std(accepted).unwrap();
+
+        loop {
+            match client.write(b"hello").unwrap() {
+                IoStatus::Ready(5) => break,
+                IoStatus::Ready(_) | IoStatus::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                IoStatus::Closed => panic!("listener is still connected"),
+            }
+        }
+        let mut buf = [0u8; 16];
+        let n = loop {
+            match server_side.read(&mut buf).unwrap() {
+                IoStatus::Ready(n) => break n,
+                IoStatus::WouldBlock => std::thread::sleep(std::time::Duration::from_millis(1)),
+                IoStatus::Closed => panic!("client is still connected"),
+            }
+        };
+        assert_eq!(&buf[..n], b"hello");
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_reports_refused() {
+        // Bind then drop: the port was just free, so nothing is listening.
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        // The refusal may surface synchronously from `connect` or
+        // asynchronously through `SO_ERROR`; both are correct.
+        let outcome = match Stream::connect(&addr) {
+            Ok((stream, status)) => finish_connect(&stream, status),
+            Err(error) => Err(error),
+        };
+        let error = outcome.expect_err("nothing is listening on the probed port");
+        assert_eq!(error.kind(), std::io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn in_progress_connect_is_not_an_error() {
+        // A remote (non-loopback, TEST-NET-1) address cannot complete the
+        // handshake synchronously, so the kernel must report in-progress
+        // rather than failing the call.
+        let addr: SocketAddr = "192.0.2.1:9".parse().unwrap();
+        match Stream::connect(&addr) {
+            Ok((_, status)) => assert_eq!(status, ConnectStatus::InProgress),
+            // Sandboxes without an external route may refuse outright;
+            // what matters is that `connect` never panics or hangs.
+            Err(error) => assert!(error.raw_os_error().is_some()),
+        }
     }
 }

@@ -12,7 +12,8 @@
 //! [`std::io::Error`], so callers never see a raw return code.
 
 use std::io;
-use std::os::fd::RawFd;
+use std::net::SocketAddr;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
 use std::time::Duration;
 
 /// `EPOLLIN`: the fd is readable.
@@ -57,11 +58,54 @@ struct PollFd {
 const POLLIN: i16 = 0x001;
 const POLLOUT: i16 = 0x004;
 
+/// `AF_INET`: IPv4 socket domain.
+const AF_INET: u16 = 2;
+/// `AF_INET6`: IPv6 socket domain.
+const AF_INET6: u16 = 10;
+/// `SOCK_STREAM`: byte-stream socket type.
+const SOCK_STREAM: i32 = 1;
+/// `SOCK_NONBLOCK`: create the socket already in nonblocking mode.
+const SOCK_NONBLOCK: i32 = 0o4000;
+/// `SOCK_CLOEXEC`: create the socket close-on-exec.
+const SOCK_CLOEXEC: i32 = 0o2000000;
+/// `SOL_SOCKET`: socket-level option namespace.
+const SOL_SOCKET: i32 = 1;
+/// `SO_ERROR`: fetch-and-clear the pending socket error.
+const SO_ERROR: i32 = 4;
+/// `EINPROGRESS`: a nonblocking connect has started but not finished.
+const EINPROGRESS: i32 = 115;
+
+/// The kernel's `struct sockaddr_in` (IPv4).
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    /// Port in network byte order.
+    port: u16,
+    /// Address in network byte order.
+    addr: u32,
+    zero: [u8; 8],
+}
+
+/// The kernel's `struct sockaddr_in6` (IPv6).
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    /// Port in network byte order.
+    port: u16,
+    flowinfo: u32,
+    /// Address as 16 big-endian bytes.
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
     fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
     fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn connect(fd: i32, addr: *const u8, len: u32) -> i32;
+    fn getsockopt(fd: i32, level: i32, optname: i32, optval: *mut u8, optlen: *mut u32) -> i32;
 }
 
 /// Converts an optional wait bound to the millisecond convention poll-style
@@ -176,6 +220,124 @@ pub fn wait_readable(fd: RawFd, timeout: Option<Duration>) -> io::Result<bool> {
 /// timeout.
 pub fn wait_writable(fd: RawFd, timeout: Option<Duration>) -> io::Result<bool> {
     poll_one(fd, POLLOUT, timeout)
+}
+
+/// Whether a nonblocking connect finished inside the `connect` call itself
+/// or is still in flight when [`connect_nonblocking`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectProgress {
+    /// The three-way handshake already completed (typical on loopback).
+    Ready,
+    /// The kernel reported `EINPROGRESS`; wait for writability, then read
+    /// the outcome with [`take_socket_error`].
+    InProgress,
+}
+
+/// Starts a nonblocking TCP connect to `addr` and returns the socket with
+/// its progress. The fd is created `SOCK_NONBLOCK | SOCK_CLOEXEC`, so no
+/// separate mode change can race the handshake.
+///
+/// # Errors
+///
+/// Propagates socket creation failure and any connect error the kernel
+/// reports synchronously (e.g. immediate `ECONNREFUSED` on loopback).
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(OwnedFd, ConnectProgress)> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: no pointers cross the boundary; the return value is checked.
+    let raw = unsafe { socket(domain as i32, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+    if raw < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `raw` is a freshly created, owned, open fd.
+    let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+
+    let outcome = match addr {
+        SocketAddr::V4(v4) => {
+            let sockaddr = SockAddrIn {
+                family: AF_INET,
+                port: v4.port().to_be(),
+                addr: u32::from_ne_bytes(v4.ip().octets()),
+                zero: [0; 8],
+            };
+            connect_with(raw, &sockaddr)
+        }
+        SocketAddr::V6(v6) => {
+            let sockaddr = SockAddrIn6 {
+                family: AF_INET6,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            connect_with(raw, &sockaddr)
+        }
+    };
+    match outcome {
+        0 => Ok((fd, ConnectProgress::Ready)),
+        EINPROGRESS => Ok((fd, ConnectProgress::InProgress)),
+        error => Err(io::Error::from_raw_os_error(error)),
+    }
+}
+
+/// Issues the `connect` syscall with a concrete sockaddr layout, retrying
+/// on `EINTR` (the kernel keeps an interrupted connect in flight, so the
+/// retry surfaces as `EALREADY`/`EINPROGRESS`, both mapped to in-progress).
+/// Returns `0` on synchronous success, otherwise the failing errno.
+fn connect_with<A>(fd: RawFd, sockaddr: &A) -> i32 {
+    loop {
+        // SAFETY: `sockaddr` is a live `#[repr(C)]` sockaddr for the call.
+        let rc = unsafe {
+            connect(
+                fd,
+                (sockaddr as *const A).cast::<u8>(),
+                std::mem::size_of::<A>() as u32,
+            )
+        };
+        if rc == 0 {
+            return 0;
+        }
+        let errno = io::Error::last_os_error().raw_os_error().unwrap_or(0);
+        // EINTR (4): retry; EALREADY (114): the interrupted attempt is
+        // still in flight — report in-progress.
+        match errno {
+            4 => continue,
+            114 => return EINPROGRESS,
+            _ => return errno,
+        }
+    }
+}
+
+/// Reads and clears the pending socket error (`SO_ERROR`) — the outcome of
+/// an in-progress connect once the fd turns writable.
+///
+/// # Errors
+///
+/// Returns the stored socket error (e.g. `ECONNREFUSED`), or propagates
+/// the `getsockopt` failure itself.
+pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    let mut error: i32 = 0;
+    let mut len = std::mem::size_of::<i32>() as u32;
+    // SAFETY: `error` and `len` live on this stack frame; `len` tells the
+    // kernel the buffer size.
+    let rc = unsafe {
+        getsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_ERROR,
+            (&mut error as *mut i32).cast::<u8>(),
+            &mut len,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if error != 0 {
+        return Err(io::Error::from_raw_os_error(error));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

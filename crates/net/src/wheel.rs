@@ -141,6 +141,58 @@ mod tests {
         assert!(expired.is_empty());
     }
 
+    /// Expiry order is fully determined by `(deadline, arm order)` even
+    /// when many timers collide on few distinct deadlines — the regime an
+    /// event loop hits when a burst of connections arms identical idle
+    /// timeouts within one tick.
+    #[test]
+    fn expiry_order_is_deadline_then_arm_order_under_duplicates() {
+        use quickprop::{check, Config};
+
+        check(
+            "wheel expiry order under duplicate deadlines",
+            Config::default().with_cases(48).with_seed(0xD11E),
+            |g| {
+                // Few distinct offsets over many timers forces duplicates;
+                // a cancel mask exercises detachment mid-sequence.
+                g.vec_of(1..64, |g| (g.u64_in(0..=4), g.bool(0.2)))
+            },
+            |timers| {
+                let base = Instant::now();
+                let mut wheel = DeadlineWheel::new();
+                let mut keys = Vec::new();
+                for (i, (offset, _)) in timers.iter().enumerate() {
+                    keys.push(wheel.arm(base + Duration::from_millis(*offset), i));
+                }
+                let mut kept: Vec<(u64, usize)> = Vec::new();
+                for (i, (offset, cancel)) in timers.iter().enumerate() {
+                    if *cancel {
+                        if wheel.cancel(keys[i]) != Some(i) {
+                            return Err(format!("cancel of timer {i} lost its payload"));
+                        }
+                    } else {
+                        kept.push((*offset, i));
+                    }
+                }
+                // Stable sort mirrors the contract: deadline first, then
+                // arm order among equal deadlines.
+                kept.sort_by_key(|&(offset, _)| offset);
+                let expected: Vec<usize> = kept.iter().map(|&(_, i)| i).collect();
+
+                let mut expired = Vec::new();
+                wheel.expire(base + Duration::from_millis(10), &mut expired);
+                let got: Vec<usize> = expired.iter().map(|&(_, payload)| payload).collect();
+                if got != expected {
+                    return Err(format!("expiry order {got:?}, expected {expected:?}"));
+                }
+                if !wheel.is_empty() {
+                    return Err("wheel not drained after expiring everything".to_string());
+                }
+                Ok(())
+            },
+        );
+    }
+
     #[test]
     fn expired_keys_go_stale() {
         let mut wheel = DeadlineWheel::new();

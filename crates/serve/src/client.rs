@@ -38,7 +38,7 @@ use marqsim_engine::{CacheStats, SolverKind, SubmitOptions};
 use marqsim_net::{wait_readable, wait_writable, LineAssembler};
 use marqsim_pauli::Hamiltonian;
 
-use crate::protocol::{sweep_params, Event, Outcome, Request, ServerStats};
+use crate::protocol::{sweep_params, Event, Outcome, Request, Role, ServerStats};
 use crate::wire::{Json, WireError};
 
 /// Per-event read deadline. Long enough for any reduced-scale sweep;
@@ -156,6 +156,10 @@ pub struct Client {
     flow_solver: SolverKind,
     /// Backends the server advertised in `hello`.
     flow_solvers: Vec<String>,
+    /// Whether the peer is a single node or a fleet router (from `hello`).
+    role: Role,
+    /// Fleet node names a router advertised in `hello` (empty for nodes).
+    nodes: Vec<String>,
 }
 
 impl Client {
@@ -166,6 +170,23 @@ impl Client {
     /// Fails on connection errors, a missing/invalid `hello`, or a protocol
     /// version mismatch.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with_token(addr, None)
+    }
+
+    /// [`connect`](Self::connect) with a shared secret: if the server's
+    /// `hello` advertises `auth: true` (it was started with
+    /// `MARQSIM_SERVE_TOKEN`), the handshake sends the `auth` verb and
+    /// waits for `auth_ok` before the client is handed back.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`connect`](Self::connect)'s failures: the server
+    /// requires a token and none was supplied, or the server rejected the
+    /// token (a structured `error` surfacing as [`ClientError::Protocol`]).
+    pub fn connect_with_token(
+        addr: impl ToSocketAddrs,
+        token: Option<&str>,
+    ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
@@ -182,14 +203,19 @@ impl Client {
             workloads: Vec::new(),
             flow_solver: SolverKind::default(),
             flow_solvers: Vec::new(),
+            role: Role::default(),
+            nodes: Vec::new(),
         };
-        match client.read_event()? {
+        let auth_required = match client.read_event()? {
             Event::Hello {
                 protocol,
                 threads,
                 workloads,
                 flow_solver,
                 flow_solvers,
+                role,
+                nodes,
+                auth,
             } => {
                 if protocol != crate::protocol::PROTOCOL_VERSION {
                     return Err(ClientError::Protocol(format!(
@@ -201,12 +227,40 @@ impl Client {
                 client.workloads = workloads;
                 client.flow_solver = flow_solver;
                 client.flow_solvers = flow_solvers;
-                Ok(client)
+                client.role = role;
+                client.nodes = nodes;
+                auth
             }
-            other => Err(ClientError::Protocol(format!(
-                "expected hello, got {other:?}"
-            ))),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected hello, got {other:?}"
+                )))
+            }
+        };
+        match (auth_required, token) {
+            (true, None) => {
+                return Err(ClientError::Protocol(
+                    "server requires authentication and no token was supplied".to_string(),
+                ))
+            }
+            // An open server accepts (and acks) any auth verb, so a
+            // token-configured client works against both.
+            (_, Some(token)) => {
+                client.send(&Request::Auth {
+                    token: token.to_string(),
+                })?;
+                match client.read_event()? {
+                    Event::AuthOk => {}
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "expected auth_ok, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            (false, None) => {}
         }
+        Ok(client)
     }
 
     /// The server's engine worker-thread count (from `hello`).
@@ -227,6 +281,35 @@ impl Client {
     /// The min-cost-flow backends the server advertised (from `hello`).
     pub fn flow_solvers(&self) -> &[String] {
         &self.flow_solvers
+    }
+
+    /// Whether the peer is a single node or a fleet router (from `hello`).
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Fleet node names a router advertised in `hello` (empty when the
+    /// peer is a plain node).
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Asks a router to drain `node`: stop routing new work to it, let its
+    /// in-flight jobs finish, then drop it from the fleet. Returns the
+    /// in-flight count at drain start.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, or with [`ClientError::Protocol`] when
+    /// the peer is a plain node or does not know `node`.
+    pub fn drain(&mut self, node: &str) -> Result<usize, ClientError> {
+        self.send(&Request::Drain {
+            node: node.to_string(),
+        })?;
+        match self.wait_for(|event| matches!(event, Event::Draining { .. }))? {
+            Event::Draining { in_flight, .. } => Ok(in_flight),
+            _ => unreachable!("matcher admits only draining events"),
+        }
     }
 
     /// Writes one request line, parking in `poll(2)` whenever the socket's
@@ -466,6 +549,7 @@ impl Client {
                 job: j,
                 completed,
                 total,
+                ..
             } if j == job => {
                 on_progress(completed, total);
                 false
@@ -484,6 +568,7 @@ impl Client {
                     job: j,
                     completed,
                     total,
+                    ..
                 } if j == job => on_progress(completed, total),
                 event @ (Event::Done { .. } | Event::Failed { .. })
                     if Self::event_job(&event) == Some(job) =>

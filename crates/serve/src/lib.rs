@@ -101,15 +101,17 @@
 pub mod client;
 pub mod protocol;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, JobResult, MetricsReport};
 pub use protocol::{
-    compile_params, perturb_params, suite_params, sweep_params, CompileSummary, Event, Outcome,
-    Request, ServerStats, PROTOCOL_VERSION,
+    compile_params, perturb_params, suite_params, sweep_params, CompileSummary, Event, NodeStats,
+    Outcome, Request, Role, ServerStats, PROTOCOL_VERSION,
 };
 pub use registry::WorkloadRegistry;
+pub use router::{Router, RouterHandle};
 pub use server::{Server, ServerHandle};
 pub use wire::{Json, WireError};
 
@@ -463,8 +465,9 @@ mod tests {
         use marqsim_engine::SolverKind;
         let server = spawn_server(2);
         let mut client = Client::connect(server.addr()).unwrap();
-        // The hello handshake advertises the backends and the default.
-        assert_eq!(client.flow_solver(), SolverKind::SuccessiveShortestPath);
+        // The hello handshake advertises the backends and the default
+        // (the engine-level default is the size-adaptive `auto`).
+        assert_eq!(client.flow_solver(), SolverKind::Auto);
         assert_eq!(
             client.flow_solvers(),
             [
@@ -500,7 +503,7 @@ mod tests {
 
         // Stats report the engine's default backend.
         let stats = client.stats().unwrap();
-        assert_eq!(stats.flow_solver, SolverKind::SuccessiveShortestPath);
+        assert_eq!(stats.flow_solver, SolverKind::Auto);
         assert_eq!(stats.max_active_jobs, 0, "no global bound configured");
         server.shutdown();
     }
@@ -757,5 +760,267 @@ mod tests {
             assert_eq!(stats.active_jobs, 0);
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn auth_token_gates_non_loopback_grade_servers() {
+        let server = spawn_server_with(1, |server| server.with_token("fleet-secret"));
+
+        // No token: the hello advertises auth and the client refuses to
+        // proceed rather than trip the server's rejection.
+        match Client::connect(server.addr()) {
+            Err(ClientError::Protocol(message)) => {
+                assert!(message.contains("requires authentication"), "{message}");
+            }
+            Err(other) => panic!("expected an auth refusal, got {other:?}"),
+            Ok(_) => panic!("expected an auth refusal, got a connection"),
+        }
+
+        // A wrong token is rejected server-side with a structured error.
+        match Client::connect_with_token(server.addr(), Some("wrong")) {
+            Err(ClientError::Protocol(message)) => {
+                assert!(message.contains("authentication failed"), "{message}");
+            }
+            Err(other) => panic!("expected a bad-token rejection, got {other:?}"),
+            Ok(_) => panic!("expected a bad-token rejection, got a connection"),
+        }
+
+        // The right token unlocks normal service end to end.
+        let mut client = Client::connect_with_token(server.addr(), Some("fleet-secret")).unwrap();
+        let job = client
+            .submit_sweep(
+                "t/authed",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        assert!(client.wait(job).is_ok());
+        server.shutdown();
+    }
+
+    /// Spawns `n` node servers (each with the `block` kind registered)
+    /// and returns their handles plus their `host:port` fleet names.
+    fn spawn_fleet(n: usize, token: Option<&'static str>) -> (Vec<ServerHandle>, Vec<String>) {
+        let mut handles = Vec::new();
+        let mut names = Vec::new();
+        for _ in 0..n {
+            let handle = spawn_server_with(2, |server| match token {
+                Some(token) => server.with_token(token),
+                None => server,
+            });
+            names.push(handle.addr().to_string());
+            handles.push(handle);
+        }
+        (handles, names)
+    }
+
+    /// Polls the router's stats until `n` nodes report real stats (a
+    /// connected node has threads > 0; a placeholder is all zeros).
+    fn wait_for_fleet(client: &mut Client, n: usize) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stats = client.stats().unwrap();
+            let ready = stats
+                .per_node
+                .iter()
+                .filter(|part| part.stats.threads > 0)
+                .count();
+            if ready == n {
+                return;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fleet never became ready: {:?}",
+                stats.per_node
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn router_routes_jobs_and_aggregates_the_fleet() {
+        let (handles, names) = spawn_fleet(2, Some("fleet-secret"));
+        let router = Router::bind("127.0.0.1:0", &names)
+            .unwrap()
+            .with_token("fleet-secret")
+            .spawn()
+            .unwrap();
+
+        // The router's own front door is gated by the same token.
+        assert!(Client::connect(router.addr()).is_err());
+        let mut client = Client::connect_with_token(router.addr(), Some("fleet-secret")).unwrap();
+        assert_eq!(client.role(), Role::Router);
+        assert_eq!(client.nodes().len(), 2);
+        wait_for_fleet(&mut client, 2);
+
+        // Distinct Hamiltonians spread over the ring; every job comes back
+        // correct regardless of which node ran it, with progress relayed.
+        for (i, text) in [
+            "0.9 ZZ + 0.5 XX",
+            "0.8 XZ + 0.3 ZY + 0.2 YY",
+            "0.7 ZI + 0.4 IX",
+            "1.1 YZ + 0.6 ZX",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let ham = Hamiltonian::parse(text).unwrap();
+            let job = client
+                .submit_sweep(
+                    &format!("t/fleet-{i}"),
+                    &ham,
+                    &TransitionStrategy::QDrift,
+                    &SweepConfig::quick(0.5),
+                )
+                .unwrap();
+            let mut progress = 0usize;
+            let result = client
+                .wait_with_progress(job, |_, total| {
+                    progress += 1;
+                    assert_eq!(total, 6);
+                })
+                .unwrap();
+            match result.outcome {
+                Outcome::Sweep(sweep) => assert_eq!(sweep.points.len(), 6),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            assert_eq!(progress, 6, "progress events relay through the router");
+        }
+
+        // The aggregate view sums the fleet; the breakdown names both
+        // nodes as up.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.threads, 4, "2 nodes x 2 threads");
+        assert_eq!(stats.per_node.len(), 2);
+        assert!(stats.per_node.iter().all(|part| part.health == "up"));
+        assert!(
+            stats.cache.flow_solves
+                <= stats
+                    .per_node
+                    .iter()
+                    .map(|p| p.stats.cache.flow_solves)
+                    .sum()
+        );
+
+        // Status and cancel round-trip through the job-id translation.
+        let blocker = client
+            .submit("t/fleet-block", "block", Json::obj([]))
+            .unwrap();
+        match client.status(blocker).unwrap() {
+            Event::Status { known, .. } => assert!(known),
+            other => panic!("unexpected {other:?}"),
+        }
+        release_blocker(&mut client, blocker);
+
+        // Draining a node removes it from the fleet; the survivor keeps
+        // serving every key.
+        let drained = names[0].clone();
+        assert_eq!(client.drain(&drained).unwrap(), 0, "nothing in flight");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stats = client.stats().unwrap();
+            if stats.per_node.len() == 1 {
+                assert_ne!(stats.per_node[0].node, drained);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "drained node never left the fleet: {:?}",
+                stats.per_node
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let job = client
+            .submit_sweep(
+                "t/post-drain",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        assert!(client.wait(job).is_ok());
+
+        router.shutdown();
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+
+    #[test]
+    fn router_reports_lost_nodes_and_keeps_serving() {
+        let (mut handles, names) = spawn_fleet(2, None);
+        let router = Router::bind("127.0.0.1:0", &names)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client = Client::connect(router.addr()).unwrap();
+        wait_for_fleet(&mut client, 2);
+
+        // A job that only ends on cancellation pins down its node; the
+        // per-node breakdown tells us which one got it.
+        let blocker = client.submit("t/doomed", "block", Json::obj([])).unwrap();
+        let victim = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let stats = client.stats().unwrap();
+                if let Some(part) = stats
+                    .per_node
+                    .iter()
+                    .find(|part| part.stats.active_jobs == 1)
+                {
+                    break part.node.clone();
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "blocker never showed up in the breakdown"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        };
+
+        // Kill that node out from under the router.
+        let index = names.iter().position(|name| *name == victim).unwrap();
+        handles.remove(index).shutdown();
+
+        // The router notices, fails the orphaned job with the structured
+        // node_lost kind, and stays up.
+        match client.wait(blocker) {
+            Err(ClientError::JobFailed { kind, message, .. }) => {
+                assert_eq!(kind, "node_lost");
+                assert!(message.contains(&victim), "{message}");
+            }
+            other => panic!("expected node_lost, got {other:?}"),
+        }
+
+        // The survivor absorbs the dead node's keyspace: new work (any
+        // Hamiltonian) still completes.
+        let job = client
+            .submit_sweep(
+                "t/survivor-takes-over",
+                &ham(),
+                &TransitionStrategy::QDrift,
+                &SweepConfig::quick(0.5),
+            )
+            .unwrap();
+        assert!(client.wait(job).is_ok());
+
+        // The breakdown reports the loss instead of hiding it.
+        let stats = client.stats().unwrap();
+        let lost = stats
+            .per_node
+            .iter()
+            .find(|part| part.node == victim)
+            .expect("dead node stays visible");
+        assert!(
+            lost.health == "suspect" || lost.health == "down",
+            "unexpected health {:?}",
+            lost.health
+        );
+
+        router.shutdown();
+        for handle in handles {
+            handle.shutdown();
+        }
     }
 }

@@ -15,10 +15,12 @@
 //! # Verbs (client → server)
 //!
 //! ```json
+//! {"verb":"auth","token":"s3cret"}
 //! {"verb":"submit","label":"sweep/h2","kind":"sweep","params":{"hamiltonian":"0.9 ZZ + 0.5 XX","strategy":{"kind":"gate-cancellation","qdrift_weight":0.4},"config":{"time":0.5,"epsilons":[0.1,0.05],"repeats":3,"base_seed":1,"evaluate_fidelity":false}},"options":{"priority":"high","max_in_flight":4,"progress_units":100,"progress_ms":100}}
 //! {"verb":"status","job":1}
 //! {"verb":"cancel","job":1}
 //! {"verb":"stats"}
+//! {"verb":"drain","node":"127.0.0.1:7432"}
 //! ```
 //!
 //! The `options` object is optional, as is each of its fields:
@@ -33,16 +35,24 @@
 //! # Events (server → client)
 //!
 //! ```json
-//! {"event":"hello","protocol":6,"threads":4,"workloads":["benchmark_suite","compile","perturb_average","sweep"],"flow_solver":"ssp","flow_solvers":["ssp","network_simplex","auto"]}
+//! {"event":"hello","protocol":7,"role":"node","nodes":[],"auth":false,"threads":4,"workloads":["benchmark_suite","compile","perturb_average","sweep"],"flow_solver":"auto","flow_solvers":["ssp","network_simplex","auto"]}
+//! {"event":"auth_ok"}
 //! {"event":"submitted","job":1,"label":"sweep/h2"}
 //! {"event":"busy","label":"sweep/h2","in_flight":4,"limit":4}
 //! {"event":"progress","job":1,"completed":3,"total":6}
 //! {"event":"done","job":1,"outcome":{"kind":"sweep",...},"cache_delta":{...},"flow_solver":"ssp"}
 //! {"event":"failed","job":1,"kind":"cancelled","message":"..."}
 //! {"event":"status","job":1,"known":true,"finished":false,"cancelled":false,"completed":3,"total":6}
-//! {"event":"stats","threads":4,"cache":{...},"active_jobs":2,"queue_depth":17,"in_flight":1,"flow_solver":"ssp","max_active_jobs":0}
+//! {"event":"stats","threads":4,"cache":{...},"active_jobs":2,"queue_depth":17,"in_flight":1,"flow_solver":"auto","max_active_jobs":0}
+//! {"event":"draining","node":"127.0.0.1:7432","in_flight":2}
 //! {"event":"error","message":"..."}
 //! ```
+//!
+//! A router's `hello` carries `role:"router"` plus its `nodes` list; events
+//! it relays for routed jobs add a `node` field naming the owning daemon,
+//! and its `stats` answer aggregates the fleet with a per-node breakdown
+//! under `nodes`. A node that lost its daemon mid-job surfaces as
+//! `failed` with `kind:"node_lost"`.
 //!
 //! Numbers follow the [`wire`](crate::wire) conventions: `u64` ids/seeds
 //! are exact integers, floats use shortest-round-trip encoding, so a sweep
@@ -78,17 +88,60 @@ use crate::wire::{Json, WireError};
 /// `auto` flow-solver policy: `hello.flow_solvers` now lists `auto`
 /// alongside the concrete backends, `options.flow_solver` accepts it, and
 /// a `done` event for an auto job echoes `"auto"` while its cache delta
-/// attributes the solves to the backend the policy resolved to.
+/// attributes the solves to the backend the policy resolved to. Version 7
+/// is the fleet protocol: `hello` advertises `role` (`node`/`router`),
+/// the router's `nodes` list, and whether `auth` is required; the `auth`
+/// verb carries the shared secret (`MARQSIM_SERVE_TOKEN`) and is answered
+/// by `auth_ok`; routed-job events (`submitted`/`progress`/`done`/
+/// `failed`) carry the owning `node`; a daemon that dies mid-job fails
+/// its routed jobs with `kind:"node_lost"`; the `drain` verb starts a
+/// planned removal (answered by `draining`); and a router's `stats`
+/// answer aggregates the fleet with a per-node breakdown under `nodes`.
 ///
 /// Backend names are part of the typed surface (decoders reject unknown
 /// names), and clients enforce an exact version match at the handshake —
 /// registering a new `SolverKind` therefore bumps this version; see
 /// `docs/flow.md`.
-pub const PROTOCOL_VERSION: u64 = 6;
+pub const PROTOCOL_VERSION: u64 = 7;
+
+/// What a server *is*, advertised in `hello`: a plain daemon running jobs
+/// itself, or a router forwarding them across a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// A daemon executing jobs on its own engine.
+    #[default]
+    Node,
+    /// A front-end forwarding jobs to fleet nodes by fingerprint.
+    Router,
+}
+
+impl Role {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Node => "node",
+            Role::Router => "router",
+        }
+    }
+}
+
+fn parse_role(name: &str) -> Result<Role, WireError> {
+    match name {
+        "node" => Ok(Role::Node),
+        "router" => Ok(Role::Router),
+        other => Err(WireError::shape(format!("unknown role '{other}'"))),
+    }
+}
 
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Present the shared secret. Must be the first verb when the `hello`
+    /// event set `auth:true`; answered by `auth_ok` or a fatal `error`.
+    Auth {
+        /// The shared secret (`MARQSIM_SERVE_TOKEN` on the server).
+        token: String,
+    },
     /// Submit one workload; the server answers with `submitted` carrying
     /// the job id (or `busy` when the connection's admission bound is hit),
     /// then streams `progress` and finally `done` / `failed`.
@@ -117,10 +170,29 @@ pub enum Request {
     /// Query the process-wide telemetry registry (Prometheus-style text
     /// exposition) plus this connection's request/byte counters.
     Metrics,
+    /// Ask a router to gracefully remove a fleet node: stop routing new
+    /// work to it, let its in-flight jobs finish, then drop it. Answered
+    /// by `draining` (or `error` for an unknown node / non-router).
+    Drain {
+        /// The node's advertised name (`host:port` from `hello.nodes`).
+        node: String,
+    },
+}
+
+/// One fleet node's slice of a router's `stats` answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStats {
+    /// The node's advertised name (`host:port`).
+    pub node: String,
+    /// The node's health as the router sees it (`"up"`, `"suspect"`,
+    /// `"down"`, `"draining"`).
+    pub health: String,
+    /// The node's own stats answer; zeroed for an unreachable node.
+    pub stats: ServerStats,
 }
 
 /// The payload of the `stats` event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Engine worker-thread count.
     pub threads: usize,
@@ -138,6 +210,9 @@ pub struct ServerStats {
     /// Engine-wide active-job admission bound across all connections
     /// (`MARQSIM_MAX_ACTIVE_JOBS`); `0` means unlimited.
     pub max_active_jobs: usize,
+    /// A router's per-node breakdown (the aggregate is in the top-level
+    /// fields); empty for a plain node.
+    pub per_node: Vec<NodeStats>,
 }
 
 /// A server event.
@@ -147,6 +222,12 @@ pub enum Event {
     Hello {
         /// [`PROTOCOL_VERSION`] of the server.
         protocol: u64,
+        /// Whether this server runs jobs itself or routes them.
+        role: Role,
+        /// A router's fleet node names; empty for a plain node.
+        nodes: Vec<String>,
+        /// Whether the `auth` verb must precede every other verb.
+        auth: bool,
         /// Engine worker-thread count.
         threads: usize,
         /// Workload kinds this server accepts, sorted.
@@ -157,12 +238,16 @@ pub enum Event {
         /// name.
         flow_solvers: Vec<String>,
     },
+    /// The shared secret in `auth` matched; every verb is now accepted.
+    AuthOk,
     /// Acknowledges a `submit`; all later events about this job carry `job`.
     Submitted {
         /// Engine-unique job id.
         job: u64,
         /// The label from the request.
         label: String,
+        /// The fleet node the job routed to (router connections only).
+        node: Option<String>,
     },
     /// A `submit` was rejected by admission control: the connection already
     /// has `in_flight` unfinished jobs against a bound of `limit`. Nothing
@@ -184,6 +269,8 @@ pub enum Event {
         completed: usize,
         /// Total units of the job.
         total: usize,
+        /// The fleet node running the job (router connections only).
+        node: Option<String>,
     },
     /// The job finished successfully.
     Done {
@@ -198,17 +285,21 @@ pub enum Event {
         /// The min-cost-flow backend this job's solves used (the submit's
         /// `options.flow_solver`, or the server default).
         flow_solver: SolverKind,
+        /// The fleet node that ran the job (router connections only).
+        node: Option<String>,
     },
     /// The job failed or was cancelled.
     Failed {
         /// Job id.
         job: u64,
         /// `"compile"`, `"panic"`, `"cancelled"`, `"workload"`,
-        /// `"invalid-config"`, or `"encode"` (registry encoder rejected the
-        /// output).
+        /// `"invalid-config"`, `"encode"` (registry encoder rejected the
+        /// output), or `"node_lost"` (the fleet node running the job died).
         kind: String,
         /// Human-readable description.
         message: String,
+        /// The fleet node the job was on (router connections only).
+        node: Option<String>,
     },
     /// Answer to `status`.
     Status {
@@ -239,6 +330,14 @@ pub enum Event {
         bytes_in: u64,
         /// Bytes written to this connection before this event.
         bytes_out: u64,
+    },
+    /// Acknowledges a `drain`: the router stopped routing new work to the
+    /// node and will drop it once its in-flight jobs finish.
+    Draining {
+        /// The node being drained.
+        node: String,
+        /// Routed jobs still running on the node at drain time.
+        in_flight: usize,
     },
     /// A request could not be understood or carried invalid data. The
     /// connection stays open.
@@ -323,6 +422,17 @@ pub(crate) fn bool_field(obj: &Json, key: &str) -> Result<bool, WireError> {
     field(obj, key)?
         .as_bool()
         .ok_or_else(|| WireError::shape(format!("field '{key}' must be a boolean")))
+}
+
+fn opt_str_field(obj: &Json, key: &str) -> Result<Option<String>, WireError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(value) if value.is_null() => Ok(None),
+        Some(value) => value
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| WireError::shape(format!("field '{key}' must be a string or null"))),
+    }
 }
 
 fn opt_f64_field(obj: &Json, key: &str) -> Result<Option<f64>, WireError> {
@@ -885,6 +995,9 @@ impl Request {
 
     fn to_json(&self) -> Json {
         match self {
+            Request::Auth { token } => {
+                Json::obj([("verb", "auth".into()), ("token", token.as_str().into())])
+            }
             Request::Submit {
                 label,
                 kind,
@@ -916,6 +1029,9 @@ impl Request {
             }
             Request::Stats => Json::obj([("verb", "stats".into())]),
             Request::Metrics => Json::obj([("verb", "metrics".into())]),
+            Request::Drain { node } => {
+                Json::obj([("verb", "drain".into()), ("node", node.as_str().into())])
+            }
         }
     }
 
@@ -927,6 +1043,9 @@ impl Request {
     pub fn decode(line: &str) -> Result<Request, WireError> {
         let json = Json::parse(line)?;
         match str_field(&json, "verb")?.as_str() {
+            "auth" => Ok(Request::Auth {
+                token: str_field(&json, "token")?,
+            }),
             "submit" => Ok(Request::Submit {
                 label: str_field(&json, "label")?,
                 kind: str_field(&json, "kind")?,
@@ -941,9 +1060,65 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "drain" => Ok(Request::Drain {
+                node: str_field(&json, "node")?,
+            }),
             other => Err(WireError::shape(format!("unknown verb '{other}'"))),
         }
     }
+}
+
+/// Appends `("node", name)` to an object for events relayed by a router;
+/// plain-node events omit the field entirely.
+fn with_node(mut json: Json, node: &Option<String>) -> Json {
+    if let (Json::Obj(fields), Some(node)) = (&mut json, node) {
+        fields.push(("node".to_string(), node.as_str().into()));
+    }
+    json
+}
+
+/// Decodes an array-of-strings field.
+fn string_list(obj: &Json, key: &str) -> Result<Vec<String>, WireError> {
+    field(obj, key)?
+        .as_arr()
+        .ok_or_else(|| WireError::shape(format!("field '{key}' must be an array")))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| WireError::shape(format!("'{key}' entries must be strings")))
+        })
+        .collect()
+}
+
+/// The stats fields as a bare object — the shape nested under a router's
+/// per-node breakdown (the top-level `stats` event inlines the same
+/// fields next to its `event` key).
+fn server_stats_body(stats: &ServerStats) -> Json {
+    Json::obj([
+        ("threads", stats.threads.into()),
+        ("cache", cache_stats_to_json(&stats.cache)),
+        ("active_jobs", stats.active_jobs.into()),
+        ("queue_depth", stats.queue_depth.into()),
+        ("in_flight", stats.in_flight.into()),
+        ("flow_solver", stats.flow_solver.as_str().into()),
+        ("max_active_jobs", stats.max_active_jobs.into()),
+    ])
+}
+
+/// Decodes the stats fields of `json` (an event object or a nested body),
+/// leaving `per_node` empty for the caller to fill.
+fn server_stats_core(json: &Json) -> Result<ServerStats, WireError> {
+    Ok(ServerStats {
+        threads: usize_field(json, "threads")?,
+        cache: cache_stats_from_json(field(json, "cache")?)?,
+        active_jobs: usize_field(json, "active_jobs")?,
+        queue_depth: usize_field(json, "queue_depth")?,
+        in_flight: usize_field(json, "in_flight")?,
+        flow_solver: parse_solver(&str_field(json, "flow_solver")?)?,
+        max_active_jobs: usize_field(json, "max_active_jobs")?,
+        per_node: Vec::new(),
+    })
 }
 
 impl Event {
@@ -956,6 +1131,9 @@ impl Event {
         match self {
             Event::Hello {
                 protocol,
+                role,
+                nodes,
+                auth,
                 threads,
                 workloads,
                 flow_solver,
@@ -963,6 +1141,12 @@ impl Event {
             } => Json::obj([
                 ("event", "hello".into()),
                 ("protocol", (*protocol).into()),
+                ("role", role.as_str().into()),
+                (
+                    "nodes",
+                    Json::Arr(nodes.iter().map(|n| n.as_str().into()).collect()),
+                ),
+                ("auth", (*auth).into()),
                 ("threads", (*threads).into()),
                 (
                     "workloads",
@@ -974,11 +1158,15 @@ impl Event {
                     Json::Arr(flow_solvers.iter().map(|k| k.as_str().into()).collect()),
                 ),
             ]),
-            Event::Submitted { job, label } => Json::obj([
-                ("event", "submitted".into()),
-                ("job", (*job).into()),
-                ("label", label.as_str().into()),
-            ]),
+            Event::AuthOk => Json::obj([("event", "auth_ok".into())]),
+            Event::Submitted { job, label, node } => with_node(
+                Json::obj([
+                    ("event", "submitted".into()),
+                    ("job", (*job).into()),
+                    ("label", label.as_str().into()),
+                ]),
+                node,
+            ),
             Event::Busy {
                 label,
                 in_flight,
@@ -993,30 +1181,46 @@ impl Event {
                 job,
                 completed,
                 total,
-            } => Json::obj([
-                ("event", "progress".into()),
-                ("job", (*job).into()),
-                ("completed", (*completed).into()),
-                ("total", (*total).into()),
-            ]),
+                node,
+            } => with_node(
+                Json::obj([
+                    ("event", "progress".into()),
+                    ("job", (*job).into()),
+                    ("completed", (*completed).into()),
+                    ("total", (*total).into()),
+                ]),
+                node,
+            ),
             Event::Done {
                 job,
                 outcome,
                 cache_delta,
                 flow_solver,
-            } => Json::obj([
-                ("event", "done".into()),
-                ("job", (*job).into()),
-                ("outcome", outcome_to_json(outcome)),
-                ("cache_delta", cache_stats_to_json(cache_delta)),
-                ("flow_solver", flow_solver.as_str().into()),
-            ]),
-            Event::Failed { job, kind, message } => Json::obj([
-                ("event", "failed".into()),
-                ("job", (*job).into()),
-                ("kind", kind.as_str().into()),
-                ("message", message.as_str().into()),
-            ]),
+                node,
+            } => with_node(
+                Json::obj([
+                    ("event", "done".into()),
+                    ("job", (*job).into()),
+                    ("outcome", outcome_to_json(outcome)),
+                    ("cache_delta", cache_stats_to_json(cache_delta)),
+                    ("flow_solver", flow_solver.as_str().into()),
+                ]),
+                node,
+            ),
+            Event::Failed {
+                job,
+                kind,
+                message,
+                node,
+            } => with_node(
+                Json::obj([
+                    ("event", "failed".into()),
+                    ("job", (*job).into()),
+                    ("kind", kind.as_str().into()),
+                    ("message", message.as_str().into()),
+                ]),
+                node,
+            ),
             Event::Status {
                 job,
                 known,
@@ -1033,16 +1237,35 @@ impl Event {
                 ("completed", (*completed).into()),
                 ("total", (*total).into()),
             ]),
-            Event::Stats(stats) => Json::obj([
-                ("event", "stats".into()),
-                ("threads", stats.threads.into()),
-                ("cache", cache_stats_to_json(&stats.cache)),
-                ("active_jobs", stats.active_jobs.into()),
-                ("queue_depth", stats.queue_depth.into()),
-                ("in_flight", stats.in_flight.into()),
-                ("flow_solver", stats.flow_solver.as_str().into()),
-                ("max_active_jobs", stats.max_active_jobs.into()),
-            ]),
+            Event::Stats(stats) => {
+                let mut json = Json::obj([
+                    ("event", "stats".into()),
+                    ("threads", stats.threads.into()),
+                    ("cache", cache_stats_to_json(&stats.cache)),
+                    ("active_jobs", stats.active_jobs.into()),
+                    ("queue_depth", stats.queue_depth.into()),
+                    ("in_flight", stats.in_flight.into()),
+                    ("flow_solver", stats.flow_solver.as_str().into()),
+                    ("max_active_jobs", stats.max_active_jobs.into()),
+                ]);
+                if !stats.per_node.is_empty() {
+                    if let Json::Obj(fields) = &mut json {
+                        let entries = stats
+                            .per_node
+                            .iter()
+                            .map(|entry| {
+                                Json::obj([
+                                    ("node", entry.node.as_str().into()),
+                                    ("health", entry.health.as_str().into()),
+                                    ("stats", server_stats_body(&entry.stats)),
+                                ])
+                            })
+                            .collect();
+                        fields.push(("nodes".to_string(), Json::Arr(entries)));
+                    }
+                }
+                json
+            }
             Event::Metrics {
                 exposition,
                 requests,
@@ -1054,6 +1277,11 @@ impl Event {
                 ("requests", (*requests).into()),
                 ("bytes_in", (*bytes_in).into()),
                 ("bytes_out", (*bytes_out).into()),
+            ]),
+            Event::Draining { node, in_flight } => Json::obj([
+                ("event", "draining".into()),
+                ("node", node.as_str().into()),
+                ("in_flight", (*in_flight).into()),
             ]),
             Event::Error { message } => Json::obj([
                 ("event", "error".into()),
@@ -1072,32 +1300,19 @@ impl Event {
         match str_field(&json, "event")?.as_str() {
             "hello" => Ok(Event::Hello {
                 protocol: u64_field(&json, "protocol")?,
+                role: parse_role(&str_field(&json, "role")?)?,
+                nodes: string_list(&json, "nodes")?,
+                auth: bool_field(&json, "auth")?,
                 threads: usize_field(&json, "threads")?,
-                workloads: field(&json, "workloads")?
-                    .as_arr()
-                    .ok_or_else(|| WireError::shape("field 'workloads' must be an array"))?
-                    .iter()
-                    .map(|k| {
-                        k.as_str()
-                            .map(str::to_string)
-                            .ok_or_else(|| WireError::shape("workload kinds must be strings"))
-                    })
-                    .collect::<Result<Vec<_>, WireError>>()?,
+                workloads: string_list(&json, "workloads")?,
                 flow_solver: parse_solver(&str_field(&json, "flow_solver")?)?,
-                flow_solvers: field(&json, "flow_solvers")?
-                    .as_arr()
-                    .ok_or_else(|| WireError::shape("field 'flow_solvers' must be an array"))?
-                    .iter()
-                    .map(|k| {
-                        k.as_str()
-                            .map(str::to_string)
-                            .ok_or_else(|| WireError::shape("flow solvers must be strings"))
-                    })
-                    .collect::<Result<Vec<_>, WireError>>()?,
+                flow_solvers: string_list(&json, "flow_solvers")?,
             }),
+            "auth_ok" => Ok(Event::AuthOk),
             "submitted" => Ok(Event::Submitted {
                 job: u64_field(&json, "job")?,
                 label: str_field(&json, "label")?,
+                node: opt_str_field(&json, "node")?,
             }),
             "busy" => Ok(Event::Busy {
                 label: str_field(&json, "label")?,
@@ -1108,17 +1323,20 @@ impl Event {
                 job: u64_field(&json, "job")?,
                 completed: usize_field(&json, "completed")?,
                 total: usize_field(&json, "total")?,
+                node: opt_str_field(&json, "node")?,
             }),
             "done" => Ok(Event::Done {
                 job: u64_field(&json, "job")?,
                 outcome: outcome_from_json(field(&json, "outcome")?)?,
                 cache_delta: cache_stats_from_json(field(&json, "cache_delta")?)?,
                 flow_solver: parse_solver(&str_field(&json, "flow_solver")?)?,
+                node: opt_str_field(&json, "node")?,
             }),
             "failed" => Ok(Event::Failed {
                 job: u64_field(&json, "job")?,
                 kind: str_field(&json, "kind")?,
                 message: str_field(&json, "message")?,
+                node: opt_str_field(&json, "node")?,
             }),
             "status" => Ok(Event::Status {
                 job: u64_field(&json, "job")?,
@@ -1128,20 +1346,34 @@ impl Event {
                 completed: usize_field(&json, "completed")?,
                 total: usize_field(&json, "total")?,
             }),
-            "stats" => Ok(Event::Stats(ServerStats {
-                threads: usize_field(&json, "threads")?,
-                cache: cache_stats_from_json(field(&json, "cache")?)?,
-                active_jobs: usize_field(&json, "active_jobs")?,
-                queue_depth: usize_field(&json, "queue_depth")?,
-                in_flight: usize_field(&json, "in_flight")?,
-                flow_solver: parse_solver(&str_field(&json, "flow_solver")?)?,
-                max_active_jobs: usize_field(&json, "max_active_jobs")?,
-            })),
+            "stats" => {
+                let mut stats = server_stats_core(&json)?;
+                if let Some(entries) = json.get("nodes") {
+                    let entries = entries
+                        .as_arr()
+                        .ok_or_else(|| WireError::shape("field 'nodes' must be an array"))?;
+                    stats.per_node = entries
+                        .iter()
+                        .map(|entry| {
+                            Ok(NodeStats {
+                                node: str_field(entry, "node")?,
+                                health: str_field(entry, "health")?,
+                                stats: server_stats_core(field(entry, "stats")?)?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, WireError>>()?;
+                }
+                Ok(Event::Stats(stats))
+            }
             "metrics" => Ok(Event::Metrics {
                 exposition: str_field(&json, "exposition")?,
                 requests: u64_field(&json, "requests")?,
                 bytes_in: u64_field(&json, "bytes_in")?,
                 bytes_out: u64_field(&json, "bytes_out")?,
+            }),
+            "draining" => Ok(Event::Draining {
+                node: str_field(&json, "node")?,
+                in_flight: usize_field(&json, "in_flight")?,
             }),
             "error" => Ok(Event::Error {
                 message: str_field(&json, "message")?,
@@ -1352,6 +1584,7 @@ mod tests {
                 ..CacheStats::default()
             },
             flow_solver: SolverKind::SuccessiveShortestPath,
+            node: None,
         };
         let decoded = Event::decode(&event.encode()).unwrap();
         match decoded {
@@ -1388,6 +1621,7 @@ mod tests {
             outcome: Outcome::PerturbAverage(result.clone()),
             cache_delta: CacheStats::default(),
             flow_solver: SolverKind::NetworkSimplex,
+            node: None,
         };
         match Event::decode(&event.encode()).unwrap() {
             Event::Done {
@@ -1424,6 +1658,7 @@ mod tests {
             outcome: Outcome::Suite(result),
             cache_delta: CacheStats::default(),
             flow_solver: SolverKind::SuccessiveShortestPath,
+            node: None,
         });
     }
 
@@ -1432,6 +1667,7 @@ mod tests {
         let event = Event::Done {
             job: 11,
             flow_solver: SolverKind::SuccessiveShortestPath,
+            node: None,
             outcome: Outcome::Other {
                 kind: "fib".to_string(),
                 value: Json::obj([
@@ -1470,10 +1706,14 @@ mod tests {
             workloads: vec!["fib".to_string(), "sweep".to_string()],
             flow_solver: SolverKind::SuccessiveShortestPath,
             flow_solvers: SolverKind::ALL.map(|k| k.as_str().to_string()).to_vec(),
+            role: Role::Node,
+            nodes: Vec::new(),
+            auth: false,
         });
         event_round_trip(Event::Submitted {
             job: 1,
             label: "x".to_string(),
+            node: None,
         });
         event_round_trip(Event::Busy {
             label: "x".to_string(),
@@ -1484,11 +1724,13 @@ mod tests {
             job: 1,
             completed: 3,
             total: 6,
+            node: None,
         });
         event_round_trip(Event::Failed {
             job: 2,
             kind: "cancelled".to_string(),
             message: "job 'x' was cancelled".to_string(),
+            node: None,
         });
         event_round_trip(Event::Status {
             job: 9,
@@ -1506,6 +1748,7 @@ mod tests {
             in_flight: 1,
             flow_solver: SolverKind::NetworkSimplex,
             max_active_jobs: 64,
+            per_node: Vec::new(),
         }));
         event_round_trip(Event::Metrics {
             // A representative slice of the exposition format: newlines,
@@ -1525,6 +1768,7 @@ mod tests {
         event_round_trip(Event::Done {
             job: 5,
             flow_solver: SolverKind::NetworkSimplex,
+            node: None,
             outcome: Outcome::Compile(CompileSummary {
                 num_samples: 100,
                 lambda: 2.5,
@@ -1539,6 +1783,113 @@ mod tests {
             }),
             cache_delta: CacheStats::default(),
         });
+    }
+
+    #[test]
+    fn auth_and_drain_verbs_round_trip() {
+        request_round_trip(Request::Auth {
+            token: "s3cr3t with spaces \"and quotes\"".to_string(),
+        });
+        request_round_trip(Request::Drain {
+            node: "127.0.0.1:7401".to_string(),
+        });
+    }
+
+    #[test]
+    fn auth_ok_and_draining_events_round_trip() {
+        event_round_trip(Event::AuthOk);
+        event_round_trip(Event::Draining {
+            node: "127.0.0.1:7402".to_string(),
+            in_flight: 3,
+        });
+    }
+
+    #[test]
+    fn router_hello_advertises_role_nodes_and_auth() {
+        let event = Event::Hello {
+            protocol: PROTOCOL_VERSION,
+            threads: 0,
+            workloads: vec!["sweep".to_string()],
+            flow_solver: SolverKind::SuccessiveShortestPath,
+            flow_solvers: SolverKind::ALL.map(|k| k.as_str().to_string()).to_vec(),
+            role: Role::Router,
+            nodes: vec!["127.0.0.1:7401".to_string(), "127.0.0.1:7402".to_string()],
+            auth: true,
+        };
+        event_round_trip(event.clone());
+        // The encoded form carries the wire names clients key on.
+        let line = event.encode();
+        assert!(line.contains(r#""role":"router""#), "{line}");
+        assert!(line.contains(r#""auth":true"#), "{line}");
+    }
+
+    #[test]
+    fn routed_events_carry_the_node_and_node_lost_kind() {
+        event_round_trip(Event::Submitted {
+            job: 4,
+            label: "x".to_string(),
+            node: Some("127.0.0.1:7401".to_string()),
+        });
+        event_round_trip(Event::Progress {
+            job: 4,
+            completed: 1,
+            total: 2,
+            node: Some("127.0.0.1:7401".to_string()),
+        });
+        // A node crash mid-job surfaces as a structured failure naming the
+        // node, with the dedicated `node_lost` kind.
+        event_round_trip(Event::Failed {
+            job: 4,
+            kind: "node_lost".to_string(),
+            message: "node 127.0.0.1:7401 died with 1 job in flight".to_string(),
+            node: Some("127.0.0.1:7401".to_string()),
+        });
+    }
+
+    #[test]
+    fn router_stats_nest_per_node_breakdowns() {
+        let node_stats = ServerStats {
+            threads: 2,
+            cache: CacheStats {
+                flow_solves: 5,
+                ..CacheStats::default()
+            },
+            active_jobs: 1,
+            queue_depth: 0,
+            in_flight: 1,
+            flow_solver: SolverKind::Auto,
+            max_active_jobs: 64,
+            per_node: Vec::new(),
+        };
+        event_round_trip(Event::Stats(ServerStats {
+            threads: 0,
+            cache: CacheStats::default(),
+            active_jobs: 1,
+            queue_depth: 0,
+            in_flight: 1,
+            flow_solver: SolverKind::Auto,
+            max_active_jobs: 64,
+            per_node: vec![
+                NodeStats {
+                    node: "127.0.0.1:7401".to_string(),
+                    health: "up".to_string(),
+                    stats: node_stats,
+                },
+                NodeStats {
+                    node: "127.0.0.1:7402".to_string(),
+                    health: "down".to_string(),
+                    stats: ServerStats::default(),
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn roles_parse_their_wire_names() {
+        for role in [Role::Node, Role::Router] {
+            assert_eq!(parse_role(role.as_str()).unwrap(), role);
+        }
+        assert!(parse_role("proxy").is_err());
     }
 
     #[test]

@@ -73,7 +73,7 @@ use marqsim_net::{
 };
 use marqsim_obs::{lockcheck, metrics, trace, warn};
 
-use crate::protocol::{failure_kind, Event, Request, ServerStats, PROTOCOL_VERSION};
+use crate::protocol::{failure_kind, Event, Request, Role, ServerStats, PROTOCOL_VERSION};
 use crate::registry::WorkloadRegistry;
 
 /// Maximum accepted request-line length (bytes, terminator included).
@@ -133,11 +133,14 @@ struct ServeInstruments {
     progress_coalesced: Arc<metrics::Counter>,
     slow_disconnects: Arc<metrics::Counter>,
     idle_timeouts: Arc<metrics::Counter>,
+    auth_failures: Arc<metrics::Counter>,
 }
 
-/// Verb labels for `marqsim_serve_requests_total`, in [`Request`] variant
-/// order: submit, status, cancel, stats, metrics.
-const VERBS: [&str; 5] = ["submit", "status", "cancel", "stats", "metrics"];
+/// Verb labels for `marqsim_serve_requests_total`: submit, status, cancel,
+/// stats, metrics, auth, drain.
+const VERBS: [&str; 7] = [
+    "submit", "status", "cancel", "stats", "metrics", "auth", "drain",
+];
 
 fn serve_instruments() -> &'static ServeInstruments {
     static INSTRUMENTS: OnceLock<ServeInstruments> = OnceLock::new();
@@ -155,6 +158,7 @@ fn serve_instruments() -> &'static ServeInstruments {
             progress_coalesced: registry.counter("marqsim_serve_progress_coalesced_total"),
             slow_disconnects: registry.counter("marqsim_serve_slow_disconnects_total"),
             idle_timeouts: registry.counter("marqsim_serve_idle_timeouts_total"),
+            auth_failures: registry.counter("marqsim_serve_auth_failures_total"),
         }
     })
 }
@@ -174,6 +178,7 @@ pub struct Server {
     max_in_flight: usize,
     max_active_jobs: usize,
     idle_timeout: Option<Duration>,
+    token: Option<String>,
     /// Jobs holding an engine-wide admission slot (reserved at submit,
     /// released when the job reaches its terminal event). A shared atomic
     /// rather than a read of the engine's gauge, so concurrent submits on
@@ -202,6 +207,7 @@ impl Server {
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             max_active_jobs: 0,
             idle_timeout: None,
+            token: None,
             global_active: Arc::new(AtomicUsize::new(0)),
             shutdown: Arc::new(AtomicBool::new(false)),
             wakeup: Wakeup::new()?,
@@ -230,6 +236,17 @@ impl Server {
     /// bypass this one.
     pub fn with_max_active_jobs(mut self, max_active_jobs: usize) -> Self {
         self.max_active_jobs = max_active_jobs;
+        self
+    }
+
+    /// Requires every connection to present this shared secret via the
+    /// `auth` verb before any other verb is accepted
+    /// (`MARQSIM_SERVE_TOKEN` on the daemon; the daemon *refuses*
+    /// non-loopback binds without one). The `hello` event advertises
+    /// `auth:true`; a wrong or missing token gets a structured `error`
+    /// and a close.
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
         self
     }
 
@@ -288,6 +305,7 @@ impl Server {
             max_in_flight: self.max_in_flight,
             max_active_jobs: self.max_active_jobs,
             idle_timeout: self.idle_timeout,
+            token: self.token,
             global_active: self.global_active,
             shutdown: self.shutdown,
             poller,
@@ -419,6 +437,8 @@ enum CloseReason {
     SlowConsumer,
     /// No inbound bytes within the idle timeout.
     IdleTimeout,
+    /// Wrong or missing shared secret on a token-protected server.
+    AuthFailed,
     /// Server shutdown.
     Shutdown,
 }
@@ -430,6 +450,7 @@ impl CloseReason {
             CloseReason::BadInput => "bad_input",
             CloseReason::SlowConsumer => "slow_consumer",
             CloseReason::IdleTimeout => "idle_timeout",
+            CloseReason::AuthFailed => "auth_failed",
             CloseReason::Shutdown => "shutdown",
         }
     }
@@ -472,6 +493,10 @@ struct Conn {
     last_activity: Instant,
     idle_timer: Option<TimerKey>,
     close_timer: Option<TimerKey>,
+    /// Whether the connection may use non-`auth` verbs: true from the
+    /// start on an open server, true after a matching `auth` on a
+    /// token-protected one.
+    authed: bool,
     /// `Some(why)` while a structured disconnect is in progress: input is
     /// ignored, queued events drain, then the socket closes with `why`.
     closing: Option<CloseReason>,
@@ -487,6 +512,7 @@ struct EventLoop {
     max_in_flight: usize,
     max_active_jobs: usize,
     idle_timeout: Option<Duration>,
+    token: Option<String>,
     global_active: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
     poller: Poller,
@@ -602,6 +628,7 @@ impl EventLoop {
             last_activity: now,
             idle_timer: None,
             close_timer: None,
+            authed: self.token.is_none(),
             closing: None,
             dirty: false,
             opened: now,
@@ -621,6 +648,9 @@ impl EventLoop {
         self.conns[slot] = Some(conn);
         let hello = Event::Hello {
             protocol: PROTOCOL_VERSION,
+            role: Role::Node,
+            nodes: Vec::new(),
+            auth: self.token.is_some(),
             threads: self.engine.threads(),
             workloads: self.registry.kinds(),
             flow_solver: self.engine.flow_solver(),
@@ -715,6 +745,15 @@ impl EventLoop {
             conn.requests += 1;
         }
         match Request::decode(line) {
+            Ok(Request::Auth { token }) => {
+                instruments.requests[5].inc();
+                self.handle_auth(slot, &token);
+            }
+            Ok(_) if !self.conn_authed(slot) => {
+                // A token-protected server accepts nothing before a
+                // matching `auth` — not even `stats`.
+                self.auth_reject(slot, "authentication required: send the auth verb first");
+            }
             Ok(Request::Submit {
                 label,
                 kind,
@@ -754,6 +793,7 @@ impl EventLoop {
                     in_flight,
                     flow_solver: self.engine.flow_solver(),
                     max_active_jobs: self.max_active_jobs,
+                    per_node: Vec::new(),
                 });
                 self.push_event(slot, &event, None);
             }
@@ -771,6 +811,13 @@ impl EventLoop {
                     requests,
                     bytes_in,
                     bytes_out,
+                };
+                self.push_event(slot, &event, None);
+            }
+            Ok(Request::Drain { node }) => {
+                instruments.requests[6].inc();
+                let event = Event::Error {
+                    message: format!("cannot drain '{node}': this server is a node, not a router"),
                 };
                 self.push_event(slot, &event, None);
             }
@@ -811,6 +858,55 @@ impl EventLoop {
                 total: 0,
             },
         }
+    }
+
+    fn conn_authed(&self, slot: usize) -> bool {
+        self.conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|conn| conn.authed)
+    }
+
+    fn handle_auth(&mut self, slot: usize, token: &str) {
+        let accepted = match &self.token {
+            // An open server accepts (and ignores) any token, so a client
+            // configured with one works against both kinds of server.
+            None => true,
+            Some(expected) => constant_time_eq(expected.as_bytes(), token.as_bytes()),
+        };
+        if accepted {
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                conn.authed = true;
+            }
+            self.push_event(slot, &Event::AuthOk, None);
+        } else {
+            self.auth_reject(slot, "authentication failed: bad token");
+        }
+    }
+
+    /// Sends a structured `error` and starts a graceful close — the
+    /// auth-failure twin of the slow-consumer disconnect.
+    fn auth_reject(&mut self, slot: usize, message: &str) {
+        serve_instruments().auth_failures.inc();
+        let event = Event::Error {
+            message: message.to_string(),
+        };
+        self.push_event(slot, &event, None);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.closing.is_some() {
+            return;
+        }
+        conn.closing = Some(CloseReason::AuthFailed);
+        if let Some(key) = conn.idle_timer.take() {
+            self.wheel.cancel(key);
+        }
+        let grace = Instant::now() + CLOSE_GRACE;
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.close_timer = Some(self.wheel.arm(grace, Timer::ForceClose(slot)));
+        }
+        self.mark_dirty(slot);
     }
 
     fn handle_submit(
@@ -935,17 +1031,20 @@ impl EventLoop {
                             outcome: crate::protocol::Outcome::Other { kind, value },
                             cache_delta,
                             flow_solver: job_flow_solver,
+                            node: None,
                         },
                         Err(message) => Event::Failed {
                             job: job.0,
                             kind: "encode".to_string(),
                             message,
+                            node: None,
                         },
                     },
                     Err(error) => Event::Failed {
                         job: job.0,
                         kind: failure_kind(&error).to_string(),
                         message: error.to_string(),
+                        node: None,
                     },
                 };
                 let note = Note::Terminal {
@@ -972,7 +1071,11 @@ impl EventLoop {
             conn.jobs.retain(|_, control| !control.is_finished());
         }
         conn.jobs.insert(job_id, control);
-        let event = Event::Submitted { job: job_id, label };
+        let event = Event::Submitted {
+            job: job_id,
+            label,
+            node: None,
+        };
         self.push_event(slot, &event, None);
     }
 
@@ -998,6 +1101,7 @@ impl EventLoop {
                         job,
                         completed,
                         total,
+                        node: None,
                     };
                     self.push_event(key.slot, &event, Some(job));
                 }
@@ -1286,8 +1390,18 @@ impl EventLoop {
     }
 }
 
+/// Compares two byte strings without early exit, so a token mismatch
+/// leaks no position information through response timing.
+pub(crate) fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().min(b.len()) {
+        diff |= usize::from(a[i] ^ b[i]);
+    }
+    diff == 0
+}
+
 /// Encodes one event as its wire line, terminator included.
-fn encode_line(event: &Event) -> String {
+pub(crate) fn encode_line(event: &Event) -> String {
     let mut line = event.encode();
     line.push('\n');
     line

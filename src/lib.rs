@@ -37,8 +37,12 @@
 //! * [`serve`] — the TCP job-submission front-end over the engine: the
 //!   `marqsim-served` daemon, its line-delimited JSON wire protocol with a
 //!   string-keyed workload registry and per-connection admission control,
-//!   an event-loop server built on [`net`], and a poll-based blocking
-//!   client.
+//!   an event-loop server built on [`net`], a poll-based blocking client,
+//!   and the fleet router that shards jobs across daemons.
+//! * [`cluster`] — fleet-building primitives under the router: the
+//!   [`HashRing`](cluster::HashRing) consistent-hash ring keyed by
+//!   Hamiltonian fingerprint and the [`Membership`](cluster::Membership)
+//!   health table with probe scheduling and backoff policy.
 //! * [`obs`] — the telemetry subsystem: the process-wide metrics registry
 //!   (counters, gauges, latency histograms), structured span tracing with
 //!   a `MARQSIM_TRACE` JSONL sink, and the `MARQSIM_LOG` leveled logger.
@@ -69,6 +73,7 @@
 
 pub use marqsim_analysis as analysis;
 pub use marqsim_circuit as circuit;
+pub use marqsim_cluster as cluster;
 pub use marqsim_core as core;
 pub use marqsim_engine as engine;
 pub use marqsim_fermion as fermion;

@@ -59,7 +59,11 @@ fn env_solver() -> SolverKind {
 /// backends guarantee equal optimal cost, but a degenerate optimum (e.g.
 /// `tiny-ising`'s symmetric states) lets each backend deterministically
 /// pick a different optimal flow, so each backend's numbers get their own
-/// committed file (`<stem>.<backend>.txt` for non-default backends).
+/// committed file (`<stem>.<backend>.txt` for anything but `ssp`). The
+/// engine default is `auto`; its files are bit-identical to the bare ones
+/// today (every golden instance is small enough to resolve to ssp) but
+/// stay separate so a future threshold change shows up as a diff, not a
+/// silent reroute.
 fn golden_file(base: &str, solver_dependent: bool) -> String {
     let solver = env_solver();
     if !solver_dependent || solver == SolverKind::default() {
